@@ -1,0 +1,248 @@
+// Ablation studies for the design choices DESIGN.md calls out (beyond the
+// paper's own figures):
+//
+//  (a) rho aggregation operator: the paper picks max over layouts (each local
+//      estimate undercounts); compare against mean and single-layout.
+//  (b) combiners: shuffle volume of the aggregation jobs with the map-side
+//      combiner disabled (re-run of job 2/4 equivalents via counters).
+//  (c) Basic-DDP block size: shuffle copies vs reducer work trade-off.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/cutoff.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/tau.h"
+#include "lsh/partitioner.h"
+#include "lsh/tuning.h"
+
+namespace ddp {
+namespace {
+
+// (a) Aggregation operator ablation, computed directly from the per-layout
+// local rho values (bypassing the MR pipeline for clarity).
+void AggregationOperatorAblation(const Dataset& ds, double dc,
+                                 const std::vector<uint32_t>& exact_rho) {
+  std::printf("(a) rho aggregation operator (M=10, pi=3, A=0.99)\n");
+  CountingMetric metric;
+  double width =
+      std::move(lsh::SolveMinimalWidth(0.99, 10, 3, dc)).ValueOrDie();
+  auto part =
+      std::move(lsh::MultiLshPartitioner::Create(ds.dim(), 10, 3, width, 7))
+          .ValueOrDie();
+  auto layouts = part.PartitionAll(ds);
+  std::vector<std::vector<uint32_t>> per_layout(
+      layouts.size(), std::vector<uint32_t>(ds.size(), 0));
+  for (size_t m = 0; m < layouts.size(); ++m) {
+    for (const auto& [key, ids] : layouts[m]) {
+      LocalDpResult local = ComputeLocalRho(ds, ids, dc, metric);
+      for (size_t k = 0; k < ids.size(); ++k) {
+        per_layout[m][ids[k]] = local.rho[k];
+      }
+    }
+  }
+  std::vector<uint32_t> agg_max(ds.size(), 0), agg_single(ds.size(), 0);
+  std::vector<uint32_t> agg_mean(ds.size(), 0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    uint64_t sum = 0;
+    for (size_t m = 0; m < layouts.size(); ++m) {
+      agg_max[i] = std::max(agg_max[i], per_layout[m][i]);
+      sum += per_layout[m][i];
+    }
+    agg_single[i] = per_layout[0][i];
+    agg_mean[i] = static_cast<uint32_t>(sum / layouts.size());
+  }
+  auto report = [&](const char* name, const std::vector<uint32_t>& rho) {
+    double tau1 = std::move(eval::Tau1(rho, exact_rho)).ValueOrDie();
+    double tau2 = std::move(eval::Tau2(rho, exact_rho)).ValueOrDie();
+    std::printf("  %-16s tau1=%.4f tau2=%.4f\n", name, tau1, tau2);
+  };
+  report("max (paper)", agg_max);
+  report("mean", agg_mean);
+  report("single layout", agg_single);
+  std::printf(
+      "  => max dominates: every local estimate is a lower bound, so the\n"
+      "     tightest lower bound is the best estimator.\n\n");
+}
+
+// (b) Combiner ablation: measure the rho-aggregation job's shuffle with and
+// without a max combiner by running the same aggregation through RunJob.
+void CombinerAblation(const Dataset& ds, double dc) {
+  std::printf("(b) map-side combiner on the rho aggregation job\n");
+  CountingMetric metric;
+  LshDdp::Params params;
+  params.accuracy = 0.99;
+  params.lsh.num_layouts = 10;
+  params.lsh.pi = 3;
+  LshDdp algo(params);
+  mr::RunStats stats;
+  DistanceCounter counter;
+  auto scores = algo.ComputeScores(ds, dc, CountingMetric(&counter),
+                                   mr::Options{}, &stats);
+  scores.status().Abort("lsh");
+  // Job 1 output feeds job 2: job 2's input records = M * N pairs; with the
+  // combiner the shuffled records collapse to ~(#map tasks) * distinct ids.
+  const mr::JobCounters& agg = stats.jobs[1];
+  std::printf(
+      "  with combiner (production): in=%llu shuffled=%llu records (%s)\n",
+      static_cast<unsigned long long>(agg.combine_input_records),
+      static_cast<unsigned long long>(agg.shuffle_records),
+      bench::HumanBytes(agg.shuffle_bytes).c_str());
+
+  // Re-run the aggregation without a combiner.
+  using RhoOut = std::pair<PointId, uint32_t>;
+  std::vector<RhoOut> inputs;
+  inputs.reserve(ds.size() * 10);
+  // Rebuild job-1 outputs from per-layout local computation.
+  double width =
+      std::move(lsh::SolveMinimalWidth(0.99, 10, 3, dc)).ValueOrDie();
+  auto part =
+      std::move(lsh::MultiLshPartitioner::Create(ds.dim(), 10, 3, width, 7))
+          .ValueOrDie();
+  for (const auto& layout : part.PartitionAll(ds)) {
+    for (const auto& [key, ids] : layout) {
+      LocalDpResult local = ComputeLocalRho(ds, ids, dc, metric);
+      for (size_t k = 0; k < ids.size(); ++k) {
+        inputs.push_back({ids[k], local.rho[k]});
+      }
+    }
+  }
+  mr::JobSpec<RhoOut, PointId, uint32_t, RhoOut> spec;
+  spec.name = "rho-agg-nocombiner";
+  spec.map = [](const RhoOut& in, mr::Emitter<PointId, uint32_t>* out) {
+    out->Emit(in.first, in.second);
+  };
+  spec.reduce = [](const PointId& id, std::span<const uint32_t> values,
+                   std::vector<RhoOut>* out) {
+    uint32_t best = 0;
+    for (uint32_t v : values) best = std::max(best, v);
+    out->push_back({id, best});
+  };
+  mr::JobCounters counters;
+  auto result = mr::RunJob(spec, std::span<const RhoOut>(inputs), mr::Options{},
+                           &counters);
+  result.status().Abort("no-combiner aggregation");
+  std::printf("  without combiner:           in=%llu shuffled=%llu records (%s)\n",
+              static_cast<unsigned long long>(counters.map_input_records),
+              static_cast<unsigned long long>(counters.shuffle_records),
+              bench::HumanBytes(counters.shuffle_bytes).c_str());
+  std::printf("  => the combiner removes the M-fold duplication before the\n"
+              "     shuffle, as in Hadoop.\n\n");
+}
+
+// (c) Basic-DDP block-size sweep.
+void BlockSizeAblation(const Dataset& ds, double dc) {
+  std::printf("(c) Basic-DDP block size (shuffle copies vs reducer balance)\n");
+  std::printf("  %10s %10s %12s %12s\n", "block", "seconds", "shuffled",
+              "# dist");
+  for (size_t block : {100ul, 250ul, 500ul, 1000ul, 2000ul}) {
+    BasicDdp::Params params;
+    params.block_size = block;
+    BasicDdp algo(params);
+    bench::CostReport cost = bench::MeasureScores(&algo, ds, dc, mr::Options{});
+    std::printf("  %10zu %10.2f %12s %12s\n", block, cost.seconds,
+                bench::HumanBytes(cost.shuffle_bytes).c_str(),
+                bench::HumanCount(cost.distance_evaluations).c_str());
+  }
+  std::printf(
+      "  => distance count is block-size invariant (exact all-pairs); the\n"
+      "     shuffle grows as ~(n_blocks/2 + 1) copies per point, so larger\n"
+      "     blocks shuffle less but parallelize worse.\n");
+}
+
+// (d) Multi-probe LSH: recall (tau2) and shuffle as probes replace layouts.
+void MultiProbeAblation(const Dataset& ds, double dc,
+                        const std::vector<uint32_t>& exact_rho) {
+  std::printf("(d) multi-probe LSH (tau2 and shuffle vs (M, probes))\n");
+  std::printf("  %4s %7s %10s %14s %12s\n", "M", "probes", "tau2",
+              "shuffle", "# dist");
+  CountingMetric unused;
+  for (auto [layouts, probes] :
+       {std::pair<size_t, size_t>{10, 0}, {5, 0}, {5, 1}, {5, 2}, {3, 2}}) {
+    LshDdp::Params params;
+    params.accuracy = 0.9;
+    params.lsh.num_layouts = layouts;
+    params.lsh.pi = 3;
+    params.probes = probes;
+    LshDdp algo(params);
+    DistanceCounter counter;
+    mr::RunStats stats;
+    auto scores = algo.ComputeScores(ds, dc, CountingMetric(&counter),
+                                     mr::Options{}, &stats);
+    scores.status().Abort("lsh multi-probe");
+    double tau2 =
+        std::move(eval::Tau2(scores->rho, exact_rho)).ValueOrDie();
+    std::printf("  %4zu %7zu %10.4f %14s %12s\n", layouts, probes, tau2,
+                bench::HumanBytes(stats.TotalShuffleBytes()).c_str(),
+                bench::HumanCount(counter.value()).c_str());
+  }
+  std::printf(
+      "  => probing boundary-adjacent buckets recovers recall with fewer\n"
+      "     layouts: an alternative point on the accuracy/shuffle curve.\n\n");
+}
+
+// (e) k-d tree accelerator for the sequential rho kernel across dimensions.
+void KdTreeAblation() {
+  std::printf("(e) k-d tree rho accelerator (distance evals, exact results)\n");
+  std::printf("  %-12s %5s %12s %12s %8s\n", "data", "dim", "scan",
+              "kdtree", "save");
+  struct Case {
+    const char* name;
+    Result<Dataset> ds;
+  };
+  Case cases[] = {
+      {"3Dspatial", gen::SpatialLike(3, bench::Scaled(3000))},
+      {"KDD(74d)", gen::KddLike(3, bench::Scaled(1500))},
+      {"Facial(300d)", gen::FacialLike(3, bench::Scaled(800))},
+  };
+  for (Case& c : cases) {
+    Dataset ds = std::move(c.ds).ValueOrDie();
+    CountingMetric unused;
+    double dc = std::move(ChooseCutoff(ds, unused)).ValueOrDie();
+    DistanceCounter scan_counter, tree_counter;
+    SequentialDpOptions scan, tree;
+    tree.use_kdtree_rho = true;
+    auto a = ComputeExactRho(ds, dc, CountingMetric(&scan_counter), scan);
+    auto b = ComputeExactRho(ds, dc, CountingMetric(&tree_counter), tree);
+    a.status().Abort("scan rho");
+    b.status().Abort("tree rho");
+    DDP_CHECK(*a == *b);
+    std::printf("  %-12s %5zu %12s %12s %7.1fx\n", c.name, ds.dim(),
+                bench::HumanCount(scan_counter.value()).c_str(),
+                bench::HumanCount(tree_counter.value()).c_str(),
+                static_cast<double>(scan_counter.value()) /
+                    static_cast<double>(tree_counter.value()));
+  }
+  std::printf(
+      "  => big savings in low dimensions, fading as dimensionality grows\n"
+      "     (the curse of dimensionality, as expected for k-d trees).\n");
+}
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("Design-choice ablations", "DESIGN.md ablation index");
+  const size_t n = bench::Scaled(2500);
+  Dataset ds = std::move(gen::KddLike(19, n)).ValueOrDie();
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::vector<uint32_t> exact_rho =
+      std::move(ComputeExactRho(ds, dc, metric)).ValueOrDie();
+  std::printf("KDD-like: %zu points, d_c = %.3f\n\n", ds.size(), dc);
+  AggregationOperatorAblation(ds, dc, exact_rho);
+  CombinerAblation(ds, dc);
+  BlockSizeAblation(ds, dc);
+  MultiProbeAblation(ds, dc, exact_rho);
+  KdTreeAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

@@ -1,0 +1,68 @@
+// Reproduces Fig. 9: measured accuracy (tau1, tau2) of LSH-DDP's rho
+// approximation as the expected accuracy target A sweeps from 0.5 to 0.99,
+// on the BigCross500K-like data set (scaled).
+//
+// Paper's findings to check: tau1 tracks the diagonal (the accuracy model is
+// realized), tau2 >= tau1, and both approach 1 as A -> 1.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cutoff.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/tau.h"
+#include "lsh/tuning.h"
+
+namespace ddp {
+namespace {
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("LSH-DDP accuracy realization: tau1/tau2 vs target A",
+                "Fig. 9(a) and 9(b)");
+
+  const size_t n = bench::Scaled(4000);
+  Dataset ds = std::move(gen::BigCrossLike(5, n)).ValueOrDie();
+  std::printf("BigCross500K-like data set: %zu points, %zu dims\n", ds.size(),
+              ds.dim());
+
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::vector<uint32_t> exact_rho =
+      std::move(ComputeExactRho(ds, dc, metric)).ValueOrDie();
+
+  std::printf("d_c = %.4f\n\n", dc);
+  std::printf("%8s %10s %8s %8s %8s\n", "A", "width", "tau1", "tau2",
+              "tau1-A");
+
+  const size_t kLayouts = 10, kPi = 3;  // paper's Sec. VI-C setting
+  for (double accuracy : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+    LshDdp::Params params;
+    params.accuracy = accuracy;
+    params.lsh.num_layouts = kLayouts;
+    params.lsh.pi = kPi;
+    params.seed = 7;
+    LshDdp algo(params);
+    DpScores scores;
+    bench::MeasureScores(&algo, ds, dc, mr::Options{}, &scores);
+    double tau1 = std::move(eval::Tau1(scores.rho, exact_rho)).ValueOrDie();
+    double tau2 = std::move(eval::Tau2(scores.rho, exact_rho)).ValueOrDie();
+    double width =
+        std::move(lsh::SolveMinimalWidth(accuracy, kLayouts, kPi, dc))
+            .ValueOrDie();
+    std::printf("%8.2f %10.3f %8.4f %8.4f %+8.4f\n", accuracy, width, tau1,
+                tau2, tau1 - accuracy);
+  }
+  std::printf(
+      "\nExpected shape (paper): tau1 tracks the diagonal (tau1 ~= A);\n"
+      "tau2 >= tau1; both approach 1 as A approaches 1.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

@@ -1,0 +1,89 @@
+// Reproduces the paper's d_c robustness claim (Sec. III-A, citing the
+// original DP paper): "varying d_c (by a factor of 20) produces mutually
+// consistent results". We sweep the cutoff over two orders of magnitude
+// around the 2% percentile default and report the clustering agreement (ARI)
+// of both exact DP and LSH-DDP against ground truth and against the default
+// run, plus the gaussian-kernel variant which removes integer rho ties.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/assignment.h"
+#include "core/decision_graph.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/metrics.h"
+
+namespace ddp {
+namespace {
+
+std::vector<int> ClusterWith(const Dataset& ds, const DpScores& scores,
+                             size_t k, const CountingMetric& metric) {
+  DecisionGraph graph = DecisionGraph::FromScores(scores);
+  return std::move(AssignClusters(ds, scores, graph.SelectTopK(k), metric))
+      .ValueOrDie()
+      .assignment;
+}
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("Cutoff distance sensitivity sweep",
+                "Sec. III-A robustness claim + gaussian-kernel extension");
+
+  const size_t n = bench::Scaled(1500);
+  Dataset ds = std::move(gen::S2Like(11, n)).ValueOrDie();
+  CountingMetric metric;
+  double dc0 = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::printf("S2-like: %zu points, default d_c = %.1f (2%% percentile)\n\n",
+              ds.size(), dc0);
+
+  // Reference assignments at the default cutoff.
+  DpScores ref_scores = std::move(ComputeExactDp(ds, dc0, metric)).ValueOrDie();
+  std::vector<int> ref = ClusterWith(ds, ref_scores, 15, metric);
+
+  std::printf("%10s | %12s %12s | %12s | %12s\n", "dc/dc0", "DP vs truth",
+              "DP vs ref", "LSH vs truth", "kernel DP");
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    double dc = mult * dc0;
+    // Exact DP, cutoff kernel.
+    DpScores scores = std::move(ComputeExactDp(ds, dc, metric)).ValueOrDie();
+    std::vector<int> assign = ClusterWith(ds, scores, 15, metric);
+    double vs_truth = std::move(eval::AdjustedRandIndex(assign, ds.labels()))
+                          .ValueOrDie();
+    double vs_ref =
+        std::move(eval::AdjustedRandIndex(assign, ref)).ValueOrDie();
+    // LSH-DDP at this cutoff.
+    LshDdp lsh;
+    DpScores lsh_scores;
+    bench::MeasureScores(&lsh, ds, dc, mr::Options{}, &lsh_scores);
+    std::vector<int> lsh_assign = ClusterWith(ds, lsh_scores, 15, metric);
+    double lsh_vs_truth =
+        std::move(eval::AdjustedRandIndex(lsh_assign, ds.labels()))
+            .ValueOrDie();
+    // Exact DP, gaussian kernel (quantized soft densities).
+    SequentialDpOptions kernel_opts;
+    kernel_opts.kernel = DensityKernel::kGaussian;
+    DpScores kernel_scores =
+        std::move(ComputeExactDp(ds, dc, metric, kernel_opts)).ValueOrDie();
+    std::vector<int> kernel_assign = ClusterWith(ds, kernel_scores, 15, metric);
+    double kernel_vs_truth =
+        std::move(eval::AdjustedRandIndex(kernel_assign, ds.labels()))
+            .ValueOrDie();
+
+    std::printf("%10.2f | %12.4f %12.4f | %12.4f | %12.4f\n", mult, vs_truth,
+                vs_ref, lsh_vs_truth, kernel_vs_truth);
+  }
+
+  std::printf(
+      "\nExpected shape: ARI stays high across the whole sweep (DP is robust\n"
+      "to d_c); LSH-DDP tracks exact DP; the gaussian kernel matches or\n"
+      "improves on the cutoff kernel by removing integer-rho ties.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

@@ -1,0 +1,94 @@
+// Reproduces Table IV: LSH-DDP vs EDDPC vs Basic-DDP on the BigCross500K-like
+// data set — runtime, shuffled data, and number of distance measurements.
+//
+// Paper's findings to check: LSH-DDP needs less runtime and much less
+// shuffled data than EDDPC, while computing MORE distances (it trades exact
+// filtering for cheap local work); Basic-DDP loses on every axis. The paper
+// reports ~2x runtime advantage for LSH-DDP over EDDPC.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/cutoff.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/eddpc.h"
+#include "ddp/lsh_ddp.h"
+
+namespace ddp {
+namespace {
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("LSH-DDP vs EDDPC vs Basic-DDP on BigCross500K", "Table IV");
+
+  const size_t n = bench::Scaled(6000);
+  Dataset ds = std::move(gen::BigCrossLike(5, n)).ValueOrDie();
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::printf("BigCross500K-like: %zu points, %zu dims, d_c = %.3f\n\n",
+              ds.size(), ds.dim(), dc);
+
+  BasicDdp::Params bp;
+  bp.block_size = 250;  // enough blocks at this scale (see bench_performance)
+  BasicDdp basic(bp);
+  LshDdp::Params lp;
+  lp.accuracy = 0.99;
+  lp.lsh.num_layouts = 10;
+  lp.lsh.pi = 3;
+  LshDdp lsh(lp);
+  // The comparator as published (distance-bound filtering only) plus our
+  // improved variant with the max-rho replication filter.
+  Eddpc::Params published;
+  published.use_max_rho_filter = false;
+  Eddpc eddpc_published(published);
+  Eddpc eddpc_improved;
+
+  // The modeled column charges shuffled bytes a 50 MB/s effective cluster
+  // bandwidth (Eq. (9)'s mu), approximating the Hadoop deployment where
+  // shuffle IO dominates.
+  mr::Options modeled;
+  modeled.modeled_shuffle_bandwidth = 50e6;
+  std::printf("%-22s %12s %12s %14s %12s\n", "method", "runtime(s)",
+              "modeled(s)", "shuffled", "# dist.");
+  struct Entry {
+    const char* label;
+    DistributedDpAlgorithm* algo;
+  };
+  Entry entries[] = {
+      {"LSH-DDP", &lsh},
+      {"EDDPC (published)", &eddpc_published},
+      {"EDDPC (+maxrho, ours)", &eddpc_improved},
+      {"Basic-DDP", &basic},
+  };
+  for (const Entry& e : entries) {
+    DistanceCounter counter;
+    CountingMetric metric_counted(&counter);
+    mr::RunStats stats;
+    Stopwatch timer;
+    auto scores = e.algo->ComputeScores(ds, dc, metric_counted, modeled,
+                                        &stats);
+    scores.status().Abort(e.label);
+    std::printf("%-22s %12.2f %12.2f %14s %12s\n", e.label,
+                timer.ElapsedSeconds(), stats.TotalModeledSeconds(),
+                bench::HumanBytes(stats.TotalShuffleBytes()).c_str(),
+                bench::HumanCount(counter.value()).c_str());
+  }
+
+  std::printf(
+      "\nExpected shape (paper Table IV): Basic-DDP worst on every axis and\n"
+      "LSH-DDP computing more distances than EDDPC both reproduce. The\n"
+      "paper additionally measured LSH-DDP ~2x faster than EDDPC because its\n"
+      "EDDPC shuffled ~7x more than LSH-DDP (hundreds of copies per point);\n"
+      "our EDDPC reimplementation replicates far less (cell-radius bound,\n"
+      "optional max-rho filter), so that ordering does not reproduce against\n"
+      "this stronger comparator -- an honest delta, see EXPERIMENTS.md.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

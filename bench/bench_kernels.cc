@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the kernels on the critical path:
+// p-stable hashing, local rho/delta kernels, serialization, and the
+// MapReduce shuffle. These quantify the constants behind the cost model of
+// Sec. V (mu, the shuffle-vs-compute time ratio).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/records.h"
+#include "lsh/hash_group.h"
+#include "mapreduce/mapreduce.h"
+
+namespace ddp {
+namespace {
+
+void BM_PStableHash(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  lsh::PStableHash h = lsh::PStableHash::Random(dim, 4.0, &rng);
+  std::vector<double> p = rng.GaussianVector(dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Hash(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PStableHash)->Arg(4)->Arg(57)->Arg(300);
+
+void BM_HashGroupKey(benchmark::State& state) {
+  const size_t pi = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  lsh::HashGroup g = lsh::HashGroup::Random(57, pi, 4.0, &rng);
+  std::vector<double> p = rng.GaussianVector(57);
+  lsh::BucketKey key;
+  for (auto _ : state) {
+    g.KeyInto(p, &key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_HashGroupKey)->Arg(3)->Arg(10)->Arg(20);
+
+void BM_LocalRhoKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = std::move(gen::GaussianMixture(n, 16, 4, 50.0, 2.0, 3))
+                   .ValueOrDie();
+  std::vector<PointId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  CountingMetric metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeLocalRho(ds, ids, 5.0, metric));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_LocalRhoKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LocalDeltaKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = std::move(gen::GaussianMixture(n, 16, 4, 50.0, 2.0, 3))
+                   .ValueOrDie();
+  std::vector<PointId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  CountingMetric metric;
+  LocalDpResult rho = ComputeLocalRho(ds, ids, 5.0, metric);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeLocalDelta(ds, ids, rho.rho, metric));
+  }
+}
+BENCHMARK(BM_LocalDeltaKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PointRecordSerde(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  ddprec::PointRecord rec{123, rng.GaussianVector(dim)};
+  for (auto _ : state) {
+    BufferWriter w;
+    Serde<ddprec::PointRecord>::Write(&w, rec);
+    BufferReader r(w.data());
+    ddprec::PointRecord out;
+    benchmark::DoNotOptimize(Serde<ddprec::PointRecord>::Read(&r, &out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dim * sizeof(double)));
+}
+BENCHMARK(BM_PointRecordSerde)->Arg(4)->Arg(57)->Arg(300);
+
+void BM_MapReduceShuffleThroughput(benchmark::State& state) {
+  // End-to-end identity job: measures runtime-per-record of the full
+  // serialize/shuffle/sort/deserialize path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> input(n);
+  std::iota(input.begin(), input.end(), 0);
+  mr::JobSpec<uint32_t, uint32_t, uint32_t, uint32_t> spec;
+  spec.name = "identity";
+  spec.map = [](const uint32_t& v, mr::Emitter<uint32_t, uint32_t>* out) {
+    out->Emit(v, v);
+  };
+  spec.reduce = [](const uint32_t&, std::span<const uint32_t> values,
+                   std::vector<uint32_t>* out) {
+    out->push_back(values[0]);
+  };
+  mr::Options options;
+  options.num_workers = 2;
+  for (auto _ : state) {
+    auto result = mr::RunJob(spec, std::span<const uint32_t>(input), options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MapReduceShuffleThroughput)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace ddp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Reproduces the Sec. VI-D "Clustering Large Data Set on EC2" experiment and
+// Fig. 11: on the largest BigCross-like data set, (a) the Basic-DDP vs
+// LSH-DDP runtime gap (the paper reports 91.2h vs 1.3h = 70x on 11.6M
+// points) and (b) per-iteration MapReduce K-means runtime, locating which
+// iteration count LSH-DDP's total runtime corresponds to (paper: ~24).
+//
+// Basic-DDP's quadratic full run is projected from a calibration subset so
+// the bench stays laptop-sized; the calibration method is printed.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cutoff.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/lsh_ddp.h"
+#include "ddp/mr_kmeans.h"
+#include "ddp/records.h"
+
+namespace ddp {
+namespace {
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("Large-scale BigCross run + K-means iteration comparison",
+                "Sec. VI-D EC2 experiment + Fig. 11");
+
+  const size_t n = bench::Scaled(40000);
+  Dataset ds = std::move(gen::BigCrossLike(13, n)).ValueOrDie();
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::printf("BigCross-like: %zu points, %zu dims, d_c = %.3f\n\n", ds.size(),
+              ds.dim(), dc);
+
+  // LSH-DDP full run.
+  LshDdp::Params lp;
+  lp.accuracy = 0.99;
+  lp.lsh.num_layouts = 10;
+  lp.lsh.pi = 3;
+  LshDdp lsh(lp);
+  bench::CostReport lsh_cost = bench::MeasureScores(&lsh, ds, dc, mr::Options{});
+  std::printf("LSH-DDP: %.2f s, %s shuffled, %s distances\n", lsh_cost.seconds,
+              bench::HumanBytes(lsh_cost.shuffle_bytes).c_str(),
+              bench::HumanCount(lsh_cost.distance_evaluations).c_str());
+
+  // Basic-DDP on a calibration subset, projected quadratically to full N.
+  const size_t calib_n = std::min<size_t>(ds.size(), 4000);
+  std::vector<PointId> calib_ids(calib_n);
+  for (size_t i = 0; i < calib_n; ++i) {
+    calib_ids[i] = static_cast<PointId>(i * (ds.size() / calib_n));
+  }
+  Dataset calib = ds.Subset(calib_ids);
+  BasicDdp::Params bp;
+  bp.block_size = 500;
+  BasicDdp basic(bp);
+  bench::CostReport calib_cost =
+      bench::MeasureScores(&basic, calib, dc, mr::Options{});
+  double scale = static_cast<double>(ds.size()) / static_cast<double>(calib_n);
+  double projected_seconds = calib_cost.seconds * scale * scale;
+  std::printf(
+      "Basic-DDP: measured %.2f s on a %zu-point calibration subset;\n"
+      "           projected %.1f s at %zu points (quadratic scaling)\n",
+      calib_cost.seconds, calib_n, projected_seconds, ds.size());
+  std::printf("==> projected Basic/LSH speedup at this scale: %.0fx\n\n",
+              projected_seconds / lsh_cost.seconds);
+
+  // Fig. 11: per-iteration K-means runtime (paper runs 100 iterations; we
+  // run enough iterations to pass the LSH-DDP runtime).
+  MrKmeansOptions ko;
+  ko.k = 20;  // BigCross product-cluster count
+  ko.max_iterations = 100;
+  ko.convergence_tol = 0.0;
+  CountingMetric kmetric;
+  // Run iterations until cumulative K-means time exceeds 2x the LSH time or
+  // the paper's 100 iterations, whichever first; do it in one call by
+  // capping iterations based on a one-iteration probe.
+  MrKmeansOptions probe = ko;
+  probe.max_iterations = 1;
+  auto probe_result = RunMrKmeans(ds, probe, kmetric);
+  probe_result.status().Abort("kmeans probe");
+  double per_iter = probe_result->iteration_seconds[0];
+  size_t iters = static_cast<size_t>(2.0 * lsh_cost.seconds / per_iter) + 2;
+  ko.max_iterations = std::min<size_t>(100, std::max<size_t>(iters, 5));
+  auto kmeans = RunMrKmeans(ds, ko, kmetric);
+  kmeans.status().Abort("kmeans");
+
+  std::printf("MapReduce K-means (k=%zu), per-iteration cumulative runtime:\n",
+              ko.k);
+  std::printf("%6s %12s %14s\n", "iter", "iter(s)", "cumulative(s)");
+  double cumulative = 0.0;
+  size_t crossover = 0;
+  for (size_t i = 0; i < kmeans->iteration_seconds.size(); ++i) {
+    cumulative += kmeans->iteration_seconds[i];
+    if (crossover == 0 && cumulative >= lsh_cost.seconds) crossover = i + 1;
+    if (i < 5 || (i + 1) % 5 == 0 ||
+        i + 1 == kmeans->iteration_seconds.size()) {
+      std::printf("%6zu %12.3f %14.3f\n", i + 1, kmeans->iteration_seconds[i],
+                  cumulative);
+    }
+  }
+  if (crossover > 0) {
+    std::printf(
+        "\nmeasured (compute-bound, in-memory runtime): LSH-DDP's %.2f s\n"
+        "corresponds to K-means iteration %zu\n",
+        lsh_cost.seconds, crossover);
+  } else {
+    std::printf(
+        "\nmeasured (compute-bound, in-memory runtime): K-means did not\n"
+        "reach LSH-DDP's %.2f s within %zu iterations\n",
+        lsh_cost.seconds, kmeans->iteration_seconds.size());
+  }
+
+  // Fig. 11's ~iteration-24 crossover on Hadoop is IO-bound: each K-means
+  // iteration re-scans the point set once (the combiner makes its shuffle
+  // negligible), while LSH-DDP's dominant IO is shuffling 2M copies of the
+  // point set. Express LSH-DDP's shuffle as dataset-scan equivalents — on a
+  // cluster where IO dominates, that IS the crossover iteration.
+  {
+    std::span<const double> p0 = ds.point(0);
+    ddprec::PointRecord rec{0, {p0.begin(), p0.end()}};
+    double dataset_bytes =
+        static_cast<double>(SerializedSize(rec)) *
+        static_cast<double>(ds.size());
+    double scans = static_cast<double>(lsh_cost.shuffle_bytes) / dataset_bytes;
+    std::printf(
+        "modeled (IO-bound Hadoop cluster): LSH-DDP shuffles %.1f dataset\n"
+        "scans' worth of data ~= K-means iteration %.0f crossover\n"
+        "(paper Fig. 11: ~iteration 24 = 2M + aggregation jobs)\n",
+        scans, scans);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): Basic-DDP projected runtime is orders of\n"
+      "magnitude above LSH-DDP (70x at 11.6M points); on an IO-bound\n"
+      "cluster LSH-DDP's total matches a few dozen K-means iterations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

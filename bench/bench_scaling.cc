@@ -1,0 +1,63 @@
+// Growth-curve study (ours; complements Fig. 10 and the Sec. VI-D scale
+// argument): how runtime, shuffle volume, and distance computations of the
+// three distributed variants grow as N doubles on a fixed distribution.
+//
+// Expected shapes: Basic-DDP's distance count is exactly N(N-1); LSH-DDP and
+// EDDPC grow with a much smaller quadratic constant (bucket/cell-local); the
+// Basic-to-LSH gap widens in absolute terms with N.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cutoff.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/eddpc.h"
+#include "ddp/lsh_ddp.h"
+
+namespace ddp {
+namespace {
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("Scaling study: cost growth of the three variants",
+                "extension of Fig. 10 / Sec. VI-D");
+
+  std::printf("%8s %-10s %10s %14s %12s\n", "N", "method", "seconds",
+              "shuffled", "# dist");
+  for (size_t n : {1000ul, 2000ul, 4000ul, 8000ul}) {
+    const size_t scaled = bench::Scaled(n);
+    Dataset ds = std::move(gen::BigCrossLike(5, scaled)).ValueOrDie();
+    CountingMetric metric;
+    double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+
+    BasicDdp::Params bp;
+    bp.block_size = 250;
+    BasicDdp basic(bp);
+    LshDdp lsh;
+    Eddpc eddpc;
+    struct Entry {
+      const char* label;
+      DistributedDpAlgorithm* algo;
+    };
+    Entry entries[] = {{"basic", &basic}, {"lsh", &lsh}, {"eddpc", &eddpc}};
+    for (const Entry& e : entries) {
+      bench::CostReport cost =
+          bench::MeasureScores(e.algo, ds, dc, mr::Options{});
+      std::printf("%8zu %-10s %10.2f %14s %12s\n", scaled, e.label,
+                  cost.seconds, bench::HumanBytes(cost.shuffle_bytes).c_str(),
+                  bench::HumanCount(cost.distance_evaluations).c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape: Basic-DDP's distance count quadruples per doubling\n"
+      "(exact N(N-1)); LSH-DDP and EDDPC grow with far smaller constants, so\n"
+      "the absolute gap to Basic-DDP widens with N.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

@@ -1,0 +1,114 @@
+// Validates the Sec. IV/V analytical model against measurement (the paper
+// presents the theory without an explicit validation figure; this bench
+// closes that loop and doubles as an ablation of the accuracy model):
+//
+//  (1) Lemma 3 / P(d, w): Monte-Carlo collision rate of the real p-stable
+//      hash function vs. the closed form, over a (d, w) grid.
+//  (2) Theorem 1 / A(w, pi, M): measured Pr[rho_hat = rho] (i.e. tau1) vs.
+//      the model's lower bound, over the tuned widths for several targets.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/cutoff.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/tau.h"
+#include "lsh/pstable_hash.h"
+#include "lsh/theory.h"
+#include "lsh/tuning.h"
+
+namespace ddp {
+namespace {
+
+void CollisionTable() {
+  std::printf("(1) Collision probability: Monte Carlo vs Lemma 3 formula\n");
+  std::printf("%8s %8s %12s %12s %10s\n", "dist", "width", "empirical",
+              "P(d,w)", "abs diff");
+  Rng rng(99);
+  const int trials = 30000;
+  for (double d : {0.5, 1.0, 2.0, 4.0}) {
+    for (double w : {1.0, 4.0, 16.0}) {
+      int collisions = 0;
+      for (int t = 0; t < trials; ++t) {
+        lsh::PStableHash h = lsh::PStableHash::Random(8, w, &rng);
+        std::vector<double> p = rng.GaussianVector(8);
+        std::vector<double> dir = rng.GaussianVector(8);
+        double norm = 0.0;
+        for (double x : dir) norm += x * x;
+        norm = std::sqrt(norm);
+        std::vector<double> q = p;
+        for (size_t k = 0; k < 8; ++k) q[k] += d * dir[k] / norm;
+        if (h.Hash(p) == h.Hash(q)) ++collisions;
+      }
+      double empirical = static_cast<double>(collisions) / trials;
+      double theory = lsh::PCollision(d, w);
+      std::printf("%8.2f %8.2f %12.4f %12.4f %10.4f\n", d, w, empirical,
+                  theory, std::abs(empirical - theory));
+    }
+  }
+}
+
+void AccuracyModelTable(const char* label, Result<Dataset> ds_result) {
+  std::printf(
+      "\n(2) Accuracy model on %s: measured tau1 vs Theorem 1 target\n",
+      label);
+  Dataset ds = std::move(ds_result).ValueOrDie();
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::vector<uint32_t> exact_rho =
+      std::move(ComputeExactRho(ds, dc, metric)).ValueOrDie();
+  std::printf("%s: %zu points, d_c = %.3f\n", label, ds.size(), dc);
+  std::printf("%8s %4s %4s %10s %10s %12s\n", "A", "M", "pi", "width",
+              "tau1", "tau1 >= A?");
+  for (double accuracy : {0.6, 0.8, 0.9, 0.99}) {
+    const size_t layouts = 10, pi = 3;
+    double width =
+        std::move(lsh::SolveMinimalWidth(accuracy, layouts, pi, dc))
+            .ValueOrDie();
+    LshDdp::Params params;
+    params.accuracy = accuracy;
+    params.lsh.num_layouts = layouts;
+    params.lsh.pi = pi;
+    LshDdp algo(params);
+    DpScores scores;
+    bench::MeasureScores(&algo, ds, dc, mr::Options{}, &scores);
+    double tau1 = std::move(eval::Tau1(scores.rho, exact_rho)).ValueOrDie();
+    std::printf("%8.2f %4zu %4zu %10.3f %10.4f %12s\n", accuracy, layouts, pi,
+                width, tau1, tau1 >= accuracy - 0.05 ? "yes" : "NO");
+  }
+}
+
+int Main() {
+  bench::QuietLogs quiet;
+  bench::Banner("Analytical model validation", "Sec. IV Lemmas 1-4, Sec. V");
+  CollisionTable();
+  // Fig. 9's setting: well-separated modes with d_c comfortably above the
+  // mode diameter (the regime the 1-2% rule produces on the real sets),
+  // where Lemma 1's single-neighbor model is realized. Same instance as
+  // bench_accuracy.
+  AccuracyModelTable("BigCross500K-like",
+                     gen::BigCrossLike(5, bench::Scaled(4000)));
+  // A stress case: heavy-tailed KDD-like data, where dense points have many
+  // d_c-neighbors. Lemma 1 models the co-slotting probability through one
+  // worst-case neighbor at distance d_c; with k neighbors the max projection
+  // gap grows ~ d_c * sqrt(2 ln k), so the model is OPTIMISTIC here and
+  // measured tau1 falls below the target. The paper's Fig. 9 data set does
+  // not trigger this regime; this table documents the model's boundary.
+  AccuracyModelTable("KDD-like (heavy-tailed stress)",
+                     gen::KddLike(3, bench::Scaled(2500)));
+  std::printf(
+      "\nReading: the model is realized on the Fig. 9-style workload and is\n"
+      "optimistic for points with very many d_c-neighbors (heavy tails) --\n"
+      "the accuracy knob remains monotone there, but the guarantee is not a\n"
+      "strict per-point bound.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Main(); }

@@ -1,0 +1,115 @@
+#ifndef DDP_BENCH_BENCH_UTIL_H_
+#define DDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+#include "ddp/driver.h"
+#include "mapreduce/counters.h"
+
+/// \file bench_util.h
+/// Shared helpers for the experiment harnesses in bench/. Each bench binary
+/// regenerates one table or figure of the paper at a laptop-friendly scale;
+/// set DDP_BENCH_SCALE (a positive double, default 1.0) to scale every
+/// dataset size, e.g. DDP_BENCH_SCALE=4 for a longer, higher-fidelity run.
+
+namespace ddp {
+namespace bench {
+
+/// Dataset scale multiplier from the environment.
+inline double ScaleFromEnv() {
+  const char* s = std::getenv("DDP_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * ScaleFromEnv());
+}
+
+/// One algorithm run's cost triple (the paper's three evaluation axes).
+struct CostReport {
+  double seconds = 0.0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t distance_evaluations = 0;
+};
+
+/// Runs `algorithm` on `dataset` with a fixed d_c and returns costs.
+inline CostReport MeasureScores(DistributedDpAlgorithm* algorithm,
+                                const Dataset& dataset, double dc,
+                                const mr::Options& mr_options,
+                                DpScores* scores_out = nullptr) {
+  DistanceCounter counter;
+  CountingMetric metric(&counter);
+  mr::RunStats stats;
+  Stopwatch timer;
+  auto scores = algorithm->ComputeScores(dataset, dc, metric, mr_options,
+                                         &stats);
+  scores.status().Abort(algorithm->name());
+  CostReport report;
+  report.seconds = timer.ElapsedSeconds();
+  report.shuffle_bytes = stats.TotalShuffleBytes();
+  report.distance_evaluations = counter.value();
+  if (scores_out != nullptr) *scores_out = std::move(scores).value();
+  return report;
+}
+
+/// "12.3 MB"-style human formatting.
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1ull << 30) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB",
+                  static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= 1ull << 20) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= 1ull << 10) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+inline std::string HumanCount(uint64_t count) {
+  char buf[32];
+  if (count >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fG",
+                  static_cast<double>(count) / 1e9);
+  } else if (count >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fM",
+                  static_cast<double>(count) / 1e6);
+  } else if (count >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fK",
+                  static_cast<double>(count) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+/// Prints a figure/table banner.
+inline void Banner(const char* what, const char* paper_ref) {
+  std::printf("\n=================================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", what, paper_ref);
+  std::printf("=================================================================\n");
+}
+
+/// Quiet logging for benches.
+struct QuietLogs {
+  QuietLogs() { SetLogLevel(LogLevel::kWarning); }
+};
+
+}  // namespace bench
+}  // namespace ddp
+
+#endif  // DDP_BENCH_BENCH_UTIL_H_

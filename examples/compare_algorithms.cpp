@@ -1,0 +1,115 @@
+// Head-to-head comparison of the library's clustering algorithms on one
+// shaped data set — the programmatic version of the paper's Fig. 8.
+//
+// Run: ./build/examples/compare_algorithms
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "baselines/em_gmm.h"
+#include "baselines/hierarchical.h"
+#include "baselines/kmeans.h"
+#include "baselines/mean_shift.h"
+#include "core/assignment.h"
+#include "core/cutoff.h"
+#include "core/decision_graph.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/driver.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/metrics.h"
+
+namespace {
+
+void Print(const std::string& name, const std::vector<int>& assignment,
+           const std::vector<int>& truth) {
+  double ari = std::move(ddp::eval::AdjustedRandIndex(assignment, truth))
+                   .ValueOrDie();
+  double nmi = std::move(ddp::eval::NormalizedMutualInformation(assignment,
+                                                                truth))
+                   .ValueOrDie();
+  double purity = std::move(ddp::eval::Purity(assignment, truth)).ValueOrDie();
+  std::printf("%-22s %8.4f %8.4f %8.4f\n", name.c_str(), ari, nmi, purity);
+}
+
+}  // namespace
+
+int main() {
+  ddp::Dataset ds = std::move(ddp::gen::AggregationLike(42)).ValueOrDie();
+  const std::vector<int>& truth = ds.labels();
+  ddp::CountingMetric metric;
+  double dc = std::move(ddp::ChooseCutoff(ds, metric)).ValueOrDie();
+
+  std::printf("Aggregation-like: %zu points, 7 clusters, d_c = %.3f\n\n",
+              ds.size(), dc);
+  std::printf("%-22s %8s %8s %8s\n", "algorithm", "ARI", "NMI", "purity");
+
+  // Exact sequential DP.
+  {
+    ddp::DpScores scores =
+        std::move(ddp::ComputeExactDp(ds, dc, metric)).ValueOrDie();
+    ddp::DecisionGraph graph = ddp::DecisionGraph::FromScores(scores);
+    auto clusters = std::move(ddp::AssignClusters(ds, scores,
+                                                  graph.SelectTopK(7), metric))
+                        .ValueOrDie();
+    Print("DP (sequential)", clusters.assignment, truth);
+  }
+  // Distributed approximate DP.
+  {
+    ddp::LshDdp lsh;
+    ddp::DdpOptions options;
+    options.dc = dc;
+    options.selector = ddp::PeakSelector::TopK(7);
+    auto run = std::move(ddp::RunDistributedDp(&lsh, ds, options)).ValueOrDie();
+    Print("LSH-DDP (A=0.99)", run.clusters.assignment, truth);
+  }
+  // K-means.
+  {
+    ddp::baselines::KmeansOptions options;
+    options.k = 7;
+    options.seed = 1;
+    auto r = std::move(ddp::baselines::RunKmeans(ds, options, metric))
+                 .ValueOrDie();
+    Print("k-means++", r.assignment, truth);
+  }
+  // EM / GMM.
+  {
+    ddp::baselines::EmGmmOptions options;
+    options.k = 7;
+    auto r = std::move(ddp::baselines::RunEmGmm(ds, options, metric))
+                 .ValueOrDie();
+    Print("EM (diagonal GMM)", r.assignment, truth);
+  }
+  // DBSCAN with the paper's Fig. 8 configuration.
+  {
+    ddp::baselines::DbscanOptions options;
+    options.epsilon = dc;
+    options.min_points = 1;
+    auto r = std::move(ddp::baselines::RunDbscan(ds, options, metric))
+                 .ValueOrDie();
+    Print("DBSCAN (eps=d_c)", r.assignment, truth);
+  }
+  // Mean shift (bandwidth scaled from d_c).
+  {
+    ddp::baselines::MeanShiftOptions options;
+    options.bandwidth = 2.5 * dc;
+    auto r = std::move(ddp::baselines::RunMeanShift(ds, options, metric))
+                 .ValueOrDie();
+    Print("mean shift", r.assignment, truth);
+  }
+  // Agglomerative, three linkages.
+  for (auto [linkage, name] :
+       {std::pair{ddp::baselines::Linkage::kSingle, "hier. (single)"},
+        std::pair{ddp::baselines::Linkage::kComplete, "hier. (complete)"},
+        std::pair{ddp::baselines::Linkage::kAverage, "hier. (average)"}}) {
+    ddp::baselines::HierarchicalOptions options;
+    options.num_clusters = 7;
+    options.linkage = linkage;
+    auto r = std::move(ddp::baselines::RunHierarchical(ds, options, metric))
+                 .ValueOrDie();
+    Print(name, r.assignment, truth);
+  }
+  return 0;
+}

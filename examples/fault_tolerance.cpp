@@ -1,0 +1,51 @@
+// Fault-tolerance demo: run the full LSH-DDP pipeline while the MapReduce
+// runtime loses 25% of all map and reduce task attempts, then verify the
+// clustering is bit-identical to a failure-free run.
+//
+// Run: ./build/examples/fault_tolerance
+
+#include <cstdio>
+
+#include "dataset/generators.h"
+#include "ddp/driver.h"
+#include "ddp/lsh_ddp.h"
+
+int main() {
+  ddp::Dataset dataset =
+      std::move(ddp::gen::KddLike(/*seed=*/3, 1500)).ValueOrDie();
+  std::printf("KDD-like data set: %zu points, %zu dims\n", dataset.size(),
+              dataset.dim());
+
+  ddp::DdpOptions clean;
+  clean.selector = ddp::PeakSelector::TopK(8);
+
+  ddp::DdpOptions chaotic = clean;
+  chaotic.mr.faults.map_failure_rate = 0.25;
+  chaotic.mr.faults.reduce_failure_rate = 0.25;
+  chaotic.mr.faults.seed = 2026;
+  chaotic.mr.max_task_attempts = 20;
+
+  ddp::LshDdp algo_clean, algo_chaotic;
+  auto a = std::move(ddp::RunDistributedDp(&algo_clean, dataset, clean))
+               .ValueOrDie();
+  auto b = std::move(ddp::RunDistributedDp(&algo_chaotic, dataset, chaotic))
+               .ValueOrDie();
+
+  uint64_t retries = 0;
+  for (const auto& job : b.stats.jobs) {
+    retries += job.map_task_retries + job.reduce_task_retries;
+  }
+  std::printf("chaotic run: %llu task attempts were killed and retried\n",
+              static_cast<unsigned long long>(retries));
+
+  bool identical = a.clusters.assignment == b.clusters.assignment &&
+                   a.scores.rho == b.scores.rho &&
+                   a.scores.delta == b.scores.delta;
+  std::printf("results identical to the failure-free run: %s\n",
+              identical ? "YES" : "NO (bug!)");
+  std::printf(
+      "\nWhy: tasks are pure functions of their input split; a failed\n"
+      "attempt's partial output is discarded and the retry reproduces it\n"
+      "exactly -- the same guarantee a Hadoop deployment relies on.\n");
+  return identical ? 0 : 1;
+}

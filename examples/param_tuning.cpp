@@ -1,0 +1,64 @@
+// Parameter tuning walkthrough (Sec. V): how the accuracy target A and the
+// integer parameters (M, pi) translate into the LSH width w, and what that
+// means for expected cost.
+//
+// Run: ./build/examples/param_tuning
+
+#include <cstdio>
+
+#include "core/cutoff.h"
+#include "dataset/generators.h"
+#include "lsh/partitioner.h"
+#include "lsh/theory.h"
+#include "lsh/tuning.h"
+
+int main() {
+  ddp::Dataset ds = std::move(ddp::gen::KddLike(3, 2000)).ValueOrDie();
+  ddp::CountingMetric metric;
+  double dc = std::move(ddp::ChooseCutoff(ds, metric)).ValueOrDie();
+  std::printf("KDD-like sample: %zu points, d_c = %.3f\n\n", ds.size(), dc);
+
+  // (1) The closed-form width solver: A, M, pi -> w (Eq. (5) inverted).
+  std::printf("minimal width w for target accuracy (M layouts, pi functions):\n");
+  std::printf("%8s %6s %6s %12s %22s\n", "A", "M", "pi", "w",
+              "check A(w,pi,M)");
+  for (double accuracy : {0.90, 0.99}) {
+    for (size_t layouts : {5ul, 10ul, 20ul}) {
+      for (size_t pi : {3ul, 10ul}) {
+        double w = std::move(ddp::lsh::SolveMinimalWidth(accuracy, layouts,
+                                                         pi, dc))
+                       .ValueOrDie();
+        std::printf("%8.2f %6zu %6zu %12.3f %22.6f\n", accuracy, layouts, pi,
+                    w, ddp::lsh::ExpectedRhoAccuracy(w, pi, layouts, dc));
+      }
+    }
+  }
+
+  // (2) The cost side (Sec. V-B): wider slots mean bigger buckets, i.e. a
+  // larger sum of squared partition sizes — the Eq. (8) computational cost.
+  std::printf("\ncost driver sum_k N_k^2 per layout (A=0.99, M=10):\n");
+  std::printf("%6s %12s %14s %14s\n", "pi", "w", "buckets", "sum N_k^2");
+  for (size_t pi : {1ul, 3ul, 10ul}) {
+    double w =
+        std::move(ddp::lsh::SolveMinimalWidth(0.99, 10, pi, dc)).ValueOrDie();
+    auto part = std::move(ddp::lsh::MultiLshPartitioner::Create(
+                              ds.dim(), 1, pi, w, 7))
+                    .ValueOrDie();
+    auto stats = part.ComputeStats(ds);
+    std::printf("%6zu %12.3f %14zu %14llu\n", pi, w, stats[0].num_buckets,
+                static_cast<unsigned long long>(stats[0].sum_squared_sizes));
+  }
+
+  // (3) Theorem 2's delta-side implication: recovery probability by upslope
+  // distance. Faraway upslope points (density peaks!) are rarely recovered —
+  // by design, they surface as +inf and are peak candidates anyway.
+  std::printf("\ndelta recovery probability vs upslope distance "
+              "(A=0.99, M=10, pi=3):\n");
+  double w = std::move(ddp::lsh::SolveMinimalWidth(0.99, 10, 3, dc)).ValueOrDie();
+  std::printf("%14s %14s\n", "d_upslope/d_c", "Pr[recovered]");
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    std::printf("%14.2f %14.4f\n", mult,
+                ddp::lsh::ExpectedDeltaAccuracy(mult * dc, w, 3, 10));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "baselines/dbscan.h"
+
+#include <deque>
+
+namespace ddp {
+namespace baselines {
+
+namespace {
+
+// Ids with distance <= epsilon from point i, including i itself.
+std::vector<PointId> RegionQuery(const Dataset& dataset, PointId i,
+                                 double epsilon,
+                                 const CountingMetric& metric) {
+  std::vector<PointId> neighbors;
+  std::span<const double> pi = dataset.point(i);
+  for (size_t j = 0; j < dataset.size(); ++j) {
+    if (static_cast<PointId>(j) == i) {
+      neighbors.push_back(i);
+      continue;
+    }
+    if (metric.Distance(pi, dataset.point(static_cast<PointId>(j))) <=
+        epsilon) {
+      neighbors.push_back(static_cast<PointId>(j));
+    }
+  }
+  return neighbors;
+}
+
+}  // namespace
+
+Result<DbscanResult> RunDbscan(const Dataset& dataset,
+                               const DbscanOptions& options,
+                               const CountingMetric& metric) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  if (options.min_points == 0) {
+    return Status::InvalidArgument("min_points must be >= 1");
+  }
+  const size_t n = dataset.size();
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+
+  DbscanResult result;
+  result.assignment.assign(n, kUnvisited);
+  int next_cluster = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (result.assignment[i] != kUnvisited) continue;
+    std::vector<PointId> seeds =
+        RegionQuery(dataset, static_cast<PointId>(i), options.epsilon, metric);
+    if (seeds.size() < options.min_points) {
+      result.assignment[i] = kNoise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    result.assignment[i] = cluster;
+    std::deque<PointId> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      PointId q = frontier.front();
+      frontier.pop_front();
+      if (result.assignment[q] == kNoise) {
+        result.assignment[q] = cluster;  // border point adopted
+      }
+      if (result.assignment[q] != kUnvisited) continue;
+      result.assignment[q] = cluster;
+      std::vector<PointId> q_neighbors =
+          RegionQuery(dataset, q, options.epsilon, metric);
+      if (q_neighbors.size() >= options.min_points) {
+        frontier.insert(frontier.end(), q_neighbors.begin(),
+                        q_neighbors.end());
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(next_cluster);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ddp

@@ -1,0 +1,37 @@
+#ifndef DDP_BASELINES_DBSCAN_H_
+#define DDP_BASELINES_DBSCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file dbscan.h
+/// DBSCAN (Table III's density-based comparator). Classic region-growing
+/// formulation with O(N^2) neighborhood queries. Label -1 marks noise.
+/// The paper configures epsilon = d_c and min_points = 1 in Fig. 8.
+
+namespace ddp {
+namespace baselines {
+
+struct DbscanOptions {
+  double epsilon = 1.0;
+  /// Minimum neighborhood size (including the point itself) for a core
+  /// point. min_points = 1 makes every point a core point, as in Fig. 8.
+  size_t min_points = 1;
+};
+
+struct DbscanResult {
+  std::vector<int> assignment;  // -1 = noise
+  size_t num_clusters = 0;
+};
+
+Result<DbscanResult> RunDbscan(const Dataset& dataset,
+                               const DbscanOptions& options,
+                               const CountingMetric& metric);
+
+}  // namespace baselines
+}  // namespace ddp
+
+#endif  // DDP_BASELINES_DBSCAN_H_

@@ -1,0 +1,128 @@
+#include "baselines/em_gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "baselines/kmeans.h"
+#include "common/random.h"
+
+namespace ddp {
+namespace baselines {
+
+namespace {
+
+// log N(p | mean, diag(var)).
+double LogGaussian(std::span<const double> p, const std::vector<double>& mean,
+                   const std::vector<double>& var) {
+  double log_det = 0.0;
+  double maha = 0.0;
+  for (size_t d = 0; d < p.size(); ++d) {
+    log_det += std::log(var[d]);
+    double diff = p[d] - mean[d];
+    maha += diff * diff / var[d];
+  }
+  return -0.5 * (static_cast<double>(p.size()) *
+                     std::log(2.0 * std::numbers::pi) +
+                 log_det + maha);
+}
+
+// log(sum_i exp(x_i)) without overflow.
+double LogSumExp(const std::vector<double>& x) {
+  double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+Result<EmGmmResult> RunEmGmm(const Dataset& dataset,
+                             const EmGmmOptions& options,
+                             const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds point count");
+
+  // Initialize means with a short K-means++ run, unit variances, uniform
+  // weights.
+  KmeansOptions init_opts;
+  init_opts.k = options.k;
+  init_opts.max_iterations = 5;
+  init_opts.seed = options.seed;
+  DDP_ASSIGN_OR_RETURN(KmeansResult init, RunKmeans(dataset, init_opts, metric));
+
+  EmGmmResult result;
+  result.means = std::move(init.centroids);
+  result.variances.assign(options.k, std::vector<double>(dim, 1.0));
+  result.weights.assign(options.k, 1.0 / static_cast<double>(options.k));
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(options.k));
+  std::vector<double> log_terms(options.k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // E step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      std::span<const double> p = dataset.point(static_cast<PointId>(i));
+      for (size_t c = 0; c < options.k; ++c) {
+        log_terms[c] = std::log(result.weights[c]) +
+                       LogGaussian(p, result.means[c], result.variances[c]);
+      }
+      double norm = LogSumExp(log_terms);
+      ll += norm;
+      for (size_t c = 0; c < options.k; ++c) {
+        resp[i][c] = std::exp(log_terms[c] - norm);
+      }
+    }
+    ll /= static_cast<double>(n);
+    result.log_likelihood = ll;
+
+    // M step.
+    for (size_t c = 0; c < options.k; ++c) {
+      double nc = 0.0;
+      for (size_t i = 0; i < n; ++i) nc += resp[i][c];
+      if (nc <= 0.0) continue;  // dead component: keep previous parameters
+      result.weights[c] = nc / static_cast<double>(n);
+      std::vector<double>& mean = result.means[c];
+      std::fill(mean.begin(), mean.end(), 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        std::span<const double> p = dataset.point(static_cast<PointId>(i));
+        for (size_t d = 0; d < dim; ++d) mean[d] += resp[i][c] * p[d];
+      }
+      for (size_t d = 0; d < dim; ++d) mean[d] /= nc;
+      std::vector<double>& var = result.variances[c];
+      std::fill(var.begin(), var.end(), 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        std::span<const double> p = dataset.point(static_cast<PointId>(i));
+        for (size_t d = 0; d < dim; ++d) {
+          double diff = p[d] - mean[d];
+          var[d] += resp[i][c] * diff * diff;
+        }
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        var[d] = std::max(options.min_variance, var[d] / nc);
+      }
+    }
+
+    if (iter > 0 && ll - prev_ll < options.convergence_tol) break;
+    prev_ll = ll;
+  }
+
+  // Hard assignment by maximum responsibility.
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.assignment[i] = static_cast<int>(
+        std::max_element(resp[i].begin(), resp[i].end()) - resp[i].begin());
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ddp

@@ -1,0 +1,45 @@
+#ifndef DDP_BASELINES_EM_GMM_H_
+#define DDP_BASELINES_EM_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file em_gmm.h
+/// Expectation-Maximization for a diagonal-covariance Gaussian mixture
+/// (Table III's distribution-based comparator). Deterministic given the
+/// seed; initialized from K-means++ means with unit variances.
+
+namespace ddp {
+namespace baselines {
+
+struct EmGmmOptions {
+  size_t k = 8;
+  size_t max_iterations = 100;
+  /// Stop when mean log-likelihood improves by less than this.
+  double convergence_tol = 1e-7;
+  /// Variance floor to keep components from collapsing onto a point.
+  double min_variance = 1e-6;
+  uint64_t seed = 9;
+};
+
+struct EmGmmResult {
+  std::vector<std::vector<double>> means;      // k x dim
+  std::vector<std::vector<double>> variances;  // k x dim (diagonal)
+  std::vector<double> weights;                 // k, sums to 1
+  std::vector<int> assignment;                 // argmax responsibility
+  double log_likelihood = 0.0;                 // mean per point
+  size_t iterations = 0;
+};
+
+Result<EmGmmResult> RunEmGmm(const Dataset& dataset,
+                             const EmGmmOptions& options,
+                             const CountingMetric& metric);
+
+}  // namespace baselines
+}  // namespace ddp
+
+#endif  // DDP_BASELINES_EM_GMM_H_

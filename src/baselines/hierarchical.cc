@@ -1,0 +1,103 @@
+#include "baselines/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ddp {
+namespace baselines {
+
+Result<HierarchicalResult> RunHierarchical(const Dataset& dataset,
+                                           const HierarchicalOptions& options,
+                                           const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (options.num_clusters == 0 || options.num_clusters > n) {
+    return Status::InvalidArgument("num_clusters must be in [1, N]");
+  }
+  if (n > options.max_points) {
+    return Status::InvalidArgument(
+        "dataset exceeds the hierarchical clustering size cap");
+  }
+
+  // Full distance matrix between active clusters (initially singletons).
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = metric.Distance(dataset.point(static_cast<PointId>(i)),
+                                 dataset.point(static_cast<PointId>(j)));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<size_t> cluster_size(n, 1);
+  // Union-find style parent chain so points can be traced to a surviving
+  // cluster representative at the end.
+  std::vector<size_t> merged_into(n);
+  std::iota(merged_into.begin(), merged_into.end(), 0);
+
+  size_t active_count = n;
+  while (active_count > options.num_clusters) {
+    // Locate the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist[i * n + j] < best) {
+          best = dist[i * n + j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bj into bi; Lance-Williams update of bi's distances.
+    const double si = static_cast<double>(cluster_size[bi]);
+    const double sj = static_cast<double>(cluster_size[bj]);
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double dik = dist[bi * n + k];
+      double djk = dist[bj * n + k];
+      double merged;
+      switch (options.linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dik, djk);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dik, djk);
+          break;
+        case Linkage::kAverage:
+          merged = (si * dik + sj * djk) / (si + sj);
+          break;
+      }
+      dist[bi * n + k] = merged;
+      dist[k * n + bi] = merged;
+    }
+    active[bj] = false;
+    merged_into[bj] = bi;
+    cluster_size[bi] += cluster_size[bj];
+    --active_count;
+  }
+
+  // Compress chains and densify cluster labels.
+  auto find_root = [&](size_t i) {
+    while (merged_into[i] != i) i = merged_into[i];
+    return i;
+  };
+  HierarchicalResult result;
+  result.assignment.assign(n, -1);
+  std::vector<int> label_of_root(n, -1);
+  int next_label = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find_root(i);
+    if (label_of_root[root] < 0) label_of_root[root] = next_label++;
+    result.assignment[i] = label_of_root[root];
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ddp

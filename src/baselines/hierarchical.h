@@ -1,0 +1,40 @@
+#ifndef DDP_BASELINES_HIERARCHICAL_H_
+#define DDP_BASELINES_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file hierarchical.h
+/// Agglomerative hierarchical clustering (Table III's connectivity-based
+/// comparator) with single / complete / average linkage via Lance-Williams
+/// updates on an explicit O(N^2) distance matrix. Intended for the small
+/// shaped data sets of Fig. 8; datasets above `max_points` are rejected to
+/// avoid accidental multi-GB allocations.
+
+namespace ddp {
+namespace baselines {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+struct HierarchicalOptions {
+  size_t num_clusters = 2;
+  Linkage linkage = Linkage::kSingle;
+  /// Safety cap on the O(N^2) matrix.
+  size_t max_points = 10000;
+};
+
+struct HierarchicalResult {
+  std::vector<int> assignment;
+};
+
+Result<HierarchicalResult> RunHierarchical(const Dataset& dataset,
+                                           const HierarchicalOptions& options,
+                                           const CountingMetric& metric);
+
+}  // namespace baselines
+}  // namespace ddp
+
+#endif  // DDP_BASELINES_HIERARCHICAL_H_

@@ -1,0 +1,134 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+
+namespace ddp {
+namespace baselines {
+
+namespace {
+
+// K-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> KmeansPlusPlusInit(
+    const Dataset& dataset, size_t k, Rng* rng, const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  {
+    std::span<const double> p =
+        dataset.point(static_cast<PointId>(rng->UniformInt(n)));
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = metric.SquaredDistance(dataset.point(static_cast<PointId>(i)),
+                                        centroids.back());
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double u = rng->Uniform() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += d2[i];
+        if (acc >= u) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(n);  // all points coincide with centroids
+    }
+    std::span<const double> p = dataset.point(static_cast<PointId>(chosen));
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  return centroids;
+}
+
+std::vector<std::vector<double>> UniformInit(const Dataset& dataset, size_t k,
+                                             Rng* rng) {
+  std::vector<size_t> ids = SampleWithoutReplacement(dataset.size(), k, rng);
+  std::vector<std::vector<double>> centroids(k);
+  for (size_t c = 0; c < k; ++c) {
+    std::span<const double> p = dataset.point(static_cast<PointId>(ids[c]));
+    centroids[c].assign(p.begin(), p.end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KmeansResult> RunKmeans(const Dataset& dataset,
+                               const KmeansOptions& options,
+                               const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds point count");
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  KmeansResult result;
+  result.centroids = options.use_kmeans_plus_plus
+                         ? KmeansPlusPlusInit(dataset, options.k, &rng, metric)
+                         : UniformInit(dataset, options.k, &rng);
+  result.assignment.assign(n, -1);
+
+  const size_t dim = dataset.dim();
+  std::vector<std::vector<double>> sums(options.k,
+                                        std::vector<double>(dim, 0.0));
+  std::vector<size_t> counts(options.k, 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    result.inertia = 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+      std::span<const double> p = dataset.point(static_cast<PointId>(i));
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < options.k; ++c) {
+        double d = metric.SquaredDistance(p, result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best;
+      result.inertia += best_d;
+      for (size_t d = 0; d < dim; ++d) sums[best][d] += p[d];
+      ++counts[best];
+    }
+
+    double max_move_sq = 0.0;
+    for (size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      double move_sq = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        double next = sums[c][d] / static_cast<double>(counts[c]);
+        double diff = next - result.centroids[c][d];
+        move_sq += diff * diff;
+        result.centroids[c][d] = next;
+      }
+      max_move_sq = std::max(max_move_sq, move_sq);
+    }
+    if (options.convergence_tol > 0.0 &&
+        max_move_sq < options.convergence_tol) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ddp

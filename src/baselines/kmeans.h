@@ -1,0 +1,42 @@
+#ifndef DDP_BASELINES_KMEANS_H_
+#define DDP_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file kmeans.h
+/// Sequential Lloyd's K-means (Table III's centroid-based comparator), with
+/// optional K-means++ seeding. Deterministic given the seed.
+
+namespace ddp {
+namespace baselines {
+
+struct KmeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 100;
+  /// Stop when every centroid moves less than sqrt(tol); 0 disables.
+  double convergence_tol = 1e-12;
+  bool use_kmeans_plus_plus = true;
+  uint64_t seed = 5;
+};
+
+struct KmeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<int> assignment;
+  size_t iterations = 0;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+};
+
+Result<KmeansResult> RunKmeans(const Dataset& dataset,
+                               const KmeansOptions& options,
+                               const CountingMetric& metric);
+
+}  // namespace baselines
+}  // namespace ddp
+
+#endif  // DDP_BASELINES_KMEANS_H_

@@ -1,0 +1,92 @@
+#include "baselines/mean_shift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddp {
+namespace baselines {
+
+Result<MeanShiftResult> RunMeanShift(const Dataset& dataset,
+                                     const MeanShiftOptions& options,
+                                     const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (!(options.bandwidth > 0.0)) {
+    return Status::InvalidArgument("bandwidth must be > 0");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (n > options.max_points) {
+    return Status::InvalidArgument("dataset exceeds the mean-shift size cap");
+  }
+
+  // Current positions: start at the points themselves.
+  std::vector<std::vector<double>> pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const double> p = dataset.point(static_cast<PointId>(i));
+    pos[i].assign(p.begin(), p.end());
+  }
+
+  std::vector<bool> converged(n, false);
+  std::vector<double> mean(dim);
+  const double tol_sq = options.tolerance * options.tolerance;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool any_moved = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (converged[i]) continue;
+      std::fill(mean.begin(), mean.end(), 0.0);
+      size_t count = 0;
+      for (size_t j = 0; j < n; ++j) {
+        // Window over the ORIGINAL points (standard blurring-free variant).
+        std::span<const double> q = dataset.point(static_cast<PointId>(j));
+        if (metric.Distance(pos[i], q) <= options.bandwidth) {
+          for (size_t d = 0; d < dim; ++d) mean[d] += q[d];
+          ++count;
+        }
+      }
+      if (count == 0) {  // isolated point: its own mode
+        converged[i] = true;
+        continue;
+      }
+      double shift_sq = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        double next = mean[d] / static_cast<double>(count);
+        double diff = next - pos[i][d];
+        shift_sq += diff * diff;
+        pos[i][d] = next;
+      }
+      if (shift_sq < tol_sq) {
+        converged[i] = true;
+      } else {
+        any_moved = true;
+      }
+    }
+    if (!any_moved) break;
+  }
+
+  // Merge converged positions within bandwidth/2 into modes.
+  MeanShiftResult result;
+  result.assignment.assign(n, -1);
+  const double merge_radius = options.bandwidth / 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    int found = -1;
+    for (size_t m = 0; m < result.modes.size(); ++m) {
+      if (metric.Distance(pos[i], result.modes[m]) <= merge_radius) {
+        found = static_cast<int>(m);
+        break;
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int>(result.modes.size());
+      result.modes.push_back(pos[i]);
+    }
+    result.assignment[i] = found;
+  }
+  result.num_clusters = result.modes.size();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ddp

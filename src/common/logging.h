@@ -1,0 +1,67 @@
+#ifndef DDP_COMMON_LOGGING_H_
+#define DDP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging to stderr plus CHECK macros. The log level is a
+/// process-wide setting (default kInfo); benchmarks raise it to kWarning to
+/// keep output clean.
+
+namespace ddp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ddp
+
+#define DDP_LOG(level)                                                  \
+  ::ddp::internal::LogMessage(::ddp::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Always-on invariant check (kept in release builds).
+#define DDP_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  DDP_LOG(Fatal) << "Check failed: " #cond " "
+
+#define DDP_CHECK_EQ(a, b) DDP_CHECK((a) == (b))
+#define DDP_CHECK_NE(a, b) DDP_CHECK((a) != (b))
+#define DDP_CHECK_LT(a, b) DDP_CHECK((a) < (b))
+#define DDP_CHECK_LE(a, b) DDP_CHECK((a) <= (b))
+#define DDP_CHECK_GT(a, b) DDP_CHECK((a) > (b))
+#define DDP_CHECK_GE(a, b) DDP_CHECK((a) >= (b))
+
+#endif  // DDP_COMMON_LOGGING_H_

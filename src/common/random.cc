@@ -1,0 +1,28 @@
+#include "common/random.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ddp {
+
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k, Rng* rng) {
+  DDP_CHECK_LE(k, n);
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<size_t> out;
+  out.reserve(k);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; if taken, use j.
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = rng->UniformInt(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace ddp

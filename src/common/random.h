@@ -1,0 +1,75 @@
+#ifndef DDP_COMMON_RANDOM_H_
+#define DDP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file random.h
+/// Deterministic random sources. Every randomized component in the library
+/// (data generators, LSH function draws, K-means initialization, sampling)
+/// takes an explicit seed so runs are reproducible; `SplitSeed` derives
+/// decorrelated child seeds for parallel tasks.
+
+namespace ddp {
+
+/// SplitMix64 step; used both as a simple PRNG and as a seed mixer.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the `index`-th child seed of `seed` (stable across platforms).
+inline uint64_t SplitSeed(uint64_t seed, uint64_t index) {
+  uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return SplitMix64(&s);
+}
+
+/// Convenience wrapper around std::mt19937_64 with typed draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n) — n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// A d-dimensional standard gaussian vector (p-stable projection vector).
+  std::vector<double> GaussianVector(size_t d) {
+    std::vector<double> v(d);
+    for (double& x : v) x = Gaussian();
+    return v;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/// Floyd's algorithm: k distinct indices sampled uniformly from [0, n).
+/// Returned in unspecified order. Requires k <= n.
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k, Rng* rng);
+
+}  // namespace ddp
+
+#endif  // DDP_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef DDP_COMMON_RESULT_H_
+#define DDP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+/// \file result.h
+/// `Result<T>` holds either a value of type T or a non-OK Status.
+
+namespace ddp {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::...;`). Constructing from an OK status is a programming
+  /// error and is converted to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (this->status().ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or aborts with the status message. For examples.
+  T ValueOrDie() && {
+    status().Abort("Result::ValueOrDie");
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define DDP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define DDP_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DDP_ASSIGN_OR_RETURN_NAME(a, b) DDP_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define DDP_ASSIGN_OR_RETURN(lhs, expr) \
+  DDP_ASSIGN_OR_RETURN_IMPL(            \
+      DDP_ASSIGN_OR_RETURN_NAME(_ddp_result_, __LINE__), lhs, expr)
+
+}  // namespace ddp
+
+#endif  // DDP_COMMON_RESULT_H_

@@ -1,0 +1,6 @@
+#include "common/serde.h"
+
+// serde.h is header-only aside from this translation unit, which exists so
+// that the build catches any missing includes in the header itself.
+
+namespace ddp {}  // namespace ddp

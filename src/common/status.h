@@ -1,0 +1,136 @@
+#ifndef DDP_COMMON_STATUS_H_
+#define DDP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// Arrow/RocksDB-style error model: `Status` for fallible void operations and
+/// `Result<T>` (see result.h) for fallible value-returning operations. The
+/// library does not throw exceptions on hot paths; constructing an error
+/// Status allocates, but the OK path is a single null pointer.
+
+namespace ddp {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCancelled = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code plus message.
+///
+/// Cheap to move and to test for OK (null state pointer == OK). Copyable so
+/// that statuses can be stored and re-reported.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use in examples
+  /// and benchmarks where failure is unrecoverable.
+  void Abort(std::string_view context = {}) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Evaluates `expr`; returns the resulting Status from the enclosing function
+/// if it is not OK.
+#define DDP_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::ddp::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace ddp
+
+#endif  // DDP_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef DDP_COMMON_STOPWATCH_H_
+#define DDP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// Monotonic wall-clock timer used for job phase accounting.
+
+namespace ddp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_COMMON_STOPWATCH_H_

@@ -1,0 +1,58 @@
+#ifndef DDP_COMMON_THREAD_POOL_H_
+#define DDP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// Fixed-size worker pool used by the MapReduce executor to run map and
+/// reduce tasks. Tasks are void() closures; `ParallelFor` provides the
+/// common index-sharded pattern and blocks until all shards finish.
+
+namespace ddp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs body(i) for each i in [0, n), distributing indices over the pool,
+  /// and blocks until done. Reentrant calls are not supported.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Default parallelism for the process: hardware_concurrency, at least 1.
+size_t DefaultParallelism();
+
+}  // namespace ddp
+
+#endif  // DDP_COMMON_THREAD_POOL_H_

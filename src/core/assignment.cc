@@ -1,0 +1,64 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+namespace ddp {
+
+Result<ClusterResult> AssignClusters(const Dataset& dataset,
+                                     const DpScores& scores,
+                                     std::span<const PointId> peaks,
+                                     const CountingMetric& metric) {
+  const size_t n = scores.size();
+  if (n != dataset.size()) {
+    return Status::InvalidArgument("scores/dataset size mismatch");
+  }
+  if (peaks.empty()) return Status::InvalidArgument("no peaks selected");
+  std::unordered_set<PointId> seen;
+  for (PointId p : peaks) {
+    if (p >= n) return Status::OutOfRange("peak id out of range");
+    if (!seen.insert(p).second) {
+      return Status::InvalidArgument("duplicate peak id");
+    }
+  }
+
+  ClusterResult result;
+  result.peaks.assign(peaks.begin(), peaks.end());
+  result.assignment.assign(n, -1);
+  for (size_t c = 0; c < peaks.size(); ++c) {
+    result.assignment[peaks[c]] = static_cast<int>(c);
+  }
+
+  // Visit points in the density total order: each point's upslope is denser,
+  // hence already visited, so one pass resolves every chain.
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return DenserThan(scores.rho[a], a, scores.rho[b], b);
+  });
+
+  for (PointId i : order) {
+    if (result.assignment[i] >= 0) continue;  // a peak
+    PointId up = scores.upslope[i];
+    if (up != kInvalidPointId && result.assignment[up] >= 0) {
+      result.assignment[i] = result.assignment[up];
+      continue;
+    }
+    // No usable upslope (an unselected LSH local peak): nearest chosen peak.
+    double best = std::numeric_limits<double>::infinity();
+    int best_cluster = -1;
+    for (size_t c = 0; c < peaks.size(); ++c) {
+      double d = metric.Distance(dataset.point(i), dataset.point(peaks[c]));
+      if (d < best) {
+        best = d;
+        best_cluster = static_cast<int>(c);
+      }
+    }
+    result.assignment[i] = best_cluster;
+  }
+  return result;
+}
+
+}  // namespace ddp

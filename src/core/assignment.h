@@ -1,0 +1,30 @@
+#ifndef DDP_CORE_ASSIGNMENT_H_
+#define DDP_CORE_ASSIGNMENT_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/dp_types.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file assignment.h
+/// The final centralized step (Sec. III Step 3): given chosen peaks, assign
+/// every point to the cluster of its upslope chain (Fig. 1d). With
+/// approximate scores some points may have no upslope (LSH local peaks that
+/// were not selected); those fall back to the cluster of their nearest peak,
+/// which requires the dataset and one distance per unresolved point.
+
+namespace ddp {
+
+/// Assigns every point by following upslope pointers from the given peaks.
+/// Peaks get cluster ids 0..k-1 in `peaks` order. Errors on empty `peaks`,
+/// duplicate peak ids, or ids out of range.
+Result<ClusterResult> AssignClusters(const Dataset& dataset,
+                                     const DpScores& scores,
+                                     std::span<const PointId> peaks,
+                                     const CountingMetric& metric);
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_ASSIGNMENT_H_

@@ -1,0 +1,61 @@
+#include "core/cutoff.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ddp {
+
+Result<double> ChooseCutoff(const Dataset& dataset,
+                            const CountingMetric& metric,
+                            const CutoffOptions& options) {
+  const size_t n = dataset.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 points");
+  if (!(options.percentile > 0.0) || !(options.percentile < 1.0)) {
+    return Status::InvalidArgument("percentile must be in (0, 1)");
+  }
+  if (options.sample_pairs == 0) {
+    return Status::InvalidArgument("sample_pairs must be > 0");
+  }
+  const uint64_t max_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const size_t samples = static_cast<size_t>(
+      std::min<uint64_t>(options.sample_pairs, max_pairs));
+
+  Rng rng(options.seed);
+  std::vector<double> distances;
+  distances.reserve(samples);
+  if (samples == max_pairs) {
+    // Small data set: use the exact pairwise distance multiset.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        distances.push_back(metric.Distance(dataset.point(static_cast<PointId>(i)),
+                                            dataset.point(static_cast<PointId>(j))));
+      }
+    }
+  } else {
+    while (distances.size() < samples) {
+      PointId i = static_cast<PointId>(rng.UniformInt(n));
+      PointId j = static_cast<PointId>(rng.UniformInt(n));
+      if (i == j) continue;
+      distances.push_back(metric.Distance(dataset.point(i), dataset.point(j)));
+    }
+  }
+  size_t pos = static_cast<size_t>(options.percentile *
+                                   static_cast<double>(distances.size()));
+  pos = std::min(pos, distances.size() - 1);
+  std::nth_element(distances.begin(), distances.begin() + pos, distances.end());
+  double dc = distances[pos];
+  if (!(dc > 0.0)) {
+    // Degenerate (many duplicate points): fall back to the smallest positive
+    // sampled distance, or error when all points coincide.
+    std::sort(distances.begin(), distances.end());
+    for (double d : distances) {
+      if (d > 0.0) return d;
+    }
+    return Status::OutOfRange("all sampled distances are zero");
+  }
+  return dc;
+}
+
+}  // namespace ddp

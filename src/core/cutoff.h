@@ -1,0 +1,39 @@
+#ifndef DDP_CORE_CUTOFF_H_
+#define DDP_CORE_CUTOFF_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file cutoff.h
+/// Cutoff distance (d_c) selection — the preprocessing step of Sec. III-A.
+/// As in the original DP paper, d_c is chosen so that the average neighbor
+/// count is ~1-2% of N: the `percentile` position of the ascending pairwise
+/// distance multiset. Computing all N(N-1)/2 distances is avoided by
+/// sampling random pairs (the paper's preprocessing MapReduce job samples
+/// and sends pairs to a single reducer; ddp::DistributedDriver wires this
+/// same routine as that job).
+
+namespace ddp {
+
+struct CutoffOptions {
+  /// Percentile of the ascending pairwise distance distribution (paper uses
+  /// 1%-2%; default 2% matching Sec. VI-B).
+  double percentile = 0.02;
+  /// Number of random pairs to sample; clamped to the number of available
+  /// distinct pairs for small data sets.
+  size_t sample_pairs = 100000;
+  uint64_t seed = 42;
+};
+
+/// The sampled d_c estimate. Errors on datasets with < 2 points or a
+/// percentile outside (0, 1).
+Result<double> ChooseCutoff(const Dataset& dataset,
+                            const CountingMetric& metric,
+                            const CutoffOptions& options = {});
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_CUTOFF_H_

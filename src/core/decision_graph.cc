@@ -1,0 +1,99 @@
+#include "core/decision_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+namespace ddp {
+
+DecisionGraph DecisionGraph::FromScores(const DpScores& scores) {
+  DecisionGraph graph;
+  const size_t n = scores.size();
+  graph.rho_.resize(n);
+  graph.delta_.resize(n);
+  double max_finite = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    graph.rho_[i] = static_cast<double>(scores.rho[i]);
+    if (std::isfinite(scores.delta[i])) {
+      max_finite = std::max(max_finite, scores.delta[i]);
+    }
+  }
+  if (max_finite <= 0.0) max_finite = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    graph.delta_[i] =
+        std::isfinite(scores.delta[i]) ? scores.delta[i] : max_finite;
+  }
+  graph.max_finite_delta_ = max_finite;
+  return graph;
+}
+
+std::vector<PointId> DecisionGraph::SelectByThreshold(double rho_min,
+                                                      double delta_min) const {
+  std::vector<PointId> peaks;
+  for (size_t i = 0; i < size(); ++i) {
+    if (rho_[i] > rho_min && delta_[i] > delta_min) {
+      peaks.push_back(static_cast<PointId>(i));
+    }
+  }
+  return peaks;
+}
+
+std::vector<PointId> DecisionGraph::SelectTopK(size_t k) const {
+  std::vector<PointId> ids(size());
+  std::iota(ids.begin(), ids.end(), 0);
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](PointId a, PointId b) {
+                      double ga = gamma(a), gb = gamma(b);
+                      if (ga != gb) return ga > gb;
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+std::vector<PointId> DecisionGraph::SelectByGammaGap(size_t max_peaks) const {
+  if (size() == 0) return {};
+  max_peaks = std::max<size_t>(1, std::min(max_peaks, size()));
+  // Candidates: the top max_peaks+1 gammas (we need one value past the cut).
+  std::vector<PointId> top = SelectTopK(std::min(size(), max_peaks + 1));
+  if (top.size() == 1) return top;
+  // Find the largest multiplicative gap gamma[r] / gamma[r+1]; the peak set
+  // is everything before the gap. Skip zero gammas.
+  size_t best_cut = 1;
+  double best_ratio = 0.0;
+  for (size_t r = 0; r + 1 < top.size(); ++r) {
+    double hi = gamma(top[r]);
+    double lo = gamma(top[r + 1]);
+    if (lo <= 0.0) {
+      // Everything after is zero; cutting here separates all mass.
+      if (hi > 0.0 && best_ratio < std::numeric_limits<double>::infinity()) {
+        best_cut = r + 1;
+        best_ratio = std::numeric_limits<double>::infinity();
+      }
+      break;
+    }
+    double ratio = hi / lo;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_cut = r + 1;
+    }
+  }
+  top.resize(std::min(best_cut, max_peaks));
+  return top;
+}
+
+std::string DecisionGraph::ToTsv() const {
+  std::string out = "id\trho\tdelta\tgamma\n";
+  char buf[128];
+  for (size_t i = 0; i < size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%zu\t%.17g\t%.17g\t%.17g\n", i, rho_[i],
+                  delta_[i], gamma(static_cast<PointId>(i)));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ddp

@@ -1,0 +1,57 @@
+#ifndef DDP_CORE_DECISION_GRAPH_H_
+#define DDP_CORE_DECISION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dp_types.h"
+
+/// \file decision_graph.h
+/// The (rho, delta) decision graph (Fig. 1c / Fig. 7) and peak selectors.
+/// Infinite delta values (absolute peaks, plus LSH-DDP local peaks per
+/// Sec. IV-C) are rectified to the maximum finite delta when the graph is
+/// built, "before drawing them on the decision graph" as the paper puts it.
+
+namespace ddp {
+
+class DecisionGraph {
+ public:
+  /// Builds the graph from scores; rectifies +inf delta to max finite delta
+  /// (or 1.0 when every delta is infinite, e.g. a single-point dataset).
+  static DecisionGraph FromScores(const DpScores& scores);
+
+  size_t size() const { return rho_.size(); }
+  const std::vector<double>& rho() const { return rho_; }
+  const std::vector<double>& delta() const { return delta_; }
+  double max_finite_delta() const { return max_finite_delta_; }
+
+  /// gamma_i = rho_i * delta_i, the standard single-score peak criterion.
+  double gamma(PointId i) const { return rho_[i] * delta_[i]; }
+
+  /// Points with rho > rho_min and delta > delta_min (the paper's Fig. 7
+  /// selection "rho > 14 and delta > 40").
+  std::vector<PointId> SelectByThreshold(double rho_min,
+                                         double delta_min) const;
+
+  /// The k points with the largest gamma (ties by lower id first).
+  std::vector<PointId> SelectTopK(size_t k) const;
+
+  /// Automatic selection: sorts gamma descending and cuts at the largest
+  /// multiplicative gap between consecutive values within the first
+  /// `max_peaks` candidates. Deterministic; at least one peak is returned
+  /// for a non-empty graph.
+  std::vector<PointId> SelectByGammaGap(size_t max_peaks = 32) const;
+
+  /// Tab-separated "id\trho\tdelta\tgamma" rows for external plotting.
+  std::string ToTsv() const;
+
+ private:
+  std::vector<double> rho_;
+  std::vector<double> delta_;
+  double max_finite_delta_ = 0.0;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_DECISION_GRAPH_H_

@@ -1,0 +1,35 @@
+#include "core/dp_types.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace ddp {
+
+std::string ClusterResult::Summary() const {
+  std::unordered_map<int, size_t> sizes;
+  size_t unassigned = 0;
+  for (int c : assignment) {
+    if (c < 0) {
+      ++unassigned;
+    } else {
+      ++sizes[c];
+    }
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu clusters over %zu points",
+                peaks.size(), assignment.size());
+  std::string out = buf;
+  for (size_t c = 0; c < peaks.size(); ++c) {
+    std::snprintf(buf, sizeof(buf), "; c%zu=%zu", c,
+                  sizes.count(static_cast<int>(c)) ? sizes[static_cast<int>(c)]
+                                                   : 0);
+    out += buf;
+  }
+  if (unassigned > 0) {
+    std::snprintf(buf, sizeof(buf), "; unassigned=%zu", unassigned);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ddp

@@ -1,0 +1,62 @@
+#ifndef DDP_CORE_DP_TYPES_H_
+#define DDP_CORE_DP_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+/// \file dp_types.h
+/// Result types shared by every DP implementation (sequential, Basic-DDP,
+/// LSH-DDP, EDDPC).
+///
+/// Density ordering. The paper defines delta_i over points with *higher*
+/// density. Because rho is an integer count, ties are common; to keep delta
+/// well-defined and guarantee a single absolute peak, the whole library uses
+/// one total order: point j is "denser" than point i iff
+///   rho_j > rho_i, or (rho_j == rho_i and j < i).
+/// Every implementation (exact and distributed) applies the same rule, so
+/// exact variants agree bit-for-bit and approximate variants are comparable.
+
+namespace ddp {
+
+/// Per-point DP quantities: the (rho, delta) pair plus the upslope point id.
+struct DpScores {
+  std::vector<uint32_t> rho;
+  /// delta_i; +infinity marks a point whose partition saw no denser point
+  /// (the absolute peak in exact computation; possibly several points in
+  /// LSH-DDP — see Sec. IV-C). Rectified only when building a DecisionGraph.
+  std::vector<double> delta;
+  /// Upslope point u_i (nearest denser point); kInvalidPointId when none.
+  std::vector<PointId> upslope;
+
+  size_t size() const { return rho.size(); }
+
+  void Resize(size_t n) {
+    rho.assign(n, 0);
+    delta.assign(n, std::numeric_limits<double>::infinity());
+    upslope.assign(n, kInvalidPointId);
+  }
+};
+
+/// Returns true iff point j precedes point i in the density total order
+/// ("j is denser than i").
+inline bool DenserThan(uint32_t rho_j, PointId j, uint32_t rho_i, PointId i) {
+  return rho_j > rho_i || (rho_j == rho_i && j < i);
+}
+
+/// A completed clustering: cluster id per point (-1 = unassigned) plus the
+/// chosen density peaks (cluster c's center is peaks[c]).
+struct ClusterResult {
+  std::vector<int> assignment;
+  std::vector<PointId> peaks;
+
+  size_t num_clusters() const { return peaks.size(); }
+  std::string Summary() const;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_DP_TYPES_H_

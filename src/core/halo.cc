@@ -1,0 +1,56 @@
+#include "core/halo.h"
+
+#include <algorithm>
+
+namespace ddp {
+
+Result<HaloResult> ComputeHalo(const Dataset& dataset, const DpScores& scores,
+                               const ClusterResult& clusters, double dc,
+                               const CountingMetric& metric) {
+  const size_t n = dataset.size();
+  if (scores.size() != n || clusters.assignment.size() != n) {
+    return Status::InvalidArgument("scores/clusters/dataset size mismatch");
+  }
+  if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
+  if (clusters.peaks.empty()) {
+    return Status::InvalidArgument("clustering has no clusters");
+  }
+
+  HaloResult result;
+  result.border_density.assign(clusters.num_clusters(), 0.0);
+  result.halo.assign(n, false);
+
+  // Border density: for each cross-cluster pair within d_c, both clusters'
+  // borders see the average density of the pair.
+  for (size_t i = 0; i < n; ++i) {
+    int ci = clusters.assignment[i];
+    std::span<const double> pi = dataset.point(static_cast<PointId>(i));
+    for (size_t j = i + 1; j < n; ++j) {
+      int cj = clusters.assignment[j];
+      if (ci == cj) continue;
+      double d = metric.Distance(pi, dataset.point(static_cast<PointId>(j)));
+      if (d >= dc) continue;
+      double avg = 0.5 * (static_cast<double>(scores.rho[i]) +
+                          static_cast<double>(scores.rho[j]));
+      if (ci >= 0) {
+        result.border_density[ci] = std::max(result.border_density[ci], avg);
+      }
+      if (cj >= 0) {
+        result.border_density[cj] = std::max(result.border_density[cj], avg);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    int c = clusters.assignment[i];
+    if (c < 0) {
+      result.halo[i] = true;
+      continue;
+    }
+    result.halo[i] =
+        static_cast<double>(scores.rho[i]) < result.border_density[c];
+  }
+  return result;
+}
+
+}  // namespace ddp

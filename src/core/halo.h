@@ -1,0 +1,41 @@
+#ifndef DDP_CORE_HALO_H_
+#define DDP_CORE_HALO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/dp_types.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file halo.h
+/// Cluster halo detection from the original DP paper (Rodriguez & Laio):
+/// after assignment, each cluster gets a border density
+///
+///   rho_b(c) = max over points i in c that have a neighbor j of another
+///              cluster with d_ij < d_c of (rho_i + rho_j) / 2
+///
+/// and every point of c with rho below rho_b(c) is flagged as halo (possible
+/// noise). The ICDE paper omits halos for brevity; they are cheap to add on
+/// top of any (exact or approximate) scores and complete the original
+/// algorithm's output.
+
+namespace ddp {
+
+struct HaloResult {
+  /// halo[i] is true when point i is in its cluster's halo region.
+  std::vector<bool> halo;
+  /// Border density per cluster (0 for clusters with no foreign neighbors).
+  std::vector<double> border_density;
+};
+
+/// Computes halo flags for a completed clustering. O(N^2) distance work
+/// (counted through `metric`), independent of which algorithm produced the
+/// scores. Unassigned points (cluster -1) are always halo.
+Result<HaloResult> ComputeHalo(const Dataset& dataset, const DpScores& scores,
+                               const ClusterResult& clusters, double dc,
+                               const CountingMetric& metric);
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_HALO_H_

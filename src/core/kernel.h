@@ -1,0 +1,51 @@
+#ifndef DDP_CORE_KERNEL_H_
+#define DDP_CORE_KERNEL_H_
+
+#include <cmath>
+#include <cstdint>
+
+/// \file kernel.h
+/// Density kernels for the rho computation. The ICDE paper uses the original
+/// cutoff kernel chi(d - d_c); many DP follow-ups (which the paper's Sec. VII
+/// says the solution can support) use a gaussian kernel
+///
+///   rho_i = sum_j exp(-(d_ij / d_c)^2)
+///
+/// which removes integer ties. To keep every distributed code path (integer
+/// rho in records, max-aggregation, the density total order) unchanged,
+/// gaussian densities are quantized to fixed point with kDensityQuantScale
+/// fractional steps. Contributions beyond 3 * d_c (< 1.24e-4 each) are
+/// truncated BY DEFINITION, so filtered and unfiltered computations agree
+/// exactly and locality-based algorithms stay comparable.
+
+namespace ddp {
+
+enum class DensityKernel {
+  kCutoff,    // rho = |{j : d_ij < d_c}| (paper Eq. (1))
+  kGaussian,  // rho = round(QuantScale * sum_j exp(-(d_ij/d_c)^2)), d <= 3 d_c
+};
+
+/// Fixed-point resolution of quantized gaussian densities.
+inline constexpr double kDensityQuantScale = 256.0;
+
+/// Truncation radius of the gaussian kernel, as a multiple of d_c.
+inline constexpr double kGaussianKernelCut = 3.0;
+
+/// One pair's contribution to a gaussian-kernel density (unquantized).
+inline double GaussianKernelContribution(double d, double dc) {
+  if (d >= kGaussianKernelCut * dc) return 0.0;
+  double r = d / dc;
+  return std::exp(-r * r);
+}
+
+/// Quantizes an accumulated gaussian density to the shared uint32 domain.
+inline uint32_t QuantizeDensity(double rho) {
+  double q = rho * kDensityQuantScale + 0.5;
+  if (q >= 4294967295.0) return 4294967295u;
+  if (q < 0.0) return 0;
+  return static_cast<uint32_t>(q);
+}
+
+}  // namespace ddp
+
+#endif  // DDP_CORE_KERNEL_H_

@@ -1,0 +1,84 @@
+#include "dataset/binary_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/serde.h"
+
+namespace ddp {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'D', 'P', 'B'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string SerializeDataset(const Dataset& dataset) {
+  BufferWriter w;
+  w.PutRaw(kMagic, sizeof(kMagic));
+  w.PutVarint32(kVersion);
+  w.PutVarint64(dataset.dim());
+  w.PutVarint64(dataset.size());
+  w.PutByte(dataset.has_labels() ? 1 : 0);
+  w.PutRaw(dataset.values().data(), dataset.values().size() * sizeof(double));
+  if (dataset.has_labels()) {
+    for (int label : dataset.labels()) w.PutSignedVarint64(label);
+  }
+  return w.Release();
+}
+
+Result<Dataset> DeserializeDataset(const std::string& bytes) {
+  BufferReader r(bytes);
+  char magic[4];
+  DDP_RETURN_NOT_OK(r.GetRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a DDPB dataset (bad magic)");
+  }
+  uint32_t version;
+  DDP_RETURN_NOT_OK(r.GetVarint32(&version));
+  if (version != kVersion) {
+    return Status::IoError("unsupported DDPB version " +
+                           std::to_string(version));
+  }
+  uint64_t dim, n;
+  DDP_RETURN_NOT_OK(r.GetVarint64(&dim));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&n));
+  if (dim == 0) return Status::IoError("zero dimension");
+  uint8_t labeled;
+  DDP_RETURN_NOT_OK(r.GetByte(&labeled));
+  if (r.remaining() < n * dim * sizeof(double)) {
+    return Status::IoError("truncated value block");
+  }
+  std::vector<double> values(n * dim);
+  DDP_RETURN_NOT_OK(r.GetRaw(values.data(), values.size() * sizeof(double)));
+  DDP_ASSIGN_OR_RETURN(Dataset ds, Dataset::FromValues(dim, std::move(values)));
+  if (labeled != 0) {
+    std::vector<int> labels(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t v;
+      DDP_RETURN_NOT_OK(r.GetSignedVarint64(&v));
+      labels[i] = static_cast<int>(v);
+    }
+    ds.set_labels(std::move(labels));
+  }
+  if (!r.exhausted()) return Status::IoError("trailing bytes after dataset");
+  return ds;
+}
+
+Status WriteBinaryFile(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::string bytes = SerializeDataset(dataset);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeDataset(buf.str());
+}
+
+}  // namespace ddp

@@ -1,0 +1,34 @@
+#ifndef DDP_DATASET_BINARY_IO_H_
+#define DDP_DATASET_BINARY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+/// \file binary_io.h
+/// Compact binary dataset format for large point sets where CSV parsing
+/// dominates load time. Layout (little endian):
+///
+///   magic   "DDPB" (4 bytes)
+///   version u32 varint (currently 1)
+///   dim     u64 varint
+///   n       u64 varint
+///   labeled u8 (0 / 1)
+///   values  n * dim raw doubles
+///   labels  n zig-zag varints (present iff labeled)
+
+namespace ddp {
+
+/// Serializes a dataset into the binary format.
+std::string SerializeDataset(const Dataset& dataset);
+
+/// Parses the binary format; validates magic, version, and sizes.
+Result<Dataset> DeserializeDataset(const std::string& bytes);
+
+Status WriteBinaryFile(const std::string& path, const Dataset& dataset);
+Result<Dataset> ReadBinaryFile(const std::string& path);
+
+}  // namespace ddp
+
+#endif  // DDP_DATASET_BINARY_IO_H_

@@ -1,0 +1,33 @@
+#ifndef DDP_DATASET_CSV_H_
+#define DDP_DATASET_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+/// \file csv.h
+/// Plain-text point IO. Each line is one point: numeric coordinates separated
+/// by commas, spaces, or tabs. Blank lines and lines starting with '#' are
+/// skipped.
+
+namespace ddp {
+
+struct CsvOptions {
+  /// If true, the last column of every row is an integer ground-truth label.
+  bool last_column_is_label = false;
+};
+
+/// Parses `text` into a Dataset. All rows must have the same width.
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// Reads and parses a file.
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// Writes a dataset (labels appended as a last column when present).
+Status WriteCsvFile(const std::string& path, const Dataset& dataset);
+
+}  // namespace ddp
+
+#endif  // DDP_DATASET_CSV_H_

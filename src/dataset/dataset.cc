@@ -1,0 +1,62 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ddp {
+
+Result<Dataset> Dataset::FromValues(size_t dim, std::vector<double> values) {
+  if (dim == 0) return Status::InvalidArgument("dimension must be >= 1");
+  if (values.size() % dim != 0) {
+    return Status::InvalidArgument("value count not a multiple of dimension");
+  }
+  Dataset ds(dim);
+  ds.values_ = std::move(values);
+  return ds;
+}
+
+PointId Dataset::Add(std::span<const double> coords) {
+  DDP_CHECK_EQ(coords.size(), dim_);
+  DDP_CHECK(labels_.empty());  // use the labeled overload consistently
+  values_.insert(values_.end(), coords.begin(), coords.end());
+  return static_cast<PointId>(size() - 1);
+}
+
+PointId Dataset::Add(std::span<const double> coords, int label) {
+  DDP_CHECK_EQ(coords.size(), dim_);
+  DDP_CHECK(labels_.size() == size());  // labeled datasets stay labeled
+  values_.insert(values_.end(), coords.begin(), coords.end());
+  labels_.push_back(label);
+  return static_cast<PointId>(size() - 1);
+}
+
+Status Dataset::BoundingBox(std::vector<double>* lo,
+                            std::vector<double>* hi) const {
+  if (empty()) return Status::InvalidArgument("empty dataset");
+  lo->assign(dim_, std::numeric_limits<double>::infinity());
+  hi->assign(dim_, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < size(); ++i) {
+    std::span<const double> p = point(static_cast<PointId>(i));
+    for (size_t d = 0; d < dim_; ++d) {
+      (*lo)[d] = std::min((*lo)[d], p[d]);
+      (*hi)[d] = std::max((*hi)[d], p[d]);
+    }
+  }
+  return Status::OK();
+}
+
+Dataset Dataset::Subset(std::span<const PointId> ids) const {
+  Dataset out(dim_);
+  out.values_.reserve(ids.size() * dim_);
+  if (has_labels()) out.labels_.reserve(ids.size());
+  for (PointId id : ids) {
+    std::span<const double> p = point(id);
+    out.values_.insert(out.values_.end(), p.begin(), p.end());
+    if (has_labels()) out.labels_.push_back(labels_[id]);
+  }
+  return out;
+}
+
+}  // namespace ddp

@@ -1,0 +1,82 @@
+#ifndef DDP_DATASET_DATASET_H_
+#define DDP_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file dataset.h
+/// In-memory point collection. Points are dense row-major doubles; a point is
+/// addressed by its index (the "point id" of the paper). An optional integer
+/// label per point carries ground-truth cluster assignments for quality
+/// evaluation; label -1 means "unlabeled / noise".
+
+namespace ddp {
+
+/// Point id type used throughout the library (Table I: `i`, `j`).
+using PointId = uint32_t;
+
+/// Sentinel for "no point" (e.g. the absolute density peak has no upslope).
+inline constexpr PointId kInvalidPointId = static_cast<PointId>(-1);
+
+class Dataset {
+ public:
+  /// Creates an empty dataset of the given dimensionality (must be >= 1).
+  explicit Dataset(size_t dim) : dim_(dim) {}
+
+  /// Creates a dataset adopting `values` (size must be a multiple of dim).
+  static Result<Dataset> FromValues(size_t dim, std::vector<double> values);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : values_.size() / dim_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Coordinates of point `i`.
+  std::span<const double> point(PointId i) const {
+    return {values_.data() + static_cast<size_t>(i) * dim_, dim_};
+  }
+
+  std::span<double> mutable_point(PointId i) {
+    return {values_.data() + static_cast<size_t>(i) * dim_, dim_};
+  }
+
+  /// Appends a point; returns its id. `coords.size()` must equal dim().
+  PointId Add(std::span<const double> coords);
+
+  /// Appends a point with a ground-truth label.
+  PointId Add(std::span<const double> coords, int label);
+
+  void Reserve(size_t n) {
+    values_.reserve(n * dim_);
+    if (!labels_.empty()) labels_.reserve(n);
+  }
+
+  /// Ground-truth labels; empty when the dataset is unlabeled.
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<int>& labels() const { return labels_; }
+  int label(PointId i) const { return labels_.empty() ? -1 : labels_[i]; }
+  void set_labels(std::vector<int> labels) { labels_ = std::move(labels); }
+
+  /// Raw row-major storage (size() * dim() doubles).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Per-coordinate bounding box; both vectors have dim() entries.
+  /// Returns InvalidArgument for an empty dataset.
+  Status BoundingBox(std::vector<double>* lo, std::vector<double>* hi) const;
+
+  /// A dataset restricted to the given point ids (labels carried over).
+  Dataset Subset(std::span<const PointId> ids) const;
+
+ private:
+  size_t dim_;
+  std::vector<double> values_;
+  std::vector<int> labels_;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_DATASET_DATASET_H_

@@ -1,0 +1,6 @@
+#include "dataset/distance.h"
+
+// distance.h is header-only; this translation unit exists so the build
+// verifies the header is self-contained.
+
+namespace ddp {}  // namespace ddp

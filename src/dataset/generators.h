@@ -1,0 +1,95 @@
+#ifndef DDP_DATASET_GENERATORS_H_
+#define DDP_DATASET_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+/// \file generators.h
+/// Deterministic synthetic stand-ins for the paper's evaluation data sets
+/// (Table II). The real sets are not redistributable here, so each generator
+/// reproduces the property of its counterpart that matters for DP / LSH-DDP
+/// behaviour: cardinality shape, dimensionality, and cluster/density
+/// structure. Default sizes are scaled down so benchmarks run on one machine;
+/// every generator accepts an explicit `n` to scale up.
+///
+/// | Paper set     | N (paper)  | d   | Structure mimicked                   |
+/// |---------------|------------|-----|--------------------------------------|
+/// | Aggregation   | 788        | 2   | 7 irregular clusters, some touching  |
+/// | S2            | 5,000      | 2   | 15 overlapping Gaussian blobs        |
+/// | Facial        | 27,936     | 300 | high-dim, low intrinsic dimension    |
+/// | KDD           | 145,751    | 74  | skewed cluster sizes, heavy tails    |
+/// | 3Dspatial     | 434,874    | 4   | points along road-network polylines  |
+/// | BigCross500K  | 500,000    | 57  | cross-product cluster structure      |
+/// | BigCross      | 11,620,300 | 57  | same, larger                         |
+
+namespace ddp {
+namespace gen {
+
+/// Generic isotropic Gaussian mixture with equal-weight components.
+/// Centers are drawn uniformly in [0, box]^dim; `spread` is the component
+/// standard deviation. Labels are component ids.
+Result<Dataset> GaussianMixture(size_t n, size_t dim, size_t num_clusters,
+                                double box, double spread, uint64_t seed);
+
+/// Aggregation-like: 7 clusters in 2-D including elongated and crescent
+/// shapes that defeat centroid methods (Fig. 8). Ground-truth labeled.
+/// `n` defaults to the paper's 788.
+Result<Dataset> AggregationLike(uint64_t seed, size_t n = 788);
+
+/// Spiral-like: 3 intertwined spiral arms (the classic Chang & Yeung shape
+/// set; one of the paper's "7 other shaped data sets"). Defeats every
+/// centroid/distribution method; connectivity/density methods shine.
+Result<Dataset> SpiralLike(uint64_t seed, size_t n = 312);
+
+/// Flame-like: two touching irregular shapes (Fu & Medico), one a flattened
+/// arc under a round blob. `n` defaults to the original's 240.
+Result<Dataset> FlameLike(uint64_t seed, size_t n = 240);
+
+/// R15-like: 15 tight gaussian clusters, 8 arranged in a ring around a
+/// center group of 7 (Veenman et al.). `n` defaults to the original's 600.
+Result<Dataset> R15Like(uint64_t seed, size_t n = 600);
+
+/// S2-like: 15 Gaussian clusters in 2-D with moderate overlap, coordinates
+/// roughly in [0, 1e6] like the original S-sets. Ground-truth labeled.
+Result<Dataset> S2Like(uint64_t seed, size_t n = 5000);
+
+/// Facial-like: 300-dimensional points that live near a low-dimensional
+/// (10-d) random linear subspace plus small ambient noise, grouped into
+/// clusters; mimics pose/expression manifolds in the Facial set.
+Result<Dataset> FacialLike(uint64_t seed, size_t n = 4000);
+
+/// KDD-like: 74-dimensional mixture with power-law cluster sizes and
+/// per-cluster anisotropic scales; mimics the protein-structure KDD Cup set.
+Result<Dataset> KddLike(uint64_t seed, size_t n = 8000);
+
+/// 3Dspatial-like: 4-dimensional points sampled along smooth random
+/// polylines (road segments) with jitter; density concentrates along curves.
+Result<Dataset> SpatialLike(uint64_t seed, size_t n = 12000);
+
+/// BigCross-like: 57-dimensional cross-product structure — the original
+/// BigCross is the Cartesian product of the Tower (3-d) and Covertype (54-d)
+/// sets; we sample each factor from its own mixture and concatenate, which
+/// yields the product-of-clusters density landscape. Ground-truth labels are
+/// the product cluster ids.
+Result<Dataset> BigCrossLike(uint64_t seed, size_t n = 20000);
+
+/// Descriptor used by benchmarks to iterate "the four real data sets" of
+/// Fig. 10 plus the rest of Table II at configurable scale.
+struct NamedDataset {
+  const char* name;
+  size_t default_n;  // scaled-down default used by benches
+  size_t paper_n;    // cardinality of the paper's real data set (Table II)
+  size_t dim;
+  Result<Dataset> (*make)(uint64_t seed, size_t n);
+};
+
+/// Fig. 10's four data sets: Facial, KDD, 3Dspatial, BigCross500K.
+std::vector<NamedDataset> PerformanceSuite();
+
+}  // namespace gen
+}  // namespace ddp
+
+#endif  // DDP_DATASET_GENERATORS_H_

@@ -1,0 +1,131 @@
+#include "dataset/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ddp {
+
+Result<KdTree> KdTree::Build(const Dataset& dataset, size_t leaf_size) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (leaf_size == 0) return Status::InvalidArgument("leaf_size must be >= 1");
+  KdTree tree(&dataset);
+  tree.ids_.resize(dataset.size());
+  std::iota(tree.ids_.begin(), tree.ids_.end(), 0);
+  tree.nodes_.reserve(2 * dataset.size() / leaf_size + 2);
+  tree.root_ = tree.BuildNode(0, static_cast<uint32_t>(dataset.size()),
+                              leaf_size);
+  return tree;
+}
+
+int32_t KdTree::BuildNode(uint32_t begin, uint32_t end, size_t leaf_size) {
+  const size_t dim = dataset_->dim();
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  // Bounding box of the id range.
+  node.lo.assign(dim, std::numeric_limits<double>::infinity());
+  node.hi.assign(dim, -std::numeric_limits<double>::infinity());
+  for (uint32_t k = begin; k < end; ++k) {
+    std::span<const double> p = dataset_->point(ids_[k]);
+    for (size_t d = 0; d < dim; ++d) {
+      node.lo[d] = std::min(node.lo[d], p[d]);
+      node.hi[d] = std::max(node.hi[d], p[d]);
+    }
+  }
+  if (end - begin <= leaf_size) {
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  // Split the widest dimension at the median.
+  uint32_t split_dim = 0;
+  double widest = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double extent = node.hi[d] - node.lo[d];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = static_cast<uint32_t>(d);
+    }
+  }
+  uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](PointId a, PointId b) {
+                     return dataset_->point(a)[split_dim] <
+                            dataset_->point(b)[split_dim];
+                   });
+  // Degenerate spread (all coordinates equal): keep as a leaf.
+  if (widest <= 0.0) {
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  node.split_dim = split_dim;
+  node.split_value = dataset_->point(ids_[mid])[split_dim];
+  int32_t left = BuildNode(begin, mid, leaf_size);
+  int32_t right = BuildNode(mid, end, leaf_size);
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+double KdTree::MinSquaredDistanceToBox(std::span<const double> query,
+                                       const Node& node) {
+  double s = 0.0;
+  for (size_t d = 0; d < query.size(); ++d) {
+    double v = query[d];
+    if (v < node.lo[d]) {
+      double diff = node.lo[d] - v;
+      s += diff * diff;
+    } else if (v > node.hi[d]) {
+      double diff = v - node.hi[d];
+      s += diff * diff;
+    }
+  }
+  return s;
+}
+
+template <typename Visitor>
+void KdTree::Visit(std::span<const double> query, double radius,
+                   PointId exclude, const CountingMetric& metric,
+                   const Visitor& visit) const {
+  const double radius_sq = radius * radius;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (MinSquaredDistanceToBox(query, node) >= radius_sq) continue;
+    if (node.is_leaf()) {
+      for (uint32_t k = node.begin; k < node.end; ++k) {
+        PointId id = ids_[k];
+        if (id == exclude) continue;
+        // Compare in distance space (not squared) so boundary rounding
+        // agrees exactly with the pairwise-scan code paths.
+        if (metric.Distance(query, dataset_->point(id)) < radius) {
+          visit(id);
+        }
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+}
+
+size_t KdTree::CountWithin(std::span<const double> query, double radius,
+                           PointId exclude,
+                           const CountingMetric& metric) const {
+  size_t count = 0;
+  Visit(query, radius, exclude, metric, [&](PointId) { ++count; });
+  return count;
+}
+
+std::vector<PointId> KdTree::FindWithin(std::span<const double> query,
+                                        double radius, PointId exclude,
+                                        const CountingMetric& metric) const {
+  std::vector<PointId> out;
+  Visit(query, radius, exclude, metric, [&](PointId id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace ddp

@@ -1,0 +1,79 @@
+#ifndef DDP_DATASET_KDTREE_H_
+#define DDP_DATASET_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file kdtree.h
+/// A k-d tree over a Dataset for range counting/search — the "recent
+/// technology in KNN search" style accelerator the paper's Sec. II-A/III-B
+/// mentions for the sequential building blocks. Effective for low to
+/// moderate dimensionality (the 3Dspatial regime); for 300-d Facial-style
+/// data it degrades to a linear scan, as expected of space-partitioning
+/// trees.
+///
+/// The tree stores point ids and splits on the widest dimension at the
+/// median; leaves hold up to `leaf_size` points. Query results are exact.
+
+namespace ddp {
+
+class KdTree {
+ public:
+  /// Builds a tree over all points of `dataset`. The dataset must outlive
+  /// the tree. `leaf_size` >= 1.
+  static Result<KdTree> Build(const Dataset& dataset, size_t leaf_size = 16);
+
+  /// Number of points with d(query, p) < radius, excluding `exclude`
+  /// (pass kInvalidPointId to count all). This is exactly the rho kernel.
+  size_t CountWithin(std::span<const double> query, double radius,
+                     PointId exclude, const CountingMetric& metric) const;
+
+  /// Ids with d(query, p) < radius (excluding `exclude`), unsorted.
+  std::vector<PointId> FindWithin(std::span<const double> query, double radius,
+                                  PointId exclude,
+                                  const CountingMetric& metric) const;
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  struct Node {
+    // Internal: split dimension + threshold; children indices.
+    // Leaf: [begin, end) range into ids_.
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t split_dim = 0;
+    double split_value = 0.0;
+    // Bounding box of the subtree, for pruning.
+    std::vector<double> lo;
+    std::vector<double> hi;
+
+    bool is_leaf() const { return left < 0; }
+  };
+
+  explicit KdTree(const Dataset* dataset) : dataset_(dataset) {}
+
+  int32_t BuildNode(uint32_t begin, uint32_t end, size_t leaf_size);
+
+  // Minimum squared distance from query to the node's bounding box.
+  static double MinSquaredDistanceToBox(std::span<const double> query,
+                                        const Node& node);
+
+  template <typename Visitor>
+  void Visit(std::span<const double> query, double radius, PointId exclude,
+             const CountingMetric& metric, const Visitor& visit) const;
+
+  const Dataset* dataset_;
+  std::vector<PointId> ids_;   // permuted point ids; leaves own subranges
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_DATASET_KDTREE_H_

@@ -1,0 +1,270 @@
+#include "ddp/basic_ddp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dp_types.h"
+#include "ddp/records.h"
+
+namespace ddp {
+
+namespace {
+
+// A point in flight tagged with its source block.
+struct BlockedPoint {
+  uint32_t block = 0;
+  ddprec::ScoredPointRecord point;  // rho unused (0) in the rho job
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(block);
+    point.SerializeTo(w);
+  }
+  static Status DeserializeFrom(BufferReader* r, BlockedPoint* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->block));
+    return ddprec::ScoredPointRecord::DeserializeFrom(r, &out->point);
+  }
+  bool operator==(const BlockedPoint&) const = default;
+};
+
+uint32_t BlockOf(PointId id, uint32_t num_blocks) { return id % num_blocks; }
+
+// Reducers this block must be shuffled to under the circular scheme.
+void TargetsOf(uint32_t block, uint32_t num_blocks, std::vector<uint32_t>* out) {
+  out->clear();
+  uint32_t h = num_blocks / 2;
+  for (uint32_t t = 0; t <= h; ++t) {
+    out->push_back((block + t) % num_blocks);
+  }
+}
+
+// Groups reducer input by source block, preserving arrival order.
+std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> GroupByBlock(
+    std::span<const BlockedPoint> values) {
+  std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> blocks;
+  for (const BlockedPoint& v : values) blocks[v.block].push_back(&v);
+  return blocks;
+}
+
+}  // namespace
+
+uint32_t BasicDdp::MeetingReducer(uint32_t a, uint32_t b, uint32_t n) {
+  if (a == b) return a;
+  uint32_t diff = (b + n - a) % n;
+  uint32_t rdiff = n - diff;
+  if (diff < rdiff) return b;
+  if (rdiff < diff) return a;
+  return std::max(a, b);  // even n, antipodal blocks: pick one deterministically
+}
+
+Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
+                                         const CountingMetric& metric,
+                                         const mr::Options& mr_options,
+                                         mr::RunStats* stats) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
+  if (params_.block_size == 0) {
+    return Status::InvalidArgument("block_size must be > 0");
+  }
+  const size_t n_points = dataset.size();
+  const uint32_t num_blocks = static_cast<uint32_t>(
+      (n_points + params_.block_size - 1) / params_.block_size);
+
+  std::vector<PointId> input(n_points);
+  std::iota(input.begin(), input.end(), 0);
+
+  // ---- Job 1: rho partials. Map routes each point to its block's meeting
+  // reducers; each reducer computes the distances of the block pairs it owns
+  // and accumulates per-point neighbor counts.
+  using RhoPartial = std::pair<PointId, uint32_t>;
+  mr::JobSpec<PointId, uint32_t, BlockedPoint, RhoPartial> rho_job;
+  rho_job.name = "basic-rho-local";
+  rho_job.map = [&dataset, num_blocks](const PointId& id,
+                                       mr::Emitter<uint32_t, BlockedPoint>* out) {
+    std::span<const double> p = dataset.point(id);
+    BlockedPoint rec;
+    rec.block = BlockOf(id, num_blocks);
+    rec.point = {id, 0, {p.begin(), p.end()}};
+    std::vector<uint32_t> targets;
+    TargetsOf(rec.block, num_blocks, &targets);
+    for (uint32_t r : targets) out->Emit(r, rec);
+  };
+  rho_job.reduce = [dc, num_blocks, &metric](
+                       const uint32_t& reducer,
+                       std::span<const BlockedPoint> values,
+                       std::vector<RhoPartial>* out) {
+    auto blocks = GroupByBlock(values);
+    std::unordered_map<PointId, uint32_t> rho;
+    auto process_pair = [&](const std::vector<const BlockedPoint*>& left,
+                            const std::vector<const BlockedPoint*>& right,
+                            bool diagonal) {
+      for (size_t i = 0; i < left.size(); ++i) {
+        size_t j_begin = diagonal ? i + 1 : 0;
+        for (size_t j = j_begin; j < right.size(); ++j) {
+          double d = metric.Distance(left[i]->point.coords,
+                                     right[j]->point.coords);
+          if (d < dc) {
+            ++rho[left[i]->point.id];
+            ++rho[right[j]->point.id];
+          }
+        }
+      }
+    };
+    // All block pairs owned by this reducer.
+    std::vector<uint32_t> present;
+    present.reserve(blocks.size());
+    for (const auto& [b, pts] : blocks) present.push_back(b);
+    std::sort(present.begin(), present.end());
+    for (size_t x = 0; x < present.size(); ++x) {
+      for (size_t y = x; y < present.size(); ++y) {
+        uint32_t a = present[x], b = present[y];
+        if (MeetingReducer(a, b, num_blocks) != reducer) continue;
+        process_pair(blocks[a], blocks[b], /*diagonal=*/a == b);
+      }
+    }
+    // Every received point gets a partial so that rho=0 points still appear.
+    for (const BlockedPoint& v : values) {
+      auto it = rho.find(v.point.id);
+      out->push_back({v.point.id, it == rho.end() ? 0 : it->second});
+    }
+  };
+  mr::JobCounters counters;
+  DDP_ASSIGN_OR_RETURN(std::vector<RhoPartial> partials,
+                       mr::RunJob(rho_job, std::span<const PointId>(input),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 2: rho = sum of partials (with a sum combiner).
+  mr::JobSpec<RhoPartial, PointId, uint32_t, RhoPartial> rho_agg;
+  rho_agg.name = "basic-rho-aggregate";
+  rho_agg.map = [](const RhoPartial& in, mr::Emitter<PointId, uint32_t>* out) {
+    out->Emit(in.first, in.second);
+  };
+  rho_agg.combiner = [](const PointId&, std::vector<uint32_t> values) {
+    uint32_t sum = 0;
+    for (uint32_t v : values) sum += v;
+    return std::vector<uint32_t>{sum};
+  };
+  rho_agg.reduce = [](const PointId& id, std::span<const uint32_t> values,
+                      std::vector<RhoPartial>* out) {
+    uint32_t sum = 0;
+    for (uint32_t v : values) sum += v;
+    out->push_back({id, sum});
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<RhoPartial> rho_final,
+                       mr::RunJob(rho_agg, std::span<const RhoPartial>(partials),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+  partials.clear();
+  partials.shrink_to_fit();
+
+  std::vector<uint32_t> rho(n_points, 0);
+  for (const RhoPartial& p : rho_final) rho[p.first] = p.second;
+
+  // ---- Job 3: delta candidates. Same routing; values carry rho.
+  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
+  mr::JobSpec<PointId, uint32_t, BlockedPoint, DeltaOut> delta_job;
+  delta_job.name = "basic-delta-local";
+  delta_job.map = [&dataset, &rho, num_blocks](
+                      const PointId& id,
+                      mr::Emitter<uint32_t, BlockedPoint>* out) {
+    std::span<const double> p = dataset.point(id);
+    BlockedPoint rec;
+    rec.block = BlockOf(id, num_blocks);
+    rec.point = {id, rho[id], {p.begin(), p.end()}};
+    std::vector<uint32_t> targets;
+    TargetsOf(rec.block, num_blocks, &targets);
+    for (uint32_t r : targets) out->Emit(r, rec);
+  };
+  delta_job.reduce = [num_blocks, &metric](
+                         const uint32_t& reducer,
+                         std::span<const BlockedPoint> values,
+                         std::vector<DeltaOut>* out) {
+    auto blocks = GroupByBlock(values);
+    std::unordered_map<PointId, ddprec::DeltaCandidate> best;
+    auto consider = [&](const BlockedPoint& i, const BlockedPoint& j,
+                        double d) {
+      // Update i's candidate if j is denser (and vice versa is handled by
+      // the symmetric call).
+      if (DenserThan(j.point.rho, j.point.id, i.point.rho, i.point.id)) {
+        ddprec::DeltaCandidate cand{d, j.point.id};
+        auto [it, inserted] = best.try_emplace(i.point.id, cand);
+        if (!inserted && cand.BetterThan(it->second)) it->second = cand;
+      }
+    };
+    auto process_pair = [&](const std::vector<const BlockedPoint*>& left,
+                            const std::vector<const BlockedPoint*>& right,
+                            bool diagonal) {
+      for (size_t i = 0; i < left.size(); ++i) {
+        size_t j_begin = diagonal ? i + 1 : 0;
+        for (size_t j = j_begin; j < right.size(); ++j) {
+          double d = metric.Distance(left[i]->point.coords,
+                                     right[j]->point.coords);
+          consider(*left[i], *right[j], d);
+          consider(*right[j], *left[i], d);
+        }
+      }
+    };
+    std::vector<uint32_t> present;
+    present.reserve(blocks.size());
+    for (const auto& [b, pts] : blocks) present.push_back(b);
+    std::sort(present.begin(), present.end());
+    for (size_t x = 0; x < present.size(); ++x) {
+      for (size_t y = x; y < present.size(); ++y) {
+        uint32_t a = present[x], b = present[y];
+        if (MeetingReducer(a, b, num_blocks) != reducer) continue;
+        process_pair(blocks[a], blocks[b], /*diagonal=*/a == b);
+      }
+    }
+    for (const auto& [id, cand] : best) out->push_back({id, cand});
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> delta_partials,
+                       mr::RunJob(delta_job, std::span<const PointId>(input),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 4: delta = min of candidates (with a min combiner).
+  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> delta_agg;
+  delta_agg.name = "basic-delta-aggregate";
+  delta_agg.map = [](const DeltaOut& in,
+                     mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
+    out->Emit(in.first, in.second);
+  };
+  delta_agg.combiner = [](const PointId&,
+                          std::vector<ddprec::DeltaCandidate> values) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    return std::vector<ddprec::DeltaCandidate>{best};
+  };
+  delta_agg.reduce = [](const PointId& id,
+                        std::span<const ddprec::DeltaCandidate> values,
+                        std::vector<DeltaOut>* out) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    out->push_back({id, best});
+  };
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<DeltaOut> delta_final,
+      mr::RunJob(delta_agg, std::span<const DeltaOut>(delta_partials),
+                 mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  DpScores scores;
+  scores.Resize(n_points);
+  scores.rho = std::move(rho);
+  for (const DeltaOut& d : delta_final) {
+    scores.delta[d.first] = d.second.delta;
+    scores.upslope[d.first] = d.second.upslope;
+  }
+  // Points without candidates keep delta = +inf / invalid upslope: exactly
+  // the absolute density peak.
+  return scores;
+}
+
+}  // namespace ddp

@@ -1,0 +1,31 @@
+#ifndef DDP_DDP_DDP_H_
+#define DDP_DDP_DDP_H_
+
+/// \file ddp.h
+/// Umbrella header: everything needed for the common "load points, run a
+/// distributed DP variant, get clusters" flow. Fine-grained headers remain
+/// available for selective inclusion.
+
+#include "baselines/kmeans.h"          // IWYU pragma: export
+#include "core/assignment.h"           // IWYU pragma: export
+#include "core/cutoff.h"               // IWYU pragma: export
+#include "core/decision_graph.h"       // IWYU pragma: export
+#include "core/dp_types.h"             // IWYU pragma: export
+#include "core/halo.h"                 // IWYU pragma: export
+#include "core/sequential_dp.h"        // IWYU pragma: export
+#include "dataset/binary_io.h"         // IWYU pragma: export
+#include "dataset/csv.h"               // IWYU pragma: export
+#include "dataset/dataset.h"           // IWYU pragma: export
+#include "dataset/generators.h"        // IWYU pragma: export
+#include "ddp/basic_ddp.h"             // IWYU pragma: export
+#include "ddp/driver.h"                // IWYU pragma: export
+#include "ddp/eddpc.h"                 // IWYU pragma: export
+#include "ddp/lsh_ddp.h"               // IWYU pragma: export
+#include "ddp/mr_assignment.h"         // IWYU pragma: export
+#include "ddp/mr_kmeans.h"             // IWYU pragma: export
+#include "eval/internal_metrics.h"     // IWYU pragma: export
+#include "eval/metrics.h"              // IWYU pragma: export
+#include "eval/tau.h"                  // IWYU pragma: export
+#include "lsh/tuning.h"                // IWYU pragma: export
+
+#endif  // DDP_DDP_DDP_H_

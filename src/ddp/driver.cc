@@ -1,0 +1,161 @@
+#include "ddp/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ddp/mr_assignment.h"
+#include "ddp/records.h"
+
+namespace ddp {
+
+std::vector<PointId> PeakSelector::Select(const DecisionGraph& graph) const {
+  switch (mode) {
+    case Mode::kThreshold:
+      return graph.SelectByThreshold(rho_min, delta_min);
+    case Mode::kTopK:
+      return graph.SelectTopK(k);
+    case Mode::kGammaGap:
+      return graph.SelectByGammaGap(max_peaks);
+  }
+  return {};
+}
+
+Result<double> ChooseCutoffMapReduce(const Dataset& dataset,
+                                     const CountingMetric& metric,
+                                     const CutoffOptions& options,
+                                     const mr::Options& mr_options,
+                                     mr::RunStats* stats) {
+  const size_t n = dataset.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 points");
+  if (!(options.percentile > 0.0) || !(options.percentile < 1.0)) {
+    return Status::InvalidArgument("percentile must be in (0, 1)");
+  }
+  // Sample size s with s*(s-1)/2 ~= sample_pairs, capped at N.
+  size_t sample_size = static_cast<size_t>(
+      std::ceil(std::sqrt(2.0 * static_cast<double>(options.sample_pairs))));
+  sample_size = std::clamp<size_t>(sample_size, 2, n);
+  const double rate = static_cast<double>(sample_size) / static_cast<double>(n);
+  const uint64_t seed = options.seed;
+
+  // Map: sample each point independently, send to the single reducer (key 0).
+  // Reduce: all sampled pairwise distances, pick the percentile position.
+  std::vector<PointId> input(n);
+  std::iota(input.begin(), input.end(), 0);
+  mr::JobSpec<PointId, uint32_t, ddprec::PointRecord, double> spec;
+  spec.name = "choose-dc";
+  spec.map = [&dataset, rate, seed](const PointId& id,
+                                    mr::Emitter<uint32_t, ddprec::PointRecord>*
+                                        out) {
+    // Deterministic per-point coin flip.
+    uint64_t s = SplitSeed(seed, id);
+    double coin =
+        static_cast<double>(SplitMix64(&s) >> 11) * 0x1.0p-53;  // [0,1)
+    if (coin < rate) {
+      std::span<const double> p = dataset.point(id);
+      out->Emit(0, ddprec::PointRecord{id, {p.begin(), p.end()}});
+    }
+  };
+  double percentile = options.percentile;
+  spec.reduce = [&metric, percentile](
+                    const uint32_t&,
+                    std::span<const ddprec::PointRecord> points,
+                    std::vector<double>* out) {
+    std::vector<double> distances;
+    distances.reserve(points.size() * (points.size() - 1) / 2);
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        distances.push_back(
+            metric.Distance(points[i].coords, points[j].coords));
+      }
+    }
+    if (distances.empty()) return;
+    size_t pos = static_cast<size_t>(percentile *
+                                     static_cast<double>(distances.size()));
+    pos = std::min(pos, distances.size() - 1);
+    std::nth_element(distances.begin(), distances.begin() + pos,
+                     distances.end());
+    if (distances[pos] > 0.0) {
+      out->push_back(distances[pos]);
+      return;
+    }
+    // Degenerate sample: fall back to the smallest positive distance.
+    std::sort(distances.begin(), distances.end());
+    for (double d : distances) {
+      if (d > 0.0) {
+        out->push_back(d);
+        return;
+      }
+    }
+  };
+
+  mr::JobCounters counters;
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<double> result,
+      mr::RunJob(spec, std::span<const PointId>(input), mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+  if (result.empty()) {
+    return Status::OutOfRange(
+        "cutoff preprocessing sampled no usable distances");
+  }
+  return result[0];
+}
+
+Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
+                                      const Dataset& dataset,
+                                      const DdpOptions& options) {
+  if (algorithm == nullptr) {
+    return Status::InvalidArgument("algorithm is null");
+  }
+  if (dataset.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  Stopwatch total_timer;
+  DdpRunResult result;
+  DistanceCounter counter;
+  CountingMetric metric(&counter);
+
+  if (options.dc > 0.0) {
+    result.dc = options.dc;
+  } else {
+    DDP_ASSIGN_OR_RETURN(
+        result.dc, ChooseCutoffMapReduce(dataset, metric, options.cutoff,
+                                         options.mr, &result.stats));
+  }
+
+  DDP_ASSIGN_OR_RETURN(result.scores,
+                       algorithm->ComputeScores(dataset, result.dc, metric,
+                                                options.mr, &result.stats));
+
+  // Final step (Sec. III Step 3): decision graph, peaks, assignment —
+  // centralized by default, distributed pointer jumping on request.
+  DecisionGraph graph = DecisionGraph::FromScores(result.scores);
+  std::vector<PointId> peaks = options.selector.Select(graph);
+  if (peaks.empty()) {
+    return Status::OutOfRange("peak selector returned no peaks");
+  }
+  if (options.use_mr_assignment) {
+    DDP_ASSIGN_OR_RETURN(MrAssignmentResult assigned,
+                         AssignClustersMapReduce(result.scores, peaks,
+                                                 options.mr));
+    for (const mr::JobCounters& job : assigned.stats.jobs) {
+      result.stats.Add(job);
+    }
+    DDP_RETURN_NOT_OK(ResolveOrphansByNearestPeak(dataset, peaks, metric,
+                                                  &assigned.assignment));
+    result.clusters.assignment = std::move(assigned.assignment);
+    result.clusters.peaks.assign(peaks.begin(), peaks.end());
+  } else {
+    DDP_ASSIGN_OR_RETURN(result.clusters,
+                         AssignClusters(dataset, result.scores, peaks, metric));
+  }
+
+  result.distance_evaluations = counter.value();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ddp

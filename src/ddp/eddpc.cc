@@ -1,0 +1,365 @@
+#include "ddp/eddpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dp_types.h"
+#include "ddp/records.h"
+
+namespace ddp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Job 1 intermediate: a point routed to a Voronoi cell, either as one of the
+// cell's own ("home") points or as a replicated neighbor-support point.
+struct CellPoint {
+  uint8_t is_support = 0;
+  ddprec::PointRecord point;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutByte(is_support);
+    point.SerializeTo(w);
+  }
+  static Status DeserializeFrom(BufferReader* r, CellPoint* out) {
+    DDP_RETURN_NOT_OK(r->GetByte(&out->is_support));
+    return ddprec::PointRecord::DeserializeFrom(r, &out->point);
+  }
+  bool operator==(const CellPoint&) const = default;
+};
+
+// Job 3 intermediate: a cell member (comparison target) or a delta query.
+struct MemberOrQuery {
+  uint8_t is_query = 0;
+  PointId id = 0;
+  uint32_t rho = 0;
+  double delta_ub = 0.0;  // queries only
+  std::vector<double> coords;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutByte(is_query);
+    w->PutVarint32(id);
+    w->PutVarint32(rho);
+    if (is_query != 0) w->PutDouble(delta_ub);
+    w->PutVarint64(coords.size());
+    for (double c : coords) w->PutDouble(c);
+  }
+  static Status DeserializeFrom(BufferReader* r, MemberOrQuery* out) {
+    DDP_RETURN_NOT_OK(r->GetByte(&out->is_query));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
+    out->delta_ub = 0.0;
+    if (out->is_query != 0) DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub));
+    uint64_t n;
+    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
+    out->coords.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      DDP_RETURN_NOT_OK(r->GetDouble(&out->coords[i]));
+    }
+    return Status::OK();
+  }
+  bool operator==(const MemberOrQuery&) const = default;
+};
+
+// Per-point state threaded between jobs (plain driver-side data, never
+// shuffled).
+struct HomeInfo {
+  PointId id = 0;
+  uint32_t rho = 0;
+  uint32_t cell = 0;
+};
+
+struct BoundInfo {
+  PointId id = 0;
+  uint32_t rho = 0;
+  uint32_t cell = 0;
+  double delta_ub = kInf;
+  PointId upslope = kInvalidPointId;
+};
+
+// Job 2 output: either a per-point bound or per-cell statistics.
+struct BoundOrStats {
+  bool is_stats = false;
+  BoundInfo bound;          // when !is_stats
+  uint32_t cell = 0;        // when is_stats
+  double radius = 0.0;      // max distance member -> pivot
+  uint32_t max_rho = 0;     // densest member
+};
+
+}  // namespace
+
+Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
+                                      const CountingMetric& metric,
+                                      const mr::Options& mr_options,
+                                      mr::RunStats* stats) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
+  const size_t n_points = dataset.size();
+
+  // ---- Pivot sampling (centralized, as in EDDPC's preprocessing).
+  size_t num_pivots = params_.num_pivots;
+  if (num_pivots == 0) {
+    num_pivots = static_cast<size_t>(
+        2.0 * std::sqrt(static_cast<double>(n_points)));
+    num_pivots = std::clamp<size_t>(num_pivots, 4, 256);
+  }
+  num_pivots = std::min(num_pivots, n_points);
+  Rng rng(params_.seed);
+  std::vector<size_t> pivot_ids =
+      SampleWithoutReplacement(n_points, num_pivots, &rng);
+  std::sort(pivot_ids.begin(), pivot_ids.end());
+  std::vector<std::vector<double>> pivots(num_pivots);
+  for (size_t k = 0; k < num_pivots; ++k) {
+    std::span<const double> p =
+        dataset.point(static_cast<PointId>(pivot_ids[k]));
+    pivots[k].assign(p.begin(), p.end());
+  }
+  const uint32_t p_count = static_cast<uint32_t>(num_pivots);
+
+  // Distances from a point to every pivot; returns the home cell.
+  auto pivot_distances = [&](std::span<const double> p,
+                             std::vector<double>* dist) {
+    dist->resize(p_count);
+    uint32_t home = 0;
+    for (uint32_t k = 0; k < p_count; ++k) {
+      (*dist)[k] = metric.Distance(p, pivots[k]);
+      if ((*dist)[k] < (*dist)[home]) home = k;
+    }
+    return home;
+  };
+
+  std::vector<PointId> input(n_points);
+  std::iota(input.begin(), input.end(), 0);
+
+  // ---- Job 1: exact rho via home + 2*d_c support replication.
+  mr::JobSpec<PointId, uint32_t, CellPoint, HomeInfo> rho_job;
+  rho_job.name = "eddpc-rho";
+  rho_job.map = [&dataset, &pivot_distances, dc, p_count](
+                    const PointId& id, mr::Emitter<uint32_t, CellPoint>* out) {
+    std::span<const double> p = dataset.point(id);
+    std::vector<double> dist;
+    uint32_t home = pivot_distances(p, &dist);
+    CellPoint rec;
+    rec.point = {id, {p.begin(), p.end()}};
+    rec.is_support = 0;
+    out->Emit(home, rec);
+    rec.is_support = 1;
+    for (uint32_t k = 0; k < p_count; ++k) {
+      if (k != home && dist[k] <= dist[home] + 2.0 * dc) {
+        out->Emit(k, rec);
+      }
+    }
+  };
+  rho_job.reduce = [dc, &metric](const uint32_t& cell,
+                                 std::span<const CellPoint> values,
+                                 std::vector<HomeInfo>* out) {
+    std::vector<const CellPoint*> homes, supports;
+    for (const CellPoint& v : values) {
+      (v.is_support != 0 ? supports : homes).push_back(&v);
+    }
+    std::vector<uint32_t> rho(homes.size(), 0);
+    for (size_t i = 0; i < homes.size(); ++i) {
+      for (size_t j = i + 1; j < homes.size(); ++j) {
+        double d = metric.Distance(homes[i]->point.coords,
+                                   homes[j]->point.coords);
+        if (d < dc) {
+          ++rho[i];
+          ++rho[j];
+        }
+      }
+      for (const CellPoint* s : supports) {
+        double d = metric.Distance(homes[i]->point.coords, s->point.coords);
+        if (d < dc) ++rho[i];  // the support point is counted in its own cell
+      }
+    }
+    for (size_t i = 0; i < homes.size(); ++i) {
+      out->push_back({homes[i]->point.id, rho[i], cell});
+    }
+  };
+  mr::JobCounters counters;
+  DDP_ASSIGN_OR_RETURN(std::vector<HomeInfo> homes,
+                       mr::RunJob(rho_job, std::span<const PointId>(input),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 2: exact-within-cell delta upper bound + cell statistics.
+  mr::JobSpec<HomeInfo, uint32_t, ddprec::ScoredPointRecord, BoundOrStats>
+      bound_job;
+  bound_job.name = "eddpc-delta-bound";
+  bound_job.map = [&dataset](const HomeInfo& in,
+                             mr::Emitter<uint32_t, ddprec::ScoredPointRecord>*
+                                 out) {
+    std::span<const double> p = dataset.point(in.id);
+    out->Emit(in.cell, {in.id, in.rho, {p.begin(), p.end()}});
+  };
+  bound_job.reduce = [&pivots, &metric](
+                         const uint32_t& cell,
+                         std::span<const ddprec::ScoredPointRecord> members,
+                         std::vector<BoundOrStats>* out) {
+    // Density total order within the cell.
+    std::vector<size_t> order(members.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return DenserThan(members[a].rho, members[a].id, members[b].rho,
+                        members[b].id);
+    });
+    BoundOrStats cell_stats;
+    cell_stats.is_stats = true;
+    cell_stats.cell = cell;
+    for (size_t r = 0; r < order.size(); ++r) {
+      size_t k = order[r];
+      cell_stats.radius = std::max(
+          cell_stats.radius, metric.Distance(members[k].coords, pivots[cell]));
+      cell_stats.max_rho = std::max(cell_stats.max_rho, members[k].rho);
+      BoundOrStats rec;
+      rec.bound = {members[k].id, members[k].rho, cell, kInf, kInvalidPointId};
+      for (size_t s = 0; s < r; ++s) {
+        size_t l = order[s];
+        double d = metric.Distance(members[k].coords, members[l].coords);
+        if (d < rec.bound.delta_ub ||
+            (d == rec.bound.delta_ub && members[l].id < rec.bound.upslope)) {
+          rec.bound.delta_ub = d;
+          rec.bound.upslope = members[l].id;
+        }
+      }
+      out->push_back(rec);
+    }
+    out->push_back(cell_stats);
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<BoundOrStats> bounds_and_stats,
+                       mr::RunJob(bound_job, std::span<const HomeInfo>(homes),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+  homes.clear();
+  homes.shrink_to_fit();
+
+  std::vector<double> cell_radius(num_pivots, 0.0);
+  std::vector<uint32_t> cell_max_rho(num_pivots, 0);
+  std::vector<bool> cell_nonempty(num_pivots, false);
+  std::vector<BoundInfo> bounds;
+  bounds.reserve(n_points);
+  for (const BoundOrStats& b : bounds_and_stats) {
+    if (b.is_stats) {
+      cell_radius[b.cell] = b.radius;
+      cell_max_rho[b.cell] = b.max_rho;
+      cell_nonempty[b.cell] = true;
+    } else {
+      bounds.push_back(b.bound);
+    }
+  }
+  bounds_and_stats.clear();
+  bounds_and_stats.shrink_to_fit();
+
+  // ---- Job 3: cross-cell delta refinement with radius/max-rho filtering.
+  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
+  mr::JobSpec<BoundInfo, uint32_t, MemberOrQuery, DeltaOut> refine_job;
+  refine_job.name = "eddpc-delta-refine";
+  const bool use_max_rho_filter = params_.use_max_rho_filter;
+  refine_job.map = [&dataset, &pivot_distances, &cell_radius, &cell_max_rho,
+                    &cell_nonempty, p_count, use_max_rho_filter](
+                       const BoundInfo& in,
+                       mr::Emitter<uint32_t, MemberOrQuery>* out) {
+    std::span<const double> p = dataset.point(in.id);
+    MemberOrQuery rec;
+    rec.id = in.id;
+    rec.rho = in.rho;
+    rec.coords.assign(p.begin(), p.end());
+    rec.is_query = 0;
+    out->Emit(in.cell, rec);
+    rec.is_query = 1;
+    rec.delta_ub = in.delta_ub;
+    std::vector<double> dist;
+    (void)pivot_distances(p, &dist);
+    for (uint32_t k = 0; k < p_count; ++k) {
+      if (k == in.cell || !cell_nonempty[k]) continue;
+      // A denser point can exist in cell k only if its densest member
+      // reaches rho_i (ties resolved by id in the reducer). This filter is
+      // our extension over the published EDDPC; see Params.
+      if (use_max_rho_filter && cell_max_rho[k] < in.rho) continue;
+      // Lower bound on the distance from i to any member of cell k.
+      if (dist[k] - cell_radius[k] >= in.delta_ub) continue;
+      out->Emit(k, rec);
+    }
+  };
+  refine_job.reduce = [&metric](const uint32_t&,
+                                std::span<const MemberOrQuery> values,
+                                std::vector<DeltaOut>* out) {
+    std::vector<const MemberOrQuery*> members, queries;
+    for (const MemberOrQuery& v : values) {
+      (v.is_query != 0 ? queries : members).push_back(&v);
+    }
+    for (const MemberOrQuery* q : queries) {
+      double best = q->delta_ub;
+      PointId best_id = kInvalidPointId;
+      for (const MemberOrQuery* m : members) {
+        if (!DenserThan(m->rho, m->id, q->rho, q->id)) continue;
+        double d = metric.Distance(q->coords, m->coords);
+        if (d < best || (d == best && m->id < best_id)) {
+          best = d;
+          best_id = m->id;
+        }
+      }
+      if (best_id != kInvalidPointId) {
+        out->push_back({q->id, ddprec::DeltaCandidate{best, best_id}});
+      }
+    }
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> refinements,
+                       mr::RunJob(refine_job, std::span<const BoundInfo>(bounds),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 4: min-aggregate home bounds and refinement candidates.
+  std::vector<DeltaOut> candidates;
+  candidates.reserve(bounds.size() + refinements.size());
+  for (const BoundInfo& b : bounds) {
+    candidates.push_back({b.id, ddprec::DeltaCandidate{b.delta_ub, b.upslope}});
+  }
+  std::move(refinements.begin(), refinements.end(),
+            std::back_inserter(candidates));
+
+  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> agg_job;
+  agg_job.name = "eddpc-delta-aggregate";
+  agg_job.map = [](const DeltaOut& in,
+                   mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
+    out->Emit(in.first, in.second);
+  };
+  agg_job.combiner = [](const PointId&,
+                        std::vector<ddprec::DeltaCandidate> values) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    return std::vector<ddprec::DeltaCandidate>{best};
+  };
+  agg_job.reduce = [](const PointId& id,
+                      std::span<const ddprec::DeltaCandidate> values,
+                      std::vector<DeltaOut>* out) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    out->push_back({id, best});
+  };
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<DeltaOut> delta_final,
+      mr::RunJob(agg_job, std::span<const DeltaOut>(candidates), mr_options,
+                 &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  DpScores scores;
+  scores.Resize(n_points);
+  for (const BoundInfo& b : bounds) scores.rho[b.id] = b.rho;
+  for (const DeltaOut& d : delta_final) {
+    scores.delta[d.first] = d.second.delta;
+    scores.upslope[d.first] = d.second.upslope;
+  }
+  return scores;
+}
+
+}  // namespace ddp

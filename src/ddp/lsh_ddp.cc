@@ -1,0 +1,254 @@
+#include "ddp/lsh_ddp.h"
+
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/sequential_dp.h"
+#include "ddp/records.h"
+#include "lsh/partitioner.h"
+
+namespace ddp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// MapReduce key of one LSH bucket: (layout index m, bucket signature).
+using BucketMapKey = std::pair<uint32_t, lsh::BucketKey>;
+
+// Rebuilds a contiguous view of bucket members and runs a local kernel.
+// `Records` is PointRecord or ScoredPointRecord.
+template <typename Records>
+Dataset BucketDataset(std::span<const Records> members, size_t dim) {
+  Dataset local(dim);
+  local.Reserve(members.size());
+  for (const Records& m : members) local.Add(m.coords);
+  return local;
+}
+
+// Deterministically splits indices [0, n) into ceil(n/max) balanced
+// sub-groups keyed by member point id, for the skew-mitigation option.
+std::vector<std::vector<size_t>> SplitOversized(size_t n, size_t max_size,
+                                                auto id_of) {
+  std::vector<std::vector<size_t>> groups;
+  if (max_size == 0 || n <= max_size) {
+    groups.emplace_back(n);
+    std::iota(groups[0].begin(), groups[0].end(), 0);
+    return groups;
+  }
+  size_t num_groups = (n + max_size - 1) / max_size;
+  groups.resize(num_groups);
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t h = id_of(k) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    groups[h % num_groups].push_back(k);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
+                                       const CountingMetric& metric,
+                                       const mr::Options& mr_options,
+                                       mr::RunStats* stats) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
+
+  // Resolve the width from the accuracy target when not given (Sec. V).
+  lsh::LshParams lsh_params = params_.lsh;
+  if (lsh_params.width <= 0.0) {
+    DDP_ASSIGN_OR_RETURN(
+        lsh_params.width,
+        lsh::SolveMinimalWidth(params_.accuracy, lsh_params.num_layouts,
+                               lsh_params.pi, dc));
+  }
+  DDP_ASSIGN_OR_RETURN(
+      lsh::MultiLshPartitioner partitioner,
+      lsh::MultiLshPartitioner::Create(dataset.dim(), lsh_params.num_layouts,
+                                       lsh_params.pi, lsh_params.width,
+                                       params_.seed));
+  const uint32_t num_layouts = static_cast<uint32_t>(lsh_params.num_layouts);
+  const size_t n_points = dataset.size();
+  const size_t dim = dataset.dim();
+
+  std::vector<PointId> input(n_points);
+  std::iota(input.begin(), input.end(), 0);
+
+  // ---- Job 1 (Map1 + Reduce1): LSH partition + local rho_hat^m.
+  using RhoOut = std::pair<PointId, uint32_t>;
+  mr::JobSpec<PointId, BucketMapKey, ddprec::PointRecord, RhoOut> rho_job;
+  rho_job.name = "lsh-rho-local";
+  const size_t probes = params_.probes;
+  rho_job.map = [&dataset, &partitioner, num_layouts, probes](
+                    const PointId& id,
+                    mr::Emitter<BucketMapKey, ddprec::PointRecord>* out) {
+    std::span<const double> p = dataset.point(id);
+    ddprec::PointRecord rec{id, {p.begin(), p.end()}};
+    for (uint32_t m = 0; m < num_layouts; ++m) {
+      for (lsh::BucketKey& key :
+           partitioner.group(m).KeysWithProbes(p, probes)) {
+        out->Emit({m, std::move(key)}, rec);
+      }
+    }
+  };
+  const DensityKernel kernel = params_.kernel;
+  const size_t max_bucket = params_.max_bucket_size;
+  rho_job.reduce = [dc, dim, kernel, max_bucket, &metric](
+                       const BucketMapKey&,
+                       std::span<const ddprec::PointRecord> members,
+                       std::vector<RhoOut>* out) {
+    Dataset local = BucketDataset(members, dim);
+    auto groups = SplitOversized(members.size(), max_bucket,
+                                 [&](size_t k) { return members[k].id; });
+    for (const std::vector<size_t>& group : groups) {
+      std::vector<PointId> local_ids(group.begin(), group.end());
+      LocalDpResult local_rho =
+          ComputeLocalRho(local, local_ids, dc, metric, kernel);
+      for (size_t g = 0; g < group.size(); ++g) {
+        out->push_back({members[group[g]].id, local_rho.rho[g]});
+      }
+    }
+  };
+  mr::JobCounters counters;
+  DDP_ASSIGN_OR_RETURN(std::vector<RhoOut> rho_locals,
+                       mr::RunJob(rho_job, std::span<const PointId>(input),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 2 (Reduce2): rho_hat = max_m rho_hat^m.
+  mr::JobSpec<RhoOut, PointId, uint32_t, RhoOut> rho_agg;
+  rho_agg.name = "lsh-rho-aggregate";
+  rho_agg.map = [](const RhoOut& in, mr::Emitter<PointId, uint32_t>* out) {
+    out->Emit(in.first, in.second);
+  };
+  rho_agg.combiner = [](const PointId&, std::vector<uint32_t> values) {
+    uint32_t best = 0;
+    for (uint32_t v : values) best = std::max(best, v);
+    return std::vector<uint32_t>{best};
+  };
+  rho_agg.reduce = [](const PointId& id, std::span<const uint32_t> values,
+                      std::vector<RhoOut>* out) {
+    uint32_t best = 0;
+    for (uint32_t v : values) best = std::max(best, v);
+    out->push_back({id, best});
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<RhoOut> rho_final,
+                       mr::RunJob(rho_agg, std::span<const RhoOut>(rho_locals),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+  rho_locals.clear();
+  rho_locals.shrink_to_fit();
+
+  std::vector<uint32_t> rho_hat(n_points, 0);
+  for (const RhoOut& r : rho_final) rho_hat[r.first] = r.second;
+
+  // ---- Job 3 (Map3 + Reduce3): LSH partition + local delta_hat^m.
+  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
+  mr::JobSpec<PointId, BucketMapKey, ddprec::ScoredPointRecord, DeltaOut>
+      delta_job;
+  delta_job.name = "lsh-delta-local";
+  delta_job.map = [&dataset, &partitioner, &rho_hat, num_layouts, probes](
+                      const PointId& id,
+                      mr::Emitter<BucketMapKey, ddprec::ScoredPointRecord>*
+                          out) {
+    std::span<const double> p = dataset.point(id);
+    ddprec::ScoredPointRecord rec{id, rho_hat[id], {p.begin(), p.end()}};
+    for (uint32_t m = 0; m < num_layouts; ++m) {
+      for (lsh::BucketKey& key :
+           partitioner.group(m).KeysWithProbes(p, probes)) {
+        out->Emit({m, std::move(key)}, rec);
+      }
+    }
+  };
+  delta_job.reduce = [dim, max_bucket, &metric](
+                         const BucketMapKey&,
+                         std::span<const ddprec::ScoredPointRecord> members,
+                         std::vector<DeltaOut>* out) {
+    // The local delta kernel needs global ids for the density total order
+    // and for upslope reporting, but local coordinates; build a local
+    // dataset and an id/rho view aligned with it.
+    Dataset local = BucketDataset(members, dim);
+    auto groups = SplitOversized(members.size(), max_bucket,
+                                 [&](size_t k) { return members[k].id; });
+    for (const std::vector<size_t>& group : groups) {
+      // Inline delta kernel over the (sub-)bucket: ties broken by the global
+      // (rho_hat, id) total order so aggregation across layouts is
+      // consistent.
+      std::vector<size_t> order = group;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return DenserThan(members[a].rho, members[a].id, members[b].rho,
+                          members[b].id);
+      });
+      for (size_t r = 0; r < order.size(); ++r) {
+        size_t k = order[r];
+        if (r == 0) {
+          // The sub-bucket's densest point: no denser point seen here, so
+          // delta_hat^m = +infinity (Sec. IV-C).
+          out->push_back(
+              {members[k].id, ddprec::DeltaCandidate{kInf, kInvalidPointId}});
+          continue;
+        }
+        double best = kInf;
+        PointId best_id = kInvalidPointId;
+        std::span<const double> pk = local.point(static_cast<PointId>(k));
+        for (size_t s = 0; s < r; ++s) {
+          size_t l = order[s];
+          double d = metric.Distance(pk, local.point(static_cast<PointId>(l)));
+          if (d < best || (d == best && members[l].id < best_id)) {
+            best = d;
+            best_id = members[l].id;
+          }
+        }
+        out->push_back({members[k].id, ddprec::DeltaCandidate{best, best_id}});
+      }
+    }
+  };
+  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> delta_locals,
+                       mr::RunJob(delta_job, std::span<const PointId>(input),
+                                  mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  // ---- Job 4 (Reduce4): delta_hat = min_m delta_hat^m.
+  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> delta_agg;
+  delta_agg.name = "lsh-delta-aggregate";
+  delta_agg.map = [](const DeltaOut& in,
+                     mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
+    out->Emit(in.first, in.second);
+  };
+  delta_agg.combiner = [](const PointId&,
+                          std::vector<ddprec::DeltaCandidate> values) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    return std::vector<ddprec::DeltaCandidate>{best};
+  };
+  delta_agg.reduce = [](const PointId& id,
+                        std::span<const ddprec::DeltaCandidate> values,
+                        std::vector<DeltaOut>* out) {
+    ddprec::DeltaCandidate best = values[0];
+    for (const auto& v : values) {
+      if (v.BetterThan(best)) best = v;
+    }
+    out->push_back({id, best});
+  };
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<DeltaOut> delta_final,
+      mr::RunJob(delta_agg, std::span<const DeltaOut>(delta_locals),
+                 mr_options, &counters));
+  if (stats != nullptr) stats->Add(counters);
+
+  DpScores scores;
+  scores.Resize(n_points);
+  scores.rho = std::move(rho_hat);
+  for (const DeltaOut& d : delta_final) {
+    scores.delta[d.first] = d.second.delta;
+    scores.upslope[d.first] = d.second.upslope;
+  }
+  return scores;
+}
+
+}  // namespace ddp

@@ -1,0 +1,77 @@
+#ifndef DDP_DDP_LSH_DDP_H_
+#define DDP_DDP_LSH_DDP_H_
+
+#include <cstdint>
+
+#include "core/kernel.h"
+#include "ddp/driver.h"
+#include "lsh/tuning.h"
+
+/// \file lsh_ddp.h
+/// LSH-DDP (Sec. IV): the approximate distributed DP algorithm.
+///
+/// Four MapReduce jobs:
+///  1. `lsh-rho-local`     — Map1 hashes every point under M layout groups and
+///     emits one copy per layout keyed by (m, G_m(p)); Reduce1 runs the exact
+///     local rho kernel inside each bucket, producing rho_hat^m.
+///  2. `lsh-rho-aggregate` — Reduce2 takes rho_hat = max_m rho_hat^m
+///     (each local estimate undercounts, so max is the tightest; Thm. 1).
+///  3. `lsh-delta-local`   — points re-hashed with rho_hat attached; Reduce3
+///     runs the local delta kernel; a bucket's densest point gets
+///     delta_hat^m = +infinity (Sec. IV-C).
+///  4. `lsh-delta-aggregate` — delta_hat = min_m delta_hat^m with the
+///     corresponding upslope id (Thm. 2).
+///
+/// Points that remain at +infinity after aggregation are exactly the
+/// "wrongly recognized absolute peaks" the paper embraces: they surface at
+/// the top of the decision graph and are natural peak candidates.
+
+namespace ddp {
+
+class LshDdp : public DistributedDpAlgorithm {
+ public:
+  struct Params {
+    /// Expected rho accuracy A in (0, 1); used to derive the width w when
+    /// lsh.width == 0 (Sec. V closed form).
+    double accuracy = 0.99;
+    /// M, pi, and optionally an explicit width w.
+    lsh::LshParams lsh;
+    /// Seed for drawing the M hash groups.
+    uint64_t seed = 7;
+    /// Density kernel for the local rho computation (core/kernel.h).
+    /// kGaussian computes quantized soft densities; max-aggregation and the
+    /// density total order work unchanged because every local estimate is
+    /// still an underestimate in the same uint32 domain.
+    DensityKernel kernel = DensityKernel::kCutoff;
+    /// Multi-probe LSH: besides its own bucket, each point also joins this
+    /// many boundary-adjacent buckets per layout. Improves rho recall (and
+    /// thus tau2) per layout at the cost of proportionally more shuffle —
+    /// an alternative to raising M.
+    size_t probes = 0;
+    /// Skew mitigation: buckets larger than this are deterministically split
+    /// into sub-buckets before the local kernels run, bounding a straggler
+    /// reducer's quadratic work (the Fig. 12(a) small-M/large-pi pathology).
+    /// Splitting coarsens the approximation for the affected points the same
+    /// way a narrower hash would; 0 disables (default).
+    size_t max_bucket_size = 0;
+  };
+
+  LshDdp() : LshDdp(Params{}) {}
+  explicit LshDdp(Params params) : params_(params) {}
+
+  std::string name() const override { return "LSH-DDP"; }
+
+  const Params& params() const { return params_; }
+
+  Result<DpScores> ComputeScores(const Dataset& dataset, double dc,
+                                 const CountingMetric& metric,
+                                 const mr::Options& mr_options,
+                                 mr::RunStats* stats) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ddp
+
+#endif  // DDP_DDP_LSH_DDP_H_

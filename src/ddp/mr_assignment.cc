@@ -1,0 +1,165 @@
+#include "ddp/mr_assignment.h"
+
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/serde.h"
+
+namespace ddp {
+
+namespace {
+
+// One message of the pointer-jumping protocol, keyed by point id.
+//  kState: point `key` publishes its (cluster, parent) to its own reducer.
+//  kAsk:   unresolved point `asker` asks `key` (its current parent).
+struct JumpMessage {
+  uint8_t kind = 0;  // 0 = state, 1 = ask
+  int32_t cluster = -1;
+  PointId parent = kInvalidPointId;
+  PointId asker = kInvalidPointId;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutByte(kind);
+    w->PutSignedVarint64(cluster);
+    w->PutVarint32(parent);
+    w->PutVarint32(asker);
+  }
+  static Status DeserializeFrom(BufferReader* r, JumpMessage* out) {
+    DDP_RETURN_NOT_OK(r->GetByte(&out->kind));
+    int64_t c;
+    DDP_RETURN_NOT_OK(r->GetSignedVarint64(&c));
+    out->cluster = static_cast<int32_t>(c);
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->parent));
+    return r->GetVarint32(&out->asker);
+  }
+  bool operator==(const JumpMessage&) const = default;
+};
+
+// Reducer verdict for one asker.
+struct JumpUpdate {
+  PointId point = kInvalidPointId;
+  int32_t cluster = -1;                 // >= 0: resolved
+  PointId new_parent = kInvalidPointId;  // otherwise: jump target (or orphan)
+};
+
+}  // namespace
+
+Result<MrAssignmentResult> AssignClustersMapReduce(
+    const DpScores& scores, std::span<const PointId> peaks,
+    const mr::Options& mr_options) {
+  const size_t n = scores.size();
+  if (n == 0) return Status::InvalidArgument("empty scores");
+  if (peaks.empty()) return Status::InvalidArgument("no peaks selected");
+  std::unordered_set<PointId> seen;
+  for (PointId p : peaks) {
+    if (p >= n) return Status::OutOfRange("peak id out of range");
+    if (!seen.insert(p).second) {
+      return Status::InvalidArgument("duplicate peak id");
+    }
+  }
+
+  MrAssignmentResult result;
+  result.assignment.assign(n, -1);
+  std::vector<PointId> parent(scores.upslope.begin(), scores.upslope.end());
+  for (size_t c = 0; c < peaks.size(); ++c) {
+    result.assignment[peaks[c]] = static_cast<int>(c);
+    parent[peaks[c]] = kInvalidPointId;  // peaks are roots
+  }
+
+  std::vector<PointId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+
+  const size_t kMaxRounds = 64;  // chains halve per round: 2^64 is plenty
+  for (result.rounds = 0; result.rounds < kMaxRounds; ++result.rounds) {
+    // Anything left to resolve?
+    bool pending = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (result.assignment[i] < 0 && parent[i] != kInvalidPointId) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) break;
+
+    mr::JobSpec<PointId, PointId, JumpMessage, JumpUpdate> job;
+    job.name = "assign-jump-" + std::to_string(result.rounds);
+    const std::vector<int>& assignment = result.assignment;
+    job.map = [&assignment, &parent](const PointId& i,
+                                     mr::Emitter<PointId, JumpMessage>* out) {
+      JumpMessage state;
+      state.kind = 0;
+      state.cluster = assignment[i];
+      state.parent = parent[i];
+      out->Emit(i, state);
+      if (assignment[i] < 0 && parent[i] != kInvalidPointId) {
+        JumpMessage ask;
+        ask.kind = 1;
+        ask.asker = i;
+        out->Emit(parent[i], ask);
+      }
+    };
+    job.reduce = [](const PointId&, std::span<const JumpMessage> messages,
+                    std::vector<JumpUpdate>* out) {
+      // Exactly one state message per key; any number of asks.
+      JumpMessage state;
+      for (const JumpMessage& m : messages) {
+        if (m.kind == 0) state = m;
+      }
+      for (const JumpMessage& m : messages) {
+        if (m.kind != 1) continue;
+        JumpUpdate update;
+        update.point = m.asker;
+        if (state.cluster >= 0) {
+          update.cluster = state.cluster;
+        } else {
+          // Jump over the parent (possibly to "no parent": the asker
+          // becomes an orphan rooted at an unselected local peak).
+          update.new_parent = state.parent;
+        }
+        out->push_back(update);
+      }
+    };
+    mr::JobCounters counters;
+    DDP_ASSIGN_OR_RETURN(std::vector<JumpUpdate> updates,
+                         mr::RunJob(job, std::span<const PointId>(all),
+                                    mr_options, &counters));
+    result.stats.Add(counters);
+    for (const JumpUpdate& u : updates) {
+      if (u.cluster >= 0) {
+        result.assignment[u.point] = u.cluster;
+        parent[u.point] = kInvalidPointId;
+      } else {
+        parent[u.point] = u.new_parent;
+      }
+    }
+  }
+  return result;
+}
+
+Status ResolveOrphansByNearestPeak(const Dataset& dataset,
+                                   std::span<const PointId> peaks,
+                                   const CountingMetric& metric,
+                                   std::vector<int>* assignment) {
+  if (assignment->size() != dataset.size()) {
+    return Status::InvalidArgument("assignment/dataset size mismatch");
+  }
+  if (peaks.empty()) return Status::InvalidArgument("no peaks");
+  for (size_t i = 0; i < assignment->size(); ++i) {
+    if ((*assignment)[i] >= 0) continue;
+    double best = std::numeric_limits<double>::infinity();
+    int best_cluster = -1;
+    for (size_t c = 0; c < peaks.size(); ++c) {
+      double d = metric.Distance(dataset.point(static_cast<PointId>(i)),
+                                 dataset.point(peaks[c]));
+      if (d < best) {
+        best = d;
+        best_cluster = static_cast<int>(c);
+      }
+    }
+    (*assignment)[i] = best_cluster;
+  }
+  return Status::OK();
+}
+
+}  // namespace ddp

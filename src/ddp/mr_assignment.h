@@ -1,0 +1,54 @@
+#ifndef DDP_DDP_MR_ASSIGNMENT_H_
+#define DDP_DDP_MR_ASSIGNMENT_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/dp_types.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/mapreduce.h"
+
+/// \file mr_assignment.h
+/// Distributed cluster assignment. The paper's Step 3 assumes (rho, delta)
+/// fit on one machine and follows upslope chains centrally; at
+/// billions-of-points scale the chain-following itself must be distributed.
+/// This module implements assignment as iterative MapReduce pointer jumping:
+///
+///   state per point: (parent, cluster or unresolved)
+///   each round:  map    — unresolved points ask their current parent;
+///                reduce — a parent answers every asker with either its
+///                         cluster id (resolved) or its own parent
+///                         (halving the chain: pointer doubling).
+///
+/// Chains of length L resolve in O(log L) jobs. Peaks are their own roots.
+/// Points with no usable upslope (unselected LSH local peaks) are left
+/// unresolved here and must be patched by nearest-peak fallback, exactly as
+/// core/assignment.cc does; `ResolveOrphansByNearestPeak` provides that.
+
+namespace ddp {
+
+struct MrAssignmentResult {
+  /// Cluster id per point; -1 where no chain reaches a selected peak.
+  std::vector<int> assignment;
+  size_t rounds = 0;
+  mr::RunStats stats;
+};
+
+/// Runs pointer-jumping assignment over the upslope pointers in `scores`
+/// given the selected `peaks`. Errors mirror AssignClusters' validation.
+Result<MrAssignmentResult> AssignClustersMapReduce(
+    const DpScores& scores, std::span<const PointId> peaks,
+    const mr::Options& mr_options = {});
+
+/// Assigns every remaining -1 point to the cluster of its nearest peak
+/// (distance work counted through `metric`).
+Status ResolveOrphansByNearestPeak(const Dataset& dataset,
+                                   std::span<const PointId> peaks,
+                                   const CountingMetric& metric,
+                                   std::vector<int>* assignment);
+
+}  // namespace ddp
+
+#endif  // DDP_DDP_MR_ASSIGNMENT_H_

@@ -1,0 +1,151 @@
+#include "ddp/mr_kmeans.h"
+
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/stopwatch.h"
+
+namespace ddp {
+
+namespace {
+
+// (sum of member coordinates, member count) — the combinable partial.
+struct CentroidPartial {
+  std::vector<double> sum;
+  uint64_t count = 0;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint64(count);
+    w->PutVarint64(sum.size());
+    for (double s : sum) w->PutDouble(s);
+  }
+  static Status DeserializeFrom(BufferReader* r, CentroidPartial* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint64(&out->count));
+    uint64_t n;
+    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
+    out->sum.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      DDP_RETURN_NOT_OK(r->GetDouble(&out->sum[i]));
+    }
+    return Status::OK();
+  }
+  bool operator==(const CentroidPartial&) const = default;
+
+  void Merge(const CentroidPartial& other) {
+    if (sum.empty()) sum.assign(other.sum.size(), 0.0);
+    for (size_t d = 0; d < sum.size(); ++d) sum[d] += other.sum[d];
+    count += other.count;
+  }
+};
+
+uint32_t NearestCentroid(std::span<const double> p,
+                         const std::vector<std::vector<double>>& centroids,
+                         const CountingMetric& metric) {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t c = 0; c < centroids.size(); ++c) {
+    double d = metric.SquaredDistance(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
+                                   const MrKmeansOptions& options,
+                                   const CountingMetric& metric) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.k > dataset.size()) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  MrKmeansResult result;
+  // Initial centroids: k distinct points.
+  Rng rng(options.seed);
+  std::vector<size_t> init =
+      SampleWithoutReplacement(dataset.size(), options.k, &rng);
+  result.centroids.resize(options.k);
+  for (size_t c = 0; c < options.k; ++c) {
+    std::span<const double> p = dataset.point(static_cast<PointId>(init[c]));
+    result.centroids[c].assign(p.begin(), p.end());
+  }
+
+  std::vector<PointId> input(dataset.size());
+  std::iota(input.begin(), input.end(), 0);
+
+  using IterOut = std::pair<uint32_t, CentroidPartial>;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    Stopwatch iter_timer;
+    const std::vector<std::vector<double>>& centroids = result.centroids;
+
+    mr::JobSpec<PointId, uint32_t, CentroidPartial, IterOut> job;
+    job.name = "kmeans-iter-" + std::to_string(iter);
+    job.map = [&dataset, &centroids, &metric](
+                  const PointId& id,
+                  mr::Emitter<uint32_t, CentroidPartial>* out) {
+      std::span<const double> p = dataset.point(id);
+      uint32_t c = NearestCentroid(p, centroids, metric);
+      CentroidPartial partial;
+      partial.sum.assign(p.begin(), p.end());
+      partial.count = 1;
+      out->Emit(c, partial);
+    };
+    job.combiner = [](const uint32_t&, std::vector<CentroidPartial> values) {
+      CentroidPartial merged;
+      for (const CentroidPartial& v : values) merged.Merge(v);
+      return std::vector<CentroidPartial>{merged};
+    };
+    job.reduce = [](const uint32_t& c, std::span<const CentroidPartial> values,
+                    std::vector<IterOut>* out) {
+      CentroidPartial merged;
+      for (const CentroidPartial& v : values) merged.Merge(v);
+      out->push_back({c, merged});
+    };
+
+    mr::JobCounters counters;
+    DDP_ASSIGN_OR_RETURN(std::vector<IterOut> partials,
+                         mr::RunJob(job, std::span<const PointId>(input),
+                                    options.mr, &counters));
+    result.stats.Add(counters);
+
+    double max_move_sq = 0.0;
+    for (const IterOut& p : partials) {
+      if (p.second.count == 0) continue;
+      std::vector<double>& c = result.centroids[p.first];
+      double move_sq = 0.0;
+      for (size_t d = 0; d < c.size(); ++d) {
+        double next = p.second.sum[d] / static_cast<double>(p.second.count);
+        double diff = next - c[d];
+        move_sq += diff * diff;
+        c[d] = next;
+      }
+      max_move_sq = std::max(max_move_sq, move_sq);
+    }
+    result.iteration_seconds.push_back(iter_timer.ElapsedSeconds());
+    ++result.iterations_run;
+    if (options.convergence_tol > 0.0 &&
+        max_move_sq < options.convergence_tol) {
+      break;
+    }
+  }
+
+  // Final assignment pass (centralized; not timed as an iteration).
+  result.assignment.resize(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    result.assignment[i] = static_cast<int>(NearestCentroid(
+        dataset.point(static_cast<PointId>(i)), result.centroids, metric));
+  }
+  return result;
+}
+
+}  // namespace ddp

@@ -1,0 +1,51 @@
+#ifndef DDP_DDP_MR_KMEANS_H_
+#define DDP_DDP_MR_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/mapreduce.h"
+
+/// \file mr_kmeans.h
+/// MapReduce K-means — the iterative comparator of Fig. 11. One MapReduce
+/// job per Lloyd iteration: map assigns each point to its nearest centroid
+/// and emits (cluster, (coordinate sums, count)) with a summing combiner;
+/// reduce recomputes centroids. Per-iteration wall time is recorded so the
+/// benchmark can locate which iteration count LSH-DDP's runtime corresponds
+/// to (the paper finds ~iteration 24 on BigCross).
+
+namespace ddp {
+
+struct MrKmeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 100;
+  /// Stop early when every centroid moves less than this (squared L2);
+  /// <= 0 disables early stopping (paper runs a fixed 100 iterations).
+  double convergence_tol = 0.0;
+  uint64_t seed = 3;
+  mr::Options mr;
+};
+
+struct MrKmeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<int> assignment;
+  /// Wall time of each executed iteration's MapReduce job.
+  std::vector<double> iteration_seconds;
+  size_t iterations_run = 0;
+  mr::RunStats stats;
+};
+
+/// Runs MapReduce K-means. Initial centroids are k distinct points sampled
+/// uniformly (the paper's setting; K-means++ is available in baselines/ for
+/// the sequential variant).
+Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
+                                   const MrKmeansOptions& options,
+                                   const CountingMetric& metric);
+
+}  // namespace ddp
+
+#endif  // DDP_DDP_MR_KMEANS_H_

@@ -1,0 +1,95 @@
+#ifndef DDP_DDP_RECORDS_H_
+#define DDP_DDP_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "dataset/dataset.h"
+
+/// \file records.h
+/// Intermediate record types shared by the distributed DP jobs, with Serde
+/// implementations so the MapReduce shuffle can account their real encoded
+/// size. Coordinates dominate these records, exactly as in the paper's
+/// shuffle-cost model (Eq. (6): |S| terms).
+
+namespace ddp {
+namespace ddprec {
+
+/// A point in flight: id + coordinates.
+struct PointRecord {
+  PointId id = 0;
+  std::vector<double> coords;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(id);
+    w->PutVarint64(coords.size());
+    for (double c : coords) w->PutDouble(c);
+  }
+  static Status DeserializeFrom(BufferReader* r, PointRecord* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
+    uint64_t n;
+    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
+    out->coords.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      DDP_RETURN_NOT_OK(r->GetDouble(&out->coords[i]));
+    }
+    return Status::OK();
+  }
+  bool operator==(const PointRecord&) const = default;
+};
+
+/// A point in flight carrying its (approximate) density.
+struct ScoredPointRecord {
+  PointId id = 0;
+  uint32_t rho = 0;
+  std::vector<double> coords;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(id);
+    w->PutVarint32(rho);
+    w->PutVarint64(coords.size());
+    for (double c : coords) w->PutDouble(c);
+  }
+  static Status DeserializeFrom(BufferReader* r, ScoredPointRecord* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
+    uint64_t n;
+    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
+    out->coords.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      DDP_RETURN_NOT_OK(r->GetDouble(&out->coords[i]));
+    }
+    return Status::OK();
+  }
+  bool operator==(const ScoredPointRecord&) const = default;
+};
+
+/// A (delta, upslope) candidate produced by a local computation; aggregated
+/// by min-delta.
+struct DeltaCandidate {
+  double delta = 0.0;  // may be +infinity (local absolute peak)
+  PointId upslope = kInvalidPointId;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutDouble(delta);
+    w->PutVarint32(upslope);
+  }
+  static Status DeserializeFrom(BufferReader* r, DeltaCandidate* out) {
+    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta));
+    return r->GetVarint32(&out->upslope);
+  }
+  bool operator==(const DeltaCandidate&) const = default;
+
+  /// True if this candidate beats `other` (smaller delta; ties by upslope id
+  /// for determinism).
+  bool BetterThan(const DeltaCandidate& other) const {
+    if (delta != other.delta) return delta < other.delta;
+    return upslope < other.upslope;
+  }
+};
+
+}  // namespace ddprec
+}  // namespace ddp
+
+#endif  // DDP_DDP_RECORDS_H_

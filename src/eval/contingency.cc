@@ -1,0 +1,74 @@
+#include "eval/contingency.h"
+
+#include <unordered_map>
+
+namespace ddp {
+namespace eval {
+
+namespace {
+
+// Densifies labels to 0..k-1; each distinct negative-labeled point becomes
+// its own singleton cluster.
+std::vector<size_t> Densify(std::span<const int> labels, size_t* num_out) {
+  std::unordered_map<int, size_t> ids;
+  std::vector<size_t> out(labels.size());
+  size_t next = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      out[i] = next++;  // singleton
+      continue;
+    }
+    auto [it, inserted] = ids.try_emplace(labels[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  *num_out = next;
+  return out;
+}
+
+double Choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+Result<ContingencyTable> ContingencyTable::Build(std::span<const int> predicted,
+                                                 std::span<const int> truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("label vectors differ in length");
+  }
+  if (predicted.empty()) return Status::InvalidArgument("empty labelings");
+  ContingencyTable table;
+  table.n_ = predicted.size();
+  size_t num_pred = 0, num_truth = 0;
+  std::vector<size_t> p = Densify(predicted, &num_pred);
+  std::vector<size_t> t = Densify(truth, &num_truth);
+  table.cells_.assign(num_pred * num_truth, 0);
+  table.row_sums_.assign(num_pred, 0);
+  table.col_sums_.assign(num_truth, 0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++table.cells_[p[i] * num_truth + t[i]];
+    ++table.row_sums_[p[i]];
+    ++table.col_sums_[t[i]];
+  }
+  return table;
+}
+
+double ContingencyTable::SumCellsChoose2() const {
+  double s = 0.0;
+  for (uint64_t c : cells_) s += Choose2(static_cast<double>(c));
+  return s;
+}
+
+double ContingencyTable::SumRowsChoose2() const {
+  double s = 0.0;
+  for (uint64_t c : row_sums_) s += Choose2(static_cast<double>(c));
+  return s;
+}
+
+double ContingencyTable::SumColsChoose2() const {
+  double s = 0.0;
+  for (uint64_t c : col_sums_) s += Choose2(static_cast<double>(c));
+  return s;
+}
+
+}  // namespace eval
+}  // namespace ddp

@@ -1,0 +1,51 @@
+#ifndef DDP_EVAL_CONTINGENCY_H_
+#define DDP_EVAL_CONTINGENCY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file contingency.h
+/// Contingency table between two flat labelings, the shared substrate of the
+/// external clustering quality metrics (ARI, NMI, purity). Negative labels
+/// (noise / unassigned) are treated as singleton clusters so that metrics
+/// penalize unassigned points rather than silently dropping them.
+
+namespace ddp {
+namespace eval {
+
+class ContingencyTable {
+ public:
+  /// Builds the table from predicted and truth labels of equal length.
+  static Result<ContingencyTable> Build(std::span<const int> predicted,
+                                        std::span<const int> truth);
+
+  size_t n() const { return n_; }
+  size_t num_predicted() const { return row_sums_.size(); }
+  size_t num_truth() const { return col_sums_.size(); }
+
+  uint64_t cell(size_t row, size_t col) const {
+    return cells_[row * col_sums_.size() + col];
+  }
+  const std::vector<uint64_t>& row_sums() const { return row_sums_; }
+  const std::vector<uint64_t>& col_sums() const { return col_sums_; }
+
+  /// Sum over cells of C(n_ij, 2), and the analogous row/column sums —
+  /// the ingredients of the pair-counting metrics.
+  double SumCellsChoose2() const;
+  double SumRowsChoose2() const;
+  double SumColsChoose2() const;
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> cells_;     // num_predicted x num_truth
+  std::vector<uint64_t> row_sums_;  // per predicted cluster
+  std::vector<uint64_t> col_sums_;  // per truth cluster
+};
+
+}  // namespace eval
+}  // namespace ddp
+
+#endif  // DDP_EVAL_CONTINGENCY_H_

@@ -1,0 +1,184 @@
+#include "eval/internal_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ddp {
+namespace eval {
+
+namespace {
+
+// Densifies non-negative labels to 0..k-1; returns k. Negative labels map
+// to -1 (excluded).
+std::vector<int> DensifyAssignment(std::span<const int> assignment,
+                                   size_t* num_clusters) {
+  std::unordered_map<int, int> ids;
+  std::vector<int> out(assignment.size(), -1);
+  int next = 0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0) continue;
+    auto [it, inserted] = ids.try_emplace(assignment[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  *num_clusters = static_cast<size_t>(next);
+  return out;
+}
+
+Status CheckSizes(const Dataset& dataset, std::span<const int> assignment) {
+  if (assignment.size() != dataset.size()) {
+    return Status::InvalidArgument("assignment/dataset size mismatch");
+  }
+  if (assignment.empty()) return Status::InvalidArgument("empty input");
+  return Status::OK();
+}
+
+// Per-cluster centroids and sizes over non-noise points.
+void Centroids(const Dataset& dataset, std::span<const int> labels, size_t k,
+               std::vector<std::vector<double>>* centroids,
+               std::vector<size_t>* sizes) {
+  centroids->assign(k, std::vector<double>(dataset.dim(), 0.0));
+  sizes->assign(k, 0);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    int c = labels[i];
+    if (c < 0) continue;
+    std::span<const double> p = dataset.point(static_cast<PointId>(i));
+    for (size_t d = 0; d < dataset.dim(); ++d) (*centroids)[c][d] += p[d];
+    ++(*sizes)[c];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if ((*sizes)[c] == 0) continue;
+    for (double& v : (*centroids)[c]) v /= static_cast<double>((*sizes)[c]);
+  }
+}
+
+}  // namespace
+
+Result<double> SumSquaredError(const Dataset& dataset,
+                               std::span<const int> assignment) {
+  DDP_RETURN_NOT_OK(CheckSizes(dataset, assignment));
+  size_t k = 0;
+  std::vector<int> labels = DensifyAssignment(assignment, &k);
+  if (k == 0) return Status::InvalidArgument("no assigned points");
+  std::vector<std::vector<double>> centroids;
+  std::vector<size_t> sizes;
+  Centroids(dataset, labels, k, &centroids, &sizes);
+  double sse = 0.0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    int c = labels[i];
+    if (c < 0) continue;
+    sse += SquaredEuclidean(dataset.point(static_cast<PointId>(i)),
+                            centroids[c]);
+  }
+  return sse;
+}
+
+Result<double> MeanSilhouette(const Dataset& dataset,
+                              std::span<const int> assignment,
+                              const CountingMetric& metric,
+                              const SilhouetteOptions& options) {
+  DDP_RETURN_NOT_OK(CheckSizes(dataset, assignment));
+  size_t k = 0;
+  std::vector<int> labels = DensifyAssignment(assignment, &k);
+  if (k < 2) return Status::InvalidArgument("need at least 2 clusters");
+  std::vector<size_t> sizes(k, 0);
+  for (int c : labels) {
+    if (c >= 0) ++sizes[static_cast<size_t>(c)];
+  }
+
+  // Points to evaluate.
+  std::vector<PointId> eval_points;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) eval_points.push_back(static_cast<PointId>(i));
+  }
+  if (options.sample > 0 && options.sample < eval_points.size()) {
+    Rng rng(options.seed);
+    std::vector<size_t> pick =
+        SampleWithoutReplacement(eval_points.size(), options.sample, &rng);
+    std::vector<PointId> sampled;
+    sampled.reserve(pick.size());
+    for (size_t idx : pick) sampled.push_back(eval_points[idx]);
+    eval_points = std::move(sampled);
+  }
+
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> sum_to_cluster(k);
+  for (PointId i : eval_points) {
+    int ci = labels[i];
+    if (sizes[static_cast<size_t>(ci)] < 2) continue;  // a(i) undefined
+    std::fill(sum_to_cluster.begin(), sum_to_cluster.end(), 0.0);
+    for (size_t j = 0; j < dataset.size(); ++j) {
+      int cj = labels[j];
+      if (cj < 0 || static_cast<PointId>(j) == i) continue;
+      sum_to_cluster[cj] +=
+          metric.Distance(dataset.point(i), dataset.point(static_cast<PointId>(j)));
+    }
+    double a = sum_to_cluster[ci] /
+               static_cast<double>(sizes[static_cast<size_t>(ci)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (static_cast<int>(c) == ci || sizes[c] == 0) continue;
+      b = std::min(b, sum_to_cluster[c] / static_cast<double>(sizes[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  if (counted == 0) {
+    return Status::InvalidArgument("no points with a defined silhouette");
+  }
+  return total / static_cast<double>(counted);
+}
+
+Result<double> DaviesBouldin(const Dataset& dataset,
+                             std::span<const int> assignment,
+                             const CountingMetric& metric) {
+  DDP_RETURN_NOT_OK(CheckSizes(dataset, assignment));
+  size_t k = 0;
+  std::vector<int> labels = DensifyAssignment(assignment, &k);
+  if (k < 2) return Status::InvalidArgument("need at least 2 clusters");
+  std::vector<std::vector<double>> centroids;
+  std::vector<size_t> sizes;
+  Centroids(dataset, labels, k, &centroids, &sizes);
+  // Scatter: mean distance to centroid.
+  std::vector<double> scatter(k, 0.0);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    int c = labels[i];
+    if (c < 0) continue;
+    scatter[c] +=
+        metric.Distance(dataset.point(static_cast<PointId>(i)), centroids[c]);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (sizes[c] > 0) scatter[c] /= static_cast<double>(sizes[c]);
+  }
+  double db = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (sizes[i] == 0) continue;
+    double worst = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      if (i == j || sizes[j] == 0) continue;
+      double separation = metric.Distance(centroids[i], centroids[j]);
+      if (separation <= 0.0) {
+        worst = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      worst = std::max(worst, (scatter[i] + scatter[j]) / separation);
+    }
+    db += worst;
+    ++counted;
+  }
+  if (counted == 0) return Status::InvalidArgument("no non-empty clusters");
+  return db / static_cast<double>(counted);
+}
+
+}  // namespace eval
+}  // namespace ddp

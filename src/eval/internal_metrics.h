@@ -1,0 +1,48 @@
+#ifndef DDP_EVAL_INTERNAL_METRICS_H_
+#define DDP_EVAL_INTERNAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/distance.h"
+
+/// \file internal_metrics.h
+/// Internal clustering quality metrics — no ground truth required. Used by
+/// the CLI and examples to judge clusterings of unlabeled data. Points with
+/// assignment < 0 (noise/halo) are excluded from all three metrics.
+
+namespace ddp {
+namespace eval {
+
+/// Sum of squared distances from each point to its cluster centroid
+/// (K-means' objective; lower is better).
+Result<double> SumSquaredError(const Dataset& dataset,
+                               std::span<const int> assignment);
+
+struct SilhouetteOptions {
+  /// Evaluate at most this many points (uniformly sampled); 0 = all points.
+  /// Each evaluated point still measures distances to every other point,
+  /// so the cost is O(sample * N).
+  size_t sample = 0;
+  uint64_t seed = 13;
+};
+
+/// Mean silhouette coefficient in [-1, 1] (higher is better). Requires at
+/// least 2 non-noise clusters.
+Result<double> MeanSilhouette(const Dataset& dataset,
+                              std::span<const int> assignment,
+                              const CountingMetric& metric,
+                              const SilhouetteOptions& options = {});
+
+/// Davies-Bouldin index (lower is better). Requires at least 2 non-noise
+/// clusters; clusters with a single member get scatter 0.
+Result<double> DaviesBouldin(const Dataset& dataset,
+                             std::span<const int> assignment,
+                             const CountingMetric& metric);
+
+}  // namespace eval
+}  // namespace ddp
+
+#endif  // DDP_EVAL_INTERNAL_METRICS_H_

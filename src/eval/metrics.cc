@@ -1,0 +1,102 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/contingency.h"
+
+namespace ddp {
+namespace eval {
+
+Result<double> AdjustedRandIndex(std::span<const int> predicted,
+                                 std::span<const int> truth) {
+  DDP_ASSIGN_OR_RETURN(ContingencyTable table,
+                       ContingencyTable::Build(predicted, truth));
+  double index = table.SumCellsChoose2();
+  double sum_rows = table.SumRowsChoose2();
+  double sum_cols = table.SumColsChoose2();
+  double total = static_cast<double>(table.n()) *
+                 (static_cast<double>(table.n()) - 1.0) / 2.0;
+  if (total == 0.0) return 1.0;
+  double expected = sum_rows * sum_cols / total;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions are all-singletons/all-one
+  return (index - expected) / denom;
+}
+
+Result<double> NormalizedMutualInformation(std::span<const int> predicted,
+                                           std::span<const int> truth) {
+  DDP_ASSIGN_OR_RETURN(ContingencyTable table,
+                       ContingencyTable::Build(predicted, truth));
+  const double n = static_cast<double>(table.n());
+  double mi = 0.0, h_pred = 0.0, h_truth = 0.0;
+  for (size_t r = 0; r < table.num_predicted(); ++r) {
+    double pr = static_cast<double>(table.row_sums()[r]) / n;
+    if (pr > 0.0) h_pred -= pr * std::log(pr);
+  }
+  for (size_t c = 0; c < table.num_truth(); ++c) {
+    double pc = static_cast<double>(table.col_sums()[c]) / n;
+    if (pc > 0.0) h_truth -= pc * std::log(pc);
+  }
+  for (size_t r = 0; r < table.num_predicted(); ++r) {
+    for (size_t c = 0; c < table.num_truth(); ++c) {
+      double nij = static_cast<double>(table.cell(r, c));
+      if (nij == 0.0) continue;
+      double pij = nij / n;
+      double pr = static_cast<double>(table.row_sums()[r]) / n;
+      double pc = static_cast<double>(table.col_sums()[c]) / n;
+      mi += pij * std::log(pij / (pr * pc));
+    }
+  }
+  double norm = 0.5 * (h_pred + h_truth);
+  if (norm == 0.0) return 1.0;  // both partitions trivial
+  return std::clamp(mi / norm, 0.0, 1.0);
+}
+
+Result<double> Purity(std::span<const int> predicted,
+                      std::span<const int> truth) {
+  DDP_ASSIGN_OR_RETURN(ContingencyTable table,
+                       ContingencyTable::Build(predicted, truth));
+  double correct = 0.0;
+  for (size_t r = 0; r < table.num_predicted(); ++r) {
+    uint64_t best = 0;
+    for (size_t c = 0; c < table.num_truth(); ++c) {
+      best = std::max(best, table.cell(r, c));
+    }
+    correct += static_cast<double>(best);
+  }
+  return correct / static_cast<double>(table.n());
+}
+
+Result<double> RandIndex(std::span<const int> predicted,
+                         std::span<const int> truth) {
+  DDP_ASSIGN_OR_RETURN(ContingencyTable table,
+                       ContingencyTable::Build(predicted, truth));
+  double total = static_cast<double>(table.n()) *
+                 (static_cast<double>(table.n()) - 1.0) / 2.0;
+  if (total == 0.0) return 1.0;
+  double a = table.SumCellsChoose2();  // same-same pairs
+  double b = total - table.SumRowsChoose2() - table.SumColsChoose2() + a;
+  return (a + b) / total;
+}
+
+Result<PairwiseScores> PairwiseF1(std::span<const int> predicted,
+                                  std::span<const int> truth) {
+  DDP_ASSIGN_OR_RETURN(ContingencyTable table,
+                       ContingencyTable::Build(predicted, truth));
+  double tp = table.SumCellsChoose2();
+  double predicted_pairs = table.SumRowsChoose2();
+  double truth_pairs = table.SumColsChoose2();
+  PairwiseScores scores;
+  scores.precision = predicted_pairs > 0.0 ? tp / predicted_pairs : 1.0;
+  scores.recall = truth_pairs > 0.0 ? tp / truth_pairs : 1.0;
+  scores.f1 = (scores.precision + scores.recall) > 0.0
+                  ? 2.0 * scores.precision * scores.recall /
+                        (scores.precision + scores.recall)
+                  : 0.0;
+  return scores;
+}
+
+}  // namespace eval
+}  // namespace ddp

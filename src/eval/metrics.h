@@ -1,0 +1,46 @@
+#ifndef DDP_EVAL_METRICS_H_
+#define DDP_EVAL_METRICS_H_
+
+#include <span>
+
+#include "common/result.h"
+
+/// \file metrics.h
+/// External clustering quality metrics used to compare algorithms against
+/// ground truth (Fig. 8) and approximate runs against exact runs.
+
+namespace ddp {
+namespace eval {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random.
+Result<double> AdjustedRandIndex(std::span<const int> predicted,
+                                 std::span<const int> truth);
+
+/// Normalized Mutual Information in [0, 1] (arithmetic-mean normalization).
+Result<double> NormalizedMutualInformation(std::span<const int> predicted,
+                                           std::span<const int> truth);
+
+/// Purity in (0, 1]: each predicted cluster votes for its dominant truth
+/// class.
+Result<double> Purity(std::span<const int> predicted,
+                      std::span<const int> truth);
+
+/// Plain (unadjusted) Rand Index in [0, 1].
+Result<double> RandIndex(std::span<const int> predicted,
+                         std::span<const int> truth);
+
+/// Pair-counting precision/recall/F1: a "positive" is a point pair placed in
+/// the same predicted cluster; it is correct when the pair shares a truth
+/// cluster.
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+Result<PairwiseScores> PairwiseF1(std::span<const int> predicted,
+                                  std::span<const int> truth);
+
+}  // namespace eval
+}  // namespace ddp
+
+#endif  // DDP_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#include "eval/tau.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ddp {
+namespace eval {
+
+namespace {
+Status CheckSizes(std::span<const uint32_t> approx,
+                  std::span<const uint32_t> exact) {
+  if (approx.size() != exact.size()) {
+    return Status::InvalidArgument("size mismatch");
+  }
+  if (approx.empty()) return Status::InvalidArgument("empty input");
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> Tau1(std::span<const uint32_t> approx,
+                    std::span<const uint32_t> exact) {
+  DDP_RETURN_NOT_OK(CheckSizes(approx, exact));
+  size_t correct = 0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    if (approx[i] == exact[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(approx.size());
+}
+
+Result<double> Tau2(std::span<const uint32_t> approx,
+                    std::span<const uint32_t> exact) {
+  DDP_RETURN_NOT_OK(CheckSizes(approx, exact));
+  double error = 0.0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    double diff = std::abs(static_cast<double>(approx[i]) -
+                           static_cast<double>(exact[i]));
+    if (exact[i] > 0) {
+      error += diff / static_cast<double>(exact[i]);
+    } else if (approx[i] != 0) {
+      error += 1.0;
+    }
+  }
+  return 1.0 - error / static_cast<double>(approx.size());
+}
+
+}  // namespace eval
+}  // namespace ddp

@@ -1,0 +1,28 @@
+#ifndef DDP_EVAL_TAU_H_
+#define DDP_EVAL_TAU_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/result.h"
+
+/// \file tau.h
+/// The paper's approximation-accuracy metrics (Sec. VI-C):
+///   tau1 = |{i : rho_hat_i == rho_i}| / N        (fraction exactly right)
+///   tau2 = 1 - (1/N) sum_i |rho_hat_i - rho_i| / rho_i
+/// tau2 is 1 minus the mean normalized absolute error; points with rho_i = 0
+/// contribute error 0 when rho_hat_i is also 0 and 1 otherwise.
+
+namespace ddp {
+namespace eval {
+
+Result<double> Tau1(std::span<const uint32_t> approx,
+                    std::span<const uint32_t> exact);
+
+Result<double> Tau2(std::span<const uint32_t> approx,
+                    std::span<const uint32_t> exact);
+
+}  // namespace eval
+}  // namespace ddp
+
+#endif  // DDP_EVAL_TAU_H_

@@ -1,0 +1,7 @@
+#include "lsh/hash_group.h"
+
+// Header-only; this translation unit verifies self-containment.
+
+namespace ddp {
+namespace lsh {}  // namespace lsh
+}  // namespace ddp

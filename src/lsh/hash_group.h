@@ -1,0 +1,100 @@
+#ifndef DDP_LSH_HASH_GROUP_H_
+#define DDP_LSH_HASH_GROUP_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "lsh/pstable_hash.h"
+
+/// \file hash_group.h
+/// A hash group G = (h_1, ..., h_pi) (paper Definition 2). Two points land in
+/// the same partition of the layout induced by G iff ALL pi hash values
+/// agree; the concatenated slot indices form the partition id
+/// G(p) = [h_1(p), ..., h_pi(p)].
+
+namespace ddp {
+namespace lsh {
+
+/// A partition id within one LSH layout: the pi concatenated slot indices.
+using BucketKey = std::vector<int64_t>;
+
+class HashGroup {
+ public:
+  explicit HashGroup(std::vector<PStableHash> functions)
+      : functions_(std::move(functions)) {}
+
+  /// Draws pi independent random functions of the given width.
+  static HashGroup Random(size_t dim, size_t pi, double width, Rng* rng) {
+    std::vector<PStableHash> fns;
+    fns.reserve(pi);
+    for (size_t t = 0; t < pi; ++t) {
+      fns.push_back(PStableHash::Random(dim, width, rng));
+    }
+    return HashGroup(std::move(fns));
+  }
+
+  /// The partition id G(p).
+  BucketKey Key(std::span<const double> p) const {
+    BucketKey key(functions_.size());
+    for (size_t t = 0; t < functions_.size(); ++t) {
+      key[t] = functions_[t].Hash(p);
+    }
+    return key;
+  }
+
+  /// Writes G(p) into `out` (resized to pi); avoids allocation in hot loops.
+  void KeyInto(std::span<const double> p, BucketKey* out) const {
+    out->resize(functions_.size());
+    for (size_t t = 0; t < functions_.size(); ++t) {
+      (*out)[t] = functions_[t].Hash(p);
+    }
+  }
+
+  /// Multi-probe keys: the base key plus up to `probes` perturbed keys,
+  /// each shifting the single slot coordinate whose projection sits closest
+  /// to a slot boundary (the classic multi-probe LSH heuristic). Points near
+  /// bucket borders thereby also join the adjacent bucket, trading extra
+  /// copies for recall without adding layouts.
+  std::vector<BucketKey> KeysWithProbes(std::span<const double> p,
+                                        size_t probes) const {
+    std::vector<BucketKey> keys;
+    BucketKey base(functions_.size());
+    // (boundary distance, function index, direction)
+    std::vector<std::tuple<double, size_t, int64_t>> candidates;
+    candidates.reserve(2 * functions_.size());
+    for (size_t t = 0; t < functions_.size(); ++t) {
+      double scaled = functions_[t].Project(p) / functions_[t].width();
+      double slot = std::floor(scaled);
+      base[t] = static_cast<int64_t>(slot);
+      double frac = scaled - slot;  // in [0, 1)
+      candidates.push_back({frac, t, -1});        // distance to lower edge
+      candidates.push_back({1.0 - frac, t, +1});  // distance to upper edge
+    }
+    keys.push_back(base);
+    probes = std::min(probes, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + probes,
+                      candidates.end());
+    for (size_t q = 0; q < probes; ++q) {
+      BucketKey probe = base;
+      probe[std::get<1>(candidates[q])] += std::get<2>(candidates[q]);
+      keys.push_back(std::move(probe));
+    }
+    return keys;
+  }
+
+  size_t pi() const { return functions_.size(); }
+  const std::vector<PStableHash>& functions() const { return functions_; }
+
+ private:
+  std::vector<PStableHash> functions_;
+};
+
+}  // namespace lsh
+}  // namespace ddp
+
+#endif  // DDP_LSH_HASH_GROUP_H_

@@ -1,0 +1,54 @@
+#include "lsh/partitioner.h"
+
+#include <algorithm>
+
+namespace ddp {
+namespace lsh {
+
+Result<MultiLshPartitioner> MultiLshPartitioner::Create(size_t dim,
+                                                        size_t num_layouts,
+                                                        size_t pi, double width,
+                                                        uint64_t seed) {
+  if (dim == 0) return Status::InvalidArgument("dim must be >= 1");
+  if (num_layouts == 0) return Status::InvalidArgument("M must be >= 1");
+  if (pi == 0) return Status::InvalidArgument("pi must be >= 1");
+  if (!(width > 0.0)) return Status::InvalidArgument("width must be > 0");
+  std::vector<HashGroup> groups;
+  groups.reserve(num_layouts);
+  for (size_t m = 0; m < num_layouts; ++m) {
+    Rng rng(SplitSeed(seed, m));
+    groups.push_back(HashGroup::Random(dim, pi, width, &rng));
+  }
+  return MultiLshPartitioner(std::move(groups), width);
+}
+
+std::vector<MultiLshPartitioner::Layout> MultiLshPartitioner::PartitionAll(
+    const Dataset& dataset) const {
+  std::vector<Layout> layouts(num_layouts());
+  BucketKey key;
+  for (size_t m = 0; m < num_layouts(); ++m) {
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      groups_[m].KeyInto(dataset.point(static_cast<PointId>(i)), &key);
+      layouts[m][key].push_back(static_cast<PointId>(i));
+    }
+  }
+  return layouts;
+}
+
+std::vector<MultiLshPartitioner::LayoutStats>
+MultiLshPartitioner::ComputeStats(const Dataset& dataset) const {
+  std::vector<Layout> layouts = PartitionAll(dataset);
+  std::vector<LayoutStats> stats(layouts.size());
+  for (size_t m = 0; m < layouts.size(); ++m) {
+    stats[m].num_buckets = layouts[m].size();
+    for (const auto& [key, ids] : layouts[m]) {
+      stats[m].largest_bucket = std::max(stats[m].largest_bucket, ids.size());
+      stats[m].sum_squared_sizes +=
+          static_cast<uint64_t>(ids.size()) * ids.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace lsh
+}  // namespace ddp

@@ -1,0 +1,97 @@
+#ifndef DDP_LSH_PARTITIONER_H_
+#define DDP_LSH_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "lsh/hash_group.h"
+
+/// \file partitioner.h
+/// The M-layout LSH partitioner of Section IV-A: M independent hash groups
+/// (G_1, ..., G_M), each inducing one partition layout P_m(S). A point's key
+/// under layout m is (m, G_m(p)); the LSH-DDP map() functions emit one copy
+/// of every point per layout.
+
+namespace ddp {
+namespace lsh {
+
+/// Hash functor for bucket signatures (FNV-1a over slot indices).
+struct BucketKeyHash {
+  size_t operator()(const BucketKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int64_t v : k) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Key of one partition across all layouts: the layout index plus the bucket
+/// signature within that layout.
+struct LayoutBucket {
+  uint32_t layout;  // m in [0, M)
+  BucketKey bucket;
+
+  bool operator==(const LayoutBucket& other) const {
+    return layout == other.layout && bucket == other.bucket;
+  }
+  bool operator<(const LayoutBucket& other) const {
+    if (layout != other.layout) return layout < other.layout;
+    return bucket < other.bucket;
+  }
+};
+
+class MultiLshPartitioner {
+ public:
+  using Layout =
+      std::unordered_map<BucketKey, std::vector<PointId>, BucketKeyHash>;
+
+  /// Draws M hash groups of pi functions each. All randomness derives from
+  /// `seed`, so a partitioner is reproducible.
+  static Result<MultiLshPartitioner> Create(size_t dim, size_t num_layouts,
+                                            size_t pi, double width,
+                                            uint64_t seed);
+
+  size_t num_layouts() const { return groups_.size(); }
+  size_t pi() const { return groups_.empty() ? 0 : groups_[0].pi(); }
+  double width() const { return width_; }
+  const HashGroup& group(size_t m) const { return groups_[m]; }
+
+  /// Bucket signature of `p` under layout `m`.
+  BucketKey Key(size_t m, std::span<const double> p) const {
+    return groups_[m].Key(p);
+  }
+
+  /// Materializes all M layouts of `dataset`: result[m] maps bucket
+  /// signature -> point ids. Used by tests and by the non-MapReduce local
+  /// reference implementation; the MR pipeline instead streams keys.
+  std::vector<Layout> PartitionAll(const Dataset& dataset) const;
+
+  struct LayoutStats {
+    size_t num_buckets = 0;
+    size_t largest_bucket = 0;
+    /// sum over buckets of |bucket|^2 — the cost driver of Eq. (7)/(8).
+    uint64_t sum_squared_sizes = 0;
+  };
+
+  /// Cost-model statistics for each layout over `dataset`.
+  std::vector<LayoutStats> ComputeStats(const Dataset& dataset) const;
+
+ private:
+  MultiLshPartitioner(std::vector<HashGroup> groups, double width)
+      : groups_(std::move(groups)), width_(width) {}
+
+  std::vector<HashGroup> groups_;
+  double width_;
+};
+
+}  // namespace lsh
+}  // namespace ddp
+
+#endif  // DDP_LSH_PARTITIONER_H_

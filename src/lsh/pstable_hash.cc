@@ -1,0 +1,9 @@
+#include "lsh/pstable_hash.h"
+
+#include <cmath>
+
+// Header-only; this translation unit verifies self-containment.
+
+namespace ddp {
+namespace lsh {}  // namespace lsh
+}  // namespace ddp

@@ -1,0 +1,62 @@
+#ifndef DDP_LSH_PSTABLE_HASH_H_
+#define DDP_LSH_PSTABLE_HASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file pstable_hash.h
+/// The p-stable LSH function for Euclidean distance (Datar et al. [11],
+/// paper Eq. (3)):
+///
+///   h(p) = floor((a . p + b) / w)
+///
+/// where `a` is a vector of i.i.d. standard gaussian entries (2-stable for
+/// L2), `b` is uniform in [0, w), and `w` is the slot width. Points within
+/// distance r collide with probability that decreases in r/w — see
+/// lsh/theory.h for the exact collision model used by the paper's analysis.
+
+namespace ddp {
+namespace lsh {
+
+class PStableHash {
+ public:
+  /// Takes ownership of the projection vector. `width` must be > 0.
+  PStableHash(std::vector<double> a, double b, double width)
+      : a_(std::move(a)), b_(b), width_(width) {}
+
+  /// Draws a random hash function for `dim`-dimensional points.
+  static PStableHash Random(size_t dim, double width, Rng* rng) {
+    return PStableHash(rng->GaussianVector(dim), rng->Uniform(0.0, width),
+                       width);
+  }
+
+  /// The slot index h(p).
+  int64_t Hash(std::span<const double> p) const {
+    return static_cast<int64_t>(std::floor(Project(p) / width_));
+  }
+
+  /// The scalar projection a.p + b (before slotting).
+  double Project(std::span<const double> p) const {
+    double s = b_;
+    for (size_t d = 0; d < p.size(); ++d) s += a_[d] * p[d];
+    return s;
+  }
+
+  size_t dim() const { return a_.size(); }
+  double width() const { return width_; }
+  double offset() const { return b_; }
+  const std::vector<double>& direction() const { return a_; }
+
+ private:
+  std::vector<double> a_;
+  double b_;
+  double width_;
+};
+
+}  // namespace lsh
+}  // namespace ddp
+
+#endif  // DDP_LSH_PSTABLE_HASH_H_

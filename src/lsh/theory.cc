@@ -1,0 +1,46 @@
+#include "lsh/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ddp {
+namespace lsh {
+
+namespace {
+constexpr double kSqrt2Pi = 2.5066282746310002;  // sqrt(2*pi)
+}
+
+double NormCdf(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double PRhoLowerBound(double w, double dc) {
+  if (w <= 0.0) return 0.0;
+  double p = 1.0 - 4.0 * dc / (kSqrt2Pi * w);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PCollision(double d, double w) {
+  if (d <= 0.0) return 1.0;
+  if (w <= 0.0) return 0.0;
+  double r = w / d;
+  double p = 2.0 * NormCdf(r) - 1.0 -
+             (2.0 / (kSqrt2Pi * r)) * (1.0 - std::exp(-r * r / 2.0));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double ExpectedRhoAccuracy(double w, size_t pi, size_t num_layouts, double dc) {
+  double per_layout = std::pow(PRhoLowerBound(w, dc), static_cast<double>(pi));
+  return 1.0 - std::pow(1.0 - per_layout, static_cast<double>(num_layouts));
+}
+
+double ExpectedDeltaAccuracy(double d_upslope, double w, size_t pi,
+                             size_t num_layouts) {
+  double per_layout =
+      std::pow(PCollision(d_upslope, w), static_cast<double>(pi));
+  return 1.0 - std::pow(1.0 - per_layout, static_cast<double>(num_layouts));
+}
+
+}  // namespace lsh
+}  // namespace ddp

@@ -1,0 +1,42 @@
+#ifndef DDP_LSH_THEORY_H_
+#define DDP_LSH_THEORY_H_
+
+#include <cstddef>
+
+/// \file theory.h
+/// The paper's probabilistic model of LSH-DDP approximation quality
+/// (Section IV, Lemmas 1-4 and Theorems 1-2). These closed forms drive both
+/// the parameter tuner (Section V) and the theory-validation benchmark.
+
+namespace ddp {
+namespace lsh {
+
+/// Standard normal cumulative distribution function.
+double NormCdf(double x);
+
+/// Lemma 1: lower bound on the probability that ALL d_c-neighbors of a point
+/// share its slot under one hash function of width `w`:
+///   P_rho(w, d_c) >= 1 - 4 d_c / (sqrt(2 pi) w).
+/// Clamped to [0, 1].
+double PRhoLowerBound(double w, double dc);
+
+/// Lemma 3 / Datar et al.: exact probability that two points at distance `d`
+/// collide under one hash function of width `w`:
+///   P(d, w) = 2 norm(w/d) - 1 - (2 d / (sqrt(2 pi) w)) (1 - e^{-w^2/(2d^2)}).
+/// For d == 0 returns 1.
+double PCollision(double d, double w);
+
+/// Lemma 2 + Theorem 1: the expected rho accuracy of the full scheme,
+///   A(w, pi, M) = 1 - [1 - P_rho(w, d_c)^pi]^M.
+double ExpectedRhoAccuracy(double w, size_t pi, size_t num_layouts, double dc);
+
+/// Lemma 4 + Theorem 2: probability that delta_i is exactly recovered given
+/// the true upslope distance `d_upslope` (assuming rho values are exact),
+///   Pr = 1 - [1 - P(d_upslope, w)^pi]^M.
+double ExpectedDeltaAccuracy(double d_upslope, double w, size_t pi,
+                             size_t num_layouts);
+
+}  // namespace lsh
+}  // namespace ddp
+
+#endif  // DDP_LSH_THEORY_H_

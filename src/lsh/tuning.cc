@@ -1,0 +1,53 @@
+#include "lsh/tuning.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "lsh/theory.h"
+
+namespace ddp {
+namespace lsh {
+
+namespace {
+constexpr double kSqrt2Pi = 2.5066282746310002;
+}
+
+std::string LshParams::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "LshParams{M=%zu, pi=%zu, w=%.6g}",
+                num_layouts, pi, width);
+  return buf;
+}
+
+Result<double> SolveMinimalWidth(double accuracy, size_t num_layouts,
+                                 size_t pi, double dc) {
+  if (!(accuracy > 0.0) || !(accuracy < 1.0)) {
+    return Status::InvalidArgument("accuracy must be in (0, 1)");
+  }
+  if (num_layouts == 0 || pi == 0) {
+    return Status::InvalidArgument("M and pi must be >= 1");
+  }
+  if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
+  // Invert A = 1 - (1 - P^pi)^M for the required per-function probability P.
+  double per_layout =
+      1.0 - std::pow(1.0 - accuracy, 1.0 / static_cast<double>(num_layouts));
+  double p_required = std::pow(per_layout, 1.0 / static_cast<double>(pi));
+  if (!(p_required < 1.0)) {
+    return Status::OutOfRange("accuracy target requires infinite width");
+  }
+  double w = 4.0 * dc / (kSqrt2Pi * (1.0 - p_required));
+  return w;
+}
+
+Result<LshParams> TuneParams(double accuracy, size_t num_layouts, size_t pi,
+                             double dc) {
+  DDP_ASSIGN_OR_RETURN(double w, SolveMinimalWidth(accuracy, num_layouts, pi, dc));
+  LshParams params;
+  params.num_layouts = num_layouts;
+  params.pi = pi;
+  params.width = w;
+  return params;
+}
+
+}  // namespace lsh
+}  // namespace ddp

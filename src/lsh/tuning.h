@@ -1,0 +1,46 @@
+#ifndef DDP_LSH_TUNING_H_
+#define DDP_LSH_TUNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+/// \file tuning.h
+/// Parameter selection per Section V: the user specifies a target accuracy
+/// confidence A plus the integer parameters M (layouts) and pi (functions per
+/// group); the minimal feasible width w follows in closed form from Eq. (5):
+///
+///   A = 1 - [1 - P_rho(w, d_c)^pi]^M
+///   => P_rho* = (1 - (1-A)^{1/M})^{1/pi}
+///   => w = 4 d_c / (sqrt(2 pi_const) (1 - P_rho*))
+///
+/// Smaller w means narrower slots, hence smaller buckets and less work
+/// (Sec. V-B), so the minimal feasible w is also the cheapest.
+
+namespace ddp {
+namespace lsh {
+
+struct LshParams {
+  size_t num_layouts = 10;  // M; paper recommends [10, 20]
+  size_t pi = 3;            // paper recommends [3, 10]
+  double width = 0.0;       // w; derived from accuracy when 0
+
+  std::string ToString() const;
+};
+
+/// Minimal width achieving expected rho accuracy `accuracy` with the given
+/// M and pi (paper Eq. (5) solved for w). Errors on accuracy outside (0, 1),
+/// zero M/pi, or non-positive d_c.
+Result<double> SolveMinimalWidth(double accuracy, size_t num_layouts,
+                                 size_t pi, double dc);
+
+/// Full user-facing tuner: accuracy + (M, pi) -> complete LshParams.
+Result<LshParams> TuneParams(double accuracy, size_t num_layouts, size_t pi,
+                             double dc);
+
+}  // namespace lsh
+}  // namespace ddp
+
+#endif  // DDP_LSH_TUNING_H_

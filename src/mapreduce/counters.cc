@@ -1,0 +1,65 @@
+#include "mapreduce/counters.h"
+
+#include <cstdio>
+
+namespace ddp {
+namespace mr {
+
+std::string JobCounters::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: map_in=%llu map_out=%llu shuffle=%llu B (%llu rec) groups=%llu "
+      "out=%llu | map=%.3fs shuffle=%.3fs reduce=%.3fs total=%.3fs",
+      job_name.c_str(), static_cast<unsigned long long>(map_input_records),
+      static_cast<unsigned long long>(map_output_records),
+      static_cast<unsigned long long>(shuffle_bytes),
+      static_cast<unsigned long long>(shuffle_records),
+      static_cast<unsigned long long>(reduce_input_groups),
+      static_cast<unsigned long long>(reduce_output_records), map_seconds,
+      shuffle_seconds, reduce_seconds, total_seconds);
+  return buf;
+}
+
+uint64_t RunStats::TotalShuffleBytes() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.shuffle_bytes;
+  return total;
+}
+
+uint64_t RunStats::TotalShuffleRecords() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.shuffle_records;
+  return total;
+}
+
+double RunStats::TotalSeconds() const {
+  double total = 0.0;
+  for (const JobCounters& j : jobs) total += j.total_seconds;
+  return total;
+}
+
+double RunStats::TotalModeledSeconds() const {
+  double total = 0.0;
+  for (const JobCounters& j : jobs) total += j.modeled_seconds;
+  return total;
+}
+
+std::string RunStats::ToString() const {
+  std::string out;
+  for (const JobCounters& j : jobs) {
+    out += j.ToString();
+    out += '\n';
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "TOTAL: shuffle=%llu B (%llu rec) time=%.3fs",
+                static_cast<unsigned long long>(TotalShuffleBytes()),
+                static_cast<unsigned long long>(TotalShuffleRecords()),
+                TotalSeconds());
+  out += buf;
+  return out;
+}
+
+}  // namespace mr
+}  // namespace ddp

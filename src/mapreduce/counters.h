@@ -1,0 +1,62 @@
+#ifndef DDP_MAPREDUCE_COUNTERS_H_
+#define DDP_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file counters.h
+/// Per-job and per-run cost accounting. `shuffle_bytes` counts real
+/// serialized intermediate data (key + value encodings), which is the
+/// quantity Fig. 10(b) and Table IV report as "shuffled data".
+
+namespace ddp {
+namespace mr {
+
+struct JobCounters {
+  std::string job_name;
+
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;   // after the combiner, if any
+  uint64_t combine_input_records = 0;  // records seen by the combiner
+  uint64_t shuffle_bytes = 0;        // serialized intermediate bytes
+  uint64_t shuffle_records = 0;      // key/value pairs shuffled
+  uint64_t reduce_input_groups = 0;  // distinct keys
+  uint64_t reduce_output_records = 0;
+  /// Largest single reduce partition's serialized input — the skew signal
+  /// behind Fig. 12(a)'s small-M/large-pi slowdown.
+  uint64_t max_partition_bytes = 0;
+  uint64_t map_task_retries = 0;     // injected-fault retries (map side)
+  uint64_t reduce_task_retries = 0;  // injected-fault retries (reduce side)
+
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// total_seconds plus shuffle_bytes / Options::modeled_shuffle_bandwidth —
+  /// the Eq. (9)-style unification of compute and network cost that lets an
+  /// in-process run estimate cluster behaviour. Equals total_seconds when
+  /// modeling is off.
+  double modeled_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Accumulated counters over the jobs of one algorithm run.
+struct RunStats {
+  std::vector<JobCounters> jobs;
+
+  void Add(JobCounters counters) { jobs.push_back(std::move(counters)); }
+
+  uint64_t TotalShuffleBytes() const;
+  uint64_t TotalShuffleRecords() const;
+  double TotalSeconds() const;
+  double TotalModeledSeconds() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mr
+}  // namespace ddp
+
+#endif  // DDP_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,414 @@
+#ifndef DDP_MAPREDUCE_MAPREDUCE_H_
+#define DDP_MAPREDUCE_MAPREDUCE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mapreduce/counters.h"
+
+/// \file mapreduce.h
+/// A typed, in-process MapReduce runtime. This is the paper's execution
+/// substrate: every distributed DP variant (Basic-DDP, LSH-DDP, EDDPC,
+/// MR K-means) is written as genuine map()/reduce() functions against this
+/// API and executed here.
+///
+/// Faithfulness to a Hadoop-style system:
+///  * Map tasks run in parallel over input splits.
+///  * Every intermediate (key, value) pair is SERIALIZED into a
+///    per-reduce-partition byte buffer — `JobCounters::shuffle_bytes` is the
+///    size of real encoded data, the quantity a cluster would move over the
+///    network.
+///  * Reduce partitions deserialize, sort by key, group, and run reduce tasks
+///    in parallel. Output order is deterministic (partition-major, key-sorted
+///    within a partition).
+///  * An optional combiner folds map-side values per key before
+///    serialization, shrinking shuffle volume exactly as Hadoop combiners do.
+///
+/// Type requirements:
+///  * `MidK`: Serde<MidK>, `KeyTraits<MidK>::Hash`, operator== and
+///    `KeyTraits<MidK>::Less` (defaults use std::hash / operator<).
+///  * `MidV`, and nothing else: Serde<MidV>.
+
+namespace ddp {
+namespace mr {
+
+/// Hash/order customization point for intermediate keys.
+template <typename K, typename Enable = void>
+struct KeyTraits {
+  static size_t Hash(const K& k) { return std::hash<K>{}(k); }
+  static bool Less(const K& a, const K& b) { return a < b; }
+};
+
+/// Keys that are vectors of integers (LSH bucket signatures).
+template <typename T>
+struct KeyTraits<std::vector<T>, std::enable_if_t<std::is_integral_v<T>>> {
+  static size_t Hash(const std::vector<T>& k) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (T v : k) {
+      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+  static bool Less(const std::vector<T>& a, const std::vector<T>& b) {
+    return a < b;
+  }
+};
+
+/// Pair keys (e.g. (layout m, bucket id)).
+template <typename A, typename B>
+struct KeyTraits<std::pair<A, B>> {
+  static size_t Hash(const std::pair<A, B>& k) {
+    size_t h1 = KeyTraits<A>::Hash(k.first);
+    size_t h2 = KeyTraits<B>::Hash(k.second);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+  static bool Less(const std::pair<A, B>& a, const std::pair<A, B>& b) {
+    if (KeyTraits<A>::Less(a.first, b.first)) return true;
+    if (KeyTraits<A>::Less(b.first, a.first)) return false;
+    return KeyTraits<B>::Less(a.second, b.second);
+  }
+};
+
+/// Receives intermediate pairs from map functions.
+template <typename MidK, typename MidV>
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const MidK& key, const MidV& value) = 0;
+};
+
+/// Runtime options for one job.
+/// Deterministic task-failure injection, for exercising the retry path the
+/// way a Hadoop cluster loses tasks. Whether attempt `a` of task `t` fails
+/// is a pure function of (seed, job name, phase, t, a), so runs remain
+/// reproducible and retried tasks produce identical output.
+struct FaultInjection {
+  double map_failure_rate = 0.0;     // probability a map attempt fails
+  double reduce_failure_rate = 0.0;  // probability a reduce attempt fails
+  uint64_t seed = 1;
+};
+
+struct Options {
+  /// Number of worker threads for the map and reduce phases.
+  size_t num_workers = 0;  // 0 => DefaultParallelism()
+  /// Number of reduce partitions (0 => 4 * workers, Hadoop-style default).
+  size_t num_partitions = 0;
+  /// Attempts per task before the whole job fails (Hadoop default: 4).
+  size_t max_task_attempts = 4;
+  FaultInjection faults;
+  /// Cluster cost model (paper Eq. (9)): when > 0, JobCounters reports
+  /// modeled_seconds = total_seconds + shuffle_bytes / this bandwidth,
+  /// charging every shuffled byte the network/disk cost an in-process run
+  /// does not pay. 0 disables (modeled_seconds == total_seconds).
+  double modeled_shuffle_bandwidth = 0.0;  // bytes per second
+
+  size_t ResolvedWorkers() const {
+    return num_workers == 0 ? DefaultParallelism() : num_workers;
+  }
+  size_t ResolvedPartitions() const {
+    return num_partitions == 0 ? 4 * ResolvedWorkers() : num_partitions;
+  }
+};
+
+/// A MapReduce job specification.
+///
+/// `map` is invoked once per input record; `reduce` once per distinct key
+/// with all values for that key. `combiner`, when set, is applied map-side to
+/// the value list of each key within one map task and must return the
+/// combined value list (commonly a single element for sum/min/max).
+template <typename In, typename MidK, typename MidV, typename Out>
+struct JobSpec {
+  std::string name = "job";
+  std::function<void(const In&, Emitter<MidK, MidV>*)> map;
+  std::function<void(const MidK&, std::span<const MidV>, std::vector<Out>*)>
+      reduce;
+  std::function<std::vector<MidV>(const MidK&, std::vector<MidV>)> combiner;
+};
+
+namespace internal {
+
+/// Pure decision: does attempt `attempt` of task `task` in `phase` fail?
+inline bool ShouldInjectFailure(const FaultInjection& faults, double rate,
+                                const std::string& job_name, int phase,
+                                size_t task, size_t attempt) {
+  if (rate <= 0.0) return false;
+  uint64_t h = faults.seed ^ (0x9e3779b97f4a7c15ULL * (task + 1)) ^
+               (0xc2b2ae3d27d4eb4fULL * (attempt + 1)) ^
+               (0x165667b19e3779f9ULL * static_cast<uint64_t>(phase + 1));
+  for (char c : job_name) h = h * 0x100000001b3ULL ^ static_cast<uint8_t>(c);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+/// Map-side emitter that serializes each pair into the buffer of the
+/// partition its key hashes to.
+template <typename MidK, typename MidV>
+class PartitionedEmitter : public Emitter<MidK, MidV> {
+ public:
+  PartitionedEmitter(size_t num_partitions)
+      : buffers_(num_partitions), records_(0) {}
+
+  void Emit(const MidK& key, const MidV& value) override {
+    size_t p = KeyTraits<MidK>::Hash(key) % buffers_.size();
+    BufferWriter w(&buffers_[p]);
+    Serde<MidK>::Write(&w, key);
+    Serde<MidV>::Write(&w, value);
+    ++records_;
+  }
+
+  std::vector<std::string>& buffers() { return buffers_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  std::vector<std::string> buffers_;
+  uint64_t records_;
+};
+
+/// Map-side emitter that holds pairs in memory for combining.
+template <typename MidK, typename MidV>
+class CombiningEmitter : public Emitter<MidK, MidV> {
+ public:
+  void Emit(const MidK& key, const MidV& value) override {
+    groups_[key].push_back(value);
+    ++records_;
+  }
+
+  /// Applies `combiner` per key and forwards results to `sink`.
+  void Flush(
+      const std::function<std::vector<MidV>(const MidK&, std::vector<MidV>)>&
+          combiner,
+      Emitter<MidK, MidV>* sink) {
+    for (auto& [key, values] : groups_) {
+      std::vector<MidV> combined = combiner(key, std::move(values));
+      for (MidV& v : combined) sink->Emit(key, v);
+    }
+    groups_.clear();
+  }
+
+  uint64_t records() const { return records_; }
+
+ private:
+  struct HashFn {
+    size_t operator()(const MidK& k) const { return KeyTraits<MidK>::Hash(k); }
+  };
+  std::unordered_map<MidK, std::vector<MidV>, HashFn> groups_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace internal
+
+/// Executes `spec` over `input` and returns all reduce outputs
+/// (deterministic order). Counter accumulation is optional.
+template <typename In, typename MidK, typename MidV, typename Out>
+Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
+                                std::span<const In> input,
+                                const Options& options = {},
+                                JobCounters* counters_out = nullptr) {
+  if (!spec.map) return Status::InvalidArgument("JobSpec.map is not set");
+  if (!spec.reduce) return Status::InvalidArgument("JobSpec.reduce is not set");
+
+  const size_t workers = options.ResolvedWorkers();
+  const size_t num_partitions = options.ResolvedPartitions();
+
+  JobCounters counters;
+  counters.job_name = spec.name;
+  counters.map_input_records = input.size();
+  Stopwatch job_timer;
+
+  ThreadPool pool(workers);
+
+  // ---- Map phase: split input into tasks, emit into per-partition buffers.
+  Stopwatch map_timer;
+  const size_t num_map_tasks =
+      std::max<size_t>(1, std::min(input.size(), workers * 4));
+  const size_t chunk = (input.size() + num_map_tasks - 1) / num_map_tasks;
+
+  // buffers[task][partition] — concatenated per partition afterwards.
+  std::vector<std::vector<std::string>> task_buffers(num_map_tasks);
+  std::atomic<uint64_t> map_output_records{0};
+  std::atomic<uint64_t> combine_input_records{0};
+
+  std::atomic<uint64_t> map_task_retries{0};
+  std::atomic<bool> map_task_exhausted{false};
+  pool.ParallelFor(num_map_tasks, [&](size_t t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(input.size(), begin + chunk);
+    for (size_t attempt = 0;; ++attempt) {
+      if (attempt >= options.max_task_attempts) {
+        map_task_exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      // A failed attempt's partial output is discarded, exactly like a lost
+      // Hadoop task: the emitter below is attempt-local and only committed
+      // into task_buffers on success.
+      internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
+      uint64_t combined_in = 0;
+      if (spec.combiner) {
+        internal::CombiningEmitter<MidK, MidV> combining;
+        for (size_t i = begin; i < end; ++i) spec.map(input[i], &combining);
+        combined_in = combining.records();
+        combining.Flush(spec.combiner, &emitter);
+      } else {
+        for (size_t i = begin; i < end; ++i) spec.map(input[i], &emitter);
+      }
+      if (internal::ShouldInjectFailure(options.faults,
+                                        options.faults.map_failure_rate,
+                                        spec.name, /*phase=*/0, t, attempt)) {
+        map_task_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      combine_input_records.fetch_add(combined_in, std::memory_order_relaxed);
+      map_output_records.fetch_add(emitter.records(),
+                                   std::memory_order_relaxed);
+      task_buffers[t] = std::move(emitter.buffers());
+      return;
+    }
+  });
+  if (map_task_exhausted.load()) {
+    return Status::Internal("map task failed after " +
+                            std::to_string(options.max_task_attempts) +
+                            " attempts");
+  }
+  counters.map_seconds = map_timer.ElapsedSeconds();
+  counters.map_output_records = map_output_records.load();
+  counters.combine_input_records = combine_input_records.load();
+  counters.map_task_retries = map_task_retries.load();
+
+  // ---- Shuffle: concatenate task buffers per partition; measure bytes.
+  Stopwatch shuffle_timer;
+  std::vector<std::string> partitions(num_partitions);
+  {
+    std::vector<size_t> sizes(num_partitions, 0);
+    for (const auto& bufs : task_buffers) {
+      for (size_t p = 0; p < num_partitions; ++p) sizes[p] += bufs[p].size();
+    }
+    for (size_t p = 0; p < num_partitions; ++p) {
+      partitions[p].reserve(sizes[p]);
+      counters.shuffle_bytes += sizes[p];
+      counters.max_partition_bytes =
+          std::max<uint64_t>(counters.max_partition_bytes, sizes[p]);
+    }
+    for (auto& bufs : task_buffers) {
+      for (size_t p = 0; p < num_partitions; ++p) {
+        partitions[p] += bufs[p];
+        bufs[p].clear();
+        bufs[p].shrink_to_fit();
+      }
+    }
+  }
+  counters.shuffle_records = counters.map_output_records;
+  counters.shuffle_seconds = shuffle_timer.ElapsedSeconds();
+
+  // ---- Reduce phase: per partition, deserialize, sort-group, reduce.
+  Stopwatch reduce_timer;
+  std::vector<std::vector<Out>> partition_outputs(num_partitions);
+  std::atomic<uint64_t> reduce_groups{0};
+  std::mutex error_mu;
+  Status first_error;
+
+  std::atomic<uint64_t> reduce_task_retries{0};
+  std::atomic<bool> reduce_task_exhausted{false};
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    BufferReader reader(partitions[p]);
+    std::vector<std::pair<MidK, MidV>> pairs;
+    while (!reader.exhausted()) {
+      std::pair<MidK, MidV> kv;
+      Status st = Serde<MidK>::Read(&reader, &kv.first);
+      if (st.ok()) st = Serde<MidV>::Read(&reader, &kv.second);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      pairs.push_back(std::move(kv));
+    }
+    partitions[p].clear();
+    partitions[p].shrink_to_fit();
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) {
+                       return KeyTraits<MidK>::Less(a.first, b.first);
+                     });
+    for (size_t attempt = 0;; ++attempt) {
+      if (attempt >= options.max_task_attempts) {
+        reduce_task_exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::vector<Out> out;  // attempt-local; committed on success
+      size_t i = 0;
+      uint64_t groups = 0;
+      std::vector<MidV> values;
+      while (i < pairs.size()) {
+        size_t j = i + 1;
+        while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+        values.clear();
+        values.reserve(j - i);
+        for (size_t k = i; k < j; ++k) values.push_back(pairs[k].second);
+        spec.reduce(pairs[i].first, values, &out);
+        ++groups;
+        i = j;
+      }
+      if (internal::ShouldInjectFailure(options.faults,
+                                        options.faults.reduce_failure_rate,
+                                        spec.name, /*phase=*/1, p, attempt)) {
+        reduce_task_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      partition_outputs[p] = std::move(out);
+      reduce_groups.fetch_add(groups, std::memory_order_relaxed);
+      return;
+    }
+  });
+  if (!first_error.ok()) return first_error;
+  if (reduce_task_exhausted.load()) {
+    return Status::Internal("reduce task failed after " +
+                            std::to_string(options.max_task_attempts) +
+                            " attempts");
+  }
+  counters.reduce_seconds = reduce_timer.ElapsedSeconds();
+  counters.reduce_input_groups = reduce_groups.load();
+  counters.reduce_task_retries = reduce_task_retries.load();
+
+  // ---- Collect outputs (partition-major deterministic order).
+  std::vector<Out> output;
+  {
+    size_t total = 0;
+    for (const auto& po : partition_outputs) total += po.size();
+    output.reserve(total);
+    for (auto& po : partition_outputs) {
+      std::move(po.begin(), po.end(), std::back_inserter(output));
+    }
+  }
+  counters.reduce_output_records = output.size();
+  counters.total_seconds = job_timer.ElapsedSeconds();
+  counters.modeled_seconds = counters.total_seconds;
+  if (options.modeled_shuffle_bandwidth > 0.0) {
+    counters.modeled_seconds += static_cast<double>(counters.shuffle_bytes) /
+                                options.modeled_shuffle_bandwidth;
+  }
+
+  if (counters_out != nullptr) *counters_out = counters;
+  return output;
+}
+
+}  // namespace mr
+}  // namespace ddp
+
+#endif  // DDP_MAPREDUCE_MAPREDUCE_H_

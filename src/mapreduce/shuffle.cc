@@ -1,0 +1,8 @@
+#include "mapreduce/mapreduce.h"
+
+// The MapReduce runtime is fully templated (mapreduce.h); this translation
+// unit exists so the build verifies the header is self-contained.
+
+namespace ddp {
+namespace mr {}  // namespace mr
+}  // namespace ddp

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/dbscan.h"
+#include "baselines/em_gmm.h"
+#include "baselines/hierarchical.h"
+#include "baselines/kmeans.h"
+#include "baselines/mean_shift.h"
+#include "dataset/generators.h"
+#include "eval/metrics.h"
+
+namespace ddp {
+namespace baselines {
+namespace {
+
+// Three well-separated blobs: every reasonable algorithm should nail them.
+const Dataset& Blobs() {
+  static const Dataset* ds = [] {
+    auto r = gen::GaussianMixture(300, 2, 3, 500.0, 2.0, 201);
+    return new Dataset(std::move(r).ValueOrDie());
+  }();
+  return *ds;
+}
+
+// --------------------------------------------------------------- K-means
+
+TEST(KmeansTest, RecoversSeparatedBlobs) {
+  KmeansOptions options;
+  options.k = 3;
+  options.seed = 1;
+  CountingMetric metric;
+  auto result = RunKmeans(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+  auto ari = eval::AdjustedRandIndex(result->assignment, Blobs().labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(KmeansTest, InertiaNonIncreasingAcrossMoreIterations) {
+  CountingMetric metric;
+  KmeansOptions one, many;
+  one.k = many.k = 3;
+  one.seed = many.seed = 3;
+  one.max_iterations = 1;
+  many.max_iterations = 20;
+  one.convergence_tol = many.convergence_tol = 0.0;
+  auto r1 = RunKmeans(Blobs(), one, metric);
+  auto r20 = RunKmeans(Blobs(), many, metric);
+  ASSERT_TRUE(r1.ok() && r20.ok());
+  EXPECT_LE(r20->inertia, r1->inertia);
+}
+
+TEST(KmeansTest, DeterministicInSeed) {
+  CountingMetric metric;
+  KmeansOptions options;
+  options.k = 3;
+  options.seed = 42;
+  auto a = RunKmeans(Blobs(), options, metric);
+  auto b = RunKmeans(Blobs(), options, metric);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KmeansTest, UniformInitAlsoWorks) {
+  CountingMetric metric;
+  KmeansOptions options;
+  options.k = 3;
+  options.use_kmeans_plus_plus = false;
+  auto result = RunKmeans(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+}
+
+TEST(KmeansTest, KEqualsNPutsEachPointAlone) {
+  auto ds = gen::GaussianMixture(12, 2, 2, 100.0, 1.0, 5);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  KmeansOptions options;
+  options.k = 12;
+  auto result = RunKmeans(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+TEST(KmeansTest, Validation) {
+  CountingMetric metric;
+  KmeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunKmeans(Blobs(), options, metric).ok());
+  options.k = 1000000;
+  EXPECT_FALSE(RunKmeans(Blobs(), options, metric).ok());
+  options.k = 2;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunKmeans(Blobs(), options, metric).ok());
+  Dataset empty(2);
+  KmeansOptions ok;
+  ok.k = 1;
+  EXPECT_FALSE(RunKmeans(empty, ok, metric).ok());
+}
+
+// ---------------------------------------------------------------- DBSCAN
+
+TEST(DbscanTest, SeparatedBlobsBecomeClusters) {
+  CountingMetric metric;
+  DbscanOptions options;
+  options.epsilon = 10.0;  // within-blob scale
+  options.min_points = 3;
+  auto result = RunDbscan(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 3u);
+  auto ari = eval::AdjustedRandIndex(result->assignment, Blobs().labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(DbscanTest, TinyEpsilonMakesEverythingNoiseWithHighMinPts) {
+  CountingMetric metric;
+  DbscanOptions options;
+  options.epsilon = 1e-9;
+  options.min_points = 3;
+  auto result = RunDbscan(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  for (int c : result->assignment) EXPECT_EQ(c, -1);
+}
+
+TEST(DbscanTest, HugeEpsilonMergesEverything) {
+  CountingMetric metric;
+  DbscanOptions options;
+  options.epsilon = 1e9;
+  options.min_points = 1;
+  auto result = RunDbscan(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+}
+
+TEST(DbscanTest, MinPointsOneHasNoNoise) {
+  CountingMetric metric;
+  DbscanOptions options;
+  options.epsilon = 5.0;
+  options.min_points = 1;  // the paper's Fig. 8 configuration
+  auto result = RunDbscan(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  for (int c : result->assignment) EXPECT_GE(c, 0);
+}
+
+TEST(DbscanTest, Validation) {
+  CountingMetric metric;
+  DbscanOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(RunDbscan(Blobs(), options, metric).ok());
+  options.epsilon = 1.0;
+  options.min_points = 0;
+  EXPECT_FALSE(RunDbscan(Blobs(), options, metric).ok());
+  Dataset empty(2);
+  DbscanOptions ok;
+  EXPECT_FALSE(RunDbscan(empty, ok, metric).ok());
+}
+
+// -------------------------------------------------------------------- EM
+
+TEST(EmGmmTest, RecoversSeparatedBlobs) {
+  CountingMetric metric;
+  EmGmmOptions options;
+  options.k = 3;
+  options.seed = 2;
+  auto result = RunEmGmm(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  auto ari = eval::AdjustedRandIndex(result->assignment, Blobs().labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(EmGmmTest, WeightsFormDistribution) {
+  CountingMetric metric;
+  EmGmmOptions options;
+  options.k = 4;
+  auto result = RunEmGmm(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (double w : result->weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EmGmmTest, LogLikelihoodImprovesWithIterations) {
+  CountingMetric metric;
+  EmGmmOptions one, many;
+  one.k = many.k = 3;
+  one.seed = many.seed = 5;
+  one.max_iterations = 1;
+  many.max_iterations = 25;
+  auto r1 = RunEmGmm(Blobs(), one, metric);
+  auto r25 = RunEmGmm(Blobs(), many, metric);
+  ASSERT_TRUE(r1.ok() && r25.ok());
+  EXPECT_GE(r25->log_likelihood, r1->log_likelihood - 1e-9);
+}
+
+TEST(EmGmmTest, VarianceFloorHolds) {
+  CountingMetric metric;
+  EmGmmOptions options;
+  options.k = 3;
+  options.min_variance = 0.5;
+  auto result = RunEmGmm(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  for (const auto& var : result->variances) {
+    for (double v : var) EXPECT_GE(v, 0.5);
+  }
+}
+
+TEST(EmGmmTest, Validation) {
+  CountingMetric metric;
+  EmGmmOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunEmGmm(Blobs(), options, metric).ok());
+  Dataset empty(2);
+  EmGmmOptions ok;
+  ok.k = 1;
+  EXPECT_FALSE(RunEmGmm(empty, ok, metric).ok());
+}
+
+// ---------------------------------------------------------- Hierarchical
+
+TEST(HierarchicalTest, SingleLinkageRecoversSeparatedBlobs) {
+  CountingMetric metric;
+  HierarchicalOptions options;
+  options.num_clusters = 3;
+  options.linkage = Linkage::kSingle;
+  auto result = RunHierarchical(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  std::set<int> labels(result->assignment.begin(), result->assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+  auto ari = eval::AdjustedRandIndex(result->assignment, Blobs().labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(HierarchicalTest, AllLinkagesProduceRequestedClusterCount) {
+  CountingMetric metric;
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    HierarchicalOptions options;
+    options.num_clusters = 5;
+    options.linkage = linkage;
+    auto result = RunHierarchical(Blobs(), options, metric);
+    ASSERT_TRUE(result.ok());
+    std::set<int> labels(result->assignment.begin(), result->assignment.end());
+    EXPECT_EQ(labels.size(), 5u);
+  }
+}
+
+TEST(HierarchicalTest, OneClusterMergesEverything) {
+  CountingMetric metric;
+  HierarchicalOptions options;
+  options.num_clusters = 1;
+  auto result = RunHierarchical(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  for (int c : result->assignment) EXPECT_EQ(c, 0);
+}
+
+TEST(HierarchicalTest, NClustersKeepsAllSingletons) {
+  auto ds = gen::GaussianMixture(20, 2, 2, 10.0, 1.0, 7);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  HierarchicalOptions options;
+  options.num_clusters = 20;
+  auto result = RunHierarchical(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  std::set<int> labels(result->assignment.begin(), result->assignment.end());
+  EXPECT_EQ(labels.size(), 20u);
+}
+
+TEST(HierarchicalTest, Validation) {
+  CountingMetric metric;
+  HierarchicalOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(RunHierarchical(Blobs(), options, metric).ok());
+  options.num_clusters = Blobs().size() + 1;
+  EXPECT_FALSE(RunHierarchical(Blobs(), options, metric).ok());
+  options.num_clusters = 2;
+  options.max_points = 10;  // cap triggers
+  EXPECT_FALSE(RunHierarchical(Blobs(), options, metric).ok());
+}
+
+// ------------------------------------------------------------ Mean shift
+
+TEST(MeanShiftTest, RecoversSeparatedBlobs) {
+  CountingMetric metric;
+  MeanShiftOptions options;
+  options.bandwidth = 15.0;  // covers a blob, not the gaps
+  auto result = RunMeanShift(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 3u);
+  auto ari = eval::AdjustedRandIndex(result->assignment, Blobs().labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(MeanShiftTest, HugeBandwidthMergesEverything) {
+  CountingMetric metric;
+  MeanShiftOptions options;
+  options.bandwidth = 1e9;
+  auto result = RunMeanShift(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+}
+
+TEST(MeanShiftTest, TinyBandwidthKeepsPointsApart) {
+  auto ds = gen::GaussianMixture(40, 2, 4, 1000.0, 1.0, 9);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  MeanShiftOptions options;
+  options.bandwidth = 1e-6;  // below any inter-point distance
+  auto result = RunMeanShift(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, ds->size());
+}
+
+TEST(MeanShiftTest, ModesSitNearBlobCenters) {
+  CountingMetric metric;
+  MeanShiftOptions options;
+  options.bandwidth = 15.0;
+  auto result = RunMeanShift(Blobs(), options, metric);
+  ASSERT_TRUE(result.ok());
+  // Every mode should be within a few sigma of some planted center; verify
+  // indirectly: each mode's nearest data point shares the mode's cluster.
+  for (const auto& mode : result->modes) {
+    double best = 1e300;
+    PointId nearest = 0;
+    for (size_t i = 0; i < Blobs().size(); ++i) {
+      double d = Euclidean(mode, Blobs().point(static_cast<PointId>(i)));
+      if (d < best) {
+        best = d;
+        nearest = static_cast<PointId>(i);
+      }
+    }
+    EXPECT_LT(best, 5.0);
+    (void)nearest;
+  }
+}
+
+TEST(MeanShiftTest, Validation) {
+  CountingMetric metric;
+  MeanShiftOptions options;
+  options.bandwidth = 0.0;
+  EXPECT_FALSE(RunMeanShift(Blobs(), options, metric).ok());
+  options.bandwidth = 1.0;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunMeanShift(Blobs(), options, metric).ok());
+  options.max_iterations = 10;
+  options.max_points = 10;
+  EXPECT_FALSE(RunMeanShift(Blobs(), options, metric).ok());
+  Dataset empty(2);
+  MeanShiftOptions ok;
+  EXPECT_FALSE(RunMeanShift(empty, ok, metric).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace ddp

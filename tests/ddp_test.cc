@@ -1,0 +1,552 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/driver.h"
+#include "ddp/eddpc.h"
+#include "ddp/lsh_ddp.h"
+#include "ddp/mr_kmeans.h"
+#include "eval/metrics.h"
+#include "eval/tau.h"
+
+namespace ddp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+mr::Options FastMr() {
+  mr::Options o;
+  o.num_workers = 2;
+  o.num_partitions = 8;
+  return o;
+}
+
+// Shared fixture data: a moderate labeled mixture.
+const Dataset& TestMixture() {
+  static const Dataset* ds = [] {
+    auto r = gen::GaussianMixture(600, 4, 5, 100.0, 2.0, 101);
+    return new Dataset(std::move(r).ValueOrDie());
+  }();
+  return *ds;
+}
+
+double TestCutoff() {
+  static const double dc = [] {
+    CountingMetric metric;
+    return std::move(ChooseCutoff(TestMixture(), metric)).ValueOrDie();
+  }();
+  return dc;
+}
+
+// ------------------------------------------------------ Basic-DDP routing
+
+TEST(BasicDdpRoutingTest, EveryBlockPairMeetsExactlyOnce) {
+  for (uint32_t n : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 16u, 17u}) {
+    for (uint32_t a = 0; a < n; ++a) {
+      // Reducers block a is sent to.
+      std::set<uint32_t> targets_a;
+      for (uint32_t t = 0; t <= n / 2; ++t) targets_a.insert((a + t) % n);
+      for (uint32_t b = a; b < n; ++b) {
+        std::set<uint32_t> targets_b;
+        for (uint32_t t = 0; t <= n / 2; ++t) targets_b.insert((b + t) % n);
+        uint32_t meet = BasicDdp::MeetingReducer(a, b, n);
+        // The meeting reducer receives both blocks.
+        EXPECT_TRUE(targets_a.count(meet)) << "n=" << n << " a=" << a
+                                           << " b=" << b;
+        EXPECT_TRUE(targets_b.count(meet)) << "n=" << n << " a=" << a
+                                           << " b=" << b;
+        // Symmetric and deterministic.
+        EXPECT_EQ(meet, BasicDdp::MeetingReducer(b, a, n));
+      }
+    }
+  }
+}
+
+TEST(BasicDdpRoutingTest, ShuffleCopiesPerPointIsHalfBlocksPlusOne) {
+  // The circular scheme sends each block floor(n/2)+1 times, the paper's
+  // ceil((n+1)/2) for odd n.
+  for (uint32_t n : {1u, 3u, 5u, 7u, 9u}) {
+    EXPECT_EQ(n / 2 + 1, (n + 1) / 2 + (n % 2 == 0 ? 1 : 0));
+  }
+}
+
+// ---------------------------------------------------- Basic-DDP exactness
+
+TEST(BasicDdpTest, MatchesSequentialExactly) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactDp(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+
+  BasicDdp::Params params;
+  params.block_size = 100;
+  BasicDdp algo(params);
+  mr::RunStats stats;
+  auto distributed = algo.ComputeScores(ds, dc, metric, FastMr(), &stats);
+  ASSERT_TRUE(distributed.ok());
+
+  EXPECT_EQ(distributed->rho, exact->rho);
+  EXPECT_EQ(distributed->delta, exact->delta);
+  EXPECT_EQ(distributed->upslope, exact->upslope);
+  EXPECT_EQ(stats.jobs.size(), 4u);
+}
+
+TEST(BasicDdpTest, ExactForSingleBlock) {
+  auto ds = gen::GaussianMixture(80, 2, 2, 10.0, 1.0, 7);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto exact = ComputeExactDp(*ds, 1.0, metric);
+  ASSERT_TRUE(exact.ok());
+  BasicDdp::Params params;
+  params.block_size = 1000;  // one block
+  BasicDdp algo(params);
+  auto distributed = algo.ComputeScores(*ds, 1.0, metric, FastMr(), nullptr);
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_EQ(distributed->rho, exact->rho);
+  EXPECT_EQ(distributed->delta, exact->delta);
+}
+
+TEST(BasicDdpTest, ExactAcrossBlockSizes) {
+  auto ds = gen::GaussianMixture(150, 3, 3, 30.0, 1.5, 9);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto exact = ComputeExactDp(*ds, 2.0, metric);
+  ASSERT_TRUE(exact.ok());
+  for (size_t block_size : {10ul, 37ul, 75ul, 149ul}) {
+    BasicDdp::Params params;
+    params.block_size = block_size;
+    BasicDdp algo(params);
+    auto distributed = algo.ComputeScores(*ds, 2.0, metric, FastMr(), nullptr);
+    ASSERT_TRUE(distributed.ok()) << "block_size=" << block_size;
+    EXPECT_EQ(distributed->rho, exact->rho) << "block_size=" << block_size;
+    EXPECT_EQ(distributed->delta, exact->delta) << "block_size=" << block_size;
+    EXPECT_EQ(distributed->upslope, exact->upslope)
+        << "block_size=" << block_size;
+  }
+}
+
+TEST(BasicDdpTest, DistanceCountMatchesQuadraticModel) {
+  // Sec. III-B: N(N-1)/2 distances in the rho job and again in delta.
+  auto ds = gen::GaussianMixture(120, 2, 2, 10.0, 1.0, 11);
+  ASSERT_TRUE(ds.ok());
+  DistanceCounter counter;
+  CountingMetric metric(&counter);
+  BasicDdp::Params params;
+  params.block_size = 30;
+  BasicDdp algo(params);
+  ASSERT_TRUE(algo.ComputeScores(*ds, 1.0, metric, FastMr(), nullptr).ok());
+  uint64_t n = 120;
+  EXPECT_EQ(counter.value(), 2 * (n * (n - 1) / 2));
+}
+
+TEST(BasicDdpTest, Validation) {
+  CountingMetric metric;
+  Dataset empty(2);
+  BasicDdp algo;
+  EXPECT_FALSE(algo.ComputeScores(empty, 1.0, metric, FastMr(), nullptr).ok());
+  EXPECT_FALSE(
+      algo.ComputeScores(TestMixture(), 0.0, metric, FastMr(), nullptr).ok());
+  BasicDdp::Params bad;
+  bad.block_size = 0;
+  BasicDdp bad_algo(bad);
+  EXPECT_FALSE(
+      bad_algo.ComputeScores(TestMixture(), 1.0, metric, FastMr(), nullptr)
+          .ok());
+}
+
+// ------------------------------------------------------------- LSH-DDP
+
+TEST(LshDdpTest, RhoNeverOvercounts) {
+  // rho_hat^m <= rho for every layout, hence also after max-aggregation.
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactRho(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  LshDdp algo;
+  auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(approx.ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_LE(approx->rho[i], (*exact)[i]) << "point " << i;
+  }
+}
+
+TEST(LshDdpTest, DeltaNeverUndershootsExact) {
+  // Each local delta_hat^m is a min over a subset of the true candidate
+  // set, so delta_hat >= delta (with exact rho; with underestimated rho the
+  // candidate set can only shrink further).
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactDp(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  LshDdp::Params params;
+  params.accuracy = 0.99;
+  LshDdp algo(params);
+  auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(approx.ok());
+  size_t at_least = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (approx->rho[i] == exact->rho[i] &&
+        approx->delta[i] >= exact->delta[i] - 1e-12) {
+      ++at_least;
+    }
+  }
+  // For points with exact rho the bound must hold; nearly all points should
+  // satisfy it at A=0.99.
+  EXPECT_GT(static_cast<double>(at_least) / static_cast<double>(ds.size()),
+            0.9);
+}
+
+TEST(LshDdpTest, HighAccuracyRecoversMostRhoExactly) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactRho(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  LshDdp::Params params;
+  params.accuracy = 0.99;
+  params.lsh.num_layouts = 10;
+  params.lsh.pi = 3;
+  LshDdp algo(params);
+  auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(approx.ok());
+  auto tau1 = eval::Tau1(approx->rho, *exact);
+  ASSERT_TRUE(tau1.ok());
+  EXPECT_GT(*tau1, 0.9);  // headroom below the 0.99 target for sampling noise
+}
+
+TEST(LshDdpTest, AccuracyKnobMonotone) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactRho(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  auto tau2_at = [&](double accuracy) {
+    LshDdp::Params params;
+    params.accuracy = accuracy;
+    params.seed = 55;
+    LshDdp algo(params);
+    auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+    EXPECT_TRUE(approx.ok());
+    return std::move(eval::Tau2(approx->rho, *exact)).ValueOrDie();
+  };
+  double lo = tau2_at(0.30);
+  double hi = tau2_at(0.99);
+  EXPECT_GT(hi, lo - 0.02);  // allow small noise, expect clear improvement
+  EXPECT_GT(hi, 0.9);
+}
+
+TEST(LshDdpTest, InfiniteDeltaMarksLocalPeaks) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  LshDdp algo;
+  auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(approx.ok());
+  size_t inf_count = 0;
+  for (double d : approx->delta) {
+    if (std::isinf(d)) ++inf_count;
+  }
+  // At least the absolute peak; typically a handful of local peaks
+  // (Sec. IV-C), but far fewer than the point count.
+  EXPECT_GE(inf_count, 1u);
+  EXPECT_LT(inf_count, ds.size() / 10);
+}
+
+TEST(LshDdpTest, UpslopeDenserUnderApproximateOrder) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  LshDdp algo;
+  auto approx = algo.ComputeScores(ds, dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(approx.ok());
+  for (size_t i = 0; i < approx->size(); ++i) {
+    PointId u = approx->upslope[i];
+    if (u == kInvalidPointId) continue;
+    EXPECT_TRUE(DenserThan(approx->rho[u], u, approx->rho[i],
+                           static_cast<PointId>(i)));
+  }
+}
+
+TEST(LshDdpTest, ShuffleScalesWithLayoutCount) {
+  // Sec. IV-D: the partition jobs shuffle M copies of every point.
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto shuffle_with_m = [&](size_t m) {
+    LshDdp::Params params;
+    params.lsh.num_layouts = m;
+    params.lsh.pi = 3;
+    params.accuracy = 0.99;
+    LshDdp algo(params);
+    mr::RunStats stats;
+    EXPECT_TRUE(algo.ComputeScores(ds, dc, metric, FastMr(), &stats).ok());
+    // Jobs 0 and 2 carry the point payloads.
+    return stats.jobs[0].shuffle_bytes + stats.jobs[2].shuffle_bytes;
+  };
+  uint64_t m5 = shuffle_with_m(5);
+  uint64_t m10 = shuffle_with_m(10);
+  EXPECT_NEAR(static_cast<double>(m10) / static_cast<double>(m5), 2.0, 0.1);
+}
+
+TEST(LshDdpTest, FourJobsReported) {
+  const Dataset& ds = TestMixture();
+  CountingMetric metric;
+  LshDdp algo;
+  mr::RunStats stats;
+  ASSERT_TRUE(
+      algo.ComputeScores(ds, TestCutoff(), metric, FastMr(), &stats).ok());
+  ASSERT_EQ(stats.jobs.size(), 4u);
+  EXPECT_EQ(stats.jobs[0].job_name, "lsh-rho-local");
+  EXPECT_EQ(stats.jobs[1].job_name, "lsh-rho-aggregate");
+  EXPECT_EQ(stats.jobs[2].job_name, "lsh-delta-local");
+  EXPECT_EQ(stats.jobs[3].job_name, "lsh-delta-aggregate");
+}
+
+TEST(LshDdpTest, ExplicitWidthSkipsTuning) {
+  const Dataset& ds = TestMixture();
+  CountingMetric metric;
+  LshDdp::Params params;
+  params.lsh.width = 50.0;
+  LshDdp algo(params);
+  EXPECT_TRUE(
+      algo.ComputeScores(ds, TestCutoff(), metric, FastMr(), nullptr).ok());
+}
+
+TEST(LshDdpTest, Validation) {
+  CountingMetric metric;
+  Dataset empty(2);
+  LshDdp algo;
+  EXPECT_FALSE(algo.ComputeScores(empty, 1.0, metric, FastMr(), nullptr).ok());
+  EXPECT_FALSE(
+      algo.ComputeScores(TestMixture(), -1.0, metric, FastMr(), nullptr).ok());
+  LshDdp::Params bad;
+  bad.accuracy = 1.5;  // unsolvable accuracy target
+  LshDdp bad_algo(bad);
+  EXPECT_FALSE(
+      bad_algo.ComputeScores(TestMixture(), 1.0, metric, FastMr(), nullptr)
+          .ok());
+}
+
+// --------------------------------------------------------------- EDDPC
+
+TEST(EddpcTest, MatchesSequentialExactly) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  auto exact = ComputeExactDp(ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  Eddpc algo;
+  mr::RunStats stats;
+  auto distributed = algo.ComputeScores(ds, dc, metric, FastMr(), &stats);
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_EQ(distributed->rho, exact->rho);
+  EXPECT_EQ(distributed->delta, exact->delta);
+  EXPECT_EQ(distributed->upslope, exact->upslope);
+  EXPECT_EQ(stats.jobs.size(), 4u);
+}
+
+TEST(EddpcTest, ExactAcrossPivotCounts) {
+  auto ds = gen::GaussianMixture(250, 3, 4, 50.0, 2.0, 71);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  const double dc = 3.0;
+  auto exact = ComputeExactDp(*ds, dc, metric);
+  ASSERT_TRUE(exact.ok());
+  for (size_t pivots : {1ul, 4ul, 16ul, 64ul, 250ul}) {
+    Eddpc::Params params;
+    params.num_pivots = pivots;
+    Eddpc algo(params);
+    auto distributed = algo.ComputeScores(*ds, dc, metric, FastMr(), nullptr);
+    ASSERT_TRUE(distributed.ok()) << "pivots=" << pivots;
+    EXPECT_EQ(distributed->rho, exact->rho) << "pivots=" << pivots;
+    EXPECT_EQ(distributed->delta, exact->delta) << "pivots=" << pivots;
+  }
+}
+
+TEST(EddpcTest, ShufflesLessThanBasic) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+  CountingMetric metric;
+  mr::RunStats basic_stats, eddpc_stats;
+  BasicDdp::Params bp;
+  bp.block_size = 15;  // 40 blocks => ~21 shuffled copies of every point
+  BasicDdp basic(bp);
+  ASSERT_TRUE(basic.ComputeScores(ds, dc, metric, FastMr(), &basic_stats).ok());
+  Eddpc eddpc;
+  ASSERT_TRUE(eddpc.ComputeScores(ds, dc, metric, FastMr(), &eddpc_stats).ok());
+  EXPECT_LT(eddpc_stats.TotalShuffleBytes(), basic_stats.TotalShuffleBytes());
+}
+
+// ------------------------------------------------------------- Driver
+
+TEST(DriverTest, CutoffJobApproximatesSequentialCutoff) {
+  const Dataset& ds = TestMixture();
+  CountingMetric metric;
+  CutoffOptions options;
+  mr::RunStats stats;
+  auto mr_dc = ChooseCutoffMapReduce(ds, metric, options, FastMr(), &stats);
+  ASSERT_TRUE(mr_dc.ok());
+  auto seq_dc = ChooseCutoff(ds, metric, options);
+  ASSERT_TRUE(seq_dc.ok());
+  // Both are percentile estimates from (different) samples: same ballpark.
+  EXPECT_GT(*mr_dc, 0.3 * *seq_dc);
+  EXPECT_LT(*mr_dc, 3.0 * *seq_dc);
+  EXPECT_EQ(stats.jobs.size(), 1u);
+  EXPECT_EQ(stats.jobs[0].job_name, "choose-dc");
+}
+
+TEST(DriverTest, FullPipelineRecoversPlantedClusters) {
+  auto ds = gen::GaussianMixture(500, 2, 4, 400.0, 3.0, 77);
+  ASSERT_TRUE(ds.ok());
+  LshDdp algo;
+  DdpOptions options;
+  options.mr = FastMr();
+  options.selector = PeakSelector::TopK(4);
+  auto run = RunDistributedDp(&algo, *ds, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->dc, 0.0);
+  EXPECT_EQ(run->clusters.num_clusters(), 4u);
+  EXPECT_GT(run->distance_evaluations, 0u);
+  auto ari = eval::AdjustedRandIndex(run->clusters.assignment, ds->labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);  // well-separated blobs: near-perfect recovery
+}
+
+TEST(DriverTest, ExplicitDcSkipsPreprocessingJob) {
+  auto ds = gen::GaussianMixture(200, 2, 2, 50.0, 2.0, 79);
+  ASSERT_TRUE(ds.ok());
+  BasicDdp algo;
+  DdpOptions options;
+  options.mr = FastMr();
+  options.dc = 5.0;
+  options.selector = PeakSelector::TopK(2);
+  auto run = RunDistributedDp(&algo, *ds, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->dc, 5.0);
+  EXPECT_EQ(run->stats.jobs.size(), 4u);  // no choose-dc job
+}
+
+TEST(DriverTest, SelectorModes) {
+  DpScores scores;
+  scores.Resize(4);
+  scores.rho = {10, 9, 1, 1};
+  scores.delta = {kInf, 5.0, 0.1, 0.1};
+  DecisionGraph graph = DecisionGraph::FromScores(scores);
+  EXPECT_EQ(PeakSelector::TopK(2).Select(graph).size(), 2u);
+  EXPECT_EQ(PeakSelector::Threshold(5.0, 1.0).Select(graph).size(), 2u);
+  EXPECT_EQ(PeakSelector::GammaGap().Select(graph).size(), 2u);
+}
+
+TEST(DriverTest, Validation) {
+  auto ds = gen::GaussianMixture(100, 2, 2, 10.0, 1.0, 83);
+  ASSERT_TRUE(ds.ok());
+  DdpOptions options;
+  EXPECT_TRUE(RunDistributedDp(nullptr, *ds, options)
+                  .status()
+                  .IsInvalidArgument());
+  LshDdp algo;
+  Dataset tiny(2);
+  tiny.Add(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(
+      RunDistributedDp(&algo, tiny, options).status().IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- MR K-means
+
+TEST(MrKmeansTest, RecoversWellSeparatedBlobs) {
+  auto ds = gen::GaussianMixture(400, 2, 3, 300.0, 2.0, 91);
+  ASSERT_TRUE(ds.ok());
+  MrKmeansOptions options;
+  options.k = 3;
+  options.max_iterations = 30;
+  options.convergence_tol = 1e-9;
+  options.seed = 2;  // uniform init can hit a 2-in-1-blob local minimum
+  options.mr = FastMr();
+  CountingMetric metric;
+  auto result = RunMrKmeans(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations_run, 30u);
+  EXPECT_EQ(result->iteration_seconds.size(), result->iterations_run);
+  auto ari = eval::AdjustedRandIndex(result->assignment, ds->labels());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.9);
+}
+
+TEST(MrKmeansTest, FixedIterationsWithoutTolerance) {
+  auto ds = gen::GaussianMixture(150, 2, 2, 50.0, 2.0, 93);
+  ASSERT_TRUE(ds.ok());
+  MrKmeansOptions options;
+  options.k = 2;
+  options.max_iterations = 7;
+  options.convergence_tol = 0.0;  // paper style: run all iterations
+  options.mr = FastMr();
+  CountingMetric metric;
+  auto result = RunMrKmeans(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations_run, 7u);
+  EXPECT_EQ(result->stats.jobs.size(), 7u);
+}
+
+TEST(MrKmeansTest, CombinerKeepsShuffleSmall) {
+  auto ds = gen::GaussianMixture(500, 8, 3, 50.0, 2.0, 95);
+  ASSERT_TRUE(ds.ok());
+  MrKmeansOptions options;
+  options.k = 3;
+  options.max_iterations = 1;
+  options.mr = FastMr();
+  CountingMetric metric;
+  auto result = RunMrKmeans(*ds, options, metric);
+  ASSERT_TRUE(result.ok());
+  // Without a combiner the job would shuffle ~N records; with it, at most
+  // (#map tasks) * k.
+  EXPECT_LE(result->stats.jobs[0].shuffle_records, 8u * 3u);
+}
+
+TEST(MrKmeansTest, Validation) {
+  auto ds = gen::GaussianMixture(50, 2, 2, 10.0, 1.0, 97);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  MrKmeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunMrKmeans(*ds, options, metric).ok());
+  options.k = 100;
+  EXPECT_FALSE(RunMrKmeans(*ds, options, metric).ok());
+  options.k = 2;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunMrKmeans(*ds, options, metric).ok());
+}
+
+// ------------------------------------ Cost-shape comparisons (Sec. VI-D)
+
+TEST(CostShapeTest, LshShufflesLessAndComputesLessThanBasic) {
+  const Dataset& ds = TestMixture();
+  const double dc = TestCutoff();
+
+  DistanceCounter basic_counter, lsh_counter;
+  mr::RunStats basic_stats, lsh_stats;
+  BasicDdp::Params bp;
+  bp.block_size = 15;  // enough blocks that Basic shuffles > 2M copies
+  BasicDdp basic(bp);
+  ASSERT_TRUE(basic
+                  .ComputeScores(ds, dc, CountingMetric(&basic_counter),
+                                 FastMr(), &basic_stats)
+                  .ok());
+  LshDdp lsh;
+  ASSERT_TRUE(lsh.ComputeScores(ds, dc, CountingMetric(&lsh_counter), FastMr(),
+                                &lsh_stats)
+                  .ok());
+  EXPECT_LT(lsh_stats.TotalShuffleBytes(), basic_stats.TotalShuffleBytes());
+  EXPECT_LT(lsh_counter.value(), basic_counter.value());
+}
+
+}  // namespace
+}  // namespace ddp

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/cutoff.h"
+#include "core/decision_graph.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/driver.h"
+#include "ddp/lsh_ddp.h"
+#include "ddp/mr_assignment.h"
+#include "eval/internal_metrics.h"
+#include "eval/metrics.h"
+
+namespace ddp {
+namespace {
+
+mr::Options FastMr() {
+  mr::Options o;
+  o.num_workers = 2;
+  o.num_partitions = 8;
+  return o;
+}
+
+// ------------------------------------------- MapReduce pointer jumping
+
+TEST(MrAssignmentTest, MatchesCentralizedAssignmentExactly) {
+  auto ds = gen::GaussianMixture(400, 3, 4, 200.0, 2.0, 71);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto dc = ChooseCutoff(*ds, metric);
+  ASSERT_TRUE(dc.ok());
+  auto scores = ComputeExactDp(*ds, *dc, metric);
+  ASSERT_TRUE(scores.ok());
+  DecisionGraph graph = DecisionGraph::FromScores(*scores);
+  auto peaks = graph.SelectTopK(4);
+
+  auto central = AssignClusters(*ds, *scores, peaks, metric);
+  ASSERT_TRUE(central.ok());
+  auto distributed = AssignClustersMapReduce(*scores, peaks, FastMr());
+  ASSERT_TRUE(distributed.ok());
+  // Exact scores have no orphans except possibly the absolute peak if it
+  // wasn't selected; resolve identically and compare.
+  ASSERT_TRUE(ResolveOrphansByNearestPeak(*ds, peaks, metric,
+                                          &distributed->assignment)
+                  .ok());
+  EXPECT_EQ(distributed->assignment, central->assignment);
+}
+
+TEST(MrAssignmentTest, LongChainResolvesInLogRounds) {
+  // A single chain 0 <- 1 <- 2 <- ... <- 1023 rooted at peak 0.
+  const size_t n = 1024;
+  DpScores scores;
+  scores.Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores.rho[i] = static_cast<uint32_t>(n - i);
+    scores.upslope[i] =
+        i == 0 ? kInvalidPointId : static_cast<PointId>(i - 1);
+  }
+  std::vector<PointId> peaks = {0};
+  auto result = AssignClustersMapReduce(scores, peaks, FastMr());
+  ASSERT_TRUE(result.ok());
+  for (int c : result->assignment) EXPECT_EQ(c, 0);
+  // Chain length 1024 must resolve in ~log2(1024) + O(1) rounds, far below
+  // the linear 1024.
+  EXPECT_LE(result->rounds, 14u);
+  EXPECT_GE(result->rounds, 8u);
+}
+
+TEST(MrAssignmentTest, OrphanChainsStayUnassignedThenResolve) {
+  // Two chains: one rooted at a selected peak, one at an unselected local
+  // peak (invalid upslope, not in peaks).
+  DpScores scores;
+  scores.Resize(6);
+  scores.rho = {10, 9, 8, 20, 19, 18};
+  scores.upslope = {kInvalidPointId, 0, 1, kInvalidPointId, 3, 4};
+  std::vector<PointId> peaks = {3};  // only the second chain's root
+  auto result = AssignClustersMapReduce(scores, peaks, FastMr());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[3], 0);
+  EXPECT_EQ(result->assignment[4], 0);
+  EXPECT_EQ(result->assignment[5], 0);
+  EXPECT_EQ(result->assignment[0], -1);  // orphan root
+  EXPECT_EQ(result->assignment[1], -1);
+  EXPECT_EQ(result->assignment[2], -1);
+
+  Dataset ds(1);
+  for (double x : {0.0, 0.1, 0.2, 5.0, 5.1, 5.2}) {
+    ds.Add(std::vector<double>{x});
+  }
+  CountingMetric metric;
+  ASSERT_TRUE(
+      ResolveOrphansByNearestPeak(ds, peaks, metric, &result->assignment).ok());
+  for (int c : result->assignment) EXPECT_EQ(c, 0);
+}
+
+TEST(MrAssignmentTest, WorksOnApproximateScores) {
+  auto ds = gen::S2Like(5, 600);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto dc = ChooseCutoff(*ds, metric);
+  ASSERT_TRUE(dc.ok());
+  LshDdp lsh;
+  auto scores = lsh.ComputeScores(*ds, *dc, metric, FastMr(), nullptr);
+  ASSERT_TRUE(scores.ok());
+  DecisionGraph graph = DecisionGraph::FromScores(*scores);
+  auto peaks = graph.SelectTopK(15);
+
+  auto central = AssignClusters(*ds, *scores, peaks, metric);
+  ASSERT_TRUE(central.ok());
+  auto distributed = AssignClustersMapReduce(*scores, peaks, FastMr());
+  ASSERT_TRUE(distributed.ok());
+  ASSERT_TRUE(ResolveOrphansByNearestPeak(*ds, peaks, metric,
+                                          &distributed->assignment)
+                  .ok());
+  EXPECT_EQ(distributed->assignment, central->assignment);
+}
+
+TEST(MrAssignmentTest, Validation) {
+  DpScores scores;
+  EXPECT_FALSE(AssignClustersMapReduce(scores, std::vector<PointId>{0}).ok());
+  scores.Resize(3);
+  EXPECT_FALSE(AssignClustersMapReduce(scores, std::vector<PointId>{}).ok());
+  EXPECT_FALSE(AssignClustersMapReduce(scores, std::vector<PointId>{9}).ok());
+  EXPECT_FALSE(
+      AssignClustersMapReduce(scores, std::vector<PointId>{1, 1}).ok());
+}
+
+TEST(MrAssignmentTest, DriverFlagMatchesCentralizedPipeline) {
+  auto ds = gen::S2Like(9, 800);
+  ASSERT_TRUE(ds.ok());
+  DdpOptions central_opts, mr_opts;
+  central_opts.mr = mr_opts.mr = FastMr();
+  central_opts.dc = mr_opts.dc = 40000.0;
+  central_opts.selector = mr_opts.selector = PeakSelector::TopK(15);
+  mr_opts.use_mr_assignment = true;
+  LshDdp algo1, algo2;
+  auto central = RunDistributedDp(&algo1, *ds, central_opts);
+  auto distributed = RunDistributedDp(&algo2, *ds, mr_opts);
+  ASSERT_TRUE(central.ok() && distributed.ok());
+  EXPECT_EQ(central->clusters.assignment, distributed->clusters.assignment);
+  // The MR-assignment run reports the extra jump jobs in its stats.
+  EXPECT_GT(distributed->stats.jobs.size(), central->stats.jobs.size());
+}
+
+// --------------------------------------------------- Internal metrics
+
+TEST(InternalMetricsTest, SseZeroForSingletonClusters) {
+  Dataset ds(1);
+  ds.Add(std::vector<double>{1.0});
+  ds.Add(std::vector<double>{5.0});
+  std::vector<int> each_alone = {0, 1};
+  auto sse = eval::SumSquaredError(ds, each_alone);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_DOUBLE_EQ(*sse, 0.0);
+}
+
+TEST(InternalMetricsTest, SseKnownValue) {
+  Dataset ds(1);
+  for (double x : {0.0, 2.0, 10.0, 12.0}) ds.Add(std::vector<double>{x});
+  std::vector<int> two = {0, 0, 1, 1};
+  // Centroids 1 and 11; each point at distance 1 -> SSE = 4.
+  auto sse = eval::SumSquaredError(ds, two);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_DOUBLE_EQ(*sse, 4.0);
+  // Merging everything raises SSE.
+  std::vector<int> one = {0, 0, 0, 0};
+  EXPECT_GT(*eval::SumSquaredError(ds, one), *sse);
+}
+
+TEST(InternalMetricsTest, SilhouetteHighForSeparatedBlobs) {
+  auto ds = gen::GaussianMixture(200, 2, 2, 500.0, 1.0, 73);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto sil = eval::MeanSilhouette(*ds, ds->labels(), metric);
+  ASSERT_TRUE(sil.ok());
+  EXPECT_GT(*sil, 0.9);
+}
+
+TEST(InternalMetricsTest, SilhouetteLowForRandomAssignment) {
+  auto ds = gen::GaussianMixture(200, 2, 2, 500.0, 1.0, 73);
+  ASSERT_TRUE(ds.ok());
+  // The generator assigns ground truth round-robin (i % 2), so a block
+  // split (first half vs second half) mixes both true clusters in each
+  // label — geometrically meaningless.
+  std::vector<int> random_labels(ds->size());
+  for (size_t i = 0; i < random_labels.size(); ++i) {
+    random_labels[i] = i < random_labels.size() / 2 ? 0 : 1;
+  }
+  CountingMetric metric;
+  auto good = eval::MeanSilhouette(*ds, ds->labels(), metric);
+  auto bad = eval::MeanSilhouette(*ds, random_labels, metric);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_GT(*good, *bad + 0.5);
+}
+
+TEST(InternalMetricsTest, SampledSilhouetteApproximatesFull) {
+  auto ds = gen::GaussianMixture(400, 2, 3, 300.0, 2.0, 79);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto full = eval::MeanSilhouette(*ds, ds->labels(), metric);
+  eval::SilhouetteOptions options;
+  options.sample = 100;
+  auto sampled = eval::MeanSilhouette(*ds, ds->labels(), metric, options);
+  ASSERT_TRUE(full.ok() && sampled.ok());
+  EXPECT_NEAR(*sampled, *full, 0.05);
+}
+
+TEST(InternalMetricsTest, DaviesBouldinPrefersTrueClustering) {
+  auto ds = gen::GaussianMixture(300, 2, 3, 400.0, 2.0, 83);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto good = eval::DaviesBouldin(*ds, ds->labels(), metric);
+  std::vector<int> shifted(ds->labels().begin(), ds->labels().end());
+  // Corrupt a third of the labels.
+  for (size_t i = 0; i < shifted.size(); i += 3) {
+    shifted[i] = (shifted[i] + 1) % 3;
+  }
+  auto bad = eval::DaviesBouldin(*ds, shifted, metric);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_LT(*good, *bad);
+}
+
+TEST(InternalMetricsTest, NoisePointsAreExcluded) {
+  Dataset ds(1);
+  for (double x : {0.0, 0.5, 10.0, 10.5, 1e6}) ds.Add(std::vector<double>{x});
+  std::vector<int> with_noise = {0, 0, 1, 1, -1};
+  CountingMetric metric;
+  auto sse = eval::SumSquaredError(ds, with_noise);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_LT(*sse, 1.0);  // the 1e6 outlier does not contribute
+  EXPECT_TRUE(eval::MeanSilhouette(ds, with_noise, metric).ok());
+  EXPECT_TRUE(eval::DaviesBouldin(ds, with_noise, metric).ok());
+}
+
+TEST(InternalMetricsTest, Validation) {
+  Dataset ds(1);
+  ds.Add(std::vector<double>{0.0});
+  CountingMetric metric;
+  std::vector<int> wrong_size = {0, 1};
+  EXPECT_FALSE(eval::SumSquaredError(ds, wrong_size).ok());
+  std::vector<int> one_cluster = {0};
+  EXPECT_FALSE(eval::MeanSilhouette(ds, one_cluster, metric).ok());
+  EXPECT_FALSE(eval::DaviesBouldin(ds, one_cluster, metric).ok());
+  std::vector<int> all_noise = {-1};
+  EXPECT_FALSE(eval::SumSquaredError(ds, all_noise).ok());
+}
+
+}  // namespace
+}  // namespace ddp

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/contingency.h"
+#include "eval/metrics.h"
+#include "eval/tau.h"
+
+namespace ddp {
+namespace eval {
+namespace {
+
+// ----------------------------------------------------------- Contingency
+
+TEST(ContingencyTest, BuildsCorrectCells) {
+  std::vector<int> pred = {0, 0, 1, 1};
+  std::vector<int> truth = {0, 1, 1, 1};
+  auto table = ContingencyTable::Build(pred, truth);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->n(), 4u);
+  EXPECT_EQ(table->num_predicted(), 2u);
+  EXPECT_EQ(table->num_truth(), 2u);
+  EXPECT_EQ(table->cell(0, 0), 1u);
+  EXPECT_EQ(table->cell(0, 1), 1u);
+  EXPECT_EQ(table->cell(1, 1), 2u);
+  EXPECT_EQ(table->row_sums()[0], 2u);
+  EXPECT_EQ(table->col_sums()[1], 3u);
+}
+
+TEST(ContingencyTest, NegativeLabelsBecomeSingletons) {
+  std::vector<int> pred = {-1, -1, 0};
+  std::vector<int> truth = {0, 0, 0};
+  auto table = ContingencyTable::Build(pred, truth);
+  ASSERT_TRUE(table.ok());
+  // Two noise points each get their own cluster + one real cluster.
+  EXPECT_EQ(table->num_predicted(), 3u);
+}
+
+TEST(ContingencyTest, NonContiguousLabelsAreDensified) {
+  std::vector<int> pred = {100, 7, 100};
+  std::vector<int> truth = {5, 5, 5};
+  auto table = ContingencyTable::Build(pred, truth);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_predicted(), 2u);
+  EXPECT_EQ(table->num_truth(), 1u);
+}
+
+TEST(ContingencyTest, Validation) {
+  std::vector<int> a = {0, 1};
+  std::vector<int> b = {0};
+  EXPECT_FALSE(ContingencyTable::Build(a, b).ok());
+  std::vector<int> empty;
+  EXPECT_FALSE(ContingencyTable::Build(empty, empty).ok());
+}
+
+// ------------------------------------------------------------------- ARI
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(labels, labels);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, RelabeledPartitionStillScoresOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 3, 3, 9, 9};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, KnownSklearnValue) {
+  // sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) == 0.5714285...
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 0, 1, 2};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.5714285714285714, 1e-12);
+}
+
+TEST(AriTest, IndependentPartitionNearZero) {
+  // Alternating vs. block labels on a large set: expected ~0.
+  std::vector<int> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(i % 2);
+    b.push_back(i < 200 ? 0 : 1);
+  }
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.0, 0.02);
+}
+
+TEST(AriTest, RangeBound) {
+  std::vector<int> a = {0, 1, 0, 1};
+  std::vector<int> b = {1, 0, 1, 0};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GE(*ari, -1.0);
+  EXPECT_LE(*ari, 1.0);
+  EXPECT_DOUBLE_EQ(*ari, 1.0);  // same partition under relabeling
+}
+
+// ------------------------------------------------------------------- NMI
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> labels = {0, 1, 1, 2, 2, 2};
+  auto nmi = NormalizedMutualInformation(labels, labels);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreNearZero) {
+  std::vector<int> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(i % 2);
+    b.push_back((i / 2) % 2);
+  }
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 0.0, 0.01);
+}
+
+TEST(NmiTest, SingleClusterVsAnythingIsOneByConvention) {
+  std::vector<int> one = {0, 0, 0, 0};
+  auto nmi = NormalizedMutualInformation(one, one);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_DOUBLE_EQ(*nmi, 1.0);
+}
+
+TEST(NmiTest, InUnitInterval) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {0, 1, 1, 2, 2, 0};
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GE(*nmi, 0.0);
+  EXPECT_LE(*nmi, 1.0);
+}
+
+// ----------------------------------------------------------------- Purity
+
+TEST(PurityTest, PerfectClusteringScoresOne) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  auto purity = Purity(labels, labels);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(PurityTest, KnownMixedValue) {
+  // Cluster 0: truths {0,0,1} -> 2 correct; cluster 1: truths {1,1,0} -> 2.
+  std::vector<int> pred = {0, 0, 0, 1, 1, 1};
+  std::vector<int> truth = {0, 0, 1, 1, 1, 0};
+  auto purity = Purity(pred, truth);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 4.0 / 6.0);
+}
+
+TEST(PurityTest, AllSingletonsTriviallyPure) {
+  std::vector<int> pred = {0, 1, 2, 3};
+  std::vector<int> truth = {0, 0, 1, 1};
+  auto purity = Purity(pred, truth);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+// -------------------------------------------------------------- RandIndex
+
+TEST(RandIndexTest, IdenticalIsOne) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  auto ri = RandIndex(labels, labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(RandIndexTest, KnownValue) {
+  // Pairs: n=4 -> 6 pairs. pred {0,0,1,1} vs truth {0,1,0,1}:
+  // agreements: pairs split in both = 4; a = 0, b = 4 - wait compute:
+  // same-pred pairs: (0,1),(2,3); same-truth: (0,2),(1,3). a = |both same|=0.
+  // both different: (0,3),(1,2) -> b=2. RI = (0+2)/6 = 1/3.
+  std::vector<int> pred = {0, 0, 1, 1};
+  std::vector<int> truth = {0, 1, 0, 1};
+  auto ri = RandIndex(pred, truth);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_NEAR(*ri, 1.0 / 3.0, 1e-12);
+}
+
+// ------------------------------------------------------------- PairwiseF1
+
+TEST(PairwiseF1Test, PerfectClusteringScoresOne) {
+  std::vector<int> labels = {0, 0, 1, 1, 2};
+  auto scores = PairwiseF1(labels, labels);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores->recall, 1.0);
+  EXPECT_DOUBLE_EQ(scores->f1, 1.0);
+}
+
+TEST(PairwiseF1Test, OverMergingHurtsPrecisionNotRecall) {
+  std::vector<int> pred(6, 0);             // everything in one cluster
+  std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  auto scores = PairwiseF1(pred, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->recall, 1.0);   // all truth pairs captured
+  // 15 predicted pairs, 6 correct.
+  EXPECT_DOUBLE_EQ(scores->precision, 6.0 / 15.0);
+}
+
+TEST(PairwiseF1Test, OverSplittingHurtsRecallNotPrecision) {
+  std::vector<int> pred = {0, 1, 2, 3};    // all singletons
+  std::vector<int> truth = {0, 0, 1, 1};
+  auto scores = PairwiseF1(pred, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->precision, 1.0);  // vacuous: no predicted pairs
+  EXPECT_DOUBLE_EQ(scores->recall, 0.0);
+  EXPECT_DOUBLE_EQ(scores->f1, 0.0);
+}
+
+TEST(PairwiseF1Test, KnownMixedValue) {
+  std::vector<int> pred = {0, 0, 1, 1};
+  std::vector<int> truth = {0, 0, 0, 1};
+  // Predicted pairs: (0,1),(2,3) -> tp = (0,1) only. precision 1/2.
+  // Truth pairs: (0,1),(0,2),(1,2) -> recall 1/3.
+  auto scores = PairwiseF1(pred, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->precision, 0.5);
+  EXPECT_NEAR(scores->recall, 1.0 / 3.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ Taus
+
+TEST(TauTest, PerfectApproximationScoresOne) {
+  std::vector<uint32_t> rho = {1, 5, 9, 0};
+  EXPECT_DOUBLE_EQ(*Tau1(rho, rho), 1.0);
+  EXPECT_DOUBLE_EQ(*Tau2(rho, rho), 1.0);
+}
+
+TEST(TauTest, Tau1CountsExactMatches) {
+  std::vector<uint32_t> approx = {1, 4, 9, 0};
+  std::vector<uint32_t> exact = {1, 5, 9, 0};
+  EXPECT_DOUBLE_EQ(*Tau1(approx, exact), 0.75);
+}
+
+TEST(TauTest, Tau2PenalizesRelativeError) {
+  std::vector<uint32_t> approx = {5, 10};
+  std::vector<uint32_t> exact = {10, 10};
+  // Errors: 0.5 and 0 -> tau2 = 1 - 0.25 = 0.75.
+  EXPECT_DOUBLE_EQ(*Tau2(approx, exact), 0.75);
+}
+
+TEST(TauTest, Tau2ZeroExactHandling) {
+  std::vector<uint32_t> approx = {0, 3};
+  std::vector<uint32_t> exact = {0, 0};
+  // First point exact (error 0), second counts as full error 1.
+  EXPECT_DOUBLE_EQ(*Tau2(approx, exact), 0.5);
+}
+
+TEST(TauTest, UnderestimatesBoundTau2FromBelow) {
+  // LSH-DDP underestimates: error per point < 1, so tau2 > 0.
+  std::vector<uint32_t> approx = {4, 9, 0};
+  std::vector<uint32_t> exact = {5, 10, 2};
+  auto tau2 = Tau2(approx, exact);
+  ASSERT_TRUE(tau2.ok());
+  EXPECT_GT(*tau2, 0.0);
+  EXPECT_LT(*tau2, 1.0);
+}
+
+TEST(TauTest, Validation) {
+  std::vector<uint32_t> a = {1, 2};
+  std::vector<uint32_t> b = {1};
+  EXPECT_FALSE(Tau1(a, b).ok());
+  EXPECT_FALSE(Tau2(a, b).ok());
+  std::vector<uint32_t> empty;
+  EXPECT_FALSE(Tau1(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace ddp

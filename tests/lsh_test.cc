@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "lsh/hash_group.h"
+#include "lsh/partitioner.h"
+#include "lsh/pstable_hash.h"
+#include "lsh/theory.h"
+#include "lsh/tuning.h"
+
+namespace ddp {
+namespace lsh {
+namespace {
+
+// ------------------------------------------------------------ PStableHash
+
+TEST(PStableHashTest, HashIsFloorOfProjection) {
+  PStableHash h({1.0, 0.0}, 0.5, 2.0);  // h(p) = floor((p[0] + 0.5) / 2)
+  EXPECT_EQ(h.Hash(std::vector<double>{0.0, 9.0}), 0);
+  EXPECT_EQ(h.Hash(std::vector<double>{1.6, 9.0}), 1);
+  EXPECT_EQ(h.Hash(std::vector<double>{-0.6, 9.0}), -1);
+}
+
+TEST(PStableHashTest, ProjectionIsAffine) {
+  PStableHash h({2.0, -1.0}, 0.25, 1.0);
+  EXPECT_DOUBLE_EQ(h.Project(std::vector<double>{1.0, 3.0}), 2.0 - 3.0 + 0.25);
+}
+
+TEST(PStableHashTest, RandomDrawRespectsDimAndWidth) {
+  Rng rng(3);
+  PStableHash h = PStableHash::Random(10, 4.0, &rng);
+  EXPECT_EQ(h.dim(), 10u);
+  EXPECT_DOUBLE_EQ(h.width(), 4.0);
+  EXPECT_GE(h.offset(), 0.0);
+  EXPECT_LT(h.offset(), 4.0);
+}
+
+TEST(PStableHashTest, NearbyPointsUsuallyCollide) {
+  // Points at distance << w should share a slot almost always.
+  Rng rng(17);
+  int collisions = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    PStableHash h = PStableHash::Random(4, 50.0, &rng);
+    std::vector<double> p = rng.GaussianVector(4);
+    std::vector<double> q = p;
+    q[0] += 0.01;
+    if (h.Hash(p) == h.Hash(q)) ++collisions;
+  }
+  EXPECT_GT(collisions, trials * 9 / 10);
+}
+
+TEST(PStableHashTest, DistantPointsRarelyCollideWithNarrowSlots) {
+  Rng rng(19);
+  int collisions = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    PStableHash h = PStableHash::Random(4, 0.1, &rng);
+    std::vector<double> p = rng.GaussianVector(4);
+    std::vector<double> q = rng.GaussianVector(4);
+    for (size_t d = 0; d < 4; ++d) q[d] += 10.0;  // far away
+    if (h.Hash(p) == h.Hash(q)) ++collisions;
+  }
+  EXPECT_LT(collisions, trials / 10);
+}
+
+// -------------------------------------------------------------- HashGroup
+
+TEST(HashGroupTest, KeyHasPiComponents) {
+  Rng rng(1);
+  HashGroup g = HashGroup::Random(3, 5, 2.0, &rng);
+  EXPECT_EQ(g.pi(), 5u);
+  BucketKey key = g.Key(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(key.size(), 5u);
+}
+
+TEST(HashGroupTest, KeyIntoMatchesKey) {
+  Rng rng(2);
+  HashGroup g = HashGroup::Random(3, 4, 2.0, &rng);
+  std::vector<double> p = {0.5, -1.0, 2.0};
+  BucketKey a = g.Key(p);
+  BucketKey b;
+  g.KeyInto(p, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashGroupTest, SamePointSameKey) {
+  Rng rng(3);
+  HashGroup g = HashGroup::Random(2, 3, 1.0, &rng);
+  std::vector<double> p = {4.2, -7.0};
+  EXPECT_EQ(g.Key(p), g.Key(p));
+}
+
+TEST(HashGroupTest, MorePiMeansFinerPartition) {
+  // With more hash functions per group, a fixed point set lands in at least
+  // as many distinct buckets.
+  auto ds = gen::GaussianMixture(400, 4, 4, 100.0, 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  auto count_buckets = [&](size_t pi) {
+    Rng rng(77);
+    HashGroup g = HashGroup::Random(4, pi, 20.0, &rng);
+    std::set<BucketKey> buckets;
+    for (size_t i = 0; i < ds->size(); ++i) {
+      buckets.insert(g.Key(ds->point(static_cast<PointId>(i))));
+    }
+    return buckets.size();
+  };
+  EXPECT_LE(count_buckets(1), count_buckets(8));
+}
+
+// ------------------------------------------------------------ Partitioner
+
+TEST(PartitionerTest, CreateValidatesArgs) {
+  EXPECT_FALSE(MultiLshPartitioner::Create(0, 2, 2, 1.0, 1).ok());
+  EXPECT_FALSE(MultiLshPartitioner::Create(2, 0, 2, 1.0, 1).ok());
+  EXPECT_FALSE(MultiLshPartitioner::Create(2, 2, 0, 1.0, 1).ok());
+  EXPECT_FALSE(MultiLshPartitioner::Create(2, 2, 2, 0.0, 1).ok());
+  EXPECT_TRUE(MultiLshPartitioner::Create(2, 2, 2, 1.0, 1).ok());
+}
+
+TEST(PartitionerTest, LayoutsPartitionAllPoints) {
+  auto ds = gen::GaussianMixture(500, 3, 5, 50.0, 2.0, 9);
+  ASSERT_TRUE(ds.ok());
+  auto part = MultiLshPartitioner::Create(3, 4, 3, 10.0, 2);
+  ASSERT_TRUE(part.ok());
+  auto layouts = part->PartitionAll(*ds);
+  ASSERT_EQ(layouts.size(), 4u);
+  for (const auto& layout : layouts) {
+    size_t total = 0;
+    std::set<PointId> seen;
+    for (const auto& [key, ids] : layout) {
+      total += ids.size();
+      seen.insert(ids.begin(), ids.end());
+    }
+    // Disjoint cover: every point in exactly one bucket per layout.
+    EXPECT_EQ(total, ds->size());
+    EXPECT_EQ(seen.size(), ds->size());
+  }
+}
+
+TEST(PartitionerTest, DifferentLayoutsDiffer) {
+  auto ds = gen::GaussianMixture(300, 3, 3, 50.0, 3.0, 9);
+  ASSERT_TRUE(ds.ok());
+  auto part = MultiLshPartitioner::Create(3, 2, 2, 5.0, 2);
+  ASSERT_TRUE(part.ok());
+  std::vector<double> p(ds->point(0).begin(), ds->point(0).end());
+  // Keys under layout 0 and layout 1 come from independent hash groups; the
+  // same point gets (almost surely) different signatures.
+  EXPECT_NE(part->Key(0, p), part->Key(1, p));
+}
+
+TEST(PartitionerTest, DeterministicInSeed) {
+  auto p1 = MultiLshPartitioner::Create(4, 3, 2, 2.0, 123);
+  auto p2 = MultiLshPartitioner::Create(4, 3, 2, 2.0, 123);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  std::vector<double> pt = {0.1, 0.2, 0.3, 0.4};
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(p1->Key(m, pt), p2->Key(m, pt));
+  }
+}
+
+TEST(PartitionerTest, SmallerWidthMakesMoreBuckets) {
+  auto ds = gen::GaussianMixture(600, 3, 6, 100.0, 4.0, 11);
+  ASSERT_TRUE(ds.ok());
+  auto wide = MultiLshPartitioner::Create(3, 1, 3, 200.0, 5);
+  auto narrow = MultiLshPartitioner::Create(3, 1, 3, 2.0, 5);
+  ASSERT_TRUE(wide.ok() && narrow.ok());
+  auto sw = wide->ComputeStats(*ds);
+  auto sn = narrow->ComputeStats(*ds);
+  EXPECT_LT(sw[0].num_buckets, sn[0].num_buckets);
+  // Narrower slots shrink the quadratic cost term of Eq. (8).
+  EXPECT_GT(sw[0].sum_squared_sizes, sn[0].sum_squared_sizes);
+}
+
+TEST(PartitionerTest, StatsInvariants) {
+  auto ds = gen::GaussianMixture(200, 2, 2, 10.0, 1.0, 3);
+  ASSERT_TRUE(ds.ok());
+  auto part = MultiLshPartitioner::Create(2, 2, 2, 3.0, 8);
+  ASSERT_TRUE(part.ok());
+  for (const auto& s : part->ComputeStats(*ds)) {
+    EXPECT_GE(s.num_buckets, 1u);
+    EXPECT_GE(s.largest_bucket, 1u);
+    EXPECT_LE(s.largest_bucket, ds->size());
+    // sum of squares bounded by (max size) * N and at least N.
+    EXPECT_GE(s.sum_squared_sizes, ds->size());
+    EXPECT_LE(s.sum_squared_sizes,
+              static_cast<uint64_t>(s.largest_bucket) * ds->size());
+  }
+}
+
+// ----------------------------------------------------------------- Theory
+
+TEST(TheoryTest, NormCdfKnownValues) {
+  EXPECT_NEAR(NormCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(TheoryTest, PRhoLowerBoundBehaviour) {
+  // Larger width -> higher probability; clamped to [0, 1].
+  EXPECT_GT(PRhoLowerBound(100.0, 1.0), PRhoLowerBound(10.0, 1.0));
+  EXPECT_EQ(PRhoLowerBound(0.1, 100.0), 0.0);  // clamp at 0
+  EXPECT_NEAR(PRhoLowerBound(1e9, 1.0), 1.0, 1e-8);
+  EXPECT_EQ(PRhoLowerBound(0.0, 1.0), 0.0);
+  // Exact formula check: 1 - 4*dc/(sqrt(2pi)*w).
+  double w = 20.0, dc = 1.0;
+  EXPECT_NEAR(PRhoLowerBound(w, dc), 1.0 - 4.0 * dc / (std::sqrt(2 * M_PI) * w),
+              1e-12);
+}
+
+TEST(TheoryTest, PCollisionBoundaryCases) {
+  EXPECT_DOUBLE_EQ(PCollision(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(PCollision(1.0, 0.0), 0.0);
+  // Monotone decreasing in distance.
+  EXPECT_GT(PCollision(0.5, 4.0), PCollision(1.0, 4.0));
+  EXPECT_GT(PCollision(1.0, 4.0), PCollision(5.0, 4.0));
+  // Monotone increasing in width.
+  EXPECT_LT(PCollision(1.0, 1.0), PCollision(1.0, 10.0));
+  // Probability range.
+  for (double d : {0.1, 1.0, 10.0}) {
+    for (double w : {0.5, 2.0, 50.0}) {
+      double p = PCollision(d, w);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(TheoryTest, PCollisionMatchesMonteCarlo) {
+  // Empirical collision rate of the real hash function vs. Lemma 3 formula.
+  const double w = 3.0;
+  const double dist = 2.0;
+  Rng rng(23);
+  int collisions = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    PStableHash h = PStableHash::Random(6, w, &rng);
+    std::vector<double> p = rng.GaussianVector(6);
+    // Random direction offset of length `dist`.
+    std::vector<double> dir = rng.GaussianVector(6);
+    double norm = 0.0;
+    for (double x : dir) norm += x * x;
+    norm = std::sqrt(norm);
+    std::vector<double> q = p;
+    for (size_t d = 0; d < 6; ++d) q[d] += dist * dir[d] / norm;
+    if (h.Hash(p) == h.Hash(q)) ++collisions;
+  }
+  double empirical = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(empirical, PCollision(dist, w), 0.01);
+}
+
+TEST(TheoryTest, ExpectedRhoAccuracyMonotonicity) {
+  double dc = 1.0, w = 30.0;
+  // More layouts help.
+  EXPECT_LT(ExpectedRhoAccuracy(w, 3, 1, dc), ExpectedRhoAccuracy(w, 3, 10, dc));
+  // More hash functions per group hurt (finer partitions).
+  EXPECT_GT(ExpectedRhoAccuracy(w, 1, 5, dc), ExpectedRhoAccuracy(w, 8, 5, dc));
+  // Wider slots help.
+  EXPECT_LT(ExpectedRhoAccuracy(10.0, 3, 5, dc),
+            ExpectedRhoAccuracy(100.0, 3, 5, dc));
+}
+
+TEST(TheoryTest, ExpectedDeltaAccuracyDropsWithUpslopeDistance) {
+  // Theorem 2's key implication: delta is accurate for small upslope
+  // distances, inaccurate for far-away upslope points (density peaks).
+  double w = 10.0;
+  EXPECT_GT(ExpectedDeltaAccuracy(0.5, w, 3, 10),
+            ExpectedDeltaAccuracy(20.0, w, 3, 10));
+  EXPECT_NEAR(ExpectedDeltaAccuracy(1e-9, w, 3, 10), 1.0, 1e-6);
+}
+
+// ----------------------------------------------------------------- Tuning
+
+TEST(TuningTest, SolveMinimalWidthInvertsAccuracyFormula) {
+  double dc = 2.5;
+  for (double accuracy : {0.5, 0.9, 0.99, 0.999}) {
+    for (size_t M : {1ul, 5ul, 10ul, 20ul}) {
+      for (size_t pi : {1ul, 3ul, 10ul}) {
+        auto w = SolveMinimalWidth(accuracy, M, pi, dc);
+        ASSERT_TRUE(w.ok());
+        // Plugging w back must achieve (almost exactly) the target.
+        EXPECT_NEAR(ExpectedRhoAccuracy(*w, pi, M, dc), accuracy, 1e-9)
+            << "A=" << accuracy << " M=" << M << " pi=" << pi;
+      }
+    }
+  }
+}
+
+TEST(TuningTest, HigherAccuracyNeedsWiderSlots) {
+  double dc = 1.0;
+  auto w90 = SolveMinimalWidth(0.90, 10, 3, dc);
+  auto w99 = SolveMinimalWidth(0.99, 10, 3, dc);
+  ASSERT_TRUE(w90.ok() && w99.ok());
+  EXPECT_LT(*w90, *w99);
+}
+
+TEST(TuningTest, MoreLayoutsAllowNarrowerSlots) {
+  double dc = 1.0;
+  auto w_few = SolveMinimalWidth(0.99, 2, 3, dc);
+  auto w_many = SolveMinimalWidth(0.99, 20, 3, dc);
+  ASSERT_TRUE(w_few.ok() && w_many.ok());
+  EXPECT_GT(*w_few, *w_many);
+}
+
+TEST(TuningTest, MorePiNeedsWiderSlots) {
+  double dc = 1.0;
+  auto w3 = SolveMinimalWidth(0.99, 10, 3, dc);
+  auto w10 = SolveMinimalWidth(0.99, 10, 10, dc);
+  ASSERT_TRUE(w3.ok() && w10.ok());
+  EXPECT_LT(*w3, *w10);
+}
+
+TEST(TuningTest, InvalidInputsRejected) {
+  EXPECT_FALSE(SolveMinimalWidth(0.0, 10, 3, 1.0).ok());
+  EXPECT_FALSE(SolveMinimalWidth(1.0, 10, 3, 1.0).ok());
+  EXPECT_FALSE(SolveMinimalWidth(-0.5, 10, 3, 1.0).ok());
+  EXPECT_FALSE(SolveMinimalWidth(0.99, 0, 3, 1.0).ok());
+  EXPECT_FALSE(SolveMinimalWidth(0.99, 10, 0, 1.0).ok());
+  EXPECT_FALSE(SolveMinimalWidth(0.99, 10, 3, 0.0).ok());
+}
+
+TEST(TuningTest, TuneParamsFillsWidth) {
+  auto params = TuneParams(0.99, 10, 3, 2.0);
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->num_layouts, 10u);
+  EXPECT_EQ(params->pi, 3u);
+  EXPECT_GT(params->width, 0.0);
+  EXPECT_NE(params->ToString().find("M=10"), std::string::npos);
+}
+
+TEST(TuningTest, WidthScalesLinearlyWithCutoff) {
+  auto w1 = SolveMinimalWidth(0.99, 10, 3, 1.0);
+  auto w2 = SolveMinimalWidth(0.99, 10, 3, 2.0);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_NEAR(*w2 / *w1, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace ddp

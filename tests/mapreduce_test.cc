@@ -1,0 +1,484 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+#include "mapreduce/mapreduce.h"
+
+namespace ddp {
+namespace mr {
+namespace {
+
+// Classic word count over small documents.
+JobSpec<std::string, std::string, uint32_t, std::pair<std::string, uint32_t>>
+WordCountSpec() {
+  JobSpec<std::string, std::string, uint32_t, std::pair<std::string, uint32_t>>
+      spec;
+  spec.name = "wordcount";
+  spec.map = [](const std::string& doc, Emitter<std::string, uint32_t>* out) {
+    size_t pos = 0;
+    while (pos < doc.size()) {
+      size_t end = doc.find(' ', pos);
+      if (end == std::string::npos) end = doc.size();
+      if (end > pos) out->Emit(doc.substr(pos, end - pos), 1);
+      pos = end + 1;
+    }
+  };
+  spec.reduce = [](const std::string& word, std::span<const uint32_t> counts,
+                   std::vector<std::pair<std::string, uint32_t>>* out) {
+    uint32_t total = 0;
+    for (uint32_t c : counts) total += c;
+    out->push_back({word, total});
+  };
+  return spec;
+}
+
+std::map<std::string, uint32_t> ToMap(
+    const std::vector<std::pair<std::string, uint32_t>>& kv) {
+  return {kv.begin(), kv.end()};
+}
+
+TEST(MapReduceTest, WordCountBasic) {
+  std::vector<std::string> docs = {"a b a", "b c", "a"};
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs));
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(MapReduceTest, EmptyInputProducesEmptyOutput) {
+  std::vector<std::string> docs;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MapReduceTest, MissingMapOrReduceIsInvalidArgument) {
+  auto spec = WordCountSpec();
+  spec.map = nullptr;
+  std::vector<std::string> docs = {"a"};
+  EXPECT_TRUE(RunJob(spec, std::span<const std::string>(docs))
+                  .status()
+                  .IsInvalidArgument());
+  spec = WordCountSpec();
+  spec.reduce = nullptr;
+  EXPECT_TRUE(RunJob(spec, std::span<const std::string>(docs))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MapReduceTest, CountersAreAccurate) {
+  std::vector<std::string> docs = {"x y", "x"};
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       Options{}, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(counters.job_name, "wordcount");
+  EXPECT_EQ(counters.map_input_records, 2u);
+  EXPECT_EQ(counters.map_output_records, 3u);  // x, y, x
+  EXPECT_EQ(counters.shuffle_records, 3u);
+  EXPECT_EQ(counters.reduce_input_groups, 2u);  // x, y
+  EXPECT_EQ(counters.reduce_output_records, 2u);
+  EXPECT_GT(counters.shuffle_bytes, 0u);
+  EXPECT_GE(counters.total_seconds, 0.0);
+}
+
+TEST(MapReduceTest, CombinerShrinksShuffleWithoutChangingResult) {
+  // 200 copies of the same word: the combiner should collapse per-task
+  // duplicates and shrink the shuffle.
+  std::vector<std::string> docs(200, "same");
+  Options options;
+  options.num_workers = 2;
+
+  JobCounters no_comb, with_comb;
+  auto plain = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      options, &no_comb);
+  auto spec = WordCountSpec();
+  spec.combiner = [](const std::string&, std::vector<uint32_t> values) {
+    uint32_t sum = 0;
+    for (uint32_t v : values) sum += v;
+    return std::vector<uint32_t>{sum};
+  };
+  auto combined =
+      RunJob(spec, std::span<const std::string>(docs), options, &with_comb);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(ToMap(*plain), ToMap(*combined));
+  EXPECT_LT(with_comb.shuffle_bytes, no_comb.shuffle_bytes);
+  EXPECT_LT(with_comb.shuffle_records, no_comb.shuffle_records);
+  EXPECT_EQ(with_comb.combine_input_records, 200u);
+}
+
+TEST(MapReduceTest, DeterministicAcrossWorkerCounts) {
+  std::vector<uint64_t> input(5000);
+  std::iota(input.begin(), input.end(), 0);
+  JobSpec<uint64_t, uint64_t, uint64_t, std::pair<uint64_t, uint64_t>> spec;
+  spec.name = "mod-sum";
+  spec.map = [](const uint64_t& v, Emitter<uint64_t, uint64_t>* out) {
+    out->Emit(v % 37, v);
+  };
+  spec.reduce = [](const uint64_t& k, std::span<const uint64_t> values,
+                   std::vector<std::pair<uint64_t, uint64_t>>* out) {
+    uint64_t s = 0;
+    for (uint64_t v : values) s += v;
+    out->push_back({k, s});
+  };
+  Options o1, o4;
+  o1.num_workers = 1;
+  o1.num_partitions = 8;
+  o4.num_workers = 4;
+  o4.num_partitions = 8;
+  auto r1 = RunJob(spec, std::span<const uint64_t>(input), o1);
+  auto r4 = RunJob(spec, std::span<const uint64_t>(input), o4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(*r1, *r4);  // identical order, not just identical content
+}
+
+TEST(MapReduceTest, AllValuesForKeyArriveTogether) {
+  std::vector<uint32_t> input(1000);
+  std::iota(input.begin(), input.end(), 0);
+  JobSpec<uint32_t, uint32_t, uint32_t, std::pair<uint32_t, size_t>> spec;
+  spec.name = "group-size";
+  spec.map = [](const uint32_t& v, Emitter<uint32_t, uint32_t>* out) {
+    out->Emit(v % 10, v);
+  };
+  spec.reduce = [](const uint32_t& k, std::span<const uint32_t> values,
+                   std::vector<std::pair<uint32_t, size_t>>* out) {
+    out->push_back({k, values.size()});
+  };
+  auto result = RunJob(spec, std::span<const uint32_t>(input));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 10u);
+  for (const auto& [k, size] : *result) EXPECT_EQ(size, 100u);
+}
+
+TEST(MapReduceTest, VectorKeysWork) {
+  // Keys are LSH-style signatures: vectors of int64.
+  using Key = std::vector<int64_t>;
+  std::vector<int64_t> input = {1, 2, 3, 4, 5, 6};
+  JobSpec<int64_t, Key, int64_t, std::pair<Key, int64_t>> spec;
+  spec.name = "vector-keys";
+  spec.map = [](const int64_t& v, Emitter<Key, int64_t>* out) {
+    out->Emit({v % 2, v % 3}, v);
+  };
+  spec.reduce = [](const Key& k, std::span<const int64_t> values,
+                   std::vector<std::pair<Key, int64_t>>* out) {
+    int64_t s = 0;
+    for (int64_t v : values) s += v;
+    out->push_back({k, s});
+  };
+  auto result = RunJob(spec, std::span<const int64_t>(input));
+  ASSERT_TRUE(result.ok());
+  // 6 inputs, keys (v%2, v%3): 1->(1,1) 2->(0,2) 3->(1,0) 4->(0,1) 5->(1,2)
+  // 6->(0,0): all distinct.
+  EXPECT_EQ(result->size(), 6u);
+  int64_t total = 0;
+  for (const auto& [k, s] : *result) total += s;
+  EXPECT_EQ(total, 21);
+}
+
+TEST(MapReduceTest, MapCanEmitNothing) {
+  std::vector<int> input = {1, 2, 3};
+  JobSpec<int, int, int, int> spec;
+  spec.name = "filter-all";
+  spec.map = [](const int&, Emitter<int, int>*) {};
+  spec.reduce = [](const int&, std::span<const int>, std::vector<int>* out) {
+    out->push_back(1);
+  };
+  JobCounters counters;
+  auto result =
+      RunJob(spec, std::span<const int>(input), Options{}, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(counters.shuffle_bytes, 0u);
+}
+
+TEST(MapReduceTest, ReduceCanFanOut) {
+  std::vector<int> input = {5};
+  JobSpec<int, int, int, int> spec;
+  spec.name = "fan-out";
+  spec.map = [](const int& v, Emitter<int, int>* out) { out->Emit(0, v); };
+  spec.reduce = [](const int&, std::span<const int> values,
+                   std::vector<int>* out) {
+    for (int v : values) {
+      for (int i = 0; i < v; ++i) out->push_back(i);
+    }
+  };
+  auto result = RunJob(spec, std::span<const int>(input));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(MapReduceTest, SinglePartitionStillGroupsCorrectly) {
+  std::vector<std::string> docs = {"a b", "b c", "c d"};
+  Options options;
+  options.num_partitions = 1;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), options);
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts["b"], 2u);
+}
+
+TEST(MapReduceTest, ManyPartitionsStillGroupCorrectly) {
+  std::vector<std::string> docs = {"a b a b", "a"};
+  Options options;
+  options.num_partitions = 64;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), options);
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+}
+
+TEST(MapReduceTest, ShuffleBytesScaleWithPayload) {
+  // Doubling the payload per record should increase shuffle volume.
+  using Payload = std::vector<double>;
+  auto make_spec = [](size_t width) {
+    JobSpec<int, int, Payload, int> spec;
+    spec.name = "payload";
+    spec.map = [width](const int& v, Emitter<int, Payload>* out) {
+      out->Emit(v % 4, Payload(width, 1.0));
+    };
+    spec.reduce = [](const int&, std::span<const Payload>,
+                     std::vector<int>* out) { out->push_back(0); };
+    return spec;
+  };
+  std::vector<int> input(100);
+  std::iota(input.begin(), input.end(), 0);
+  JobCounters narrow, wide;
+  ASSERT_TRUE(RunJob(make_spec(10), std::span<const int>(input), Options{},
+                     &narrow)
+                  .ok());
+  ASSERT_TRUE(
+      RunJob(make_spec(20), std::span<const int>(input), Options{}, &wide)
+          .ok());
+  EXPECT_GT(wide.shuffle_bytes, narrow.shuffle_bytes);
+  // 100 records x 10 extra doubles x 8 bytes = 8000 extra bytes exactly.
+  EXPECT_EQ(wide.shuffle_bytes - narrow.shuffle_bytes, 100u * 10u * 8u);
+}
+
+TEST(KeyTraitsTest, PairAndVectorHashing) {
+  using VK = std::vector<int64_t>;
+  VK a = {1, 2, 3}, b = {1, 2, 3}, c = {1, 2, 4};
+  EXPECT_EQ(KeyTraits<VK>::Hash(a), KeyTraits<VK>::Hash(b));
+  EXPECT_NE(KeyTraits<VK>::Hash(a), KeyTraits<VK>::Hash(c));
+  EXPECT_TRUE(KeyTraits<VK>::Less(a, c));
+  using PK = std::pair<uint32_t, VK>;
+  PK p1 = {0, a}, p2 = {0, c}, p3 = {1, a};
+  EXPECT_TRUE(KeyTraits<PK>::Less(p1, p2));
+  EXPECT_TRUE(KeyTraits<PK>::Less(p1, p3));
+  EXPECT_NE(KeyTraits<PK>::Hash(p1), KeyTraits<PK>::Hash(p3));
+}
+
+TEST(RunStatsTest, Aggregation) {
+  RunStats stats;
+  JobCounters a;
+  a.job_name = "a";
+  a.shuffle_bytes = 100;
+  a.shuffle_records = 10;
+  a.total_seconds = 1.5;
+  JobCounters b;
+  b.job_name = "b";
+  b.shuffle_bytes = 50;
+  b.shuffle_records = 5;
+  b.total_seconds = 0.5;
+  stats.Add(a);
+  stats.Add(b);
+  EXPECT_EQ(stats.TotalShuffleBytes(), 150u);
+  EXPECT_EQ(stats.TotalShuffleRecords(), 15u);
+  EXPECT_DOUBLE_EQ(stats.TotalSeconds(), 2.0);
+  EXPECT_NE(stats.ToString().find("a:"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("TOTAL"), std::string::npos);
+}
+
+// ------------------------------------------------------ Fault injection
+
+TEST(FaultInjectionTest, JobSurvivesMapFailures) {
+  std::vector<std::string> docs(64, "a b");
+  Options faulty;
+  faulty.num_workers = 2;
+  faulty.faults.map_failure_rate = 0.4;
+  faulty.faults.seed = 3;
+  faulty.max_task_attempts = 16;  // 0.4^16: exhaustion essentially impossible
+  JobCounters counters;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), faulty,
+             &counters);
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts["a"], 64u);
+  EXPECT_EQ(counts["b"], 64u);
+  EXPECT_GT(counters.map_task_retries, 0u);
+}
+
+TEST(FaultInjectionTest, JobSurvivesReduceFailures) {
+  std::vector<std::string> docs(64, "x y z");
+  Options faulty;
+  faulty.num_workers = 2;
+  faulty.faults.reduce_failure_rate = 0.4;
+  faulty.faults.seed = 5;
+  faulty.max_task_attempts = 16;
+  JobCounters counters;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), faulty,
+             &counters);
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts["x"], 64u);
+  EXPECT_GT(counters.reduce_task_retries, 0u);
+}
+
+TEST(FaultInjectionTest, ResultsIdenticalWithAndWithoutFaults) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 50; ++i) {
+    docs.push_back("w" + std::to_string(i % 7) + " w" + std::to_string(i % 3));
+  }
+  Options clean, faulty;
+  clean.num_workers = faulty.num_workers = 2;
+  clean.num_partitions = faulty.num_partitions = 8;
+  faulty.faults.map_failure_rate = 0.3;
+  faulty.faults.reduce_failure_rate = 0.3;
+  faulty.max_task_attempts = 16;
+  auto a = RunJob(WordCountSpec(), std::span<const std::string>(docs), clean);
+  auto b = RunJob(WordCountSpec(), std::span<const std::string>(docs), faulty);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);  // identical outputs, including order
+}
+
+TEST(FaultInjectionTest, CertainFailureExhaustsAttempts) {
+  std::vector<std::string> docs = {"a"};
+  Options doomed;
+  doomed.faults.map_failure_rate = 1.0;
+  doomed.max_task_attempts = 3;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), doomed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  // Reduce-side certain failure also fails the job.
+  Options doomed_reduce;
+  doomed_reduce.faults.reduce_failure_rate = 1.0;
+  auto r2 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   doomed_reduce);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_TRUE(r2.status().IsInternal());
+}
+
+TEST(FaultInjectionTest, FailureDecisionIsDeterministic) {
+  FaultInjection faults;
+  faults.seed = 9;
+  bool a = internal::ShouldInjectFailure(faults, 0.5, "job", 0, 3, 1);
+  bool b = internal::ShouldInjectFailure(faults, 0.5, "job", 0, 3, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(internal::ShouldInjectFailure(faults, 0.0, "job", 0, 3, 1));
+  EXPECT_TRUE(internal::ShouldInjectFailure(faults, 1.0, "job", 0, 3, 1));
+}
+
+TEST(SkewCounterTest, MaxPartitionTracksHotKey) {
+  // All records to one key: one partition carries everything.
+  std::vector<int> input(200);
+  std::iota(input.begin(), input.end(), 0);
+  JobSpec<int, int, int, int> spec;
+  spec.name = "hot-key";
+  spec.map = [](const int& v, Emitter<int, int>* out) { out->Emit(7, v); };
+  spec.reduce = [](const int&, std::span<const int> values,
+                   std::vector<int>* out) {
+    out->push_back(static_cast<int>(values.size()));
+  };
+  Options options;
+  options.num_partitions = 16;
+  JobCounters counters;
+  auto result = RunJob(spec, std::span<const int>(input), options, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(counters.max_partition_bytes, counters.shuffle_bytes);
+}
+
+TEST(MapReduceStressTest, LargeSkewedWorkloadWithFaultsAndCombiner) {
+  // 20k records, zipf-ish key skew, combiner, 4 workers, injected faults:
+  // the kitchen sink. Output must equal an analytically computed histogram.
+  const size_t n = 20000;
+  std::vector<uint32_t> input(n);
+  std::iota(input.begin(), input.end(), 0);
+  JobSpec<uint32_t, uint32_t, uint64_t, std::pair<uint32_t, uint64_t>> spec;
+  spec.name = "stress";
+  spec.map = [](const uint32_t& v, Emitter<uint32_t, uint64_t>* out) {
+    // Key skew: ~half of all records share key 0.
+    uint32_t key = v % 2 == 0 ? 0 : v % 97;
+    out->Emit(key, v);
+  };
+  spec.combiner = [](const uint32_t&, std::vector<uint64_t> values) {
+    uint64_t s = 0;
+    for (uint64_t v : values) s += v;
+    return std::vector<uint64_t>{s};
+  };
+  spec.reduce = [](const uint32_t& k, std::span<const uint64_t> values,
+                   std::vector<std::pair<uint32_t, uint64_t>>* out) {
+    uint64_t s = 0;
+    for (uint64_t v : values) s += v;
+    out->push_back({k, s});
+  };
+  Options options;
+  options.num_workers = 4;
+  options.num_partitions = 16;
+  options.faults.map_failure_rate = 0.2;
+  options.faults.reduce_failure_rate = 0.2;
+  options.max_task_attempts = 16;
+  JobCounters counters;
+  auto result =
+      RunJob(spec, std::span<const uint32_t>(input), options, &counters);
+  ASSERT_TRUE(result.ok());
+  // Analytic ground truth.
+  std::map<uint32_t, uint64_t> expected;
+  for (uint32_t v = 0; v < n; ++v) {
+    expected[v % 2 == 0 ? 0 : v % 97] += v;
+  }
+  std::map<uint32_t, uint64_t> got(result->begin(), result->end());
+  EXPECT_EQ(got, expected);
+  // Skew surfaced: the hot partition carries most of the bytes.
+  EXPECT_GT(counters.max_partition_bytes, counters.shuffle_bytes / 16);
+}
+
+TEST(CostModelTest, ModeledSecondsChargesShuffle) {
+  std::vector<std::string> docs(50, "alpha beta gamma");
+  Options plain, modeled;
+  modeled.modeled_shuffle_bandwidth = 1e6;  // 1 MB/s: visible charge
+  JobCounters plain_counters, modeled_counters;
+  ASSERT_TRUE(RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                     plain, &plain_counters)
+                  .ok());
+  ASSERT_TRUE(RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                     modeled, &modeled_counters)
+                  .ok());
+  // Off: modeled == measured.
+  EXPECT_DOUBLE_EQ(plain_counters.modeled_seconds,
+                   plain_counters.total_seconds);
+  // On: measured + bytes / bandwidth.
+  EXPECT_NEAR(modeled_counters.modeled_seconds,
+              modeled_counters.total_seconds +
+                  static_cast<double>(modeled_counters.shuffle_bytes) / 1e6,
+              1e-12);
+}
+
+TEST(OptionsTest, Defaults) {
+  Options o;
+  EXPECT_GE(o.ResolvedWorkers(), 1u);
+  EXPECT_EQ(o.ResolvedPartitions(), 4 * o.ResolvedWorkers());
+  o.num_workers = 3;
+  o.num_partitions = 7;
+  EXPECT_EQ(o.ResolvedWorkers(), 3u);
+  EXPECT_EQ(o.ResolvedPartitions(), 7u);
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace ddp

@@ -1,0 +1,356 @@
+// ddp_cli — command-line front end for the ddp library.
+//
+//   ddp_cli gen <family> <n> <seed> <out>            generate a data set
+//   ddp_cli info <in>                                 dataset statistics
+//   ddp_cli tune --dc D [--accuracy A --m M --pi P]   Sec. V parameter model
+//   ddp_cli cluster <in> [options]                    run DP clustering
+//
+// Files ending in .ddpb use the binary format; everything else is CSV.
+// `cluster` options:
+//   --algo lsh|basic|eddpc|seq   algorithm (default lsh)
+//   --k N                        select the top-N peaks by gamma
+//   --rho X --delta Y            threshold peak selection
+//   --accuracy A --m M --pi P    LSH-DDP parameters (defaults 0.99, 10, 3)
+//   --probes N                   multi-probe LSH: extra buckets per layout
+//   --dc D                       explicit cutoff (default: sampled 2%)
+//   --percentile P               cutoff percentile (default 0.02)
+//   --kernel cutoff|gaussian     density kernel (lsh/seq only)
+//   --block N                    Basic-DDP block size (default 500)
+//   --halo                       flag halo/border points (extra column)
+//   --internal-metrics           print silhouette / Davies-Bouldin / SSE
+//   --graph FILE                 export the decision graph TSV
+//   --out FILE                   write input + cluster-id column (default
+//                                <in>.clustered.csv)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/halo.h"
+#include "core/sequential_dp.h"
+#include "dataset/binary_io.h"
+#include "dataset/csv.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/driver.h"
+#include "ddp/eddpc.h"
+#include "ddp/lsh_ddp.h"
+#include "eval/internal_metrics.h"
+#include "eval/metrics.h"
+#include "lsh/theory.h"
+#include "lsh/tuning.h"
+
+namespace ddp {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ddp_cli gen <aggregation|s2|facial|kdd|spatial|bigcross> <n> <seed> "
+      "<out>\n"
+      "  ddp_cli info <in>\n"
+      "  ddp_cli tune --dc D [--accuracy A] [--m M] [--pi P]\n"
+      "  ddp_cli cluster <in> [--algo lsh|basic|eddpc|seq] [--k N]\n"
+      "          [--rho X --delta Y] [--accuracy A] [--m M] [--pi P]\n"
+      "          [--dc D] [--percentile P] [--kernel cutoff|gaussian]\n"
+      "          [--block N] [--halo] [--graph FILE] [--out FILE]\n");
+  return 2;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  if (EndsWith(path, ".ddpb")) return ReadBinaryFile(path);
+  return ReadCsvFile(path);
+}
+
+Status SaveDataset(const std::string& path, const Dataset& ds) {
+  if (EndsWith(path, ".ddpb")) return WriteBinaryFile(path, ds);
+  return WriteCsvFile(path, ds);
+}
+
+// Minimal --flag value parser; positional args collected separately.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        std::string key = a.substr(2);
+        if (key == "halo" || key == "internal-metrics") {  // boolean flags
+          flags_[key] = "1";
+        } else if (i + 1 < argc) {
+          flags_[key] = argv[++i];
+        } else {
+          bad_ = true;
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  bool bad() const { return bad_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& key, size_t def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def
+                              : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  bool bad_ = false;
+};
+
+int CmdGen(const Args& args) {
+  if (args.positional().size() != 4) return Usage();
+  const std::string& family = args.positional()[0];
+  size_t n = static_cast<size_t>(std::atoll(args.positional()[1].c_str()));
+  uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.positional()[2].c_str()));
+  const std::string& out = args.positional()[3];
+
+  Result<Dataset> ds = Status::InvalidArgument("unknown family " + family);
+  if (family == "aggregation") ds = gen::AggregationLike(seed, n);
+  if (family == "s2") ds = gen::S2Like(seed, n);
+  if (family == "facial") ds = gen::FacialLike(seed, n);
+  if (family == "kdd") ds = gen::KddLike(seed, n);
+  if (family == "spatial") ds = gen::SpatialLike(seed, n);
+  if (family == "bigcross") ds = gen::BigCrossLike(seed, n);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "gen failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveDataset(out, *ds);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points (%zu dims, labeled) to %s\n", ds->size(),
+              ds->dim(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional().size() != 1) return Usage();
+  auto ds = LoadDataset(args.positional()[0]);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("points:    %zu\ndimension: %zu\nlabeled:   %s\n", ds->size(),
+              ds->dim(), ds->has_labels() ? "yes" : "no");
+  std::vector<double> lo, hi;
+  if (ds->BoundingBox(&lo, &hi).ok()) {
+    double max_extent = 0.0;
+    for (size_t d = 0; d < lo.size(); ++d) {
+      max_extent = std::max(max_extent, hi[d] - lo[d]);
+    }
+    std::printf("max extent: %.6g\n", max_extent);
+  }
+  CountingMetric metric;
+  auto dc = ChooseCutoff(*ds, metric);
+  if (dc.ok()) std::printf("suggested d_c (2%%): %.6g\n", *dc);
+  return 0;
+}
+
+int CmdTune(const Args& args) {
+  double dc = args.GetDouble("dc", 0.0);
+  if (dc <= 0.0) {
+    std::fprintf(stderr, "tune requires --dc > 0\n");
+    return 2;
+  }
+  double accuracy = args.GetDouble("accuracy", 0.99);
+  size_t m = args.GetSize("m", 10);
+  size_t pi = args.GetSize("pi", 3);
+  auto w = lsh::SolveMinimalWidth(accuracy, m, pi, dc);
+  if (!w.ok()) {
+    std::fprintf(stderr, "tune failed: %s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("A=%.4f M=%zu pi=%zu dc=%.6g\n", accuracy, m, pi, dc);
+  std::printf("minimal width w = %.6g\n", *w);
+  std::printf("model check A(w) = %.6f\n",
+              lsh::ExpectedRhoAccuracy(*w, pi, m, dc));
+  std::printf("per-function collision at d_c: %.4f\n",
+              lsh::PCollision(dc, *w));
+  return 0;
+}
+
+int CmdCluster(const Args& args) {
+  if (args.positional().size() != 1) return Usage();
+  const std::string& in_path = args.positional()[0];
+  auto ds = LoadDataset(in_path);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  DdpOptions options;
+  options.dc = args.GetDouble("dc", 0.0);
+  options.cutoff.percentile = args.GetDouble("percentile", 0.02);
+  if (args.Has("k")) {
+    options.selector = PeakSelector::TopK(args.GetSize("k", 8));
+  } else if (args.Has("rho") || args.Has("delta")) {
+    options.selector = PeakSelector::Threshold(args.GetDouble("rho", 0.0),
+                                               args.GetDouble("delta", 0.0));
+  } else {
+    options.selector = PeakSelector::GammaGap();
+  }
+
+  DensityKernel kernel = DensityKernel::kCutoff;
+  if (args.Get("kernel") == "gaussian") kernel = DensityKernel::kGaussian;
+
+  const std::string algo_name = args.Get("algo", "lsh");
+  LshDdp::Params lsh_params;
+  lsh_params.accuracy = args.GetDouble("accuracy", 0.99);
+  lsh_params.lsh.num_layouts = args.GetSize("m", 10);
+  lsh_params.lsh.pi = args.GetSize("pi", 3);
+  lsh_params.probes = args.GetSize("probes", 0);
+  lsh_params.kernel = kernel;
+  LshDdp lsh_algo(lsh_params);
+  BasicDdp::Params basic_params;
+  basic_params.block_size = args.GetSize("block", 500);
+  BasicDdp basic_algo(basic_params);
+  Eddpc eddpc_algo;
+
+  Result<DdpRunResult> run = Status::InvalidArgument("unknown algo " +
+                                                     algo_name);
+  if (algo_name == "lsh") run = RunDistributedDp(&lsh_algo, *ds, options);
+  if (algo_name == "basic") run = RunDistributedDp(&basic_algo, *ds, options);
+  if (algo_name == "eddpc") run = RunDistributedDp(&eddpc_algo, *ds, options);
+  if (algo_name == "seq") {
+    // Sequential exact pipeline, same options.
+    CountingMetric metric;
+    double dc = options.dc;
+    if (dc <= 0.0) {
+      auto chosen = ChooseCutoff(*ds, metric, options.cutoff);
+      if (!chosen.ok()) {
+        std::fprintf(stderr, "cutoff failed: %s\n",
+                     chosen.status().ToString().c_str());
+        return 1;
+      }
+      dc = *chosen;
+    }
+    SequentialDpOptions seq_opts;
+    seq_opts.kernel = kernel;
+    auto scores = ComputeExactDp(*ds, dc, metric, seq_opts);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "dp failed: %s\n",
+                   scores.status().ToString().c_str());
+      return 1;
+    }
+    DecisionGraph graph = DecisionGraph::FromScores(*scores);
+    auto peaks = options.selector.Select(graph);
+    auto clusters = AssignClusters(*ds, *scores, peaks, metric);
+    if (!clusters.ok()) {
+      std::fprintf(stderr, "assignment failed: %s\n",
+                   clusters.status().ToString().c_str());
+      return 1;
+    }
+    DdpRunResult r;
+    r.scores = std::move(scores).value();
+    r.dc = dc;
+    r.clusters = std::move(clusters).value();
+    run = std::move(r);
+  }
+  if (!run.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("d_c = %.6g\n%s\n", run->dc, run->clusters.Summary().c_str());
+  if (!run->stats.jobs.empty()) {
+    std::printf("%s\n", run->stats.ToString().c_str());
+  }
+  if (ds->has_labels()) {
+    auto ari = eval::AdjustedRandIndex(run->clusters.assignment, ds->labels());
+    if (ari.ok()) std::printf("ARI vs input labels: %.4f\n", *ari);
+  }
+  if (args.Has("internal-metrics")) {
+    CountingMetric metric;
+    eval::SilhouetteOptions sil_opts;
+    sil_opts.sample = 2000;  // keep O(sample * N)
+    auto sil = eval::MeanSilhouette(*ds, run->clusters.assignment, metric,
+                                    sil_opts);
+    auto db = eval::DaviesBouldin(*ds, run->clusters.assignment, metric);
+    auto sse = eval::SumSquaredError(*ds, run->clusters.assignment);
+    if (sil.ok()) std::printf("mean silhouette:  %.4f (higher better)\n", *sil);
+    if (db.ok()) std::printf("Davies-Bouldin:   %.4f (lower better)\n", *db);
+    if (sse.ok()) std::printf("sum sq. error:    %.6g\n", *sse);
+  }
+
+  if (args.Has("graph")) {
+    DecisionGraph graph = DecisionGraph::FromScores(run->scores);
+    std::ofstream(args.Get("graph")) << graph.ToTsv();
+    std::printf("decision graph -> %s\n", args.Get("graph").c_str());
+  }
+
+  std::vector<int> out_labels = run->clusters.assignment;
+  if (args.Has("halo")) {
+    CountingMetric metric;
+    auto halo = ComputeHalo(*ds, run->scores, run->clusters, run->dc, metric);
+    if (!halo.ok()) {
+      std::fprintf(stderr, "halo failed: %s\n",
+                   halo.status().ToString().c_str());
+      return 1;
+    }
+    size_t count = 0;
+    for (size_t i = 0; i < out_labels.size(); ++i) {
+      if (halo->halo[i]) {
+        out_labels[i] = -1;  // halo marked as noise in the output column
+        ++count;
+      }
+    }
+    std::printf("halo points: %zu\n", count);
+  }
+
+  std::string out_path = args.Get("out", in_path + ".clustered.csv");
+  Dataset labeled =
+      std::move(Dataset::FromValues(ds->dim(), ds->values())).ValueOrDie();
+  labeled.set_labels(out_labels);
+  Status st = SaveDataset(out_path, labeled);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("clustered output -> %s\n", out_path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (args.bad()) return Usage();
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "tune") return CmdTune(args);
+  if (cmd == "cluster") return CmdCluster(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main(int argc, char** argv) { return ddp::Main(argc, argv); }
