@@ -141,6 +141,17 @@ class BufferReader {
     return Status::OK();
   }
 
+  /// Carves the next `n` bytes into a sub-reader and advances past them.
+  /// The slice borrows this reader's buffer. Used by the MapReduce shuffle's
+  /// record framing: a corrupt record can be skipped by advancing to the next
+  /// frame without trusting the corrupt payload's own length fields.
+  Status Slice(size_t n, BufferReader* out) {
+    if (remaining() < n) return Truncated();
+    *out = BufferReader(cur_, n);
+    cur_ += n;
+    return Status::OK();
+  }
+
  private:
   static Status Truncated() { return Status::IoError("truncated buffer"); }
 
@@ -244,6 +255,41 @@ size_t SerializedSize(const T& v) {
   Serde<T>::Write(&w, v);
   return w.size();
 }
+
+/// Compile-time "does Serde<T> work?" probe, mirroring the Serde
+/// specializations above. The primary Serde template dispatches to member
+/// functions, so the member probe covers user structs; the partial
+/// specializations cover the built-in encodings. Used by the MapReduce
+/// checkpoint layer to persist job outputs only when they are encodable.
+template <typename T, typename Enable = void>
+struct HasSerde : std::false_type {};
+
+template <typename T>
+struct HasSerde<
+    T, std::enable_if_t<std::is_same_v<
+           decltype(std::declval<const T&>().SerializeTo(
+               static_cast<BufferWriter*>(nullptr))),
+           void>&& std::is_same_v<decltype(T::DeserializeFrom(
+                                      static_cast<BufferReader*>(nullptr),
+                                      static_cast<T*>(nullptr))),
+                                  Status>>> : std::true_type {};
+
+template <typename T>
+struct HasSerde<T, std::enable_if_t<std::is_integral_v<T>>> : std::true_type {};
+template <>
+struct HasSerde<double> : std::true_type {};
+template <>
+struct HasSerde<float> : std::true_type {};
+template <>
+struct HasSerde<std::string> : std::true_type {};
+template <typename T>
+struct HasSerde<std::vector<T>> : HasSerde<T> {};
+template <typename A, typename B>
+struct HasSerde<std::pair<A, B>>
+    : std::bool_constant<HasSerde<A>::value && HasSerde<B>::value> {};
+
+template <typename T>
+inline constexpr bool has_serde_v = HasSerde<T>::value;
 
 }  // namespace ddp
 

@@ -26,6 +26,7 @@ enum class StatusCode : int8_t {
   kNotImplemented = 6,
   kInternal = 7,
   kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
@@ -79,6 +80,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -98,6 +102,10 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace ddp {
+
+void CancelToken::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+bool CancelToken::WaitFor(double seconds) {
+  if (seconds <= 0.0) return cancelled();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [this] { return cancelled_.load(std::memory_order_acquire); });
+  return cancelled();
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);

@@ -14,8 +14,36 @@
 /// Fixed-size worker pool used by the MapReduce executor to run map and
 /// reduce tasks. Tasks are void() closures; `ParallelFor` provides the
 /// common index-sharded pattern and blocks until all shards finish.
+/// `CancelToken` lets a scheduler abandon an in-flight task cooperatively —
+/// the MapReduce runtime uses it to kill speculative losers, wake injected
+/// stragglers, and abort doomed jobs early.
 
 namespace ddp {
+
+/// Cooperative cancellation flag shared between a scheduler and a task.
+/// Cancellation is one-way and sticky: once cancelled, stays cancelled.
+/// All methods are thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation and wakes any WaitFor sleepers.
+  void Cancel();
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Sleeps up to `seconds` but returns early (true) if cancelled. Used by
+  /// the fault injector's straggler dawdle so abandoned attempts release
+  /// their worker as soon as the scheduler gives up on them.
+  bool WaitFor(double seconds);
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
 
 class ThreadPool {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "common/random.h"
@@ -118,17 +119,31 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
   DistanceCounter counter;
   CountingMetric metric(&counter);
 
+  // Driver recovery: every job below runs against a checkpoint store (when
+  // configured), keyed by its position in the pipeline. The sequence is
+  // rewound at the start of each (re-)run so a resumed pipeline requests the
+  // same keys and replays completed jobs instead of re-executing them.
+  mr::Options mr_options = options.mr;
+  std::optional<mr::CheckpointStore> owned_store;
+  if (mr_options.checkpoint == nullptr && !options.checkpoint_dir.empty()) {
+    owned_store.emplace(options.checkpoint_dir);
+    mr_options.checkpoint = &*owned_store;
+  }
+  if (mr_options.checkpoint != nullptr) {
+    mr_options.checkpoint->ResetSequence();
+  }
+
   if (options.dc > 0.0) {
     result.dc = options.dc;
   } else {
     DDP_ASSIGN_OR_RETURN(
         result.dc, ChooseCutoffMapReduce(dataset, metric, options.cutoff,
-                                         options.mr, &result.stats));
+                                         mr_options, &result.stats));
   }
 
   DDP_ASSIGN_OR_RETURN(result.scores,
                        algorithm->ComputeScores(dataset, result.dc, metric,
-                                                options.mr, &result.stats));
+                                                mr_options, &result.stats));
 
   // Final step (Sec. III Step 3): decision graph, peaks, assignment —
   // centralized by default, distributed pointer jumping on request.
@@ -140,7 +155,7 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
   if (options.use_mr_assignment) {
     DDP_ASSIGN_OR_RETURN(MrAssignmentResult assigned,
                          AssignClustersMapReduce(result.scores, peaks,
-                                                 options.mr));
+                                                 mr_options));
     for (const mr::JobCounters& job : assigned.stats.jobs) {
       result.stats.Add(job);
     }

@@ -7,6 +7,12 @@ namespace mr {
 
 std::string JobCounters::ToString() const {
   char buf[512];
+  if (loaded_from_checkpoint) {
+    std::snprintf(buf, sizeof(buf), "%s: replayed from checkpoint (out=%llu)",
+                  job_name.c_str(),
+                  static_cast<unsigned long long>(reduce_output_records));
+    return buf;
+  }
   std::snprintf(
       buf, sizeof(buf),
       "%s: map_in=%llu map_out=%llu shuffle=%llu B (%llu rec) groups=%llu "
@@ -18,7 +24,30 @@ std::string JobCounters::ToString() const {
       static_cast<unsigned long long>(reduce_input_groups),
       static_cast<unsigned long long>(reduce_output_records), map_seconds,
       shuffle_seconds, reduce_seconds, total_seconds);
-  return buf;
+  std::string out = buf;
+  const uint64_t retries = map_task_retries + reduce_task_retries;
+  if (retries + speculative_launches + deadline_kills + skipped_records +
+          task_exceptions >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | retries=%llu spec=%llu/%llu deadline_kills=%llu "
+                  "skipped=%llu exceptions=%llu",
+                  static_cast<unsigned long long>(retries),
+                  static_cast<unsigned long long>(speculative_wins),
+                  static_cast<unsigned long long>(speculative_launches),
+                  static_cast<unsigned long long>(deadline_kills),
+                  static_cast<unsigned long long>(skipped_records),
+                  static_cast<unsigned long long>(task_exceptions));
+    out += buf;
+  }
+  if (straggler_ratio > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | attempts: median=%.4fs p99=%.4fs slowest/median=%.2f",
+                  median_attempt_seconds, p99_attempt_seconds,
+                  straggler_ratio);
+    out += buf;
+  }
+  return out;
 }
 
 uint64_t RunStats::TotalShuffleBytes() const {
@@ -42,6 +71,50 @@ double RunStats::TotalSeconds() const {
 double RunStats::TotalModeledSeconds() const {
   double total = 0.0;
   for (const JobCounters& j : jobs) total += j.modeled_seconds;
+  return total;
+}
+
+uint64_t RunStats::TotalTaskRetries() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) {
+    total += j.map_task_retries + j.reduce_task_retries;
+  }
+  return total;
+}
+
+uint64_t RunStats::TotalSpeculativeLaunches() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.speculative_launches;
+  return total;
+}
+
+uint64_t RunStats::TotalSpeculativeWins() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.speculative_wins;
+  return total;
+}
+
+uint64_t RunStats::TotalDeadlineKills() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.deadline_kills;
+  return total;
+}
+
+uint64_t RunStats::TotalSkippedRecords() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.skipped_records;
+  return total;
+}
+
+uint64_t RunStats::TotalTaskExceptions() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.task_exceptions;
+  return total;
+}
+
+uint64_t RunStats::JobsLoadedFromCheckpoint() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.loaded_from_checkpoint ? 1 : 0;
   return total;
 }
 

@@ -26,8 +26,30 @@ struct JobCounters {
   /// Largest single reduce partition's serialized input — the skew signal
   /// behind Fig. 12(a)'s small-M/large-pi slowdown.
   uint64_t max_partition_bytes = 0;
-  uint64_t map_task_retries = 0;     // injected-fault retries (map side)
-  uint64_t reduce_task_retries = 0;  // injected-fault retries (reduce side)
+  uint64_t map_task_retries = 0;     // failed-attempt retries (map side)
+  uint64_t reduce_task_retries = 0;  // failed-attempt retries (reduce side)
+  /// Backup attempts launched because a task ran past the speculative
+  /// threshold, and how many of those backups committed before the original.
+  uint64_t speculative_launches = 0;
+  uint64_t speculative_wins = 0;
+  /// Attempts that exceeded Options::task_deadline_seconds and were counted
+  /// as failed (feeding the max_task_attempts budget).
+  uint64_t deadline_kills = 0;
+  /// Corrupt shuffle records skipped under Options::skip_bad_records.
+  uint64_t skipped_records = 0;
+  /// User map/reduce/combiner exceptions converted into failed attempts.
+  uint64_t task_exceptions = 0;
+  /// True when the job's output was replayed from a CheckpointStore instead
+  /// of being executed; all other counters are zero in that case.
+  bool loaded_from_checkpoint = false;
+
+  /// Committed-attempt duration distribution across both phases — the
+  /// straggler signal speculation acts on. straggler_ratio is
+  /// slowest/median (1.0 when fewer than two attempts committed).
+  double median_attempt_seconds = 0.0;
+  double p99_attempt_seconds = 0.0;
+  double max_attempt_seconds = 0.0;
+  double straggler_ratio = 0.0;
 
   double map_seconds = 0.0;
   double shuffle_seconds = 0.0;
@@ -52,6 +74,14 @@ struct RunStats {
   uint64_t TotalShuffleRecords() const;
   double TotalSeconds() const;
   double TotalModeledSeconds() const;
+  uint64_t TotalTaskRetries() const;
+  uint64_t TotalSpeculativeLaunches() const;
+  uint64_t TotalSpeculativeWins() const;
+  uint64_t TotalDeadlineKills() const;
+  uint64_t TotalSkippedRecords() const;
+  uint64_t TotalTaskExceptions() const;
+  /// Jobs whose output came from a checkpoint rather than execution.
+  uint64_t JobsLoadedFromCheckpoint() const;
 
   std::string ToString() const;
 };

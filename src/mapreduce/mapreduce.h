@@ -3,8 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -17,6 +22,7 @@
 #include "common/serde.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
 
 /// \file mapreduce.h
@@ -30,12 +36,20 @@
 ///  * Every intermediate (key, value) pair is SERIALIZED into a
 ///    per-reduce-partition byte buffer — `JobCounters::shuffle_bytes` is the
 ///    size of real encoded data, the quantity a cluster would move over the
-///    network.
+///    network. Records are length-framed (like Hadoop's IFile) so the reduce
+///    side can re-sync past a corrupt record.
 ///  * Reduce partitions deserialize, sort by key, group, and run reduce tasks
 ///    in parallel. Output order is deterministic (partition-major, key-sorted
 ///    within a partition).
 ///  * An optional combiner folds map-side values per key before
 ///    serialization, shrinking shuffle volume exactly as Hadoop combiners do.
+///  * The full Hadoop fault-tolerance toolkit, driven by deterministic chaos
+///    injection (`FaultInjection`): task retry with an attempt budget,
+///    speculative backup attempts for stragglers (first finisher commits,
+///    losers are abandoned), per-attempt deadlines, bad-record skipping
+///    (`Options::skip_bad_records`), user-exception capture, and job-boundary
+///    checkpoint/resume (`Options::checkpoint`). Tasks are pure functions of
+///    their input split, so every recovery path yields bit-identical output.
 ///
 /// Type requirements:
 ///  * `MidK`: Serde<MidK>, `KeyTraits<MidK>::Hash`, operator== and
@@ -92,14 +106,30 @@ class Emitter {
   virtual void Emit(const MidK& key, const MidV& value) = 0;
 };
 
-/// Runtime options for one job.
-/// Deterministic task-failure injection, for exercising the retry path the
-/// way a Hadoop cluster loses tasks. Whether attempt `a` of task `t` fails
-/// is a pure function of (seed, job name, phase, t, a), so runs remain
-/// reproducible and retried tasks produce identical output.
+/// Deterministic chaos injection, for exercising the recovery paths the way
+/// a Hadoop cluster loses, slows, and corrupts tasks. Every decision is a
+/// pure function of (seed, job name, phase, task, attempt), so runs remain
+/// reproducible and every recovery path produces identical output.
 struct FaultInjection {
   double map_failure_rate = 0.0;     // probability a map attempt fails
   double reduce_failure_rate = 0.0;  // probability a reduce attempt fails
+  /// Straggler model: with probability `straggler_rate`, an attempt dawdles
+  /// after finishing its work as if it ran on a slow node, stretching its
+  /// wall time to ~`straggler_slowdown` times the compute time (but at least
+  /// `straggler_min_seconds`, so micro-tasks still produce wall-clock-visible
+  /// stragglers). The dawdle is interruptible: abandoned attempts release
+  /// their worker as soon as the scheduler cancels them.
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 10.0;
+  double straggler_min_seconds = 0.0;
+  /// Shuffle corruption: probability, per (map task, partition), of appending
+  /// a poisoned frame to that partition's buffer. Poisoned frames are
+  /// well-formed at the framing layer but never decode as a record, so they
+  /// model flipped bits caught by deserialization. The injection ignores the
+  /// attempt number: retried and speculative attempts build bit-identical
+  /// buffers, and a poisoned frame is "off-path" chaff whose skipping cannot
+  /// change job output.
+  double corruption_rate = 0.0;
   uint64_t seed = 1;
 };
 
@@ -116,6 +146,36 @@ struct Options {
   /// charging every shuffled byte the network/disk cost an in-process run
   /// does not pay. 0 disables (modeled_seconds == total_seconds).
   double modeled_shuffle_bandwidth = 0.0;  // bytes per second
+
+  /// Wall-clock budget per task attempt; an attempt that exceeds it counts
+  /// as a failed attempt (feeding max_task_attempts) instead of hanging the
+  /// job. 0 disables. Attempts sleeping in an injected straggler dawdle are
+  /// killed promptly; attempts stuck in user code are charged when they
+  /// return.
+  double task_deadline_seconds = 0.0;
+
+  /// Hadoop-style speculative execution: once `speculative_min_completed`
+  /// attempts have committed, a task whose sole running attempt has been in
+  /// flight longer than `speculative_multiplier` times the median committed
+  /// attempt time gets one backup attempt. First finisher commits; the loser
+  /// is cancelled and its output discarded. Output is bit-identical either
+  /// way because attempts are pure.
+  bool speculative_execution = false;
+  double speculative_multiplier = 3.0;
+  size_t speculative_min_completed = 3;
+
+  /// When true, a shuffle record that fails to deserialize is skipped and
+  /// counted in JobCounters::skipped_records, instead of failing the job
+  /// after every other partition has done its work (Hadoop's
+  /// "skip bad records" mode). When false, the first bad record aborts the
+  /// job and cancels in-flight partitions early.
+  bool skip_bad_records = false;
+
+  /// Optional job-boundary checkpointing: completed jobs persist their
+  /// output here and are replayed on re-runs (see checkpoint.h). Borrowed,
+  /// not owned. Jobs whose output type has no Serde are executed normally
+  /// (re-running them on resume is correct, just not free).
+  CheckpointStore* checkpoint = nullptr;
 
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
@@ -142,7 +202,10 @@ struct JobSpec {
 
 namespace internal {
 
-/// Pure decision: does attempt `attempt` of task `task` in `phase` fail?
+/// Pure chaos decision: does event `attempt` of task `task` in `phase` fire?
+/// Shared by failure injection (phases 0/1), shuffle corruption (phase 2,
+/// with the partition index in the `attempt` slot), and straggler injection
+/// (phases 4/5).
 inline bool ShouldInjectFailure(const FaultInjection& faults, double rate,
                                 const std::string& job_name, int phase,
                                 size_t task, size_t attempt) {
@@ -158,28 +221,51 @@ inline bool ShouldInjectFailure(const FaultInjection& faults, double rate,
   return u < rate;
 }
 
-/// Map-side emitter that serializes each pair into the buffer of the
-/// partition its key hashes to.
+/// Map-side emitter that serializes each pair, length-framed, into the
+/// buffer of the partition its key hashes to. Frame headers exist so the
+/// reduce side can skip a corrupt record; they are bookkeeping, not payload,
+/// so byte accounting (`payload_bytes`) counts only the key/value encodings
+/// — the quantity the paper's shuffle-cost figures report.
 template <typename MidK, typename MidV>
 class PartitionedEmitter : public Emitter<MidK, MidV> {
  public:
-  PartitionedEmitter(size_t num_partitions)
-      : buffers_(num_partitions), records_(0) {}
+  explicit PartitionedEmitter(size_t num_partitions)
+      : buffers_(num_partitions), payload_bytes_(num_partitions, 0) {}
 
   void Emit(const MidK& key, const MidV& value) override {
     size_t p = KeyTraits<MidK>::Hash(key) % buffers_.size();
-    BufferWriter w(&buffers_[p]);
-    Serde<MidK>::Write(&w, key);
-    Serde<MidV>::Write(&w, value);
+    scratch_.clear();
+    BufferWriter rec(&scratch_);
+    Serde<MidK>::Write(&rec, key);
+    Serde<MidV>::Write(&rec, value);
+    BufferWriter out(&buffers_[p]);
+    out.PutVarint64(scratch_.size());
+    out.PutRaw(scratch_.data(), scratch_.size());
+    payload_bytes_[p] += scratch_.size();
     ++records_;
   }
 
+  /// Appends an undecodable frame to partition `p` (shuffle-corruption
+  /// injection). The frame is well-formed at the framing layer, so
+  /// skip_bad_records can step over it, but its payload can never decode as
+  /// a record: 0xff is an unterminated varint and too short for any
+  /// fixed-width field, and a decode that somehow consumed less than the
+  /// frame is rejected as short.
+  void AppendPoisonFrame(size_t p) {
+    BufferWriter out(&buffers_[p]);
+    out.PutVarint64(1);
+    out.PutByte(0xff);
+  }
+
   std::vector<std::string>& buffers() { return buffers_; }
+  const std::vector<uint64_t>& payload_bytes() const { return payload_bytes_; }
   uint64_t records() const { return records_; }
 
  private:
   std::vector<std::string> buffers_;
-  uint64_t records_;
+  std::vector<uint64_t> payload_bytes_;
+  std::string scratch_;
+  uint64_t records_ = 0;
 };
 
 /// Map-side emitter that holds pairs in memory for combining.
@@ -213,6 +299,279 @@ class CombiningEmitter : public Emitter<MidK, MidV> {
   uint64_t records_ = 0;
 };
 
+/// Robustness accounting for one phase, merged into JobCounters by RunJob.
+struct PhaseStats {
+  uint64_t retries = 0;
+  uint64_t speculative_launches = 0;
+  uint64_t speculative_wins = 0;
+  uint64_t deadline_kills = 0;
+  uint64_t exceptions = 0;
+  std::vector<double> durations;  // committed attempts only
+};
+
+/// The per-phase task scheduler — the "job tracker" of this runtime. Runs
+/// `num_tasks` tasks on `pool`, each via `body(task, cancel, &out)`:
+///
+///  * A failed attempt (injected fault, thrown exception, missed deadline)
+///    is retried until `max_task_attempts` is exhausted, then fails the job.
+///  * An IoError from `body` (corrupt shuffle data) is not retryable — the
+///    data would be equally corrupt on retry — and aborts the job, with all
+///    in-flight attempts cancelled so other partitions stop wasting work.
+///  * With speculative execution on, a task whose sole attempt runs long
+///    relative to the committed median gets one backup attempt; the first
+///    success commits (in this scheduler thread, so there is no commit
+///    race), the sibling is cancelled and its result discarded.
+///
+/// `body` must be a pure function of `task` and should poll `cancel`
+/// periodically so abandoned attempts release their worker promptly.
+template <typename Output, typename Body>
+Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
+                      const std::string& job_name, const Options& options,
+                      double failure_rate, PhaseStats* pstats,
+                      std::vector<Output>* outputs, const Body& body) {
+  outputs->clear();
+  outputs->resize(num_tasks);
+  if (num_tasks == 0) return Status::OK();
+
+  using Clock = std::chrono::steady_clock;
+  struct Event {
+    size_t task = 0;
+    size_t attempt = 0;
+    bool speculative = false;
+    bool exception = false;
+    Status status;
+    double seconds = 0.0;
+    Output out{};
+  };
+  struct Running {
+    size_t attempt;
+    /// Nanoseconds-since-steady-epoch when the attempt actually began
+    /// executing; 0 while it is still queued behind other work. Deadlines
+    /// and the speculative threshold measure execution time, not queue
+    /// wait — on a small pool every queued attempt would otherwise look
+    /// like a straggler.
+    std::shared_ptr<std::atomic<int64_t>> started_ns;
+    std::shared_ptr<CancelToken> cancel;
+  };
+  struct TaskState {
+    size_t failed_attempts = 0;
+    size_t next_attempt = 0;
+    bool done = false;
+    bool backup_launched = false;
+    std::vector<Running> running;
+  };
+
+  const FaultInjection& faults = options.faults;
+  const double deadline = options.task_deadline_seconds;
+  const char* phase_name = phase == 0 ? "map" : "reduce";
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Event> events;  // guarded by mu
+
+  // Everything below is touched only by this (scheduler) thread.
+  std::vector<TaskState> tasks(num_tasks);
+  size_t outstanding = 0;  // launched attempts whose events are unconsumed
+  size_t completed = 0;
+  Status job_error;
+
+  auto launch = [&](size_t t, bool speculative) {
+    TaskState& ts = tasks[t];
+    const size_t attempt = ts.next_attempt++;
+    auto cancel = std::make_shared<CancelToken>();
+    auto started_ns = std::make_shared<std::atomic<int64_t>>(0);
+    ts.running.push_back({attempt, started_ns, cancel});
+    ++outstanding;
+    pool->Submit([&, t, attempt, speculative, cancel, started_ns] {
+      Event ev;
+      ev.task = t;
+      ev.attempt = attempt;
+      ev.speculative = speculative;
+      started_ns->store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count(),
+                        std::memory_order_release);
+      if (cancel->cancelled()) {
+        ev.status = Status::Cancelled("attempt cancelled before start");
+      } else {
+        Stopwatch watch;
+        try {
+          ev.status = body(t, cancel.get(), &ev.out);
+        } catch (const std::exception& e) {
+          ev.status = Status::Internal(std::string(phase_name) +
+                                       " function threw: " + e.what());
+          ev.exception = true;
+        } catch (...) {
+          ev.status = Status::Internal(std::string(phase_name) +
+                                       " function threw a non-std exception");
+          ev.exception = true;
+        }
+        if (ev.status.ok() &&
+            ShouldInjectFailure(faults, failure_rate, job_name, phase, t,
+                                attempt)) {
+          ev.status = Status::Internal("injected task failure");
+        }
+        if (ev.status.ok() &&
+            ShouldInjectFailure(faults, faults.straggler_rate, job_name,
+                                phase + 4, t, attempt)) {
+          const double dawdle =
+              std::max(faults.straggler_min_seconds,
+                       watch.ElapsedSeconds() *
+                           std::max(0.0, faults.straggler_slowdown - 1.0));
+          cancel->WaitFor(dawdle);
+        }
+        ev.seconds = watch.ElapsedSeconds();
+        // An overdue attempt reports DeadlineExceeded whether it noticed by
+        // itself or was woken by the monitor's Cancel (which would otherwise
+        // read as an abandoned attempt and orphan the task).
+        if (deadline > 0.0 && ev.seconds > deadline &&
+            (ev.status.ok() || ev.status.IsCancelled())) {
+          ev.status = Status::DeadlineExceeded(
+              std::string(phase_name) + " attempt overran the " +
+              std::to_string(deadline) + "s task deadline");
+        }
+      }
+      // Notify under the lock: once the scheduler consumes the last event it
+      // may destroy mu/cv (they live on its stack), and holding mu here
+      // keeps it parked in wait() until the notification is fully issued.
+      std::lock_guard<std::mutex> lock(mu);
+      events.push_back(std::move(ev));
+      cv.notify_all();
+    });
+  };
+
+  auto cancel_all = [&] {
+    for (TaskState& ts : tasks) {
+      for (Running& r : ts.running) r.cancel->Cancel();
+    }
+  };
+
+  std::vector<double> scratch;  // median computation
+  auto monitor_scan = [&] {
+    const auto now = Clock::now();
+    double median = 0.0;
+    const bool can_speculate =
+        options.speculative_execution && num_tasks > 1 &&
+        pstats->durations.size() >=
+            std::max<size_t>(1, options.speculative_min_completed);
+    if (can_speculate) {
+      scratch = pstats->durations;
+      auto mid = scratch.begin() + scratch.size() / 2;
+      std::nth_element(scratch.begin(), mid, scratch.end());
+      median = *mid;
+    }
+    const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               now.time_since_epoch())
+                               .count();
+    // Elapsed execution time; negative while the attempt is still queued.
+    auto exec_seconds = [now_ns](const Running& r) {
+      const int64_t s = r.started_ns->load(std::memory_order_acquire);
+      return s == 0 ? -1.0 : static_cast<double>(now_ns - s) * 1e-9;
+    };
+    for (size_t t = 0; t < num_tasks; ++t) {
+      TaskState& ts = tasks[t];
+      if (ts.done) continue;
+      if (deadline > 0.0) {
+        for (Running& r : ts.running) {
+          // Wake dawdling attempts; they self-report DeadlineExceeded.
+          if (exec_seconds(r) > deadline) r.cancel->Cancel();
+        }
+      }
+      if (can_speculate && !ts.backup_launched && ts.running.size() == 1) {
+        const double elapsed = exec_seconds(ts.running[0]);
+        if (elapsed > options.speculative_multiplier * median &&
+            elapsed > 1e-3) {
+          ts.backup_launched = true;
+          ++pstats->speculative_launches;
+          launch(t, /*speculative=*/true);
+        }
+      }
+    }
+  };
+
+  for (size_t t = 0; t < num_tasks; ++t) launch(t, /*speculative=*/false);
+
+  const bool needs_monitor = deadline > 0.0 || options.speculative_execution;
+  std::unique_lock<std::mutex> lock(mu);
+  while (completed < num_tasks && job_error.ok()) {
+    if (events.empty()) {
+      if (needs_monitor) {
+        cv.wait_for(lock, std::chrono::milliseconds(1),
+                    [&] { return !events.empty(); });
+      } else {
+        cv.wait(lock, [&] { return !events.empty(); });
+      }
+    }
+    while (!events.empty() && job_error.ok()) {
+      Event ev = std::move(events.front());
+      events.pop_front();
+      lock.unlock();
+      --outstanding;
+      TaskState& ts = tasks[ev.task];
+      for (size_t r = 0; r < ts.running.size(); ++r) {
+        if (ts.running[r].attempt == ev.attempt) {
+          ts.running.erase(ts.running.begin() + r);
+          break;
+        }
+      }
+      if (!ts.done) {
+        if (ev.status.ok()) {
+          // First finisher commits; commits happen only on this thread, so
+          // "first" is well-defined and race-free.
+          ts.done = true;
+          ++completed;
+          (*outputs)[ev.task] = std::move(ev.out);
+          pstats->durations.push_back(ev.seconds);
+          if (ev.speculative) ++pstats->speculative_wins;
+          for (Running& r : ts.running) r.cancel->Cancel();
+        } else if (ev.status.IsCancelled()) {
+          // Legitimate cancellations come from a sibling's commit (task
+          // done, filtered above) or a job abort (drained below). Reaching
+          // here means a monitor Cancel raced an attempt that had not
+          // produced work yet: relaunch so the task is not orphaned. Not a
+          // failure, so it does not consume the attempt budget.
+          launch(ev.task, /*speculative=*/false);
+        } else {
+          if (ev.exception) ++pstats->exceptions;
+          if (ev.status.IsDeadlineExceeded()) ++pstats->deadline_kills;
+          ++ts.failed_attempts;
+          if (ev.status.IsIoError()) {
+            // Corrupt shuffle data is deterministic: retrying would re-read
+            // the same bytes. Fail fast and stop sibling partitions early.
+            job_error = ev.status;
+          } else if (ts.failed_attempts >= options.max_task_attempts) {
+            job_error = Status::Internal(
+                std::string(phase_name) + " task " +
+                std::to_string(ev.task) + " failed after " +
+                std::to_string(options.max_task_attempts) +
+                " attempts; last error: " + ev.status.ToString());
+          } else {
+            ++pstats->retries;
+            launch(ev.task, /*speculative=*/false);
+          }
+          if (!job_error.ok()) cancel_all();
+        }
+      }
+      lock.lock();
+    }
+    if (job_error.ok() && needs_monitor && completed < num_tasks) {
+      lock.unlock();
+      monitor_scan();
+      lock.lock();
+    }
+  }
+  // Drain abandoned attempts before returning: submitted closures reference
+  // this stack frame.
+  while (outstanding > 0) {
+    cv.wait(lock, [&] { return !events.empty(); });
+    while (!events.empty()) {
+      events.pop_front();
+      --outstanding;
+    }
+  }
+  return job_error;
+}
+
 }  // namespace internal
 
 /// Executes `spec` over `input` and returns all reduce outputs
@@ -231,86 +590,127 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   JobCounters counters;
   counters.job_name = spec.name;
   counters.map_input_records = input.size();
-  Stopwatch job_timer;
 
+  // ---- Checkpoint replay: a completed job's output is served from the
+  // store, bit-identical, without re-running anything. The key sequence
+  // advances even for non-replayable jobs so pipelines keep stable keys.
+  std::string checkpoint_key;
+  if (options.checkpoint != nullptr) {
+    checkpoint_key = options.checkpoint->NextKey(spec.name);
+    if constexpr (has_serde_v<Out>) {
+      Result<std::string> bytes =
+          options.checkpoint->LoadBytes(checkpoint_key);
+      if (bytes.ok()) {
+        BufferReader reader(*bytes);
+        std::vector<Out> output;
+        Status st = Serde<std::vector<Out>>::Read(&reader, &output);
+        if (st.ok() && reader.exhausted()) {
+          counters.loaded_from_checkpoint = true;
+          counters.reduce_output_records = output.size();
+          if (counters_out != nullptr) *counters_out = counters;
+          return output;
+        }
+        // Unreadable entry: treat as absent and recompute.
+        DDP_LOG(Warning) << "checkpoint " << checkpoint_key
+                         << " unreadable; re-running job";
+      }
+    }
+  }
+
+  Stopwatch job_timer;
   ThreadPool pool(workers);
 
   // ---- Map phase: split input into tasks, emit into per-partition buffers.
+  struct MapOutput {
+    std::vector<std::string> buffers;
+    std::vector<uint64_t> payload_bytes;
+    uint64_t records = 0;
+    uint64_t combine_in = 0;
+  };
   Stopwatch map_timer;
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
   const size_t chunk = (input.size() + num_map_tasks - 1) / num_map_tasks;
 
-  // buffers[task][partition] — concatenated per partition afterwards.
-  std::vector<std::vector<std::string>> task_buffers(num_map_tasks);
-  std::atomic<uint64_t> map_output_records{0};
-  std::atomic<uint64_t> combine_input_records{0};
-
-  std::atomic<uint64_t> map_task_retries{0};
-  std::atomic<bool> map_task_exhausted{false};
-  pool.ParallelFor(num_map_tasks, [&](size_t t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(input.size(), begin + chunk);
-    for (size_t attempt = 0;; ++attempt) {
-      if (attempt >= options.max_task_attempts) {
-        map_task_exhausted.store(true, std::memory_order_relaxed);
-        return;
-      }
-      // A failed attempt's partial output is discarded, exactly like a lost
-      // Hadoop task: the emitter below is attempt-local and only committed
-      // into task_buffers on success.
-      internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
-      uint64_t combined_in = 0;
-      if (spec.combiner) {
-        internal::CombiningEmitter<MidK, MidV> combining;
-        for (size_t i = begin; i < end; ++i) spec.map(input[i], &combining);
-        combined_in = combining.records();
-        combining.Flush(spec.combiner, &emitter);
-      } else {
-        for (size_t i = begin; i < end; ++i) spec.map(input[i], &emitter);
-      }
-      if (internal::ShouldInjectFailure(options.faults,
-                                        options.faults.map_failure_rate,
-                                        spec.name, /*phase=*/0, t, attempt)) {
-        map_task_retries.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      combine_input_records.fetch_add(combined_in, std::memory_order_relaxed);
-      map_output_records.fetch_add(emitter.records(),
-                                   std::memory_order_relaxed);
-      task_buffers[t] = std::move(emitter.buffers());
-      return;
-    }
-  });
-  if (map_task_exhausted.load()) {
-    return Status::Internal("map task failed after " +
-                            std::to_string(options.max_task_attempts) +
-                            " attempts");
-  }
+  internal::PhaseStats map_stats;
+  std::vector<MapOutput> map_outputs;
+  Status map_status = internal::RunRobustPhase<MapOutput>(
+      &pool, num_map_tasks, /*phase=*/0, spec.name, options,
+      options.faults.map_failure_rate, &map_stats, &map_outputs,
+      [&](size_t t, CancelToken* cancel, MapOutput* out) -> Status {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(input.size(), begin + chunk);
+        // A failed attempt's partial output is discarded, exactly like a
+        // lost Hadoop task: the emitter is attempt-local and only committed
+        // by the scheduler on success.
+        internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
+        if (spec.combiner) {
+          internal::CombiningEmitter<MidK, MidV> combining;
+          for (size_t i = begin; i < end; ++i) {
+            if (((i - begin) & 1023u) == 0 && cancel->cancelled()) {
+              return Status::Cancelled("map attempt abandoned");
+            }
+            spec.map(input[i], &combining);
+          }
+          out->combine_in = combining.records();
+          combining.Flush(spec.combiner, &emitter);
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            if (((i - begin) & 1023u) == 0 && cancel->cancelled()) {
+              return Status::Cancelled("map attempt abandoned");
+            }
+            spec.map(input[i], &emitter);
+          }
+        }
+        if (options.faults.corruption_rate > 0.0) {
+          // Poison placement is a function of (task, partition), never the
+          // attempt: recovery paths rebuild bit-identical buffers.
+          for (size_t p = 0; p < num_partitions; ++p) {
+            if (internal::ShouldInjectFailure(
+                    options.faults, options.faults.corruption_rate, spec.name,
+                    /*phase=*/2, t, p)) {
+              emitter.AppendPoisonFrame(p);
+            }
+          }
+        }
+        out->records = emitter.records();
+        out->payload_bytes = emitter.payload_bytes();
+        out->buffers = std::move(emitter.buffers());
+        return Status::OK();
+      });
+  if (!map_status.ok()) return map_status;
   counters.map_seconds = map_timer.ElapsedSeconds();
-  counters.map_output_records = map_output_records.load();
-  counters.combine_input_records = combine_input_records.load();
-  counters.map_task_retries = map_task_retries.load();
+  for (const MapOutput& mo : map_outputs) {
+    counters.map_output_records += mo.records;
+    counters.combine_input_records += mo.combine_in;
+  }
+  counters.map_task_retries = map_stats.retries;
 
-  // ---- Shuffle: concatenate task buffers per partition; measure bytes.
+  // ---- Shuffle: concatenate task buffers per partition. Byte counters
+  // report payload (key/value encodings), excluding frame headers and
+  // injected poison, so they stay comparable to the paper's figures.
   Stopwatch shuffle_timer;
   std::vector<std::string> partitions(num_partitions);
   {
-    std::vector<size_t> sizes(num_partitions, 0);
-    for (const auto& bufs : task_buffers) {
-      for (size_t p = 0; p < num_partitions; ++p) sizes[p] += bufs[p].size();
+    std::vector<size_t> raw_sizes(num_partitions, 0);
+    std::vector<uint64_t> payload_sizes(num_partitions, 0);
+    for (const MapOutput& mo : map_outputs) {
+      for (size_t p = 0; p < num_partitions; ++p) {
+        raw_sizes[p] += mo.buffers[p].size();
+        payload_sizes[p] += mo.payload_bytes[p];
+      }
     }
     for (size_t p = 0; p < num_partitions; ++p) {
-      partitions[p].reserve(sizes[p]);
-      counters.shuffle_bytes += sizes[p];
+      partitions[p].reserve(raw_sizes[p]);
+      counters.shuffle_bytes += payload_sizes[p];
       counters.max_partition_bytes =
-          std::max<uint64_t>(counters.max_partition_bytes, sizes[p]);
+          std::max<uint64_t>(counters.max_partition_bytes, payload_sizes[p]);
     }
-    for (auto& bufs : task_buffers) {
+    for (MapOutput& mo : map_outputs) {
       for (size_t p = 0; p < num_partitions; ++p) {
-        partitions[p] += bufs[p];
-        bufs[p].clear();
-        bufs[p].shrink_to_fit();
+        partitions[p] += mo.buffers[p];
+        mo.buffers[p].clear();
+        mo.buffers[p].shrink_to_fit();
       }
     }
   }
@@ -318,82 +718,120 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   counters.shuffle_seconds = shuffle_timer.ElapsedSeconds();
 
   // ---- Reduce phase: per partition, deserialize, sort-group, reduce.
+  // Deserialization lives inside the attempt (a lost Hadoop reduce task
+  // re-fetches its shuffle input too), so retries and speculative attempts
+  // are self-contained.
+  struct ReduceOutput {
+    std::vector<Out> out;
+    uint64_t groups = 0;
+    uint64_t skipped = 0;
+  };
   Stopwatch reduce_timer;
-  std::vector<std::vector<Out>> partition_outputs(num_partitions);
-  std::atomic<uint64_t> reduce_groups{0};
-  std::mutex error_mu;
-  Status first_error;
-
-  std::atomic<uint64_t> reduce_task_retries{0};
-  std::atomic<bool> reduce_task_exhausted{false};
-  pool.ParallelFor(num_partitions, [&](size_t p) {
-    BufferReader reader(partitions[p]);
-    std::vector<std::pair<MidK, MidV>> pairs;
-    while (!reader.exhausted()) {
-      std::pair<MidK, MidV> kv;
-      Status st = Serde<MidK>::Read(&reader, &kv.first);
-      if (st.ok()) st = Serde<MidV>::Read(&reader, &kv.second);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-      pairs.push_back(std::move(kv));
-    }
-    partitions[p].clear();
-    partitions[p].shrink_to_fit();
-    std::stable_sort(pairs.begin(), pairs.end(),
-                     [](const auto& a, const auto& b) {
-                       return KeyTraits<MidK>::Less(a.first, b.first);
-                     });
-    for (size_t attempt = 0;; ++attempt) {
-      if (attempt >= options.max_task_attempts) {
-        reduce_task_exhausted.store(true, std::memory_order_relaxed);
-        return;
-      }
-      std::vector<Out> out;  // attempt-local; committed on success
-      size_t i = 0;
-      uint64_t groups = 0;
-      std::vector<MidV> values;
-      while (i < pairs.size()) {
-        size_t j = i + 1;
-        while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
-        values.clear();
-        values.reserve(j - i);
-        for (size_t k = i; k < j; ++k) values.push_back(pairs[k].second);
-        spec.reduce(pairs[i].first, values, &out);
-        ++groups;
-        i = j;
-      }
-      if (internal::ShouldInjectFailure(options.faults,
-                                        options.faults.reduce_failure_rate,
-                                        spec.name, /*phase=*/1, p, attempt)) {
-        reduce_task_retries.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      partition_outputs[p] = std::move(out);
-      reduce_groups.fetch_add(groups, std::memory_order_relaxed);
-      return;
-    }
-  });
-  if (!first_error.ok()) return first_error;
-  if (reduce_task_exhausted.load()) {
-    return Status::Internal("reduce task failed after " +
-                            std::to_string(options.max_task_attempts) +
-                            " attempts");
-  }
+  internal::PhaseStats reduce_stats;
+  std::vector<ReduceOutput> reduce_outputs;
+  const bool skip_bad = options.skip_bad_records;
+  Status reduce_status = internal::RunRobustPhase<ReduceOutput>(
+      &pool, num_partitions, /*phase=*/1, spec.name, options,
+      options.faults.reduce_failure_rate, &reduce_stats, &reduce_outputs,
+      [&](size_t p, CancelToken* cancel, ReduceOutput* out) -> Status {
+        BufferReader reader(partitions[p]);
+        std::vector<std::pair<MidK, MidV>> pairs;
+        size_t frame = 0;
+        while (!reader.exhausted()) {
+          if ((frame++ & 1023u) == 0 && cancel->cancelled()) {
+            return Status::Cancelled("reduce attempt abandoned");
+          }
+          uint64_t len = 0;
+          Status st = reader.GetVarint64(&len);
+          BufferReader rec(nullptr, size_t{0});
+          if (st.ok()) st = reader.Slice(len, &rec);
+          if (!st.ok()) {
+            // A broken frame header loses record boundaries; even
+            // skip_bad_records cannot re-sync past it.
+            return Status::IoError("reduce partition " + std::to_string(p) +
+                                   ": corrupt shuffle framing: " +
+                                   st.message());
+          }
+          std::pair<MidK, MidV> kv;
+          st = Serde<MidK>::Read(&rec, &kv.first);
+          if (st.ok()) st = Serde<MidV>::Read(&rec, &kv.second);
+          if (st.ok() && !rec.exhausted()) {
+            st = Status::IoError("record decoded short of its frame");
+          }
+          if (!st.ok()) {
+            if (skip_bad) {
+              ++out->skipped;
+              continue;
+            }
+            return Status::IoError("reduce partition " + std::to_string(p) +
+                                   ": bad record: " + st.message());
+          }
+          pairs.push_back(std::move(kv));
+        }
+        std::stable_sort(pairs.begin(), pairs.end(),
+                         [](const auto& a, const auto& b) {
+                           return KeyTraits<MidK>::Less(a.first, b.first);
+                         });
+        size_t i = 0;
+        std::vector<MidV> values;
+        while (i < pairs.size()) {
+          if (cancel->cancelled()) {
+            return Status::Cancelled("reduce attempt abandoned");
+          }
+          size_t j = i + 1;
+          while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+          values.clear();
+          values.reserve(j - i);
+          for (size_t k = i; k < j; ++k) values.push_back(pairs[k].second);
+          spec.reduce(pairs[i].first, values, &out->out);
+          ++out->groups;
+          i = j;
+        }
+        return Status::OK();
+      });
+  if (!reduce_status.ok()) return reduce_status;
+  partitions.clear();
+  partitions.shrink_to_fit();
   counters.reduce_seconds = reduce_timer.ElapsedSeconds();
-  counters.reduce_input_groups = reduce_groups.load();
-  counters.reduce_task_retries = reduce_task_retries.load();
+  counters.reduce_task_retries = reduce_stats.retries;
+  for (const ReduceOutput& ro : reduce_outputs) {
+    counters.reduce_input_groups += ro.groups;
+    counters.skipped_records += ro.skipped;
+  }
+
+  // ---- Robustness accounting across both phases.
+  counters.speculative_launches =
+      map_stats.speculative_launches + reduce_stats.speculative_launches;
+  counters.speculative_wins =
+      map_stats.speculative_wins + reduce_stats.speculative_wins;
+  counters.deadline_kills =
+      map_stats.deadline_kills + reduce_stats.deadline_kills;
+  counters.task_exceptions = map_stats.exceptions + reduce_stats.exceptions;
+  {
+    std::vector<double> durations = map_stats.durations;
+    durations.insert(durations.end(), reduce_stats.durations.begin(),
+                     reduce_stats.durations.end());
+    if (!durations.empty()) {
+      std::sort(durations.begin(), durations.end());
+      const size_t n = durations.size();
+      counters.median_attempt_seconds = durations[n / 2];
+      counters.p99_attempt_seconds = durations[(n - 1) * 99 / 100];
+      counters.max_attempt_seconds = durations.back();
+      counters.straggler_ratio =
+          counters.median_attempt_seconds > 0.0
+              ? counters.max_attempt_seconds / counters.median_attempt_seconds
+              : 1.0;
+    }
+  }
 
   // ---- Collect outputs (partition-major deterministic order).
   std::vector<Out> output;
   {
     size_t total = 0;
-    for (const auto& po : partition_outputs) total += po.size();
+    for (const ReduceOutput& ro : reduce_outputs) total += ro.out.size();
     output.reserve(total);
-    for (auto& po : partition_outputs) {
-      std::move(po.begin(), po.end(), std::back_inserter(output));
+    for (ReduceOutput& ro : reduce_outputs) {
+      std::move(ro.out.begin(), ro.out.end(), std::back_inserter(output));
     }
   }
   counters.reduce_output_records = output.size();
@@ -402,6 +840,22 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   if (options.modeled_shuffle_bandwidth > 0.0) {
     counters.modeled_seconds += static_cast<double>(counters.shuffle_bytes) /
                                 options.modeled_shuffle_bandwidth;
+  }
+
+  // ---- Persist for job-boundary recovery. A Cancelled save is the
+  // simulated driver kill and aborts the pipeline; any other save error is
+  // best-effort (the job merely re-runs on resume).
+  if (options.checkpoint != nullptr) {
+    if constexpr (has_serde_v<Out>) {
+      BufferWriter w;
+      Serde<std::vector<Out>>::Write(&w, output);
+      Status saved = options.checkpoint->SaveBytes(checkpoint_key, w.data());
+      if (saved.IsCancelled()) return saved;
+      if (!saved.ok()) {
+        DDP_LOG(Warning) << "checkpoint save failed for " << checkpoint_key
+                         << ": " << saved.ToString();
+      }
+    }
   }
 
   if (counters_out != nullptr) *counters_out = counters;

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/mapreduce.h"
 
@@ -467,6 +475,316 @@ TEST(CostModelTest, ModeledSecondsChargesShuffle) {
               modeled_counters.total_seconds +
                   static_cast<double>(modeled_counters.shuffle_bytes) / 1e6,
               1e-12);
+}
+
+// ------------------------------------------------- Exceptions in user code
+
+TEST(ExceptionTest, ThrownMapExceptionBecomesInternalStatus) {
+  std::vector<std::string> docs = {"a"};
+  auto spec = WordCountSpec();
+  spec.map = [](const std::string&, Emitter<std::string, uint32_t>*) {
+    throw std::runtime_error("user map blew up");
+  };
+  Options options;
+  options.max_task_attempts = 3;
+  auto result = RunJob(spec, std::span<const std::string>(docs), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_NE(result.status().message().find("user map blew up"),
+            std::string::npos);
+}
+
+TEST(ExceptionTest, ThrownReduceExceptionBecomesInternalStatus) {
+  std::vector<std::string> docs = {"a"};
+  auto spec = WordCountSpec();
+  spec.reduce = [](const std::string&, std::span<const uint32_t>,
+                   std::vector<std::pair<std::string, uint32_t>>*) {
+    throw std::runtime_error("user reduce blew up");
+  };
+  auto result = RunJob(spec, std::span<const std::string>(docs));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_NE(result.status().message().find("user reduce blew up"),
+            std::string::npos);
+}
+
+TEST(ExceptionTest, TransientExceptionIsRetriedAndCounted) {
+  std::vector<std::string> docs = {"a b"};
+  auto spec = WordCountSpec();
+  auto hiccups = std::make_shared<std::atomic<int>>(0);
+  auto inner = spec.map;
+  spec.map = [hiccups, inner](const std::string& doc,
+                              Emitter<std::string, uint32_t>* out) {
+    if (hiccups->fetch_add(1) == 0) throw std::runtime_error("transient");
+    inner(doc, out);
+  };
+  JobCounters counters;
+  auto result =
+      RunJob(spec, std::span<const std::string>(docs), Options{}, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToMap(*result)["a"], 1u);
+  EXPECT_EQ(counters.task_exceptions, 1u);
+  EXPECT_EQ(counters.map_task_retries, 1u);
+}
+
+// --------------------------------------------------------- Task deadlines
+
+TEST(DeadlineTest, SlowAttemptIsKilledAndRetried) {
+  // The first map attempt dawdles past the deadline; the retry is fast.
+  std::vector<std::string> docs = {"a"};
+  auto spec = WordCountSpec();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  auto inner = spec.map;
+  spec.map = [calls, inner](const std::string& doc,
+                            Emitter<std::string, uint32_t>* out) {
+    if (calls->fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    }
+    inner(doc, out);
+  };
+  Options options;
+  options.task_deadline_seconds = 0.02;
+  JobCounters counters;
+  auto result =
+      RunJob(spec, std::span<const std::string>(docs), options, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToMap(*result)["a"], 1u);
+  EXPECT_GE(counters.deadline_kills, 1u);
+  EXPECT_GE(counters.map_task_retries, 1u);
+}
+
+TEST(DeadlineTest, PersistentOverrunExhaustsAttemptBudget) {
+  std::vector<std::string> docs = {"a"};
+  auto spec = WordCountSpec();
+  auto inner = spec.map;
+  spec.map = [inner](const std::string& doc,
+                     Emitter<std::string, uint32_t>* out) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    inner(doc, out);
+  };
+  Options options;
+  options.task_deadline_seconds = 0.005;
+  options.max_task_attempts = 2;
+  auto result = RunJob(spec, std::span<const std::string>(docs), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_NE(result.status().message().find("2 attempts"), std::string::npos);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
+}
+
+// ------------------------------------- Stragglers & speculative execution
+
+TEST(SpeculationTest, BackupAttemptsRescueInjectedStragglers) {
+  std::vector<uint64_t> input(512);
+  std::iota(input.begin(), input.end(), 0);
+  JobSpec<uint64_t, uint64_t, uint64_t, std::pair<uint64_t, uint64_t>> spec;
+  spec.name = "spec-exec";
+  spec.map = [](const uint64_t& v, Emitter<uint64_t, uint64_t>* out) {
+    out->Emit(v % 13, v);
+  };
+  spec.reduce = [](const uint64_t& k, std::span<const uint64_t> values,
+                   std::vector<std::pair<uint64_t, uint64_t>>* out) {
+    uint64_t s = 0;
+    for (uint64_t v : values) s += v;
+    out->push_back({k, s});
+  };
+  Options clean;
+  clean.num_workers = 4;
+  clean.num_partitions = 8;
+  auto baseline = RunJob(spec, std::span<const uint64_t>(input), clean);
+  ASSERT_TRUE(baseline.ok());
+
+  Options slow = clean;
+  slow.faults.straggler_rate = 0.2;
+  slow.faults.straggler_slowdown = 10.0;
+  slow.faults.straggler_min_seconds = 0.25;
+  slow.faults.seed = 7;
+  slow.speculative_execution = true;
+  slow.speculative_multiplier = 3.0;
+  slow.speculative_min_completed = 3;
+  JobCounters counters;
+  auto result =
+      RunJob(spec, std::span<const uint64_t>(input), slow, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*baseline, *result);  // first-commit-wins is bit-identical
+  EXPECT_GT(counters.speculative_launches, 0u);
+  EXPECT_GT(counters.speculative_wins, 0u);
+  EXPECT_GT(counters.straggler_ratio, 1.0);
+  EXPECT_GE(counters.max_attempt_seconds, counters.median_attempt_seconds);
+}
+
+TEST(SpeculationTest, AttemptDurationStatsArePopulated) {
+  std::vector<std::string> docs(32, "a b c");
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       Options{}, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(counters.straggler_ratio, 0.0);
+  EXPECT_GE(counters.p99_attempt_seconds, counters.median_attempt_seconds);
+  EXPECT_GE(counters.max_attempt_seconds, counters.p99_attempt_seconds);
+}
+
+// ------------------------------------------------- Bad-record tolerance
+
+TEST(BadRecordTest, CorruptionFailsJobByDefault) {
+  std::vector<std::string> docs(16, "a b");
+  Options options;
+  options.num_workers = 2;
+  options.faults.corruption_rate = 1.0;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(BadRecordTest, SkipBadRecordsStepsOverPoisonAndCountsIt) {
+  std::vector<std::string> docs(16, "a b");
+  Options clean;
+  clean.num_workers = 2;
+  clean.num_partitions = 4;
+  auto baseline =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), clean);
+  ASSERT_TRUE(baseline.ok());
+
+  Options poisoned = clean;
+  poisoned.faults.corruption_rate = 1.0;  // every (task, partition) poisoned
+  poisoned.skip_bad_records = true;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       poisoned, &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*baseline, *result);  // poison is off-path: output untouched
+  // One poison frame per (map task, partition): 16 docs -> 8 map tasks
+  // (2 workers x 4) x 4 partitions.
+  EXPECT_EQ(counters.skipped_records, 8u * 4u);
+}
+
+TEST(BadRecordTest, SkipIsDeterministicAcrossRetries) {
+  // Corruption + failures + skipping together must still be bit-identical:
+  // poison placement ignores the attempt number.
+  std::vector<std::string> docs(32, "x y z");
+  Options clean;
+  clean.num_workers = 2;
+  clean.num_partitions = 4;
+  auto baseline =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), clean);
+  ASSERT_TRUE(baseline.ok());
+  Options chaos = clean;
+  chaos.faults.corruption_rate = 0.5;
+  chaos.faults.map_failure_rate = 0.3;
+  chaos.faults.reduce_failure_rate = 0.3;
+  chaos.max_task_attempts = 16;
+  chaos.skip_bad_records = true;
+  auto result =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), chaos);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*baseline, *result);
+}
+
+// ------------------------------------------------- Checkpoint store
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ddp_ckpt_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, SecondRunReplaysFromStore) {
+  std::vector<std::string> docs = {"a b a", "b c"};
+  CheckpointStore store(dir_);
+  Options options;
+  options.checkpoint = &store;
+
+  JobCounters first, second;
+  store.ResetSequence();
+  auto r1 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   options, &first);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(first.loaded_from_checkpoint);
+
+  store.ResetSequence();  // a fresh driver run requests the same keys
+  auto r2 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   options, &second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(second.loaded_from_checkpoint);
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(second.reduce_output_records, r1->size());
+}
+
+TEST_F(CheckpointTest, SimulatedKillAbortsAndResumeReplays) {
+  std::vector<std::string> docs = {"a b", "c"};
+  CheckpointStore store(dir_);
+  Options options;
+  options.checkpoint = &store;
+
+  store.ResetSequence();
+  auto r1 =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), options);
+  ASSERT_TRUE(r1.ok());
+
+  store.SetKillAfter(0);  // next save dies
+  store.ResetSequence();
+  // The first job replays (no save), so add a second, different job that
+  // must save -- and die doing it.
+  JobCounters replayed;
+  auto r2 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   options, &replayed);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(replayed.loaded_from_checkpoint);
+  std::vector<std::string> more = {"d e"};
+  auto spec2 = WordCountSpec();
+  spec2.name = "wordcount-2";
+  auto killed = RunJob(spec2, std::span<const std::string>(more), options);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_TRUE(killed.status().IsCancelled());
+
+  store.SetKillAfter(-1);
+  store.ResetSequence();
+  JobCounters c1, c2;
+  auto r3 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   options, &c1);
+  auto r4 = RunJob(spec2, std::span<const std::string>(more), options, &c2);
+  ASSERT_TRUE(r3.ok() && r4.ok());
+  EXPECT_TRUE(c1.loaded_from_checkpoint);   // finished before the kill
+  EXPECT_FALSE(c2.loaded_from_checkpoint);  // lost to the kill; re-ran
+  EXPECT_EQ(*r1, *r3);
+}
+
+TEST_F(CheckpointTest, CorruptEntryIsRecomputedNotTrusted) {
+  std::vector<std::string> docs = {"a b a"};
+  CheckpointStore store(dir_);
+  Options options;
+  options.checkpoint = &store;
+  store.ResetSequence();
+  auto r1 =
+      RunJob(WordCountSpec(), std::span<const std::string>(docs), options);
+  ASSERT_TRUE(r1.ok());
+
+  // Flip bytes in every stored entry.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(6);
+    f.put('\xee');
+  }
+  store.ResetSequence();
+  JobCounters counters;
+  auto r2 = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                   options, &counters);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(counters.loaded_from_checkpoint);  // checksum caught it
+  EXPECT_EQ(*r1, *r2);
 }
 
 TEST(OptionsTest, Defaults) {
