@@ -38,6 +38,17 @@ inline double GaussianKernelContribution(double d, double dc) {
   return std::exp(-r * r);
 }
 
+/// Same contribution computed from the squared distance, so hot loops can
+/// skip the per-pair sqrt. The truncation test compares d^2 against
+/// (kGaussianKernelCut * dc)^2 — the exact floating-point expression every
+/// LocalDpEngine backend uses as its search radius — so filtered and
+/// unfiltered accumulations agree bit-for-bit.
+inline double GaussianKernelContributionSq(double d_sq, double dc) {
+  double cut = kGaussianKernelCut * dc;
+  if (d_sq >= cut * cut) return 0.0;
+  return std::exp(-d_sq / (dc * dc));
+}
+
 /// Quantizes an accumulated gaussian density to the shared uint32 domain.
 inline uint32_t QuantizeDensity(double rho) {
   double q = rho * kDensityQuantScale + 0.5;

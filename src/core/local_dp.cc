@@ -1,0 +1,518 @@
+#include "core/local_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "dataset/kdtree.h"
+
+namespace ddp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Process-wide pool for within-group kernel parallelism. Deliberately
+// separate from the per-job MapReduce pools: engine calls originate on MR
+// workers, and blocking one pool's worker while waiting on a *different*
+// pool cannot deadlock. A function-local static joins its workers cleanly at
+// exit (no leak reports under ASan).
+ThreadPool* SharedKernelPool() {
+  static ThreadPool pool(DefaultParallelism());
+  return &pool;
+}
+
+// Runs body(k) for k in [0, n), on the shared pool when asked. Concurrent
+// calls from different reducer threads are safe (each ParallelFor has its
+// own cursor; Wait over-waits at worst).
+void ForEachIndex(size_t n, bool parallel,
+                  const std::function<void(size_t)>& body) {
+  if (parallel && n > 1) {
+    SharedKernelPool()->ParallelFor(n, body);
+  } else {
+    for (size_t k = 0; k < n; ++k) body(k);
+  }
+}
+
+// Pivot projections for the triangle-inequality filter: distances from every
+// group member to the group centroid. |proj_i - proj_j| <= d_ij for any
+// metric pivot, so pairs with a large projection gap can be skipped. The
+// projections are counted evaluations (one per member).
+std::vector<double> CentroidProjections(const LocalPointView& view,
+                                        const CountingMetric& metric) {
+  const size_t n = view.size();
+  std::vector<double> centroid(view.dim(), 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    std::span<const double> p = view.point(k);
+    for (size_t d = 0; d < view.dim(); ++d) centroid[d] += p[d];
+  }
+  for (double& c : centroid) c /= static_cast<double>(n);
+  std::vector<double> proj(n);
+  for (size_t k = 0; k < n; ++k) {
+    proj[k] = metric.Distance(view.point(k), centroid);
+  }
+  return proj;
+}
+
+}  // namespace
+
+const char* LocalDpBackendName(LocalDpBackend backend) {
+  switch (backend) {
+    case LocalDpBackend::kAuto:
+      return "auto";
+    case LocalDpBackend::kBruteForce:
+      return "brute";
+    case LocalDpBackend::kKdTree:
+      return "kdtree";
+    case LocalDpBackend::kTriangleFilter:
+      return "triangle";
+  }
+  return "unknown";
+}
+
+Result<LocalDpBackend> ParseLocalDpBackend(std::string_view name) {
+  if (name == "auto") return LocalDpBackend::kAuto;
+  if (name == "brute") return LocalDpBackend::kBruteForce;
+  if (name == "kdtree") return LocalDpBackend::kKdTree;
+  if (name == "triangle") return LocalDpBackend::kTriangleFilter;
+  return Status::InvalidArgument("unknown local backend '" +
+                                 std::string(name) +
+                                 "' (want auto|brute|kdtree|triangle)");
+}
+
+LocalPointView LocalPointView::AllOf(const Dataset& dataset) {
+  LocalPointView view(dataset.dim());
+  view.Reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    PointId id = static_cast<PointId>(i);
+    view.Add(id, dataset.point(id));
+  }
+  return view;
+}
+
+LocalPointView LocalPointView::SubsetOf(const Dataset& dataset,
+                                        std::span<const PointId> ids) {
+  LocalPointView view(dataset.dim());
+  view.Reserve(ids.size());
+  for (PointId id : ids) view.Add(id, dataset.point(id));
+  return view;
+}
+
+LocalDpBackend LocalDpEngine::Resolve(size_t group_size, size_t dim) const {
+  if (options_.backend != LocalDpBackend::kAuto) return options_.backend;
+  if (group_size >= options_.kd_min_group && dim <= options_.kd_max_dim) {
+    return LocalDpBackend::kKdTree;
+  }
+  if (group_size >= options_.triangle_min_group) {
+    return LocalDpBackend::kTriangleFilter;
+  }
+  return LocalDpBackend::kBruteForce;
+}
+
+std::vector<uint32_t> LocalDpEngine::Rho(const LocalPointView& view, double dc,
+                                         DensityKernel kernel,
+                                         const CountingMetric& metric) const {
+  const size_t n = view.size();
+  std::vector<uint32_t> rho(n, 0);
+  if (n == 0) return rho;
+  const bool gaussian = kernel == DensityKernel::kGaussian;
+  const double dc_sq = dc * dc;
+  // Radius beyond which a pair cannot contribute: d_c for the cutoff
+  // kernel, the truncation radius for the gaussian one. reach * reach is
+  // the same expression GaussianKernelContributionSq truncates against.
+  const double reach = gaussian ? kGaussianKernelCut * dc : dc;
+  const double reach_sq = reach * reach;
+  const bool parallel = options_.parallel_min_group > 0 &&
+                        n >= options_.parallel_min_group;
+  std::vector<double> soft;
+  if (gaussian) soft.assign(n, 0.0);
+
+  switch (Resolve(n, view.dim())) {
+    case LocalDpBackend::kKdTree: {
+      Result<KdTree> tree =
+          KdTree::BuildFromRows(view.rows(), view.dim(), options_.kd_leaf_size);
+      const KdTree& t = *tree;  // cannot fail: view non-empty, leaf_size >= 1
+      ForEachIndex(n, parallel, [&](size_t k) {
+        if (gaussian) {
+          std::vector<std::pair<PointId, double>> hits;
+          t.FindWithinSq(view.point(k), reach_sq, static_cast<PointId>(k),
+                         metric, &hits);
+          // Accumulate in ascending group-position order, the engine-wide
+          // summation order, so the result matches the pairwise scans
+          // bit-for-bit.
+          std::sort(hits.begin(), hits.end());
+          double s = 0.0;
+          for (const auto& [pos, d_sq] : hits) {
+            s += GaussianKernelContributionSq(d_sq, dc);
+          }
+          soft[k] = s;
+        } else {
+          rho[k] = static_cast<uint32_t>(
+              t.CountWithin(view.point(k), dc, static_cast<PointId>(k),
+                            metric));
+        }
+      });
+      break;
+    }
+    case LocalDpBackend::kTriangleFilter: {
+      std::vector<double> proj = CentroidProjections(view, metric);
+      if (parallel) {
+        // Full-row scans: each point accumulates its own row (ascending
+        // position order), so rows are independent and bit-identical to the
+        // sequential half-loop. Each surviving pair is evaluated from both
+        // sides.
+        ForEachIndex(n, true, [&](size_t k) {
+          std::span<const double> pk = view.point(k);
+          double s = 0.0;
+          uint32_t count = 0;
+          for (size_t j = 0; j < n; ++j) {
+            if (j == k || std::abs(proj[k] - proj[j]) >= reach) continue;
+            double d_sq = metric.SquaredDistance(pk, view.point(j));
+            if (gaussian) {
+              s += GaussianKernelContributionSq(d_sq, dc);
+            } else if (d_sq < dc_sq) {
+              ++count;
+            }
+          }
+          if (gaussian) {
+            soft[k] = s;
+          } else {
+            rho[k] = count;
+          }
+        });
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          std::span<const double> pi = view.point(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            if (std::abs(proj[i] - proj[j]) >= reach) {
+              continue;  // lower bound proves the pair contributes nothing
+            }
+            double d_sq = metric.SquaredDistance(pi, view.point(j));
+            if (gaussian) {
+              double w = GaussianKernelContributionSq(d_sq, dc);
+              soft[i] += w;
+              soft[j] += w;
+            } else if (d_sq < dc_sq) {
+              ++rho[i];
+              ++rho[j];
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LocalDpBackend::kAuto:  // Resolve never returns kAuto
+    case LocalDpBackend::kBruteForce: {
+      if (parallel) {
+        ForEachIndex(n, true, [&](size_t k) {
+          std::span<const double> pk = view.point(k);
+          double s = 0.0;
+          uint32_t count = 0;
+          for (size_t j = 0; j < n; ++j) {
+            if (j == k) continue;
+            double d_sq = metric.SquaredDistance(pk, view.point(j));
+            if (gaussian) {
+              s += GaussianKernelContributionSq(d_sq, dc);
+            } else if (d_sq < dc_sq) {
+              ++count;
+            }
+          }
+          if (gaussian) {
+            soft[k] = s;
+          } else {
+            rho[k] = count;
+          }
+        });
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          std::span<const double> pi = view.point(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            double d_sq = metric.SquaredDistance(pi, view.point(j));
+            if (gaussian) {
+              double w = GaussianKernelContributionSq(d_sq, dc);
+              soft[i] += w;
+              soft[j] += w;
+            } else if (d_sq < dc_sq) {
+              ++rho[i];
+              ++rho[j];
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+  if (gaussian) {
+    for (size_t k = 0; k < n; ++k) rho[k] = QuantizeDensity(soft[k]);
+  }
+  return rho;
+}
+
+LocalDeltaScores LocalDpEngine::Delta(const LocalPointView& view,
+                                      std::span<const uint32_t> rho,
+                                      const CountingMetric& metric) const {
+  const size_t n = view.size();
+  LocalDeltaScores out;
+  out.delta.assign(n, kInf);
+  out.delta_sq.assign(n, kInf);
+  out.upslope.assign(n, kInvalidPointId);
+  if (n <= 1) return out;
+
+  // Rank positions by the density total order: the candidates denser than
+  // the point at rank r are exactly ranks [0, r). Rank 0 is the group's
+  // densest point and keeps delta = +inf (the local-max rule).
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return DenserThan(rho[a], view.id(a), rho[b], view.id(b));
+  });
+
+  const bool parallel = options_.parallel_min_group > 0 &&
+                        n >= options_.parallel_min_group;
+  auto commit = [&](size_t k, const LocalDeltaBest& best) {
+    if (best.upslope == kInvalidPointId) return;
+    out.delta_sq[k] = best.d_sq;
+    out.delta[k] = best.Delta();
+    out.upslope[k] = best.upslope;
+  };
+
+  switch (Resolve(n, view.dim())) {
+    case LocalDpBackend::kKdTree: {
+      Result<KdTree> tree =
+          KdTree::BuildFromRows(view.rows(), view.dim(), options_.kd_leaf_size);
+      const KdTree& t = *tree;
+      ForEachIndex(n - 1, parallel, [&](size_t r1) {
+        const size_t k = order[r1 + 1];
+        const uint32_t rho_k = rho[k];
+        const PointId id_k = view.id(k);
+        KdTree::Nearest res = t.FindNearestAccepted(
+            view.point(k), metric, view.ids(),
+            [&](PointId pos) {
+              return DenserThan(rho[pos], view.id(pos), rho_k, id_k);
+            });
+        LocalDeltaBest best;
+        if (res.index != kInvalidPointId) {
+          best.d_sq = res.distance_sq;
+          best.upslope = res.tie_id;
+        }
+        commit(k, best);
+      });
+      break;
+    }
+    case LocalDpBackend::kTriangleFilter: {
+      std::vector<double> proj = CentroidProjections(view, metric);
+      ForEachIndex(n - 1, parallel, [&](size_t r1) {
+        const size_t r = r1 + 1;
+        const size_t k = order[r];
+        std::span<const double> pk = view.point(k);
+        LocalDeltaBest best;
+        for (size_t s = 0; s < r; ++s) {
+          size_t l = order[s];
+          double gap = std::abs(proj[k] - proj[l]);
+          if (gap * gap > best.d_sq) {
+            continue;  // cannot improve on the current minimum
+          }
+          best.Improve(metric.SquaredDistance(pk, view.point(l)), view.id(l));
+        }
+        commit(k, best);
+      });
+      break;
+    }
+    case LocalDpBackend::kAuto:  // Resolve never returns kAuto
+    case LocalDpBackend::kBruteForce: {
+      ForEachIndex(n - 1, parallel, [&](size_t r1) {
+        const size_t r = r1 + 1;
+        const size_t k = order[r];
+        std::span<const double> pk = view.point(k);
+        LocalDeltaBest best;
+        for (size_t s = 0; s < r; ++s) {
+          size_t l = order[s];
+          best.Improve(metric.SquaredDistance(pk, view.point(l)), view.id(l));
+        }
+        commit(k, best);
+      });
+      break;
+    }
+  }
+  return out;
+}
+
+void LocalDpEngine::RhoCross(const LocalPointView& left,
+                             const LocalPointView& right, double dc,
+                             const CountingMetric& metric,
+                             std::span<uint32_t> counts_left,
+                             std::span<uint32_t> counts_right) const {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  if (nl == 0 || nr == 0) return;
+  const double dc_sq = dc * dc;
+  const bool both = !counts_right.empty();
+  const bool kd = [&] {
+    switch (options_.backend) {
+      case LocalDpBackend::kKdTree:
+        return true;
+      case LocalDpBackend::kAuto:
+        return nr >= options_.kd_min_group && left.dim() <= options_.kd_max_dim;
+      default:
+        return false;  // triangle has no cross-group pivot; use brute
+    }
+  }();
+  // Parallelizing the both-sided pass would race on counts_right; the
+  // one-sided pass shards cleanly over left rows.
+  const bool parallel = !both && options_.parallel_min_group > 0 &&
+                        nl * nr >= options_.parallel_min_group *
+                                       options_.parallel_min_group;
+
+  if (kd) {
+    Result<KdTree> tree =
+        KdTree::BuildFromRows(right.rows(), right.dim(), options_.kd_leaf_size);
+    const KdTree& t = *tree;
+    if (both) {
+      std::vector<std::pair<PointId, double>> hits;
+      for (size_t i = 0; i < nl; ++i) {
+        hits.clear();
+        t.FindWithinSq(left.point(i), dc_sq, kInvalidPointId, metric, &hits);
+        counts_left[i] += static_cast<uint32_t>(hits.size());
+        for (const auto& [pos, d_sq] : hits) ++counts_right[pos];
+      }
+    } else {
+      ForEachIndex(nl, parallel, [&](size_t i) {
+        counts_left[i] += static_cast<uint32_t>(
+            t.CountWithin(left.point(i), dc, kInvalidPointId, metric));
+      });
+    }
+    return;
+  }
+  if (both) {
+    for (size_t i = 0; i < nl; ++i) {
+      std::span<const double> pi = left.point(i);
+      for (size_t j = 0; j < nr; ++j) {
+        if (metric.SquaredDistance(pi, right.point(j)) < dc_sq) {
+          ++counts_left[i];
+          ++counts_right[j];
+        }
+      }
+    }
+  } else {
+    ForEachIndex(nl, parallel, [&](size_t i) {
+      std::span<const double> pi = left.point(i);
+      uint32_t count = 0;
+      for (size_t j = 0; j < nr; ++j) {
+        if (metric.SquaredDistance(pi, right.point(j)) < dc_sq) ++count;
+      }
+      counts_left[i] += count;
+    });
+  }
+}
+
+void LocalDpEngine::DeltaCross(const LocalPointView& queries,
+                               std::span<const uint32_t> query_rho,
+                               const LocalPointView& candidates,
+                               std::span<const uint32_t> candidate_rho,
+                               const CountingMetric& metric,
+                               std::span<LocalDeltaBest> best) const {
+  const size_t nq = queries.size();
+  const size_t nc = candidates.size();
+  if (nq == 0 || nc == 0) return;
+  const bool kd = [&] {
+    switch (options_.backend) {
+      case LocalDpBackend::kKdTree:
+        return true;
+      case LocalDpBackend::kAuto:
+        return nc >= options_.kd_min_group &&
+               queries.dim() <= options_.kd_max_dim;
+      default:
+        return false;
+    }
+  }();
+  const bool parallel = options_.parallel_min_group > 0 &&
+                        nq * nc >= options_.parallel_min_group *
+                                       options_.parallel_min_group;
+
+  if (kd) {
+    Result<KdTree> tree = KdTree::BuildFromRows(
+        candidates.rows(), candidates.dim(), options_.kd_leaf_size);
+    const KdTree& t = *tree;
+    ForEachIndex(nq, parallel, [&](size_t k) {
+      const uint32_t rho_k = query_rho[k];
+      const PointId id_k = queries.id(k);
+      KdTree::Nearest seed;
+      seed.distance_sq = best[k].d_sq;
+      seed.tie_id = best[k].upslope;
+      KdTree::Nearest res = t.FindNearestAccepted(
+          queries.point(k), metric, candidates.ids(),
+          [&](PointId pos) {
+            return DenserThan(candidate_rho[pos], candidates.id(pos), rho_k,
+                              id_k);
+          },
+          seed);
+      if (res.index != kInvalidPointId) {
+        best[k].d_sq = res.distance_sq;
+        best[k].upslope = res.tie_id;
+      }
+    });
+    return;
+  }
+  ForEachIndex(nq, parallel, [&](size_t k) {
+    std::span<const double> pk = queries.point(k);
+    const uint32_t rho_k = query_rho[k];
+    const PointId id_k = queries.id(k);
+    LocalDeltaBest b = best[k];
+    for (size_t l = 0; l < nc; ++l) {
+      if (!DenserThan(candidate_rho[l], candidates.id(l), rho_k, id_k)) {
+        continue;
+      }
+      b.Improve(metric.SquaredDistance(pk, candidates.point(l)),
+                candidates.id(l));
+    }
+    best[k] = b;
+  });
+}
+
+void LocalDpEngine::DeltaCrossSymmetric(
+    const LocalPointView& left, std::span<const uint32_t> rho_left,
+    const LocalPointView& right, std::span<const uint32_t> rho_right,
+    const CountingMetric& metric, std::span<LocalDeltaBest> best_left,
+    std::span<LocalDeltaBest> best_right) const {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  if (nl == 0 || nr == 0) return;
+  const bool kd = [&] {
+    switch (options_.backend) {
+      case LocalDpBackend::kKdTree:
+        return true;
+      case LocalDpBackend::kAuto:
+        // Two one-sided tree passes re-evaluate shared pairs, so they must
+        // both be large enough for pruning to beat the brute half price.
+        return std::min(nl, nr) >= options_.kd_min_group &&
+               left.dim() <= options_.kd_max_dim;
+      default:
+        return false;
+    }
+  }();
+  if (kd) {
+    DeltaCross(left, rho_left, right, rho_right, metric, best_left);
+    DeltaCross(right, rho_right, left, rho_left, metric, best_right);
+    return;
+  }
+  // Brute: each cross pair's distance is evaluated exactly once and feeds
+  // both sides — the Basic-DDP block-pair cost model.
+  for (size_t i = 0; i < nl; ++i) {
+    std::span<const double> pi = left.point(i);
+    const uint32_t rho_i = rho_left[i];
+    const PointId id_i = left.id(i);
+    for (size_t j = 0; j < nr; ++j) {
+      double d_sq = metric.SquaredDistance(pi, right.point(j));
+      if (DenserThan(rho_right[j], right.id(j), rho_i, id_i)) {
+        best_left[i].Improve(d_sq, right.id(j));
+      }
+      if (DenserThan(rho_i, id_i, rho_right[j], right.id(j))) {
+        best_right[j].Improve(d_sq, id_i);
+      }
+    }
+  }
+}
+
+}  // namespace ddp

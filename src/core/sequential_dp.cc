@@ -1,11 +1,9 @@
 #include "core/sequential_dp.h"
 
-#include "dataset/kdtree.h"
-
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
+#include <utility>
+
+#include "core/local_dp.h"
 
 namespace ddp {
 
@@ -13,22 +11,28 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Pivot projections for the triangle-inequality filter: distances from every
-// point to the dataset centroid. |proj_i - proj_j| <= d_ij for any metric
-// pivot, so pairs with a large projection gap can be skipped.
-std::vector<double> CentroidProjections(const Dataset& dataset,
-                                        const CountingMetric& metric) {
-  std::vector<double> centroid(dataset.dim(), 0.0);
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    std::span<const double> p = dataset.point(static_cast<PointId>(i));
-    for (size_t d = 0; d < dataset.dim(); ++d) centroid[d] += p[d];
-  }
-  for (double& c : centroid) c /= static_cast<double>(dataset.size());
-  std::vector<double> proj(dataset.size());
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    proj[i] = metric.Distance(dataset.point(static_cast<PointId>(i)), centroid);
-  }
-  return proj;
+// Maps the sequential options onto an engine configuration. The legacy
+// boolean accelerators take precedence over `backend` so existing call
+// sites keep their exact behavior; with no accelerator requested the
+// default stays brute force, preserving the pinned evaluation counts of
+// the oracle (e.g. exactly n(n-1)/2 rho evaluations).
+LocalDpEngine RhoEngine(const SequentialDpOptions& options) {
+  LocalDpEngineOptions engine_options;
+  engine_options.backend = options.use_kdtree_rho
+                               ? LocalDpBackend::kKdTree
+                               : (options.use_triangle_filter
+                                      ? LocalDpBackend::kTriangleFilter
+                                      : options.backend);
+  return LocalDpEngine(engine_options);
+}
+
+LocalDpEngine DeltaEngine(const SequentialDpOptions& options) {
+  LocalDpEngineOptions engine_options;
+  // use_kdtree_rho historically accelerates only the rho pass.
+  engine_options.backend = options.use_triangle_filter
+                               ? LocalDpBackend::kTriangleFilter
+                               : options.backend;
+  return LocalDpEngine(engine_options);
 }
 
 }  // namespace
@@ -38,58 +42,8 @@ Result<std::vector<uint32_t>> ComputeExactRho(
     const SequentialDpOptions& options) {
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   if (!(dc > 0.0)) return Status::InvalidArgument("d_c must be > 0");
-  const size_t n = dataset.size();
-  const bool gaussian = options.kernel == DensityKernel::kGaussian;
-  // The filter bound is the radius beyond which a pair cannot contribute:
-  // d_c for the cutoff kernel, the truncation radius for the gaussian one.
-  const double reach = gaussian ? kGaussianKernelCut * dc : dc;
-  if (options.use_kdtree_rho) {
-    DDP_ASSIGN_OR_RETURN(KdTree tree, KdTree::Build(dataset));
-    std::vector<uint32_t> rho(n, 0);
-    for (size_t i = 0; i < n; ++i) {
-      PointId id = static_cast<PointId>(i);
-      std::span<const double> p = dataset.point(id);
-      if (gaussian) {
-        double soft = 0.0;
-        for (PointId j : tree.FindWithin(p, reach, id, metric)) {
-          soft += GaussianKernelContribution(
-              Euclidean(p, dataset.point(j)), dc);
-          metric.AddEvaluations(1);
-        }
-        rho[i] = QuantizeDensity(soft);
-      } else {
-        rho[i] = static_cast<uint32_t>(tree.CountWithin(p, dc, id, metric));
-      }
-    }
-    return rho;
-  }
-  std::vector<uint32_t> rho(n, 0);
-  std::vector<double> soft;
-  if (gaussian) soft.assign(n, 0.0);
-  std::vector<double> proj;
-  if (options.use_triangle_filter) proj = CentroidProjections(dataset, metric);
-  for (size_t i = 0; i < n; ++i) {
-    std::span<const double> pi = dataset.point(static_cast<PointId>(i));
-    for (size_t j = i + 1; j < n; ++j) {
-      if (options.use_triangle_filter &&
-          std::abs(proj[i] - proj[j]) >= reach) {
-        continue;  // lower bound proves the pair contributes nothing
-      }
-      double d = metric.Distance(pi, dataset.point(static_cast<PointId>(j)));
-      if (gaussian) {
-        double w = GaussianKernelContribution(d, dc);
-        soft[i] += w;
-        soft[j] += w;
-      } else if (d < dc) {
-        ++rho[i];
-        ++rho[j];
-      }
-    }
-  }
-  if (gaussian) {
-    for (size_t i = 0; i < n; ++i) rho[i] = QuantizeDensity(soft[i]);
-  }
-  return rho;
+  return RhoEngine(options).Rho(LocalPointView::AllOf(dataset), dc,
+                                options.kernel, metric);
 }
 
 Result<DpScores> ComputeDeltaGivenRho(const Dataset& dataset,
@@ -100,44 +54,14 @@ Result<DpScores> ComputeDeltaGivenRho(const Dataset& dataset,
   if (rho.size() != dataset.size()) {
     return Status::InvalidArgument("rho size mismatch");
   }
-  const size_t n = dataset.size();
   DpScores scores;
-  scores.Resize(n);
   scores.rho = std::move(rho);
-
-  // Sort ids by the density total order (descending rho, ascending id): the
-  // candidates denser than the point at rank r are exactly ranks [0, r).
-  std::vector<PointId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
-    return DenserThan(scores.rho[a], a, scores.rho[b], b);
-  });
-
-  std::vector<double> proj;
-  if (options.use_triangle_filter) proj = CentroidProjections(dataset, metric);
-
-  for (size_t r = 1; r < n; ++r) {
-    PointId i = order[r];
-    std::span<const double> pi = dataset.point(i);
-    double best = kInf;
-    PointId best_id = kInvalidPointId;
-    for (size_t s = 0; s < r; ++s) {
-      PointId j = order[s];
-      if (options.use_triangle_filter &&
-          std::abs(proj[i] - proj[j]) > best) {
-        continue;  // cannot improve on the current minimum
-      }
-      double d = metric.Distance(pi, dataset.point(j));
-      if (d < best || (d == best && j < best_id)) {
-        best = d;
-        best_id = j;
-      }
-    }
-    scores.delta[i] = best;
-    scores.upslope[i] = best_id;
-  }
-  // order[0] is the absolute density peak: delta stays +inf (rectified to
-  // max_j d_ij by DecisionGraph), upslope stays invalid.
+  LocalDeltaScores local = DeltaEngine(options).Delta(
+      LocalPointView::AllOf(dataset), scores.rho, metric);
+  scores.delta = std::move(local.delta);
+  scores.upslope = std::move(local.upslope);
+  // The density-order-first point is the absolute peak: delta stays +inf
+  // (rectified to max_j d_ij by DecisionGraph), upslope stays invalid.
   return scores;
 }
 
@@ -153,29 +77,9 @@ LocalDpResult ComputeLocalRho(const Dataset& dataset,
                               std::span<const PointId> ids, double dc,
                               const CountingMetric& metric,
                               DensityKernel kernel) {
-  const size_t n = ids.size();
-  const bool gaussian = kernel == DensityKernel::kGaussian;
   LocalDpResult out;
-  out.rho.assign(n, 0);
-  std::vector<double> soft;
-  if (gaussian) soft.assign(n, 0.0);
-  for (size_t k = 0; k < n; ++k) {
-    std::span<const double> pk = dataset.point(ids[k]);
-    for (size_t l = k + 1; l < n; ++l) {
-      double d = metric.Distance(pk, dataset.point(ids[l]));
-      if (gaussian) {
-        double w = GaussianKernelContribution(d, dc);
-        soft[k] += w;
-        soft[l] += w;
-      } else if (d < dc) {
-        ++out.rho[k];
-        ++out.rho[l];
-      }
-    }
-  }
-  if (gaussian) {
-    for (size_t k = 0; k < n; ++k) out.rho[k] = QuantizeDensity(soft[k]);
-  }
+  out.rho = LocalDpEngine().Rho(LocalPointView::SubsetOf(dataset, ids), dc,
+                                kernel, metric);
   return out;
 }
 
@@ -183,34 +87,11 @@ LocalDpResult ComputeLocalDelta(const Dataset& dataset,
                                 std::span<const PointId> ids,
                                 std::span<const uint32_t> rho,
                                 const CountingMetric& metric) {
-  const size_t n = ids.size();
+  LocalDeltaScores local = LocalDpEngine().Delta(
+      LocalPointView::SubsetOf(dataset, ids), rho, metric);
   LocalDpResult out;
-  out.delta.assign(n, kInf);
-  out.upslope.assign(n, kInvalidPointId);
-
-  // Rank subset positions by the density total order; scan denser prefixes.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return DenserThan(rho[a], ids[a], rho[b], ids[b]);
-  });
-
-  for (size_t r = 1; r < n; ++r) {
-    size_t k = order[r];
-    std::span<const double> pk = dataset.point(ids[k]);
-    double best = kInf;
-    PointId best_id = kInvalidPointId;
-    for (size_t s = 0; s < r; ++s) {
-      size_t l = order[s];
-      double d = metric.Distance(pk, dataset.point(ids[l]));
-      if (d < best || (d == best && ids[l] < best_id)) {
-        best = d;
-        best_id = ids[l];
-      }
-    }
-    out.delta[k] = best;
-    out.upslope[k] = best_id;
-  }
+  out.delta = std::move(local.delta);
+  out.upslope = std::move(local.upslope);
   return out;
 }
 

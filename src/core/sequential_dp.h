@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "core/dp_types.h"
 #include "core/kernel.h"
+#include "core/local_dp.h"
 #include "dataset/dataset.h"
 #include "dataset/distance.h"
 
@@ -19,11 +20,17 @@ namespace ddp {
 struct SequentialDpOptions {
   /// Filter rho/delta distance computations with a pivot-based triangle
   /// inequality bound (saves counted evaluations, identical results).
+  /// Takes precedence over `backend`.
   bool use_triangle_filter = false;
   /// Answer the rho range counts with a k-d tree (dataset/kdtree.h) instead
   /// of the pairwise scan. Identical results; large savings in low
-  /// dimensions, no benefit in very high dimensions.
+  /// dimensions, no benefit in very high dimensions. Takes precedence over
+  /// `backend` (and over use_triangle_filter) for the rho pass.
   bool use_kdtree_rho = false;
+  /// LocalDpEngine backend for both passes when neither legacy flag above is
+  /// set. Defaults to brute force — the oracle keeps its pinned evaluation
+  /// counts (exactly n(n-1)/2 per pass) unless acceleration is asked for.
+  LocalDpBackend backend = LocalDpBackend::kBruteForce;
   /// Density kernel (core/kernel.h). kGaussian yields quantized soft
   /// densities in the same uint32 domain.
   DensityKernel kernel = DensityKernel::kCutoff;

@@ -2,6 +2,9 @@
 #define DDP_DATASET_KDTREE_H_
 
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -9,15 +12,20 @@
 #include "dataset/distance.h"
 
 /// \file kdtree.h
-/// A k-d tree over a Dataset for range counting/search — the "recent
-/// technology in KNN search" style accelerator the paper's Sec. II-A/III-B
-/// mentions for the sequential building blocks. Effective for low to
-/// moderate dimensionality (the 3Dspatial regime); for 300-d Facial-style
-/// data it degrades to a linear scan, as expected of space-partitioning
-/// trees.
+/// A k-d tree over a set of point rows for range counting/search and
+/// accepted-nearest-neighbor queries — the "recent technology in KNN search"
+/// style accelerator the paper's Sec. II-A/III-B mentions for the sequential
+/// building blocks. Effective for low to moderate dimensionality (the
+/// 3Dspatial regime); for 300-d Facial-style data it degrades to a linear
+/// scan, as expected of space-partitioning trees.
 ///
-/// The tree stores point ids and splits on the widest dimension at the
-/// median; leaves hold up to `leaf_size` points. Query results are exact.
+/// The tree indexes rows by position and splits on the widest dimension at
+/// the median; leaves hold up to `leaf_size` points. It can be built over a
+/// whole Dataset or over any span of row pointers (e.g. a LocalPointView of
+/// shuffled reducer records), which must outlive the tree. Query results are
+/// exact; all boundary comparisons happen in squared-distance space, matching
+/// the LocalDpEngine convention so tree-accelerated paths agree bit-for-bit
+/// with pairwise scans.
 
 namespace ddp {
 
@@ -27,28 +35,69 @@ class KdTree {
   /// the tree. `leaf_size` >= 1.
   static Result<KdTree> Build(const Dataset& dataset, size_t leaf_size = 16);
 
-  /// Number of points with d(query, p) < radius, excluding `exclude`
-  /// (pass kInvalidPointId to count all). This is exactly the rho kernel.
+  /// Builds a tree over arbitrary point rows (each `rows[k]` points at `dim`
+  /// doubles). The rows must outlive the tree; query results use positions
+  /// into `rows`.
+  static Result<KdTree> BuildFromRows(std::span<const double* const> rows,
+                                      size_t dim, size_t leaf_size = 16);
+
+  /// Number of points with d(query, p) < radius, excluding position
+  /// `exclude` (pass kInvalidPointId to count all). This is exactly the rho
+  /// kernel. Compares d^2 < radius * radius.
   size_t CountWithin(std::span<const double> query, double radius,
                      PointId exclude, const CountingMetric& metric) const;
 
-  /// Ids with d(query, p) < radius (excluding `exclude`), unsorted.
+  /// Positions with d(query, p) < radius (excluding `exclude`), unsorted.
   std::vector<PointId> FindWithin(std::span<const double> query, double radius,
                                   PointId exclude,
                                   const CountingMetric& metric) const;
 
-  size_t size() const { return ids_.size(); }
+  /// Positions and squared distances with d^2 < radius_sq (excluding
+  /// `exclude`), appended to `*out` unsorted. The squared-space twin of
+  /// FindWithin, used by the gaussian rho kernel so the per-pair distance is
+  /// evaluated (and counted) exactly once.
+  void FindWithinSq(std::span<const double> query, double radius_sq,
+                    PointId exclude, const CountingMetric& metric,
+                    std::vector<std::pair<PointId, double>>* out) const;
+
+  /// An accepted-nearest-neighbor result: the minimizing position under the
+  /// lexicographic (squared distance, tie_id) order, or index ==
+  /// kInvalidPointId when nothing improved on the seed.
+  struct Nearest {
+    PointId index = kInvalidPointId;
+    double distance_sq = std::numeric_limits<double>::infinity();
+    /// Tie-break id of the incumbent (a global point id, not a position).
+    PointId tie_id = kInvalidPointId;
+  };
+
+  /// Finds the accepted point minimizing (d^2, tie_ids[position]) strictly
+  /// improving on `seed` (candidates at equal d^2 win only with a smaller
+  /// tie id — matching the delta tie-break contract). `tie_ids[k]` is the
+  /// global id of the point at position k; `accept` filters candidate
+  /// positions (e.g. "denser than the query"). Box pruning is strict
+  /// (min_box_sq > best_sq), so equal-distance candidates are always
+  /// examined and id ties resolve identically to a full scan.
+  Nearest FindNearestAccepted(std::span<const double> query,
+                              const CountingMetric& metric,
+                              std::span<const PointId> tie_ids,
+                              const std::function<bool(PointId)>& accept,
+                              Nearest seed) const;
+  Nearest FindNearestAccepted(std::span<const double> query,
+                              const CountingMetric& metric,
+                              std::span<const PointId> tie_ids,
+                              const std::function<bool(PointId)>& accept) const {
+    return FindNearestAccepted(query, metric, tie_ids, accept, Nearest());
+  }
+
+  size_t size() const { return positions_.size(); }
 
  private:
   struct Node {
-    // Internal: split dimension + threshold; children indices.
-    // Leaf: [begin, end) range into ids_.
+    // Internal: children indices. Leaf: [begin, end) range into positions_.
     int32_t left = -1;
     int32_t right = -1;
     uint32_t begin = 0;
     uint32_t end = 0;
-    uint32_t split_dim = 0;
-    double split_value = 0.0;
     // Bounding box of the subtree, for pruning.
     std::vector<double> lo;
     std::vector<double> hi;
@@ -56,20 +105,27 @@ class KdTree {
     bool is_leaf() const { return left < 0; }
   };
 
-  explicit KdTree(const Dataset* dataset) : dataset_(dataset) {}
+  KdTree() = default;
+
+  Result<KdTree> FinishBuild(size_t leaf_size);
 
   int32_t BuildNode(uint32_t begin, uint32_t end, size_t leaf_size);
+
+  std::span<const double> row(PointId position) const {
+    return {rows_[position], dim_};
+  }
 
   // Minimum squared distance from query to the node's bounding box.
   static double MinSquaredDistanceToBox(std::span<const double> query,
                                         const Node& node);
 
   template <typename Visitor>
-  void Visit(std::span<const double> query, double radius, PointId exclude,
+  void Visit(std::span<const double> query, double radius_sq, PointId exclude,
              const CountingMetric& metric, const Visitor& visit) const;
 
-  const Dataset* dataset_;
-  std::vector<PointId> ids_;   // permuted point ids; leaves own subranges
+  size_t dim_ = 0;
+  std::vector<const double*> rows_;  // borrowed row pointers, position-indexed
+  std::vector<PointId> positions_;   // permuted positions; leaves own subranges
   std::vector<Node> nodes_;
   int32_t root_ = -1;
 };

@@ -1,12 +1,13 @@
 #include "ddp/basic_ddp.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 #include <numeric>
 #include <unordered_map>
 #include <vector>
 
 #include "core/dp_types.h"
+#include "core/local_dp.h"
 #include "ddp/records.h"
 
 namespace ddp {
@@ -46,6 +47,15 @@ std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> GroupByBlock(
   std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> blocks;
   for (const BlockedPoint& v : values) blocks[v.block].push_back(&v);
   return blocks;
+}
+
+// Borrows one block's coordinate rows into an engine view, in arrival order.
+LocalPointView BlockView(const std::vector<const BlockedPoint*>& members,
+                         size_t dim) {
+  LocalPointView view(dim);
+  view.Reserve(members.size());
+  for (const BlockedPoint* p : members) view.Add(p->point.id, p->point.coords);
+  return view;
 }
 
 }  // namespace
@@ -91,43 +101,49 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
     TargetsOf(rec.block, num_blocks, &targets);
     for (uint32_t r : targets) out->Emit(r, rec);
   };
-  rho_job.reduce = [dc, num_blocks, &metric](
+  const size_t dim = dataset.dim();
+  LocalDpEngineOptions engine_options;
+  engine_options.backend = params_.local_backend;
+  const LocalDpEngine engine(engine_options);
+  rho_job.reduce = [dc, dim, num_blocks, engine, &metric](
                        const uint32_t& reducer,
                        std::span<const BlockedPoint> values,
                        std::vector<RhoPartial>* out) {
     auto blocks = GroupByBlock(values);
-    std::unordered_map<PointId, uint32_t> rho;
-    auto process_pair = [&](const std::vector<const BlockedPoint*>& left,
-                            const std::vector<const BlockedPoint*>& right,
-                            bool diagonal) {
-      for (size_t i = 0; i < left.size(); ++i) {
-        size_t j_begin = diagonal ? i + 1 : 0;
-        for (size_t j = j_begin; j < right.size(); ++j) {
-          double d = metric.Distance(left[i]->point.coords,
-                                     right[j]->point.coords);
-          if (d < dc) {
-            ++rho[left[i]->point.id];
-            ++rho[right[j]->point.id];
-          }
-        }
-      }
-    };
-    // All block pairs owned by this reducer.
+    // All blocks present at this reducer, with engine views and
+    // position-aligned partial counts.
     std::vector<uint32_t> present;
     present.reserve(blocks.size());
     for (const auto& [b, pts] : blocks) present.push_back(b);
     std::sort(present.begin(), present.end());
+    std::unordered_map<uint32_t, LocalPointView> views;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> counts;
+    for (uint32_t b : present) {
+      views.emplace(b, BlockView(blocks[b], dim));
+      counts[b].assign(blocks[b].size(), 0);
+    }
     for (size_t x = 0; x < present.size(); ++x) {
       for (size_t y = x; y < present.size(); ++y) {
         uint32_t a = present[x], b = present[y];
         if (MeetingReducer(a, b, num_blocks) != reducer) continue;
-        process_pair(blocks[a], blocks[b], /*diagonal=*/a == b);
+        if (a == b) {
+          std::vector<uint32_t> self = engine.Rho(
+              views.at(a), dc, DensityKernel::kCutoff, metric);
+          std::vector<uint32_t>& acc = counts.at(a);
+          for (size_t k = 0; k < self.size(); ++k) acc[k] += self[k];
+        } else {
+          engine.RhoCross(views.at(a), views.at(b), dc, metric, counts.at(a),
+                          counts.at(b));
+        }
       }
     }
     // Every received point gets a partial so that rho=0 points still appear.
-    for (const BlockedPoint& v : values) {
-      auto it = rho.find(v.point.id);
-      out->push_back({v.point.id, it == rho.end() ? 0 : it->second});
+    for (uint32_t b : present) {
+      const LocalPointView& view = views.at(b);
+      const std::vector<uint32_t>& acc = counts.at(b);
+      for (size_t k = 0; k < view.size(); ++k) {
+        out->push_back({view.id(k), acc[k]});
+      }
     }
   };
   mr::JobCounters counters;
@@ -178,47 +194,55 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
     TargetsOf(rec.block, num_blocks, &targets);
     for (uint32_t r : targets) out->Emit(r, rec);
   };
-  delta_job.reduce = [num_blocks, &metric](
+  delta_job.reduce = [dim, num_blocks, engine, &metric](
                          const uint32_t& reducer,
                          std::span<const BlockedPoint> values,
                          std::vector<DeltaOut>* out) {
     auto blocks = GroupByBlock(values);
-    std::unordered_map<PointId, ddprec::DeltaCandidate> best;
-    auto consider = [&](const BlockedPoint& i, const BlockedPoint& j,
-                        double d) {
-      // Update i's candidate if j is denser (and vice versa is handled by
-      // the symmetric call).
-      if (DenserThan(j.point.rho, j.point.id, i.point.rho, i.point.id)) {
-        ddprec::DeltaCandidate cand{d, j.point.id};
-        auto [it, inserted] = best.try_emplace(i.point.id, cand);
-        if (!inserted && cand.BetterThan(it->second)) it->second = cand;
-      }
-    };
-    auto process_pair = [&](const std::vector<const BlockedPoint*>& left,
-                            const std::vector<const BlockedPoint*>& right,
-                            bool diagonal) {
-      for (size_t i = 0; i < left.size(); ++i) {
-        size_t j_begin = diagonal ? i + 1 : 0;
-        for (size_t j = j_begin; j < right.size(); ++j) {
-          double d = metric.Distance(left[i]->point.coords,
-                                     right[j]->point.coords);
-          consider(*left[i], *right[j], d);
-          consider(*right[j], *left[i], d);
-        }
-      }
-    };
     std::vector<uint32_t> present;
     present.reserve(blocks.size());
     for (const auto& [b, pts] : blocks) present.push_back(b);
     std::sort(present.begin(), present.end());
+    std::unordered_map<uint32_t, LocalPointView> views;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> rhos;
+    std::unordered_map<uint32_t, std::vector<LocalDeltaBest>> best;
+    for (uint32_t b : present) {
+      views.emplace(b, BlockView(blocks[b], dim));
+      std::vector<uint32_t>& r = rhos[b];
+      r.reserve(blocks[b].size());
+      for (const BlockedPoint* p : blocks[b]) r.push_back(p->point.rho);
+      best[b].resize(blocks[b].size());
+    }
     for (size_t x = 0; x < present.size(); ++x) {
       for (size_t y = x; y < present.size(); ++y) {
         uint32_t a = present[x], b = present[y];
         if (MeetingReducer(a, b, num_blocks) != reducer) continue;
-        process_pair(blocks[a], blocks[b], /*diagonal=*/a == b);
+        if (a == b) {
+          LocalDeltaScores self = engine.Delta(views.at(a), rhos.at(a), metric);
+          std::vector<LocalDeltaBest>& acc = best.at(a);
+          for (size_t k = 0; k < acc.size(); ++k) {
+            if (self.upslope[k] != kInvalidPointId) {
+              acc[k].Improve(self.delta_sq[k], self.upslope[k]);
+            }
+          }
+        } else {
+          engine.DeltaCrossSymmetric(views.at(a), rhos.at(a), views.at(b),
+                                     rhos.at(b), metric, best.at(a),
+                                     best.at(b));
+        }
       }
     }
-    for (const auto& [id, cand] : best) out->push_back({id, cand});
+    // Emit only points that found a denser neighbor here; the absolute peak
+    // keeps no candidate anywhere.
+    for (uint32_t b : present) {
+      const LocalPointView& view = views.at(b);
+      const std::vector<LocalDeltaBest>& acc = best.at(b);
+      for (size_t k = 0; k < view.size(); ++k) {
+        if (acc[k].upslope == kInvalidPointId) continue;
+        out->push_back(
+            {view.id(k), ddprec::DeltaCandidate{acc[k].d_sq, acc[k].upslope}});
+      }
+    }
   };
   DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> delta_partials,
                        mr::RunJob(delta_job, std::span<const PointId>(input),
@@ -259,7 +283,7 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   scores.rho = std::move(rho);
   for (const DeltaOut& d : delta_final) {
-    scores.delta[d.first] = d.second.delta;
+    scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }
   // Points without candidates keep delta = +inf / invalid upslope: exactly

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/local_dp.h"
 #include "ddp/driver.h"
 
 /// \file basic_ddp.h
@@ -27,6 +28,10 @@ class BasicDdp : public DistributedDpAlgorithm {
   struct Params {
     /// Target points per block (paper's experiments use 500).
     size_t block_size = 500;
+    /// LocalDpEngine backend for the per-reducer block kernels. Results are
+    /// bit-identical across backends (core/local_dp.h determinism contract),
+    /// so Basic-DDP stays exact under any choice.
+    LocalDpBackend local_backend = LocalDpBackend::kAuto;
   };
 
   BasicDdp() : BasicDdp(Params{}) {}

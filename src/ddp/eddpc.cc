@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "core/dp_types.h"
+#include "core/local_dp.h"
 #include "ddp/records.h"
 
 namespace ddp {
@@ -34,18 +35,20 @@ struct CellPoint {
 };
 
 // Job 3 intermediate: a cell member (comparison target) or a delta query.
+// Queries carry their squared within-cell bound — the engine's canonical
+// comparison space — as the refinement seed.
 struct MemberOrQuery {
   uint8_t is_query = 0;
   PointId id = 0;
   uint32_t rho = 0;
-  double delta_ub = 0.0;  // queries only
+  double delta_ub_sq = 0.0;  // queries only
   std::vector<double> coords;
 
   void SerializeTo(BufferWriter* w) const {
     w->PutByte(is_query);
     w->PutVarint32(id);
     w->PutVarint32(rho);
-    if (is_query != 0) w->PutDouble(delta_ub);
+    if (is_query != 0) w->PutDouble(delta_ub_sq);
     w->PutVarint64(coords.size());
     for (double c : coords) w->PutDouble(c);
   }
@@ -53,8 +56,8 @@ struct MemberOrQuery {
     DDP_RETURN_NOT_OK(r->GetByte(&out->is_query));
     DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
     DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
-    out->delta_ub = 0.0;
-    if (out->is_query != 0) DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub));
+    out->delta_ub_sq = 0.0;
+    if (out->is_query != 0) DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub_sq));
     uint64_t n;
     DDP_RETURN_NOT_OK(r->GetVarint64(&n));
     out->coords.resize(n);
@@ -78,7 +81,8 @@ struct BoundInfo {
   PointId id = 0;
   uint32_t rho = 0;
   uint32_t cell = 0;
-  double delta_ub = kInf;
+  double delta_ub = kInf;     // distance space, for the cell-radius filter
+  double delta_ub_sq = kInf;  // squared space, the refinement seed
   PointId upslope = kInvalidPointId;
 };
 
@@ -155,30 +159,25 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
       }
     }
   };
-  rho_job.reduce = [dc, &metric](const uint32_t& cell,
-                                 std::span<const CellPoint> values,
-                                 std::vector<HomeInfo>* out) {
-    std::vector<const CellPoint*> homes, supports;
+  const size_t dim = dataset.dim();
+  LocalDpEngineOptions engine_options;
+  engine_options.backend = params_.local_backend;
+  const LocalDpEngine engine(engine_options);
+  rho_job.reduce = [dc, dim, engine, &metric](const uint32_t& cell,
+                                              std::span<const CellPoint> values,
+                                              std::vector<HomeInfo>* out) {
+    LocalPointView home_view(dim), support_view(dim);
     for (const CellPoint& v : values) {
-      (v.is_support != 0 ? supports : homes).push_back(&v);
+      (v.is_support != 0 ? support_view : home_view)
+          .Add(v.point.id, v.point.coords);
     }
-    std::vector<uint32_t> rho(homes.size(), 0);
-    for (size_t i = 0; i < homes.size(); ++i) {
-      for (size_t j = i + 1; j < homes.size(); ++j) {
-        double d = metric.Distance(homes[i]->point.coords,
-                                   homes[j]->point.coords);
-        if (d < dc) {
-          ++rho[i];
-          ++rho[j];
-        }
-      }
-      for (const CellPoint* s : supports) {
-        double d = metric.Distance(homes[i]->point.coords, s->point.coords);
-        if (d < dc) ++rho[i];  // the support point is counted in its own cell
-      }
-    }
-    for (size_t i = 0; i < homes.size(); ++i) {
-      out->push_back({homes[i]->point.id, rho[i], cell});
+    // Exact rho = within-cell neighbors + one-sided support neighbors (each
+    // support point is counted as a home point of its own cell).
+    std::vector<uint32_t> rho =
+        engine.Rho(home_view, dc, DensityKernel::kCutoff, metric);
+    engine.RhoCross(home_view, support_view, dc, metric, rho, {});
+    for (size_t i = 0; i < home_view.size(); ++i) {
+      out->push_back({home_view.id(i), rho[i], cell});
     }
   };
   mr::JobCounters counters;
@@ -197,36 +196,31 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
     std::span<const double> p = dataset.point(in.id);
     out->Emit(in.cell, {in.id, in.rho, {p.begin(), p.end()}});
   };
-  bound_job.reduce = [&pivots, &metric](
+  bound_job.reduce = [dim, engine, &pivots, &metric](
                          const uint32_t& cell,
                          std::span<const ddprec::ScoredPointRecord> members,
                          std::vector<BoundOrStats>* out) {
-    // Density total order within the cell.
-    std::vector<size_t> order(members.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return DenserThan(members[a].rho, members[a].id, members[b].rho,
-                        members[b].id);
-    });
+    LocalPointView view(dim);
+    view.Reserve(members.size());
+    std::vector<uint32_t> rho;
+    rho.reserve(members.size());
     BoundOrStats cell_stats;
     cell_stats.is_stats = true;
     cell_stats.cell = cell;
-    for (size_t r = 0; r < order.size(); ++r) {
-      size_t k = order[r];
-      cell_stats.radius = std::max(
-          cell_stats.radius, metric.Distance(members[k].coords, pivots[cell]));
-      cell_stats.max_rho = std::max(cell_stats.max_rho, members[k].rho);
+    for (const ddprec::ScoredPointRecord& m : members) {
+      view.Add(m.id, m.coords);
+      rho.push_back(m.rho);
+      cell_stats.radius =
+          std::max(cell_stats.radius, metric.Distance(m.coords, pivots[cell]));
+      cell_stats.max_rho = std::max(cell_stats.max_rho, m.rho);
+    }
+    // Exact within-cell delta over the density total order; the cell's
+    // densest member keeps delta_ub = +inf and no upslope.
+    LocalDeltaScores local = engine.Delta(view, rho, metric);
+    for (size_t k = 0; k < members.size(); ++k) {
       BoundOrStats rec;
-      rec.bound = {members[k].id, members[k].rho, cell, kInf, kInvalidPointId};
-      for (size_t s = 0; s < r; ++s) {
-        size_t l = order[s];
-        double d = metric.Distance(members[k].coords, members[l].coords);
-        if (d < rec.bound.delta_ub ||
-            (d == rec.bound.delta_ub && members[l].id < rec.bound.upslope)) {
-          rec.bound.delta_ub = d;
-          rec.bound.upslope = members[l].id;
-        }
-      }
+      rec.bound = {members[k].id, members[k].rho,  cell,
+                   local.delta[k], local.delta_sq[k], local.upslope[k]};
       out->push_back(rec);
     }
     out->push_back(cell_stats);
@@ -272,7 +266,7 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
     rec.is_query = 0;
     out->Emit(in.cell, rec);
     rec.is_query = 1;
-    rec.delta_ub = in.delta_ub;
+    rec.delta_ub_sq = in.delta_ub_sq;
     std::vector<double> dist;
     (void)pivot_distances(p, &dist);
     for (uint32_t k = 0; k < p_count; ++k) {
@@ -286,27 +280,31 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
       out->Emit(k, rec);
     }
   };
-  refine_job.reduce = [&metric](const uint32_t&,
-                                std::span<const MemberOrQuery> values,
-                                std::vector<DeltaOut>* out) {
-    std::vector<const MemberOrQuery*> members, queries;
+  refine_job.reduce = [dim, engine, &metric](const uint32_t&,
+                                             std::span<const MemberOrQuery> values,
+                                             std::vector<DeltaOut>* out) {
+    LocalPointView member_view(dim), query_view(dim);
+    std::vector<uint32_t> member_rho, query_rho;
+    std::vector<LocalDeltaBest> best;
     for (const MemberOrQuery& v : values) {
-      (v.is_query != 0 ? queries : members).push_back(&v);
+      if (v.is_query != 0) {
+        query_view.Add(v.id, v.coords);
+        query_rho.push_back(v.rho);
+        // Seed with the within-cell bound; only a strict improvement (or an
+        // equal distance, which wins the id tie-break against the invalid
+        // seed) produces a refinement candidate.
+        best.push_back({v.delta_ub_sq, kInvalidPointId});
+      } else {
+        member_view.Add(v.id, v.coords);
+        member_rho.push_back(v.rho);
+      }
     }
-    for (const MemberOrQuery* q : queries) {
-      double best = q->delta_ub;
-      PointId best_id = kInvalidPointId;
-      for (const MemberOrQuery* m : members) {
-        if (!DenserThan(m->rho, m->id, q->rho, q->id)) continue;
-        double d = metric.Distance(q->coords, m->coords);
-        if (d < best || (d == best && m->id < best_id)) {
-          best = d;
-          best_id = m->id;
-        }
-      }
-      if (best_id != kInvalidPointId) {
-        out->push_back({q->id, ddprec::DeltaCandidate{best, best_id}});
-      }
+    engine.DeltaCross(query_view, query_rho, member_view, member_rho, metric,
+                      best);
+    for (size_t k = 0; k < best.size(); ++k) {
+      if (best[k].upslope == kInvalidPointId) continue;
+      out->push_back({query_view.id(k),
+                      ddprec::DeltaCandidate{best[k].d_sq, best[k].upslope}});
     }
   };
   DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> refinements,
@@ -318,7 +316,8 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
   std::vector<DeltaOut> candidates;
   candidates.reserve(bounds.size() + refinements.size());
   for (const BoundInfo& b : bounds) {
-    candidates.push_back({b.id, ddprec::DeltaCandidate{b.delta_ub, b.upslope}});
+    candidates.push_back(
+        {b.id, ddprec::DeltaCandidate{b.delta_ub_sq, b.upslope}});
   }
   std::move(refinements.begin(), refinements.end(),
             std::back_inserter(candidates));
@@ -356,7 +355,7 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   for (const BoundInfo& b : bounds) scores.rho[b.id] = b.rho;
   for (const DeltaOut& d : delta_final) {
-    scores.delta[d.first] = d.second.delta;
+    scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }
   return scores;

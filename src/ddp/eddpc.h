@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/local_dp.h"
 #include "ddp/driver.h"
 
 /// \file eddpc.h
@@ -39,6 +40,10 @@ class Eddpc : public DistributedDpAlgorithm {
     /// published EDDPC (which filters by distance bounds only); disable it
     /// to reproduce the comparator as the paper measured it (Table IV).
     bool use_max_rho_filter = true;
+    /// LocalDpEngine backend for the per-cell kernels (rho counting, the
+    /// within-cell delta bound, and the cross-cell refinement). Results are
+    /// bit-identical across backends, so EDDPC stays exact.
+    LocalDpBackend local_backend = LocalDpBackend::kAuto;
   };
 
   Eddpc() : Eddpc(Params{}) {}

@@ -1,11 +1,11 @@
 #include "ddp/lsh_ddp.h"
 
-#include <limits>
+#include <cmath>
 #include <numeric>
 #include <utility>
 #include <vector>
 
-#include "core/sequential_dp.h"
+#include "core/local_dp.h"
 #include "ddp/records.h"
 #include "lsh/partitioner.h"
 
@@ -13,19 +13,18 @@ namespace ddp {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
 /// MapReduce key of one LSH bucket: (layout index m, bucket signature).
 using BucketMapKey = std::pair<uint32_t, lsh::BucketKey>;
 
-// Rebuilds a contiguous view of bucket members and runs a local kernel.
-// `Records` is PointRecord or ScoredPointRecord.
+// Borrows the coordinate rows of a (sub-)bucket straight out of the shuffled
+// records — no copies. `Records` is PointRecord or ScoredPointRecord.
 template <typename Records>
-Dataset BucketDataset(std::span<const Records> members, size_t dim) {
-  Dataset local(dim);
-  local.Reserve(members.size());
-  for (const Records& m : members) local.Add(m.coords);
-  return local;
+LocalPointView BucketView(std::span<const Records> members,
+                          std::span<const size_t> group, size_t dim) {
+  LocalPointView view(dim);
+  view.Reserve(group.size());
+  for (size_t k : group) view.Add(members[k].id, members[k].coords);
+  return view;
 }
 
 // Deterministically splits indices [0, n) into ceil(n/max) balanced
@@ -96,19 +95,20 @@ Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
   };
   const DensityKernel kernel = params_.kernel;
   const size_t max_bucket = params_.max_bucket_size;
-  rho_job.reduce = [dc, dim, kernel, max_bucket, &metric](
+  LocalDpEngineOptions engine_options;
+  engine_options.backend = params_.local_backend;
+  const LocalDpEngine engine(engine_options);
+  rho_job.reduce = [dc, dim, kernel, max_bucket, engine, &metric](
                        const BucketMapKey&,
                        std::span<const ddprec::PointRecord> members,
                        std::vector<RhoOut>* out) {
-    Dataset local = BucketDataset(members, dim);
     auto groups = SplitOversized(members.size(), max_bucket,
                                  [&](size_t k) { return members[k].id; });
     for (const std::vector<size_t>& group : groups) {
-      std::vector<PointId> local_ids(group.begin(), group.end());
-      LocalDpResult local_rho =
-          ComputeLocalRho(local, local_ids, dc, metric, kernel);
+      LocalPointView view = BucketView(members, group, dim);
+      std::vector<uint32_t> rho = engine.Rho(view, dc, kernel, metric);
       for (size_t g = 0; g < group.size(); ++g) {
-        out->push_back({members[group[g]].id, local_rho.rho[g]});
+        out->push_back({view.id(g), rho[g]});
       }
     }
   };
@@ -163,46 +163,24 @@ Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
       }
     }
   };
-  delta_job.reduce = [dim, max_bucket, &metric](
+  delta_job.reduce = [dim, max_bucket, engine, &metric](
                          const BucketMapKey&,
                          std::span<const ddprec::ScoredPointRecord> members,
                          std::vector<DeltaOut>* out) {
-    // The local delta kernel needs global ids for the density total order
-    // and for upslope reporting, but local coordinates; build a local
-    // dataset and an id/rho view aligned with it.
-    Dataset local = BucketDataset(members, dim);
+    // The engine's delta kernel ranks the (sub-)bucket by the global
+    // (rho_hat, id) total order, so aggregation across layouts is
+    // consistent, and gives the sub-bucket's densest point
+    // delta_hat^m = +infinity (Sec. IV-C).
     auto groups = SplitOversized(members.size(), max_bucket,
                                  [&](size_t k) { return members[k].id; });
     for (const std::vector<size_t>& group : groups) {
-      // Inline delta kernel over the (sub-)bucket: ties broken by the global
-      // (rho_hat, id) total order so aggregation across layouts is
-      // consistent.
-      std::vector<size_t> order = group;
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return DenserThan(members[a].rho, members[a].id, members[b].rho,
-                          members[b].id);
-      });
-      for (size_t r = 0; r < order.size(); ++r) {
-        size_t k = order[r];
-        if (r == 0) {
-          // The sub-bucket's densest point: no denser point seen here, so
-          // delta_hat^m = +infinity (Sec. IV-C).
-          out->push_back(
-              {members[k].id, ddprec::DeltaCandidate{kInf, kInvalidPointId}});
-          continue;
-        }
-        double best = kInf;
-        PointId best_id = kInvalidPointId;
-        std::span<const double> pk = local.point(static_cast<PointId>(k));
-        for (size_t s = 0; s < r; ++s) {
-          size_t l = order[s];
-          double d = metric.Distance(pk, local.point(static_cast<PointId>(l)));
-          if (d < best || (d == best && members[l].id < best_id)) {
-            best = d;
-            best_id = members[l].id;
-          }
-        }
-        out->push_back({members[k].id, ddprec::DeltaCandidate{best, best_id}});
+      LocalPointView view = BucketView(members, group, dim);
+      std::vector<uint32_t> rho(group.size());
+      for (size_t g = 0; g < group.size(); ++g) rho[g] = members[group[g]].rho;
+      LocalDeltaScores local = engine.Delta(view, rho, metric);
+      for (size_t g = 0; g < group.size(); ++g) {
+        out->push_back({view.id(g), ddprec::DeltaCandidate{local.delta_sq[g],
+                                                           local.upslope[g]}});
       }
     }
   };
@@ -245,7 +223,7 @@ Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   scores.rho = std::move(rho_hat);
   for (const DeltaOut& d : delta_final) {
-    scores.delta[d.first] = d.second.delta;
+    scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }
   return scores;

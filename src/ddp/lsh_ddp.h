@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/kernel.h"
+#include "core/local_dp.h"
 #include "ddp/driver.h"
 #include "lsh/tuning.h"
 
@@ -54,6 +55,10 @@ class LshDdp : public DistributedDpAlgorithm {
     /// Splitting coarsens the approximation for the affected points the same
     /// way a narrower hash would; 0 disables (default).
     size_t max_bucket_size = 0;
+    /// LocalDpEngine backend for the per-bucket rho/delta kernels. kAuto
+    /// picks per group by size and dimension; results are bit-identical
+    /// across backends (core/local_dp.h determinism contract).
+    LocalDpBackend local_backend = LocalDpBackend::kAuto;
   };
 
   LshDdp() : LshDdp(Params{}) {}

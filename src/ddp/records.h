@@ -66,25 +66,28 @@ struct ScoredPointRecord {
 };
 
 /// A (delta, upslope) candidate produced by a local computation; aggregated
-/// by min-delta.
+/// by min-delta. Candidates carry the SQUARED delta while in flight — the
+/// LocalDpEngine's canonical comparison space — so min-aggregation across
+/// reducers resolves distance ties exactly like the sequential oracle; the
+/// driver takes one sqrt per point when assembling final scores.
 struct DeltaCandidate {
-  double delta = 0.0;  // may be +infinity (local absolute peak)
+  double delta_sq = 0.0;  // may be +infinity (local absolute peak)
   PointId upslope = kInvalidPointId;
 
   void SerializeTo(BufferWriter* w) const {
-    w->PutDouble(delta);
+    w->PutDouble(delta_sq);
     w->PutVarint32(upslope);
   }
   static Status DeserializeFrom(BufferReader* r, DeltaCandidate* out) {
-    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta));
+    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_sq));
     return r->GetVarint32(&out->upslope);
   }
   bool operator==(const DeltaCandidate&) const = default;
 
-  /// True if this candidate beats `other` (smaller delta; ties by upslope id
-  /// for determinism).
+  /// True if this candidate beats `other` (smaller squared delta; ties by
+  /// upslope id for determinism).
   bool BetterThan(const DeltaCandidate& other) const {
-    if (delta != other.delta) return delta < other.delta;
+    if (delta_sq != other.delta_sq) return delta_sq < other.delta_sq;
     return upslope < other.upslope;
   }
 };

@@ -47,6 +47,18 @@ std::string JobCounters::ToString() const {
                   straggler_ratio);
     out += buf;
   }
+  if (!group_size_log2_histogram.empty()) {
+    out += " | group_sizes:";
+    for (size_t b = 0; b < group_size_log2_histogram.size(); ++b) {
+      if (group_size_log2_histogram[b] == 0) continue;
+      std::snprintf(
+          buf, sizeof(buf), " [%llu,%llu)=%llu",
+          static_cast<unsigned long long>(uint64_t{1} << b),
+          static_cast<unsigned long long>(uint64_t{1} << (b + 1)),
+          static_cast<unsigned long long>(group_size_log2_histogram[b]));
+      out += buf;
+    }
+  }
   return out;
 }
 

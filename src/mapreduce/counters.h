@@ -26,6 +26,11 @@ struct JobCounters {
   /// Largest single reduce partition's serialized input — the skew signal
   /// behind Fig. 12(a)'s small-M/large-pi slowdown.
   uint64_t max_partition_bytes = 0;
+  /// Histogram of reduce group sizes: bucket b counts groups with
+  /// floor(log2(size)) == b (bucket 0 = singleton groups). For the bucketed
+  /// DDP jobs this is the bucket/cell/block population skew picture behind
+  /// Fig. 12(a) — a heavy tail here means straggling quadratic kernels.
+  std::vector<uint64_t> group_size_log2_histogram;
   uint64_t map_task_retries = 0;     // failed-attempt retries (map side)
   uint64_t reduce_task_retries = 0;  // failed-attempt retries (reduce side)
   /// Backup attempts launched because a task ran past the speculative

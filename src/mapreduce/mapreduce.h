@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -725,6 +726,9 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     std::vector<Out> out;
     uint64_t groups = 0;
     uint64_t skipped = 0;
+    // log2-bucketed group-size histogram (bucket = floor(log2(size))); the
+    // per-key population skew picture, merged into the job counters.
+    std::vector<uint64_t> group_size_log2;
   };
   Stopwatch reduce_timer;
   internal::PhaseStats reduce_stats;
@@ -785,6 +789,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
           for (size_t k = i; k < j; ++k) values.push_back(pairs[k].second);
           spec.reduce(pairs[i].first, values, &out->out);
           ++out->groups;
+          const size_t bucket =
+              static_cast<size_t>(std::bit_width(j - i)) - 1;
+          if (out->group_size_log2.size() <= bucket) {
+            out->group_size_log2.resize(bucket + 1, 0);
+          }
+          ++out->group_size_log2[bucket];
           i = j;
         }
         return Status::OK();
@@ -797,6 +807,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   for (const ReduceOutput& ro : reduce_outputs) {
     counters.reduce_input_groups += ro.groups;
     counters.skipped_records += ro.skipped;
+    if (counters.group_size_log2_histogram.size() < ro.group_size_log2.size()) {
+      counters.group_size_log2_histogram.resize(ro.group_size_log2.size(), 0);
+    }
+    for (size_t b = 0; b < ro.group_size_log2.size(); ++b) {
+      counters.group_size_log2_histogram[b] += ro.group_size_log2[b];
+    }
   }
 
   // ---- Robustness accounting across both phases.

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/local_dp.h"
+#include "core/sequential_dp.h"
+#include "dataset/generators.h"
+#include "ddp/basic_ddp.h"
+#include "ddp/eddpc.h"
+#include "ddp/lsh_ddp.h"
+
+namespace ddp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr LocalDpBackend kAllBackends[] = {LocalDpBackend::kBruteForce,
+                                           LocalDpBackend::kKdTree,
+                                           LocalDpBackend::kTriangleFilter};
+
+mr::Options FastMr() {
+  mr::Options o;
+  o.num_workers = 2;
+  o.num_partitions = 8;
+  return o;
+}
+
+LocalDpEngine EngineWith(LocalDpBackend backend, size_t parallel_min = 4096) {
+  LocalDpEngineOptions options;
+  options.backend = backend;
+  options.parallel_min_group = parallel_min;
+  return LocalDpEngine(options);
+}
+
+// ------------------------------------------------- Backend name parsing
+
+TEST(LocalDpBackendTest, ParseRoundTrip) {
+  for (LocalDpBackend b : kAllBackends) {
+    auto parsed = ParseLocalDpBackend(LocalDpBackendName(b));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, b);
+  }
+  auto a = ParseLocalDpBackend("auto");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, LocalDpBackend::kAuto);
+  EXPECT_FALSE(ParseLocalDpBackend("quadtree").ok());
+}
+
+TEST(LocalDpBackendTest, AutoResolvesByGroupSizeAndDim) {
+  LocalDpEngine engine;  // defaults: kd >= 256 & dim <= 16, triangle >= 512
+  EXPECT_EQ(engine.Resolve(10, 2), LocalDpBackend::kBruteForce);
+  EXPECT_EQ(engine.Resolve(1000, 2), LocalDpBackend::kKdTree);
+  EXPECT_EQ(engine.Resolve(1000, 300), LocalDpBackend::kTriangleFilter);
+  EXPECT_EQ(engine.Resolve(300, 300), LocalDpBackend::kBruteForce);
+  LocalDpEngineOptions pinned;
+  pinned.backend = LocalDpBackend::kTriangleFilter;
+  EXPECT_EQ(LocalDpEngine(pinned).Resolve(10, 2),
+            LocalDpBackend::kTriangleFilter);
+}
+
+// --------------------------------------------- Cross-backend equivalence
+
+// Every backend (and the parallel path) must produce bit-identical rho,
+// delta, and upslope — the determinism contract all aggregation layers
+// rely on.
+TEST(LocalEngineEquivalenceTest, BackendsAgreeBitIdentically) {
+  CountingMetric metric;
+  for (size_t dim : {2u, 8u}) {
+    for (size_t n : {3u, 17u, 300u, 700u}) {
+      auto ds = gen::GaussianMixture(n, dim, 3, 20.0, 3.0, 17 + n + dim);
+      ASSERT_TRUE(ds.ok());
+      LocalPointView view = LocalPointView::AllOf(*ds);
+      const double dc = 2.5;
+      for (DensityKernel kernel :
+           {DensityKernel::kCutoff, DensityKernel::kGaussian}) {
+        std::vector<uint32_t> ref_rho =
+            EngineWith(LocalDpBackend::kBruteForce).Rho(view, dc, kernel,
+                                                        metric);
+        LocalDeltaScores ref_delta =
+            EngineWith(LocalDpBackend::kBruteForce).Delta(view, ref_rho,
+                                                          metric);
+        for (LocalDpBackend backend : kAllBackends) {
+          // Sequential and forced-parallel (parallel_min_group=2) paths.
+          for (size_t parallel_min : {4096u, 2u}) {
+            LocalDpEngine engine = EngineWith(backend, parallel_min);
+            std::vector<uint32_t> rho = engine.Rho(view, dc, kernel, metric);
+            EXPECT_EQ(rho, ref_rho)
+                << "rho mismatch: backend=" << LocalDpBackendName(backend)
+                << " n=" << n << " dim=" << dim
+                << " kernel=" << static_cast<int>(kernel)
+                << " parallel_min=" << parallel_min;
+            LocalDeltaScores d = engine.Delta(view, ref_rho, metric);
+            EXPECT_EQ(d.delta, ref_delta.delta);
+            EXPECT_EQ(d.delta_sq, ref_delta.delta_sq);
+            EXPECT_EQ(d.upslope, ref_delta.upslope)
+                << "delta mismatch: backend=" << LocalDpBackendName(backend)
+                << " n=" << n << " dim=" << dim
+                << " parallel_min=" << parallel_min;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The sequential oracle must give the same scores whichever backend is
+// selected through its options.
+TEST(LocalEngineEquivalenceTest, SequentialDpBackendsAgree) {
+  auto ds = gen::GaussianMixture(400, 3, 4, 25.0, 2.0, 41);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  auto ref = ComputeExactDp(*ds, 2.0, metric);
+  ASSERT_TRUE(ref.ok());
+  for (LocalDpBackend backend : kAllBackends) {
+    SequentialDpOptions options;
+    options.backend = backend;
+    auto scores = ComputeExactDp(*ds, 2.0, metric, options);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_EQ(scores->rho, ref->rho) << LocalDpBackendName(backend);
+    EXPECT_EQ(scores->delta, ref->delta) << LocalDpBackendName(backend);
+    EXPECT_EQ(scores->upslope, ref->upslope) << LocalDpBackendName(backend);
+  }
+}
+
+// LSH-DDP must produce identical scores under every backend, with and
+// without the SplitOversized sub-group path (the cap changes the scores, but
+// never the backend equivalence).
+TEST(LocalEngineEquivalenceTest, LshDdpBackendsAgreeWithAndWithoutSplit) {
+  auto ds = gen::GaussianMixture(600, 4, 2, 20.0, 4.0, 23);  // fat buckets
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  for (size_t cap : {0u, 40u}) {
+    DpScores ref;
+    for (size_t b = 0; b < std::size(kAllBackends); ++b) {
+      LshDdp::Params params;
+      params.max_bucket_size = cap;
+      params.local_backend = kAllBackends[b];
+      LshDdp algo(params);
+      auto scores = algo.ComputeScores(*ds, 2.0, metric, FastMr(), nullptr);
+      ASSERT_TRUE(scores.ok());
+      if (b == 0) {
+        ref = *std::move(scores);
+        continue;
+      }
+      EXPECT_EQ(scores->rho, ref.rho)
+          << "cap=" << cap << " " << LocalDpBackendName(kAllBackends[b]);
+      EXPECT_EQ(scores->delta, ref.delta)
+          << "cap=" << cap << " " << LocalDpBackendName(kAllBackends[b]);
+      EXPECT_EQ(scores->upslope, ref.upslope)
+          << "cap=" << cap << " " << LocalDpBackendName(kAllBackends[b]);
+    }
+  }
+}
+
+// Basic-DDP and EDDPC are exact: under every backend they must match the
+// sequential oracle bit-for-bit.
+TEST(LocalEngineEquivalenceTest, ExactAlgorithmsMatchOracleUnderAllBackends) {
+  auto ds = gen::GaussianMixture(350, 3, 3, 25.0, 2.5, 57);
+  ASSERT_TRUE(ds.ok());
+  CountingMetric metric;
+  const double dc = 2.0;
+  auto oracle = ComputeExactDp(*ds, dc, metric);
+  ASSERT_TRUE(oracle.ok());
+  for (LocalDpBackend backend : kAllBackends) {
+    BasicDdp::Params bparams;
+    bparams.block_size = 64;
+    bparams.local_backend = backend;
+    BasicDdp basic(bparams);
+    auto bscores = basic.ComputeScores(*ds, dc, metric, FastMr(), nullptr);
+    ASSERT_TRUE(bscores.ok());
+    EXPECT_EQ(bscores->rho, oracle->rho) << LocalDpBackendName(backend);
+    EXPECT_EQ(bscores->delta, oracle->delta) << LocalDpBackendName(backend);
+    EXPECT_EQ(bscores->upslope, oracle->upslope) << LocalDpBackendName(backend);
+
+    Eddpc::Params eparams;
+    eparams.local_backend = backend;
+    Eddpc eddpc(eparams);
+    auto escores = eddpc.ComputeScores(*ds, dc, metric, FastMr(), nullptr);
+    ASSERT_TRUE(escores.ok());
+    EXPECT_EQ(escores->rho, oracle->rho) << LocalDpBackendName(backend);
+    EXPECT_EQ(escores->delta, oracle->delta) << LocalDpBackendName(backend);
+    EXPECT_EQ(escores->upslope, oracle->upslope) << LocalDpBackendName(backend);
+  }
+}
+
+// ------------------------------------------------------------ Edge cases
+
+TEST(LocalEngineEdgeTest, SinglePointGroup) {
+  Dataset ds(2);
+  ds.Add(std::vector<double>{1.0, 2.0});
+  CountingMetric metric;
+  for (LocalDpBackend backend : kAllBackends) {
+    LocalDpEngine engine = EngineWith(backend);
+    LocalPointView view = LocalPointView::AllOf(ds);
+    std::vector<uint32_t> rho =
+        engine.Rho(view, 1.0, DensityKernel::kCutoff, metric);
+    ASSERT_EQ(rho.size(), 1u);
+    EXPECT_EQ(rho[0], 0u);
+    LocalDeltaScores d = engine.Delta(view, rho, metric);
+    EXPECT_EQ(d.delta[0], kInf);
+    EXPECT_EQ(d.delta_sq[0], kInf);
+    EXPECT_EQ(d.upslope[0], kInvalidPointId);
+  }
+}
+
+TEST(LocalEngineEdgeTest, AllCoincidentPoints) {
+  const size_t n = 300;  // above kd_min_group so every backend really runs
+  Dataset ds(3);
+  for (size_t i = 0; i < n; ++i) ds.Add(std::vector<double>{4.0, 5.0, 6.0});
+  CountingMetric metric;
+  for (LocalDpBackend backend : kAllBackends) {
+    LocalDpEngine engine = EngineWith(backend);
+    LocalPointView view = LocalPointView::AllOf(ds);
+    std::vector<uint32_t> rho =
+        engine.Rho(view, 0.5, DensityKernel::kCutoff, metric);
+    ASSERT_EQ(rho.size(), n);
+    for (uint32_t r : rho) EXPECT_EQ(r, n - 1);
+    // Equal rho everywhere: density order is by ascending id, so point 0 is
+    // the local peak and everyone else sits at distance 0 from the smallest
+    // denser id.
+    LocalDeltaScores d = engine.Delta(view, rho, metric);
+    EXPECT_EQ(d.delta[0], kInf);
+    EXPECT_EQ(d.upslope[0], kInvalidPointId);
+    for (size_t i = 1; i < n; ++i) {
+      EXPECT_EQ(d.delta[i], 0.0) << LocalDpBackendName(backend) << " " << i;
+      EXPECT_EQ(d.delta_sq[i], 0.0);
+      EXPECT_EQ(d.upslope[i], 0u) << LocalDpBackendName(backend) << " " << i;
+    }
+  }
+}
+
+TEST(LocalEngineEdgeTest, SubsetViewUsesGlobalIds) {
+  auto ds = gen::GaussianMixture(50, 2, 2, 10.0, 2.0, 7);
+  ASSERT_TRUE(ds.ok());
+  std::vector<PointId> ids;
+  for (PointId i = 5; i < 25; ++i) ids.push_back(i);
+  CountingMetric metric;
+  LocalPointView view = LocalPointView::SubsetOf(*ds, ids);
+  ASSERT_EQ(view.size(), ids.size());
+  std::vector<uint32_t> rho =
+      LocalDpEngine().Rho(view, 2.0, DensityKernel::kCutoff, metric);
+  LocalDeltaScores d = LocalDpEngine().Delta(view, rho, metric);
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (d.upslope[k] == kInvalidPointId) continue;
+    // Upslopes are global point ids drawn from the subset.
+    EXPECT_GE(d.upslope[k], 5u);
+    EXPECT_LT(d.upslope[k], 25u);
+    EXPECT_NE(d.upslope[k], ids[k]);
+  }
+}
+
+}  // namespace
+}  // namespace ddp

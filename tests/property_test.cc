@@ -267,9 +267,9 @@ TEST_P(SerdeFuzzTest, RandomRecordsRoundTrip) {
     scored.coords = rng.GaussianVector(rng.UniformInt(20));
     // Random DeltaCandidate (sometimes infinite).
     ddprec::DeltaCandidate cand;
-    cand.delta = rng.Uniform() < 0.1
-                     ? std::numeric_limits<double>::infinity()
-                     : rng.Uniform(0.0, 1e9);
+    cand.delta_sq = rng.Uniform() < 0.1
+                        ? std::numeric_limits<double>::infinity()
+                        : rng.Uniform(0.0, 1e9);
     cand.upslope = rng.Uniform() < 0.1
                        ? kInvalidPointId
                        : static_cast<PointId>(rng.UniformInt(1u << 31));

@@ -15,6 +15,9 @@
 //   --dc D                       explicit cutoff (default: sampled 2%)
 //   --percentile P               cutoff percentile (default 0.02)
 //   --kernel cutoff|gaussian     density kernel (lsh/seq only)
+//   --local-backend B            local rho/delta kernel backend:
+//                                auto|brute|kdtree|triangle (default auto;
+//                                bit-identical results, different cost)
 //   --block N                    Basic-DDP block size (default 500)
 //   --halo                       flag halo/border points (extra column)
 //   --internal-metrics           print silhouette / Davies-Bouldin / SSE
@@ -58,6 +61,7 @@ int Usage() {
       "  ddp_cli cluster <in> [--algo lsh|basic|eddpc|seq] [--k N]\n"
       "          [--rho X --delta Y] [--accuracy A] [--m M] [--pi P]\n"
       "          [--dc D] [--percentile P] [--kernel cutoff|gaussian]\n"
+      "          [--local-backend auto|brute|kdtree|triangle]\n"
       "          [--block N] [--halo] [--graph FILE] [--out FILE]\n");
   return 2;
 }
@@ -220,6 +224,13 @@ int CmdCluster(const Args& args) {
   DensityKernel kernel = DensityKernel::kCutoff;
   if (args.Get("kernel") == "gaussian") kernel = DensityKernel::kGaussian;
 
+  auto backend = ParseLocalDpBackend(args.Get("local-backend", "auto"));
+  if (!backend.ok()) {
+    std::fprintf(stderr, "bad --local-backend: %s\n",
+                 backend.status().ToString().c_str());
+    return 2;
+  }
+
   const std::string algo_name = args.Get("algo", "lsh");
   LshDdp::Params lsh_params;
   lsh_params.accuracy = args.GetDouble("accuracy", 0.99);
@@ -227,11 +238,15 @@ int CmdCluster(const Args& args) {
   lsh_params.lsh.pi = args.GetSize("pi", 3);
   lsh_params.probes = args.GetSize("probes", 0);
   lsh_params.kernel = kernel;
+  lsh_params.local_backend = *backend;
   LshDdp lsh_algo(lsh_params);
   BasicDdp::Params basic_params;
   basic_params.block_size = args.GetSize("block", 500);
+  basic_params.local_backend = *backend;
   BasicDdp basic_algo(basic_params);
-  Eddpc eddpc_algo;
+  Eddpc::Params eddpc_params;
+  eddpc_params.local_backend = *backend;
+  Eddpc eddpc_algo(eddpc_params);
 
   Result<DdpRunResult> run = Status::InvalidArgument("unknown algo " +
                                                      algo_name);
@@ -253,6 +268,7 @@ int CmdCluster(const Args& args) {
     }
     SequentialDpOptions seq_opts;
     seq_opts.kernel = kernel;
+    seq_opts.backend = *backend;
     auto scores = ComputeExactDp(*ds, dc, metric, seq_opts);
     if (!scores.ok()) {
       std::fprintf(stderr, "dp failed: %s\n",
