@@ -44,6 +44,58 @@ int Main() {
               bench::HumanBytes(lsh_cost.shuffle_bytes).c_str(),
               bench::HumanCount(lsh_cost.distance_evaluations).c_str());
 
+  // Out-of-core configuration: the same LSH-DDP run under a memory budget
+  // small enough that every map task spills, so the whole pipeline goes
+  // through sorted-run spill files and the streaming k-way merge. Emitted as
+  // BENCH_oocore.json so the perf trajectory of the spill path is machine
+  // trackable.
+  {
+    mr::Options oocore;
+    oocore.memory_budget_bytes = 64 << 10;
+    bench::CostReport oo_cost = bench::MeasureScores(&lsh, ds, dc, oocore);
+    double points_per_sec =
+        oo_cost.seconds > 0.0
+            ? static_cast<double>(ds.size()) / oo_cost.seconds
+            : 0.0;
+    uint64_t peak_rss = bench::PeakRssBytes();
+    std::printf(
+        "LSH-DDP out-of-core (%s budget): %.2f s (%.2fx in-memory),\n"
+        "  %s spilled across %llu files, %llu merge passes, peak RSS %s\n",
+        bench::HumanBytes(oocore.memory_budget_bytes).c_str(), oo_cost.seconds,
+        lsh_cost.seconds > 0.0 ? oo_cost.seconds / lsh_cost.seconds : 0.0,
+        bench::HumanBytes(oo_cost.spilled_bytes).c_str(),
+        static_cast<unsigned long long>(oo_cost.spill_files),
+        static_cast<unsigned long long>(oo_cost.merge_passes),
+        bench::HumanBytes(peak_rss).c_str());
+    std::FILE* json = std::fopen("BENCH_oocore.json", "w");
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "{\n"
+          "  \"bench\": \"lsh_ddp_out_of_core\",\n"
+          "  \"points\": %zu,\n"
+          "  \"dims\": %zu,\n"
+          "  \"memory_budget_bytes\": %llu,\n"
+          "  \"seconds\": %.6f,\n"
+          "  \"points_per_sec\": %.2f,\n"
+          "  \"in_memory_seconds\": %.6f,\n"
+          "  \"spilled_bytes\": %llu,\n"
+          "  \"spill_files\": %llu,\n"
+          "  \"merge_passes\": %llu,\n"
+          "  \"peak_rss_bytes\": %llu\n"
+          "}\n",
+          ds.size(), ds.dim(),
+          static_cast<unsigned long long>(oocore.memory_budget_bytes),
+          oo_cost.seconds, points_per_sec, lsh_cost.seconds,
+          static_cast<unsigned long long>(oo_cost.spilled_bytes),
+          static_cast<unsigned long long>(oo_cost.spill_files),
+          static_cast<unsigned long long>(oo_cost.merge_passes),
+          static_cast<unsigned long long>(peak_rss));
+      std::fclose(json);
+      std::printf("  wrote BENCH_oocore.json\n");
+    }
+  }
+
   // Basic-DDP on a calibration subset, projected quadratically to full N.
   const size_t calib_n = std::min<size_t>(ds.size(), 4000);
   std::vector<PointId> calib_ids(calib_n);

@@ -33,11 +33,15 @@ inline size_t Scaled(size_t n) {
   return static_cast<size_t>(static_cast<double>(n) * ScaleFromEnv());
 }
 
-/// One algorithm run's cost triple (the paper's three evaluation axes).
+/// One algorithm run's cost triple (the paper's three evaluation axes),
+/// plus the out-of-core counters when a memory budget is set.
 struct CostReport {
   double seconds = 0.0;
   uint64_t shuffle_bytes = 0;
   uint64_t distance_evaluations = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t merge_passes = 0;
 };
 
 /// Runs `algorithm` on `dataset` with a fixed d_c and returns costs.
@@ -56,6 +60,9 @@ inline CostReport MeasureScores(DistributedDpAlgorithm* algorithm,
   report.seconds = timer.ElapsedSeconds();
   report.shuffle_bytes = stats.TotalShuffleBytes();
   report.distance_evaluations = counter.value();
+  report.spilled_bytes = stats.TotalSpilledBytes();
+  report.spill_files = stats.TotalSpillFiles();
+  report.merge_passes = stats.TotalMergePasses();
   if (scores_out != nullptr) *scores_out = std::move(scores).value();
   return report;
 }
@@ -95,6 +102,24 @@ inline std::string HumanCount(uint64_t count) {
                   static_cast<unsigned long long>(count));
   }
   return buf;
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where procfs is unavailable.
+inline uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long v = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &v) == 1) {
+      kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
 }
 
 /// Prints a figure/table banner.

@@ -248,6 +248,12 @@ struct Serde<std::pair<A, B>> {
   }
 };
 
+/// Incremental CRC32 (polynomial 0xEDB88320, the zlib/IEEE one). Pass the
+/// previous return value as `crc` to checksum data in chunks; start at 0.
+/// Used by the spill files of the out-of-core shuffle and by DDPB v2 dataset
+/// files to catch on-disk corruption.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
 /// Convenience: serialized byte size of one value.
 template <typename T>
 size_t SerializedSize(const T& v) {

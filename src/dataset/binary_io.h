@@ -1,6 +1,7 @@
 #ifndef DDP_DATASET_BINARY_IO_H_
 #define DDP_DATASET_BINARY_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -11,23 +12,42 @@
 /// dominates load time. Layout (little endian):
 ///
 ///   magic   "DDPB" (4 bytes)
-///   version u32 varint (currently 1)
+///   version u32 varint (1 or 2)
 ///   dim     u64 varint
 ///   n       u64 varint
 ///   labeled u8 (0 / 1)
 ///   values  n * dim raw doubles
 ///   labels  n zig-zag varints (present iff labeled)
+///   crc32   u32 little endian over all preceding bytes (version >= 2)
+///
+/// Writers emit version 2; readers accept both, verifying the CRC trailer
+/// when present so on-disk corruption fails loudly instead of producing a
+/// silently wrong clustering input.
 
 namespace ddp {
 
-/// Serializes a dataset into the binary format.
+/// Header fields of a DDPB file, readable without loading the point data.
+/// This is what sharded readers use to validate shard consistency.
+struct BinaryFileInfo {
+  uint32_t version = 0;
+  uint64_t dim = 0;
+  uint64_t num_points = 0;
+  bool has_labels = false;
+};
+
+/// Serializes a dataset into the binary format (version 2, CRC-trailed).
 std::string SerializeDataset(const Dataset& dataset);
 
-/// Parses the binary format; validates magic, version, and sizes.
+/// Parses the binary format; validates magic, version, sizes, and (v2) the
+/// CRC32 trailer.
 Result<Dataset> DeserializeDataset(const std::string& bytes);
 
 Status WriteBinaryFile(const std::string& path, const Dataset& dataset);
 Result<Dataset> ReadBinaryFile(const std::string& path);
+
+/// Reads just the DDPB header of `path` — a few dozen bytes, never the
+/// points — so shard metadata scans stay O(files), not O(data).
+Result<BinaryFileInfo> PeekBinaryFileInfo(const std::string& path);
 
 }  // namespace ddp
 

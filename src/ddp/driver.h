@@ -62,6 +62,11 @@ struct PeakSelector {
 };
 
 struct DdpOptions {
+  /// Runtime options applied to every MapReduce job the driver launches.
+  /// This includes out-of-core execution: setting `mr.memory_budget_bytes`
+  /// (and optionally `mr.spill_dir`) makes every job of every algorithm —
+  /// preprocessing, scores, assignment — spill and merge-stream through
+  /// disk, with output bit-identical to the in-memory run.
   mr::Options mr;
   /// When non-empty, the driver persists every MapReduce job's output under
   /// this directory and resumes from the last completed job on re-run (see

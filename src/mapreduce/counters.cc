@@ -40,6 +40,16 @@ std::string JobCounters::ToString() const {
                   static_cast<unsigned long long>(task_exceptions));
     out += buf;
   }
+  if (spilled_bytes + spill_files + merge_passes > 0 || spill_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | spilled_bytes=%llu spill_files=%llu merge_passes=%llu "
+                  "spill=%.3fs",
+                  static_cast<unsigned long long>(spilled_bytes),
+                  static_cast<unsigned long long>(spill_files),
+                  static_cast<unsigned long long>(merge_passes),
+                  spill_seconds);
+    out += buf;
+  }
   if (straggler_ratio > 0.0) {
     std::snprintf(buf, sizeof(buf),
                   " | attempts: median=%.4fs p99=%.4fs slowest/median=%.2f",
@@ -124,6 +134,24 @@ uint64_t RunStats::TotalTaskExceptions() const {
   return total;
 }
 
+uint64_t RunStats::TotalSpilledBytes() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.spilled_bytes;
+  return total;
+}
+
+uint64_t RunStats::TotalSpillFiles() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.spill_files;
+  return total;
+}
+
+uint64_t RunStats::TotalMergePasses() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.merge_passes;
+  return total;
+}
+
 uint64_t RunStats::JobsLoadedFromCheckpoint() const {
   uint64_t total = 0;
   for (const JobCounters& j : jobs) total += j.loaded_from_checkpoint ? 1 : 0;
@@ -143,6 +171,14 @@ std::string RunStats::ToString() const {
                 static_cast<unsigned long long>(TotalShuffleRecords()),
                 TotalSeconds());
   out += buf;
+  if (TotalSpilledBytes() + TotalSpillFiles() + TotalMergePasses() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " spilled=%llu B (%llu files, %llu merges)",
+                  static_cast<unsigned long long>(TotalSpilledBytes()),
+                  static_cast<unsigned long long>(TotalSpillFiles()),
+                  static_cast<unsigned long long>(TotalMergePasses()));
+    out += buf;
+  }
   return out;
 }
 

@@ -26,6 +26,20 @@ struct JobCounters {
   /// Largest single reduce partition's serialized input — the skew signal
   /// behind Fig. 12(a)'s small-M/large-pi slowdown.
   uint64_t max_partition_bytes = 0;
+  /// Out-of-core execution (Options::memory_budget_bytes > 0): bytes of
+  /// sorted runs written to spill files (frame headers + CRC trailers
+  /// included — real disk traffic), spill files created, reduce partitions
+  /// whose merge consumed at least one spilled run (one streaming pass
+  /// each), and map-side wall time spent sorting + writing spills.
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t merge_passes = 0;
+  double spill_seconds = 0.0;
+  /// Shuffle-concat accounting: bytes a partition stole from its single
+  /// non-empty source buffer (move) vs bytes concatenated from several
+  /// sources (copy). Zero on the spill path, which never concatenates.
+  uint64_t shuffle_moved_bytes = 0;
+  uint64_t shuffle_copied_bytes = 0;
   /// Histogram of reduce group sizes: bucket b counts groups with
   /// floor(log2(size)) == b (bucket 0 = singleton groups). For the bucketed
   /// DDP jobs this is the bucket/cell/block population skew picture behind
@@ -85,6 +99,9 @@ struct RunStats {
   uint64_t TotalDeadlineKills() const;
   uint64_t TotalSkippedRecords() const;
   uint64_t TotalTaskExceptions() const;
+  uint64_t TotalSpilledBytes() const;
+  uint64_t TotalSpillFiles() const;
+  uint64_t TotalMergePasses() const;
   /// Jobs whose output came from a checkpoint rather than execution.
   uint64_t JobsLoadedFromCheckpoint() const;
 

@@ -25,6 +25,7 @@
 #include "common/thread_pool.h"
 #include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/spill.h"
 
 /// \file mapreduce.h
 /// A typed, in-process MapReduce runtime. This is the paper's execution
@@ -51,6 +52,12 @@
 ///    (`Options::skip_bad_records`), user-exception capture, and job-boundary
 ///    checkpoint/resume (`Options::checkpoint`). Tasks are pure functions of
 ///    their input split, so every recovery path yields bit-identical output.
+///  * Out-of-core execution (`Options::memory_budget_bytes`, spill.h): map
+///    tasks spill sorted, CRC-trailed runs to `Options::spill_dir` when their
+///    buffered intermediate bytes exceed the budget, and reduce streams a
+///    k-way merge over those runs instead of materializing the partition —
+///    Hadoop's spill/merge pipeline. Output is bit-identical to the
+///    in-memory path at every budget.
 ///
 /// Type requirements:
 ///  * `MidK`: Serde<MidK>, `KeyTraits<MidK>::Hash`, operator== and
@@ -178,6 +185,19 @@ struct Options {
   /// (re-running them on resume is correct, just not free).
   CheckpointStore* checkpoint = nullptr;
 
+  /// Out-of-core execution. When > 0, a map task whose buffered intermediate
+  /// payload bytes reach this budget key-sorts its in-memory segment and
+  /// spills it to `spill_dir` as CRC-trailed sorted runs (one per non-empty
+  /// partition); the reduce side then streams a k-way merge over each
+  /// partition's runs plus the in-memory tails instead of decoding and
+  /// sorting the whole partition. 0 keeps the all-in-memory path. Output is
+  /// bit-identical either way (see spill.h for the determinism contract).
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill files; empty means "<system temp>/ddp-spill".
+  /// Files are created with process-unique names and removed when the job's
+  /// intermediate state is dropped, so concurrent jobs can share it.
+  std::string spill_dir;
+
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
   }
@@ -267,6 +287,30 @@ class PartitionedEmitter : public Emitter<MidK, MidV> {
   std::vector<uint64_t> payload_bytes_;
   std::string scratch_;
   uint64_t records_ = 0;
+};
+
+/// Map-side emitter for the out-of-core path: forwards every pair into a
+/// memory-budgeted SpillingBuffer (spill.h), which sorts and flushes runs to
+/// disk whenever the budget is hit. Spill I/O errors are deferred and
+/// surfaced by Finish(), keeping the Emitter interface non-failing.
+template <typename MidK, typename MidV>
+class SpillingEmitter : public Emitter<MidK, MidV> {
+ public:
+  SpillingEmitter(size_t num_partitions, uint64_t budget_bytes,
+                  std::string spill_dir, std::string file_prefix)
+      : buffer_(num_partitions, budget_bytes, std::move(spill_dir),
+                std::move(file_prefix)) {}
+
+  void Emit(const MidK& key, const MidV& value) override {
+    buffer_.Add(key, value);
+  }
+
+  void AppendPoisonFrame(size_t p) { buffer_.AddPoisonFrame(p); }
+
+  SpillingBuffer<MidK, MidV, KeyTraits<MidK>>& buffer() { return buffer_; }
+
+ private:
+  SpillingBuffer<MidK, MidV, KeyTraits<MidK>> buffer_;
 };
 
 /// Map-side emitter that holds pairs in memory for combining.
@@ -622,12 +666,22 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   ThreadPool pool(workers);
 
   // ---- Map phase: split input into tasks, emit into per-partition buffers.
+  // With a memory budget, `buffers` holds only the sorted in-memory tails
+  // and `runs` references the sorted runs spilled to disk; the RAII file
+  // handles inside the runs unlink the spill files when map_outputs dies.
   struct MapOutput {
     std::vector<std::string> buffers;
     std::vector<uint64_t> payload_bytes;
+    std::vector<SpillRun> runs;
     uint64_t records = 0;
     uint64_t combine_in = 0;
+    uint64_t spilled_bytes = 0;
+    uint64_t spill_files = 0;
+    double spill_seconds = 0.0;
   };
+  const bool spilling = options.memory_budget_bytes > 0;
+  const std::string spill_dir =
+      spilling ? internal::ResolveSpillDir(options.spill_dir) : std::string();
   Stopwatch map_timer;
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
@@ -643,8 +697,18 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         const size_t end = std::min(input.size(), begin + chunk);
         // A failed attempt's partial output is discarded, exactly like a
         // lost Hadoop task: the emitter is attempt-local and only committed
-        // by the scheduler on success.
+        // by the scheduler on success. Spill files are attempt-local too —
+        // names carry a process-unique id, and a failed or abandoned
+        // attempt's RAII handles unlink its files on the way out.
         internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
+        std::unique_ptr<internal::SpillingEmitter<MidK, MidV>> spiller;
+        Emitter<MidK, MidV>* sink = &emitter;
+        if (spilling) {
+          spiller = std::make_unique<internal::SpillingEmitter<MidK, MidV>>(
+              num_partitions, options.memory_budget_bytes, spill_dir,
+              spec.name + "-m" + std::to_string(t));
+          sink = spiller.get();
+        }
         if (spec.combiner) {
           internal::CombiningEmitter<MidK, MidV> combining;
           for (size_t i = begin; i < end; ++i) {
@@ -654,13 +718,13 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
             spec.map(input[i], &combining);
           }
           out->combine_in = combining.records();
-          combining.Flush(spec.combiner, &emitter);
+          combining.Flush(spec.combiner, sink);
         } else {
           for (size_t i = begin; i < end; ++i) {
             if (((i - begin) & 1023u) == 0 && cancel->cancelled()) {
               return Status::Cancelled("map attempt abandoned");
             }
-            spec.map(input[i], &emitter);
+            spec.map(input[i], sink);
           }
         }
         if (options.faults.corruption_rate > 0.0) {
@@ -670,13 +734,29 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
             if (internal::ShouldInjectFailure(
                     options.faults, options.faults.corruption_rate, spec.name,
                     /*phase=*/2, t, p)) {
-              emitter.AppendPoisonFrame(p);
+              if (spiller != nullptr) {
+                spiller->AppendPoisonFrame(p);
+              } else {
+                emitter.AppendPoisonFrame(p);
+              }
             }
           }
         }
-        out->records = emitter.records();
-        out->payload_bytes = emitter.payload_bytes();
-        out->buffers = std::move(emitter.buffers());
+        if (spiller != nullptr) {
+          auto& buffer = spiller->buffer();
+          DDP_RETURN_NOT_OK(buffer.Finish());
+          out->records = buffer.records();
+          out->payload_bytes = buffer.payload_bytes();
+          out->buffers = std::move(buffer.tails());
+          out->runs = std::move(buffer.runs());
+          out->spilled_bytes = buffer.spilled_bytes();
+          out->spill_files = buffer.spill_files();
+          out->spill_seconds = buffer.spill_seconds();
+        } else {
+          out->records = emitter.records();
+          out->payload_bytes = emitter.payload_bytes();
+          out->buffers = std::move(emitter.buffers());
+        }
         return Status::OK();
       });
   if (!map_status.ok()) return map_status;
@@ -684,34 +764,59 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   for (const MapOutput& mo : map_outputs) {
     counters.map_output_records += mo.records;
     counters.combine_input_records += mo.combine_in;
+    counters.spilled_bytes += mo.spilled_bytes;
+    counters.spill_files += mo.spill_files;
+    counters.spill_seconds += mo.spill_seconds;
   }
   counters.map_task_retries = map_stats.retries;
 
-  // ---- Shuffle: concatenate task buffers per partition. Byte counters
-  // report payload (key/value encodings), excluding frame headers and
-  // injected poison, so they stay comparable to the paper's figures.
+  // ---- Shuffle. Byte counters report payload (key/value encodings),
+  // excluding frame headers and injected poison, so they stay comparable to
+  // the paper's figures. On the in-memory path, task buffers are
+  // concatenated per partition; a partition with a single non-empty source
+  // steals that buffer instead of copying it. On the spill path there is
+  // nothing to concatenate: reduce merge-streams straight out of the map
+  // outputs' runs and tails.
   Stopwatch shuffle_timer;
-  std::vector<std::string> partitions(num_partitions);
+  std::vector<std::string> partitions(spilling ? 0 : num_partitions);
   {
-    std::vector<size_t> raw_sizes(num_partitions, 0);
     std::vector<uint64_t> payload_sizes(num_partitions, 0);
     for (const MapOutput& mo : map_outputs) {
       for (size_t p = 0; p < num_partitions; ++p) {
-        raw_sizes[p] += mo.buffers[p].size();
         payload_sizes[p] += mo.payload_bytes[p];
       }
     }
     for (size_t p = 0; p < num_partitions; ++p) {
-      partitions[p].reserve(raw_sizes[p]);
       counters.shuffle_bytes += payload_sizes[p];
       counters.max_partition_bytes =
           std::max<uint64_t>(counters.max_partition_bytes, payload_sizes[p]);
     }
-    for (MapOutput& mo : map_outputs) {
+    if (!spilling) {
       for (size_t p = 0; p < num_partitions; ++p) {
-        partitions[p] += mo.buffers[p];
-        mo.buffers[p].clear();
-        mo.buffers[p].shrink_to_fit();
+        size_t sources = 0;
+        size_t raw = 0;
+        std::string* only = nullptr;
+        for (MapOutput& mo : map_outputs) {
+          if (!mo.buffers[p].empty()) {
+            ++sources;
+            raw += mo.buffers[p].size();
+            only = &mo.buffers[p];
+          }
+        }
+        if (sources == 1) {
+          counters.shuffle_moved_bytes += raw;
+          partitions[p] = std::move(*only);
+        } else if (sources > 1) {
+          counters.shuffle_copied_bytes += raw;
+          partitions[p].reserve(raw);
+          for (const MapOutput& mo : map_outputs) {
+            partitions[p] += mo.buffers[p];
+          }
+        }
+        for (MapOutput& mo : map_outputs) {
+          mo.buffers[p].clear();
+          mo.buffers[p].shrink_to_fit();
+        }
       }
     }
   }
@@ -726,6 +831,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     std::vector<Out> out;
     uint64_t groups = 0;
     uint64_t skipped = 0;
+    uint64_t merge_passes = 0;
     // log2-bucketed group-size histogram (bucket = floor(log2(size))); the
     // per-key population skew picture, merged into the job counters.
     std::vector<uint64_t> group_size_log2;
@@ -738,6 +844,57 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
       &pool, num_partitions, /*phase=*/1, spec.name, options,
       options.faults.reduce_failure_rate, &reduce_stats, &reduce_outputs,
       [&](size_t p, CancelToken* cancel, ReduceOutput* out) -> Status {
+        if (spilling) {
+          // Out-of-core path: stream a k-way merge over this partition's
+          // sorted runs and in-memory tails, in (map task id, spill index,
+          // tail) source order so key ties reproduce the stable-sorted
+          // (map task id, emission index) order of the in-memory path.
+          // map_outputs is read-only here, so concurrent reduce attempts
+          // (retries, speculation) can share it safely.
+          std::vector<std::unique_ptr<FrameStream>> sources;
+          bool any_run = false;
+          for (const MapOutput& mo : map_outputs) {
+            for (const SpillRun& run : mo.runs) {
+              if (run.partition == p) {
+                sources.push_back(std::make_unique<SpillSegmentReader>(
+                    run.file, run.offset, run.length));
+                any_run = true;
+              }
+            }
+            if (!mo.buffers[p].empty()) {
+              sources.push_back(
+                  std::make_unique<MemoryFrameReader>(mo.buffers[p]));
+            }
+          }
+          internal::MergingGroupReader<MidK, MidV, KeyTraits<MidK>> merger(
+              std::move(sources), skip_bad, cancel);
+          Status st = merger.Init();
+          MidK key;
+          std::vector<MidV> values;
+          while (st.ok()) {
+            bool has = false;
+            st = merger.NextGroup(&key, &values, &has);
+            if (!st.ok() || !has) break;
+            spec.reduce(key, values, &out->out);
+            ++out->groups;
+            const size_t bucket =
+                static_cast<size_t>(std::bit_width(values.size())) - 1;
+            if (out->group_size_log2.size() <= bucket) {
+              out->group_size_log2.resize(bucket + 1, 0);
+            }
+            ++out->group_size_log2[bucket];
+          }
+          if (!st.ok()) {
+            if (st.IsCancelled()) return st;
+            return Status::IoError("reduce partition " + std::to_string(p) +
+                                   ": " + st.message());
+          }
+          out->skipped = merger.skipped();
+          // One streaming pass merges every run of this partition; counted
+          // only when a spilled run actually fed the merge.
+          out->merge_passes = any_run ? 1 : 0;
+          return Status::OK();
+        }
         BufferReader reader(partitions[p]);
         std::vector<std::pair<MidK, MidV>> pairs;
         size_t frame = 0;
@@ -802,11 +959,17 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   if (!reduce_status.ok()) return reduce_status;
   partitions.clear();
   partitions.shrink_to_fit();
+  // Dropping the map outputs releases the spill-run handles: the last
+  // reference to each spill file unlinks it, so the spill dir is empty again
+  // once the job's reduce phase is done.
+  map_outputs.clear();
+  map_outputs.shrink_to_fit();
   counters.reduce_seconds = reduce_timer.ElapsedSeconds();
   counters.reduce_task_retries = reduce_stats.retries;
   for (const ReduceOutput& ro : reduce_outputs) {
     counters.reduce_input_groups += ro.groups;
     counters.skipped_records += ro.skipped;
+    counters.merge_passes += ro.merge_passes;
     if (counters.group_size_log2_histogram.size() < ro.group_size_log2.size()) {
       counters.group_size_log2_histogram.resize(ro.group_size_log2.size(), 0);
     }

@@ -6,11 +6,13 @@
 #include <set>
 #include <string>
 
+#include "common/serde.h"
 #include "dataset/binary_io.h"
 #include "dataset/csv.h"
 #include "dataset/dataset.h"
 #include "dataset/distance.h"
 #include "dataset/generators.h"
+#include "dataset/sharded_io.h"
 
 namespace ddp {
 namespace {
@@ -234,6 +236,136 @@ TEST(BinaryIoTest, FileRoundTripMatchesGenerator) {
 
 TEST(BinaryIoTest, MissingFileIsIoError) {
   EXPECT_TRUE(ReadBinaryFile("/nonexistent/x.ddpb").status().IsIoError());
+}
+
+TEST(BinaryIoTest, ChecksumCatchesFlippedBit) {
+  Dataset ds(2);
+  ds.Add(std::vector<double>{1.0, 2.0}, 3);
+  ds.Add(std::vector<double>{4.0, 5.0}, 6);
+  std::string bytes = SerializeDataset(ds);
+  ASSERT_TRUE(DeserializeDataset(bytes).ok());
+  // Flip one bit in the value block: a corruption v1 would load silently.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x20;
+  Status st = DeserializeDataset(corrupt).status();
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(BinaryIoTest, StillReadsVersion1Files) {
+  // Hand-crafted v1 image (no CRC trailer), as PR-seed-era writers emitted.
+  BufferWriter w;
+  w.PutRaw("DDPB", 4);
+  w.PutVarint32(1);  // version
+  w.PutVarint64(2);  // dim
+  w.PutVarint64(1);  // n
+  w.PutByte(1);      // labeled
+  w.PutDouble(1.5);
+  w.PutDouble(-2.5);
+  w.PutSignedVarint64(-7);
+  auto loaded = DeserializeDataset(w.data());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->point(0)[0], 1.5);
+  EXPECT_EQ(loaded->point(0)[1], -2.5);
+  EXPECT_EQ(loaded->label(0), -7);
+}
+
+TEST(BinaryIoTest, PeekReadsHeaderOnly) {
+  auto ds = gen::KddLike(3, 200);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "ddp_peek_test.ddpb").string();
+  ASSERT_TRUE(WriteBinaryFile(path, *ds).ok());
+  auto info = PeekBinaryFileInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_EQ(info->dim, ds->dim());
+  EXPECT_EQ(info->num_points, ds->size());
+  EXPECT_EQ(info->has_labels, ds->has_labels());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- Sharded IO
+
+class ShardedIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "ddp_sharded_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ShardedIoTest, WriteReadRoundTripPreservesGlobalOrder) {
+  auto ds = gen::KddLike(11, 257);  // deliberately not a multiple of 50
+  ASSERT_TRUE(ds.ok());
+  auto paths = WriteShardedDataset(dir_ + "/kdd", *ds, 50);
+  ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+  EXPECT_EQ(paths->size(), 6u);  // 5 full shards + 7-point remainder
+
+  auto reader = ShardedDatasetReader::OpenDirectory(dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->dim(), ds->dim());
+  EXPECT_EQ(reader->total_points(), ds->size());
+  EXPECT_EQ(reader->num_shards(), 6u);
+  EXPECT_TRUE(reader->has_labels());
+
+  // ReadAll reproduces the unsharded dataset exactly, ids included.
+  auto all = reader->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->values(), ds->values());
+  EXPECT_EQ(all->labels(), ds->labels());
+
+  // Streaming visits points in global id order with correct bases.
+  uint64_t expect_base = 0;
+  Status st = reader->ForEachShard(
+      [&](const Dataset& shard, uint64_t base) -> Status {
+        EXPECT_EQ(base, expect_base);
+        for (PointId i = 0; i < shard.size(); ++i) {
+          EXPECT_EQ(shard.point(i)[0], ds->point(base + i)[0]);
+        }
+        expect_base += shard.size();
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(expect_base, ds->size());
+}
+
+TEST_F(ShardedIoTest, RefusesDimensionMismatch) {
+  Dataset two(2);
+  two.Add(std::vector<double>{1.0, 2.0});
+  Dataset three(3);
+  three.Add(std::vector<double>{1.0, 2.0, 3.0});
+  ASSERT_TRUE(WriteBinaryFile(dir_ + "/a-00000.ddpb", two).ok());
+  ASSERT_TRUE(WriteBinaryFile(dir_ + "/a-00001.ddpb", three).ok());
+  Status st = ShardedDatasetReader::OpenDirectory(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("dimension"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ShardedIoTest, RefusesLabelFlagMismatch) {
+  Dataset labeled(2);
+  labeled.Add(std::vector<double>{1.0, 2.0}, 1);
+  Dataset unlabeled(2);
+  unlabeled.Add(std::vector<double>{3.0, 4.0});
+  ASSERT_TRUE(WriteBinaryFile(dir_ + "/b-00000.ddpb", labeled).ok());
+  ASSERT_TRUE(WriteBinaryFile(dir_ + "/b-00001.ddpb", unlabeled).ok());
+  Status st = ShardedDatasetReader::OpenDirectory(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("unlabeled"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ShardedIoTest, EmptyDirectoryIsAnError) {
+  EXPECT_FALSE(ShardedDatasetReader::OpenDirectory(dir_).ok());
+  EXPECT_FALSE(ShardedDatasetReader::Open({}).ok());
 }
 
 // --------------------------------------------------------------- Generators

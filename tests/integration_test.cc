@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "baselines/dbscan.h"
@@ -24,6 +25,13 @@ mr::Options FastMr() {
   mr::Options o;
   o.num_workers = 2;
   o.num_partitions = 8;
+  // CI's low-budget smoke job sets DDP_TEST_MEMORY_BUDGET (e.g. 4096) to
+  // force every MapReduce job in this suite through the out-of-core
+  // spill/merge path; results must not change (the spill determinism
+  // contract), so every assertion below doubles as a spill-path check.
+  if (const char* budget = std::getenv("DDP_TEST_MEMORY_BUDGET")) {
+    o.memory_budget_bytes = static_cast<uint64_t>(std::atoll(budget));
+  }
   return o;
 }
 

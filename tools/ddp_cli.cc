@@ -5,7 +5,10 @@
 //   ddp_cli tune --dc D [--accuracy A --m M --pi P]   Sec. V parameter model
 //   ddp_cli cluster <in> [options]                    run DP clustering
 //
-// Files ending in .ddpb use the binary format; everything else is CSV.
+// Files ending in .ddpb use the binary format; everything else is CSV. A
+// directory `<in>` is read as a sharded DDPB dataset (every *.ddpb inside,
+// lexicographic order). `gen --shards N` splits the generated set into N
+// DDPB shards `<out>-00000.ddpb`, ... instead of one file.
 // `cluster` options:
 //   --algo lsh|basic|eddpc|seq   algorithm (default lsh)
 //   --k N                        select the top-N peaks by gamma
@@ -19,6 +22,10 @@
 //                                auto|brute|kdtree|triangle (default auto;
 //                                bit-identical results, different cost)
 //   --block N                    Basic-DDP block size (default 500)
+//   --memory-budget B            out-of-core execution: spill map output to
+//                                disk past B buffered bytes per task
+//                                (0 = all in memory, the default)
+//   --spill-dir DIR              spill file directory (default: system temp)
 //   --halo                       flag halo/border points (extra column)
 //   --internal-metrics           print silhouette / Davies-Bouldin / SSE
 //   --graph FILE                 export the decision graph TSV
@@ -28,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -37,6 +45,7 @@
 #include "core/sequential_dp.h"
 #include "dataset/binary_io.h"
 #include "dataset/csv.h"
+#include "dataset/sharded_io.h"
 #include "dataset/generators.h"
 #include "ddp/basic_ddp.h"
 #include "ddp/driver.h"
@@ -55,13 +64,15 @@ int Usage() {
       stderr,
       "usage:\n"
       "  ddp_cli gen <aggregation|s2|facial|kdd|spatial|bigcross> <n> <seed> "
-      "<out>\n"
-      "  ddp_cli info <in>\n"
+      "<out> [--shards N]\n"
+      "  ddp_cli info <in>   (<in>: CSV, .ddpb, or a directory of .ddpb "
+      "shards)\n"
       "  ddp_cli tune --dc D [--accuracy A] [--m M] [--pi P]\n"
       "  ddp_cli cluster <in> [--algo lsh|basic|eddpc|seq] [--k N]\n"
       "          [--rho X --delta Y] [--accuracy A] [--m M] [--pi P]\n"
       "          [--dc D] [--percentile P] [--kernel cutoff|gaussian]\n"
       "          [--local-backend auto|brute|kdtree|triangle]\n"
+      "          [--memory-budget BYTES] [--spill-dir DIR]\n"
       "          [--block N] [--halo] [--graph FILE] [--out FILE]\n");
   return 2;
 }
@@ -72,6 +83,11 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 }
 
 Result<Dataset> LoadDataset(const std::string& path) {
+  if (std::filesystem::is_directory(path)) {
+    DDP_ASSIGN_OR_RETURN(ShardedDatasetReader reader,
+                         ShardedDatasetReader::OpenDirectory(path));
+    return reader.ReadAll();
+  }
   if (EndsWith(path, ".ddpb")) return ReadBinaryFile(path);
   return ReadCsvFile(path);
 }
@@ -144,6 +160,21 @@ int CmdGen(const Args& args) {
     std::fprintf(stderr, "gen failed: %s\n", ds.status().ToString().c_str());
     return 1;
   }
+  if (args.Has("shards")) {
+    const size_t shards = std::max<size_t>(1, args.GetSize("shards", 1));
+    const uint64_t per_shard = (ds->size() + shards - 1) / shards;
+    std::string prefix = out;
+    if (EndsWith(prefix, ".ddpb")) prefix.resize(prefix.size() - 5);
+    auto paths = WriteShardedDataset(prefix, *ds, per_shard);
+    if (!paths.ok()) {
+      std::fprintf(stderr, "write failed: %s\n",
+                   paths.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu points (%zu dims, labeled) to %zu shards %s-*.ddpb\n",
+                ds->size(), ds->dim(), paths->size(), prefix.c_str());
+    return 0;
+  }
   Status st = SaveDataset(out, *ds);
   if (!st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
@@ -156,6 +187,29 @@ int CmdGen(const Args& args) {
 
 int CmdInfo(const Args& args) {
   if (args.positional().size() != 1) return Usage();
+  if (std::filesystem::is_directory(args.positional()[0])) {
+    // Sharded dataset: report from headers alone, never loading the points.
+    auto reader = ShardedDatasetReader::OpenDirectory(args.positional()[0]);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("points:    %llu\ndimension: %zu\nlabeled:   %s\nshards:    "
+                "%zu\n",
+                static_cast<unsigned long long>(reader->total_points()),
+                reader->dim(), reader->has_labels() ? "yes" : "no",
+                reader->num_shards());
+    for (const auto& shard : reader->shards()) {
+      std::printf("  %s: %llu points (ids %llu..%llu)\n", shard.path.c_str(),
+                  static_cast<unsigned long long>(shard.num_points),
+                  static_cast<unsigned long long>(shard.base_id),
+                  static_cast<unsigned long long>(shard.base_id +
+                                                  shard.num_points) -
+                      1);
+    }
+    return 0;
+  }
   auto ds = LoadDataset(args.positional()[0]);
   if (!ds.ok()) {
     std::fprintf(stderr, "load failed: %s\n", ds.status().ToString().c_str());
@@ -212,6 +266,9 @@ int CmdCluster(const Args& args) {
   DdpOptions options;
   options.dc = args.GetDouble("dc", 0.0);
   options.cutoff.percentile = args.GetDouble("percentile", 0.02);
+  options.mr.memory_budget_bytes =
+      static_cast<uint64_t>(args.GetSize("memory-budget", 0));
+  options.mr.spill_dir = args.Get("spill-dir");
   if (args.Has("k")) {
     options.selector = PeakSelector::TopK(args.GetSize("k", 8));
   } else if (args.Has("rho") || args.Has("delta")) {
