@@ -23,6 +23,7 @@ namespace {
 
 int Main() {
   bench::QuietLogs quiet;
+  bench::ObsFromEnv obs;
   bench::Banner("Large-scale BigCross run + K-means iteration comparison",
                 "Sec. VI-D EC2 experiment + Fig. 11");
 

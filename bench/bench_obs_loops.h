@@ -1,0 +1,18 @@
+#ifndef DDP_BENCH_BENCH_OBS_LOOPS_H_
+#define DDP_BENCH_BENCH_OBS_LOOPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddp {
+namespace bench_obs {
+
+/// The span-per-iteration loop from bench_obs.cc, built in a translation
+/// unit compiled with -DDDP_OBS_NO_TRACING. Measures the compile-time no-op
+/// macro path.
+uint64_t SpanLoopCompiledOut(size_t iters);
+
+}  // namespace bench_obs
+}  // namespace ddp
+
+#endif  // DDP_BENCH_BENCH_OBS_LOOPS_H_

@@ -1,0 +1,23 @@
+// Compiled with -DDDP_OBS_NO_TRACING (see CMakeLists.txt): the span macros
+// in this translation unit expand to nothing, so SpanLoopCompiledOut is the
+// "instrumentation compiled out" baseline bench_obs compares against.
+
+#include "bench/bench_obs_loops.h"
+
+#include "obs/trace.h"
+
+namespace ddp {
+namespace bench_obs {
+
+uint64_t SpanLoopCompiledOut(size_t iters) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    DDP_TRACE_SPAN(span, "bench", "noop");
+    acc += i;
+    asm volatile("" : "+r"(acc));
+  }
+  return acc;
+}
+
+}  // namespace bench_obs
+}  // namespace ddp

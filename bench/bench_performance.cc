@@ -26,6 +26,7 @@ namespace {
 
 int Main() {
   bench::QuietLogs quiet;
+  bench::ObsFromEnv obs;
   bench::Banner("Performance: Basic-DDP vs LSH-DDP on four data sets",
                 "Fig. 10(a) runtime, 10(b) shuffle, 10(c) #distances");
 

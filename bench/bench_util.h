@@ -11,6 +11,8 @@
 #include "dataset/distance.h"
 #include "ddp/driver.h"
 #include "mapreduce/counters.h"
+#include "obs/proc_stats.h"
+#include "obs/session.h"
 
 /// \file bench_util.h
 /// Shared helpers for the experiment harnesses in bench/. Each bench binary
@@ -104,23 +106,17 @@ inline std::string HumanCount(uint64_t count) {
   return buf;
 }
 
-/// Peak resident set size of this process in bytes (VmHWM from
-/// /proc/self/status), or 0 where procfs is unavailable.
-inline uint64_t PeakRssBytes() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  uint64_t kib = 0;
-  char line[256];
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    unsigned long long v = 0;
-    if (std::sscanf(line, "VmHWM: %llu kB", &v) == 1) {
-      kib = v;
-      break;
-    }
-  }
-  std::fclose(f);
-  return kib * 1024;
-}
+/// Peak resident set size of this process in bytes, or 0 where procfs is
+/// unavailable. Thin alias for the obs subsystem's sampler, kept so bench
+/// code reads as bench::PeakRssBytes().
+inline uint64_t PeakRssBytes() { return obs::PeakRssBytes(); }
+
+/// Observability export for bench binaries: set DDP_TRACE_OUT and/or
+/// DDP_METRICS_OUT to get a Perfetto trace / metrics snapshot of the run.
+/// Declare one at the top of main(); files are written at destruction.
+struct ObsFromEnv {
+  obs::Session session{obs::Session::FromEnv()};
+};
 
 /// Prints a figure/table banner.
 inline void Banner(const char* what, const char* paper_ref) {

@@ -3,16 +3,70 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "common/thread_pool.h"
 #include "dataset/kdtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ddp {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Observability for one kernel invocation. Counters are always recorded;
+// a trace span (timing + per-group distance-eval count) is created only
+// for groups of at least this many members, so the millions of tiny LSH
+// buckets a large run produces never flood the trace buffer or pay clock
+// reads.
+constexpr size_t kKernelSpanMinGroup = 16;
+
+class KernelScope {
+ public:
+  KernelScope(const char* name, size_t group_size, LocalDpBackend backend,
+              const CountingMetric& metric)
+      : outer_(metric.counter()), local_metric_(&local_counter_) {
+    DDP_METRIC_COUNTER_ADD("local_dp.groups", 1);
+    DDP_METRIC_HISTOGRAM_RECORD("local_dp.group_size", group_size);
+#ifndef DDP_OBS_NO_TRACING
+    if (group_size >= kKernelSpanMinGroup &&
+        obs::TraceRecorder::Global().enabled()) {
+      span_.emplace("local_dp", name);
+      span_->AddArg("group_size", static_cast<uint64_t>(group_size));
+      span_->AddArg("backend", LocalDpBackendName(backend));
+    }
+#endif
+  }
+
+  ~KernelScope() {
+    const uint64_t evals = local_counter_.value();
+    DDP_METRIC_COUNTER_ADD("local_dp.distance_evals", evals);
+    if (outer_ != nullptr) outer_->Add(evals);
+#ifndef DDP_OBS_NO_TRACING
+    if (span_.has_value()) span_->AddArg("distance_evals", evals);
+#endif
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+  /// Metric the kernel body must use: evaluations land in this scope's
+  /// local counter (so the per-group count is exact even when other groups
+  /// run concurrently) and are forwarded to the caller's counter by the
+  /// destructor.
+  const CountingMetric& metric() const { return local_metric_; }
+
+ private:
+  DistanceCounter* outer_;
+  DistanceCounter local_counter_;
+  CountingMetric local_metric_;
+#ifndef DDP_OBS_NO_TRACING
+  std::optional<obs::Span> span_;
+#endif
+};
 
 // Process-wide pool for within-group kernel parallelism. Deliberately
 // separate from the per-job MapReduce pools: engine calls originate on MR
@@ -113,10 +167,14 @@ LocalDpBackend LocalDpEngine::Resolve(size_t group_size, size_t dim) const {
 
 std::vector<uint32_t> LocalDpEngine::Rho(const LocalPointView& view, double dc,
                                          DensityKernel kernel,
-                                         const CountingMetric& metric) const {
+                                         const CountingMetric& outer_metric)
+    const {
   const size_t n = view.size();
   std::vector<uint32_t> rho(n, 0);
   if (n == 0) return rho;
+  const LocalDpBackend backend = Resolve(n, view.dim());
+  KernelScope scope("rho", n, backend, outer_metric);
+  const CountingMetric& metric = scope.metric();
   const bool gaussian = kernel == DensityKernel::kGaussian;
   const double dc_sq = dc * dc;
   // Radius beyond which a pair cannot contribute: d_c for the cutoff
@@ -129,7 +187,7 @@ std::vector<uint32_t> LocalDpEngine::Rho(const LocalPointView& view, double dc,
   std::vector<double> soft;
   if (gaussian) soft.assign(n, 0.0);
 
-  switch (Resolve(n, view.dim())) {
+  switch (backend) {
     case LocalDpBackend::kKdTree: {
       Result<KdTree> tree =
           KdTree::BuildFromRows(view.rows(), view.dim(), options_.kd_leaf_size);
@@ -252,13 +310,17 @@ std::vector<uint32_t> LocalDpEngine::Rho(const LocalPointView& view, double dc,
 
 LocalDeltaScores LocalDpEngine::Delta(const LocalPointView& view,
                                       std::span<const uint32_t> rho,
-                                      const CountingMetric& metric) const {
+                                      const CountingMetric& outer_metric)
+    const {
   const size_t n = view.size();
   LocalDeltaScores out;
   out.delta.assign(n, kInf);
   out.delta_sq.assign(n, kInf);
   out.upslope.assign(n, kInvalidPointId);
   if (n <= 1) return out;
+  const LocalDpBackend backend = Resolve(n, view.dim());
+  KernelScope scope("delta", n, backend, outer_metric);
+  const CountingMetric& metric = scope.metric();
 
   // Rank positions by the density total order: the candidates denser than
   // the point at rank r are exactly ranks [0, r). Rank 0 is the group's
@@ -278,7 +340,7 @@ LocalDeltaScores LocalDpEngine::Delta(const LocalPointView& view,
     out.upslope[k] = best.upslope;
   };
 
-  switch (Resolve(n, view.dim())) {
+  switch (backend) {
     case LocalDpBackend::kKdTree: {
       Result<KdTree> tree =
           KdTree::BuildFromRows(view.rows(), view.dim(), options_.kd_leaf_size);
@@ -341,12 +403,14 @@ LocalDeltaScores LocalDpEngine::Delta(const LocalPointView& view,
 
 void LocalDpEngine::RhoCross(const LocalPointView& left,
                              const LocalPointView& right, double dc,
-                             const CountingMetric& metric,
+                             const CountingMetric& outer_metric,
                              std::span<uint32_t> counts_left,
                              std::span<uint32_t> counts_right) const {
   const size_t nl = left.size();
   const size_t nr = right.size();
   if (nl == 0 || nr == 0) return;
+  KernelScope scope("rho-cross", nl + nr, options_.backend, outer_metric);
+  const CountingMetric& metric = scope.metric();
   const double dc_sq = dc * dc;
   const bool both = !counts_right.empty();
   const bool kd = [&] {
@@ -411,11 +475,13 @@ void LocalDpEngine::DeltaCross(const LocalPointView& queries,
                                std::span<const uint32_t> query_rho,
                                const LocalPointView& candidates,
                                std::span<const uint32_t> candidate_rho,
-                               const CountingMetric& metric,
+                               const CountingMetric& outer_metric,
                                std::span<LocalDeltaBest> best) const {
   const size_t nq = queries.size();
   const size_t nc = candidates.size();
   if (nq == 0 || nc == 0) return;
+  KernelScope scope("delta-cross", nq + nc, options_.backend, outer_metric);
+  const CountingMetric& metric = scope.metric();
   const bool kd = [&] {
     switch (options_.backend) {
       case LocalDpBackend::kKdTree:
@@ -474,7 +540,7 @@ void LocalDpEngine::DeltaCross(const LocalPointView& queries,
 void LocalDpEngine::DeltaCrossSymmetric(
     const LocalPointView& left, std::span<const uint32_t> rho_left,
     const LocalPointView& right, std::span<const uint32_t> rho_right,
-    const CountingMetric& metric, std::span<LocalDeltaBest> best_left,
+    const CountingMetric& outer_metric, std::span<LocalDeltaBest> best_left,
     std::span<LocalDeltaBest> best_right) const {
   const size_t nl = left.size();
   const size_t nr = right.size();
@@ -493,10 +559,14 @@ void LocalDpEngine::DeltaCrossSymmetric(
     }
   }();
   if (kd) {
-    DeltaCross(left, rho_left, right, rho_right, metric, best_left);
-    DeltaCross(right, rho_right, left, rho_left, metric, best_right);
+    // The two one-sided passes carry their own kernel scopes.
+    DeltaCross(left, rho_left, right, rho_right, outer_metric, best_left);
+    DeltaCross(right, rho_right, left, rho_left, outer_metric, best_right);
     return;
   }
+  KernelScope scope("delta-cross-sym", nl + nr, options_.backend,
+                    outer_metric);
+  const CountingMetric& metric = scope.metric();
   // Brute: each cross pair's distance is evaluated exactly once and feeds
   // both sides — the Basic-DDP block-pair cost model.
   for (size_t i = 0; i < nl; ++i) {

@@ -10,6 +10,8 @@
 #include "common/stopwatch.h"
 #include "ddp/mr_assignment.h"
 #include "ddp/records.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ddp {
 
@@ -115,6 +117,11 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
     return Status::InvalidArgument("need at least 2 points");
   }
   Stopwatch total_timer;
+  DDP_TRACE_SPAN(pipeline_span, "pipeline", algorithm->name());
+  if (pipeline_span.active()) {
+    pipeline_span.AddArg("points", static_cast<uint64_t>(dataset.size()));
+    pipeline_span.AddArg("dim", static_cast<uint64_t>(dataset.dim()));
+  }
   DdpRunResult result;
   DistanceCounter counter;
   CountingMetric metric(&counter);
@@ -136,40 +143,61 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
   if (options.dc > 0.0) {
     result.dc = options.dc;
   } else {
+    DDP_TRACE_SPAN(dc_span, "pipeline", "choose-dc");
     DDP_ASSIGN_OR_RETURN(
         result.dc, ChooseCutoffMapReduce(dataset, metric, options.cutoff,
                                          mr_options, &result.stats));
   }
 
-  DDP_ASSIGN_OR_RETURN(result.scores,
-                       algorithm->ComputeScores(dataset, result.dc, metric,
-                                                mr_options, &result.stats));
+  {
+    DDP_TRACE_SPAN(scores_span, "pipeline", "compute-scores");
+    DDP_ASSIGN_OR_RETURN(result.scores,
+                         algorithm->ComputeScores(dataset, result.dc, metric,
+                                                  mr_options, &result.stats));
+  }
 
   // Final step (Sec. III Step 3): decision graph, peaks, assignment —
   // centralized by default, distributed pointer jumping on request.
+  DDP_TRACE_SPAN(peaks_span, "pipeline", "peak-selection");
   DecisionGraph graph = DecisionGraph::FromScores(result.scores);
   std::vector<PointId> peaks = options.selector.Select(graph);
   if (peaks.empty()) {
+    peaks_span.MarkCancelled();
+    pipeline_span.MarkCancelled();
     return Status::OutOfRange("peak selector returned no peaks");
   }
-  if (options.use_mr_assignment) {
-    DDP_ASSIGN_OR_RETURN(MrAssignmentResult assigned,
-                         AssignClustersMapReduce(result.scores, peaks,
-                                                 mr_options));
-    for (const mr::JobCounters& job : assigned.stats.jobs) {
-      result.stats.Add(job);
+  if (peaks_span.active()) {
+    peaks_span.AddArg("peaks", static_cast<uint64_t>(peaks.size()));
+  }
+  peaks_span.End();
+  DDP_METRIC_COUNTER_ADD("ddp.peaks_selected", peaks.size());
+  {
+    DDP_TRACE_SPAN(assign_span, "pipeline", "assignment");
+    if (assign_span.active() && options.use_mr_assignment) {
+      assign_span.AddArg("mode", "mapreduce");
     }
-    DDP_RETURN_NOT_OK(ResolveOrphansByNearestPeak(dataset, peaks, metric,
-                                                  &assigned.assignment));
-    result.clusters.assignment = std::move(assigned.assignment);
-    result.clusters.peaks.assign(peaks.begin(), peaks.end());
-  } else {
-    DDP_ASSIGN_OR_RETURN(result.clusters,
-                         AssignClusters(dataset, result.scores, peaks, metric));
+    if (options.use_mr_assignment) {
+      DDP_ASSIGN_OR_RETURN(MrAssignmentResult assigned,
+                           AssignClustersMapReduce(result.scores, peaks,
+                                                   mr_options));
+      for (const mr::JobCounters& job : assigned.stats.jobs) {
+        result.stats.Add(job);
+      }
+      DDP_RETURN_NOT_OK(ResolveOrphansByNearestPeak(dataset, peaks, metric,
+                                                    &assigned.assignment));
+      result.clusters.assignment = std::move(assigned.assignment);
+      result.clusters.peaks.assign(peaks.begin(), peaks.end());
+    } else {
+      DDP_ASSIGN_OR_RETURN(
+          result.clusters,
+          AssignClusters(dataset, result.scores, peaks, metric));
+    }
   }
 
   result.distance_evaluations = counter.value();
   result.total_seconds = total_timer.ElapsedSeconds();
+  DDP_METRIC_HISTOGRAM_SECONDS("ddp.pipeline_seconds", result.total_seconds);
+  DDP_METRIC_COUNTER_ADD("ddp.pipelines", 1);
   return result;
 }
 

@@ -2,8 +2,55 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace ddp {
 namespace mr {
+
+namespace {
+
+void WriteJobObject(obs::JsonWriter* w, const JobCounters& j) {
+  w->BeginObject();
+  w->Field("job_name", std::string_view(j.job_name));
+  w->Field("loaded_from_checkpoint", j.loaded_from_checkpoint);
+  w->Field("map_input_records", j.map_input_records);
+  w->Field("map_output_records", j.map_output_records);
+  w->Field("combine_input_records", j.combine_input_records);
+  w->Field("shuffle_bytes", j.shuffle_bytes);
+  w->Field("shuffle_records", j.shuffle_records);
+  w->Field("shuffle_moved_bytes", j.shuffle_moved_bytes);
+  w->Field("shuffle_copied_bytes", j.shuffle_copied_bytes);
+  w->Field("reduce_input_groups", j.reduce_input_groups);
+  w->Field("reduce_output_records", j.reduce_output_records);
+  w->Field("max_partition_bytes", j.max_partition_bytes);
+  w->Field("spilled_bytes", j.spilled_bytes);
+  w->Field("spill_files", j.spill_files);
+  w->Field("merge_passes", j.merge_passes);
+  w->Field("spill_seconds", j.spill_seconds);
+  w->Key("group_size_log2_histogram");
+  w->BeginArray();
+  for (uint64_t count : j.group_size_log2_histogram) w->Uint(count);
+  w->EndArray();
+  w->Field("map_task_retries", j.map_task_retries);
+  w->Field("reduce_task_retries", j.reduce_task_retries);
+  w->Field("speculative_launches", j.speculative_launches);
+  w->Field("speculative_wins", j.speculative_wins);
+  w->Field("deadline_kills", j.deadline_kills);
+  w->Field("skipped_records", j.skipped_records);
+  w->Field("task_exceptions", j.task_exceptions);
+  w->Field("median_attempt_seconds", j.median_attempt_seconds);
+  w->Field("p99_attempt_seconds", j.p99_attempt_seconds);
+  w->Field("max_attempt_seconds", j.max_attempt_seconds);
+  w->Field("straggler_ratio", j.straggler_ratio);
+  w->Field("map_seconds", j.map_seconds);
+  w->Field("shuffle_seconds", j.shuffle_seconds);
+  w->Field("reduce_seconds", j.reduce_seconds);
+  w->Field("total_seconds", j.total_seconds);
+  w->Field("modeled_seconds", j.modeled_seconds);
+  w->EndObject();
+}
+
+}  // namespace
 
 std::string JobCounters::ToString() const {
   char buf[512];
@@ -156,6 +203,41 @@ uint64_t RunStats::JobsLoadedFromCheckpoint() const {
   uint64_t total = 0;
   for (const JobCounters& j : jobs) total += j.loaded_from_checkpoint ? 1 : 0;
   return total;
+}
+
+std::string JobCounters::ToJson() const {
+  obs::JsonWriter w;
+  WriteJobObject(&w, *this);
+  return w.Take();
+}
+
+std::string RunStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs");
+  w.BeginArray();
+  for (const JobCounters& j : jobs) WriteJobObject(&w, j);
+  w.EndArray();
+  w.Key("totals");
+  w.BeginObject();
+  w.Field("jobs", static_cast<uint64_t>(jobs.size()));
+  w.Field("shuffle_bytes", TotalShuffleBytes());
+  w.Field("shuffle_records", TotalShuffleRecords());
+  w.Field("total_seconds", TotalSeconds());
+  w.Field("modeled_seconds", TotalModeledSeconds());
+  w.Field("task_retries", TotalTaskRetries());
+  w.Field("speculative_launches", TotalSpeculativeLaunches());
+  w.Field("speculative_wins", TotalSpeculativeWins());
+  w.Field("deadline_kills", TotalDeadlineKills());
+  w.Field("skipped_records", TotalSkippedRecords());
+  w.Field("task_exceptions", TotalTaskExceptions());
+  w.Field("spilled_bytes", TotalSpilledBytes());
+  w.Field("spill_files", TotalSpillFiles());
+  w.Field("merge_passes", TotalMergePasses());
+  w.Field("jobs_loaded_from_checkpoint", JobsLoadedFromCheckpoint());
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
 
 std::string RunStats::ToString() const {

@@ -81,6 +81,10 @@ struct JobCounters {
   double modeled_seconds = 0.0;
 
   std::string ToString() const;
+  /// One JSON object per job, field names matching the struct members —
+  /// the same conventions (and writer) as the obs metrics snapshot, so
+  /// `--stats-out` files parse with the same tooling.
+  std::string ToJson() const;
 };
 
 /// Accumulated counters over the jobs of one algorithm run.
@@ -106,6 +110,8 @@ struct RunStats {
   uint64_t JobsLoadedFromCheckpoint() const;
 
   std::string ToString() const;
+  /// {"jobs": [JobCounters::ToJson()...], "totals": {...}}.
+  std::string ToJson() const;
 };
 
 }  // namespace mr

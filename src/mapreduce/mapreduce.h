@@ -7,7 +7,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
+#include <optional>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -26,6 +28,9 @@
 #include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/spill.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file mapreduce.h
 /// A typed, in-process MapReduce runtime. This is the paper's execution
@@ -197,6 +202,11 @@ struct Options {
   /// Files are created with process-unique names and removed when the job's
   /// intermediate state is dropped, so concurrent jobs can share it.
   std::string spill_dir;
+
+  /// Progress heartbeat (obs/heartbeat.h): when > 0, each map/reduce phase
+  /// logs tasks-done/total and the completion rate every this many seconds.
+  /// 0 (default) starts no heartbeat thread at all.
+  double heartbeat_seconds = 0.0;
 
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
@@ -410,6 +420,33 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
   const double deadline = options.task_deadline_seconds;
   const char* phase_name = phase == 0 ? "map" : "reduce";
 
+  // Observability: one histogram of committed-attempt latencies per phase
+  // kind (a single registry lookup per phase), a per-attempt trace span
+  // created inside the worker closure (so it lands on the executing
+  // thread), and an optional progress heartbeat.
+  obs::Histogram* attempt_hist = obs::MetricsRegistry::Global().GetHistogram(
+      phase == 0 ? "mr.map_attempt_seconds" : "mr.reduce_attempt_seconds");
+  std::atomic<size_t> completed_for_heartbeat{0};
+  Stopwatch phase_timer;
+  std::optional<obs::ProgressHeartbeat> heartbeat;
+  if (options.heartbeat_seconds > 0.0) {
+    heartbeat.emplace(
+        options.heartbeat_seconds,
+        [&completed_for_heartbeat, &phase_timer, num_tasks, phase_name,
+         job_name] {
+          const size_t done =
+              completed_for_heartbeat.load(std::memory_order_relaxed);
+          const double elapsed = phase_timer.ElapsedSeconds();
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "%s %s: %zu/%zu tasks done (%.1f tasks/s)",
+                        job_name.c_str(), phase_name, done, num_tasks,
+                        elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                      : 0.0);
+          return std::string(buf);
+        });
+  }
+
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Event> events;  // guarded by mu
@@ -432,6 +469,19 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
       ev.task = t;
       ev.attempt = attempt;
       ev.speculative = speculative;
+      // The attempt span lives on the worker thread so it nests under
+      // whatever else that worker traces (spill writes, kernel groups).
+      // Spans from attempts that never commit — cancelled speculative
+      // losers, deadline kills, abandoned retries — are still flushed,
+      // marked cancelled below.
+      DDP_TRACE_SPAN(span, "mr", phase == 0 ? "map-attempt"
+                                            : "reduce-attempt");
+      if (span.active()) {
+        span.AddArg("job", job_name);
+        span.AddArg("task", static_cast<uint64_t>(t));
+        span.AddArg("attempt", static_cast<uint64_t>(attempt));
+        if (speculative) span.AddArg("speculative", "true");
+      }
       started_ns->store(std::chrono::duration_cast<std::chrono::nanoseconds>(
                             Clock::now().time_since_epoch())
                             .count(),
@@ -475,6 +525,15 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
               std::string(phase_name) + " attempt overran the " +
               std::to_string(deadline) + "s task deadline");
         }
+      }
+      if (span.active() && !ev.status.ok()) {
+        // A cancelled or deadline-killed attempt's span is flushed, not
+        // dropped: it renders greyed-out-style in Perfetto via the
+        // cancelled arg, which is how speculative losers stay visible.
+        if (ev.status.IsCancelled() || ev.status.IsDeadlineExceeded()) {
+          span.MarkCancelled();
+        }
+        span.AddArg("status", ev.status.ToString());
       }
       // Notify under the lock: once the scheduler consumes the last event it
       // may destroy mu/cv (they live on its stack), and holding mu here
@@ -565,8 +624,10 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
           // "first" is well-defined and race-free.
           ts.done = true;
           ++completed;
+          completed_for_heartbeat.store(completed, std::memory_order_relaxed);
           (*outputs)[ev.task] = std::move(ev.out);
           pstats->durations.push_back(ev.seconds);
+          attempt_hist->RecordSeconds(ev.seconds);
           if (ev.speculative) ++pstats->speculative_wins;
           for (Running& r : ts.running) r.cancel->Cancel();
         } else if (ev.status.IsCancelled()) {
@@ -636,6 +697,14 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   counters.job_name = spec.name;
   counters.map_input_records = input.size();
 
+  // One span per MR job, named after it; phase spans and worker-side
+  // attempt spans nest inside (the latter by thread, not containment).
+  DDP_TRACE_SPAN(job_span, "job", spec.name);
+  if (job_span.active()) {
+    job_span.AddArg("input_records", static_cast<uint64_t>(input.size()));
+  }
+  DDP_METRIC_COUNTER_ADD("mr.jobs", 1);
+
   // ---- Checkpoint replay: a completed job's output is served from the
   // store, bit-identical, without re-running anything. The key sequence
   // advances even for non-replayable jobs so pipelines keep stable keys.
@@ -652,6 +721,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         if (st.ok() && reader.exhausted()) {
           counters.loaded_from_checkpoint = true;
           counters.reduce_output_records = output.size();
+          job_span.AddArg("replayed_from_checkpoint", "true");
           if (counters_out != nullptr) *counters_out = counters;
           return output;
         }
@@ -686,6 +756,11 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
   const size_t chunk = (input.size() + num_map_tasks - 1) / num_map_tasks;
+  DDP_TRACE_SPAN(map_span, "mr", "map-phase");
+  if (map_span.active()) {
+    map_span.AddArg("job", spec.name);
+    map_span.AddArg("tasks", static_cast<uint64_t>(num_map_tasks));
+  }
 
   internal::PhaseStats map_stats;
   std::vector<MapOutput> map_outputs;
@@ -759,8 +834,13 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         }
         return Status::OK();
       });
-  if (!map_status.ok()) return map_status;
+  if (!map_status.ok()) {
+    map_span.MarkCancelled();
+    job_span.MarkCancelled();
+    return map_status;
+  }
   counters.map_seconds = map_timer.ElapsedSeconds();
+  map_span.End();
   for (const MapOutput& mo : map_outputs) {
     counters.map_output_records += mo.records;
     counters.combine_input_records += mo.combine_in;
@@ -778,6 +858,8 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   // nothing to concatenate: reduce merge-streams straight out of the map
   // outputs' runs and tails.
   Stopwatch shuffle_timer;
+  DDP_TRACE_SPAN(shuffle_span, "mr", "shuffle-phase");
+  if (shuffle_span.active()) shuffle_span.AddArg("job", spec.name);
   std::vector<std::string> partitions(spilling ? 0 : num_partitions);
   {
     std::vector<uint64_t> payload_sizes(num_partitions, 0);
@@ -822,6 +904,11 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   }
   counters.shuffle_records = counters.map_output_records;
   counters.shuffle_seconds = shuffle_timer.ElapsedSeconds();
+  if (shuffle_span.active()) {
+    shuffle_span.AddArg("bytes", counters.shuffle_bytes);
+    shuffle_span.AddArg("records", counters.shuffle_records);
+  }
+  shuffle_span.End();
 
   // ---- Reduce phase: per partition, deserialize, sort-group, reduce.
   // Deserialization lives inside the attempt (a lost Hadoop reduce task
@@ -837,6 +924,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     std::vector<uint64_t> group_size_log2;
   };
   Stopwatch reduce_timer;
+  DDP_TRACE_SPAN(reduce_span, "mr", "reduce-phase");
+  if (reduce_span.active()) {
+    reduce_span.AddArg("job", spec.name);
+    reduce_span.AddArg("partitions", static_cast<uint64_t>(num_partitions));
+    if (spilling) reduce_span.AddArg("spilling", "true");
+  }
   internal::PhaseStats reduce_stats;
   std::vector<ReduceOutput> reduce_outputs;
   const bool skip_bad = options.skip_bad_records;
@@ -866,6 +959,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
                   std::make_unique<MemoryFrameReader>(mo.buffers[p]));
             }
           }
+          DDP_TRACE_SPAN(merge_span, "mr", "merge-stream");
+          if (merge_span.active()) {
+            merge_span.AddArg("partition", static_cast<uint64_t>(p));
+            merge_span.AddArg("sources",
+                              static_cast<uint64_t>(sources.size()));
+          }
           internal::MergingGroupReader<MidK, MidV, KeyTraits<MidK>> merger(
               std::move(sources), skip_bad, cancel);
           Status st = merger.Init();
@@ -885,6 +984,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
             ++out->group_size_log2[bucket];
           }
           if (!st.ok()) {
+            merge_span.MarkCancelled();
             if (st.IsCancelled()) return st;
             return Status::IoError("reduce partition " + std::to_string(p) +
                                    ": " + st.message());
@@ -956,7 +1056,11 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         }
         return Status::OK();
       });
-  if (!reduce_status.ok()) return reduce_status;
+  if (!reduce_status.ok()) {
+    reduce_span.MarkCancelled();
+    job_span.MarkCancelled();
+    return reduce_status;
+  }
   partitions.clear();
   partitions.shrink_to_fit();
   // Dropping the map outputs releases the spill-run handles: the last
@@ -965,6 +1069,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   map_outputs.clear();
   map_outputs.shrink_to_fit();
   counters.reduce_seconds = reduce_timer.ElapsedSeconds();
+  reduce_span.End();
   counters.reduce_task_retries = reduce_stats.retries;
   for (const ReduceOutput& ro : reduce_outputs) {
     counters.reduce_input_groups += ro.groups;
@@ -1015,6 +1120,14 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   }
   counters.reduce_output_records = output.size();
   counters.total_seconds = job_timer.ElapsedSeconds();
+  DDP_METRIC_HISTOGRAM_SECONDS("mr.job_seconds", counters.total_seconds);
+  DDP_METRIC_COUNTER_ADD("mr.shuffle_bytes", counters.shuffle_bytes);
+  DDP_METRIC_COUNTER_ADD("mr.shuffle_records", counters.shuffle_records);
+  DDP_METRIC_COUNTER_ADD("mr.spilled_bytes", counters.spilled_bytes);
+  if (job_span.active()) {
+    job_span.AddArg("shuffle_bytes", counters.shuffle_bytes);
+    job_span.AddArg("output_records", counters.reduce_output_records);
+  }
   counters.modeled_seconds = counters.total_seconds;
   if (options.modeled_shuffle_bandwidth > 0.0) {
     counters.modeled_seconds += static_cast<double>(counters.shuffle_bytes) /

@@ -14,6 +14,8 @@
 #include "common/serde.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file spill.h
 /// The out-of-core execution subsystem of the MapReduce runtime, modeled on
@@ -276,6 +278,7 @@ class SpillingBuffer {
     }
     if (!any) return Status::OK();
     Stopwatch watch;
+    DDP_TRACE_SPAN(spill_span, "spill", "spill-write");
     DDP_ASSIGN_OR_RETURN(
         std::unique_ptr<SpillFileWriter> writer,
         SpillFileWriter::Create(
@@ -304,12 +307,20 @@ class SpillingBuffer {
                                spill_count_, extent.offset, extent.length});
       pending_[p].clear();
     }
-    spilled_bytes_ += writer->bytes_written();
+    const uint64_t written = writer->bytes_written();
+    spilled_bytes_ += written;
     DDP_RETURN_NOT_OK(writer->Close());
     ++spill_count_;
     ++spill_file_count_;
     buffered_bytes_ = 0;
-    spill_seconds_ += watch.ElapsedSeconds();
+    const double seconds = watch.ElapsedSeconds();
+    spill_seconds_ += seconds;
+    if (spill_span.active()) {
+      spill_span.AddArg("bytes", written);
+      spill_span.AddArg("runs", static_cast<uint64_t>(runs_.size()));
+    }
+    DDP_METRIC_HISTOGRAM_SECONDS("mr.spill_write_seconds", seconds);
+    DDP_METRIC_COUNTER_ADD("mr.spill_write_bytes", written);
     return Status::OK();
   }
 

@@ -1,0 +1,49 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ddp {
+namespace obs {
+
+ProgressHeartbeat::ProgressHeartbeat(double interval_seconds,
+                                     std::function<std::string()> report)
+    : report_(std::move(report)) {
+  if (interval_seconds <= 0.0 || !report_) return;
+  thread_ = std::thread([this, interval_seconds] { Loop(interval_seconds); });
+}
+
+ProgressHeartbeat::~ProgressHeartbeat() {
+  if (!thread_.joinable()) return;
+  bool fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    fired = beats_ > 0;
+  }
+  cv_.notify_all();
+  thread_.join();
+  if (fired) DDP_LOG(Info) << "[heartbeat] " << report_();
+}
+
+uint64_t ProgressHeartbeat::beats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return beats_;
+}
+
+void ProgressHeartbeat::Loop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    ++beats_;
+    lock.unlock();
+    DDP_LOG(Info) << "[heartbeat] " << report_();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace ddp

@@ -1,0 +1,51 @@
+#ifndef DDP_OBS_HEARTBEAT_H_
+#define DDP_OBS_HEARTBEAT_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+/// \file heartbeat.h
+/// Lightweight progress heartbeat for long jobs: a background thread that
+/// periodically invokes a callback returning a human-readable progress line
+/// (tasks done, rate) and logs it at Info level. The MapReduce phase
+/// scheduler starts one per phase when `mr::Options::heartbeat_seconds > 0`;
+/// the default (0) starts no thread at all, so quiet runs pay nothing.
+
+namespace ddp {
+namespace obs {
+
+class ProgressHeartbeat {
+ public:
+  /// Starts a heartbeat logging `report()` every `interval_seconds`.
+  /// `report` runs on the heartbeat thread and must be thread-safe. An
+  /// interval <= 0 starts nothing (all methods become no-ops).
+  ProgressHeartbeat(double interval_seconds,
+                    std::function<std::string()> report);
+  /// Joins the thread; emits one final report if any beat fired (so a job
+  /// that finished between beats still logs its completion line).
+  ~ProgressHeartbeat();
+
+  ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+  ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+  /// Number of reports emitted so far (tests).
+  uint64_t beats() const;
+
+ private:
+  void Loop(double interval_seconds);
+
+  std::function<std::string()> report_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t beats_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace ddp
+
+#endif  // DDP_OBS_HEARTBEAT_H_

@@ -1,0 +1,126 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ddp {
+namespace obs {
+
+void JsonWriter::AppendQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the separator
+  }
+  if (depth_ > 0 && (had_value_ & (uint64_t{1} << (depth_ - 1)))) {
+    out_.push_back(',');
+  }
+  if (depth_ > 0) had_value_ |= uint64_t{1} << (depth_ - 1);
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  ++depth_;
+  if (depth_ <= 64) had_value_ &= ~(uint64_t{1} << (depth_ - 1));
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  --depth_;
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  ++depth_;
+  if (depth_ <= 64) had_value_ &= ~(uint64_t{1} << (depth_ - 1));
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  --depth_;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  AppendQuoted(&out_, key);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  AppendQuoted(&out_, value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+}  // namespace obs
+}  // namespace ddp

@@ -1,0 +1,87 @@
+#ifndef DDP_OBS_JSON_H_
+#define DDP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file json.h
+/// A minimal streaming JSON writer shared by every machine-readable export
+/// in the system: Chrome trace-event files (obs/trace.h), metrics snapshots
+/// (obs/metrics.h), and the JobCounters/RunStats serialization
+/// (mapreduce/counters.h). Keeping one writer means every exporter escapes
+/// strings the same way and emits the same number formatting, so downstream
+/// tooling can parse any of them with one code path.
+///
+/// Usage is push-style: Begin/End calls must nest properly; Key() must
+/// precede every value inside an object. The writer inserts commas itself.
+
+namespace ddp {
+namespace obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; call before the member's value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Doubles print with enough digits to round-trip; non-finite values
+  /// (infinity from delta scores, NaN) are emitted as null, since JSON has
+  /// no literal for them.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Shorthand for Key(k) followed by the value call.
+  void Field(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void Field(std::string_view key, uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void Field(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void Field(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// The document built so far; valid JSON once every Begin has its End.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  /// Appends a backslash-escaped, quoted JSON string literal to `*out`.
+  static void AppendQuoted(std::string* out, std::string_view s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// Whether a value has already been written at the current nesting level
+  /// (one bit per depth; depth 64+ would be pathological for our exports).
+  uint64_t had_value_ = 0;
+  int depth_ = 0;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace ddp
+
+#endif  // DDP_OBS_JSON_H_

@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace ddp {
+namespace obs {
+
+Histogram::Snapshot Histogram::Snap() const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  Snapshot snap;
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
+  snap.p50 = QuantileFromCounts(counts, total, 0.50);
+  snap.p95 = QuantileFromCounts(counts, total, 0.95);
+  snap.p99 = QuantileFromCounts(counts, total, 0.99);
+  for (size_t b = kBuckets; b-- > 0;) {
+    if (counts[b] > 0) {
+      snap.max_bound = b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+      break;
+    }
+  }
+  return snap;
+}
+
+double Histogram::QuantileFromCounts(const uint64_t* counts, uint64_t total,
+                                     double q) const {
+  // Rank of the q-quantile sample (1-based), then walk buckets to it and
+  // interpolate geometrically inside the bucket's [2^(b-1), 2^b) range.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[b]);
+      return lo * std::pow(2.0, frac);
+    }
+    seen += counts[b];
+  }
+  return 0.0;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never
+  // destroyed: instruments may be bumped from thread/static destructors.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Field(name, counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Field(name, gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    w.Key(name);
+    w.BeginObject();
+    w.Field("count", snap.count);
+    w.Field("sum", snap.sum);
+    w.Field("p50", snap.p50);
+    w.Field("p95", snap.p95);
+    w.Field("p99", snap.p99);
+    w.Field("max_bound", snap.max_bound);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open metrics file " + path);
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  if (!out) return Status::IoError("short write to metrics file " + path);
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace ddp

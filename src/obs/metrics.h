@@ -1,0 +1,153 @@
+#ifndef DDP_OBS_METRICS_H_
+#define DDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file metrics.h
+/// Metrics half of the observability subsystem: a process-wide registry of
+/// named counters, gauges, and log-bucketed latency histograms, with a JSON
+/// snapshot exporter (`--metrics-out`).
+///
+/// Recording is always on and lock-free — a counter bump is one relaxed
+/// atomic add, a histogram sample is two — so instrumented code does not
+/// need an enabled check. Hot paths cache the instrument pointer in a
+/// function-local static (`MetricsRegistry::Global().GetCounter(...)` once,
+/// atomics forever after); the registry map itself is only locked on the
+/// first lookup of each name and at snapshot time.
+///
+/// Compiling with -DDDP_OBS_NO_METRICS turns the DDP_METRIC_* convenience
+/// macros into nothing for builds that want even the atomics gone.
+
+namespace ddp {
+namespace obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. peak RSS bytes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed latency/size histogram. Samples are recorded as
+/// microseconds (`RecordSeconds`) or raw units (`Record`) into bucket
+/// floor(log2(v)) + 1 (bucket 0 holds v == 0), i.e. bucket b >= 1 covers
+/// [2^(b-1), 2^b). Quantile estimates interpolate inside the bucket
+/// geometrically, which is exact to a factor of 2 — plenty for p50/p95/p99
+/// phase-latency reporting.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value) {
+    const size_t b = value == 0 ? 0 : static_cast<size_t>(
+                                          std::bit_width(value));
+    buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  /// Records a duration in microseconds (sub-microsecond samples land in
+  /// bucket 0 rather than vanishing).
+  void RecordSeconds(double seconds) {
+    Record(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e6));
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;  // same unit as Record (us for RecordSeconds)
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max_bound = 0.0;  // upper bound of the highest non-empty bucket
+  };
+  Snapshot Snap() const;
+
+  void Reset();
+
+ private:
+  double QuantileFromCounts(const uint64_t* counts, uint64_t total,
+                            double q) const;
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Named-instrument registry. Instruments are created on first lookup and
+/// live for the life of the registry; returned pointers are stable.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count":..,"sum":..,"p50":..,"p95":..,"p99":..}}}. Histogram
+  /// quantiles are in the recorded unit (microseconds for RecordSeconds).
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every instrument (tests). Pointers stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace ddp
+
+#ifdef DDP_OBS_NO_METRICS
+#define DDP_METRIC_COUNTER_ADD(name, n) ((void)0)
+#define DDP_METRIC_HISTOGRAM_SECONDS(name, seconds) ((void)0)
+#define DDP_METRIC_HISTOGRAM_RECORD(name, value) ((void)0)
+#else
+/// Cache the instrument once per call site, then pay only the atomic.
+#define DDP_METRIC_COUNTER_ADD(name, n)                                    \
+  do {                                                                     \
+    static ::ddp::obs::Counter* ddp_metric_counter =                       \
+        ::ddp::obs::MetricsRegistry::Global().GetCounter(name);            \
+    ddp_metric_counter->Add(n);                                            \
+  } while (0)
+#define DDP_METRIC_HISTOGRAM_SECONDS(name, seconds)                        \
+  do {                                                                     \
+    static ::ddp::obs::Histogram* ddp_metric_hist =                        \
+        ::ddp::obs::MetricsRegistry::Global().GetHistogram(name);          \
+    ddp_metric_hist->RecordSeconds(seconds);                               \
+  } while (0)
+#define DDP_METRIC_HISTOGRAM_RECORD(name, value)                           \
+  do {                                                                     \
+    static ::ddp::obs::Histogram* ddp_metric_hist =                        \
+        ::ddp::obs::MetricsRegistry::Global().GetHistogram(name);          \
+    ddp_metric_hist->Record(value);                                        \
+  } while (0)
+#endif
+
+#endif  // DDP_OBS_METRICS_H_

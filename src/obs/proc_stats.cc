@@ -1,0 +1,46 @@
+#include "obs/proc_stats.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ddp {
+namespace obs {
+
+namespace {
+
+/// Reads one "<key>: <n> kB" line from /proc/self/status, in bytes.
+uint64_t StatusLineBytes(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kib = 0;
+  char line[256];
+  char pattern[64];
+  std::snprintf(pattern, sizeof(pattern), "%s: %%llu kB", key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long v = 0;
+    if (std::sscanf(line, pattern, &v) == 1) {
+      kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return StatusLineBytes("VmHWM"); }
+
+uint64_t CurrentRssBytes() { return StatusLineBytes("VmRSS"); }
+
+void SampleProcessGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("process.peak_rss_bytes")
+      ->Set(static_cast<double>(PeakRssBytes()));
+  registry.GetGauge("process.rss_bytes")
+      ->Set(static_cast<double>(CurrentRssBytes()));
+}
+
+}  // namespace obs
+}  // namespace ddp

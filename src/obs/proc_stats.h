@@ -1,0 +1,29 @@
+#ifndef DDP_OBS_PROC_STATS_H_
+#define DDP_OBS_PROC_STATS_H_
+
+#include <cstdint>
+
+/// \file proc_stats.h
+/// Process-level resource sampling (Linux procfs), promoted out of
+/// bench/bench_util.h so benches, the CLI, and the metrics exporter all
+/// share one implementation. All functions return 0 where procfs is
+/// unavailable rather than failing.
+
+namespace ddp {
+namespace obs {
+
+/// Peak resident set size of this process in bytes (VmHWM).
+uint64_t PeakRssBytes();
+
+/// Current resident set size of this process in bytes (VmRSS).
+uint64_t CurrentRssBytes();
+
+/// Samples PeakRssBytes/CurrentRssBytes into the global MetricsRegistry
+/// gauges `process.peak_rss_bytes` and `process.rss_bytes`. Called by the
+/// metrics exporters just before writing a snapshot.
+void SampleProcessGauges();
+
+}  // namespace obs
+}  // namespace ddp
+
+#endif  // DDP_OBS_PROC_STATS_H_

@@ -1,0 +1,56 @@
+#include "obs/session.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/trace.h"
+
+namespace ddp {
+namespace obs {
+
+Session::Session(ExportOptions options) : options_(std::move(options)) {
+  if (!options_.trace_path.empty()) TraceRecorder::Global().Enable();
+}
+
+Session::~Session() {
+  if (!finished_) {
+    Status st = Finish();
+    if (!st.ok()) {
+      DDP_LOG(Warning) << "observability export failed: " << st.ToString();
+    }
+  }
+}
+
+Status Session::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  Status result;
+  if (!options_.trace_path.empty()) {
+    TraceRecorder::Global().Disable();
+    Status st = TraceRecorder::Global().WriteChromeTrace(options_.trace_path);
+    if (!st.ok() && result.ok()) result = st;
+  }
+  if (!options_.metrics_path.empty()) {
+    SampleProcessGauges();
+    Status st = MetricsRegistry::Global().WriteJson(options_.metrics_path);
+    if (!st.ok() && result.ok()) result = st;
+  }
+  return result;
+}
+
+ExportOptions Session::FromEnv() {
+  ExportOptions options;
+  if (const char* trace = std::getenv("DDP_TRACE_OUT")) {
+    options.trace_path = trace;
+  }
+  if (const char* metrics = std::getenv("DDP_METRICS_OUT")) {
+    options.metrics_path = metrics;
+  }
+  return options;
+}
+
+}  // namespace obs
+}  // namespace ddp

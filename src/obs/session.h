@@ -1,0 +1,48 @@
+#ifndef DDP_OBS_SESSION_H_
+#define DDP_OBS_SESSION_H_
+
+#include <string>
+
+#include "common/result.h"
+
+/// \file session.h
+/// Export lifecycle glue for one process run: arm tracing when a trace
+/// output path is configured, and write the trace + metrics snapshot files
+/// on Finish(). Used by `ddp_cli --trace-out/--metrics-out` and by the
+/// bench harnesses via DDP_TRACE_OUT / DDP_METRICS_OUT environment
+/// variables, so every binary exports the same way.
+
+namespace ddp {
+namespace obs {
+
+struct ExportOptions {
+  std::string trace_path;    // Chrome trace JSON; enables tracing when set
+  std::string metrics_path;  // metrics snapshot JSON
+};
+
+class Session {
+ public:
+  /// Enables the global trace recorder when `options.trace_path` is set.
+  explicit Session(ExportOptions options);
+  /// Finishes (best-effort) if Finish() was never called.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Samples process gauges, writes the configured files, and disables
+  /// tracing. Idempotent; returns the first write error.
+  Status Finish();
+
+  /// Reads DDP_TRACE_OUT / DDP_METRICS_OUT.
+  static ExportOptions FromEnv();
+
+ private:
+  ExportOptions options_;
+  bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace ddp
+
+#endif  // DDP_OBS_SESSION_H_

@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace ddp {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed:
+  // spans may fire from thread_local destructors after static teardown.
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_ns_(SteadyNowNs()) {
+  static std::atomic<uint64_t> next_recorder_id{1};
+  id_ = next_recorder_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>((SteadyNowNs() - epoch_ns_) / 1000);
+}
+
+internal::ThreadTraceBuffer* TraceRecorder::BufferForThisThread() {
+  // One buffer per (thread, recorder). The thread_local holds shared
+  // ownership so the buffer outlives the thread inside `buffers_`, keeping
+  // worker-thread spans exportable after their ThreadPool is destroyed.
+  // The slot keys on the recorder's process-unique id, not its address: a
+  // destroyed recorder's address can be reused by a new one (stack-allocated
+  // recorders in tests), and a pointer match would then hand the new
+  // recorder a stale buffer it never registered.
+  struct Slot {
+    uint64_t owner_id = 0;
+    std::shared_ptr<internal::ThreadTraceBuffer> buffer;
+  };
+  thread_local Slot slot;
+  if (slot.owner_id != id_) {
+    auto buffer = std::make_shared<internal::ThreadTraceBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    slot.owner_id = id_;
+    slot.buffer = std::move(buffer);
+  }
+  return slot.buffer.get();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) >=
+      max_events_.load(std::memory_order_relaxed)) {
+    recorded_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  internal::ThreadTraceBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<internal::ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginObject();
+    w.Field("name", std::string_view(ev.name));
+    w.Field("cat", std::string_view(ev.category));
+    w.Field("ph", std::string_view("X"));
+    w.Field("ts", ev.start_us);
+    w.Field("dur", ev.duration_us);
+    w.Field("pid", uint64_t{1});
+    w.Field("tid", uint64_t{ev.tid});
+    if (ev.cancelled || !ev.args.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      if (ev.cancelled) w.Field("cancelled", true);
+      for (const TraceEvent::Arg& arg : ev.args) {
+        if (arg.numeric) {
+          w.Key(arg.key);
+          // The digits were formatted by AddArg; re-emit verbatim via the
+          // typed path to keep the writer's comma bookkeeping correct.
+          char* end = nullptr;
+          w.Double(std::strtod(arg.value.c_str(), &end));
+        } else {
+          w.Field(arg.key, std::string_view(arg.value));
+        }
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", std::string_view("ms"));
+  if (dropped_events() > 0) {
+    w.Key("otherData");
+    w.BeginObject();
+    w.Field("dropped_events", dropped_events());
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open trace file " + path);
+  const std::string json = ToChromeTraceJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  if (!out) return Status::IoError("short write to trace file " + path);
+  return Status::OK();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Span::Span(TraceRecorder& recorder, const char* category,
+           std::string_view name) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  event_ = std::make_unique<TraceEvent>();
+  event_->name.assign(name);
+  event_->category = category;
+  event_->start_us = recorder.NowMicros();
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (event_ == nullptr) return;
+  const uint64_t now = recorder_->NowMicros();
+  event_->duration_us = now >= event_->start_us ? now - event_->start_us : 0;
+  recorder_->Record(std::move(*event_));
+  event_.reset();
+}
+
+void Span::AddArg(std::string_view key, std::string_view value) {
+  if (event_ == nullptr) return;
+  event_->args.push_back({std::string(key), std::string(value), false});
+}
+
+void Span::AddArg(std::string_view key, uint64_t value) {
+  if (event_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  event_->args.push_back({std::string(key), buf, true});
+}
+
+void Span::AddArg(std::string_view key, double value) {
+  if (event_ == nullptr) return;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  event_->args.push_back({std::string(key), buf, true});
+}
+
+void Span::MarkCancelled() {
+  if (event_ == nullptr) return;
+  event_->cancelled = true;
+}
+
+}  // namespace obs
+}  // namespace ddp

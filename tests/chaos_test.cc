@@ -19,6 +19,7 @@
 #include "ddp/eddpc.h"
 #include "ddp/lsh_ddp.h"
 #include "mapreduce/checkpoint.h"
+#include "obs/trace.h"
 
 namespace ddp {
 namespace {
@@ -151,6 +152,53 @@ TEST_P(ChaosTest, KilledDriverResumesBitIdentical) {
   EXPECT_TRUE(BitIdentical(*baseline, *resumed));
   EXPECT_GT(resumed->stats.JobsLoadedFromCheckpoint(), 0u);
   std::filesystem::remove_all(dir);
+}
+
+// Observability under chaos: attempts killed by the task deadline (and
+// speculative attempts cancelled before they start) must still flush their
+// trace spans, marked cancelled — even though the worker pools that
+// recorded them are destroyed before the snapshot is taken. The straggler
+// dawdle (1.2s) deliberately exceeds the deadline (0.3s), so the monitor
+// wakes the dawdlers and they self-report DeadlineExceeded; injection is a
+// pure function of the seed, so the kills are deterministic. The deadline
+// is sized so that legitimate attempts stay well under it even at
+// sanitizer (TSan ~10x) slowdowns — this test runs under TSan in CI.
+TEST(ChaosTraceTest, KilledAttemptSpansAreFlushedAndMarkedCancelled) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+
+  auto ds = gen::KddLike(/*seed=*/5, 400);
+  ASSERT_TRUE(ds.ok());
+  DdpOptions chaos = BaseOptions();
+  chaos.mr.num_partitions = 4;  // fewer tasks: each kill waits a deadline
+  chaos.mr.faults.straggler_rate = 0.3;
+  chaos.mr.faults.straggler_slowdown = 1.0;
+  chaos.mr.faults.straggler_min_seconds = 1.2;
+  chaos.mr.faults.seed = 20260806;
+  chaos.mr.task_deadline_seconds = 0.3;
+  chaos.mr.max_task_attempts = 24;
+  chaos.mr.speculative_execution = true;
+  LshDdp algo;
+  auto result = RunDistributedDp(&algo, *ds, chaos);
+  recorder.Disable();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const uint64_t kills = result->stats.TotalDeadlineKills();
+  EXPECT_GT(kills, 0u);
+
+  // The MR pools are gone by now; the recorder must still hold every
+  // attempt span they recorded.
+  size_t attempts = 0;
+  size_t cancelled = 0;
+  for (const obs::TraceEvent& e : recorder.Snapshot()) {
+    if (e.name == "map-attempt" || e.name == "reduce-attempt") {
+      ++attempts;
+      if (e.cancelled) ++cancelled;
+    }
+  }
+  EXPECT_GT(attempts, 0u);
+  EXPECT_GE(cancelled, kills);
+  recorder.Clear();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ChaosTest,

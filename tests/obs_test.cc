@@ -1,0 +1,514 @@
+// Unit tests for the observability subsystem (src/obs/): JSON writer
+// escaping, trace recording + Chrome trace-event export, metrics registry
+// snapshots, histogram quantiles, heartbeat, procfs sampling, and the
+// counters JSON serialization. The exported documents are re-parsed with a
+// minimal JSON reader to prove they are well-formed, and trace nesting is
+// checked to be properly bracketed per thread.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mapreduce/counters.h"
+#include "obs/heartbeat.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+
+namespace ddp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: enough to re-parse our own exports. Numbers are kept
+// as doubles; any syntax error fails the parse.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            // Decoded only far enough for round-trip checks: keep the
+            // escaped form verbatim.
+            out->append("\\u");
+            out->append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->object.emplace(std::move(key), std::move(v));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->array.push_back(std::move(v));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ParseLiteral("null");
+    }
+    // number
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start))
+                                  .c_str(),
+                              nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.Parse(&v)) << "invalid JSON: " << text.substr(0, 200);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, WritesNestedDocumentWithEscapes) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("name", std::string_view("quote\" slash\\ newline\n tab\t"));
+  w.Field("count", uint64_t{42});
+  w.Field("neg", int64_t{-7});
+  w.Field("ratio", 0.5);
+  w.Field("flag", true);
+  w.Key("missing");
+  w.Null();
+  w.Key("list");
+  w.BeginArray();
+  w.Uint(1);
+  w.String("two");
+  w.BeginObject();
+  w.Field("deep", uint64_t{3});
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue v = MustParse(w.str());
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Get("name")->string, "quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(v.Get("count")->number, 42.0);
+  EXPECT_EQ(v.Get("neg")->number, -7.0);
+  EXPECT_EQ(v.Get("flag")->boolean, true);
+  EXPECT_EQ(v.Get("missing")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v.Get("list")->array.size(), 3u);
+  EXPECT_EQ(v.Get("list")->array[2].Get("deep")->number, 3.0);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(1.5);
+  w.EndArray();
+  JsonValue v = MustParse(w.str());
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_EQ(v.array[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.array[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.array[2].number, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder + Chrome export
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  obs::TraceRecorder recorder;
+  {
+    obs::Span span(recorder, "test", "ignored");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceTest, NestedAndThreadedSpansExportWellFormed) {
+  obs::TraceRecorder recorder;
+  recorder.Enable();
+  {
+    obs::Span outer(recorder, "test", "outer");
+    outer.AddArg("job", "demo");
+    {
+      obs::Span inner(recorder, "test", "inner");
+      inner.AddArg("n", uint64_t{7});
+    }
+    obs::Span cancelled_span(recorder, "test", "doomed");
+    cancelled_span.MarkCancelled();
+  }
+  std::thread worker([&recorder] {
+    obs::Span span(recorder, "test", "worker");
+    span.AddArg("ratio", 0.25);
+  });
+  worker.join();  // buffer must survive this thread's exit
+  recorder.Disable();
+
+  std::vector<obs::TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by start; the outer span starts first.
+  EXPECT_EQ(events[0].name, "outer");
+
+  JsonValue doc = MustParse(recorder.ToChromeTraceJson());
+  const JsonValue* trace_events = doc.Get("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->array.size(), 4u);
+
+  bool saw_cancelled = false;
+  for (const JsonValue& e : trace_events->array) {
+    EXPECT_EQ(e.Get("ph")->string, "X");
+    EXPECT_NE(e.Get("name"), nullptr);
+    EXPECT_NE(e.Get("ts"), nullptr);
+    EXPECT_NE(e.Get("dur"), nullptr);
+    EXPECT_NE(e.Get("tid"), nullptr);
+    if (e.Get("name")->string == "doomed") {
+      const JsonValue* args = e.Get("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Get("cancelled")->boolean, true);
+      saw_cancelled = true;
+    }
+    if (e.Get("name")->string == "inner") {
+      EXPECT_EQ(e.Get("args")->Get("n")->number, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_cancelled);
+
+  // Per-thread nesting must be properly bracketed: any two spans on one tid
+  // are either disjoint or one contains the other.
+  struct Interval {
+    double start, end;
+  };
+  std::map<double, std::vector<Interval>> by_tid;
+  for (const JsonValue& e : trace_events->array) {
+    by_tid[e.Get("tid")->number].push_back(
+        {e.Get("ts")->number, e.Get("ts")->number + e.Get("dur")->number});
+  }
+  for (const auto& [tid, intervals] : by_tid) {
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      for (size_t j = i + 1; j < intervals.size(); ++j) {
+        const Interval& a = intervals[i];
+        const Interval& b = intervals[j];
+        const bool disjoint = a.end <= b.start || b.end <= a.start;
+        const bool a_in_b = b.start <= a.start && a.end <= b.end;
+        const bool b_in_a = a.start <= b.start && b.end <= a.end;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "tid " << tid << ": overlapping but not nested intervals ["
+            << a.start << "," << a.end << ") and [" << b.start << ","
+            << b.end << ")";
+      }
+    }
+  }
+}
+
+TEST(TraceTest, EventCapDropsAndCounts) {
+  obs::TraceRecorder recorder;
+  recorder.SetMaxEvents(3);
+  recorder.Enable();
+  for (int i = 0; i < 10; ++i) {
+    obs::Span span(recorder, "test", "e");
+  }
+  recorder.Disable();
+  EXPECT_EQ(recorder.Snapshot().size(), 3u);
+  EXPECT_EQ(recorder.dropped_events(), 7u);
+  JsonValue doc = MustParse(recorder.ToChromeTraceJson());
+  EXPECT_EQ(doc.Get("otherData")->Get("dropped_events")->number, 7.0);
+}
+
+TEST(TraceTest, EndIsIdempotentAndStopsTheClock) {
+  obs::TraceRecorder recorder;
+  recorder.Enable();
+  obs::Span span(recorder, "test", "early-end");
+  span.End();
+  span.End();  // no double record
+  recorder.Disable();
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CountersGaugesHistogramsSnapshotAsJson) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("test.count")->Add(3);
+  registry.GetCounter("test.count")->Add(2);
+  registry.GetGauge("test.gauge")->Set(1.25);
+  obs::Histogram* hist = registry.GetHistogram("test.lat");
+  for (uint64_t v = 1; v <= 1000; ++v) hist->Record(v);
+
+  obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_GT(snap.p50, 0.0);
+  EXPECT_GT(snap.p95, 0.0);
+  EXPECT_GT(snap.p99, 0.0);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  // Log-bucketed interpolation: the medians land within a 2x bracket.
+  EXPECT_GE(snap.p50, 256.0);
+  EXPECT_LE(snap.p50, 1024.0);
+
+  JsonValue doc = MustParse(registry.ToJson());
+  EXPECT_EQ(doc.Get("counters")->Get("test.count")->number, 5.0);
+  EXPECT_EQ(doc.Get("gauges")->Get("test.gauge")->number, 1.25);
+  const JsonValue* lat = doc.Get("histograms")->Get("test.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Get("count")->number, 1000.0);
+  EXPECT_GT(lat->Get("p99")->number, 0.0);
+}
+
+TEST(MetricsTest, GlobalMacrosAccumulate) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t before = registry.GetCounter("obs_test.macro")->value();
+  for (int i = 0; i < 10; ++i) DDP_METRIC_COUNTER_ADD("obs_test.macro", 2);
+  EXPECT_EQ(registry.GetCounter("obs_test.macro")->value(), before + 20);
+  DDP_METRIC_HISTOGRAM_SECONDS("obs_test.macro_seconds", 0.001);
+  EXPECT_GE(registry.GetHistogram("obs_test.macro_seconds")->Snap().count, 1u);
+}
+
+TEST(MetricsTest, HistogramSecondsRecordsMicros) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("sec");
+  hist->RecordSeconds(0.002);  // 2000 us
+  obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.p50, 1024.0);
+  EXPECT_LE(snap.p50, 4096.0);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat + proc stats
+
+TEST(HeartbeatTest, BeatsAndStopsCleanly) {
+  int calls = 0;
+  {
+    obs::ProgressHeartbeat hb(0.02, [&calls] {
+      ++calls;
+      return std::string("tick");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }
+  EXPECT_GT(calls, 0);
+}
+
+TEST(HeartbeatTest, ZeroIntervalStartsNoThread) {
+  obs::ProgressHeartbeat hb(0.0, [] { return std::string("never"); });
+  EXPECT_EQ(hb.beats(), 0u);
+}
+
+TEST(ProcStatsTest, ReportsResidentSetOnLinux) {
+  // /proc exists on every platform this repo targets.
+  EXPECT_GT(obs::PeakRssBytes(), 0u);
+  EXPECT_GT(obs::CurrentRssBytes(), 0u);
+  obs::SampleProcessGauges();
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetGauge("process.peak_rss_bytes")
+                ->value(),
+            0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Session export + counters JSON
+
+TEST(SessionTest, WritesTraceAndMetricsFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddp_obs_test";
+  std::filesystem::create_directories(dir);
+  const std::string trace_path = (dir / "trace.json").string();
+  const std::string metrics_path = (dir / "metrics.json").string();
+
+  obs::ExportOptions options;
+  options.trace_path = trace_path;
+  options.metrics_path = metrics_path;
+  {
+    obs::Session session(options);
+    EXPECT_TRUE(obs::TraceRecorder::Global().enabled());
+    {
+      // Must close before Finish(): spans record on scope exit.
+      DDP_TRACE_SCOPE("test", "session-span");
+    }
+    DDP_METRIC_COUNTER_ADD("obs_test.session", 1);
+    ASSERT_TRUE(session.Finish().ok());
+    ASSERT_TRUE(session.Finish().ok());  // idempotent
+  }
+  EXPECT_FALSE(obs::TraceRecorder::Global().enabled());
+
+  std::stringstream trace_text;
+  trace_text << std::ifstream(trace_path).rdbuf();
+  JsonValue trace = MustParse(trace_text.str());
+  ASSERT_NE(trace.Get("traceEvents"), nullptr);
+  bool found = false;
+  for (const JsonValue& e : trace.Get("traceEvents")->array) {
+    if (e.Get("name")->string == "session-span") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  std::stringstream metrics_text;
+  metrics_text << std::ifstream(metrics_path).rdbuf();
+  JsonValue metrics = MustParse(metrics_text.str());
+  EXPECT_GE(metrics.Get("counters")->Get("obs_test.session")->number, 1.0);
+  // Finish() samples process gauges before writing.
+  EXPECT_GT(metrics.Get("gauges")->Get("process.peak_rss_bytes")->number, 0.0);
+
+  obs::TraceRecorder::Global().Clear();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CountersJsonTest, JobAndRunStatsRoundTrip) {
+  mr::JobCounters j;
+  j.job_name = "demo-job \"quoted\"";
+  j.map_input_records = 100;
+  j.shuffle_bytes = 4096;
+  j.group_size_log2_histogram = {5, 3, 0, 1};
+  j.total_seconds = 0.5;
+  JsonValue job = MustParse(j.ToJson());
+  EXPECT_EQ(job.Get("job_name")->string, "demo-job \"quoted\"");
+  EXPECT_EQ(job.Get("shuffle_bytes")->number, 4096.0);
+  ASSERT_EQ(job.Get("group_size_log2_histogram")->array.size(), 4u);
+  EXPECT_EQ(job.Get("group_size_log2_histogram")->array[1].number, 3.0);
+
+  mr::RunStats stats;
+  stats.Add(j);
+  mr::JobCounters j2;
+  j2.job_name = "second";
+  j2.shuffle_bytes = 1024;
+  stats.Add(j2);
+  JsonValue run = MustParse(stats.ToJson());
+  ASSERT_EQ(run.Get("jobs")->array.size(), 2u);
+  EXPECT_EQ(run.Get("totals")->Get("shuffle_bytes")->number, 5120.0);
+  EXPECT_EQ(run.Get("totals")->Get("jobs")->number, 2.0);
+}
+
+}  // namespace
+}  // namespace ddp

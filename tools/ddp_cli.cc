@@ -31,6 +31,12 @@
 //   --graph FILE                 export the decision graph TSV
 //   --out FILE                   write input + cluster-id column (default
 //                                <in>.clustered.csv)
+//   --trace-out FILE             record tracing spans for the whole run and
+//                                write Chrome trace-event JSON (load in
+//                                Perfetto / chrome://tracing)
+//   --metrics-out FILE           write the metrics registry snapshot JSON
+//   --stats-out FILE             write per-job MapReduce counters JSON
+//   --heartbeat SECONDS          log per-phase progress every S seconds
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +61,7 @@
 #include "eval/metrics.h"
 #include "lsh/theory.h"
 #include "lsh/tuning.h"
+#include "obs/session.h"
 
 namespace ddp {
 namespace {
@@ -73,7 +80,9 @@ int Usage() {
       "          [--dc D] [--percentile P] [--kernel cutoff|gaussian]\n"
       "          [--local-backend auto|brute|kdtree|triangle]\n"
       "          [--memory-budget BYTES] [--spill-dir DIR]\n"
-      "          [--block N] [--halo] [--graph FILE] [--out FILE]\n");
+      "          [--block N] [--halo] [--graph FILE] [--out FILE]\n"
+      "          [--trace-out FILE] [--metrics-out FILE] [--stats-out FILE]\n"
+      "          [--heartbeat SECONDS]\n");
   return 2;
 }
 
@@ -263,12 +272,22 @@ int CmdCluster(const Args& args) {
     return 1;
   }
 
+  // Observability: flags win over the DDP_TRACE_OUT / DDP_METRICS_OUT
+  // environment hooks; the session writes both files when the run ends.
+  obs::ExportOptions export_options = obs::Session::FromEnv();
+  if (args.Has("trace-out")) export_options.trace_path = args.Get("trace-out");
+  if (args.Has("metrics-out")) {
+    export_options.metrics_path = args.Get("metrics-out");
+  }
+  obs::Session obs_session(export_options);
+
   DdpOptions options;
   options.dc = args.GetDouble("dc", 0.0);
   options.cutoff.percentile = args.GetDouble("percentile", 0.02);
   options.mr.memory_budget_bytes =
       static_cast<uint64_t>(args.GetSize("memory-budget", 0));
   options.mr.spill_dir = args.Get("spill-dir");
+  options.mr.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
   if (args.Has("k")) {
     options.selector = PeakSelector::TopK(args.GetSize("k", 8));
   } else if (args.Has("rho") || args.Has("delta")) {
@@ -356,6 +375,16 @@ int CmdCluster(const Args& args) {
   if (!run->stats.jobs.empty()) {
     std::printf("%s\n", run->stats.ToString().c_str());
   }
+  if (args.Has("stats-out")) {
+    std::ofstream stats_file(args.Get("stats-out"));
+    stats_file << run->stats.ToJson() << '\n';
+    if (!stats_file) {
+      std::fprintf(stderr, "stats write failed: %s\n",
+                   args.Get("stats-out").c_str());
+      return 1;
+    }
+    std::printf("job stats -> %s\n", args.Get("stats-out").c_str());
+  }
   if (ds->has_labels()) {
     auto ari = eval::AdjustedRandIndex(run->clusters.assignment, ds->labels());
     if (ari.ok()) std::printf("ARI vs input labels: %.4f\n", *ari);
@@ -408,6 +437,18 @@ int CmdCluster(const Args& args) {
     return 1;
   }
   std::printf("clustered output -> %s\n", out_path.c_str());
+  Status obs_st = obs_session.Finish();
+  if (!obs_st.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 obs_st.ToString().c_str());
+    return 1;
+  }
+  if (!export_options.trace_path.empty()) {
+    std::printf("trace -> %s\n", export_options.trace_path.c_str());
+  }
+  if (!export_options.metrics_path.empty()) {
+    std::printf("metrics -> %s\n", export_options.metrics_path.c_str());
+  }
   return 0;
 }
 
