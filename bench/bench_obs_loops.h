@@ -1,5 +1,4 @@
-#ifndef DDP_BENCH_BENCH_OBS_LOOPS_H_
-#define DDP_BENCH_BENCH_OBS_LOOPS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -15,4 +14,3 @@ uint64_t SpanLoopCompiledOut(size_t iters);
 }  // namespace bench_obs
 }  // namespace ddp
 
-#endif  // DDP_BENCH_BENCH_OBS_LOOPS_H_

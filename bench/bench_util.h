@@ -1,5 +1,4 @@
-#ifndef DDP_BENCH_BENCH_UTIL_H_
-#define DDP_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -133,4 +132,3 @@ struct QuietLogs {
 }  // namespace bench
 }  // namespace ddp
 
-#endif  // DDP_BENCH_BENCH_UTIL_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_BASELINES_DBSCAN_H_
-#define DDP_BASELINES_DBSCAN_H_
+#pragma once
 
 #include <vector>
 
@@ -34,4 +33,3 @@ Result<DbscanResult> RunDbscan(const Dataset& dataset,
 }  // namespace baselines
 }  // namespace ddp
 
-#endif  // DDP_BASELINES_DBSCAN_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_BASELINES_EM_GMM_H_
-#define DDP_BASELINES_EM_GMM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -42,4 +41,3 @@ Result<EmGmmResult> RunEmGmm(const Dataset& dataset,
 }  // namespace baselines
 }  // namespace ddp
 
-#endif  // DDP_BASELINES_EM_GMM_H_

@@ -61,7 +61,7 @@ Result<HierarchicalResult> RunHierarchical(const Dataset& dataset,
       if (!active[k] || k == bi || k == bj) continue;
       double dik = dist[bi * n + k];
       double djk = dist[bj * n + k];
-      double merged;
+      double merged = dik;  // overwritten below; init pacifies -Wmaybe-uninitialized
       switch (options.linkage) {
         case Linkage::kSingle:
           merged = std::min(dik, djk);

@@ -1,5 +1,4 @@
-#ifndef DDP_BASELINES_HIERARCHICAL_H_
-#define DDP_BASELINES_HIERARCHICAL_H_
+#pragma once
 
 #include <vector>
 
@@ -37,4 +36,3 @@ Result<HierarchicalResult> RunHierarchical(const Dataset& dataset,
 }  // namespace baselines
 }  // namespace ddp
 
-#endif  // DDP_BASELINES_HIERARCHICAL_H_

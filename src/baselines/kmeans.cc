@@ -95,16 +95,16 @@ Result<KmeansResult> RunKmeans(const Dataset& dataset,
 
     for (size_t i = 0; i < n; ++i) {
       std::span<const double> p = dataset.point(static_cast<PointId>(i));
-      int best = 0;
+      size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < options.k; ++c) {
         double d = metric.SquaredDistance(p, result.centroids[c]);
         if (d < best_d) {
           best_d = d;
-          best = static_cast<int>(c);
+          best = c;
         }
       }
-      result.assignment[i] = best;
+      result.assignment[i] = static_cast<int>(best);
       result.inertia += best_d;
       for (size_t d = 0; d < dim; ++d) sums[best][d] += p[d];
       ++counts[best];

@@ -1,5 +1,4 @@
-#ifndef DDP_BASELINES_KMEANS_H_
-#define DDP_BASELINES_KMEANS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -39,4 +38,3 @@ Result<KmeansResult> RunKmeans(const Dataset& dataset,
 }  // namespace baselines
 }  // namespace ddp
 
-#endif  // DDP_BASELINES_KMEANS_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_BASELINES_MEAN_SHIFT_H_
-#define DDP_BASELINES_MEAN_SHIFT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -47,4 +46,3 @@ Result<MeanShiftResult> RunMeanShift(const Dataset& dataset,
 }  // namespace baselines
 }  // namespace ddp
 
-#endif  // DDP_BASELINES_MEAN_SHIFT_H_

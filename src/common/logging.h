@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_LOGGING_H_
-#define DDP_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -64,4 +63,3 @@ class LogMessage {
 #define DDP_CHECK_GT(a, b) DDP_CHECK((a) > (b))
 #define DDP_CHECK_GE(a, b) DDP_CHECK((a) >= (b))
 
-#endif  // DDP_COMMON_LOGGING_H_

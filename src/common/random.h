@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_RANDOM_H_
-#define DDP_COMMON_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -72,4 +71,3 @@ std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k, Rng* rng);
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_RANDOM_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_RESULT_H_
-#define DDP_COMMON_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <utility>
@@ -83,4 +82,3 @@ class Result {
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_RESULT_H_

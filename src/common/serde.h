@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_SERDE_H_
-#define DDP_COMMON_SERDE_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -299,4 +298,3 @@ inline constexpr bool has_serde_v = HasSerde<T>::value;
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_SERDE_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_STATUS_H_
-#define DDP_COMMON_STATUS_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -141,4 +140,3 @@ inline bool operator==(const Status& a, const Status& b) {
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_STOPWATCH_H_
-#define DDP_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -33,4 +32,3 @@ class Stopwatch {
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_STOPWATCH_H_

@@ -62,7 +62,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   size_t shards = std::min(n, num_threads());
   for (size_t s = 0; s < shards; ++s) {
     Submit([cursor, n, &body] {
-      for (size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+      // Relaxed: the cursor only hands out indices; the happens-before edge
+      // between body(i) effects and the caller is the pool's Wait() mutex.
+      for (size_t i = cursor->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = cursor->fetch_add(1, std::memory_order_relaxed)) {
         body(i);
       }
     });

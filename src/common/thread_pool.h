@@ -1,5 +1,4 @@
-#ifndef DDP_COMMON_THREAD_POOL_H_
-#define DDP_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -83,4 +82,3 @@ size_t DefaultParallelism();
 
 }  // namespace ddp
 
-#endif  // DDP_COMMON_THREAD_POOL_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_ASSIGNMENT_H_
-#define DDP_CORE_ASSIGNMENT_H_
+#pragma once
 
 #include <span>
 
@@ -27,4 +26,3 @@ Result<ClusterResult> AssignClusters(const Dataset& dataset,
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_ASSIGNMENT_H_

@@ -44,7 +44,9 @@ Result<double> ChooseCutoff(const Dataset& dataset,
   size_t pos = static_cast<size_t>(options.percentile *
                                    static_cast<double>(distances.size()));
   pos = std::min(pos, distances.size() - 1);
-  std::nth_element(distances.begin(), distances.begin() + pos, distances.end());
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<std::ptrdiff_t>(pos),
+                   distances.end());
   double dc = distances[pos];
   if (!(dc > 0.0)) {
     // Degenerate (many duplicate points): fall back to the smallest positive

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_CUTOFF_H_
-#define DDP_CORE_CUTOFF_H_
+#pragma once
 
 #include <cstdint>
 
@@ -36,4 +35,3 @@ Result<double> ChooseCutoff(const Dataset& dataset,
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_CUTOFF_H_

@@ -44,7 +44,8 @@ std::vector<PointId> DecisionGraph::SelectTopK(size_t k) const {
   std::vector<PointId> ids(size());
   std::iota(ids.begin(), ids.end(), 0);
   k = std::min(k, ids.size());
-  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(k), ids.end(),
                     [&](PointId a, PointId b) {
                       double ga = gamma(a), gb = gamma(b);
                       if (ga != gb) return ga > gb;

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_DECISION_GRAPH_H_
-#define DDP_CORE_DECISION_GRAPH_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,4 +53,3 @@ class DecisionGraph {
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_DECISION_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_DP_TYPES_H_
-#define DDP_CORE_DP_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -59,4 +58,3 @@ struct ClusterResult {
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_DP_TYPES_H_

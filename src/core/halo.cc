@@ -33,10 +33,12 @@ Result<HaloResult> ComputeHalo(const Dataset& dataset, const DpScores& scores,
       double avg = 0.5 * (static_cast<double>(scores.rho[i]) +
                           static_cast<double>(scores.rho[j]));
       if (ci >= 0) {
-        result.border_density[ci] = std::max(result.border_density[ci], avg);
+        double& bd = result.border_density[static_cast<size_t>(ci)];
+        bd = std::max(bd, avg);
       }
       if (cj >= 0) {
-        result.border_density[cj] = std::max(result.border_density[cj], avg);
+        double& bd = result.border_density[static_cast<size_t>(cj)];
+        bd = std::max(bd, avg);
       }
     }
   }
@@ -47,8 +49,8 @@ Result<HaloResult> ComputeHalo(const Dataset& dataset, const DpScores& scores,
       result.halo[i] = true;
       continue;
     }
-    result.halo[i] =
-        static_cast<double>(scores.rho[i]) < result.border_density[c];
+    result.halo[i] = static_cast<double>(scores.rho[i]) <
+                     result.border_density[static_cast<size_t>(c)];
   }
   return result;
 }

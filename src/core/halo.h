@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_HALO_H_
-#define DDP_CORE_HALO_H_
+#pragma once
 
 #include <vector>
 
@@ -38,4 +37,3 @@ Result<HaloResult> ComputeHalo(const Dataset& dataset, const DpScores& scores,
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_HALO_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_KERNEL_H_
-#define DDP_CORE_KERNEL_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -59,4 +58,3 @@ inline uint32_t QuantizeDensity(double rho) {
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_KERNEL_H_

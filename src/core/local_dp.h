@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_LOCAL_DP_H_
-#define DDP_CORE_LOCAL_DP_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -135,6 +134,8 @@ struct LocalDeltaBest {
     return false;
   }
 
+  // ddp-lint: allow(no-raw-sqrt) -- the one final-assembly sqrt of the
+  // squared-space contract: delta leaves d^2 space only here.
   double Delta() const { return std::sqrt(d_sq); }
 };
 
@@ -199,4 +200,3 @@ class LocalDpEngine {
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_LOCAL_DP_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_CORE_SEQUENTIAL_DP_H_
-#define DDP_CORE_SEQUENTIAL_DP_H_
+#pragma once
 
 #include "common/result.h"
 #include "core/dp_types.h"
@@ -81,4 +80,3 @@ LocalDpResult ComputeLocalDelta(const Dataset& dataset,
 
 }  // namespace ddp
 
-#endif  // DDP_CORE_SEQUENTIAL_DP_H_

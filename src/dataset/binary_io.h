@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_BINARY_IO_H_
-#define DDP_DATASET_BINARY_IO_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -51,4 +50,3 @@ Result<BinaryFileInfo> PeekBinaryFileInfo(const std::string& path);
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_BINARY_IO_H_

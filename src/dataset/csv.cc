@@ -60,7 +60,8 @@ Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
       return Status::IoError("inconsistent row width at line " +
                              std::to_string(line_no));
     }
-    values.insert(values.end(), row.begin(), row.begin() + coord_width);
+    values.insert(values.end(), row.begin(),
+                  row.begin() + static_cast<std::ptrdiff_t>(coord_width));
     if (options.last_column_is_label) {
       labels.push_back(static_cast<int>(row.back()));
     }

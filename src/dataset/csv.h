@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_CSV_H_
-#define DDP_DATASET_CSV_H_
+#pragma once
 
 #include <string>
 
@@ -30,4 +29,3 @@ Status WriteCsvFile(const std::string& path, const Dataset& dataset);
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_CSV_H_

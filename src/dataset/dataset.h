@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_DATASET_H_
-#define DDP_DATASET_DATASET_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -79,4 +78,3 @@ class Dataset {
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_DATASET_H_

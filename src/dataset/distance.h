@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_DISTANCE_H_
-#define DDP_DATASET_DISTANCE_H_
+#pragma once
 
 #include <atomic>
 #include <cmath>
@@ -75,4 +74,3 @@ class CountingMetric {
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_DISTANCE_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_GENERATORS_H_
-#define DDP_DATASET_GENERATORS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -92,4 +91,3 @@ std::vector<NamedDataset> PerformanceSuite();
 }  // namespace gen
 }  // namespace ddp
 
-#endif  // DDP_DATASET_GENERATORS_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_KDTREE_H_
-#define DDP_DATASET_KDTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -132,4 +131,3 @@ class KdTree {
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_KDTREE_H_

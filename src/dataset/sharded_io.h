@@ -1,5 +1,4 @@
-#ifndef DDP_DATASET_SHARDED_IO_H_
-#define DDP_DATASET_SHARDED_IO_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -104,4 +103,3 @@ Result<std::vector<std::string>> WriteShardedDataset(
 
 }  // namespace ddp
 
-#endif  // DDP_DATASET_SHARDED_IO_H_

@@ -41,12 +41,23 @@ void TargetsOf(uint32_t block, uint32_t num_blocks, std::vector<uint32_t>* out) 
   }
 }
 
-// Groups reducer input by source block, preserving arrival order.
-std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> GroupByBlock(
-    std::span<const BlockedPoint> values) {
-  std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> blocks;
-  for (const BlockedPoint& v : values) blocks[v.block].push_back(&v);
-  return blocks;
+// Reducer input grouped by source block. Members preserve arrival order;
+// `present` lists the block ids in sorted order so every loop that feeds
+// reducer output walks blocks in a derivable order, never hash order.
+struct BlockGroups {
+  std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> members;
+  std::vector<uint32_t> present;
+};
+
+BlockGroups GroupByBlock(std::span<const BlockedPoint> values) {
+  BlockGroups groups;
+  for (const BlockedPoint& v : values) groups.members[v.block].push_back(&v);
+  groups.present.reserve(groups.members.size());
+  // Hash-order iteration is confined to this collect step; the sort below
+  // is what makes downstream emission order derivable (R2).
+  for (const auto& [b, pts] : groups.members) groups.present.push_back(b);
+  std::sort(groups.present.begin(), groups.present.end());
+  return groups;
 }
 
 // Borrows one block's coordinate rows into an engine view, in arrival order.
@@ -109,18 +120,15 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
                        const uint32_t& reducer,
                        std::span<const BlockedPoint> values,
                        std::vector<RhoPartial>* out) {
-    auto blocks = GroupByBlock(values);
-    // All blocks present at this reducer, with engine views and
+    BlockGroups blocks = GroupByBlock(values);
+    // All blocks present at this reducer (sorted), with engine views and
     // position-aligned partial counts.
-    std::vector<uint32_t> present;
-    present.reserve(blocks.size());
-    for (const auto& [b, pts] : blocks) present.push_back(b);
-    std::sort(present.begin(), present.end());
+    const std::vector<uint32_t>& present = blocks.present;
     std::unordered_map<uint32_t, LocalPointView> views;
     std::unordered_map<uint32_t, std::vector<uint32_t>> counts;
     for (uint32_t b : present) {
-      views.emplace(b, BlockView(blocks[b], dim));
-      counts[b].assign(blocks[b].size(), 0);
+      views.emplace(b, BlockView(blocks.members[b], dim));
+      counts[b].assign(blocks.members[b].size(), 0);
     }
     for (size_t x = 0; x < present.size(); ++x) {
       for (size_t y = x; y < present.size(); ++y) {
@@ -198,20 +206,17 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
                          const uint32_t& reducer,
                          std::span<const BlockedPoint> values,
                          std::vector<DeltaOut>* out) {
-    auto blocks = GroupByBlock(values);
-    std::vector<uint32_t> present;
-    present.reserve(blocks.size());
-    for (const auto& [b, pts] : blocks) present.push_back(b);
-    std::sort(present.begin(), present.end());
+    BlockGroups blocks = GroupByBlock(values);
+    const std::vector<uint32_t>& present = blocks.present;
     std::unordered_map<uint32_t, LocalPointView> views;
     std::unordered_map<uint32_t, std::vector<uint32_t>> rhos;
     std::unordered_map<uint32_t, std::vector<LocalDeltaBest>> best;
     for (uint32_t b : present) {
-      views.emplace(b, BlockView(blocks[b], dim));
+      views.emplace(b, BlockView(blocks.members[b], dim));
       std::vector<uint32_t>& r = rhos[b];
-      r.reserve(blocks[b].size());
-      for (const BlockedPoint* p : blocks[b]) r.push_back(p->point.rho);
-      best[b].resize(blocks[b].size());
+      r.reserve(blocks.members[b].size());
+      for (const BlockedPoint* p : blocks.members[b]) r.push_back(p->point.rho);
+      best[b].resize(blocks.members[b].size());
     }
     for (size_t x = 0; x < present.size(); ++x) {
       for (size_t y = x; y < present.size(); ++y) {
@@ -283,6 +288,8 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   scores.rho = std::move(rho);
   for (const DeltaOut& d : delta_final) {
+    // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
+    // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }

@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_BASIC_DDP_H_
-#define DDP_DDP_BASIC_DDP_H_
+#pragma once
 
 #include <cstdint>
 
@@ -54,4 +53,3 @@ class BasicDdp : public DistributedDpAlgorithm {
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_BASIC_DDP_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_DDP_H_
-#define DDP_DDP_DDP_H_
+#pragma once
 
 /// \file ddp.h
 /// Umbrella header: everything needed for the common "load points, run a
@@ -28,4 +27,3 @@
 #include "eval/tau.h"                  // IWYU pragma: export
 #include "lsh/tuning.h"                // IWYU pragma: export
 
-#endif  // DDP_DDP_DDP_H_

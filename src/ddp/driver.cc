@@ -38,6 +38,8 @@ Result<double> ChooseCutoffMapReduce(const Dataset& dataset,
     return Status::InvalidArgument("percentile must be in (0, 1)");
   }
   // Sample size s with s*(s-1)/2 ~= sample_pairs, capped at N.
+  // ddp-lint: allow(no-raw-sqrt) -- sample-size arithmetic on a pair
+  // budget, not a distance; no determinism contract applies.
   size_t sample_size = static_cast<size_t>(
       std::ceil(std::sqrt(2.0 * static_cast<double>(options.sample_pairs))));
   sample_size = std::clamp<size_t>(sample_size, 2, n);
@@ -79,7 +81,8 @@ Result<double> ChooseCutoffMapReduce(const Dataset& dataset,
     size_t pos = static_cast<size_t>(percentile *
                                      static_cast<double>(distances.size()));
     pos = std::min(pos, distances.size() - 1);
-    std::nth_element(distances.begin(), distances.begin() + pos,
+    std::nth_element(distances.begin(),
+                     distances.begin() + static_cast<std::ptrdiff_t>(pos),
                      distances.end());
     if (distances[pos] > 0.0) {
       out->push_back(distances[pos]);
@@ -143,14 +146,14 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
   if (options.dc > 0.0) {
     result.dc = options.dc;
   } else {
-    DDP_TRACE_SPAN(dc_span, "pipeline", "choose-dc");
+    DDP_TRACE_SPAN(dc_span, "pipeline", "choose_dc");
     DDP_ASSIGN_OR_RETURN(
         result.dc, ChooseCutoffMapReduce(dataset, metric, options.cutoff,
                                          mr_options, &result.stats));
   }
 
   {
-    DDP_TRACE_SPAN(scores_span, "pipeline", "compute-scores");
+    DDP_TRACE_SPAN(scores_span, "pipeline", "compute_scores");
     DDP_ASSIGN_OR_RETURN(result.scores,
                          algorithm->ComputeScores(dataset, result.dc, metric,
                                                   mr_options, &result.stats));
@@ -158,7 +161,7 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
 
   // Final step (Sec. III Step 3): decision graph, peaks, assignment —
   // centralized by default, distributed pointer jumping on request.
-  DDP_TRACE_SPAN(peaks_span, "pipeline", "peak-selection");
+  DDP_TRACE_SPAN(peaks_span, "pipeline", "peak_selection");
   DecisionGraph graph = DecisionGraph::FromScores(result.scores);
   std::vector<PointId> peaks = options.selector.Select(graph);
   if (peaks.empty()) {

@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_DRIVER_H_
-#define DDP_DDP_DRIVER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -118,4 +117,3 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_DRIVER_H_

@@ -108,6 +108,8 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
   // ---- Pivot sampling (centralized, as in EDDPC's preprocessing).
   size_t num_pivots = params_.num_pivots;
   if (num_pivots == 0) {
+    // ddp-lint: allow(no-raw-sqrt) -- ~2*sqrt(N) pivot-count heuristic,
+    // not a distance; no determinism contract applies.
     num_pivots = static_cast<size_t>(
         2.0 * std::sqrt(static_cast<double>(n_points)));
     num_pivots = std::clamp<size_t>(num_pivots, 4, 256);
@@ -355,6 +357,8 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   for (const BoundInfo& b : bounds) scores.rho[b.id] = b.rho;
   for (const DeltaOut& d : delta_final) {
+    // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
+    // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }

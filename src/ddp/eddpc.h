@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_EDDPC_H_
-#define DDP_DDP_EDDPC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -62,4 +61,3 @@ class Eddpc : public DistributedDpAlgorithm {
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_EDDPC_H_

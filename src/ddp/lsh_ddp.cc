@@ -223,6 +223,8 @@ Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
   scores.Resize(n_points);
   scores.rho = std::move(rho_hat);
   for (const DeltaOut& d : delta_final) {
+    // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
+    // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);
     scores.upslope[d.first] = d.second.upslope;
   }

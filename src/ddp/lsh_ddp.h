@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_LSH_DDP_H_
-#define DDP_DDP_LSH_DDP_H_
+#pragma once
 
 #include <cstdint>
 
@@ -79,4 +78,3 @@ class LshDdp : public DistributedDpAlgorithm {
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_LSH_DDP_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_MR_ASSIGNMENT_H_
-#define DDP_DDP_MR_ASSIGNMENT_H_
+#pragma once
 
 #include <span>
 
@@ -51,4 +50,3 @@ Status ResolveOrphansByNearestPeak(const Dataset& dataset,
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_MR_ASSIGNMENT_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_MR_KMEANS_H_
-#define DDP_DDP_MR_KMEANS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,4 +47,3 @@ Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
 
 }  // namespace ddp
 
-#endif  // DDP_DDP_MR_KMEANS_H_

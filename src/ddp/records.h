@@ -1,5 +1,4 @@
-#ifndef DDP_DDP_RECORDS_H_
-#define DDP_DDP_RECORDS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -95,4 +94,3 @@ struct DeltaCandidate {
 }  // namespace ddprec
 }  // namespace ddp
 
-#endif  // DDP_DDP_RECORDS_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_EVAL_CONTINGENCY_H_
-#define DDP_EVAL_CONTINGENCY_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -48,4 +47,3 @@ class ContingencyTable {
 }  // namespace eval
 }  // namespace ddp
 
-#endif  // DDP_EVAL_CONTINGENCY_H_

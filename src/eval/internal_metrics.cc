@@ -49,8 +49,9 @@ void Centroids(const Dataset& dataset, std::span<const int> labels, size_t k,
     int c = labels[i];
     if (c < 0) continue;
     std::span<const double> p = dataset.point(static_cast<PointId>(i));
-    for (size_t d = 0; d < dataset.dim(); ++d) (*centroids)[c][d] += p[d];
-    ++(*sizes)[c];
+    size_t cu = static_cast<size_t>(c);
+    for (size_t d = 0; d < dataset.dim(); ++d) (*centroids)[cu][d] += p[d];
+    ++(*sizes)[cu];
   }
   for (size_t c = 0; c < k; ++c) {
     if ((*sizes)[c] == 0) continue;
@@ -74,7 +75,7 @@ Result<double> SumSquaredError(const Dataset& dataset,
     int c = labels[i];
     if (c < 0) continue;
     sse += SquaredEuclidean(dataset.point(static_cast<PointId>(i)),
-                            centroids[c]);
+                            centroids[static_cast<size_t>(c)]);
   }
   return sse;
 }
@@ -117,10 +118,10 @@ Result<double> MeanSilhouette(const Dataset& dataset,
     for (size_t j = 0; j < dataset.size(); ++j) {
       int cj = labels[j];
       if (cj < 0 || static_cast<PointId>(j) == i) continue;
-      sum_to_cluster[cj] +=
+      sum_to_cluster[static_cast<size_t>(cj)] +=
           metric.Distance(dataset.point(i), dataset.point(static_cast<PointId>(j)));
     }
-    double a = sum_to_cluster[ci] /
+    double a = sum_to_cluster[static_cast<size_t>(ci)] /
                static_cast<double>(sizes[static_cast<size_t>(ci)] - 1);
     double b = std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < k; ++c) {
@@ -153,8 +154,8 @@ Result<double> DaviesBouldin(const Dataset& dataset,
   for (size_t i = 0; i < dataset.size(); ++i) {
     int c = labels[i];
     if (c < 0) continue;
-    scatter[c] +=
-        metric.Distance(dataset.point(static_cast<PointId>(i)), centroids[c]);
+    scatter[static_cast<size_t>(c)] += metric.Distance(
+        dataset.point(static_cast<PointId>(i)), centroids[static_cast<size_t>(c)]);
   }
   for (size_t c = 0; c < k; ++c) {
     if (sizes[c] > 0) scatter[c] /= static_cast<double>(sizes[c]);

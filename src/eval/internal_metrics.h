@@ -1,5 +1,4 @@
-#ifndef DDP_EVAL_INTERNAL_METRICS_H_
-#define DDP_EVAL_INTERNAL_METRICS_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -45,4 +44,3 @@ Result<double> DaviesBouldin(const Dataset& dataset,
 }  // namespace eval
 }  // namespace ddp
 
-#endif  // DDP_EVAL_INTERNAL_METRICS_H_

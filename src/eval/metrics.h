@@ -1,5 +1,4 @@
-#ifndef DDP_EVAL_METRICS_H_
-#define DDP_EVAL_METRICS_H_
+#pragma once
 
 #include <span>
 
@@ -43,4 +42,3 @@ Result<PairwiseScores> PairwiseF1(std::span<const int> predicted,
 }  // namespace eval
 }  // namespace ddp
 
-#endif  // DDP_EVAL_METRICS_H_

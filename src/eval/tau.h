@@ -1,5 +1,4 @@
-#ifndef DDP_EVAL_TAU_H_
-#define DDP_EVAL_TAU_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -25,4 +24,3 @@ Result<double> Tau2(std::span<const uint32_t> approx,
 }  // namespace eval
 }  // namespace ddp
 
-#endif  // DDP_EVAL_TAU_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_LSH_HASH_GROUP_H_
-#define DDP_LSH_HASH_GROUP_H_
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -77,7 +76,8 @@ class HashGroup {
     }
     keys.push_back(base);
     probes = std::min(probes, candidates.size());
-    std::partial_sort(candidates.begin(), candidates.begin() + probes,
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(probes),
                       candidates.end());
     for (size_t q = 0; q < probes; ++q) {
       BucketKey probe = base;
@@ -97,4 +97,3 @@ class HashGroup {
 }  // namespace lsh
 }  // namespace ddp
 
-#endif  // DDP_LSH_HASH_GROUP_H_

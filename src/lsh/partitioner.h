@@ -1,5 +1,4 @@
-#ifndef DDP_LSH_PARTITIONER_H_
-#define DDP_LSH_PARTITIONER_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -94,4 +93,3 @@ class MultiLshPartitioner {
 }  // namespace lsh
 }  // namespace ddp
 
-#endif  // DDP_LSH_PARTITIONER_H_

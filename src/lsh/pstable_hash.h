@@ -1,5 +1,4 @@
-#ifndef DDP_LSH_PSTABLE_HASH_H_
-#define DDP_LSH_PSTABLE_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -59,4 +58,3 @@ class PStableHash {
 }  // namespace lsh
 }  // namespace ddp
 
-#endif  // DDP_LSH_PSTABLE_HASH_H_

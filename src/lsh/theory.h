@@ -1,5 +1,4 @@
-#ifndef DDP_LSH_THEORY_H_
-#define DDP_LSH_THEORY_H_
+#pragma once
 
 #include <cstddef>
 
@@ -39,4 +38,3 @@ double ExpectedDeltaAccuracy(double d_upslope, double w, size_t pi,
 }  // namespace lsh
 }  // namespace ddp
 
-#endif  // DDP_LSH_THEORY_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_LSH_TUNING_H_
-#define DDP_LSH_TUNING_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -43,4 +42,3 @@ Result<LshParams> TuneParams(double accuracy, size_t num_layouts, size_t pi,
 }  // namespace lsh
 }  // namespace ddp
 
-#endif  // DDP_LSH_TUNING_H_

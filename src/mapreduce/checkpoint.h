@@ -1,5 +1,4 @@
-#ifndef DDP_MAPREDUCE_CHECKPOINT_H_
-#define DDP_MAPREDUCE_CHECKPOINT_H_
+#pragma once
 
 #include <cstdint>
 #include <mutex>
@@ -79,4 +78,3 @@ class CheckpointStore {
 }  // namespace mr
 }  // namespace ddp
 
-#endif  // DDP_MAPREDUCE_CHECKPOINT_H_

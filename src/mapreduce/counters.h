@@ -1,5 +1,4 @@
-#ifndef DDP_MAPREDUCE_COUNTERS_H_
-#define DDP_MAPREDUCE_COUNTERS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -117,4 +116,3 @@ struct RunStats {
 }  // namespace mr
 }  // namespace ddp
 
-#endif  // DDP_MAPREDUCE_COUNTERS_H_

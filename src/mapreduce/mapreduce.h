@@ -1,5 +1,4 @@
-#ifndef DDP_MAPREDUCE_MAPREDUCE_H_
-#define DDP_MAPREDUCE_MAPREDUCE_H_
+#pragma once
 
 #include <algorithm>
 #include <atomic>
@@ -241,10 +240,12 @@ inline bool ShouldInjectFailure(const FaultInjection& faults, double rate,
                                 const std::string& job_name, int phase,
                                 size_t task, size_t attempt) {
   if (rate <= 0.0) return false;
-  uint64_t h = faults.seed ^ (0x9e3779b97f4a7c15ULL * (task + 1)) ^
-               (0xc2b2ae3d27d4eb4fULL * (attempt + 1)) ^
-               (0x165667b19e3779f9ULL * static_cast<uint64_t>(phase + 1));
-  for (char c : job_name) h = h * 0x100000001b3ULL ^ static_cast<uint8_t>(c);
+  uint64_t h = faults.seed ^ (uint64_t{0x9e3779b97f4a7c15} * (task + 1)) ^
+               (uint64_t{0xc2b2ae3d27d4eb4f} * (attempt + 1)) ^
+               (uint64_t{0x165667b19e3779f9} * static_cast<uint64_t>(phase + 1));
+  for (char c : job_name) {
+    h = h * uint64_t{0x100000001b3} ^ static_cast<uint8_t>(c);
+  }
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
@@ -332,14 +333,23 @@ class CombiningEmitter : public Emitter<MidK, MidV> {
     ++records_;
   }
 
-  /// Applies `combiner` per key and forwards results to `sink`.
+  /// Applies `combiner` per key and forwards results to `sink` in
+  /// KeyTraits order. Hash-map iteration order must never reach the
+  /// shuffle: downstream record order has to be derivable from the keys
+  /// alone, not from a particular hash table's bucket layout.
   void Flush(
       const std::function<std::vector<MidV>(const MidK&, std::vector<MidV>)>&
           combiner,
       Emitter<MidK, MidV>* sink) {
-    for (auto& [key, values] : groups_) {
-      std::vector<MidV> combined = combiner(key, std::move(values));
-      for (MidV& v : combined) sink->Emit(key, v);
+    std::vector<const MidK*> keys;
+    keys.reserve(groups_.size());
+    for (auto& [key, values] : groups_) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(), [](const MidK* a, const MidK* b) {
+      return KeyTraits<MidK>::Less(*a, *b);
+    });
+    for (const MidK* key : keys) {
+      std::vector<MidV> combined = combiner(*key, std::move(groups_[*key]));
+      for (MidV& v : combined) sink->Emit(*key, v);
     }
     groups_.clear();
   }
@@ -474,8 +484,8 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
       // Spans from attempts that never commit — cancelled speculative
       // losers, deadline kills, abandoned retries — are still flushed,
       // marked cancelled below.
-      DDP_TRACE_SPAN(span, "mr", phase == 0 ? "map-attempt"
-                                            : "reduce-attempt");
+      DDP_TRACE_SPAN(span, "mr", phase == 0 ? "map_attempt"
+                                            : "reduce_attempt");
       if (span.active()) {
         span.AddArg("job", job_name);
         span.AddArg("task", static_cast<uint64_t>(t));
@@ -560,7 +570,8 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
             std::max<size_t>(1, options.speculative_min_completed);
     if (can_speculate) {
       scratch = pstats->durations;
-      auto mid = scratch.begin() + scratch.size() / 2;
+      auto mid =
+          scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
       std::nth_element(scratch.begin(), mid, scratch.end());
       median = *mid;
     }
@@ -614,7 +625,8 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
       TaskState& ts = tasks[ev.task];
       for (size_t r = 0; r < ts.running.size(); ++r) {
         if (ts.running[r].attempt == ev.attempt) {
-          ts.running.erase(ts.running.begin() + r);
+          ts.running.erase(ts.running.begin() +
+                           static_cast<std::ptrdiff_t>(r));
           break;
         }
       }
@@ -756,7 +768,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
   const size_t chunk = (input.size() + num_map_tasks - 1) / num_map_tasks;
-  DDP_TRACE_SPAN(map_span, "mr", "map-phase");
+  DDP_TRACE_SPAN(map_span, "mr", "map_phase");
   if (map_span.active()) {
     map_span.AddArg("job", spec.name);
     map_span.AddArg("tasks", static_cast<uint64_t>(num_map_tasks));
@@ -858,7 +870,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   // nothing to concatenate: reduce merge-streams straight out of the map
   // outputs' runs and tails.
   Stopwatch shuffle_timer;
-  DDP_TRACE_SPAN(shuffle_span, "mr", "shuffle-phase");
+  DDP_TRACE_SPAN(shuffle_span, "mr", "shuffle_phase");
   if (shuffle_span.active()) shuffle_span.AddArg("job", spec.name);
   std::vector<std::string> partitions(spilling ? 0 : num_partitions);
   {
@@ -924,7 +936,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     std::vector<uint64_t> group_size_log2;
   };
   Stopwatch reduce_timer;
-  DDP_TRACE_SPAN(reduce_span, "mr", "reduce-phase");
+  DDP_TRACE_SPAN(reduce_span, "mr", "reduce_phase");
   if (reduce_span.active()) {
     reduce_span.AddArg("job", spec.name);
     reduce_span.AddArg("partitions", static_cast<uint64_t>(num_partitions));
@@ -959,7 +971,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
                   std::make_unique<MemoryFrameReader>(mo.buffers[p]));
             }
           }
-          DDP_TRACE_SPAN(merge_span, "mr", "merge-stream");
+          DDP_TRACE_SPAN(merge_span, "mr", "merge_stream");
           if (merge_span.active()) {
             merge_span.AddArg("partition", static_cast<uint64_t>(p));
             merge_span.AddArg("sources",
@@ -1157,4 +1169,3 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
 }  // namespace mr
 }  // namespace ddp
 
-#endif  // DDP_MAPREDUCE_MAPREDUCE_H_

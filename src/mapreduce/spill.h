@@ -1,5 +1,4 @@
-#ifndef DDP_MAPREDUCE_SPILL_H_
-#define DDP_MAPREDUCE_SPILL_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -278,7 +277,7 @@ class SpillingBuffer {
     }
     if (!any) return Status::OK();
     Stopwatch watch;
-    DDP_TRACE_SPAN(spill_span, "spill", "spill-write");
+    DDP_TRACE_SPAN(spill_span, "spill", "spill_write");
     DDP_ASSIGN_OR_RETURN(
         std::unique_ptr<SpillFileWriter> writer,
         SpillFileWriter::Create(
@@ -468,4 +467,3 @@ class MergingGroupReader {
 }  // namespace mr
 }  // namespace ddp
 
-#endif  // DDP_MAPREDUCE_SPILL_H_

@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_HEARTBEAT_H_
-#define DDP_OBS_HEARTBEAT_H_
+#pragma once
 
 #include <condition_variable>
 #include <functional>
@@ -48,4 +47,3 @@ class ProgressHeartbeat {
 }  // namespace obs
 }  // namespace ddp
 
-#endif  // DDP_OBS_HEARTBEAT_H_

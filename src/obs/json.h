@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_JSON_H_
-#define DDP_OBS_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -84,4 +83,3 @@ class JsonWriter {
 }  // namespace obs
 }  // namespace ddp
 
-#endif  // DDP_OBS_JSON_H_

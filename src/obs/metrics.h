@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_METRICS_H_
-#define DDP_OBS_METRICS_H_
+#pragma once
 
 #include <atomic>
 #include <bit>
@@ -150,4 +149,3 @@ class MetricsRegistry {
   } while (0)
 #endif
 
-#endif  // DDP_OBS_METRICS_H_

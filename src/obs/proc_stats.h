@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_PROC_STATS_H_
-#define DDP_OBS_PROC_STATS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -26,4 +25,3 @@ void SampleProcessGauges();
 }  // namespace obs
 }  // namespace ddp
 
-#endif  // DDP_OBS_PROC_STATS_H_

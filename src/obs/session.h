@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_SESSION_H_
-#define DDP_OBS_SESSION_H_
+#pragma once
 
 #include <string>
 
@@ -45,4 +44,3 @@ class Session {
 }  // namespace obs
 }  // namespace ddp
 
-#endif  // DDP_OBS_SESSION_H_

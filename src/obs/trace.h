@@ -1,5 +1,4 @@
-#ifndef DDP_OBS_TRACE_H_
-#define DDP_OBS_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -190,4 +189,3 @@ struct NoopSpan {
   ::ddp::obs::Span ddp_trace_scope_##__LINE__((category), (name))
 #endif
 
-#endif  // DDP_OBS_TRACE_H_

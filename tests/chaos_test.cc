@@ -191,7 +191,7 @@ TEST(ChaosTraceTest, KilledAttemptSpansAreFlushedAndMarkedCancelled) {
   size_t attempts = 0;
   size_t cancelled = 0;
   for (const obs::TraceEvent& e : recorder.Snapshot()) {
-    if (e.name == "map-attempt" || e.name == "reduce-attempt") {
+    if (e.name == "map_attempt" || e.name == "reduce_attempt") {
       ++attempts;
       if (e.cancelled) ++cancelled;
     }
@@ -203,8 +203,8 @@ TEST(ChaosTraceTest, KilledAttemptSpansAreFlushedAndMarkedCancelled) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ChaosTest,
                          ::testing::Values("basic-ddp", "lsh-ddp", "eddpc"),
-                         [](const auto& info) {
-                           std::string n = info.param;
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
                            for (char& c : n) {
                              if (c == '-') c = '_';
                            }

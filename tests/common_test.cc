@@ -166,7 +166,7 @@ TEST(SerdeTest, SignedVarintRoundTrip) {
   for (int64_t v : values) w.PutSignedVarint64(v);
   BufferReader r(w.data());
   for (int64_t v : values) {
-    int64_t got;
+    int64_t got = 0;
     ASSERT_TRUE(r.GetSignedVarint64(&got).ok());
     EXPECT_EQ(got, v);
   }
@@ -180,7 +180,7 @@ TEST(SerdeTest, DoubleRoundTripIncludingSpecials) {
   for (double v : values) w.PutDouble(v);
   BufferReader r(w.data());
   for (double v : values) {
-    double got;
+    double got = 0.0;
     ASSERT_TRUE(r.GetDouble(&got).ok());
     EXPECT_EQ(got, v);
   }
@@ -229,7 +229,7 @@ TEST(SerdeTest, TypedSerdeVectorPairRoundTrip) {
   BufferWriter w;
   Serde<T>::Write(&w, value);
   BufferReader r(w.data());
-  T got;
+  T got{};
   ASSERT_TRUE(Serde<T>::Read(&r, &got).ok());
   EXPECT_EQ(got, value);
 }
@@ -323,17 +323,19 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
   }
   pool.Wait();
-  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 100);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
-  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
-  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.ParallelFor(1000, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(std::memory_order_relaxed), 1);
 }
 
 TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
@@ -344,8 +346,10 @@ TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
 TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<int> sum{0};
-  pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
-  EXPECT_EQ(sum.load(), 45);
+  pool.ParallelFor(10, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 45);
 }
 
 TEST(ThreadPoolTest, ManySmallParallelForsBackToBack) {
@@ -357,7 +361,7 @@ TEST(ThreadPoolTest, ManySmallParallelForsBackToBack) {
       total.fetch_add(i, std::memory_order_relaxed);
     });
   }
-  EXPECT_EQ(total.load(), 200ull * (16 * 17 / 2));
+  EXPECT_EQ(total.load(std::memory_order_relaxed), 200ull * (16 * 17 / 2));
 }
 
 TEST(ThreadPoolTest, SubmitFromManyThreads) {
@@ -367,13 +371,13 @@ TEST(ThreadPoolTest, SubmitFromManyThreads) {
   for (int t = 0; t < 4; ++t) {
     producers.emplace_back([&pool, &count] {
       for (int i = 0; i < 50; ++i) {
-        pool.Submit([&count] { count.fetch_add(1); });
+        pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
       }
     });
   }
   for (auto& t : producers) t.join();
   pool.Wait();
-  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 200);
 }
 
 TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {

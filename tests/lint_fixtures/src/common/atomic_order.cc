@@ -1,0 +1,10 @@
+// Fixture: R3 explicit-memory-order — implicit seq_cst increment (line 7)
+// and a load() without an order argument (line 9).
+#include <atomic>
+
+int Bump() {
+  std::atomic<int> counter{0};
+  ++counter;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load();
+}

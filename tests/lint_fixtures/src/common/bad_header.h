@@ -1,0 +1,2 @@
+// Fixture: R6 header-hygiene — no #pragma once (line 1), line 2 leaks.
+using namespace std;

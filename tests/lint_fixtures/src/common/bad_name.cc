@@ -1,0 +1,5 @@
+// Fixture: R5 name-hygiene, one violation on line 3.
+void Traced() {
+  DDP_TRACE_SPAN("Bad-Name");
+  DDP_TRACE_SPAN("good_name.ok");
+}

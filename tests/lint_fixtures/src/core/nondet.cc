@@ -1,0 +1,4 @@
+// Fixture: R4 banned-nondeterminism, one violation on line 3.
+int Roll() {
+  return rand() % 6;
+}

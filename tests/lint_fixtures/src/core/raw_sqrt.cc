@@ -1,0 +1,4 @@
+// Fixture: R1 no-raw-sqrt, one violation on line 3.
+double Norm(double x_sq) {
+  return std::sqrt(x_sq);
+}

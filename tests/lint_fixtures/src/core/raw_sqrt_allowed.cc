@@ -1,0 +1,5 @@
+// Fixture: suppression round-trip — an allow() with a reason is clean.
+double Norm(double x_sq) {
+  // ddp-lint: allow(no-raw-sqrt) -- fixture: this is the final-assembly site.
+  return std::sqrt(x_sq);
+}

@@ -1,0 +1,5 @@
+// Fixture: an allow() without '-- <reason>' neither suppresses nor passes.
+double Norm(double x_sq) {
+  // ddp-lint: allow(no-raw-sqrt)
+  return std::sqrt(x_sq);
+}

@@ -1,0 +1,5 @@
+// Fixture: an allow() that matches no finding is itself a finding.
+double Identity(double x) {
+  // ddp-lint: allow(no-raw-sqrt) -- fixture: nothing here needs this.
+  return x;
+}

@@ -1,0 +1,16 @@
+// Fixture: R2 ordered-emission — hash-order iteration feeding Emit (line 6),
+// plus a collect-then-sort sibling that must stay clean.
+#include <unordered_map>
+
+void EmitAll(Sink* sink, const std::unordered_map<int, int>& counts) {
+  for (const auto& [k, v] : counts) {
+    sink->Emit(k, v);
+  }
+}
+
+void EmitSorted(Sink* sink, const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  for (const auto& [k, v] : counts) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) sink->Emit(k, counts.at(k));
+}

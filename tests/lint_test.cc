@@ -1,0 +1,167 @@
+// End-to-end tests for tools/ddp_lint against the checked-in fixture tree in
+// tests/lint_fixtures/. The fixtures mirror src/ paths (src/core, src/common,
+// src/mapreduce) so the path-scoped rules fire exactly as they do over the
+// real tree; the tree scan itself skips anything under a lint_fixtures
+// directory. Each test pins the exact diagnostic lines and the exit code, so
+// a behavior change in the linter fails here before it confuses CI.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef DDP_LINT_BIN
+#error "DDP_LINT_BIN must point at the ddp_lint executable"
+#endif
+#ifndef DDP_LINT_FIXTURES
+#error "DDP_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;  // stdout only; stderr carries the summary line
+};
+
+RunResult RunLint(const std::string& args) {
+  RunResult r;
+  std::string cmd = std::string(DDP_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) r.out.append(buf, n);
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::string Fixture(const std::string& rel) {
+  return std::string(DDP_LINT_FIXTURES) + "/" + rel;
+}
+
+TEST(LintTest, ListRulesNamesEveryRule) {
+  RunResult r = RunLint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"no-raw-sqrt", "ordered-emission", "explicit-memory-order",
+        "banned-nondeterminism", "name-hygiene", "header-hygiene",
+        "suppression-missing-reason", "unused-suppression"}) {
+    EXPECT_NE(r.out.find(rule), std::string::npos) << "missing rule " << rule;
+  }
+}
+
+TEST(LintTest, RawSqrtViolation) {
+  std::string f = Fixture("src/core/raw_sqrt.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":3: [no-raw-sqrt] sqrt() in squared-space kernel code; keep "
+                "distances in d^2 and take one sqrt at final assembly "
+                "(annotate that site)\n");
+}
+
+TEST(LintTest, SuppressionWithReasonIsClean) {
+  RunResult r = RunLint(Fixture("src/core/raw_sqrt_allowed.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, SuppressionWithoutReasonReportsBoth) {
+  std::string f = Fixture("src/core/raw_sqrt_noreason.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":3: [suppression-missing-reason] allow(no-raw-sqrt) has no "
+                "'-- <reason>'; suppressions must say why\n" +
+                f +
+                ":4: [no-raw-sqrt] sqrt() in squared-space kernel code; keep "
+                "distances in d^2 and take one sqrt at final assembly "
+                "(annotate that site)\n");
+}
+
+TEST(LintTest, UnusedSuppressionIsReported) {
+  std::string f = Fixture("src/core/unused_allow.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":3: [unused-suppression] allow(no-raw-sqrt) suppresses "
+                "nothing on its target line; remove it\n");
+}
+
+TEST(LintTest, OrderedEmissionFlagsHashOrderOnly) {
+  std::string f = Fixture("src/mapreduce/unordered_emit.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  // EmitAll (line 6) is flagged; the collect-then-sort sibling is clean.
+  EXPECT_EQ(r.out,
+            f +
+                ":6: [ordered-emission] iteration over an unordered container "
+                "in a scope that emits records, with no sort in scope; "
+                "emission order must be derivable, not hash-order\n");
+}
+
+TEST(LintTest, ExplicitMemoryOrderFlagsImplicitOps) {
+  std::string f = Fixture("src/common/atomic_order.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":7: [explicit-memory-order] implicit seq_cst "
+                "increment/decrement of atomic 'counter'; use "
+                "fetch_add/fetch_sub with an explicit std::memory_order_*\n" +
+                f +
+                ":9: [explicit-memory-order] atomic load() without an "
+                "explicit std::memory_order_* argument (implicit seq_cst "
+                "hides the intended ordering)\n");
+}
+
+TEST(LintTest, BannedNondeterminism) {
+  std::string f = Fixture("src/core/nondet.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":3: [banned-nondeterminism] rand is a banned nondeterminism "
+                "source: use ddp::Rng seeded from Options\n");
+}
+
+TEST(LintTest, NameHygieneFlagsBadLiteralOnly) {
+  std::string f = Fixture("src/common/bad_name.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  // "good_name.ok" on line 4 passes; only "Bad-Name" is flagged.
+  EXPECT_EQ(r.out,
+            f +
+                ":3: [name-hygiene] span/metric name \"Bad-Name\" must match "
+                "[a-z0-9_.]+ so exported traces and metric keys stay "
+                "greppable and collator-safe\n");
+}
+
+TEST(LintTest, HeaderHygiene) {
+  std::string f = Fixture("src/common/bad_header.h");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f + ":1: [header-hygiene] header is missing #pragma once\n" + f +
+                ":2: [header-hygiene] using namespace in a header leaks into "
+                "every includer\n");
+}
+
+TEST(LintTest, MissingFileExitsTwo) {
+  RunResult r = RunLint(Fixture("src/core/does_not_exist.cc"));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(LintTest, UsageErrorExitsTwo) {
+  EXPECT_EQ(RunLint("--bogus-flag").exit_code, 2);
+  EXPECT_EQ(RunLint("").exit_code, 2);  // no root, no files
+}
+
+}  // namespace

@@ -515,7 +515,9 @@ TEST(ExceptionTest, TransientExceptionIsRetriedAndCounted) {
   auto inner = spec.map;
   spec.map = [hiccups, inner](const std::string& doc,
                               Emitter<std::string, uint32_t>* out) {
-    if (hiccups->fetch_add(1) == 0) throw std::runtime_error("transient");
+    if (hiccups->fetch_add(1, std::memory_order_relaxed) == 0) {
+      throw std::runtime_error("transient");
+    }
     inner(doc, out);
   };
   JobCounters counters;
@@ -537,7 +539,7 @@ TEST(DeadlineTest, SlowAttemptIsKilledAndRetried) {
   auto inner = spec.map;
   spec.map = [calls, inner](const std::string& doc,
                             Emitter<std::string, uint32_t>* out) {
-    if (calls->fetch_add(1) == 0) {
+    if (calls->fetch_add(1, std::memory_order_relaxed) == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(80));
     }
     inner(doc, out);

@@ -351,7 +351,7 @@ TEST(TraceTest, EventCapDropsAndCounts) {
 TEST(TraceTest, EndIsIdempotentAndStopsTheClock) {
   obs::TraceRecorder recorder;
   recorder.Enable();
-  obs::Span span(recorder, "test", "early-end");
+  obs::Span span(recorder, "test", "early_end");
   span.End();
   span.End();  // no double record
   recorder.Disable();
@@ -456,7 +456,7 @@ TEST(SessionTest, WritesTraceAndMetricsFiles) {
     EXPECT_TRUE(obs::TraceRecorder::Global().enabled());
     {
       // Must close before Finish(): spans record on scope exit.
-      DDP_TRACE_SCOPE("test", "session-span");
+      DDP_TRACE_SCOPE("test", "session_span");
     }
     DDP_METRIC_COUNTER_ADD("obs_test.session", 1);
     ASSERT_TRUE(session.Finish().ok());
@@ -470,7 +470,7 @@ TEST(SessionTest, WritesTraceAndMetricsFiles) {
   ASSERT_NE(trace.Get("traceEvents"), nullptr);
   bool found = false;
   for (const JsonValue& e : trace.Get("traceEvents")->array) {
-    if (e.Get("name")->string == "session-span") found = true;
+    if (e.Get("name")->string == "session_span") found = true;
   }
   EXPECT_TRUE(found);
 

@@ -103,8 +103,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Family{"kdd", &gen::KddLike, 300},
                       Family{"spatial", &gen::SpatialLike, 300},
                       Family{"bigcross", &gen::BigCrossLike, 300}),
-    [](const ::testing::TestParamInfo<Family>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<Family>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 }  // namespace
