@@ -1,0 +1,139 @@
+// Multi-process execution benchmark: what fork-mode isolation costs and
+// what crash-fault tolerance costs on top of it.
+//
+// Runs the same LSH-DDP scoring pipeline three ways — in-process threads,
+// forked worker processes, and forked workers under a SIGKILL chaos
+// schedule — and reports wall time, the supervision counter totals, and
+// whether the three score sets are bit-identical (they must be: that is
+// the contract the channel/supervisor layer is built around). Emits
+// BENCH_mp.json so the multi-process overhead is machine-trackable per PR,
+// alongside BENCH_oocore.json from bench_large_scale.
+//
+// Run: ./build/bench/bench_multiprocess   (DDP_BENCH_SCALE to enlarge)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cutoff.h"
+#include "dataset/generators.h"
+#include "ddp/lsh_ddp.h"
+#include "mapreduce/supervisor.h"
+
+namespace ddp {
+namespace {
+
+struct MpRun {
+  double seconds = 0.0;
+  DpScores scores;
+  mr::RunStats stats;
+};
+
+MpRun Measure(LshDdp* algo, const Dataset& ds, double dc,
+              const mr::Options& mr) {
+  CountingMetric metric;
+  MpRun run;
+  Stopwatch timer;
+  auto scores = algo->ComputeScores(ds, dc, metric, mr, &run.stats);
+  scores.status().Abort("lsh-ddp scoring");
+  run.seconds = timer.ElapsedSeconds();
+  run.scores = std::move(scores).value();
+  return run;
+}
+
+bool SameScores(const DpScores& a, const DpScores& b) {
+  return a.rho == b.rho && a.delta == b.delta && a.upslope == b.upslope;
+}
+
+int Run() {
+  bench::QuietLogs quiet;
+  bench::ObsFromEnv obs;
+  bench::Banner("Multi-process execution overhead on LSH-DDP",
+                "robustness layer; crash-fault-tolerant supervision");
+
+  const bool fork_supported = mr::ForkExecutionSupported();
+  auto data = gen::KddLike(/*seed=*/3, bench::Scaled(8000));
+  data.status().Abort("generating data set");
+  const Dataset& ds = *data;
+  CountingMetric metric;
+  double dc = std::move(ChooseCutoff(ds, metric)).ValueOrDie();
+  std::printf("data set: %zu points, %zu dims, d_c = %.3f, fork %s\n\n",
+              ds.size(), ds.dim(), dc,
+              fork_supported ? "supported" : "UNSUPPORTED (in-proc fallback)");
+
+  LshDdp inproc_algo, fork_algo, chaos_algo;
+
+  mr::Options inproc;
+  MpRun base = Measure(&inproc_algo, ds, dc, inproc);
+  std::printf("in-process threads:      %7.3f s\n", base.seconds);
+
+  mr::Options forked;
+  forked.exec_mode = mr::ExecMode::kFork;
+  MpRun fork = Measure(&fork_algo, ds, dc, forked);
+  std::printf("forked workers:          %7.3f s (%.2fx, %llu fallbacks)\n",
+              fork.seconds,
+              base.seconds > 0.0 ? fork.seconds / base.seconds : 0.0,
+              static_cast<unsigned long long>(fork.stats.TotalExecFallbacks()));
+
+  mr::Options chaos = forked;
+  chaos.faults.worker_crash_rate = 0.15;
+  chaos.faults.seed = 20260808;
+  chaos.max_task_attempts = 24;
+  chaos.max_worker_restarts = 256;
+  chaos.quarantine_after_crashes = 24;  // random crashes are not poison
+  MpRun crash = Measure(&chaos_algo, ds, dc, chaos);
+  std::printf(
+      "forked + 15%% SIGKILLs:   %7.3f s (%.2fx; %llu crashes, %llu respawns, "
+      "%llu orphan spills reaped)\n",
+      crash.seconds, base.seconds > 0.0 ? crash.seconds / base.seconds : 0.0,
+      static_cast<unsigned long long>(crash.stats.TotalWorkerCrashes()),
+      static_cast<unsigned long long>(crash.stats.TotalWorkerRestarts()),
+      static_cast<unsigned long long>(crash.stats.TotalSpillFilesReaped()));
+
+  const bool identical =
+      SameScores(base.scores, fork.scores) &&
+      SameScores(base.scores, crash.scores);
+  std::printf("\nbit-identical across all three substrates: %s\n",
+              identical ? "yes" : "NO — CONTRACT VIOLATION");
+
+  std::FILE* json = std::fopen("BENCH_mp.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"lsh_ddp_multiprocess\",\n"
+        "  \"points\": %zu,\n"
+        "  \"dims\": %zu,\n"
+        "  \"fork_supported\": %s,\n"
+        "  \"inproc_seconds\": %.6f,\n"
+        "  \"fork_seconds\": %.6f,\n"
+        "  \"fork_overhead_ratio\": %.4f,\n"
+        "  \"chaos_seconds\": %.6f,\n"
+        "  \"chaos_worker_crash_rate\": %.2f,\n"
+        "  \"worker_crashes\": %llu,\n"
+        "  \"worker_restarts\": %llu,\n"
+        "  \"worker_hangs\": %llu,\n"
+        "  \"spill_files_reaped\": %llu,\n"
+        "  \"exec_fallbacks\": %llu,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        ds.size(), ds.dim(), fork_supported ? "true" : "false", base.seconds,
+        fork.seconds, base.seconds > 0.0 ? fork.seconds / base.seconds : 0.0,
+        crash.seconds, chaos.faults.worker_crash_rate,
+        static_cast<unsigned long long>(crash.stats.TotalWorkerCrashes()),
+        static_cast<unsigned long long>(crash.stats.TotalWorkerRestarts()),
+        static_cast<unsigned long long>(crash.stats.TotalWorkerHangs()),
+        static_cast<unsigned long long>(crash.stats.TotalSpillFilesReaped()),
+        static_cast<unsigned long long>(
+            fork.stats.TotalExecFallbacks() +
+            crash.stats.TotalExecFallbacks()),
+        identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_mp.json\n");
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Run(); }

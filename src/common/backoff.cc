@@ -1,0 +1,33 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ddp {
+
+double ExponentialBackoff::DelaySeconds(uint64_t attempt) const {
+  double d = params_.base_seconds;
+  if (params_.multiplier > 1.0 && attempt > 0) {
+    // Grow in log space so huge attempt numbers cannot overflow: once the
+    // exponent alone exceeds the cap, skip the pow entirely.
+    const double log_growth =
+        static_cast<double>(attempt) * std::log(params_.multiplier);
+    const double log_cap = std::log(
+        std::max(params_.max_seconds, params_.base_seconds) /
+        std::max(params_.base_seconds, 1e-12));
+    d = log_growth >= log_cap ? params_.max_seconds
+                              : d * std::exp(log_growth);
+  }
+  d = std::min(d, params_.max_seconds);
+  if (params_.jitter > 0.0) {
+    uint64_t s = SplitSeed(seed_, attempt);
+    const double u =
+        static_cast<double>(SplitMix64(&s) >> 11) * 0x1.0p-53;  // [0, 1)
+    d *= 1.0 - params_.jitter * u;
+  }
+  return std::max(d, 0.0);
+}
+
+}  // namespace ddp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file backoff.h
+/// Seeded exponential backoff with jitter, shared by every retry loop that
+/// waits before trying again (task reattempts and worker respawns in the
+/// multi-process MapReduce runtime). Delays are a pure function of
+/// (params, seed, attempt): two runs with the same seed produce the same
+/// schedule, keeping chaos tests and recovery paths reproducible — the same
+/// discipline as the deterministic fault injection in mapreduce.h.
+
+namespace ddp {
+
+class ExponentialBackoff {
+ public:
+  struct Params {
+    /// Delay before the first retry (attempt 0), pre-jitter.
+    double base_seconds = 0.01;
+    /// Growth factor per attempt (>= 1).
+    double multiplier = 2.0;
+    /// Ceiling on the pre-jitter delay.
+    double max_seconds = 1.0;
+    /// Fraction of the delay randomized: the jittered delay is uniform in
+    /// [d * (1 - jitter), d]. 0 disables jitter entirely.
+    double jitter = 0.25;
+  };
+
+  ExponentialBackoff(const Params& params, uint64_t seed)
+      : params_(params), seed_(seed) {}
+
+  /// Delay before retry number `attempt` (0-based). Deterministic: the same
+  /// (params, seed, attempt) always yields the same delay.
+  double DelaySeconds(uint64_t attempt) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  uint64_t seed_;
+};
+
+}  // namespace ddp

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "common/thread_pool.h"
 #include "dataset/kdtree.h"
@@ -68,14 +73,35 @@ class KernelScope {
 #endif
 };
 
+long KernelPoolPid() {
+#ifndef _WIN32
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
 // Process-wide pool for within-group kernel parallelism. Deliberately
 // separate from the per-job MapReduce pools: engine calls originate on MR
 // workers, and blocking one pool's worker while waiting on a *different*
-// pool cannot deadlock. A function-local static joins its workers cleanly at
-// exit (no leak reports under ASan).
+// pool cannot deadlock. The pool is pid-stamped: a forked MR worker
+// (ExecMode::kFork) inherits this static but none of its threads, so the
+// child must rebuild it — the inherited object is released unjoined (joining
+// threads that do not exist in this image would hang; the child exits via
+// _exit, so no destructors or leak checks run there). The supervising parent
+// keeps the original pool, whose static unique_ptr still joins cleanly at
+// exit. The rebuild branch only ever runs on a freshly forked,
+// single-threaded child, so the unsynchronized statics are safe.
 ThreadPool* SharedKernelPool() {
-  static ThreadPool pool(DefaultParallelism());
-  return &pool;
+  static long owner_pid = KernelPoolPid();
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(DefaultParallelism());
+  if (owner_pid != KernelPoolPid()) {
+    (void)pool.release();
+    pool = std::make_unique<ThreadPool>(DefaultParallelism());
+    owner_pid = KernelPoolPid();
+  }
+  return pool.get();
 }
 
 // Runs body(k) for k in [0, n), on the shared pool when asked. Concurrent

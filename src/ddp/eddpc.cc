@@ -69,12 +69,25 @@ struct MemberOrQuery {
   bool operator==(const MemberOrQuery&) const = default;
 };
 
-// Per-point state threaded between jobs (plain driver-side data, never
-// shuffled).
+// Per-point state threaded between jobs. Never shuffled, but it is a reduce
+// output type, so it carries member serde: that is what lets the jobs
+// producing it run their reduce phase in forked workers (and be
+// checkpoint-replayable).
 struct HomeInfo {
   PointId id = 0;
   uint32_t rho = 0;
   uint32_t cell = 0;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(id);
+    w->PutVarint32(rho);
+    w->PutVarint32(cell);
+  }
+  static Status DeserializeFrom(BufferReader* r, HomeInfo* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
+    return r->GetVarint32(&out->cell);
+  }
 };
 
 struct BoundInfo {
@@ -84,6 +97,23 @@ struct BoundInfo {
   double delta_ub = kInf;     // distance space, for the cell-radius filter
   double delta_ub_sq = kInf;  // squared space, the refinement seed
   PointId upslope = kInvalidPointId;
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(id);
+    w->PutVarint32(rho);
+    w->PutVarint32(cell);
+    w->PutDouble(delta_ub);
+    w->PutDouble(delta_ub_sq);
+    w->PutVarint32(upslope);
+  }
+  static Status DeserializeFrom(BufferReader* r, BoundInfo* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->cell));
+    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub));
+    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub_sq));
+    return r->GetVarint32(&out->upslope);
+  }
 };
 
 // Job 2 output: either a per-point bound or per-cell statistics.
@@ -93,6 +123,23 @@ struct BoundOrStats {
   uint32_t cell = 0;        // when is_stats
   double radius = 0.0;      // max distance member -> pivot
   uint32_t max_rho = 0;     // densest member
+
+  void SerializeTo(BufferWriter* w) const {
+    w->PutByte(is_stats ? 1 : 0);
+    bound.SerializeTo(w);
+    w->PutVarint32(cell);
+    w->PutDouble(radius);
+    w->PutVarint32(max_rho);
+  }
+  static Status DeserializeFrom(BufferReader* r, BoundOrStats* out) {
+    uint8_t s = 0;
+    DDP_RETURN_NOT_OK(r->GetByte(&s));
+    out->is_stats = s != 0;
+    DDP_RETURN_NOT_OK(BoundInfo::DeserializeFrom(r, &out->bound));
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->cell));
+    DDP_RETURN_NOT_OK(r->GetDouble(&out->radius));
+    return r->GetVarint32(&out->max_rho);
+  }
 };
 
 }  // namespace

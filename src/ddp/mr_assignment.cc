@@ -39,8 +39,23 @@ struct JumpMessage {
 // Reducer verdict for one asker.
 struct JumpUpdate {
   PointId point = kInvalidPointId;
-  int32_t cluster = -1;                 // >= 0: resolved
+  int32_t cluster = -1;                  // >= 0: resolved
   PointId new_parent = kInvalidPointId;  // otherwise: jump target (or orphan)
+
+  // Member serde so the assignment rounds can fork their reduce phase (and
+  // checkpoint-replay).
+  void SerializeTo(BufferWriter* w) const {
+    w->PutVarint32(point);
+    w->PutSignedVarint64(cluster);
+    w->PutVarint32(new_parent);
+  }
+  static Status DeserializeFrom(BufferReader* r, JumpUpdate* out) {
+    DDP_RETURN_NOT_OK(r->GetVarint32(&out->point));
+    int64_t cluster = 0;
+    DDP_RETURN_NOT_OK(r->GetSignedVarint64(&cluster));
+    out->cluster = static_cast<int32_t>(cluster);
+    return r->GetVarint32(&out->new_parent);
+  }
 };
 
 }  // namespace

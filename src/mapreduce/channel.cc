@@ -1,0 +1,265 @@
+#include "mapreduce/channel.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "common/serde.h"
+
+namespace ddp {
+namespace mr {
+
+namespace {
+
+uint32_t LoadCrcTrailer(const uint8_t t[4]) {
+  return static_cast<uint32_t>(t[0]) | (static_cast<uint32_t>(t[1]) << 8) |
+         (static_cast<uint32_t>(t[2]) << 16) |
+         (static_cast<uint32_t>(t[3]) << 24);
+}
+
+void AppendCrcTrailer(uint32_t crc, std::string* out) {
+  out->push_back(static_cast<char>(crc & 0xFF));
+  out->push_back(static_cast<char>((crc >> 8) & 0xFF));
+  out->push_back(static_cast<char>((crc >> 16) & 0xFF));
+  out->push_back(static_cast<char>((crc >> 24) & 0xFF));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutByte(static_cast<uint8_t>(frame.type));
+  w.PutVarint64(frame.payload.size());
+  w.PutRaw(frame.payload.data(), frame.payload.size());
+  AppendCrcTrailer(Crc32(frame.payload.data(), frame.payload.size()), &bytes);
+  return bytes;
+}
+
+Status DecodeFrame(const std::string& bytes, Frame* frame) {
+  BufferReader r(bytes);
+  uint8_t type = 0;
+  DDP_RETURN_NOT_OK(r.GetByte(&type));
+  uint64_t len = 0;
+  DDP_RETURN_NOT_OK(r.GetVarint64(&len));
+  if (r.remaining() < len + 4) {
+    return Status::IoError("truncated channel frame");
+  }
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.clear();
+  frame->payload.reserve(static_cast<size_t>(len));
+  BufferReader payload(nullptr, size_t{0});
+  DDP_RETURN_NOT_OK(r.Slice(static_cast<size_t>(len), &payload));
+  frame->payload.resize(static_cast<size_t>(len));
+  DDP_RETURN_NOT_OK(
+      payload.GetRaw(frame->payload.data(), frame->payload.size()));
+  uint8_t trailer[4];
+  DDP_RETURN_NOT_OK(r.GetRaw(trailer, sizeof(trailer)));
+  if (!r.exhausted()) return Status::IoError("trailing bytes after frame");
+  if (LoadCrcTrailer(trailer) !=
+      Crc32(frame->payload.data(), frame->payload.size())) {
+    return Status::IoError("channel frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+#ifndef _WIN32
+
+Result<std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>>
+PipeChannel::CreatePair() {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  return std::make_pair(std::make_unique<PipeChannel>(fds[0]),
+                        std::make_unique<PipeChannel>(fds[1]));
+}
+
+PipeChannel::~PipeChannel() { Close(); }
+
+void PipeChannel::Close() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PipeChannel::Send(const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return Status::IoError("channel closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-phase must surface as EPIPE, not
+    // kill the supervisor with SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("channel send failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PipeChannel::ReadExact(void* out, size_t n, double deadline_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_seconds));
+  size_t off = 0;
+  while (off < n) {
+    if (deadline_seconds > 0.0) {
+      const auto now = Clock::now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("channel read timed out");
+      }
+      struct pollfd pfd {fd_, POLLIN, 0};
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      const int rc =
+          ::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(
+                              1, static_cast<int64_t>(left.count()))));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("channel poll failed: ") +
+                               std::strerror(errno));
+      }
+      if (rc == 0) continue;  // loop re-checks the deadline
+    }
+    const ssize_t got =
+        ::read(fd_, static_cast<char*>(out) + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("channel read failed: ") +
+                             std::strerror(errno));
+    }
+    if (got == 0) return Status::IoError("channel closed");
+    off += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status PipeChannel::Recv(Frame* frame, double timeout_seconds) {
+  if (fd_ < 0) return Status::IoError("channel closed");
+  uint8_t type = 0;
+  DDP_RETURN_NOT_OK(ReadExact(&type, 1, timeout_seconds));
+  // Once a frame has started, the rest must follow promptly: a peer that
+  // dies mid-frame hits EOF; a wedged peer hits the inner deadline and is
+  // treated as a hang by the supervisor.
+  const double body_deadline = timeout_seconds > 0.0 ? timeout_seconds : 30.0;
+  uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = 0;
+    DDP_RETURN_NOT_OK(ReadExact(&b, 1, body_deadline));
+    if (shift >= 64) return Status::IoError("corrupt frame length");
+    len |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.resize(static_cast<size_t>(len));
+  if (len > 0) {
+    DDP_RETURN_NOT_OK(
+        ReadExact(frame->payload.data(), frame->payload.size(),
+                  body_deadline));
+  }
+  uint8_t trailer[4];
+  DDP_RETURN_NOT_OK(ReadExact(trailer, sizeof(trailer), body_deadline));
+  if (LoadCrcTrailer(trailer) !=
+      Crc32(frame->payload.data(), frame->payload.size())) {
+    return Status::IoError("channel frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+#else  // _WIN32: no socketpair; fork execution is unsupported there anyway.
+
+Result<std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>>
+PipeChannel::CreatePair() {
+  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+}
+PipeChannel::~PipeChannel() = default;
+void PipeChannel::Close() {}
+Status PipeChannel::Send(const Frame&) {
+  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+}
+Status PipeChannel::ReadExact(void*, size_t, double) {
+  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+}
+Status PipeChannel::Recv(Frame*, double) {
+  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+}
+
+#endif
+
+std::pair<std::unique_ptr<LoopbackChannel>, std::unique_ptr<LoopbackChannel>>
+LoopbackChannel::MakePair() {
+  auto a = std::make_shared<Queue>();
+  auto b = std::make_shared<Queue>();
+  auto left = std::make_unique<LoopbackChannel>();
+  auto right = std::make_unique<LoopbackChannel>();
+  left->incoming_ = a;
+  left->outgoing_ = b;
+  right->incoming_ = b;
+  right->outgoing_ = a;
+  return {std::move(left), std::move(right)};
+}
+
+Status LoopbackChannel::Send(const Frame& frame) {
+  std::string bytes = EncodeFrame(frame);
+  std::lock_guard<std::mutex> lock(outgoing_->mu);
+  if (outgoing_->closed) return Status::IoError("channel closed");
+  outgoing_->frames.push_back(std::move(bytes));
+  outgoing_->cv.notify_all();
+  return Status::OK();
+}
+
+Status LoopbackChannel::Recv(Frame* frame, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(incoming_->mu);
+  const auto ready = [this] {
+    return !incoming_->frames.empty() || incoming_->closed;
+  };
+  if (timeout_seconds > 0.0) {
+    if (!incoming_->cv.wait_for(
+            lock, std::chrono::duration<double>(timeout_seconds), ready)) {
+      return Status::DeadlineExceeded("channel read timed out");
+    }
+  } else {
+    incoming_->cv.wait(lock, ready);
+  }
+  if (incoming_->frames.empty()) return Status::IoError("channel closed");
+  std::string bytes = std::move(incoming_->frames.front());
+  incoming_->frames.pop_front();
+  lock.unlock();
+  return DecodeFrame(bytes, frame);
+}
+
+void LoopbackChannel::Close() {
+  for (auto& q : {incoming_, outgoing_}) {
+    if (q == nullptr) continue;
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->closed = true;
+    q->cv.notify_all();
+  }
+}
+
+void LoopbackChannel::InjectRaw(std::string bytes) {
+  std::lock_guard<std::mutex> lock(incoming_->mu);
+  incoming_->frames.push_back(std::move(bytes));
+  incoming_->cv.notify_all();
+}
+
+}  // namespace mr
+}  // namespace ddp

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+/// \file channel.h
+/// The transport layer of multi-process MapReduce execution: a small framed
+/// message channel between the supervising parent and one worker process.
+///
+/// Frames reuse the spill-segment disciplines of spill.h — length framing
+/// and a CRC32 trailer — so the wire format is the same shape as a sorted
+/// run on disk: [u8 type][varint64 payload length][payload][4-byte CRC32 of
+/// the payload, little endian]. A frame that fails its CRC is an IoError;
+/// the supervisor treats a channel that produced one like a crashed worker,
+/// because record boundaries are lost.
+///
+/// Two implementations:
+///  * `PipeChannel` — a socketpair(AF_UNIX, SOCK_STREAM) endpoint; the real
+///    transport between supervisor and forked workers. `Send` is mutex
+///    guarded so a worker's heartbeat thread and its task loop can share
+///    the descriptor.
+///  * `LoopbackChannel` — an in-memory queue pair for protocol tests: what
+///    one endpoint sends the other receives, byte-for-byte through the same
+///    encoder/decoder as the pipe path.
+
+namespace ddp {
+namespace mr {
+
+/// Frame type tags. Values are part of the wire format; append only.
+enum class MessageType : uint8_t {
+  kHello = 1,      // worker -> supervisor: alive and ready
+  kTask = 2,       // supervisor -> worker: run one task attempt
+  kResult = 3,     // worker -> supervisor: attempt finished
+  kHeartbeat = 4,  // worker -> supervisor: still making progress
+  kShutdown = 5,   // supervisor -> worker: exit the task loop
+};
+
+struct Frame {
+  MessageType type = MessageType::kHello;
+  std::string payload;
+};
+
+class CommChannel {
+ public:
+  virtual ~CommChannel() = default;
+
+  /// Sends one frame. Thread-safe. A peer that vanished mid-write yields
+  /// IoError (never SIGPIPE).
+  virtual Status Send(const Frame& frame) = 0;
+
+  /// Receives the next frame, waiting at most `timeout_seconds` for it to
+  /// start arriving (<= 0 waits forever). A clean peer close yields
+  /// IoError("channel closed"); a missed deadline yields DeadlineExceeded.
+  virtual Status Recv(Frame* frame, double timeout_seconds) = 0;
+
+  /// Pollable descriptor for readiness multiplexing, or -1 if the channel
+  /// has none (loopback).
+  virtual int fd() const { return -1; }
+
+  virtual void Close() = 0;
+};
+
+/// Serializes `frame` into the on-wire byte sequence (tests and both
+/// channel implementations share this).
+std::string EncodeFrame(const Frame& frame);
+
+/// One end of a socketpair. Owns the descriptor.
+class PipeChannel : public CommChannel {
+ public:
+  /// Creates a connected channel pair (parent end, child end).
+  static Result<std::pair<std::unique_ptr<PipeChannel>,
+                          std::unique_ptr<PipeChannel>>>
+  CreatePair();
+
+  explicit PipeChannel(int fd) : fd_(fd) {}
+  ~PipeChannel() override;
+
+  PipeChannel(const PipeChannel&) = delete;
+  PipeChannel& operator=(const PipeChannel&) = delete;
+
+  Status Send(const Frame& frame) override;
+  Status Recv(Frame* frame, double timeout_seconds) override;
+  int fd() const override { return fd_; }
+  void Close() override;
+
+ private:
+  /// Reads exactly n bytes, polling with the deadline between short reads.
+  Status ReadExact(void* out, size_t n, double deadline_seconds);
+
+  std::mutex send_mu_;
+  int fd_ = -1;
+};
+
+/// In-memory channel endpoint for protocol tests. `MakePair` wires two
+/// endpoints so each Send lands in the peer's receive queue after a round
+/// trip through the wire encoding (CRC checks included).
+class LoopbackChannel : public CommChannel {
+ public:
+  static std::pair<std::unique_ptr<LoopbackChannel>,
+                   std::unique_ptr<LoopbackChannel>>
+  MakePair();
+
+  Status Send(const Frame& frame) override;
+  Status Recv(Frame* frame, double timeout_seconds) override;
+  void Close() override;
+
+  /// Test hook: appends raw bytes to this endpoint's receive queue as if
+  /// the peer had written them (for corruption tests).
+  void InjectRaw(std::string bytes);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::string> frames;  // encoded wire bytes, one per frame
+    bool closed = false;
+  };
+
+  std::shared_ptr<Queue> incoming_;
+  std::shared_ptr<Queue> outgoing_;
+};
+
+/// Decodes one wire-encoded frame (shared by LoopbackChannel and tests;
+/// PipeChannel decodes incrementally off the descriptor).
+Status DecodeFrame(const std::string& bytes, Frame* frame);
+
+}  // namespace mr
+}  // namespace ddp

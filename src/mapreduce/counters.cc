@@ -38,6 +38,13 @@ void WriteJobObject(obs::JsonWriter* w, const JobCounters& j) {
   w->Field("deadline_kills", j.deadline_kills);
   w->Field("skipped_records", j.skipped_records);
   w->Field("task_exceptions", j.task_exceptions);
+  w->Field("worker_crashes", j.worker_crashes);
+  w->Field("worker_hangs", j.worker_hangs);
+  w->Field("worker_kills", j.worker_kills);
+  w->Field("worker_restarts", j.worker_restarts);
+  w->Field("quarantined_tasks", j.quarantined_tasks);
+  w->Field("spill_files_reaped", j.spill_files_reaped);
+  w->Field("exec_fallbacks", j.exec_fallbacks);
   w->Field("median_attempt_seconds", j.median_attempt_seconds);
   w->Field("p99_attempt_seconds", j.p99_attempt_seconds);
   w->Field("max_attempt_seconds", j.max_attempt_seconds);
@@ -95,6 +102,21 @@ std::string JobCounters::ToString() const {
                   static_cast<unsigned long long>(spill_files),
                   static_cast<unsigned long long>(merge_passes),
                   spill_seconds);
+    out += buf;
+  }
+  if (worker_crashes + worker_hangs + worker_kills + worker_restarts +
+          quarantined_tasks + spill_files_reaped + exec_fallbacks >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | workers: crashes=%llu hangs=%llu kills=%llu "
+                  "restarts=%llu quarantined=%llu reaped=%llu fallbacks=%llu",
+                  static_cast<unsigned long long>(worker_crashes),
+                  static_cast<unsigned long long>(worker_hangs),
+                  static_cast<unsigned long long>(worker_kills),
+                  static_cast<unsigned long long>(worker_restarts),
+                  static_cast<unsigned long long>(quarantined_tasks),
+                  static_cast<unsigned long long>(spill_files_reaped),
+                  static_cast<unsigned long long>(exec_fallbacks));
     out += buf;
   }
   if (straggler_ratio > 0.0) {
@@ -205,6 +227,48 @@ uint64_t RunStats::JobsLoadedFromCheckpoint() const {
   return total;
 }
 
+uint64_t RunStats::TotalWorkerCrashes() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.worker_crashes;
+  return total;
+}
+
+uint64_t RunStats::TotalWorkerHangs() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.worker_hangs;
+  return total;
+}
+
+uint64_t RunStats::TotalWorkerKills() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.worker_kills;
+  return total;
+}
+
+uint64_t RunStats::TotalWorkerRestarts() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.worker_restarts;
+  return total;
+}
+
+uint64_t RunStats::TotalQuarantinedTasks() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.quarantined_tasks;
+  return total;
+}
+
+uint64_t RunStats::TotalSpillFilesReaped() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.spill_files_reaped;
+  return total;
+}
+
+uint64_t RunStats::TotalExecFallbacks() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.exec_fallbacks;
+  return total;
+}
+
 std::string JobCounters::ToJson() const {
   obs::JsonWriter w;
   WriteJobObject(&w, *this);
@@ -235,6 +299,13 @@ std::string RunStats::ToJson() const {
   w.Field("spill_files", TotalSpillFiles());
   w.Field("merge_passes", TotalMergePasses());
   w.Field("jobs_loaded_from_checkpoint", JobsLoadedFromCheckpoint());
+  w.Field("worker_crashes", TotalWorkerCrashes());
+  w.Field("worker_hangs", TotalWorkerHangs());
+  w.Field("worker_kills", TotalWorkerKills());
+  w.Field("worker_restarts", TotalWorkerRestarts());
+  w.Field("quarantined_tasks", TotalQuarantinedTasks());
+  w.Field("spill_files_reaped", TotalSpillFilesReaped());
+  w.Field("exec_fallbacks", TotalExecFallbacks());
   w.EndObject();
   w.EndObject();
   return w.Take();

@@ -57,6 +57,19 @@ struct JobCounters {
   uint64_t skipped_records = 0;
   /// User map/reduce/combiner exceptions converted into failed attempts.
   uint64_t task_exceptions = 0;
+  /// Multi-process execution (Options::exec_mode == ExecMode::kFork):
+  /// unexpected worker deaths, workers SIGKILLed for deadline overrun or
+  /// heartbeat silence, SIGKILLs issued, replacement workers forked, tasks
+  /// quarantined after crashing consecutive workers, orphan spill files of
+  /// dead processes deleted, and phases that fell back to the in-process
+  /// executor (fork unsupported or spawn failed).
+  uint64_t worker_crashes = 0;
+  uint64_t worker_hangs = 0;
+  uint64_t worker_kills = 0;
+  uint64_t worker_restarts = 0;
+  uint64_t quarantined_tasks = 0;
+  uint64_t spill_files_reaped = 0;
+  uint64_t exec_fallbacks = 0;
   /// True when the job's output was replayed from a CheckpointStore instead
   /// of being executed; all other counters are zero in that case.
   bool loaded_from_checkpoint = false;
@@ -107,6 +120,14 @@ struct RunStats {
   uint64_t TotalMergePasses() const;
   /// Jobs whose output came from a checkpoint rather than execution.
   uint64_t JobsLoadedFromCheckpoint() const;
+  /// Multi-process execution totals.
+  uint64_t TotalWorkerCrashes() const;
+  uint64_t TotalWorkerHangs() const;
+  uint64_t TotalWorkerKills() const;
+  uint64_t TotalWorkerRestarts() const;
+  uint64_t TotalQuarantinedTasks() const;
+  uint64_t TotalSpillFilesReaped() const;
+  uint64_t TotalExecFallbacks() const;
 
   std::string ToString() const;
   /// {"jobs": [JobCounters::ToJson()...], "totals": {...}}.

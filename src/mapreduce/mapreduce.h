@@ -27,6 +27,7 @@
 #include "mapreduce/checkpoint.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/spill.h"
+#include "mapreduce/supervisor.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -142,7 +143,33 @@ struct FaultInjection {
   /// buffers, and a poisoned frame is "off-path" chaff whose skipping cannot
   /// change job output.
   double corruption_rate = 0.0;
+  /// Multi-process chaos (ExecMode::kFork only; the in-process executor has
+  /// no worker processes to lose). `worker_crash_rate` is the probability,
+  /// per (task, attempt), that the attempt SIGKILLs its worker — a second
+  /// hash bit picks whether the crash lands before the task body ("mid-map")
+  /// or after the body but before the result ships ("mid-shuffle").
+  /// `poison_task_rate` is the probability a TASK is poisonous: its record
+  /// deterministically kills the worker on every attempt, independent of the
+  /// attempt number, until the supervisor quarantines it (skip_bad_records)
+  /// or fails the job. Both injections are suppressed in quarantine, so a
+  /// quarantined task commits the same bytes an in-process run produces.
+  double worker_crash_rate = 0.0;
+  double poison_task_rate = 0.0;
   uint64_t seed = 1;
+};
+
+/// Execution substrate for the map and reduce phases.
+enum class ExecMode {
+  /// Tasks run on a thread pool in this process (RunRobustPhase).
+  kInProc = 0,
+  /// Tasks run in forked worker processes under a WorkerSupervisor
+  /// (supervisor.h): real crash isolation, heartbeat hang detection, seeded
+  /// backoff reattempts, poison-task quarantine. Falls back to kInProc —
+  /// counted in JobCounters::exec_fallbacks — when fork execution is
+  /// unsupported (non-POSIX, TSan) or no worker could be spawned, and for
+  /// reduce phases whose output type has no Serde (the results could not
+  /// cross the process boundary). Output is bit-identical to kInProc.
+  kFork = 1,
 };
 
 struct Options {
@@ -206,6 +233,18 @@ struct Options {
   /// logs tasks-done/total and the completion rate every this many seconds.
   /// 0 (default) starts no heartbeat thread at all.
   double heartbeat_seconds = 0.0;
+
+  /// Execution substrate (see ExecMode). Multi-process knobs below apply
+  /// only to kFork.
+  ExecMode exec_mode = ExecMode::kInProc;
+  /// Replacement workers each phase may fork after its initial crew dies.
+  size_t max_worker_restarts = 8;
+  /// Consecutive worker-killing crashes before a task is declared
+  /// poisonous and routed through skip_bad_records quarantine.
+  size_t quarantine_after_crashes = 2;
+  /// Interval of worker liveness heartbeats (kHeartbeat frames); silence
+  /// past 8x this interval SIGKILLs the worker as hung. 0 disables.
+  double worker_heartbeat_seconds = 0.25;
 
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
@@ -690,6 +729,133 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
   return job_error;
 }
 
+/// ExecMode::kFork counterpart of RunRobustPhase: runs `body` inside forked
+/// worker processes under a WorkerSupervisor. `serialize(&writer, output)`
+/// runs in the worker (and must Disown any spill handles it hands off);
+/// `deserialize(&reader, &output)` runs in the supervising parent's commit
+/// callback (and adopts those spill files by rename). Chaos parity: the
+/// per-(task, attempt) failure/straggler injections of the in-process
+/// scheduler run inside the worker, plus the fork-only worker_crash_rate /
+/// poison_task_rate injections via CrashSelf. Returns NotImplemented when
+/// fork execution is unavailable — no task has run, fall back to
+/// RunRobustPhase.
+template <typename Output, typename Body, typename SerFn, typename DeFn>
+Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
+                      const Options& options, double failure_rate,
+                      const std::string& spill_dir, PhaseStats* pstats,
+                      JobCounters* counters, std::vector<Output>* outputs,
+                      const Body& body, const SerFn& serialize,
+                      const DeFn& deserialize) {
+  outputs->clear();
+  outputs->resize(num_tasks);
+  if (num_tasks == 0) return Status::OK();
+  const FaultInjection& faults = options.faults;
+
+  SupervisorConfig cfg;
+  cfg.job_name = job_name;
+  cfg.phase = phase;
+  cfg.num_workers = options.ResolvedWorkers();
+  cfg.num_tasks = num_tasks;
+  cfg.max_task_attempts = options.max_task_attempts;
+  cfg.max_worker_restarts = options.max_worker_restarts;
+  cfg.quarantine_after_crashes = options.quarantine_after_crashes;
+  cfg.skip_bad_records = options.skip_bad_records;
+  cfg.task_deadline_seconds = options.task_deadline_seconds;
+  cfg.child_heartbeat_seconds = options.worker_heartbeat_seconds;
+  cfg.backoff_seed = faults.seed;
+  cfg.spill_dir = spill_dir;
+  cfg.progress_heartbeat_seconds = options.heartbeat_seconds;
+
+  // Runs in the worker process.
+  WorkerTaskFn fn = [&](size_t t, size_t attempt, bool quarantined,
+                        std::string* payload) -> Status {
+    // Fork-only chaos. A poisonous task SIGKILLs its worker on every
+    // attempt (attempt-independent hash) until quarantine suppresses it; a
+    // crash event kills this one attempt's worker, before the body
+    // ("mid-map") or after it, result unsent ("mid-shuffle"), by a second
+    // hash bit. Quarantine suppresses both so the committed bytes match the
+    // in-process run.
+    if (!quarantined) {
+      if (ShouldInjectFailure(faults, faults.poison_task_rate, job_name,
+                              phase + 8, t, /*attempt=*/0)) {
+        CrashSelf();
+      }
+      if (ShouldInjectFailure(faults, faults.worker_crash_rate, job_name,
+                              phase + 6, t, attempt)) {
+        if (ShouldInjectFailure(faults, 0.5, job_name, phase + 10, t,
+                                attempt)) {
+          CrashSelf();  // mid-map: the body never ran
+        }
+        // mid-shuffle: run the body, then die before the result ships.
+        Output out{};
+        CancelToken cancel;
+        (void)body(t, &cancel, &out);
+        CrashSelf();
+      }
+    }
+    Output out{};
+    CancelToken cancel;  // hung workers are killed, not cancelled
+    Stopwatch watch;
+    Status st = body(t, &cancel, &out);
+    // In-process chaos parity (worker-side, so retries re-roll the same
+    // deterministic hashes the thread scheduler would).
+    if (st.ok() && ShouldInjectFailure(faults, failure_rate, job_name, phase,
+                                       t, attempt)) {
+      st = Status::Internal("injected task failure");
+    }
+    if (st.ok() && ShouldInjectFailure(faults, faults.straggler_rate, job_name,
+                                       phase + 4, t, attempt)) {
+      const double dawdle =
+          std::max(faults.straggler_min_seconds,
+                   watch.ElapsedSeconds() *
+                       std::max(0.0, faults.straggler_slowdown - 1.0));
+      cancel.WaitFor(dawdle);  // dawdles until the supervisor's hang kill
+    }
+    if (!st.ok()) return st;
+    BufferWriter w(payload);
+    serialize(&w, out);
+    return Status::OK();
+  };
+
+  obs::Histogram* attempt_hist = obs::MetricsRegistry::Global().GetHistogram(
+      phase == 0 ? "mr.map_attempt_seconds" : "mr.reduce_attempt_seconds");
+
+  // Runs in the supervising parent, in result-frame order.
+  CommitFn commit = [&](size_t t, bool quarantined, double seconds,
+                        std::string payload) -> Status {
+    BufferReader r(payload);
+    Output out{};
+    Status st = deserialize(&r, &out);
+    if (st.ok() && !r.exhausted()) {
+      st = Status::IoError("task result decoded short of its payload");
+    }
+    if (!st.ok()) {
+      return Status::IoError("task " + std::to_string(t) +
+                             " result payload: " + st.message());
+    }
+    (*outputs)[t] = std::move(out);
+    pstats->durations.push_back(seconds);
+    attempt_hist->RecordSeconds(seconds);
+    // A quarantined task is one suppressed poisonous record, routed through
+    // the same skip accounting as corrupt-record skips.
+    if (quarantined) ++counters->skipped_records;
+    return Status::OK();
+  };
+
+  SupervisorStats sstats;
+  Status st = WorkerSupervisor::RunPhase(cfg, fn, commit, &sstats);
+  if (st.IsNotImplemented()) return st;  // nothing ran; caller falls back
+  pstats->retries += sstats.retries;
+  pstats->deadline_kills += sstats.deadline_kills;
+  counters->worker_crashes += sstats.worker_crashes;
+  counters->worker_hangs += sstats.worker_hangs;
+  counters->worker_kills += sstats.worker_kills;
+  counters->worker_restarts += sstats.worker_restarts;
+  counters->quarantined_tasks += sstats.quarantined_tasks;
+  counters->spill_files_reaped += sstats.spill_files_reaped;
+  return st;
+}
+
 }  // namespace internal
 
 /// Executes `spec` over `input` and returns all reduce outputs
@@ -745,7 +911,24 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   }
 
   Stopwatch job_timer;
-  ThreadPool pool(workers);
+  // The in-process phase pool is created lazily: in fork mode no worker
+  // threads should exist in the supervising parent (forked children inherit
+  // only this thread), so a pure-fork job never constructs it.
+  std::unique_ptr<ThreadPool> pool;
+  auto get_pool = [&pool, workers]() -> ThreadPool* {
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(workers);
+    return pool.get();
+  };
+
+  // Fork-mode resolution. `fork_phases` flips off permanently once a
+  // supervisor reports NotImplemented (unsupported platform or no worker
+  // could be spawned) — each degradation is counted in exec_fallbacks.
+  const bool want_fork = options.exec_mode == ExecMode::kFork;
+  bool fork_phases = want_fork && ForkExecutionSupported();
+  if (want_fork && !fork_phases) ++counters.exec_fallbacks;
+  if (job_span.active() && want_fork) {
+    job_span.AddArg("exec_mode", fork_phases ? "fork" : "fork->inproc");
+  }
 
   // ---- Map phase: split input into tasks, emit into per-partition buffers.
   // With a memory budget, `buffers` holds only the sorted in-memory tails
@@ -764,6 +947,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   const bool spilling = options.memory_budget_bytes > 0;
   const std::string spill_dir =
       spilling ? internal::ResolveSpillDir(options.spill_dir) : std::string();
+  if (spilling) {
+    // Startup reap: spill files stamped with the pid of a process that no
+    // longer exists are leftovers of a crashed run; delete them before this
+    // job adds its own.
+    counters.spill_files_reaped += ReapOrphanSpillFiles(spill_dir);
+  }
   Stopwatch map_timer;
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
@@ -776,9 +965,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
 
   internal::PhaseStats map_stats;
   std::vector<MapOutput> map_outputs;
-  Status map_status = internal::RunRobustPhase<MapOutput>(
-      &pool, num_map_tasks, /*phase=*/0, spec.name, options,
-      options.faults.map_failure_rate, &map_stats, &map_outputs,
+  auto map_body =
       [&](size_t t, CancelToken* cancel, MapOutput* out) -> Status {
         const size_t begin = t * chunk;
         const size_t end = std::min(input.size(), begin + chunk);
@@ -845,7 +1032,85 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
           out->buffers = std::move(emitter.buffers());
         }
         return Status::OK();
-      });
+      };
+
+  // MapOutput wire codec for fork mode. Spill runs travel as (path, extent)
+  // tuples: the worker serializing them disowns its RAII handles (the
+  // supervisor now owns those files), and the parent adopts each referenced
+  // file exactly once by renaming it under its own pid — after which the
+  // dead-owner reaper can no longer mistake it for an orphan.
+  auto serialize_map = [](BufferWriter* w, MapOutput& mo) {
+    Serde<std::vector<std::string>>::Write(w, mo.buffers);
+    Serde<std::vector<uint64_t>>::Write(w, mo.payload_bytes);
+    w->PutVarint64(mo.runs.size());
+    for (SpillRun& run : mo.runs) {
+      w->PutString(run.file->path());
+      w->PutVarint32(run.partition);
+      w->PutVarint32(run.spill_index);
+      w->PutVarint64(run.offset);
+      w->PutVarint64(run.length);
+      run.file->Disown();
+    }
+    w->PutVarint64(mo.records);
+    w->PutVarint64(mo.combine_in);
+    w->PutVarint64(mo.spilled_bytes);
+    w->PutVarint64(mo.spill_files);
+    w->PutDouble(mo.spill_seconds);
+  };
+  auto deserialize_map = [](BufferReader* r, MapOutput* mo) -> Status {
+    DDP_RETURN_NOT_OK(Serde<std::vector<std::string>>::Read(r, &mo->buffers));
+    DDP_RETURN_NOT_OK(
+        Serde<std::vector<uint64_t>>::Read(r, &mo->payload_bytes));
+    uint64_t num_runs = 0;
+    DDP_RETURN_NOT_OK(r->GetVarint64(&num_runs));
+    mo->runs.clear();
+    mo->runs.reserve(num_runs);
+    // One task's runs may share a spill file; adopt each file once.
+    std::unordered_map<std::string, std::shared_ptr<SpillFileHandle>> adopted;
+    for (uint64_t i = 0; i < num_runs; ++i) {
+      std::string path;
+      SpillRun run;
+      DDP_RETURN_NOT_OK(r->GetString(&path));
+      DDP_RETURN_NOT_OK(r->GetVarint32(&run.partition));
+      DDP_RETURN_NOT_OK(r->GetVarint32(&run.spill_index));
+      DDP_RETURN_NOT_OK(r->GetVarint64(&run.offset));
+      DDP_RETURN_NOT_OK(r->GetVarint64(&run.length));
+      auto it = adopted.find(path);
+      if (it == adopted.end()) {
+        Result<std::shared_ptr<SpillFileHandle>> handle = AdoptSpillFile(path);
+        if (!handle.ok()) return handle.status();
+        it = adopted.emplace(path, *std::move(handle)).first;
+      }
+      run.file = it->second;
+      mo->runs.push_back(std::move(run));
+    }
+    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->records));
+    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->combine_in));
+    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spilled_bytes));
+    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spill_files));
+    DDP_RETURN_NOT_OK(r->GetDouble(&mo->spill_seconds));
+    return Status::OK();
+  };
+
+  Status map_status;
+  bool map_forked = false;
+  if (fork_phases) {
+    map_status = internal::RunForkedPhase<MapOutput>(
+        num_map_tasks, /*phase=*/0, spec.name, options,
+        options.faults.map_failure_rate, spill_dir, &map_stats, &counters,
+        &map_outputs, map_body, serialize_map, deserialize_map);
+    if (map_status.IsNotImplemented()) {
+      ++counters.exec_fallbacks;
+      fork_phases = false;
+    } else {
+      map_forked = true;
+    }
+  }
+  if (!map_forked) {
+    map_status = internal::RunRobustPhase<MapOutput>(
+        get_pool(), num_map_tasks, /*phase=*/0, spec.name, options,
+        options.faults.map_failure_rate, &map_stats, &map_outputs, map_body);
+  }
   if (!map_status.ok()) {
     map_span.MarkCancelled();
     job_span.MarkCancelled();
@@ -945,9 +1210,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   internal::PhaseStats reduce_stats;
   std::vector<ReduceOutput> reduce_outputs;
   const bool skip_bad = options.skip_bad_records;
-  Status reduce_status = internal::RunRobustPhase<ReduceOutput>(
-      &pool, num_partitions, /*phase=*/1, spec.name, options,
-      options.faults.reduce_failure_rate, &reduce_stats, &reduce_outputs,
+  auto reduce_body =
       [&](size_t p, CancelToken* cancel, ReduceOutput* out) -> Status {
         if (spilling) {
           // Out-of-core path: stream a k-way merge over this partition's
@@ -1067,7 +1330,50 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
           i = j;
         }
         return Status::OK();
-      });
+      };
+
+  Status reduce_status;
+  bool reduce_forked = false;
+  if (fork_phases) {
+    if constexpr (has_serde_v<Out>) {
+      auto serialize_reduce = [](BufferWriter* w, ReduceOutput& ro) {
+        Serde<std::vector<Out>>::Write(w, ro.out);
+        w->PutVarint64(ro.groups);
+        w->PutVarint64(ro.skipped);
+        w->PutVarint64(ro.merge_passes);
+        Serde<std::vector<uint64_t>>::Write(w, ro.group_size_log2);
+      };
+      auto deserialize_reduce = [](BufferReader* r,
+                                   ReduceOutput* ro) -> Status {
+        DDP_RETURN_NOT_OK(Serde<std::vector<Out>>::Read(r, &ro->out));
+        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->groups));
+        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->skipped));
+        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->merge_passes));
+        return Serde<std::vector<uint64_t>>::Read(r, &ro->group_size_log2);
+      };
+      reduce_status = internal::RunForkedPhase<ReduceOutput>(
+          num_partitions, /*phase=*/1, spec.name, options,
+          options.faults.reduce_failure_rate, spill_dir, &reduce_stats,
+          &counters, &reduce_outputs, reduce_body, serialize_reduce,
+          deserialize_reduce);
+      if (reduce_status.IsNotImplemented()) {
+        ++counters.exec_fallbacks;
+        fork_phases = false;
+      } else {
+        reduce_forked = true;
+      }
+    } else {
+      // The reduce output type cannot cross the process boundary; run this
+      // phase in-process. Counted like any other degradation.
+      ++counters.exec_fallbacks;
+    }
+  }
+  if (!reduce_forked) {
+    reduce_status = internal::RunRobustPhase<ReduceOutput>(
+        get_pool(), num_partitions, /*phase=*/1, spec.name, options,
+        options.faults.reduce_failure_rate, &reduce_stats, &reduce_outputs,
+        reduce_body);
+  }
   if (!reduce_status.ok()) {
     reduce_span.MarkCancelled();
     job_span.MarkCancelled();

@@ -1,17 +1,115 @@
 #include "mapreduce/spill.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <filesystem>
 #include <system_error>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
 
 namespace ddp {
 namespace mr {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+long CurrentPid() {
+#ifndef _WIN32
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// True when `pid` names a live process (or liveness cannot be probed, in
+/// which case the reaper stays conservative and keeps the file).
+bool ProcessAlive(long pid) {
+#ifndef _WIN32
+  if (pid <= 0) return true;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+#else
+  (void)pid;
+  return true;
+#endif
+}
+
+/// Parses the LAST "-p<digits>-" ownership tag in a spill file name (the
+/// last one wins: adoption appends a fresh tag without rewriting history).
+/// Returns false when the name carries no tag.
+bool ParseOwnerPid(const std::string& name, long* pid) {
+  bool found = false;
+  size_t pos = 0;
+  while ((pos = name.find("-p", pos)) != std::string::npos) {
+    size_t digits = pos + 2;
+    size_t end = digits;
+    while (end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[end]))) {
+      ++end;
+    }
+    if (end > digits && end < name.size() && name[end] == '-') {
+      *pid = std::stol(name.substr(digits, end - digits));
+      found = true;
+    }
+    pos += 2;
+  }
+  return found;
+}
+
+}  // namespace
+
+SpillFileHandle::SpillFileHandle(std::string path)
+    : path_(std::move(path)), owner_pid_(CurrentPid()) {}
+
 SpillFileHandle::~SpillFileHandle() {
+  // Unlink only in the owning process: a forked worker inherits the
+  // parent's handles (and vice versa after an adoption hand-off), and the
+  // copy that merely inherited the handle must not destroy the file.
+  if (!owned_ || owner_pid_ != CurrentPid()) return;
   std::error_code ec;
   fs::remove(path_, ec);  // best effort; a vanished file is fine
+}
+
+Result<std::shared_ptr<SpillFileHandle>> AdoptSpillFile(
+    const std::string& path) {
+  fs::path old_path(path);
+  std::string stem = old_path.stem().string();  // drops ".spill"
+  const std::string new_name = stem + "-" + internal::SpillOwnerTag() + "-a" +
+                               std::to_string(internal::NextSpillFileId()) +
+                               ".spill";
+  fs::path new_path = old_path.parent_path() / new_name;
+  std::error_code ec;
+  fs::rename(old_path, new_path, ec);
+  if (ec) {
+    return Status::IoError("cannot adopt spill file " + path + ": " +
+                           ec.message());
+  }
+  return std::make_shared<SpillFileHandle>(new_path.string());
+}
+
+uint64_t ReapOrphanSpillFiles(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;  // missing or unreadable dir: nothing to reap
+  const long self = CurrentPid();
+  uint64_t reaped = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".spill") continue;
+    long owner = 0;
+    if (!ParseOwnerPid(p.filename().string(), &owner)) continue;
+    if (owner == self || ProcessAlive(owner)) continue;
+    std::error_code rm_ec;
+    if (fs::remove(p, rm_ec) && !rm_ec) ++reaped;
+  }
+  return reaped;
 }
 
 Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
@@ -195,6 +293,8 @@ uint64_t NextSpillFileId() {
   static std::atomic<uint64_t> next{0};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+std::string SpillOwnerTag() { return "p" + std::to_string(CurrentPid()); }
 
 }  // namespace internal
 }  // namespace mr

@@ -44,15 +44,26 @@
 /// speculative-loser attempt unlinks its files when its emitter is
 /// destroyed, and committed files are unlinked when the job's map outputs
 /// are dropped, so no run of `RunJob` leaks spill files.
+///
+/// Multi-process execution adds cross-process ownership: spill file names
+/// carry the creating process id (`...-p<pid>-u<id>-s<n>.spill`), handles
+/// unlink only in the process that created them, a supervising parent
+/// *adopts* a committed worker file by renaming it under its own pid
+/// (`AdoptSpillFile`), and `ReapOrphanSpillFiles` deletes files whose
+/// stamped owner process no longer exists — the cleanup path for attempts
+/// that died with SIGKILL and never ran their destructors.
 
 namespace ddp {
 namespace mr {
 
 /// Owns one spill file on disk; unlinks it on destruction. Shared by every
-/// run reference into the file.
+/// run reference into the file. Ownership is process-local: a handle
+/// inherited by a forked child never unlinks, and `Disown()` releases
+/// ownership explicitly (a worker disowns the files of a committed task
+/// once the supervisor is responsible for them).
 class SpillFileHandle {
  public:
-  explicit SpillFileHandle(std::string path) : path_(std::move(path)) {}
+  explicit SpillFileHandle(std::string path);
   ~SpillFileHandle();
 
   SpillFileHandle(const SpillFileHandle&) = delete;
@@ -60,9 +71,32 @@ class SpillFileHandle {
 
   const std::string& path() const { return path_; }
 
+  /// Keeps the file on disk past this handle's death (another process has
+  /// taken ownership).
+  void Disown() { owned_ = false; }
+  bool owned() const { return owned_; }
+
  private:
   std::string path_;
+  bool owned_ = true;
+  long owner_pid_ = 0;
 };
+
+/// Takes ownership of another process's committed spill file: renames it
+/// (atomically, same directory) to a fresh name stamped with THIS process's
+/// pid and returns an owning handle. Run extents are unaffected — rename
+/// preserves content. After adoption the file survives the original owner's
+/// death and the orphan reaper alike.
+Result<std::shared_ptr<SpillFileHandle>> AdoptSpillFile(
+    const std::string& path);
+
+/// Deletes every `*.spill` file in `dir` whose stamped owner pid (the last
+/// `-p<pid>-` tag in the name) is no longer a live process, and returns how
+/// many were removed. Files of live processes, files owned by the calling
+/// process, and files without a pid tag are left alone. Missing `dir` is a
+/// no-op. Called at job start on the out-of-core path and by the worker
+/// supervisor after each worker death.
+uint64_t ReapOrphanSpillFiles(const std::string& dir);
 
 /// One sorted run inside a spill file: the frames of one reduce partition
 /// from one map-side spill, followed by a 4-byte CRC32 trailer.
@@ -173,8 +207,14 @@ namespace internal {
 std::string ResolveSpillDir(const std::string& configured);
 
 /// Process-wide unique id for spill file names, so retried and speculative
-/// attempts of the same task never collide on disk.
+/// attempts of the same task never collide on disk. Forked children inherit
+/// the counter value, which is why spill names also carry the pid tag
+/// (`SpillOwnerTag`) — (pid, id) is unique even across workers forked from
+/// the same snapshot.
 uint64_t NextSpillFileId();
+
+/// The calling process's ownership tag for spill file names: "p<pid>".
+std::string SpillOwnerTag();
 
 /// Map-side memory-budgeted buffer. Serializes every (key, value) into a
 /// length-framed payload, keeps (decoded key, payload) pairs per partition,
@@ -281,7 +321,8 @@ class SpillingBuffer {
     DDP_ASSIGN_OR_RETURN(
         std::unique_ptr<SpillFileWriter> writer,
         SpillFileWriter::Create(
-            dir_, prefix_ + "-u" + std::to_string(NextSpillFileId()) + "-s" +
+            dir_, prefix_ + "-" + SpillOwnerTag() + "-u" +
+                      std::to_string(NextSpillFileId()) + "-s" +
                       std::to_string(spill_count_) + ".spill"));
     std::string frame;
     for (size_t p = 0; p < pending_.size(); ++p) {

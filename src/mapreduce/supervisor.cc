@@ -1,0 +1,555 @@
+#include "mapreduce/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "mapreduce/spill.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ddp {
+namespace mr {
+
+bool ForkExecutionSupported() {
+#ifdef _WIN32
+  return false;
+#else
+  bool supported = true;
+  // TSan cannot instrument threads created in a forked child (the worker's
+  // heartbeat thread), so fork mode degrades to the in-process executor
+  // under it rather than producing false positives or aborts.
+#if defined(__SANITIZE_THREAD__)
+  supported = false;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  supported = false;
+#endif
+#endif
+  return supported;
+#endif
+}
+
+std::string TaskMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutByte(quarantined ? 1 : 0);
+  return bytes;
+}
+
+Status TaskMsg::Decode(const std::string& bytes, TaskMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  uint8_t q = 0;
+  DDP_RETURN_NOT_OK(r.GetByte(&q));
+  out->quarantined = q != 0;
+  return Status::OK();
+}
+
+std::string ResultMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutSignedVarint64(status_code);
+  w.PutString(status_message);
+  w.PutDouble(seconds);
+  w.PutString(payload);
+  return bytes;
+}
+
+Status ResultMsg::Decode(const std::string& bytes, ResultMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  int64_t code = 0;
+  DDP_RETURN_NOT_OK(r.GetSignedVarint64(&code));
+  out->status_code = static_cast<int32_t>(code);
+  DDP_RETURN_NOT_OK(r.GetString(&out->status_message));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->seconds));
+  DDP_RETURN_NOT_OK(r.GetString(&out->payload));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in ResultMsg");
+  return Status::OK();
+}
+
+#ifndef _WIN32
+
+void CrashSelf() {
+  ::kill(::getpid(), SIGKILL);
+  for (;;) ::pause();  // unreachable; satisfies [[noreturn]]
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double>(now - then).count();
+}
+
+Clock::duration FromSeconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(std::max(s, 0.0)));
+}
+
+Status StatusFromWire(int32_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(std::move(message));
+}
+
+struct Worker {
+  pid_t pid = -1;
+  std::unique_ptr<PipeChannel> ch;
+  bool busy = false;
+  size_t task = 0;
+  size_t attempt = 0;
+  Clock::time_point dispatched{};
+  Clock::time_point last_beat{};
+  std::unique_ptr<obs::Span> span;
+};
+
+struct TaskState {
+  size_t failed_attempts = 0;
+  size_t next_attempt = 0;
+  bool done = false;
+  bool in_flight = false;
+  bool quarantined = false;
+  size_t consecutive_crashes = 0;
+  Clock::time_point not_before{};  // backoff gate for the next attempt
+};
+
+void ReapPid(pid_t pid) {
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
+                                  const WorkerTaskFn& fn, const CommitFn& commit,
+                                  SupervisorStats* stats) {
+  if (!ForkExecutionSupported()) {
+    return Status::NotImplemented("fork execution unsupported in this build");
+  }
+  if (cfg.num_tasks == 0) return Status::OK();
+  const char* phase_name = cfg.phase == 0 ? "map" : "reduce";
+
+  DDP_TRACE_SPAN(phase_span, "mr", "supervised_phase");
+  if (phase_span.active()) {
+    phase_span.AddArg("job", cfg.job_name);
+    phase_span.AddArg("phase", std::string_view(phase_name));
+    phase_span.AddArg("tasks", static_cast<uint64_t>(cfg.num_tasks));
+  }
+  obs::Histogram* crash_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "mr.worker_crash_latency_seconds");
+
+  std::vector<Worker> workers;
+  std::vector<TaskState> tasks(cfg.num_tasks);
+  std::atomic<size_t> completed{0};
+  size_t restarts_used = 0;
+  Status job_error;
+
+  const size_t target_workers =
+      std::max<size_t>(1, std::min(cfg.num_workers, cfg.num_tasks));
+  const ExponentialBackoff respawn_backoff(
+      cfg.respawn_backoff, SplitSeed(cfg.backoff_seed, 0x5e5u));
+  auto task_backoff = [&cfg](size_t t) {
+    return ExponentialBackoff(cfg.retry_backoff,
+                              SplitSeed(cfg.backoff_seed, t));
+  };
+
+  auto spawn_worker = [&]() -> Status {
+    DDP_ASSIGN_OR_RETURN(auto ends, PipeChannel::CreatePair());
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::Internal(std::string("cannot fork worker: ") +
+                              std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Worker process. Drop every supervisor-side descriptor we inherited
+      // (ours, and those of workers forked before us) so a sibling's EOF is
+      // seen the moment that sibling dies.
+      ends.first->Close();
+      for (Worker& w : workers) {
+        if (w.ch != nullptr) w.ch->Close();
+      }
+      WorkerMain(ends.second.get(), fn, cfg.child_heartbeat_seconds);
+    }
+    ends.second->Close();
+    Worker w;
+    w.pid = pid;
+    w.ch = std::move(ends.first);
+    w.last_beat = Clock::now();
+    w.span = std::make_unique<obs::Span>("mr", "worker");
+    if (w.span->active()) {
+      w.span->AddArg("job", cfg.job_name);
+      w.span->AddArg("phase", std::string_view(phase_name));
+      w.span->AddArg("pid", static_cast<uint64_t>(pid));
+    }
+    workers.push_back(std::move(w));
+    return Status::OK();
+  };
+
+  // Charges a failed attempt of `t` and decides retry / quarantine / abort.
+  // `crashed` marks worker-killing failures (they feed the poison counter).
+  auto charge_failure = [&](size_t t, bool crashed, const Status& why) {
+    TaskState& ts = tasks[t];
+    ts.in_flight = false;
+    if (ts.done) return;
+    if (crashed) {
+      ++ts.consecutive_crashes;
+    } else {
+      ts.consecutive_crashes = 0;
+    }
+    ++ts.failed_attempts;
+    if (!ts.quarantined &&
+        ts.consecutive_crashes >= cfg.quarantine_after_crashes) {
+      if (cfg.skip_bad_records) {
+        // Poisonous record: re-run the task in quarantine with a fresh
+        // attempt budget — Hadoop's skip-mode re-execution.
+        ts.quarantined = true;
+        ts.failed_attempts = 0;
+        ts.consecutive_crashes = 0;
+        ++stats->quarantined_tasks;
+        DDP_METRIC_COUNTER_ADD("mr.quarantined_tasks", 1);
+        DDP_LOG(Warning) << cfg.job_name << " " << phase_name << " task " << t
+                         << " crashed " << cfg.quarantine_after_crashes
+                         << " consecutive workers; quarantining";
+      } else {
+        job_error = Status::Internal(
+            std::string(phase_name) + " task " + std::to_string(t) +
+            " crashed " + std::to_string(ts.consecutive_crashes) +
+            " consecutive workers (poisonous record; enable "
+            "skip_bad_records to quarantine): " +
+            why.ToString());
+        return;
+      }
+    } else if (ts.failed_attempts >= cfg.max_task_attempts) {
+      job_error = Status::Internal(
+          std::string(phase_name) + " task " + std::to_string(t) +
+          " failed after " + std::to_string(cfg.max_task_attempts) +
+          " attempts; last error: " + why.ToString());
+      return;
+    }
+    ++stats->retries;
+    ts.not_before =
+        Clock::now() +
+        FromSeconds(task_backoff(t).DelaySeconds(
+            ts.failed_attempts == 0 ? 0 : ts.failed_attempts - 1));
+  };
+
+  // Tears down worker `wi` after its death or kill. `hang` marks workers we
+  // SIGKILLed for deadline/heartbeat silence; everything else is a crash.
+  auto handle_worker_death = [&](size_t wi, bool hang, bool deadline_hit) {
+    Worker w = std::move(workers[wi]);
+    workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
+    w.ch->Close();
+    ReapPid(w.pid);
+    if (hang) {
+      ++stats->worker_hangs;
+      if (deadline_hit) ++stats->deadline_kills;
+    } else {
+      ++stats->worker_crashes;
+      DDP_METRIC_COUNTER_ADD("mr.worker_crashes", 1);
+    }
+    if (w.span != nullptr) {
+      if (w.span->active()) {
+        w.span->AddArg("exit", hang ? "hang" : "crash");
+        w.span->MarkCancelled();
+      }
+      w.span.reset();
+    }
+    if (w.busy) {
+      crash_hist->RecordSeconds(SecondsSince(w.dispatched, Clock::now()));
+      charge_failure(w.task, /*crashed=*/!hang,
+                     hang ? Status::DeadlineExceeded("worker hang")
+                          : Status::Internal("worker crashed"));
+    }
+    // The dead worker's uncommitted spill files are orphans now; committed
+    // files were adopted (renamed to a live owner) as their results were
+    // committed, so the reaper cannot touch them.
+    if (!cfg.spill_dir.empty()) {
+      stats->spill_files_reaped += ReapOrphanSpillFiles(cfg.spill_dir);
+    }
+  };
+
+  auto kill_worker = [&](size_t wi, bool hang, bool deadline_hit) {
+    ::kill(workers[wi].pid, SIGKILL);
+    ++stats->worker_kills;
+    DDP_METRIC_COUNTER_ADD("mr.worker_kills", 1);
+    handle_worker_death(wi, hang, deadline_hit);
+  };
+
+  // ---- Initial crew. Total spawn failure aborts before any task ran, so
+  // RunJob can fall back to the in-process executor.
+  for (size_t i = 0; i < target_workers; ++i) {
+    Status st = spawn_worker();
+    if (!st.ok()) {
+      if (workers.empty()) {
+        // NotImplemented is the caller's single "fork execution is not
+        // available here" signal — same as the unsupported-platform path.
+        return Status::NotImplemented("cannot spawn workers: " +
+                                      st.ToString());
+      }
+      DDP_LOG(Warning) << cfg.job_name << ": spawned only " << workers.size()
+                       << "/" << target_workers
+                       << " workers: " << st.ToString();
+      break;
+    }
+  }
+
+  std::optional<obs::ProgressHeartbeat> progress;
+  if (cfg.progress_heartbeat_seconds > 0.0) {
+    progress.emplace(cfg.progress_heartbeat_seconds, [&completed, &cfg,
+                                                      phase_name] {
+      return cfg.job_name + " " + phase_name + " (fork): " +
+             std::to_string(completed.load(std::memory_order_relaxed)) + "/" +
+             std::to_string(cfg.num_tasks) + " tasks done";
+    });
+  }
+
+  Clock::time_point next_respawn = Clock::now();
+
+  // ---- Event loop: dispatch, poll, classify, repeat.
+  while (completed.load(std::memory_order_relaxed) < cfg.num_tasks &&
+         job_error.ok()) {
+    const Clock::time_point now = Clock::now();
+
+    // Respawn toward the target crew while the restart budget lasts.
+    if (workers.size() < target_workers && now >= next_respawn) {
+      if (restarts_used < cfg.max_worker_restarts) {
+        Status st = spawn_worker();
+        if (st.ok()) {
+          ++restarts_used;
+          ++stats->worker_restarts;
+          DDP_METRIC_COUNTER_ADD("mr.worker_restarts", 1);
+        } else if (workers.empty()) {
+          job_error = Status::Internal("cannot respawn any worker: " +
+                                       st.ToString());
+          break;
+        }
+        next_respawn =
+            now + FromSeconds(respawn_backoff.DelaySeconds(restarts_used));
+      } else if (workers.empty()) {
+        job_error = Status::Internal(
+            "all workers dead and the restart budget (" +
+            std::to_string(cfg.max_worker_restarts) + ") is exhausted");
+        break;
+      }
+    }
+
+    // Dispatch ready tasks to idle workers (lowest task id first, so runs
+    // are easy to reason about; commit order is by task id regardless).
+    for (Worker& w : workers) {
+      if (w.busy) continue;
+      for (size_t t = 0; t < cfg.num_tasks; ++t) {
+        TaskState& ts = tasks[t];
+        if (ts.done || ts.in_flight || now < ts.not_before) continue;
+        TaskMsg msg{t, ts.next_attempt++, ts.quarantined};
+        Status sent = w.ch->Send(Frame{MessageType::kTask, msg.Encode()});
+        if (sent.ok()) {
+          w.busy = true;
+          w.task = t;
+          w.attempt = msg.attempt;
+          w.dispatched = now;
+          w.last_beat = now;
+          ts.in_flight = true;
+        } else {
+          // A dead socket shows up as a failed send; the poll pass below
+          // will see the EOF and run the death path. Re-arm the attempt.
+          --ts.next_attempt;
+        }
+        break;
+      }
+    }
+
+    // Wait for worker traffic; the 10ms cap bounds backoff-gate, respawn,
+    // and hang-scan latency.
+    std::vector<struct pollfd> pfds;
+    std::vector<pid_t> pfd_pids;
+    pfds.reserve(workers.size());
+    for (const Worker& w : workers) {
+      pfds.push_back({w.ch->fd(), POLLIN, 0});
+      pfd_pids.push_back(w.pid);
+    }
+    if (!pfds.empty()) {
+      const int rc = ::poll(pfds.data(),
+                            static_cast<nfds_t>(pfds.size()), /*timeout=*/10);
+      if (rc < 0 && errno != EINTR) {
+        job_error = Status::Internal(std::string("supervisor poll failed: ") +
+                                     std::strerror(errno));
+        break;
+      }
+    }
+
+    for (size_t i = 0; i < pfds.size() && job_error.ok(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      // Re-find the worker: earlier death handling may have reshuffled.
+      size_t wi = workers.size();
+      for (size_t j = 0; j < workers.size(); ++j) {
+        if (workers[j].pid == pfd_pids[i]) {
+          wi = j;
+          break;
+        }
+      }
+      if (wi == workers.size()) continue;
+      Worker& w = workers[wi];
+      Frame frame;
+      Status received = w.ch->Recv(&frame, /*timeout_seconds=*/30.0);
+      if (!received.ok()) {
+        // EOF or a corrupt frame: either way record boundaries are gone and
+        // the worker is unusable. Make sure it is dead, then classify.
+        ::kill(w.pid, SIGKILL);
+        handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+        continue;
+      }
+      w.last_beat = Clock::now();
+      if (frame.type == MessageType::kResult) {
+        ResultMsg msg;
+        Status decoded = ResultMsg::Decode(frame.payload, &msg);
+        if (!decoded.ok() || msg.task >= cfg.num_tasks) {
+          ::kill(w.pid, SIGKILL);
+          ++stats->worker_kills;
+          handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+          continue;
+        }
+        w.busy = false;
+        TaskState& ts = tasks[msg.task];
+        // The worker survived the attempt, whatever its verdict: the
+        // poison counter tracks worker-killing records only.
+        ts.consecutive_crashes = 0;
+        Status attempt_status =
+            StatusFromWire(msg.status_code, msg.status_message);
+        if (ts.done) continue;  // defensive: no duplicate commits
+        if (attempt_status.ok()) {
+          ts.done = true;
+          ts.in_flight = false;
+          completed.fetch_add(1, std::memory_order_relaxed);
+          stats->durations.push_back(msg.seconds);
+          Status committed = commit(msg.task, ts.quarantined, msg.seconds,
+                                    std::move(msg.payload));
+          if (!committed.ok()) job_error = committed;
+        } else if (attempt_status.IsIoError()) {
+          // Deterministically corrupt input: retrying re-reads the same
+          // bytes. Fail fast, matching the in-process scheduler.
+          job_error = attempt_status;
+        } else {
+          charge_failure(msg.task, /*crashed=*/false, attempt_status);
+        }
+      }
+      // kHello and kHeartbeat only refresh last_beat, done above.
+    }
+    if (!job_error.ok()) break;
+
+    // Hang scan: deadline overruns and heartbeat silence get a SIGKILL and
+    // are charged like an in-process deadline kill.
+    const Clock::time_point scan_now = Clock::now();
+    for (size_t wi = workers.size(); wi-- > 0;) {
+      Worker& w = workers[wi];
+      if (!w.busy) continue;
+      const bool deadline_hit =
+          cfg.task_deadline_seconds > 0.0 &&
+          SecondsSince(w.dispatched, scan_now) > cfg.task_deadline_seconds;
+      const bool silent =
+          cfg.child_heartbeat_seconds > 0.0 &&
+          SecondsSince(w.last_beat, scan_now) >
+              cfg.heartbeat_grace * cfg.child_heartbeat_seconds;
+      if (deadline_hit || silent) {
+        kill_worker(wi, /*hang=*/true, deadline_hit);
+      }
+    }
+  }
+
+  // ---- Teardown: polite shutdown, bounded wait, then force.
+  for (Worker& w : workers) {
+    (void)w.ch->Send(Frame{MessageType::kShutdown, ""});
+  }
+  for (Worker& w : workers) w.ch->Close();
+  for (Worker& w : workers) {
+    const Clock::time_point give_up = Clock::now() + FromSeconds(2.0);
+    bool reaped = false;
+    while (Clock::now() < give_up) {
+      int wstatus = 0;
+      const pid_t got = ::waitpid(w.pid, &wstatus, WNOHANG);
+      if (got == w.pid || (got < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      ::poll(nullptr, 0, 5);  // 5ms nap between reap polls
+    }
+    if (!reaped) {
+      ::kill(w.pid, SIGKILL);
+      ++stats->worker_kills;
+      ReapPid(w.pid);
+    }
+    if (w.span != nullptr) w.span.reset();
+  }
+  workers.clear();
+  if (!job_error.ok() && !cfg.spill_dir.empty()) {
+    stats->spill_files_reaped += ReapOrphanSpillFiles(cfg.spill_dir);
+  }
+  if (!job_error.ok() && phase_span.active()) phase_span.MarkCancelled();
+  if (phase_span.active()) {
+    phase_span.AddArg("worker_crashes", stats->worker_crashes);
+    phase_span.AddArg("worker_restarts", stats->worker_restarts);
+  }
+  return job_error;
+}
+
+#else  // _WIN32
+
+void CrashSelf() { std::abort(); }
+
+Status WorkerSupervisor::RunPhase(const SupervisorConfig&, const WorkerTaskFn&,
+                                  const CommitFn&, SupervisorStats*) {
+  return Status::NotImplemented("fork execution requires POSIX");
+}
+
+#endif
+
+}  // namespace mr
+}  // namespace ddp

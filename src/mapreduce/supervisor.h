@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "mapreduce/channel.h"
+
+/// \file supervisor.h
+/// Crash-fault-tolerant supervision of forked worker processes — the "job
+/// tracker over real processes" counterpart of the in-process scheduler in
+/// mapreduce.h. A `WorkerSupervisor` forks `num_workers` children (plain
+/// fork, no exec: the typed task closures cannot cross an exec boundary, so
+/// workers inherit the job's closures and input copy-on-write), feeds them
+/// task attempts over `PipeChannel`s, and supervises:
+///
+///  * crash — the worker died unexpectedly (channel EOF + waitpid). The
+///    in-flight attempt is charged and retried after a seeded exponential
+///    backoff; a replacement worker is forked while the phase-wide restart
+///    budget (`max_worker_restarts`) lasts.
+///  * hang — the attempt overran `task_deadline_seconds`, or the worker's
+///    heartbeat (a child-side ProgressHeartbeat that sends a kHeartbeat
+///    frame per beat) went silent past the grace window. The worker is
+///    SIGKILLed and the attempt charged, exactly like an in-process
+///    deadline kill.
+///  * poison — a task whose attempts killed `quarantine_after_crashes`
+///    consecutive workers. With `skip_bad_records` the task is re-run
+///    quarantined (the worker suppresses the poisonous record and counts it
+///    skipped, Hadoop's skip-mode); otherwise the job fails.
+///
+/// Results are committed per task index, so scheduling order, crashes, and
+/// respawns never affect output order — the bit-identity argument of the
+/// multi-process mode reduces to "task bodies are pure and the commit slot
+/// is the task id" (docs/architecture.md, "Multi-process execution").
+///
+/// Raw process-control calls (fork/kill/waitpid) live in supervisor.cc and
+/// nowhere else; ddp_lint's process-control rule keeps it that way.
+
+namespace ddp {
+namespace mr {
+
+/// Robustness accounting for one supervised phase.
+struct SupervisorStats {
+  uint64_t worker_crashes = 0;   // unexpected worker deaths
+  uint64_t worker_hangs = 0;     // workers killed for deadline/silence
+  uint64_t worker_kills = 0;     // SIGKILLs issued by the supervisor
+  uint64_t worker_restarts = 0;  // replacement workers forked
+  uint64_t quarantined_tasks = 0;
+  uint64_t retries = 0;          // failed attempts that were retried
+  uint64_t deadline_kills = 0;   // hangs triggered by the task deadline
+  uint64_t spill_files_reaped = 0;
+  std::vector<double> durations;  // committed attempt seconds
+};
+
+struct SupervisorConfig {
+  std::string job_name;
+  int phase = 0;  // 0 = map, 1 = reduce (naming and chaos-phase parity)
+  size_t num_workers = 1;
+  size_t num_tasks = 0;
+  size_t max_task_attempts = 4;
+  /// Replacement workers the phase may fork after the initial crew.
+  size_t max_worker_restarts = 8;
+  /// Consecutive worker-killing crashes before a task is declared
+  /// poisonous. The quarantined task gets a fresh attempt budget.
+  size_t quarantine_after_crashes = 2;
+  bool skip_bad_records = false;
+  double task_deadline_seconds = 0.0;
+  /// Interval of the worker's kHeartbeat frames; 0 disables the heartbeat
+  /// thread (hangs are then caught by the task deadline alone).
+  double child_heartbeat_seconds = 0.25;
+  /// A busy worker silent for more than grace * child_heartbeat_seconds is
+  /// declared hung.
+  double heartbeat_grace = 8.0;
+  uint64_t backoff_seed = 1;
+  ExponentialBackoff::Params retry_backoff{0.002, 2.0, 0.25, 0.25};
+  ExponentialBackoff::Params respawn_backoff{0.002, 2.0, 0.25, 0.25};
+  /// Non-empty: reap orphan spill files of dead processes from this
+  /// directory after each worker death (see spill.h ReapOrphanSpillFiles).
+  std::string spill_dir;
+  /// Parent-side progress heartbeat interval (mr::Options::heartbeat_seconds).
+  double progress_heartbeat_seconds = 0.0;
+};
+
+/// One task attempt, executed inside the worker process. `quarantined` tells
+/// the body to suppress (and count as skipped) the record that has been
+/// crashing workers. The serialized result goes to `payload`.
+using WorkerTaskFn = std::function<Status(
+    size_t task, size_t attempt, bool quarantined, std::string* payload)>;
+
+/// Called in the supervising parent, in frame order, as each task's first
+/// successful attempt arrives. Decodes/commits the payload (and adopts any
+/// spill files it references — this runs before the producing worker's
+/// death could mark those files orphaned). A non-OK return fails the job.
+using CommitFn = std::function<Status(size_t task, bool quarantined,
+                                      double seconds, std::string payload)>;
+
+/// True when this platform/build can run forked workers: POSIX, and not
+/// ThreadSanitizer (TSan does not support threads in forked children, so
+/// fork mode degrades to the in-process executor there).
+bool ForkExecutionSupported();
+
+/// SIGKILLs the calling process — the worker-side chaos injection for
+/// `FaultInjection::worker_crash_rate` / `poison_task_rate`. Lives here so
+/// raw kill() stays inside src/mapreduce/.
+[[noreturn]] void CrashSelf();
+
+/// Wire payloads for kTask / kResult frames.
+struct TaskMsg {
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  bool quarantined = false;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, TaskMsg* out);
+};
+
+struct ResultMsg {
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  int32_t status_code = 0;  // StatusCode of the attempt
+  std::string status_message;
+  double seconds = 0.0;  // child-measured attempt duration
+  std::string payload;   // serialized task output (empty on failure)
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, ResultMsg* out);
+};
+
+class WorkerSupervisor {
+ public:
+  /// Runs tasks [0, num_tasks) on forked workers, committing each task's
+  /// result through `commit`. Returns NotImplemented when fork execution is
+  /// unsupported or no worker could be spawned at all — both before any
+  /// task ran, so the caller can fall back to the in-process executor.
+  static Status RunPhase(const SupervisorConfig& config, const WorkerTaskFn& fn,
+                         const CommitFn& commit, SupervisorStats* stats);
+};
+
+/// Child-side protocol loop (worker_main.cc): answer kTask frames with
+/// kResult frames until kShutdown, a closed channel, or orphaning (the
+/// supervisor process died). Never returns to the caller's stack — exits
+/// the process via _exit so a forked child cannot run parent destructors.
+[[noreturn]] void WorkerMain(CommChannel* channel, const WorkerTaskFn& fn,
+                             double heartbeat_seconds);
+
+}  // namespace mr
+}  // namespace ddp

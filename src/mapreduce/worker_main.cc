@@ -1,0 +1,108 @@
+#include "mapreduce/supervisor.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/heartbeat.h"
+
+/// \file worker_main.cc
+/// The worker side of multi-process execution. Workers are forked, not
+/// exec'd — the typed map/reduce closures cannot be shipped to a fresh
+/// binary, so the child inherits them (and the job input) copy-on-write and
+/// this loop just answers kTask frames with kResult frames.
+///
+/// Exit discipline: the child leaves ONLY through _exit. Running the
+/// parent's static destructors (thread pools, metric registries) in a
+/// forked image would touch state whose owning threads do not exist here.
+
+namespace ddp {
+namespace mr {
+
+#ifndef _WIN32
+
+void WorkerMain(CommChannel* channel, const WorkerTaskFn& fn,
+                double heartbeat_seconds) {
+  // Workers inherit the parent's stderr; only warnings and errors are worth
+  // duplicating num_workers times.
+  SetLogLevel(LogLevel::kWarning);
+  const pid_t supervisor_pid = ::getppid();
+
+  // Liveness beats ride on a ProgressHeartbeat: its timer thread fires
+  // `report`, which sends a kHeartbeat frame whenever a task is running.
+  // Channel sends are mutex-guarded, so the beat thread and the task loop
+  // can share the descriptor.
+  std::atomic<uint64_t> current_task{UINT64_MAX};
+  std::optional<obs::ProgressHeartbeat> beat;
+  if (heartbeat_seconds > 0.0) {
+    beat.emplace(heartbeat_seconds, [channel, &current_task] {
+      const uint64_t t = current_task.load(std::memory_order_relaxed);
+      if (t != UINT64_MAX) {
+        Frame hb{MessageType::kHeartbeat, std::string()};
+        (void)channel->Send(hb);
+      }
+      return std::string("worker beat");
+    });
+  }
+
+  (void)channel->Send(Frame{MessageType::kHello, ""});
+  for (;;) {
+    Frame frame;
+    Status received = channel->Recv(&frame, /*timeout_seconds=*/1.0);
+    if (received.IsDeadlineExceeded()) {
+      // Idle tick: if the supervisor died we are an orphan — exit rather
+      // than wait forever on a socket nobody will write to again.
+      if (::getppid() != supervisor_pid) {
+        beat.reset();
+        ::_exit(1);
+      }
+      continue;
+    }
+    if (!received.ok() || frame.type == MessageType::kShutdown) break;
+    if (frame.type != MessageType::kTask) continue;
+    TaskMsg task;
+    if (!TaskMsg::Decode(frame.payload, &task).ok()) break;
+
+    current_task.store(task.task, std::memory_order_relaxed);
+    ResultMsg result;
+    result.task = task.task;
+    result.attempt = task.attempt;
+    Stopwatch watch;
+    Status st;
+    try {
+      st = fn(static_cast<size_t>(task.task),
+              static_cast<size_t>(task.attempt), task.quarantined,
+              &result.payload);
+    } catch (const std::exception& e) {
+      st = Status::Internal(std::string("worker task threw: ") + e.what());
+    } catch (...) {
+      st = Status::Internal("worker task threw a non-std exception");
+    }
+    result.seconds = watch.ElapsedSeconds();
+    result.status_code = static_cast<int32_t>(st.code());
+    result.status_message = st.message();
+    if (!st.ok()) result.payload.clear();
+    current_task.store(UINT64_MAX, std::memory_order_relaxed);
+    if (!channel->Send(Frame{MessageType::kResult, result.Encode()}).ok()) {
+      break;
+    }
+  }
+  beat.reset();  // join the beat thread before tearing the process down
+  ::_exit(0);
+}
+
+#else
+
+void WorkerMain(CommChannel*, const WorkerTaskFn&, double) { std::abort(); }
+
+#endif
+
+}  // namespace mr
+}  // namespace ddp

@@ -32,6 +32,13 @@ mr::Options FastMr() {
   if (const char* budget = std::getenv("DDP_TEST_MEMORY_BUDGET")) {
     o.memory_budget_bytes = static_cast<uint64_t>(std::atoll(budget));
   }
+  // DDP_TEST_EXEC_MODE=fork reruns the whole suite on forked worker
+  // processes (CI does this combined with the 4 KiB budget above); every
+  // bit-identity assertion then doubles as a multi-process determinism
+  // check. Unsupported platforms fall back to in-process silently.
+  if (const char* mode = std::getenv("DDP_TEST_EXEC_MODE")) {
+    if (std::string(mode) == "fork") o.exec_mode = mr::ExecMode::kFork;
+  }
   return o;
 }
 
@@ -214,7 +221,12 @@ TEST(IntegrationTest, LshDecisionGraphKeepsPeaksSelectable) {
 
 TEST(IntegrationTest, BasicDdpCostGrowsQuadratically) {
   // Fig. 10(c): Basic-DDP distance count is quadratic; doubling N roughly
-  // quadruples the work.
+  // quadruples the work. The DistanceCounter is shared driver-side state
+  // incremented inside task bodies, which cannot cross the fork boundary,
+  // so this measurement pins the in-process executor regardless of
+  // DDP_TEST_EXEC_MODE.
+  mr::Options mr_opts = FastMr();
+  mr_opts.exec_mode = mr::ExecMode::kInProc;
   CountingMetric unused;
   auto count_for = [&](size_t n) {
     auto ds = gen::BigCrossLike(9, n);
@@ -224,7 +236,7 @@ TEST(IntegrationTest, BasicDdpCostGrowsQuadratically) {
     BasicDdp::Params params;
     params.block_size = 64;
     BasicDdp algo(params);
-    EXPECT_TRUE(algo.ComputeScores(*ds, 20.0, metric, FastMr(), nullptr).ok());
+    EXPECT_TRUE(algo.ComputeScores(*ds, 20.0, metric, mr_opts, nullptr).ok());
     return counter.value();
   };
   uint64_t n400 = count_for(400);
@@ -238,6 +250,10 @@ TEST(IntegrationTest, LshDdpSavingsOverBasicDoNotShrinkWithScale) {
   // K-fold fewer distances than Basic-DDP (K ~= effective bucket count /
   // 2M), and the savings factor holds or grows as N grows. (On a fixed
   // distribution both costs are ~N^2; LSH's constant is much smaller.)
+  // In-process executor pinned: the DistanceCounters are shared driver-side
+  // state that forked workers cannot update.
+  mr::Options mr_opts = FastMr();
+  mr_opts.exec_mode = mr::ExecMode::kInProc;
   auto costs_for = [&](size_t n) {
     auto ds = gen::BigCrossLike(9, n);
     EXPECT_TRUE(ds.ok());
@@ -249,11 +265,11 @@ TEST(IntegrationTest, LshDdpSavingsOverBasicDoNotShrinkWithScale) {
     BasicDdp basic(bp);
     EXPECT_TRUE(basic
                     .ComputeScores(*ds, *dc, CountingMetric(&basic_counter),
-                                   FastMr(), nullptr)
+                                   mr_opts, nullptr)
                     .ok());
     LshDdp lsh;
     EXPECT_TRUE(lsh.ComputeScores(*ds, *dc, CountingMetric(&lsh_counter),
-                                  FastMr(), nullptr)
+                                  mr_opts, nullptr)
                     .ok());
     return std::pair<uint64_t, uint64_t>{basic_counter.value(),
                                          lsh_counter.value()};

@@ -1,0 +1,10 @@
+// Fixture: R7 process-control, violations on lines 5 and 7 only (the
+// member-call wait on line 8 is an unrelated condition variable).
+int Escape(int pid, void* cv_ptr, void* lock) {
+  (void)cv_ptr;
+  int child = fork();
+  if (child == 0) return 0;
+  kill(pid, 9);
+  static_cast<std::condition_variable*>(cv_ptr)->wait(lock);
+  return child;
+}

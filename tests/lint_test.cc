@@ -49,7 +49,8 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"no-raw-sqrt", "ordered-emission", "explicit-memory-order",
         "banned-nondeterminism", "name-hygiene", "header-hygiene",
-        "suppression-missing-reason", "unused-suppression"}) {
+        "process-control", "suppression-missing-reason",
+        "unused-suppression"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }
@@ -152,6 +153,23 @@ TEST(LintTest, HeaderHygiene) {
             f + ":1: [header-hygiene] header is missing #pragma once\n" + f +
                 ":2: [header-hygiene] using namespace in a header leaks into "
                 "every includer\n");
+}
+
+TEST(LintTest, ProcessControlConfinedToMapreduce) {
+  std::string f = Fixture("src/core/process_control.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  // fork (line 5) and kill (line 7) are flagged; the member-call wait on
+  // line 8 is not a POSIX primitive.
+  EXPECT_EQ(r.out,
+            f +
+                ":5: [process-control] fork() outside src/mapreduce/; process "
+                "lifecycle belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
+                f +
+                ":7: [process-control] kill() outside src/mapreduce/; process "
+                "lifecycle belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n");
 }
 
 TEST(LintTest, MissingFileExitsTwo) {

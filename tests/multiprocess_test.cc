@@ -1,0 +1,539 @@
+// Multi-process execution suite: the framed channel wire format, the shared
+// seeded backoff, the supervisor wire payloads, the orphan spill-file
+// reaper, and — the contract everything else serves — bit-identity of
+// --exec-mode=fork with the in-process executor, including under chaos
+// schedules that SIGKILL workers mid-map and mid-shuffle, hang them past
+// the task deadline, and poison tasks until they are quarantined.
+//
+// Fork-mode tests skip themselves where forked workers are unsupported
+// (ForkExecutionSupported() == false, e.g. under TSan); the protocol,
+// backoff, and reaper tests run everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/backoff.h"
+#include "mapreduce/channel.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/spill.h"
+#include "mapreduce/supervisor.h"
+
+namespace ddp {
+namespace mr {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(ChannelTest, LoopbackRoundTripsEveryMessageType) {
+  auto [a, b] = LoopbackChannel::MakePair();
+  const std::string big(100 * 1024, '\x5a');
+  const Frame frames[] = {
+      {MessageType::kHello, ""},
+      {MessageType::kTask, std::string("\x00\x01\xff binary", 9)},
+      {MessageType::kResult, big},
+      {MessageType::kHeartbeat, "beat"},
+      {MessageType::kShutdown, ""},
+  };
+  for (const Frame& f : frames) {
+    ASSERT_TRUE(a->Send(f).ok());
+    Frame got;
+    ASSERT_TRUE(b->Recv(&got, 1.0).ok());
+    EXPECT_EQ(got.type, f.type);
+    EXPECT_EQ(got.payload, f.payload);
+  }
+}
+
+TEST(ChannelTest, RecvTimesOutAndCloseYieldsIoError) {
+  auto [a, b] = LoopbackChannel::MakePair();
+  Frame got;
+  EXPECT_TRUE(b->Recv(&got, 0.05).IsDeadlineExceeded());
+  a->Close();
+  EXPECT_TRUE(b->Recv(&got, 0.05).IsIoError());
+}
+
+TEST(ChannelTest, CorruptedFrameIsIoError) {
+  Frame f{MessageType::kResult, "payload bytes that the crc protects"};
+  std::string wire = EncodeFrame(f);
+
+  // Flip one payload byte: the CRC32 trailer no longer matches.
+  std::string flipped = wire;
+  flipped[wire.size() / 2] ^= 0x01;
+  auto [a, b] = LoopbackChannel::MakePair();
+  b->InjectRaw(flipped);
+  Frame got;
+  EXPECT_TRUE(b->Recv(&got, 0.1).IsIoError());
+
+  // Truncated frame: the payload ends before the declared length.
+  b->InjectRaw(wire.substr(0, wire.size() - 6));
+  EXPECT_TRUE(b->Recv(&got, 0.1).IsIoError());
+
+  // An intact frame still decodes (corruption does not poison the channel
+  // abstraction itself, only the one frame).
+  b->InjectRaw(wire);
+  ASSERT_TRUE(b->Recv(&got, 0.1).ok());
+  EXPECT_EQ(got.payload, f.payload);
+}
+
+TEST(ChannelTest, DecodeFrameRoundTrip) {
+  Frame f{MessageType::kTask, std::string(1, '\0') + "after-nul"};
+  Frame got;
+  ASSERT_TRUE(DecodeFrame(EncodeFrame(f), &got).ok());
+  EXPECT_EQ(got.type, f.type);
+  EXPECT_EQ(got.payload, f.payload);
+}
+
+TEST(ChannelTest, PipeChannelRoundTripsBothDirections) {
+  auto pair = PipeChannel::CreatePair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  auto [parent, child] = std::move(*pair);
+
+  ASSERT_TRUE(parent->Send({MessageType::kTask, "down"}).ok());
+  Frame got;
+  ASSERT_TRUE(child->Recv(&got, 2.0).ok());
+  EXPECT_EQ(got.type, MessageType::kTask);
+  EXPECT_EQ(got.payload, "down");
+
+  ASSERT_TRUE(child->Send({MessageType::kResult, "up"}).ok());
+  ASSERT_TRUE(parent->Recv(&got, 2.0).ok());
+  EXPECT_EQ(got.type, MessageType::kResult);
+  EXPECT_EQ(got.payload, "up");
+
+  // Peer close reads as IoError (EOF), the supervisor's crash signal.
+  child->Close();
+  EXPECT_TRUE(parent->Recv(&got, 2.0).IsIoError());
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(BackoffTest, ScheduleIsDeterministicPerSeed) {
+  ExponentialBackoff::Params p{0.01, 2.0, 0.5, 0.25};
+  ExponentialBackoff a(p, 42), b(p, 42), c(p, 43);
+  bool seed_changes_something = false;
+  for (uint64_t attempt = 0; attempt < 12; ++attempt) {
+    EXPECT_EQ(a.DelaySeconds(attempt), b.DelaySeconds(attempt));
+    if (a.DelaySeconds(attempt) != c.DelaySeconds(attempt)) {
+      seed_changes_something = true;
+    }
+  }
+  EXPECT_TRUE(seed_changes_something);
+}
+
+TEST(BackoffTest, DelaysGrowAndRespectCapAndJitterWindow) {
+  ExponentialBackoff::Params p{0.01, 2.0, 0.5, 0.25};
+  ExponentialBackoff bo(p, 7);
+  for (uint64_t attempt = 0; attempt < 16; ++attempt) {
+    double ideal = p.base_seconds;
+    for (uint64_t i = 0; i < attempt; ++i) ideal *= p.multiplier;
+    if (ideal > p.max_seconds) ideal = p.max_seconds;
+    double d = bo.DelaySeconds(attempt);
+    EXPECT_GE(d, ideal * (1.0 - p.jitter)) << "attempt " << attempt;
+    EXPECT_LE(d, ideal) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, ZeroJitterIsExactExponential) {
+  ExponentialBackoff::Params p{0.02, 3.0, 1.0, 0.0};
+  ExponentialBackoff bo(p, 1);
+  EXPECT_DOUBLE_EQ(bo.DelaySeconds(0), 0.02);
+  EXPECT_DOUBLE_EQ(bo.DelaySeconds(1), 0.06);
+  EXPECT_DOUBLE_EQ(bo.DelaySeconds(2), 0.18);
+  EXPECT_DOUBLE_EQ(bo.DelaySeconds(10), 1.0);  // capped
+}
+
+// ------------------------------------------------------- wire payloads
+
+TEST(SupervisorCodecTest, TaskMsgRoundTrip) {
+  TaskMsg in;
+  in.task = 123456789;
+  in.attempt = 7;
+  in.quarantined = true;
+  TaskMsg out;
+  ASSERT_TRUE(TaskMsg::Decode(in.Encode(), &out).ok());
+  EXPECT_EQ(out.task, in.task);
+  EXPECT_EQ(out.attempt, in.attempt);
+  EXPECT_EQ(out.quarantined, in.quarantined);
+}
+
+TEST(SupervisorCodecTest, ResultMsgRoundTrip) {
+  ResultMsg in;
+  in.task = 42;
+  in.attempt = 3;
+  in.status_code = static_cast<int32_t>(StatusCode::kIoError);
+  in.status_message = "simulated";
+  in.seconds = 0.125;
+  in.payload = std::string("\x00\xff\x7f", 3);
+  ResultMsg out;
+  ASSERT_TRUE(ResultMsg::Decode(in.Encode(), &out).ok());
+  EXPECT_EQ(out.task, in.task);
+  EXPECT_EQ(out.attempt, in.attempt);
+  EXPECT_EQ(out.status_code, in.status_code);
+  EXPECT_EQ(out.status_message, in.status_message);
+  EXPECT_EQ(out.seconds, in.seconds);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(SupervisorCodecTest, DecodeRejectsGarbage) {
+  TaskMsg t;
+  EXPECT_FALSE(TaskMsg::Decode("\xff", &t).ok());
+  ResultMsg r;
+  EXPECT_FALSE(ResultMsg::Decode("", &r).ok());
+}
+
+// ----------------------------------------------------------- spill reaper
+
+TEST(SpillReaperTest, ReapsDeadOwnersKeepsLiveUntaggedAndForeign) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ddp_mp_reaper_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "x";
+  };
+  // Pid 999999999 exceeds every Linux pid_max; its owner is dead by
+  // construction. The second tag wins (adopted-file naming appends).
+  touch("run-p999999999-u0-s0.spill");
+  touch("run-p999999999-u1-s0-p999999998-a1.spill");
+  touch("mine-" + internal::SpillOwnerTag() + "-u2-s0.spill");  // our own: kept
+  touch("untagged.spill");                            // no owner tag: kept
+  touch("not_a_spill.txt");                           // wrong suffix: kept
+
+  EXPECT_EQ(ReapOrphanSpillFiles(dir.string()), 2u);
+  EXPECT_FALSE(fs::exists(dir / "run-p999999999-u0-s0.spill"));
+  EXPECT_FALSE(fs::exists(dir / "run-p999999999-u1-s0-p999999998-a1.spill"));
+  EXPECT_TRUE(fs::exists(dir / ("mine-" + internal::SpillOwnerTag() + "-u2-s0.spill")));
+  EXPECT_TRUE(fs::exists(dir / "untagged.spill"));
+  EXPECT_TRUE(fs::exists(dir / "not_a_spill.txt"));
+
+  // Second sweep finds nothing; missing directory is a no-op.
+  EXPECT_EQ(ReapOrphanSpillFiles(dir.string()), 0u);
+  fs::remove_all(dir);
+  EXPECT_EQ(ReapOrphanSpillFiles(dir.string()), 0u);
+}
+
+// --------------------------------------------------- supervisor end-to-end
+
+TEST(SupervisorTest, RunsEveryTaskAndCommitsByTaskId) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  SupervisorConfig config;
+  config.job_name = "unit";
+  config.num_workers = 3;
+  config.num_tasks = 17;
+  WorkerTaskFn fn = [](size_t task, size_t, bool, std::string* payload) {
+    *payload = "task-" + std::to_string(task);
+    return Status::OK();
+  };
+  std::vector<std::string> committed(config.num_tasks);
+  CommitFn commit = [&committed](size_t task, bool, double,
+                                 std::string payload) {
+    committed[task] = std::move(payload);
+    return Status::OK();
+  };
+  SupervisorStats stats;
+  ASSERT_TRUE(WorkerSupervisor::RunPhase(config, fn, commit, &stats).ok());
+  for (size_t t = 0; t < committed.size(); ++t) {
+    EXPECT_EQ(committed[t], "task-" + std::to_string(t));
+  }
+  EXPECT_EQ(stats.worker_crashes, 0u);
+  EXPECT_EQ(stats.durations.size(), committed.size());
+}
+
+TEST(SupervisorTest, FirstAttemptCrashIsRetriedOnAFreshWorker) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  SupervisorConfig config;
+  config.job_name = "crash-once";
+  config.num_workers = 2;
+  config.num_tasks = 6;
+  // Task 2's first attempt SIGKILLs its worker; every retry succeeds. This
+  // runs in the child, so the "state" is per-attempt by construction.
+  WorkerTaskFn fn = [](size_t task, size_t attempt, bool,
+                       std::string* payload) {
+    if (task == 2 && attempt == 0) CrashSelf();
+    *payload = std::to_string(task);
+    return Status::OK();
+  };
+  size_t committed = 0;
+  CommitFn commit = [&committed](size_t, bool, double, std::string) {
+    ++committed;
+    return Status::OK();
+  };
+  SupervisorStats stats;
+  ASSERT_TRUE(WorkerSupervisor::RunPhase(config, fn, commit, &stats).ok());
+  EXPECT_EQ(committed, config.num_tasks);
+  EXPECT_EQ(stats.worker_crashes, 1u);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_GE(stats.retries, 1u);
+}
+
+// ----------------------------------------------- fork-mode bit identity
+
+JobSpec<std::string, std::string, uint32_t, std::pair<std::string, uint32_t>>
+WordCountSpec() {
+  JobSpec<std::string, std::string, uint32_t, std::pair<std::string, uint32_t>>
+      spec;
+  spec.name = "mp-wordcount";
+  spec.map = [](const std::string& doc, Emitter<std::string, uint32_t>* out) {
+    size_t pos = 0;
+    while (pos < doc.size()) {
+      size_t end = doc.find(' ', pos);
+      if (end == std::string::npos) end = doc.size();
+      if (end > pos) out->Emit(doc.substr(pos, end - pos), 1);
+      pos = end + 1;
+    }
+  };
+  spec.reduce = [](const std::string& word, std::span<const uint32_t> counts,
+                   std::vector<std::pair<std::string, uint32_t>>* out) {
+    uint32_t total = 0;
+    for (uint32_t c : counts) total += c;
+    out->push_back({word, total});
+  };
+  return spec;
+}
+
+std::vector<std::string> Corpus() {
+  // Deterministic, word-skewed corpus: enough documents for 8 map tasks and
+  // enough distinct keys to populate every reduce partition.
+  std::vector<std::string> docs;
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "rho", "peak"};
+  for (int i = 0; i < 48; ++i) {
+    std::string doc;
+    for (int j = 0; j <= i % 5; ++j) {
+      doc += std::string(words[(i * 7 + j * 3) % 6]) + " ";
+    }
+    doc += "w" + std::to_string(i % 11);
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+Options MpOptions() {
+  Options o;
+  o.num_workers = 3;
+  o.num_partitions = 5;
+  return o;
+}
+
+TEST(MultiprocessTest, ForkModeIsBitIdenticalToInProcess) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  JobCounters inproc_counters;
+  auto inproc = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       MpOptions(), &inproc_counters);
+  ASSERT_TRUE(inproc.ok());
+
+  Options forked = MpOptions();
+  forked.exec_mode = ExecMode::kFork;
+  JobCounters fork_counters;
+  auto fork = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                     forked, &fork_counters);
+  ASSERT_TRUE(fork.ok()) << fork.status().ToString();
+
+  EXPECT_EQ(*inproc, *fork);  // exact vector equality: order and bytes
+  EXPECT_EQ(fork_counters.exec_fallbacks, 0u);
+  EXPECT_EQ(fork_counters.worker_crashes, 0u);
+  // Shuffle accounting is computed from the same serialized intermediates
+  // either way; the substrate must not change what gets shuffled.
+  EXPECT_EQ(fork_counters.shuffle_bytes, inproc_counters.shuffle_bytes);
+  EXPECT_EQ(fork_counters.shuffle_records, inproc_counters.shuffle_records);
+  EXPECT_EQ(fork_counters.map_output_records,
+            inproc_counters.map_output_records);
+  EXPECT_EQ(fork_counters.reduce_input_groups,
+            inproc_counters.reduce_input_groups);
+}
+
+TEST(MultiprocessTest, ForkModeUnderSpillBudgetIsBitIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto inproc = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       MpOptions(), nullptr);
+  ASSERT_TRUE(inproc.ok());
+
+  // A tiny budget forces every map task to spill; committed spill files are
+  // adopted (renamed under the parent pid) across the process boundary and
+  // the reduce workers stream the merge from them.
+  Options forked = MpOptions();
+  forked.exec_mode = ExecMode::kFork;
+  forked.memory_budget_bytes = 64;
+  JobCounters counters;
+  auto fork = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                     forked, &counters);
+  ASSERT_TRUE(fork.ok()) << fork.status().ToString();
+  EXPECT_EQ(*inproc, *fork);
+  EXPECT_EQ(counters.exec_fallbacks, 0u);
+  EXPECT_GT(counters.spill_files, 0u);
+  EXPECT_GT(counters.merge_passes, 0u);
+}
+
+// Chaos: workers are SIGKILLed mid-map and mid-shuffle (the injection's
+// timing bit covers both schedules — before the task body runs, and after
+// the body produced output but before it was serialized), yet the job
+// output stays bit-identical because attempts are pure and commit slots
+// are task ids.
+TEST(MultiprocessTest, WorkerCrashChaosStaysBitIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  for (uint64_t seed : {1ull, 20260808ull}) {
+    Options chaos = MpOptions();
+    chaos.exec_mode = ExecMode::kFork;
+    chaos.faults.worker_crash_rate = 0.35;
+    chaos.faults.seed = seed;
+    chaos.max_task_attempts = 24;
+    chaos.max_worker_restarts = 64;
+    // Random crashes are per (task, attempt); two in a row must not be
+    // mistaken for a poisonous record in this test.
+    chaos.quarantine_after_crashes = 24;
+    JobCounters counters;
+    auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                         chaos, &counters);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(*clean, *result) << "diverged at seed " << seed;
+    EXPECT_GT(counters.worker_crashes, 0u) << "seed " << seed;
+    EXPECT_GT(counters.worker_restarts, 0u) << "seed " << seed;
+    EXPECT_EQ(counters.exec_fallbacks, 0u);
+  }
+}
+
+// Same chaos schedule with a spill budget: a worker killed mid-shuffle has
+// written spill files it will never commit; the supervisor's post-death
+// reap deletes them (they are stamped with the dead worker's pid), and the
+// retried attempt regenerates them. Output still matches the clean run.
+TEST(MultiprocessTest, CrashChaosWithSpillsReapsOrphansAndStaysIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ddp_mp_crash_spill";
+  fs::remove_all(dir);
+
+  Options chaos = MpOptions();
+  chaos.exec_mode = ExecMode::kFork;
+  chaos.memory_budget_bytes = 64;
+  chaos.spill_dir = dir.string();
+  chaos.faults.worker_crash_rate = 0.35;
+  chaos.faults.seed = 20260808;
+  chaos.max_task_attempts = 24;
+  chaos.max_worker_restarts = 64;
+  chaos.quarantine_after_crashes = 24;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       chaos, &counters);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*clean, *result);
+  EXPECT_GT(counters.worker_crashes, 0u);
+  // Everything left in the spill dir after the job belongs to nobody.
+  uint64_t leftovers = 0;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      (void)e;
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
+  fs::remove_all(dir);
+}
+
+// Hang detection: injected stragglers dawdle past the task deadline inside
+// the worker; the supervisor SIGKILLs them (counted as hangs and deadline
+// kills) and the retried attempts — a different (task, attempt) draw — run
+// clean. Output matches the clean run exactly.
+TEST(MultiprocessTest, HungWorkersAreKilledAndRetriedBitIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  Options chaos = MpOptions();
+  chaos.exec_mode = ExecMode::kFork;
+  chaos.faults.straggler_rate = 0.3;
+  chaos.faults.straggler_slowdown = 1.0;
+  chaos.faults.straggler_min_seconds = 5.0;  // far past the deadline
+  chaos.faults.seed = 20260808;
+  chaos.task_deadline_seconds = 0.25;
+  chaos.max_task_attempts = 24;
+  chaos.max_worker_restarts = 64;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       chaos, &counters);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*clean, *result);
+  EXPECT_GT(counters.worker_hangs, 0u);
+  EXPECT_GT(counters.worker_kills, 0u);
+  EXPECT_GT(counters.deadline_kills, 0u);
+}
+
+// Poison property: a task that deterministically SIGKILLs every worker that
+// touches it (poison_task_rate = 1 redraws the same attempt-0 coin each
+// retry) must converge under skip_bad_records — after
+// quarantine_after_crashes consecutive worker deaths the task re-runs
+// quarantined, suppressing the poison — and must fail the job cleanly
+// without skip_bad_records.
+TEST(MultiprocessTest, PoisonTasksQuarantineAndConverge) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  Options poison = MpOptions();
+  poison.exec_mode = ExecMode::kFork;
+  poison.faults.poison_task_rate = 1.0;  // every task, every attempt
+  poison.faults.seed = 20260808;
+  poison.skip_bad_records = true;
+  poison.max_task_attempts = 24;
+  poison.max_worker_restarts = 256;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       poison, &counters);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Quarantined attempts suppress the injected poison and nothing else, so
+  // the output bytes still match the clean run.
+  EXPECT_EQ(*clean, *result);
+  EXPECT_GT(counters.quarantined_tasks, 0u);
+  EXPECT_GT(counters.skipped_records, 0u);
+  EXPECT_GE(counters.worker_crashes,
+            counters.quarantined_tasks * poison.quarantine_after_crashes);
+
+  Options strict = poison;
+  strict.skip_bad_records = false;
+  auto failed = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       strict, nullptr);
+  EXPECT_FALSE(failed.ok());
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace ddp

@@ -37,6 +37,12 @@
 //   --metrics-out FILE           write the metrics registry snapshot JSON
 //   --stats-out FILE             write per-job MapReduce counters JSON
 //   --heartbeat SECONDS          log per-phase progress every S seconds
+//   --exec-mode MODE             inproc (default) runs MapReduce tasks on a
+//                                thread pool; fork runs them in supervised
+//                                worker processes (crash isolation,
+//                                bit-identical output)
+//   --max-worker-restarts N      fork mode: replacement workers each phase
+//                                may spawn after crashes (default 8)
 
 #include <cstdio>
 #include <cstdlib>
@@ -82,7 +88,8 @@ int Usage() {
       "          [--memory-budget BYTES] [--spill-dir DIR]\n"
       "          [--block N] [--halo] [--graph FILE] [--out FILE]\n"
       "          [--trace-out FILE] [--metrics-out FILE] [--stats-out FILE]\n"
-      "          [--heartbeat SECONDS]\n");
+      "          [--heartbeat SECONDS] [--exec-mode inproc|fork]\n"
+      "          [--max-worker-restarts N]\n");
   return 2;
 }
 
@@ -288,6 +295,15 @@ int CmdCluster(const Args& args) {
       static_cast<uint64_t>(args.GetSize("memory-budget", 0));
   options.mr.spill_dir = args.Get("spill-dir");
   options.mr.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
+  const std::string exec_mode = args.Get("exec-mode");
+  if (exec_mode == "fork") {
+    options.mr.exec_mode = mr::ExecMode::kFork;
+  } else if (!exec_mode.empty() && exec_mode != "inproc") {
+    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork)\n",
+                 exec_mode.c_str());
+    return 2;
+  }
+  options.mr.max_worker_restarts = args.GetSize("max-worker-restarts", 8);
   if (args.Has("k")) {
     options.selector = PeakSelector::TopK(args.GetSize("k", 8));
   } else if (args.Has("rho") || args.Has("delta")) {

@@ -15,6 +15,8 @@
 //                              outside src/common/random.* and src/obs/
 //   name-hygiene           R5  span/metric name literals match [a-z0-9_.]+
 //   header-hygiene         R6  headers use #pragma once, no using namespace
+//   process-control        R7  fork/exec/kill/waitpid calls confined to
+//                              src/mapreduce/ (the worker supervisor)
 //
 // Suppression syntax, trailing the violating line or opening a comment block
 // directly above it:
@@ -346,6 +348,7 @@ constexpr std::string_view kRuleMemOrder = "explicit-memory-order";
 constexpr std::string_view kRuleNondet = "banned-nondeterminism";
 constexpr std::string_view kRuleNames = "name-hygiene";
 constexpr std::string_view kRuleHeader = "header-hygiene";
+constexpr std::string_view kRuleProcess = "process-control";
 constexpr std::string_view kRuleNoReason = "suppression-missing-reason";
 constexpr std::string_view kRuleUnused = "unused-suppression";
 
@@ -752,6 +755,39 @@ void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+// R7: raw process-control primitives are confined to src/mapreduce/, where
+// the worker supervisor owns the process lifecycle (spawn, heartbeat, kill,
+// reap). A fork/kill/waitpid anywhere else escapes the crash-fault model:
+// it creates children the supervisor will never reap, or signals pids whose
+// ownership it cannot see. Use the CommChannel/WorkerSupervisor API (or
+// mr::CrashSelf in chaos tests) instead.
+void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
+  if (PathContains(f.path, "src/mapreduce/")) return;
+  static const std::vector<std::string> kCalls = {
+      "fork",   "vfork",  "execl",       "execlp",       "execle",
+      "execv",  "execvp", "execve",      "execvpe",      "kill",
+      "killpg", "wait",   "waitpid",     "wait3",        "wait4",
+      "waitid", "system", "posix_spawn", "posix_spawnp",
+  };
+  for (const std::string& fn : kCalls) {
+    for (size_t pos : FindWord(f.code, fn)) {
+      size_t after = SkipSpace(f.code, pos + fn.size());
+      if (after >= f.code.size() || f.code[after] != '(') continue;
+      // Free calls only: cv.wait(lock) or queue->kill(id) are member
+      // functions of unrelated types, not the POSIX primitives.
+      bool member = (pos >= 1 && f.code[pos - 1] == '.') ||
+                    (pos >= 2 && f.code[pos - 2] == '-' &&
+                     f.code[pos - 1] == '>');
+      if (member) continue;
+      AddFinding(out, f, pos, kRuleProcess,
+                 fn +
+                     "() outside src/mapreduce/; process lifecycle belongs to "
+                     "the worker supervisor (use the CommChannel/"
+                     "WorkerSupervisor API)");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
@@ -769,6 +805,8 @@ constexpr RuleDoc kRuleDocs[] = {
      "R4: rand/random_device/time/system_clock outside random.*, obs/"},
     {kRuleNames, "R5: span/metric name literals match [a-z0-9_.]+"},
     {kRuleHeader, "R6: headers use #pragma once, no using namespace"},
+    {kRuleProcess,
+     "R7: fork/exec/kill/waitpid calls confined to src/mapreduce/"},
     {kRuleNoReason, "allow() without '-- <reason>' does not suppress"},
     {kRuleUnused, "allow() that suppresses nothing must be removed"},
 };
@@ -790,6 +828,7 @@ void LintFile(const std::string& fs_path, const std::string& report_path,
   CheckBannedNondeterminism(f, &raw);
   CheckNameHygiene(f, &raw);
   CheckHeaderHygiene(f, &raw);
+  CheckProcessControl(f, &raw);
 
   // Apply suppressions: same line or the line above, matching rule id, with
   // a written reason.
