@@ -1,17 +1,34 @@
-// Multi-process execution benchmark: what fork-mode isolation costs and
-// what crash-fault tolerance costs on top of it.
+// Multi-process execution benchmark: what fork-mode isolation costs, what
+// crash-fault tolerance costs on top of it, and what the streamed shuffle
+// buys the supervisor in memory.
 //
-// Runs the same LSH-DDP scoring pipeline three ways — in-process threads,
-// forked worker processes, and forked workers under a SIGKILL chaos
-// schedule — and reports wall time, the supervision counter totals, and
-// whether the three score sets are bit-identical (they must be: that is
-// the contract the channel/supervisor layer is built around). Emits
-// BENCH_mp.json so the multi-process overhead is machine-trackable per PR,
-// alongside BENCH_oocore.json from bench_large_scale.
+// Runs the same LSH-DDP scoring pipeline four ways — forked workers
+// streaming spill runs under a 4 KiB memory budget, forked workers at an
+// unlimited budget (runs arrive as in-memory tails), in-process threads,
+// and forked workers under a SIGKILL chaos schedule — and reports wall
+// time, the supervision counter totals, and whether all four score sets
+// are bit-identical (they must be: that is the contract the
+// channel/supervisor layer is built around).
+//
+// The streamed configuration runs FIRST and snapshots ru_maxrss before and
+// after: because peak RSS is monotonic within a process, a later, larger
+// configuration can only raise it, so the first checkpoint is an honest
+// upper bound on the supervisor's footprint when every run is spilled and
+// streamed. The delta to the unlimited-budget checkpoint is the memory the
+// supervisor spends actually holding shuffle tails — the bytes the old
+// relay path used to buffer as whole map-output payloads.
+//
+// Emits BENCH_mp.json so the multi-process overhead is machine-trackable
+// per PR, alongside BENCH_oocore.json from bench_large_scale.
 //
 // Run: ./build/bench/bench_multiprocess   (DDP_BENCH_SCALE to enlarge)
 
+#include <cstdint>
 #include <cstdio>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
 
 #include "bench/bench_util.h"
 #include "core/cutoff.h"
@@ -44,11 +61,22 @@ bool SameScores(const DpScores& a, const DpScores& b) {
   return a.rho == b.rho && a.delta == b.delta && a.upslope == b.upslope;
 }
 
+/// Peak RSS of this process (the supervisor) in KiB; 0 where unavailable.
+uint64_t PeakRssKb() {
+#ifndef _WIN32
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<uint64_t>(ru.ru_maxrss);
+  }
+#endif
+  return 0;
+}
+
 int Run() {
   bench::QuietLogs quiet;
   bench::ObsFromEnv obs;
   bench::Banner("Multi-process execution overhead on LSH-DDP",
-                "robustness layer; crash-fault-tolerant supervision");
+                "robustness layer; streamed shuffle + supervision");
 
   const bool fork_supported = mr::ForkExecutionSupported();
   auto data = gen::KddLike(/*seed=*/3, bench::Scaled(8000));
@@ -60,19 +88,43 @@ int Run() {
               ds.size(), ds.dim(), dc,
               fork_supported ? "supported" : "UNSUPPORTED (in-proc fallback)");
 
-  LshDdp inproc_algo, fork_algo, chaos_algo;
+  LshDdp stream_algo, fork_algo, inproc_algo, chaos_algo;
 
-  mr::Options inproc;
-  MpRun base = Measure(&inproc_algo, ds, dc, inproc);
-  std::printf("in-process threads:      %7.3f s\n", base.seconds);
+  // 1. Streamed shuffle at a 4 KiB budget, first so its RSS checkpoint is
+  // untainted: every map output spills, every run ships over the channel,
+  // and the supervisor's stream window shrinks to the budget.
+  mr::Options streamed;
+  streamed.exec_mode = mr::ExecMode::kFork;
+  streamed.memory_budget_bytes = 4096;
+  const uint64_t rss_before_kb = PeakRssKb();
+  MpRun stream = Measure(&stream_algo, ds, dc, streamed);
+  const uint64_t rss_streamed_kb = PeakRssKb();
+  std::printf(
+      "forked, 4 KiB budget:    %7.3f s (%llu KiB peak RSS, %llu B streamed, "
+      "%llu spill files)\n",
+      stream.seconds, static_cast<unsigned long long>(rss_streamed_kb),
+      static_cast<unsigned long long>(stream.stats.TotalShuffleStreamedBytes()),
+      static_cast<unsigned long long>(stream.stats.TotalSpillFiles()));
 
+  // 2. Unlimited budget: the same streamed protocol, but every run is an
+  // in-memory tail the supervisor must hold until the reducers take it —
+  // the configuration whose footprint the old relay path always paid.
   mr::Options forked;
   forked.exec_mode = mr::ExecMode::kFork;
   MpRun fork = Measure(&fork_algo, ds, dc, forked);
-  std::printf("forked workers:          %7.3f s (%.2fx, %llu fallbacks)\n",
-              fork.seconds,
-              base.seconds > 0.0 ? fork.seconds / base.seconds : 0.0,
-              static_cast<unsigned long long>(fork.stats.TotalExecFallbacks()));
+  const uint64_t rss_buffered_kb = PeakRssKb();
+  std::printf(
+      "forked, unlimited:       %7.3f s (%llu KiB peak RSS, %llu B streamed, "
+      "%llu fallbacks)\n",
+      fork.seconds, static_cast<unsigned long long>(rss_buffered_kb),
+      static_cast<unsigned long long>(fork.stats.TotalShuffleStreamedBytes()),
+      static_cast<unsigned long long>(fork.stats.TotalExecFallbacks()));
+
+  mr::Options inproc;
+  MpRun base = Measure(&inproc_algo, ds, dc, inproc);
+  std::printf("in-process threads:      %7.3f s (fork overhead %.2fx)\n",
+              base.seconds,
+              base.seconds > 0.0 ? fork.seconds / base.seconds : 0.0);
 
   mr::Options chaos = forked;
   chaos.faults.worker_crash_rate = 0.15;
@@ -89,11 +141,27 @@ int Run() {
       static_cast<unsigned long long>(crash.stats.TotalWorkerRestarts()),
       static_cast<unsigned long long>(crash.stats.TotalSpillFilesReaped()));
 
-  const bool identical =
-      SameScores(base.scores, fork.scores) &&
-      SameScores(base.scores, crash.scores);
-  std::printf("\nbit-identical across all three substrates: %s\n",
+  // The supervisor must actually stream in fork mode: a zero here means the
+  // data path regressed to relaying map outputs through result payloads.
+  const bool streamed_ok =
+      !fork_supported || stream.stats.TotalShuffleStreamedBytes() > 0;
+  const uint64_t rss_delta_kb =
+      rss_buffered_kb > rss_streamed_kb ? rss_buffered_kb - rss_streamed_kb : 0;
+  std::printf(
+      "\nsupervisor peak RSS: %llu KiB streamed-at-4KiB vs %llu KiB "
+      "unlimited (+%llu KiB to buffer tails)\n",
+      static_cast<unsigned long long>(rss_streamed_kb),
+      static_cast<unsigned long long>(rss_buffered_kb),
+      static_cast<unsigned long long>(rss_delta_kb));
+
+  const bool identical = SameScores(base.scores, fork.scores) &&
+                         SameScores(base.scores, stream.scores) &&
+                         SameScores(base.scores, crash.scores);
+  std::printf("bit-identical across all four substrates: %s\n",
               identical ? "yes" : "NO — CONTRACT VIOLATION");
+  if (!streamed_ok) {
+    std::printf("streamed shuffle bytes: 0 — RELAY REGRESSION\n");
+  }
 
   std::FILE* json = std::fopen("BENCH_mp.json", "w");
   if (json != nullptr) {
@@ -107,30 +175,45 @@ int Run() {
         "  \"inproc_seconds\": %.6f,\n"
         "  \"fork_seconds\": %.6f,\n"
         "  \"fork_overhead_ratio\": %.4f,\n"
+        "  \"streamed_seconds\": %.6f,\n"
+        "  \"streamed_shuffle_bytes\": %llu,\n"
+        "  \"rss_start_kb\": %llu,\n"
+        "  \"rss_streamed_4k_kb\": %llu,\n"
+        "  \"rss_buffered_kb\": %llu,\n"
+        "  \"rss_tail_buffer_delta_kb\": %llu,\n"
         "  \"chaos_seconds\": %.6f,\n"
         "  \"chaos_worker_crash_rate\": %.2f,\n"
         "  \"worker_crashes\": %llu,\n"
         "  \"worker_restarts\": %llu,\n"
         "  \"worker_hangs\": %llu,\n"
         "  \"spill_files_reaped\": %llu,\n"
+        "  \"channel_reconnects\": %llu,\n"
         "  \"exec_fallbacks\": %llu,\n"
         "  \"bit_identical\": %s\n"
         "}\n",
         ds.size(), ds.dim(), fork_supported ? "true" : "false", base.seconds,
         fork.seconds, base.seconds > 0.0 ? fork.seconds / base.seconds : 0.0,
-        crash.seconds, chaos.faults.worker_crash_rate,
+        stream.seconds,
+        static_cast<unsigned long long>(
+            stream.stats.TotalShuffleStreamedBytes()),
+        static_cast<unsigned long long>(rss_before_kb),
+        static_cast<unsigned long long>(rss_streamed_kb),
+        static_cast<unsigned long long>(rss_buffered_kb),
+        static_cast<unsigned long long>(rss_delta_kb), crash.seconds,
+        chaos.faults.worker_crash_rate,
         static_cast<unsigned long long>(crash.stats.TotalWorkerCrashes()),
         static_cast<unsigned long long>(crash.stats.TotalWorkerRestarts()),
         static_cast<unsigned long long>(crash.stats.TotalWorkerHangs()),
         static_cast<unsigned long long>(crash.stats.TotalSpillFilesReaped()),
         static_cast<unsigned long long>(
-            fork.stats.TotalExecFallbacks() +
-            crash.stats.TotalExecFallbacks()),
+            crash.stats.TotalChannelReconnects()),
+        static_cast<unsigned long long>(fork.stats.TotalExecFallbacks() +
+                                        crash.stats.TotalExecFallbacks()),
         identical ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_mp.json\n");
   }
-  return identical ? 0 : 1;
+  return identical && streamed_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -156,7 +156,7 @@ void KdTree::FindWithinSq(std::span<const double> query, double radius_sq,
 KdTree::Nearest KdTree::FindNearestAccepted(
     std::span<const double> query, const CountingMetric& metric,
     std::span<const PointId> tie_ids,
-    const std::function<bool(PointId)>& accept, Nearest seed) const {
+    const std::function<bool(PointId)>& accept_fn, Nearest seed) const {
   Nearest best = seed;
   bool improved = false;
   // Depth-first with nearer-child-first ordering; strict pruning
@@ -170,7 +170,7 @@ KdTree::Nearest KdTree::FindNearestAccepted(
     if (node.is_leaf()) {
       for (uint32_t k = node.begin; k < node.end; ++k) {
         PointId position = positions_[k];
-        if (!accept(position)) continue;
+        if (!accept_fn(position)) continue;
         double d_sq = metric.SquaredDistance(query, row(position));
         if (d_sq < best.distance_sq ||
             (d_sq == best.distance_sq && tie_ids[position] < best.tie_id)) {

@@ -1,10 +1,14 @@
 #include "mapreduce/channel.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 
 #ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -71,20 +75,9 @@ Status DecodeFrame(const std::string& bytes, Frame* frame) {
 
 #ifndef _WIN32
 
-Result<std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>>
-PipeChannel::CreatePair() {
-  int fds[2];
-  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-    return Status::Internal(std::string("socketpair failed: ") +
-                            std::strerror(errno));
-  }
-  return std::make_pair(std::make_unique<PipeChannel>(fds[0]),
-                        std::make_unique<PipeChannel>(fds[1]));
-}
+FdChannel::~FdChannel() { Close(); }
 
-PipeChannel::~PipeChannel() { Close(); }
-
-void PipeChannel::Close() {
+void FdChannel::Close() {
   std::lock_guard<std::mutex> lock(send_mu_);
   if (fd_ >= 0) {
     ::close(fd_);
@@ -92,7 +85,12 @@ void PipeChannel::Close() {
   }
 }
 
-Status PipeChannel::Send(const Frame& frame) {
+void FdChannel::ShutdownWrite() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status FdChannel::Send(const Frame& frame) {
   const std::string bytes = EncodeFrame(frame);
   std::lock_guard<std::mutex> lock(send_mu_);
   if (fd_ < 0) return Status::IoError("channel closed");
@@ -112,7 +110,7 @@ Status PipeChannel::Send(const Frame& frame) {
   return Status::OK();
 }
 
-Status PipeChannel::ReadExact(void* out, size_t n, double deadline_seconds) {
+Status FdChannel::ReadExact(void* out, size_t n, double deadline_seconds) {
   using Clock = std::chrono::steady_clock;
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -150,7 +148,7 @@ Status PipeChannel::ReadExact(void* out, size_t n, double deadline_seconds) {
   return Status::OK();
 }
 
-Status PipeChannel::Recv(Frame* frame, double timeout_seconds) {
+Status FdChannel::Recv(Frame* frame, double timeout_seconds) {
   if (fd_ < 0) return Status::IoError("channel closed");
   uint8_t type = 0;
   DDP_RETURN_NOT_OK(ReadExact(&type, 1, timeout_seconds));
@@ -184,22 +182,186 @@ Status PipeChannel::Recv(Frame* frame, double timeout_seconds) {
   return Status::OK();
 }
 
-#else  // _WIN32: no socketpair; fork execution is unsupported there anyway.
+Result<std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>>
+PipeChannel::CreatePair() {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  return std::make_pair(std::make_unique<PipeChannel>(fds[0]),
+                        std::make_unique<PipeChannel>(fds[1]));
+}
 
+namespace {
+
+/// Parses a numeric IPv4 host:port into a sockaddr; names are rejected so
+/// connect/accept behavior never depends on resolver state.
+Status MakeSockAddr(const std::string& host, uint16_t port,
+                    struct sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best effort: a transport that ignores TCP_NODELAY is slower, not wrong.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Deterministic nap without pulling in <thread>; EINTR shortens the nap,
+/// which only makes the retry loop re-check its deadline sooner.
+void NapMillis(int ms) { (void)::poll(nullptr, 0, ms); }
+
+}  // namespace
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  DDP_RETURN_NOT_OK(MakeSockAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::Internal(std::string("bind failed: ") +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status st = Status::Internal(std::string("listen failed: ") +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  // Recover the kernel-assigned port when the caller asked for an ephemeral
+  // one — the supervisor hands this number to its forked workers.
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    const Status st = Status::Internal(std::string("getsockname failed: ") +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return std::make_unique<TcpListener>(fd, ntohs(bound.sin_port));
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpListener::Accept(
+    double timeout_seconds) {
+  if (fd_ < 0) return Status::IoError("listener closed");
+  struct pollfd pfd {fd_, POLLIN, 0};
+  const int ms = timeout_seconds > 0.0
+                     ? static_cast<int>(std::max(1.0, timeout_seconds * 1e3))
+                     : -1;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("listener poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (rc == 0) return Status::DeadlineExceeded("accept timed out");
+    break;
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return Status::IoError(std::string("accept failed: ") +
+                           std::strerror(errno));
+  }
+  SetNoDelay(conn);
+  return std::make_unique<TcpChannel>(conn);
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    const std::string& host, uint16_t port,
+    const ExponentialBackoff::Params& backoff, uint64_t seed,
+    double deadline_seconds) {
+  struct sockaddr_in addr;
+  DDP_RETURN_NOT_OK(MakeSockAddr(host, port, &addr));
+  const ExponentialBackoff schedule(backoff, seed);
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_seconds));
+  std::string last_error = "connect never attempted";
+  for (uint64_t attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket failed: ") +
+                              std::strerror(errno));
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      SetNoDelay(fd);
+      return std::make_unique<TcpChannel>(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    if (Clock::now() >= deadline) break;
+    // Seeded backoff keeps reconnect storms (many workers, one restarted
+    // supervisor) decorrelated yet reproducible in tests.
+    NapMillis(static_cast<int>(
+        std::max(1.0, schedule.DelaySeconds(attempt) * 1e3)));
+  }
+  return Status::IoError("tcp connect to " + host + " failed: " + last_error);
+}
+
+#else  // _WIN32: no POSIX sockets; fork execution is unsupported there anyway.
+
+FdChannel::~FdChannel() = default;
+void FdChannel::Close() {}
+void FdChannel::ShutdownWrite() {}
+Status FdChannel::Send(const Frame&) {
+  return Status::NotImplemented("FdChannel requires POSIX sockets");
+}
+Status FdChannel::ReadExact(void*, size_t, double) {
+  return Status::NotImplemented("FdChannel requires POSIX sockets");
+}
+Status FdChannel::Recv(Frame*, double) {
+  return Status::NotImplemented("FdChannel requires POSIX sockets");
+}
 Result<std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>>
 PipeChannel::CreatePair() {
   return Status::NotImplemented("PipeChannel requires POSIX sockets");
 }
-PipeChannel::~PipeChannel() = default;
-void PipeChannel::Close() {}
-Status PipeChannel::Send(const Frame&) {
-  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(const std::string&,
+                                                         uint16_t) {
+  return Status::NotImplemented("TcpListener requires POSIX sockets");
 }
-Status PipeChannel::ReadExact(void*, size_t, double) {
-  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+TcpListener::~TcpListener() = default;
+void TcpListener::Close() {}
+Result<std::unique_ptr<TcpChannel>> TcpListener::Accept(double) {
+  return Status::NotImplemented("TcpListener requires POSIX sockets");
 }
-Status PipeChannel::Recv(Frame*, double) {
-  return Status::NotImplemented("PipeChannel requires POSIX sockets");
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    const std::string&, uint16_t, const ExponentialBackoff::Params&, uint64_t,
+    double) {
+  return Status::NotImplemented("TcpChannel requires POSIX sockets");
 }
 
 #endif

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/result.h"
 
 /// \file channel.h
@@ -21,30 +22,58 @@
 /// the supervisor treats a channel that produced one like a crashed worker,
 /// because record boundaries are lost.
 ///
-/// Two implementations:
-///  * `PipeChannel` — a socketpair(AF_UNIX, SOCK_STREAM) endpoint; the real
-///    transport between supervisor and forked workers. `Send` is mutex
-///    guarded so a worker's heartbeat thread and its task loop can share
-///    the descriptor.
+/// That shared shape is what makes the streamed shuffle cheap: a sorted
+/// spill run is already length-framed records plus a CRC trailer, so a
+/// worker ships it as raw kRunData payload bytes — a framed copy of the
+/// file extent, no re-serialization on either side.
+///
+/// Three transports:
+///  * `PipeChannel` — a socketpair(AF_UNIX, SOCK_STREAM) endpoint; the
+///    default transport between supervisor and forked workers. `Send` is
+///    mutex guarded so a worker's heartbeat thread and its task loop can
+///    share the descriptor.
+///  * `TcpChannel`/`TcpListener` — the same framed protocol over TCP, so
+///    the transport is host-transparent: the supervisor listens, workers
+///    connect (with a seeded exponential backoff) and identify themselves
+///    with a kHello frame. Unlike a socketpair, a TCP connection can be
+///    re-established after a drop — the supervisor keeps the worker's
+///    stream state and the worker resends from the last committed run.
 ///  * `LoopbackChannel` — an in-memory queue pair for protocol tests: what
 ///    one endpoint sends the other receives, byte-for-byte through the same
-///    encoder/decoder as the pipe path.
+///    encoder/decoder as the descriptor paths.
 
 namespace ddp {
 namespace mr {
 
 /// Frame type tags. Values are part of the wire format; append only.
 enum class MessageType : uint8_t {
-  kHello = 1,      // worker -> supervisor: alive and ready
+  kHello = 1,      // worker -> supervisor: alive and ready (HelloMsg)
   kTask = 2,       // supervisor -> worker: run one task attempt
   kResult = 3,     // worker -> supervisor: attempt finished
   kHeartbeat = 4,  // worker -> supervisor: still making progress
   kShutdown = 5,   // supervisor -> worker: exit the task loop
+  // Streamed shuffle (see supervisor.h): a worker ships each sorted run of
+  // a successful attempt as kRunBegin (RunBeginMsg), kRunData chunks of raw
+  // CRC-trailed segment bytes, then kRunEnd (RunEndMsg); the supervisor
+  // commits the run and answers kRunAck (RunAckMsg), which doubles as the
+  // flow-control credit and the resume point after a reconnect.
+  kRunBegin = 6,  // worker -> supervisor: a run follows
+  kRunData = 7,   // worker -> supervisor: raw segment bytes of the open run
+  kRunEnd = 8,    // worker -> supervisor: run complete, commit it
+  kRunAck = 9,    // supervisor -> worker: runs/bytes committed so far
 };
 
 struct Frame {
   MessageType type = MessageType::kHello;
   std::string payload;
+};
+
+/// Which concrete channel carries supervisor<->worker traffic. The framed
+/// protocol is transport-independent; only connection lifecycle differs
+/// (a socketpair cannot be re-established, TCP can).
+enum class Transport {
+  kPipe,  // socketpair created before fork (single host, default)
+  kTcp,   // supervisor listens, workers connect/reconnect
 };
 
 class CommChannel {
@@ -64,6 +93,11 @@ class CommChannel {
   /// has none (loopback).
   virtual int fd() const { return -1; }
 
+  /// Half-closes the sending direction (TCP FIN / SHUT_WR): the peer reads
+  /// everything already sent and then a clean EOF, while this end can still
+  /// Recv. Channels without directional close treat it as a no-op.
+  virtual void ShutdownWrite() {}
+
   virtual void Close() = 0;
 };
 
@@ -71,23 +105,21 @@ class CommChannel {
 /// channel implementations share this).
 std::string EncodeFrame(const Frame& frame);
 
-/// One end of a socketpair. Owns the descriptor.
-class PipeChannel : public CommChannel {
+/// A CommChannel over one stream-socket descriptor — the shared engine of
+/// PipeChannel (socketpair) and TcpChannel (connected TCP socket). Owns the
+/// descriptor.
+class FdChannel : public CommChannel {
  public:
-  /// Creates a connected channel pair (parent end, child end).
-  static Result<std::pair<std::unique_ptr<PipeChannel>,
-                          std::unique_ptr<PipeChannel>>>
-  CreatePair();
+  explicit FdChannel(int fd) : fd_(fd) {}
+  ~FdChannel() override;
 
-  explicit PipeChannel(int fd) : fd_(fd) {}
-  ~PipeChannel() override;
-
-  PipeChannel(const PipeChannel&) = delete;
-  PipeChannel& operator=(const PipeChannel&) = delete;
+  FdChannel(const FdChannel&) = delete;
+  FdChannel& operator=(const FdChannel&) = delete;
 
   Status Send(const Frame& frame) override;
   Status Recv(Frame* frame, double timeout_seconds) override;
   int fd() const override { return fd_; }
+  void ShutdownWrite() override;
   void Close() override;
 
  private:
@@ -96,6 +128,62 @@ class PipeChannel : public CommChannel {
 
   std::mutex send_mu_;
   int fd_ = -1;
+};
+
+/// One end of a socketpair.
+class PipeChannel : public FdChannel {
+ public:
+  using FdChannel::FdChannel;
+
+  /// Creates a connected channel pair (parent end, child end).
+  static Result<std::pair<std::unique_ptr<PipeChannel>,
+                          std::unique_ptr<PipeChannel>>>
+  CreatePair();
+};
+
+/// A connected TCP endpoint speaking the same framed protocol.
+class TcpChannel : public FdChannel {
+ public:
+  using FdChannel::FdChannel;
+
+  /// Connects to `host:port`, retrying with a seeded exponential backoff
+  /// until `deadline_seconds` of wall time have elapsed. `host` must be a
+  /// numeric IPv4 address (the supervisor and its workers exchange
+  /// addresses, not names). TCP_NODELAY is set: frames are latency-bound
+  /// control traffic or already-batched run chunks.
+  static Result<std::unique_ptr<TcpChannel>> Connect(
+      const std::string& host, uint16_t port,
+      const ExponentialBackoff::Params& backoff, uint64_t seed,
+      double deadline_seconds);
+};
+
+/// A listening TCP socket the supervisor multiplexes alongside its worker
+/// channels (fd() joins the poll set; Accept when it turns readable).
+class TcpListener {
+ public:
+  /// Binds and listens on `host:port`; port 0 picks an ephemeral port
+  /// (reported by port() — how tests and single-host runs avoid collisions).
+  static Result<std::unique_ptr<TcpListener>> Listen(const std::string& host,
+                                                     uint16_t port);
+
+  explicit TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, waiting at most `timeout_seconds` for
+  /// one to arrive. DeadlineExceeded when none does.
+  Result<std::unique_ptr<TcpChannel>> Accept(double timeout_seconds);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
 };
 
 /// In-memory channel endpoint for protocol tests. `MakePair` wires two
@@ -128,7 +216,7 @@ class LoopbackChannel : public CommChannel {
 };
 
 /// Decodes one wire-encoded frame (shared by LoopbackChannel and tests;
-/// PipeChannel decodes incrementally off the descriptor).
+/// FdChannel decodes incrementally off the descriptor).
 Status DecodeFrame(const std::string& bytes, Frame* frame);
 
 }  // namespace mr

@@ -45,6 +45,9 @@ void WriteJobObject(obs::JsonWriter* w, const JobCounters& j) {
   w->Field("quarantined_tasks", j.quarantined_tasks);
   w->Field("spill_files_reaped", j.spill_files_reaped);
   w->Field("exec_fallbacks", j.exec_fallbacks);
+  w->Field("shuffle_streamed_bytes", j.shuffle_streamed_bytes);
+  w->Field("shuffle_resent_runs", j.shuffle_resent_runs);
+  w->Field("channel_reconnects", j.channel_reconnects);
   w->Field("median_attempt_seconds", j.median_attempt_seconds);
   w->Field("p99_attempt_seconds", j.p99_attempt_seconds);
   w->Field("max_attempt_seconds", j.max_attempt_seconds);
@@ -117,6 +120,14 @@ std::string JobCounters::ToString() const {
                   static_cast<unsigned long long>(quarantined_tasks),
                   static_cast<unsigned long long>(spill_files_reaped),
                   static_cast<unsigned long long>(exec_fallbacks));
+    out += buf;
+  }
+  if (shuffle_streamed_bytes + shuffle_resent_runs + channel_reconnects > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | streamed=%llu B resent_runs=%llu reconnects=%llu",
+                  static_cast<unsigned long long>(shuffle_streamed_bytes),
+                  static_cast<unsigned long long>(shuffle_resent_runs),
+                  static_cast<unsigned long long>(channel_reconnects));
     out += buf;
   }
   if (straggler_ratio > 0.0) {
@@ -269,6 +280,24 @@ uint64_t RunStats::TotalExecFallbacks() const {
   return total;
 }
 
+uint64_t RunStats::TotalShuffleStreamedBytes() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.shuffle_streamed_bytes;
+  return total;
+}
+
+uint64_t RunStats::TotalShuffleResentRuns() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.shuffle_resent_runs;
+  return total;
+}
+
+uint64_t RunStats::TotalChannelReconnects() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.channel_reconnects;
+  return total;
+}
+
 std::string JobCounters::ToJson() const {
   obs::JsonWriter w;
   WriteJobObject(&w, *this);
@@ -306,6 +335,9 @@ std::string RunStats::ToJson() const {
   w.Field("quarantined_tasks", TotalQuarantinedTasks());
   w.Field("spill_files_reaped", TotalSpillFilesReaped());
   w.Field("exec_fallbacks", TotalExecFallbacks());
+  w.Field("shuffle_streamed_bytes", TotalShuffleStreamedBytes());
+  w.Field("shuffle_resent_runs", TotalShuffleResentRuns());
+  w.Field("channel_reconnects", TotalChannelReconnects());
   w.EndObject();
   w.EndObject();
   return w.Take();

@@ -70,6 +70,14 @@ struct JobCounters {
   uint64_t quarantined_tasks = 0;
   uint64_t spill_files_reaped = 0;
   uint64_t exec_fallbacks = 0;
+  /// Streamed shuffle (fork mode): run bytes the supervisor committed off
+  /// worker channels (CRC trailers included — real wire traffic), runs
+  /// re-shipped because a connection dropped mid-run, and TCP connections
+  /// re-established after a drop. All zero in-process and in relay-free
+  /// phases that shuffled nothing.
+  uint64_t shuffle_streamed_bytes = 0;
+  uint64_t shuffle_resent_runs = 0;
+  uint64_t channel_reconnects = 0;
   /// True when the job's output was replayed from a CheckpointStore instead
   /// of being executed; all other counters are zero in that case.
   bool loaded_from_checkpoint = false;
@@ -128,6 +136,9 @@ struct RunStats {
   uint64_t TotalQuarantinedTasks() const;
   uint64_t TotalSpillFilesReaped() const;
   uint64_t TotalExecFallbacks() const;
+  uint64_t TotalShuffleStreamedBytes() const;
+  uint64_t TotalShuffleResentRuns() const;
+  uint64_t TotalChannelReconnects() const;
 
   std::string ToString() const;
   /// {"jobs": [JobCounters::ToJson()...], "totals": {...}}.

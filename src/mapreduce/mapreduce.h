@@ -155,6 +155,13 @@ struct FaultInjection {
   /// quarantined task commits the same bytes an in-process run produces.
   double worker_crash_rate = 0.0;
   double poison_task_rate = 0.0;
+  /// TCP transport only: probability, per (task, attempt), that the worker's
+  /// connection drops mid-run while it streams the attempt's shuffle runs.
+  /// The worker reconnects, the supervisor discards the partial run and
+  /// answers with the last committed run boundary, and the stream resumes —
+  /// committed bytes are identical to an undropped run. Ignored on
+  /// transports that cannot reconnect (a socketpair drop is a worker loss).
+  double channel_drop_rate = 0.0;
   uint64_t seed = 1;
 };
 
@@ -245,6 +252,13 @@ struct Options {
   /// Interval of worker liveness heartbeats (kHeartbeat frames); silence
   /// past 8x this interval SIGKILLs the worker as hung. 0 disables.
   double worker_heartbeat_seconds = 0.25;
+  /// Transport carrying supervisor<->worker frames (channel.h). kPipe forks
+  /// over a socketpair; kTcp listens on `tcp_host:tcp_port` (port 0 picks an
+  /// ephemeral port) and workers connect — host-transparent framing, plus
+  /// reconnect-and-resume across dropped connections.
+  Transport transport = Transport::kPipe;
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
 
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
@@ -730,22 +744,28 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
 }
 
 /// ExecMode::kFork counterpart of RunRobustPhase: runs `body` inside forked
-/// worker processes under a WorkerSupervisor. `serialize(&writer, output)`
-/// runs in the worker (and must Disown any spill handles it hands off);
-/// `deserialize(&reader, &output)` runs in the supervising parent's commit
-/// callback (and adopts those spill files by rename). Chaos parity: the
-/// per-(task, attempt) failure/straggler injections of the in-process
-/// scheduler run inside the worker, plus the fork-only worker_crash_rate /
-/// poison_task_rate injections via CrashSelf. Returns NotImplemented when
-/// fork execution is unavailable — no task has run, fall back to
-/// RunRobustPhase.
-template <typename Output, typename Body, typename SerFn, typename DeFn>
+/// worker processes under a WorkerSupervisor. The unit of transfer back to
+/// the parent is the spill run, not the task result: `extract_runs(output)`
+/// runs in the worker and lists the sorted runs/tails the attempt produced
+/// (the worker streams them over the channel before its slim counter-only
+/// result), and `inject_runs(runs, &output)` runs in the parent's commit
+/// callback to graft the committed runs back into the decoded output.
+/// `serialize`/`deserialize` carry only what is left — counters and stats.
+/// Chaos parity: the per-(task, attempt) failure/straggler injections of the
+/// in-process scheduler run inside the worker, plus the fork-only
+/// worker_crash_rate / poison_task_rate injections via CrashSelf (mid-shuffle
+/// crashes land mid-stream, at a run boundary) and channel_drop_rate via a
+/// deliberate mid-run disconnect. Returns NotImplemented when fork execution
+/// is unavailable — no task has run, fall back to RunRobustPhase.
+template <typename Output, typename Body, typename SerFn, typename DeFn,
+          typename ExtractFn, typename InjectFn>
 Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
                       const Options& options, double failure_rate,
                       const std::string& spill_dir, PhaseStats* pstats,
                       JobCounters* counters, std::vector<Output>* outputs,
                       const Body& body, const SerFn& serialize,
-                      const DeFn& deserialize) {
+                      const DeFn& deserialize, const ExtractFn& extract_runs,
+                      const InjectFn& inject_runs) {
   outputs->clear();
   outputs->resize(num_tasks);
   if (num_tasks == 0) return Status::OK();
@@ -765,16 +785,28 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
   cfg.backoff_seed = faults.seed;
   cfg.spill_dir = spill_dir;
   cfg.progress_heartbeat_seconds = options.heartbeat_seconds;
+  cfg.transport = options.transport;
+  cfg.tcp_host = options.tcp_host;
+  cfg.tcp_port = options.tcp_port;
+  // The shuffle backpressure window tracks the job's memory budget: a
+  // budgeted job bounds its shipped-but-uncommitted bytes the same way it
+  // bounds its map buffers (floored at 4 KiB so tiny test budgets still
+  // make progress one frame at a time). 0 lets the supervisor default.
+  cfg.stream_window_bytes =
+      options.memory_budget_bytes > 0
+          ? std::max<uint64_t>(options.memory_budget_bytes, 4096)
+          : 0;
 
   // Runs in the worker process.
   WorkerTaskFn fn = [&](size_t t, size_t attempt, bool quarantined,
-                        std::string* payload) -> Status {
+                        TaskResult* result) -> Status {
     // Fork-only chaos. A poisonous task SIGKILLs its worker on every
     // attempt (attempt-independent hash) until quarantine suppresses it; a
     // crash event kills this one attempt's worker, before the body
-    // ("mid-map") or after it, result unsent ("mid-shuffle"), by a second
-    // hash bit. Quarantine suppresses both so the committed bytes match the
-    // in-process run.
+    // ("mid-map") or while streaming its runs, result unsent
+    // ("mid-shuffle"), by a second hash bit. Quarantine suppresses both so
+    // the committed bytes match the in-process run.
+    bool crash_mid_shuffle = false;
     if (!quarantined) {
       if (ShouldInjectFailure(faults, faults.poison_task_rate, job_name,
                               phase + 8, t, /*attempt=*/0)) {
@@ -786,11 +818,7 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
                                 attempt)) {
           CrashSelf();  // mid-map: the body never ran
         }
-        // mid-shuffle: run the body, then die before the result ships.
-        Output out{};
-        CancelToken cancel;
-        (void)body(t, &cancel, &out);
-        CrashSelf();
+        crash_mid_shuffle = true;  // die at a run boundary mid-stream
       }
     }
     Output out{};
@@ -811,8 +839,21 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
                        std::max(0.0, faults.straggler_slowdown - 1.0));
       cancel.WaitFor(dawdle);  // dawdles until the supervisor's hang kill
     }
-    if (!st.ok()) return st;
-    BufferWriter w(payload);
+    if (!st.ok()) {
+      if (crash_mid_shuffle) CrashSelf();  // parity: the worker still dies
+      return st;
+    }
+    result->runs = extract_runs(out);
+    if (crash_mid_shuffle) {
+      result->crash_after_runs =
+          static_cast<int64_t>(result->runs.size() / 2);
+    }
+    if (options.transport == Transport::kTcp &&
+        ShouldInjectFailure(faults, faults.channel_drop_rate, job_name,
+                            phase + 12, t, attempt)) {
+      result->drop_after_runs = static_cast<int64_t>(result->runs.size() / 2);
+    }
+    BufferWriter w(&result->payload);
     serialize(&w, out);
     return Status::OK();
   };
@@ -822,7 +863,8 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
 
   // Runs in the supervising parent, in result-frame order.
   CommitFn commit = [&](size_t t, bool quarantined, double seconds,
-                        std::string payload) -> Status {
+                        std::string payload,
+                        std::vector<CommittedRun> runs) -> Status {
     BufferReader r(payload);
     Output out{};
     Status st = deserialize(&r, &out);
@@ -833,6 +875,7 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
       return Status::IoError("task " + std::to_string(t) +
                              " result payload: " + st.message());
     }
+    DDP_RETURN_NOT_OK(inject_runs(std::move(runs), &out));
     (*outputs)[t] = std::move(out);
     pstats->durations.push_back(seconds);
     attempt_hist->RecordSeconds(seconds);
@@ -853,6 +896,9 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
   counters->worker_restarts += sstats.worker_restarts;
   counters->quarantined_tasks += sstats.quarantined_tasks;
   counters->spill_files_reaped += sstats.spill_files_reaped;
+  counters->shuffle_streamed_bytes += sstats.shuffle_streamed_bytes;
+  counters->shuffle_resent_runs += sstats.shuffle_resent_runs;
+  counters->channel_reconnects += sstats.channel_reconnects;
   return st;
 }
 
@@ -945,6 +991,14 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     double spill_seconds = 0.0;
   };
   const bool spilling = options.memory_budget_bytes > 0;
+  // Fork-mode map output is always sorted runs and tails, budget or not:
+  // the spill segment is the unit of shuffle transfer, so workers emit
+  // through the spilling buffer (which, under no budget, never touches disk
+  // — it just key-sorts each partition into an in-memory tail) and the
+  // reduce side merge-streams. Bit-identical to the concat+stable_sort path
+  // by the determinism contract in spill.h. Reset alongside fork_phases if
+  // the supervisor reports fork execution unavailable (no task has run).
+  bool sorted_shuffle = spilling || fork_phases;
   const std::string spill_dir =
       spilling ? internal::ResolveSpillDir(options.spill_dir) : std::string();
   if (spilling) {
@@ -977,7 +1031,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
         std::unique_ptr<internal::SpillingEmitter<MidK, MidV>> spiller;
         Emitter<MidK, MidV>* sink = &emitter;
-        if (spilling) {
+        if (sorted_shuffle) {
           spiller = std::make_unique<internal::SpillingEmitter<MidK, MidV>>(
               num_partitions, options.memory_budget_bytes, spill_dir,
               spec.name + "-m" + std::to_string(t));
@@ -1034,23 +1088,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         return Status::OK();
       };
 
-  // MapOutput wire codec for fork mode. Spill runs travel as (path, extent)
-  // tuples: the worker serializing them disowns its RAII handles (the
-  // supervisor now owns those files), and the parent adopts each referenced
-  // file exactly once by renaming it under its own pid — after which the
-  // dead-owner reaper can no longer mistake it for an orphan.
+  // MapOutput wire codec for fork mode: counters and byte accounting only.
+  // The data — sorted runs and tails — does not ride the result payload; it
+  // streams ahead of it as spill segments (extract/inject below), so the
+  // supervising parent never materializes a whole map output.
   auto serialize_map = [](BufferWriter* w, MapOutput& mo) {
-    Serde<std::vector<std::string>>::Write(w, mo.buffers);
     Serde<std::vector<uint64_t>>::Write(w, mo.payload_bytes);
-    w->PutVarint64(mo.runs.size());
-    for (SpillRun& run : mo.runs) {
-      w->PutString(run.file->path());
-      w->PutVarint32(run.partition);
-      w->PutVarint32(run.spill_index);
-      w->PutVarint64(run.offset);
-      w->PutVarint64(run.length);
-      run.file->Disown();
-    }
     w->PutVarint64(mo.records);
     w->PutVarint64(mo.combine_in);
     w->PutVarint64(mo.spilled_bytes);
@@ -1058,37 +1101,69 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     w->PutDouble(mo.spill_seconds);
   };
   auto deserialize_map = [](BufferReader* r, MapOutput* mo) -> Status {
-    DDP_RETURN_NOT_OK(Serde<std::vector<std::string>>::Read(r, &mo->buffers));
     DDP_RETURN_NOT_OK(
         Serde<std::vector<uint64_t>>::Read(r, &mo->payload_bytes));
-    uint64_t num_runs = 0;
-    DDP_RETURN_NOT_OK(r->GetVarint64(&num_runs));
-    mo->runs.clear();
-    mo->runs.reserve(num_runs);
-    // One task's runs may share a spill file; adopt each file once.
-    std::unordered_map<std::string, std::shared_ptr<SpillFileHandle>> adopted;
-    for (uint64_t i = 0; i < num_runs; ++i) {
-      std::string path;
-      SpillRun run;
-      DDP_RETURN_NOT_OK(r->GetString(&path));
-      DDP_RETURN_NOT_OK(r->GetVarint32(&run.partition));
-      DDP_RETURN_NOT_OK(r->GetVarint32(&run.spill_index));
-      DDP_RETURN_NOT_OK(r->GetVarint64(&run.offset));
-      DDP_RETURN_NOT_OK(r->GetVarint64(&run.length));
-      auto it = adopted.find(path);
-      if (it == adopted.end()) {
-        Result<std::shared_ptr<SpillFileHandle>> handle = AdoptSpillFile(path);
-        if (!handle.ok()) return handle.status();
-        it = adopted.emplace(path, *std::move(handle)).first;
-      }
-      run.file = it->second;
-      mo->runs.push_back(std::move(run));
-    }
     DDP_RETURN_NOT_OK(r->GetVarint64(&mo->records));
     DDP_RETURN_NOT_OK(r->GetVarint64(&mo->combine_in));
     DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spilled_bytes));
     DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spill_files));
     DDP_RETURN_NOT_OK(r->GetDouble(&mo->spill_seconds));
+    return Status::OK();
+  };
+  // Worker side: lists the attempt's runs in merge-ordinal order — disk
+  // runs in spill order, then each non-empty tail (tails sort after every
+  // disk run of their task; see kTailRunIndex). The OutboundRuns keep the
+  // spill-file handles alive until the supervisor confirms the commit.
+  auto extract_map_runs = [](MapOutput& mo) {
+    std::vector<OutboundRun> runs;
+    runs.reserve(mo.runs.size() + mo.buffers.size());
+    for (SpillRun& run : mo.runs) {
+      OutboundRun r;
+      r.partition = run.partition;
+      r.spill_index = run.spill_index;
+      r.file = std::move(run.file);
+      r.offset = run.offset;
+      r.length = run.length;
+      runs.push_back(std::move(r));
+    }
+    mo.runs.clear();
+    for (size_t p = 0; p < mo.buffers.size(); ++p) {
+      if (mo.buffers[p].empty()) continue;
+      OutboundRun r;
+      r.partition = static_cast<uint32_t>(p);
+      r.spill_index = kTailRunIndex;
+      r.bytes = std::move(mo.buffers[p]);
+      runs.push_back(std::move(r));
+    }
+    mo.buffers.clear();
+    return runs;
+  };
+  // Parent side: grafts the committed runs back into a MapOutput shaped
+  // exactly like an in-process map task's — tails per partition, disk runs
+  // (now extents of a supervisor-owned spill file) in stream order — so the
+  // reduce phase cannot tell how the bytes arrived.
+  auto inject_map_runs = [num_partitions](std::vector<CommittedRun> runs,
+                                          MapOutput* mo) -> Status {
+    mo->buffers.assign(num_partitions, std::string());
+    mo->runs.clear();
+    for (CommittedRun& cr : runs) {
+      if (cr.partition >= num_partitions) {
+        return Status::IoError("streamed run names partition " +
+                               std::to_string(cr.partition) + " of " +
+                               std::to_string(num_partitions));
+      }
+      if (cr.spill_index == kTailRunIndex) {
+        mo->buffers[cr.partition] = std::move(cr.bytes);
+      } else {
+        SpillRun run;
+        run.file = std::move(cr.file);
+        run.partition = cr.partition;
+        run.spill_index = cr.spill_index;
+        run.offset = cr.offset;
+        run.length = cr.length;
+        mo->runs.push_back(std::move(run));
+      }
+    }
     return Status::OK();
   };
 
@@ -1098,10 +1173,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     map_status = internal::RunForkedPhase<MapOutput>(
         num_map_tasks, /*phase=*/0, spec.name, options,
         options.faults.map_failure_rate, spill_dir, &map_stats, &counters,
-        &map_outputs, map_body, serialize_map, deserialize_map);
+        &map_outputs, map_body, serialize_map, deserialize_map,
+        extract_map_runs, inject_map_runs);
     if (map_status.IsNotImplemented()) {
       ++counters.exec_fallbacks;
       fork_phases = false;
+      sorted_shuffle = spilling;  // no task ran; back to the in-proc shape
     } else {
       map_forked = true;
     }
@@ -1137,7 +1214,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   Stopwatch shuffle_timer;
   DDP_TRACE_SPAN(shuffle_span, "mr", "shuffle_phase");
   if (shuffle_span.active()) shuffle_span.AddArg("job", spec.name);
-  std::vector<std::string> partitions(spilling ? 0 : num_partitions);
+  std::vector<std::string> partitions(sorted_shuffle ? 0 : num_partitions);
   {
     std::vector<uint64_t> payload_sizes(num_partitions, 0);
     for (const MapOutput& mo : map_outputs) {
@@ -1150,7 +1227,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
       counters.max_partition_bytes =
           std::max<uint64_t>(counters.max_partition_bytes, payload_sizes[p]);
     }
-    if (!spilling) {
+    if (!sorted_shuffle) {
       for (size_t p = 0; p < num_partitions; ++p) {
         size_t sources = 0;
         size_t raw = 0;
@@ -1212,7 +1289,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   const bool skip_bad = options.skip_bad_records;
   auto reduce_body =
       [&](size_t p, CancelToken* cancel, ReduceOutput* out) -> Status {
-        if (spilling) {
+        if (sorted_shuffle) {
           // Out-of-core path: stream a k-way merge over this partition's
           // sorted runs and in-memory tails, in (map task id, spill index,
           // tail) source order so key ties reproduce the stable-sorted
@@ -1351,11 +1428,23 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         DDP_RETURN_NOT_OK(r->GetVarint64(&ro->merge_passes));
         return Serde<std::vector<uint64_t>>::Read(r, &ro->group_size_log2);
       };
+      // Reduce outputs are final results, not shuffle data: nothing to
+      // stream as runs, so the extract/inject hooks are no-ops.
+      auto extract_none = [](ReduceOutput&) {
+        return std::vector<OutboundRun>();
+      };
+      auto inject_none = [](std::vector<CommittedRun> runs,
+                            ReduceOutput*) -> Status {
+        if (!runs.empty()) {
+          return Status::IoError("unexpected streamed runs in reduce result");
+        }
+        return Status::OK();
+      };
       reduce_status = internal::RunForkedPhase<ReduceOutput>(
           num_partitions, /*phase=*/1, spec.name, options,
           options.faults.reduce_failure_rate, spill_dir, &reduce_stats,
           &counters, &reduce_outputs, reduce_body, serialize_reduce,
-          deserialize_reduce);
+          deserialize_reduce, extract_none, inject_none);
       if (reduce_status.IsNotImplemented()) {
         ++counters.exec_fallbacks;
         fork_phases = false;

@@ -112,6 +112,31 @@ uint64_t ReapOrphanSpillFiles(const std::string& dir) {
   return reaped;
 }
 
+void AppendRunTrailer(std::string* segment) {
+  const uint32_t crc = Crc32(segment->data(), segment->size());
+  segment->push_back(static_cast<char>(crc & 0xFF));
+  segment->push_back(static_cast<char>((crc >> 8) & 0xFF));
+  segment->push_back(static_cast<char>((crc >> 16) & 0xFF));
+  segment->push_back(static_cast<char>((crc >> 24) & 0xFF));
+}
+
+Status VerifyAndStripRunTrailer(std::string* segment) {
+  if (segment->size() < 4) {
+    return Status::IoError("run shorter than its CRC trailer");
+  }
+  const size_t body = segment->size() - 4;
+  const auto* t = reinterpret_cast<const uint8_t*>(segment->data() + body);
+  const uint32_t stored = static_cast<uint32_t>(t[0]) |
+                          (static_cast<uint32_t>(t[1]) << 8) |
+                          (static_cast<uint32_t>(t[2]) << 16) |
+                          (static_cast<uint32_t>(t[3]) << 24);
+  if (stored != Crc32(segment->data(), body)) {
+    return Status::IoError("run CRC mismatch");
+  }
+  segment->resize(body);
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
     const std::string& dir, const std::string& basename) {
   std::error_code ec;

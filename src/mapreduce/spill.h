@@ -114,6 +114,16 @@ struct SpillExtent {
   uint64_t length = 0;
 };
 
+/// Appends the 4-byte little-endian CRC32 trailer of `segment`'s current
+/// contents to it — turning a bare frame sequence (an in-memory tail) into
+/// the exact byte shape of an on-disk run, ready to ship over a channel.
+void AppendRunTrailer(std::string* segment);
+
+/// Verifies that `segment` ends with a CRC32 trailer matching the bytes
+/// before it and strips the trailer in place. IoError on a short segment or
+/// a mismatch — the receiving side's integrity gate for a shipped run.
+Status VerifyAndStripRunTrailer(std::string* segment);
+
 /// Sequential writer for one spill file: any number of CRC-trailed runs.
 /// Create -> (BeginRun, Append*, EndRun)* -> Close. Write errors surface as
 /// retryable Internal statuses (a retried attempt writes fresh files).

@@ -94,6 +94,88 @@ Status ResultMsg::Decode(const std::string& bytes, ResultMsg* out) {
   return Status::OK();
 }
 
+std::string HelloMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(worker_id);
+  w.PutVarint64(generation);
+  return bytes;
+}
+
+Status HelloMsg::Decode(const std::string& bytes, HelloMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->worker_id));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->generation));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in HelloMsg");
+  return Status::OK();
+}
+
+std::string RunBeginMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutVarint64(seq);
+  w.PutVarint64(partition);
+  w.PutVarint64(spill_index);
+  w.PutVarint64(length);
+  return bytes;
+}
+
+Status RunBeginMsg::Decode(const std::string& bytes, RunBeginMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->seq));
+  uint64_t partition64 = 0;
+  uint64_t spill64 = 0;
+  DDP_RETURN_NOT_OK(r.GetVarint64(&partition64));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&spill64));
+  out->partition = static_cast<uint32_t>(partition64);
+  out->spill_index = static_cast<uint32_t>(spill64);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->length));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in RunBeginMsg");
+  return Status::OK();
+}
+
+std::string RunEndMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutVarint64(seq);
+  return bytes;
+}
+
+Status RunEndMsg::Decode(const std::string& bytes, RunEndMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->seq));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in RunEndMsg");
+  return Status::OK();
+}
+
+std::string RunAckMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutVarint64(acked_runs);
+  w.PutVarint64(acked_bytes);
+  return bytes;
+}
+
+Status RunAckMsg::Decode(const std::string& bytes, RunAckMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->acked_runs));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->acked_bytes));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in RunAckMsg");
+  return Status::OK();
+}
+
 #ifndef _WIN32
 
 void CrashSelf() {
@@ -140,14 +222,36 @@ Status StatusFromWire(int32_t code, std::string message) {
   return Status::Internal(std::move(message));
 }
 
+/// A run currently arriving over the channel.
+struct OpenRun {
+  RunBeginMsg begin;
+  std::string buf;  // accumulated run bytes, trailer included
+  Clock::time_point started{};
+};
+
+/// Per-attempt commit state on the supervisor side: runs committed so far
+/// (disk-backed ones in a supervisor-owned spill file), ack bookkeeping,
+/// and the run in flight. Discarded wholesale when the attempt fails —
+/// dropping `writer`'s last handle reference unlinks the file.
+struct AttemptStream {
+  std::vector<CommittedRun> committed;
+  uint64_t committed_bytes = 0;
+  uint64_t last_acked_bytes = 0;
+  std::unique_ptr<SpillFileWriter> writer;
+  std::optional<OpenRun> open;
+};
+
 struct Worker {
   pid_t pid = -1;
-  std::unique_ptr<PipeChannel> ch;
+  uint64_t id = 0;
+  /// Null while a TCP worker is connecting (or reconnecting after a drop).
+  std::unique_ptr<CommChannel> ch;
   bool busy = false;
   size_t task = 0;
   size_t attempt = 0;
   Clock::time_point dispatched{};
   Clock::time_point last_beat{};
+  AttemptStream stream;
   std::unique_ptr<obs::Span> span;
 };
 
@@ -183,14 +287,39 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     phase_span.AddArg("job", cfg.job_name);
     phase_span.AddArg("phase", std::string_view(phase_name));
     phase_span.AddArg("tasks", static_cast<uint64_t>(cfg.num_tasks));
+    phase_span.AddArg("transport", std::string_view(
+        cfg.transport == Transport::kTcp ? "tcp" : "pipe"));
   }
   obs::Histogram* crash_hist = obs::MetricsRegistry::Global().GetHistogram(
       "mr.worker_crash_latency_seconds");
+  obs::Histogram* ship_hist =
+      obs::MetricsRegistry::Global().GetHistogram("mr.run_ship_seconds");
+
+  // TCP: listen before the first fork so children know where to connect.
+  // A bind failure is a fallback signal, not a job error — nothing ran yet.
+  std::unique_ptr<TcpListener> listener;
+  if (cfg.transport == Transport::kTcp) {
+    auto listening = TcpListener::Listen(cfg.tcp_host, cfg.tcp_port);
+    if (!listening.ok()) {
+      return Status::NotImplemented("cannot listen for workers: " +
+                                    listening.status().ToString());
+    }
+    listener = std::move(listening).value();
+  }
+
+  const uint64_t window = cfg.stream_window_bytes > 0
+                              ? cfg.stream_window_bytes
+                              : (uint64_t{4} << 20);
+  const uint64_t ack_threshold = std::max<uint64_t>(1, window / 2);
+  // Workers give up connecting after reconnect_grace_seconds; the
+  // supervisor waits one extra second so the worker's own exit wins.
+  const double connect_grace = std::max(2.0, cfg.reconnect_grace_seconds) + 1.0;
 
   std::vector<Worker> workers;
   std::vector<TaskState> tasks(cfg.num_tasks);
   std::atomic<size_t> completed{0};
   size_t restarts_used = 0;
+  uint64_t next_worker_id = 1;
   Status job_error;
 
   const size_t target_workers =
@@ -203,6 +332,58 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   };
 
   auto spawn_worker = [&]() -> Status {
+    const uint64_t id = next_worker_id++;
+    WorkerMainConfig wc;
+    wc.heartbeat_seconds = cfg.child_heartbeat_seconds;
+    wc.worker_id = id;
+    wc.stream_window_bytes = window;
+
+    if (cfg.transport == Transport::kTcp) {
+      const uint16_t port = listener->port();
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        return Status::Internal(std::string("cannot fork worker: ") +
+                                std::strerror(errno));
+      }
+      if (pid == 0) {
+        // Worker process: drop every supervisor-side descriptor we
+        // inherited, then dial in. The connect lambda doubles as the
+        // reconnect factory after mid-stream drops.
+        listener->Close();
+        for (Worker& w : workers) {
+          if (w.ch != nullptr) w.ch->Close();
+        }
+        const std::string host = cfg.tcp_host;
+        const ExponentialBackoff::Params connect_backoff = cfg.respawn_backoff;
+        const uint64_t connect_seed =
+            SplitSeed(cfg.backoff_seed, 0x7c90u + id);
+        const double deadline = std::max(2.0, cfg.reconnect_grace_seconds);
+        auto dial = [host, port, connect_backoff, connect_seed,
+                     deadline]() -> Result<std::unique_ptr<CommChannel>> {
+          DDP_ASSIGN_OR_RETURN(
+              auto ch, TcpChannel::Connect(host, port, connect_backoff,
+                                           connect_seed, deadline));
+          return std::unique_ptr<CommChannel>(std::move(ch));
+        };
+        auto first = dial();
+        if (!first.ok()) ::_exit(1);
+        wc.reconnect = dial;
+        WorkerMain(std::move(first).value(), fn, wc);
+      }
+      Worker w;
+      w.pid = pid;
+      w.id = id;
+      w.last_beat = Clock::now();  // connect-grace timer until hello
+      w.span = std::make_unique<obs::Span>("mr", "worker");
+      if (w.span->active()) {
+        w.span->AddArg("job", cfg.job_name);
+        w.span->AddArg("phase", std::string_view(phase_name));
+        w.span->AddArg("pid", static_cast<uint64_t>(pid));
+      }
+      workers.push_back(std::move(w));
+      return Status::OK();
+    }
+
     DDP_ASSIGN_OR_RETURN(auto ends, PipeChannel::CreatePair());
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -217,11 +398,12 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       for (Worker& w : workers) {
         if (w.ch != nullptr) w.ch->Close();
       }
-      WorkerMain(ends.second.get(), fn, cfg.child_heartbeat_seconds);
+      WorkerMain(std::move(ends.second), fn, wc);
     }
     ends.second->Close();
     Worker w;
     w.pid = pid;
+    w.id = id;
     w.ch = std::move(ends.first);
     w.last_beat = Clock::now();
     w.span = std::make_unique<obs::Span>("mr", "worker");
@@ -287,7 +469,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   auto handle_worker_death = [&](size_t wi, bool hang, bool deadline_hit) {
     Worker w = std::move(workers[wi]);
     workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
-    w.ch->Close();
+    if (w.ch != nullptr) w.ch->Close();
     ReapPid(w.pid);
     if (hang) {
       ++stats->worker_hangs;
@@ -309,9 +491,10 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
                      hang ? Status::DeadlineExceeded("worker hang")
                           : Status::Internal("worker crashed"));
     }
-    // The dead worker's uncommitted spill files are orphans now; committed
-    // files were adopted (renamed to a live owner) as their results were
-    // committed, so the reaper cannot touch them.
+    // `w.stream` dies with the worker: its partially-streamed runs and the
+    // supervisor-side spill file of this attempt are dropped (the writer
+    // handle unlinks on destruction), and the dead worker's own files are
+    // orphans the reaper collects.
     if (!cfg.spill_dir.empty()) {
       stats->spill_files_reaped += ReapOrphanSpillFiles(cfg.spill_dir);
     }
@@ -322,6 +505,156 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     ++stats->worker_kills;
     DDP_METRIC_COUNTER_ADD("mr.worker_kills", 1);
     handle_worker_death(wi, hang, deadline_hit);
+  };
+
+  // Discards the run that was arriving when a connection dropped; the
+  // worker re-ships it from the committed boundary after reconnecting.
+  auto discard_open_run = [&](Worker& w) {
+    if (!w.stream.open.has_value()) return;
+    w.stream.open.reset();
+    ++stats->shuffle_resent_runs;
+    DDP_METRIC_COUNTER_ADD("mr.shuffle_resent_runs", 1);
+  };
+
+  // Accepts one pending TCP connection and attaches it to its worker by
+  // hello worker id. Reconnects (generation > 0) get a resume kRunAck.
+  auto accept_connection = [&]() {
+    auto accepted = listener->Accept(/*timeout_seconds=*/0.25);
+    if (!accepted.ok()) return;
+    std::unique_ptr<TcpChannel> ch = std::move(accepted).value();
+    Frame hello_frame;
+    HelloMsg hello;
+    if (!ch->Recv(&hello_frame, /*timeout_seconds=*/2.0).ok() ||
+        hello_frame.type != MessageType::kHello ||
+        !HelloMsg::Decode(hello_frame.payload, &hello).ok()) {
+      ch->Close();  // not one of ours (or it died mid-handshake)
+      return;
+    }
+    Worker* w = nullptr;
+    for (Worker& cand : workers) {
+      if (cand.id == hello.worker_id) {
+        w = &cand;
+        break;
+      }
+    }
+    if (w == nullptr) {
+      ch->Close();  // a worker we already declared dead
+      return;
+    }
+    if (w->ch != nullptr) w->ch->Close();
+    w->ch = std::move(ch);
+    w->last_beat = Clock::now();
+    if (hello.generation > 0) {
+      ++stats->channel_reconnects;
+      DDP_METRIC_COUNTER_ADD("mr.channel_reconnects", 1);
+      discard_open_run(*w);
+      RunAckMsg ack;
+      if (w->busy) {
+        ack.task = w->task;
+        ack.attempt = w->attempt;
+        ack.acked_runs = w->stream.committed.size();
+        ack.acked_bytes = w->stream.committed_bytes;
+        w->stream.last_acked_bytes = w->stream.committed_bytes;
+      } else {
+        ack.task = RunAckMsg::kNoTask;
+      }
+      (void)w->ch->Send(Frame{MessageType::kRunAck, ack.Encode()});
+    }
+  };
+
+  // ---- Streamed-shuffle frame handlers. A protocol violation (bad seq,
+  // size overrun, CRC mismatch) means record boundaries are unreliable:
+  // kill the worker and retry its attempt from scratch.
+
+  auto handle_run_begin = [&](Worker& w, const std::string& payload) -> bool {
+    RunBeginMsg msg;
+    if (!RunBeginMsg::Decode(payload, &msg).ok() || !w.busy ||
+        msg.task != w.task || msg.attempt != w.attempt ||
+        msg.seq != w.stream.committed.size() || w.stream.open.has_value()) {
+      return false;
+    }
+    OpenRun open;
+    open.begin = msg;
+    open.buf.reserve(static_cast<size_t>(msg.length));
+    open.started = Clock::now();
+    w.stream.open.emplace(std::move(open));
+    return true;
+  };
+
+  auto handle_run_data = [&](Worker& w, std::string& payload) -> bool {
+    if (!w.stream.open.has_value()) return false;
+    OpenRun& open = *w.stream.open;
+    if (open.buf.size() + payload.size() > open.begin.length) return false;
+    open.buf.append(payload);
+    return true;
+  };
+
+  auto handle_run_end = [&](Worker& w, const std::string& payload) -> bool {
+    RunEndMsg msg;
+    if (!RunEndMsg::Decode(payload, &msg).ok() || !w.stream.open.has_value()) {
+      return false;
+    }
+    OpenRun open = std::move(*w.stream.open);
+    w.stream.open.reset();
+    if (msg.task != open.begin.task || msg.attempt != open.begin.attempt ||
+        msg.seq != open.begin.seq || open.buf.size() != open.begin.length) {
+      return false;
+    }
+    std::string run = std::move(open.buf);
+    if (!VerifyAndStripRunTrailer(&run).ok()) return false;
+    CommittedRun cr;
+    cr.partition = open.begin.partition;
+    cr.spill_index = open.begin.spill_index;
+    if (open.begin.spill_index == kTailRunIndex) {
+      // In-memory tail: kept as bare frames, same as the relay used to.
+      cr.bytes = std::move(run);
+      cr.length = open.begin.length;
+    } else {
+      // Disk-backed run: append to this attempt's supervisor-owned spill
+      // file. Its EndRun writes a fresh trailer, so the committed extent
+      // is a byte-faithful SpillRun.
+      if (w.stream.writer == nullptr) {
+        const std::string dir = internal::ResolveSpillDir(cfg.spill_dir);
+        const std::string basename =
+            cfg.job_name + "-" + phase_name + "-shuffle-" +
+            internal::SpillOwnerTag() + "-u" +
+            std::to_string(internal::NextSpillFileId()) + ".spill";
+        auto created = SpillFileWriter::Create(dir, basename);
+        if (!created.ok()) {
+          job_error = created.status();
+          return true;  // job fails; no point killing the worker over it
+        }
+        w.stream.writer = std::move(created).value();
+      }
+      w.stream.writer->BeginRun();
+      w.stream.writer->Append(run.data(), run.size());
+      auto extent = w.stream.writer->EndRun();
+      if (!extent.ok()) {
+        job_error = extent.status();
+        return true;
+      }
+      cr.file = w.stream.writer->handle();
+      cr.offset = extent.value().offset;
+      cr.length = extent.value().length;
+    }
+    w.stream.committed.push_back(std::move(cr));
+    w.stream.committed_bytes += open.begin.length;
+    stats->shuffle_streamed_bytes += open.begin.length;
+    DDP_METRIC_COUNTER_ADD("mr.shuffle_streamed_bytes", open.begin.length);
+    ship_hist->RecordSeconds(SecondsSince(open.started, Clock::now()));
+    // Credit-based backpressure: ack at least every half window so a
+    // blocked worker always has a credit frame coming.
+    if (w.stream.committed_bytes - w.stream.last_acked_bytes >=
+        ack_threshold) {
+      RunAckMsg ack;
+      ack.task = w.task;
+      ack.attempt = w.attempt;
+      ack.acked_runs = w.stream.committed.size();
+      ack.acked_bytes = w.stream.committed_bytes;
+      w.stream.last_acked_bytes = w.stream.committed_bytes;
+      (void)w.ch->Send(Frame{MessageType::kRunAck, ack.Encode()});
+    }
+    return true;
   };
 
   // ---- Initial crew. Total spawn failure aborts before any task ran, so
@@ -382,10 +715,11 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       }
     }
 
-    // Dispatch ready tasks to idle workers (lowest task id first, so runs
-    // are easy to reason about; commit order is by task id regardless).
+    // Dispatch ready tasks to idle, connected workers (lowest task id
+    // first, so runs are easy to reason about; commit order is by task id
+    // regardless).
     for (Worker& w : workers) {
-      if (w.busy) continue;
+      if (w.busy || w.ch == nullptr) continue;
       for (size_t t = 0; t < cfg.num_tasks; ++t) {
         TaskState& ts = tasks[t];
         if (ts.done || ts.in_flight || now < ts.not_before) continue;
@@ -397,6 +731,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
           w.attempt = msg.attempt;
           w.dispatched = now;
           w.last_beat = now;
+          w.stream = AttemptStream{};
           ts.in_flight = true;
         } else {
           // A dead socket shows up as a failed send; the poll pass below
@@ -408,13 +743,19 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
 
     // Wait for worker traffic; the 10ms cap bounds backoff-gate, respawn,
-    // and hang-scan latency.
+    // and hang-scan latency. The TCP listener polls alongside the workers.
     std::vector<struct pollfd> pfds;
     std::vector<pid_t> pfd_pids;
-    pfds.reserve(workers.size());
+    pfds.reserve(workers.size() + 1);
     for (const Worker& w : workers) {
+      if (w.ch == nullptr) continue;
       pfds.push_back({w.ch->fd(), POLLIN, 0});
       pfd_pids.push_back(w.pid);
+    }
+    size_t listener_slot = pfds.size();
+    if (listener != nullptr) {
+      pfds.push_back({listener->fd(), POLLIN, 0});
+      pfd_pids.push_back(-1);
     }
     if (!pfds.empty()) {
       const int rc = ::poll(pfds.data(),
@@ -426,7 +767,15 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       }
     }
 
+    // Attach fresh connections first, so a reconnecting worker's frames
+    // are read from its new channel this very iteration.
+    if (listener != nullptr && listener_slot < pfds.size() &&
+        (pfds[listener_slot].revents & POLLIN) != 0) {
+      accept_connection();
+    }
+
     for (size_t i = 0; i < pfds.size() && job_error.ok(); ++i) {
+      if (i == listener_slot) continue;
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       // Re-find the worker: earlier death handling may have reshuffled.
       size_t wi = workers.size();
@@ -438,26 +787,64 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       }
       if (wi == workers.size()) continue;
       Worker& w = workers[wi];
+      // Stale-descriptor guard: a reconnect may have replaced the channel
+      // after this poll set was built.
+      if (w.ch == nullptr || w.ch->fd() != pfds[i].fd) continue;
       Frame frame;
       Status received = w.ch->Recv(&frame, /*timeout_seconds=*/30.0);
       if (!received.ok()) {
-        // EOF or a corrupt frame: either way record boundaries are gone and
-        // the worker is unusable. Make sure it is dead, then classify.
+        if (cfg.transport == Transport::kTcp) {
+          int wstatus = 0;
+          const pid_t got = ::waitpid(w.pid, &wstatus, WNOHANG);
+          if (got == 0) {
+            // The connection dropped but the worker lives: hold its
+            // attempt and committed runs, wait out the reconnect grace.
+            w.ch->Close();
+            w.ch.reset();
+            w.last_beat = Clock::now();
+            discard_open_run(w);
+            continue;
+          }
+        }
+        // EOF or a corrupt frame from a dead (or pipe-mode) worker: record
+        // boundaries are gone and the worker is unusable. Make sure it is
+        // dead, then classify.
         ::kill(w.pid, SIGKILL);
         handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
         continue;
       }
       w.last_beat = Clock::now();
+      if (frame.type == MessageType::kRunBegin ||
+          frame.type == MessageType::kRunData ||
+          frame.type == MessageType::kRunEnd) {
+        bool protocol_ok = false;
+        if (frame.type == MessageType::kRunBegin) {
+          protocol_ok = handle_run_begin(w, frame.payload);
+        } else if (frame.type == MessageType::kRunData) {
+          protocol_ok = handle_run_data(w, frame.payload);
+        } else {
+          protocol_ok = handle_run_end(w, frame.payload);
+        }
+        if (!protocol_ok) {
+          ::kill(w.pid, SIGKILL);
+          ++stats->worker_kills;
+          handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+        }
+        continue;
+      }
       if (frame.type == MessageType::kResult) {
         ResultMsg msg;
         Status decoded = ResultMsg::Decode(frame.payload, &msg);
-        if (!decoded.ok() || msg.task >= cfg.num_tasks) {
+        if (!decoded.ok() || msg.task >= cfg.num_tasks ||
+            w.stream.open.has_value()) {
           ::kill(w.pid, SIGKILL);
           ++stats->worker_kills;
           handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
           continue;
         }
         w.busy = false;
+        AttemptStream stream = std::move(w.stream);
+        w.stream = AttemptStream{};
         TaskState& ts = tasks[msg.task];
         // The worker survived the attempt, whatever its verdict: the
         // poison counter tracks worker-killing records only.
@@ -466,12 +853,20 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
             StatusFromWire(msg.status_code, msg.status_message);
         if (ts.done) continue;  // defensive: no duplicate commits
         if (attempt_status.ok()) {
+          if (stream.writer != nullptr) {
+            Status closed = stream.writer->Close();
+            if (!closed.ok()) {
+              job_error = closed;
+              continue;
+            }
+          }
           ts.done = true;
           ts.in_flight = false;
           completed.fetch_add(1, std::memory_order_relaxed);
           stats->durations.push_back(msg.seconds);
-          Status committed = commit(msg.task, ts.quarantined, msg.seconds,
-                                    std::move(msg.payload));
+          Status committed =
+              commit(msg.task, ts.quarantined, msg.seconds,
+                     std::move(msg.payload), std::move(stream.committed));
           if (!committed.ok()) job_error = committed;
         } else if (attempt_status.IsIoError()) {
           // Deterministically corrupt input: retrying re-reads the same
@@ -485,11 +880,18 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
     if (!job_error.ok()) break;
 
-    // Hang scan: deadline overruns and heartbeat silence get a SIGKILL and
-    // are charged like an in-process deadline kill.
+    // Hang scan: deadline overruns, heartbeat silence, and workers that
+    // out-stayed the reconnect grace get a SIGKILL and are charged like an
+    // in-process deadline kill.
     const Clock::time_point scan_now = Clock::now();
     for (size_t wi = workers.size(); wi-- > 0;) {
       Worker& w = workers[wi];
+      if (w.ch == nullptr) {
+        if (SecondsSince(w.last_beat, scan_now) > connect_grace) {
+          kill_worker(wi, /*hang=*/true, /*deadline_hit=*/false);
+        }
+        continue;
+      }
       if (!w.busy) continue;
       const bool deadline_hit =
           cfg.task_deadline_seconds > 0.0 &&
@@ -505,10 +907,13 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   }
 
   // ---- Teardown: polite shutdown, bounded wait, then force.
+  if (listener != nullptr) listener->Close();
   for (Worker& w : workers) {
-    (void)w.ch->Send(Frame{MessageType::kShutdown, ""});
+    if (w.ch != nullptr) (void)w.ch->Send(Frame{MessageType::kShutdown, ""});
   }
-  for (Worker& w : workers) w.ch->Close();
+  for (Worker& w : workers) {
+    if (w.ch != nullptr) w.ch->Close();
+  }
   for (Worker& w : workers) {
     const Clock::time_point give_up = Clock::now() + FromSeconds(2.0);
     bool reaped = false;
@@ -536,6 +941,8 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   if (phase_span.active()) {
     phase_span.AddArg("worker_crashes", stats->worker_crashes);
     phase_span.AddArg("worker_restarts", stats->worker_restarts);
+    phase_span.AddArg("streamed_bytes", stats->shuffle_streamed_bytes);
+    phase_span.AddArg("reconnects", stats->channel_reconnects);
   }
   return job_error;
 }

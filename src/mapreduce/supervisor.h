@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/backoff.h"
 #include "common/result.h"
 #include "mapreduce/channel.h"
+#include "mapreduce/spill.h"
 
 /// \file supervisor.h
 /// Crash-fault-tolerant supervision of forked worker processes — the "job
@@ -15,7 +17,7 @@
 /// mapreduce.h. A `WorkerSupervisor` forks `num_workers` children (plain
 /// fork, no exec: the typed task closures cannot cross an exec boundary, so
 /// workers inherit the job's closures and input copy-on-write), feeds them
-/// task attempts over `PipeChannel`s, and supervises:
+/// task attempts over a `CommChannel` (socketpair or TCP), and supervises:
 ///
 ///  * crash — the worker died unexpectedly (channel EOF + waitpid). The
 ///    in-flight attempt is charged and retried after a seeded exponential
@@ -30,14 +32,38 @@
 ///    consecutive workers. With `skip_bad_records` the task is re-run
 ///    quarantined (the worker suppresses the poisonous record and counts it
 ///    skipped, Hadoop's skip-mode); otherwise the job fails.
+///  * disconnect (TCP only) — the connection dropped but waitpid says the
+///    worker lives. The supervisor keeps the attempt in flight and the
+///    already-committed runs; the worker reconnects with a seeded backoff,
+///    re-identifies itself (kHello carries worker id + generation), and a
+///    resume kRunAck tells it which run boundary to restart from. Only a
+///    worker silent past `reconnect_grace_seconds` is killed as a hang.
 ///
-/// Results are committed per task index, so scheduling order, crashes, and
-/// respawns never affect output order — the bit-identity argument of the
-/// multi-process mode reduces to "task bodies are pure and the commit slot
-/// is the task id" (docs/architecture.md, "Multi-process execution").
+/// The streamed shuffle: a successful attempt does NOT relay its map output
+/// through the result payload. The worker ships each sorted, CRC-trailed
+/// spill run (and each in-memory tail, trailer appended) as its own
+/// kRunBegin / kRunData* / kRunEnd exchange — the run bytes on the wire are
+/// byte-identical to the run bytes on disk, no re-serialization — and the
+/// supervisor commits every run as it completes: tails stay in memory,
+/// disk-backed runs are appended to a supervisor-owned spill file. Flow
+/// control is credit-based: the supervisor acks committed bytes
+/// (cumulative, at least every half window) and the worker opens a new run
+/// only while un-acked bytes stay under `stream_window_bytes`, so neither
+/// side ever holds more than one run plus a window of the shuffle in
+/// memory. The slim kResult frame that follows carries counters only, and
+/// arrives after every run frame by stream ordering — so a committed
+/// result always has its full run set.
 ///
-/// Raw process-control calls (fork/kill/waitpid) live in supervisor.cc and
-/// nowhere else; ddp_lint's process-control rule keeps it that way.
+/// Results are committed per task index, so scheduling order, crashes,
+/// respawns, and reconnects never affect output order — the bit-identity
+/// argument of the multi-process mode reduces to "task bodies are pure,
+/// the commit slot is the task id, and the merge tie-break ordinal (map
+/// task, spill index, tail) rides inside the run stream"
+/// (docs/architecture.md, "Multi-process execution").
+///
+/// Raw process-control calls (fork/kill/waitpid) and raw sockets live in
+/// src/mapreduce/ and nowhere else; ddp_lint's process-control rule keeps
+/// it that way.
 
 namespace ddp {
 namespace mr {
@@ -52,6 +78,9 @@ struct SupervisorStats {
   uint64_t retries = 0;          // failed attempts that were retried
   uint64_t deadline_kills = 0;   // hangs triggered by the task deadline
   uint64_t spill_files_reaped = 0;
+  uint64_t shuffle_streamed_bytes = 0;  // run bytes committed off the wire
+  uint64_t shuffle_resent_runs = 0;     // runs re-shipped after a reconnect
+  uint64_t channel_reconnects = 0;      // TCP connections re-established
   std::vector<double> durations;  // committed attempt seconds
 };
 
@@ -79,23 +108,82 @@ struct SupervisorConfig {
   ExponentialBackoff::Params respawn_backoff{0.002, 2.0, 0.25, 0.25};
   /// Non-empty: reap orphan spill files of dead processes from this
   /// directory after each worker death (see spill.h ReapOrphanSpillFiles).
+  /// Also where the supervisor writes its own shuffle spill files when
+  /// workers stream disk-backed runs (resolved via ResolveSpillDir).
   std::string spill_dir;
   /// Parent-side progress heartbeat interval (mr::Options::heartbeat_seconds).
   double progress_heartbeat_seconds = 0.0;
+  /// How supervisor and workers talk. kTcp listens on tcp_host:tcp_port
+  /// (port 0 picks an ephemeral port) and supports worker reconnection.
+  Transport transport = Transport::kPipe;
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  /// Per-worker cap on shipped-but-unacked run bytes (the shuffle
+  /// backpressure window). 0 derives a default: the job's memory budget
+  /// when one is set (floored at 4 KiB), else 4 MiB.
+  uint64_t stream_window_bytes = 0;
+  /// TCP only: how long a live worker may stay disconnected before the
+  /// supervisor gives up and SIGKILLs it like a hang.
+  double reconnect_grace_seconds = 5.0;
+};
+
+/// A run spill index reserved for in-memory tail segments: tails sort after
+/// every disk run of their task in the merge ordinal (map task, spill
+/// index, tail), so the sentinel is the max value.
+constexpr uint32_t kTailRunIndex = 0xFFFFFFFFu;
+
+/// One sorted run a worker will ship for a committed attempt, in merge
+/// order (disk runs in spill order, then non-empty tails by partition).
+/// Either `file` (a disk extent, CRC trailer included in `length`) or
+/// `bytes` (an in-memory tail, no trailer — the shipper appends one).
+struct OutboundRun {
+  uint32_t partition = 0;
+  uint32_t spill_index = 0;  // kTailRunIndex for tails
+  std::shared_ptr<SpillFileHandle> file;  // null for tails
+  uint64_t offset = 0;
+  uint64_t length = 0;  // shipped bytes incl the 4-byte trailer
+  std::string bytes;    // tail frames (trailer appended when shipped)
+};
+
+/// What one task attempt produces inside the worker: a slim result payload
+/// (counters, never data) plus the runs to stream before it. The chaos
+/// knobs let deterministic fault injection act at run granularity.
+struct TaskResult {
+  std::string payload;
+  std::vector<OutboundRun> runs;
+  /// >= 0: SIGKILL self after shipping this many runs (mid-shuffle crash
+  /// chaos, clamped to runs.size()).
+  int64_t crash_after_runs = -1;
+  /// >= 0: drop the connection mid-run after shipping this many full runs
+  /// (reconnect chaos; ignored on transports that cannot reconnect).
+  int64_t drop_after_runs = -1;
 };
 
 /// One task attempt, executed inside the worker process. `quarantined` tells
 /// the body to suppress (and count as skipped) the record that has been
-/// crashing workers. The serialized result goes to `payload`.
+/// crashing workers.
 using WorkerTaskFn = std::function<Status(
-    size_t task, size_t attempt, bool quarantined, std::string* payload)>;
+    size_t task, size_t attempt, bool quarantined, TaskResult* result)>;
+
+/// A run the supervisor committed off the wire, in stream order. Disk runs
+/// live in a supervisor-owned spill file (`length` includes the fresh CRC
+/// trailer, matching SpillRun); tails are in-memory frames, trailer
+/// verified and stripped.
+struct CommittedRun {
+  uint32_t partition = 0;
+  uint32_t spill_index = 0;  // kTailRunIndex for tails
+  std::shared_ptr<SpillFileHandle> file;  // null for tails
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::string bytes;
+};
 
 /// Called in the supervising parent, in frame order, as each task's first
-/// successful attempt arrives. Decodes/commits the payload (and adopts any
-/// spill files it references — this runs before the producing worker's
-/// death could mark those files orphaned). A non-OK return fails the job.
-using CommitFn = std::function<Status(size_t task, bool quarantined,
-                                      double seconds, std::string payload)>;
+/// successful attempt arrives, with every run of that attempt already
+/// committed. A non-OK return fails the job.
+using CommitFn =
+    std::function<Status(size_t task, bool quarantined, double seconds,
+                         std::string payload, std::vector<CommittedRun> runs)>;
 
 /// True when this platform/build can run forked workers: POSIX, and not
 /// ThreadSanitizer (TSan does not support threads in forked children, so
@@ -107,7 +195,11 @@ bool ForkExecutionSupported();
 /// raw kill() stays inside src/mapreduce/.
 [[noreturn]] void CrashSelf();
 
-/// Wire payloads for kTask / kResult frames.
+/// Wire payloads (Encode/Decode pairs; all varint-framed like the spill
+/// format). TaskMsg rides kTask, ResultMsg kResult, HelloMsg kHello,
+/// RunBeginMsg kRunBegin, RunEndMsg kRunEnd, RunAckMsg kRunAck. kRunData
+/// frames carry raw run bytes (the channel framing already CRC-protects
+/// each chunk; the run trailer protects the whole).
 struct TaskMsg {
   uint64_t task = 0;
   uint64_t attempt = 0;
@@ -123,28 +215,89 @@ struct ResultMsg {
   int32_t status_code = 0;  // StatusCode of the attempt
   std::string status_message;
   double seconds = 0.0;  // child-measured attempt duration
-  std::string payload;   // serialized task output (empty on failure)
+  std::string payload;   // serialized task counters (empty on failure)
 
   std::string Encode() const;
   static Status Decode(const std::string& bytes, ResultMsg* out);
 };
 
+struct HelloMsg {
+  uint64_t worker_id = 0;
+  /// 0 on first connect; incremented per reconnect. A generation > 0 hello
+  /// triggers the resume protocol.
+  uint64_t generation = 0;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, HelloMsg* out);
+};
+
+struct RunBeginMsg {
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  uint64_t seq = 0;  // run index within the attempt's stream order
+  uint32_t partition = 0;
+  uint32_t spill_index = 0;  // kTailRunIndex for tails
+  uint64_t length = 0;       // total run bytes incl trailer
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, RunBeginMsg* out);
+};
+
+struct RunEndMsg {
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  uint64_t seq = 0;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, RunEndMsg* out);
+};
+
+/// Cumulative commit acknowledgement — both the flow-control credit and
+/// the resume point after a reconnect. `task == kNoTask` in a resume ack
+/// means the supervisor has no attempt in flight for this worker (its last
+/// result already committed) and the worker should drop its pending state.
+struct RunAckMsg {
+  static constexpr uint64_t kNoTask = ~uint64_t{0};
+
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  uint64_t acked_runs = 0;   // runs committed so far for this attempt
+  uint64_t acked_bytes = 0;  // their total shipped bytes
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, RunAckMsg* out);
+};
+
 class WorkerSupervisor {
  public:
   /// Runs tasks [0, num_tasks) on forked workers, committing each task's
-  /// result through `commit`. Returns NotImplemented when fork execution is
-  /// unsupported or no worker could be spawned at all — both before any
-  /// task ran, so the caller can fall back to the in-process executor.
+  /// result (and streamed runs) through `commit`. Returns NotImplemented
+  /// when fork execution is unsupported or no worker could be spawned at
+  /// all — both before any task ran, so the caller can fall back to the
+  /// in-process executor.
   static Status RunPhase(const SupervisorConfig& config, const WorkerTaskFn& fn,
                          const CommitFn& commit, SupervisorStats* stats);
 };
 
-/// Child-side protocol loop (worker_main.cc): answer kTask frames with
-/// kResult frames until kShutdown, a closed channel, or orphaning (the
-/// supervisor process died). Never returns to the caller's stack — exits
-/// the process via _exit so a forked child cannot run parent destructors.
-[[noreturn]] void WorkerMain(CommChannel* channel, const WorkerTaskFn& fn,
-                             double heartbeat_seconds);
+/// Child-side knobs for WorkerMain.
+struct WorkerMainConfig {
+  double heartbeat_seconds = 0.25;
+  uint64_t worker_id = 0;
+  /// Shipped-but-unacked byte cap; a new run starts only under the cap.
+  uint64_t stream_window_bytes = 4u << 20;
+  /// Re-establishes the channel after a drop (TCP). Null: a channel error
+  /// is fatal to the worker, as on a socketpair.
+  std::function<Result<std::unique_ptr<CommChannel>>()> reconnect;
+};
+
+/// Child-side protocol loop (worker_main.cc): identify with kHello, answer
+/// kTask frames by streaming the attempt's runs then a kResult frame, until
+/// kShutdown, an unrecoverable channel error, or orphaning (the supervisor
+/// process died). Never returns to the caller's stack — exits the process
+/// via _exit so a forked child cannot run parent destructors.
+[[noreturn]] void WorkerMain(std::unique_ptr<CommChannel> channel,
+                             const WorkerTaskFn& fn,
+                             const WorkerMainConfig& config);
 
 }  // namespace mr
 }  // namespace ddp

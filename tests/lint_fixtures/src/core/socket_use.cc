@@ -1,0 +1,13 @@
+// Fixture: raw socket primitives outside src/mapreduce/ trip R7; member
+// calls on unrelated types (server.listen) and member/function
+// declarations (void listen(int)) do not.
+#include <cstdint>
+void SocketUse() {
+  int fd = socket(2, 1, 0);
+  listen(fd, 16);
+  connect(fd, nullptr, 0);
+}
+struct Server {
+  void listen(int) {}
+};
+void MemberOk(Server& server) { server.listen(1); }

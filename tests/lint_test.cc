@@ -172,6 +172,28 @@ TEST(LintTest, ProcessControlConfinedToMapreduce) {
                 "CommChannel/WorkerSupervisor API)\n");
 }
 
+TEST(LintTest, SocketPrimitivesConfinedToMapreduce) {
+  std::string f = Fixture("src/core/socket_use.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  // socket (line 6), listen (line 7), and connect (line 8) are flagged; the
+  // member declaration `void listen(int)` (line 11) and the member call
+  // server.listen (line 13) are not POSIX primitives.
+  EXPECT_EQ(r.out,
+            f +
+                ":6: [process-control] socket() outside src/mapreduce/; "
+                "process lifecycle belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
+                f +
+                ":7: [process-control] listen() outside src/mapreduce/; "
+                "process lifecycle belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
+                f +
+                ":8: [process-control] connect() outside src/mapreduce/; "
+                "process lifecycle belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n");
+}
+
 TEST(LintTest, MissingFileExitsTwo) {
   RunResult r = RunLint(Fixture("src/core/does_not_exist.cc"));
   EXPECT_EQ(r.exit_code, 2);

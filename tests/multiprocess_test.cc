@@ -1,9 +1,12 @@
-// Multi-process execution suite: the framed channel wire format, the shared
-// seeded backoff, the supervisor wire payloads, the orphan spill-file
-// reaper, and — the contract everything else serves — bit-identity of
-// --exec-mode=fork with the in-process executor, including under chaos
-// schedules that SIGKILL workers mid-map and mid-shuffle, hang them past
-// the task deadline, and poison tasks until they are quarantined.
+// Multi-process execution suite: the framed channel wire format (loopback,
+// socketpair, and TCP), the shared seeded backoff, the supervisor wire
+// payloads (task/result and the streamed-shuffle run frames), the run
+// trailer integrity gate, the orphan spill-file reaper, and — the contract
+// everything else serves — bit-identity of --exec-mode=fork with the
+// in-process executor on both transports, including under chaos schedules
+// that SIGKILL workers mid-map and mid-shuffle, drop TCP connections
+// mid-run, hang workers past the task deadline, and poison tasks until
+// they are quarantined.
 //
 // Fork-mode tests skip themselves where forked workers are unsupported
 // (ForkExecutionSupported() == false, e.g. under TSan); the protocol,
@@ -112,6 +115,57 @@ TEST(ChannelTest, PipeChannelRoundTripsBothDirections) {
   EXPECT_TRUE(parent->Recv(&got, 2.0).IsIoError());
 }
 
+TEST(ChannelTest, TcpConnectAcceptRoundTripAndReconnect) {
+  auto listener = TcpListener::Listen("127.0.0.1", 0);
+  if (!listener.ok() && listener.status().IsNotImplemented()) {
+    GTEST_SKIP() << "TCP transport unsupported on this platform";
+  }
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  TcpListener& lst = **listener;
+  ASSERT_NE(lst.port(), 0);  // ephemeral port was resolved
+  const ExponentialBackoff::Params bo{0.001, 2.0, 0.05, 0.0};
+
+  auto client = TcpChannel::Connect("127.0.0.1", lst.port(), bo, 7, 5.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = lst.Accept(5.0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  ASSERT_TRUE((*client)->Send({MessageType::kHello, "hi"}).ok());
+  Frame got;
+  ASSERT_TRUE((*server)->Recv(&got, 5.0).ok());
+  EXPECT_EQ(got.type, MessageType::kHello);
+  EXPECT_EQ(got.payload, "hi");
+  ASSERT_TRUE((*server)->Send({MessageType::kTask, "t"}).ok());
+  ASSERT_TRUE((*client)->Recv(&got, 5.0).ok());
+  EXPECT_EQ(got.payload, "t");
+
+  // Drop: the client goes away, the server end reads IoError, and a fresh
+  // connection to the same listener restores the framed protocol — the
+  // lifecycle a reconnecting worker exercises.
+  (*client)->Close();
+  EXPECT_TRUE((*server)->Recv(&got, 5.0).IsIoError());
+  auto again = TcpChannel::Connect("127.0.0.1", lst.port(), bo, 8, 5.0);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  auto server2 = lst.Accept(5.0);
+  ASSERT_TRUE(server2.ok()) << server2.status().ToString();
+  ASSERT_TRUE((*again)->Send({MessageType::kHello, "back"}).ok());
+  ASSERT_TRUE((*server2)->Recv(&got, 5.0).ok());
+  EXPECT_EQ(got.payload, "back");
+}
+
+TEST(ChannelTest, TcpConnectGivesUpAtTheDeadline) {
+  auto listener = TcpListener::Listen("127.0.0.1", 0);
+  if (!listener.ok() && listener.status().IsNotImplemented()) {
+    GTEST_SKIP() << "TCP transport unsupported on this platform";
+  }
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t dead_port = (*listener)->port();
+  (*listener)->Close();  // nothing listens here any more
+  const ExponentialBackoff::Params bo{0.001, 2.0, 0.01, 0.0};
+  auto c = TcpChannel::Connect("127.0.0.1", dead_port, bo, 3, 0.2);
+  EXPECT_FALSE(c.ok());
+}
+
 // ---------------------------------------------------------------- backoff
 
 TEST(BackoffTest, ScheduleIsDeterministicPerSeed) {
@@ -181,11 +235,94 @@ TEST(SupervisorCodecTest, ResultMsgRoundTrip) {
   EXPECT_EQ(out.payload, in.payload);
 }
 
+TEST(SupervisorCodecTest, StreamedShuffleMsgsRoundTrip) {
+  HelloMsg h;
+  h.worker_id = 5;
+  h.generation = 3;
+  HelloMsg h2;
+  ASSERT_TRUE(HelloMsg::Decode(h.Encode(), &h2).ok());
+  EXPECT_EQ(h2.worker_id, h.worker_id);
+  EXPECT_EQ(h2.generation, h.generation);
+
+  RunBeginMsg b;
+  b.task = 9;
+  b.attempt = 2;
+  b.seq = 4;
+  b.partition = 3;
+  b.spill_index = kTailRunIndex;  // the sentinel must survive the varint
+  b.length = 123456789;
+  RunBeginMsg b2;
+  ASSERT_TRUE(RunBeginMsg::Decode(b.Encode(), &b2).ok());
+  EXPECT_EQ(b2.task, b.task);
+  EXPECT_EQ(b2.attempt, b.attempt);
+  EXPECT_EQ(b2.seq, b.seq);
+  EXPECT_EQ(b2.partition, b.partition);
+  EXPECT_EQ(b2.spill_index, b.spill_index);
+  EXPECT_EQ(b2.length, b.length);
+
+  RunEndMsg e;
+  e.task = 9;
+  e.attempt = 2;
+  e.seq = 4;
+  RunEndMsg e2;
+  ASSERT_TRUE(RunEndMsg::Decode(e.Encode(), &e2).ok());
+  EXPECT_EQ(e2.task, e.task);
+  EXPECT_EQ(e2.attempt, e.attempt);
+  EXPECT_EQ(e2.seq, e.seq);
+
+  RunAckMsg a;
+  a.task = RunAckMsg::kNoTask;  // the no-attempt resume sentinel
+  a.attempt = 1;
+  a.acked_runs = 7;
+  a.acked_bytes = uint64_t{1} << 33;
+  RunAckMsg a2;
+  ASSERT_TRUE(RunAckMsg::Decode(a.Encode(), &a2).ok());
+  EXPECT_EQ(a2.task, RunAckMsg::kNoTask);
+  EXPECT_EQ(a2.attempt, a.attempt);
+  EXPECT_EQ(a2.acked_runs, a.acked_runs);
+  EXPECT_EQ(a2.acked_bytes, a.acked_bytes);
+}
+
 TEST(SupervisorCodecTest, DecodeRejectsGarbage) {
   TaskMsg t;
   EXPECT_FALSE(TaskMsg::Decode("\xff", &t).ok());
   ResultMsg r;
   EXPECT_FALSE(ResultMsg::Decode("", &r).ok());
+  HelloMsg h;
+  EXPECT_FALSE(HelloMsg::Decode("\xff", &h).ok());
+  RunBeginMsg b;
+  EXPECT_FALSE(RunBeginMsg::Decode("", &b).ok());
+  RunEndMsg e;
+  EXPECT_FALSE(RunEndMsg::Decode("\x01", &e).ok());
+  RunAckMsg a;
+  EXPECT_FALSE(RunAckMsg::Decode("\x01", &a).ok());
+}
+
+// ------------------------------------------------------- run trailer gate
+
+TEST(RunTrailerTest, AppendVerifyStripRoundTripAndCorruption) {
+  const std::string original = "frame bytes standing in for sorted records";
+  std::string segment = original;
+  AppendRunTrailer(&segment);
+  ASSERT_EQ(segment.size(), original.size() + 4);
+
+  // The happy path: a shipped run verifies and strips back to its frames.
+  std::string shipped = segment;
+  ASSERT_TRUE(VerifyAndStripRunTrailer(&shipped).ok());
+  EXPECT_EQ(shipped, original);
+
+  // One flipped payload bit is caught by the trailer.
+  std::string flipped = segment;
+  flipped[flipped.size() / 2] ^= 0x01;
+  EXPECT_TRUE(VerifyAndStripRunTrailer(&flipped).IsIoError());
+
+  // A truncated segment no longer matches its (shifted) trailer.
+  std::string truncated = segment.substr(0, segment.size() - 1);
+  EXPECT_TRUE(VerifyAndStripRunTrailer(&truncated).IsIoError());
+
+  // Shorter than the trailer itself: rejected outright.
+  std::string tiny = "abc";
+  EXPECT_TRUE(VerifyAndStripRunTrailer(&tiny).IsIoError());
 }
 
 // ----------------------------------------------------------- spill reaper
@@ -230,13 +367,13 @@ TEST(SupervisorTest, RunsEveryTaskAndCommitsByTaskId) {
   config.job_name = "unit";
   config.num_workers = 3;
   config.num_tasks = 17;
-  WorkerTaskFn fn = [](size_t task, size_t, bool, std::string* payload) {
-    *payload = "task-" + std::to_string(task);
+  WorkerTaskFn fn = [](size_t task, size_t, bool, TaskResult* result) {
+    result->payload = "task-" + std::to_string(task);
     return Status::OK();
   };
   std::vector<std::string> committed(config.num_tasks);
-  CommitFn commit = [&committed](size_t task, bool, double,
-                                 std::string payload) {
+  CommitFn commit = [&committed](size_t task, bool, double, std::string payload,
+                                 std::vector<CommittedRun>) {
     committed[task] = std::move(payload);
     return Status::OK();
   };
@@ -259,14 +396,14 @@ TEST(SupervisorTest, FirstAttemptCrashIsRetriedOnAFreshWorker) {
   config.num_tasks = 6;
   // Task 2's first attempt SIGKILLs its worker; every retry succeeds. This
   // runs in the child, so the "state" is per-attempt by construction.
-  WorkerTaskFn fn = [](size_t task, size_t attempt, bool,
-                       std::string* payload) {
+  WorkerTaskFn fn = [](size_t task, size_t attempt, bool, TaskResult* result) {
     if (task == 2 && attempt == 0) CrashSelf();
-    *payload = std::to_string(task);
+    result->payload = std::to_string(task);
     return Status::OK();
   };
   size_t committed = 0;
-  CommitFn commit = [&committed](size_t, bool, double, std::string) {
+  CommitFn commit = [&committed](size_t, bool, double, std::string,
+                                 std::vector<CommittedRun>) {
     ++committed;
     return Status::OK();
   };
@@ -276,6 +413,84 @@ TEST(SupervisorTest, FirstAttemptCrashIsRetriedOnAFreshWorker) {
   EXPECT_EQ(stats.worker_crashes, 1u);
   EXPECT_GE(stats.worker_restarts, 1u);
   EXPECT_GE(stats.retries, 1u);
+}
+
+// Streams two in-memory tail runs per attempt through the supervisor and
+// checks they come back committed in stream order, trailers verified and
+// stripped, bytes intact — on both transports with the same task body.
+void RunTailStreamingPhase(Transport transport) {
+  SupervisorConfig config;
+  config.job_name = "stream";
+  config.num_workers = 2;
+  config.num_tasks = 9;
+  config.transport = transport;
+  config.stream_window_bytes = 64;  // tiny window: acks must flow to finish
+  WorkerTaskFn fn = [](size_t task, size_t, bool, TaskResult* result) {
+    result->payload = "p" + std::to_string(task);
+    OutboundRun a;
+    a.partition = 0;
+    a.spill_index = 0;
+    a.bytes = "run-a-for-task-" + std::to_string(task);
+    result->runs.push_back(std::move(a));
+    OutboundRun b;
+    b.partition = 1;
+    b.spill_index = kTailRunIndex;
+    b.bytes = std::string(300, 'x') + std::to_string(task);  // > window
+    result->runs.push_back(std::move(b));
+    return Status::OK();
+  };
+  std::vector<std::vector<CommittedRun>> got(config.num_tasks);
+  std::vector<std::string> payloads(config.num_tasks);
+  CommitFn commit = [&](size_t task, bool, double, std::string payload,
+                        std::vector<CommittedRun> runs) {
+    payloads[task] = std::move(payload);
+    got[task] = std::move(runs);
+    return Status::OK();
+  };
+  SupervisorStats stats;
+  ASSERT_TRUE(WorkerSupervisor::RunPhase(config, fn, commit, &stats).ok());
+  for (size_t t = 0; t < got.size(); ++t) {
+    EXPECT_EQ(payloads[t], "p" + std::to_string(t));
+    ASSERT_EQ(got[t].size(), 2u) << "task " << t;
+    // Run a (a real spill index) is disk-backed on arrival: the supervisor
+    // appended it to a spill file it owns and wrote a fresh trailer.
+    EXPECT_EQ(got[t][0].partition, 0u);
+    EXPECT_EQ(got[t][0].spill_index, 0u);
+    EXPECT_TRUE(got[t][0].bytes.empty());
+    ASSERT_NE(got[t][0].file, nullptr);
+    const std::string want_a = "run-a-for-task-" + std::to_string(t);
+    ASSERT_EQ(got[t][0].length, want_a.size() + 4);  // + CRC trailer
+    std::ifstream in(got[t][0].file->path(), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    in.seekg(static_cast<std::streamoff>(got[t][0].offset));
+    std::string stored(got[t][0].length, '\0');
+    in.read(stored.data(), static_cast<std::streamsize>(stored.size()));
+    ASSERT_TRUE(in.good());
+    ASSERT_TRUE(VerifyAndStripRunTrailer(&stored).ok());
+    EXPECT_EQ(stored, want_a);
+    // The tail stays in memory, trailer verified and stripped.
+    EXPECT_EQ(got[t][1].partition, 1u);
+    EXPECT_EQ(got[t][1].spill_index, kTailRunIndex);
+    EXPECT_EQ(got[t][1].file, nullptr);
+    EXPECT_EQ(got[t][1].bytes, std::string(300, 'x') + std::to_string(t));
+  }
+  // Streamed accounting counts wire bytes (trailers included), so it must
+  // exceed the sum of the raw tail bytes.
+  EXPECT_GT(stats.shuffle_streamed_bytes, config.num_tasks * 300u);
+}
+
+TEST(SupervisorTest, StreamsTailRunsOverPipe) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  RunTailStreamingPhase(Transport::kPipe);
+}
+
+TEST(SupervisorTest, StreamsTailRunsOverTcp) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  RunTailStreamingPhase(Transport::kTcp);
 }
 
 // ----------------------------------------------- fork-mode bit identity
@@ -346,6 +561,10 @@ TEST(MultiprocessTest, ForkModeIsBitIdenticalToInProcess) {
   EXPECT_EQ(*inproc, *fork);  // exact vector equality: order and bytes
   EXPECT_EQ(fork_counters.exec_fallbacks, 0u);
   EXPECT_EQ(fork_counters.worker_crashes, 0u);
+  // The map output reached the reducers as streamed runs, not result
+  // payloads: the supervisor-relay data path is gone.
+  EXPECT_GT(fork_counters.shuffle_streamed_bytes, 0u);
+  EXPECT_EQ(fork_counters.channel_reconnects, 0u);  // pipes never reconnect
   // Shuffle accounting is computed from the same serialized intermediates
   // either way; the substrate must not change what gets shuffled.
   EXPECT_EQ(fork_counters.shuffle_bytes, inproc_counters.shuffle_bytes);
@@ -379,6 +598,107 @@ TEST(MultiprocessTest, ForkModeUnderSpillBudgetIsBitIdentical) {
   EXPECT_EQ(counters.exec_fallbacks, 0u);
   EXPECT_GT(counters.spill_files, 0u);
   EXPECT_GT(counters.merge_passes, 0u);
+  EXPECT_GT(counters.shuffle_streamed_bytes, 0u);
+}
+
+TEST(MultiprocessTest, TcpTransportIsBitIdenticalToInProcess) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto inproc = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       MpOptions(), nullptr);
+  ASSERT_TRUE(inproc.ok());
+
+  Options tcp = MpOptions();
+  tcp.exec_mode = ExecMode::kFork;
+  tcp.transport = Transport::kTcp;
+  JobCounters counters;
+  auto fork = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                     tcp, &counters);
+  ASSERT_TRUE(fork.ok()) << fork.status().ToString();
+  EXPECT_EQ(*inproc, *fork);
+  EXPECT_EQ(counters.exec_fallbacks, 0u);
+  EXPECT_EQ(counters.worker_crashes, 0u);
+  EXPECT_GT(counters.shuffle_streamed_bytes, 0u);
+  EXPECT_EQ(counters.channel_reconnects, 0u);  // no chaos, no drops
+}
+
+// Reconnect chaos: TCP connections are dropped mid-run. The worker dials
+// back in, identifies itself (kHello generation > 0), gets a resume ack at
+// the last committed run boundary, and re-ships the interrupted run — the
+// committed byte stream, and therefore the job output, is unchanged.
+TEST(MultiprocessTest, TcpDropChaosReconnectsAndStaysBitIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  Options chaos = MpOptions();
+  chaos.exec_mode = ExecMode::kFork;
+  chaos.transport = Transport::kTcp;
+  chaos.faults.channel_drop_rate = 0.6;
+  chaos.faults.seed = 20260808;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       chaos, &counters);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*clean, *result);
+  EXPECT_GT(counters.channel_reconnects, 0u);
+  EXPECT_GT(counters.shuffle_resent_runs, 0u);
+  EXPECT_EQ(counters.worker_crashes, 0u);  // drops are not deaths
+  EXPECT_EQ(counters.exec_fallbacks, 0u);
+}
+
+// The full gauntlet over TCP: a tiny memory budget (every run matters, and
+// the stream window shrinks to match), workers SIGKILLed mid-map and
+// mid-shuffle, and connections dropped mid-run. Output must still match
+// the clean in-process run and no spill file — worker- or
+// supervisor-owned — may survive the job.
+TEST(MultiprocessTest, TcpCrashAndDropChaosWithSpillsStaysIdentical) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  std::vector<std::string> docs = Corpus();
+  auto clean = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                      MpOptions(), nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ddp_mp_tcp_chaos_spill";
+  fs::remove_all(dir);
+
+  Options chaos = MpOptions();
+  chaos.exec_mode = ExecMode::kFork;
+  chaos.transport = Transport::kTcp;
+  chaos.memory_budget_bytes = 64;
+  chaos.spill_dir = dir.string();
+  chaos.faults.worker_crash_rate = 0.3;
+  chaos.faults.channel_drop_rate = 0.5;
+  chaos.faults.seed = 20260808;
+  chaos.max_task_attempts = 24;
+  chaos.max_worker_restarts = 64;
+  chaos.quarantine_after_crashes = 24;
+  JobCounters counters;
+  auto result = RunJob(WordCountSpec(), std::span<const std::string>(docs),
+                       chaos, &counters);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*clean, *result);
+  EXPECT_GT(counters.worker_crashes, 0u);
+  EXPECT_GT(counters.channel_reconnects, 0u);
+  EXPECT_GT(counters.shuffle_streamed_bytes, 0u);
+  uint64_t leftovers = 0;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      (void)e;
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
+  fs::remove_all(dir);
 }
 
 // Chaos: workers are SIGKILLed mid-map and mid-shuffle (the injection's

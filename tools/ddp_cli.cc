@@ -41,6 +41,9 @@
 //                                thread pool; fork runs them in supervised
 //                                worker processes (crash isolation,
 //                                bit-identical output)
+//   --transport T                fork mode: pipe (default) talks to workers
+//                                over socketpairs; tcp[:host:port] over TCP
+//                                (port 0 or omitted picks an ephemeral port)
 //   --max-worker-restarts N      fork mode: replacement workers each phase
 //                                may spawn after crashes (default 8)
 
@@ -89,6 +92,7 @@ int Usage() {
       "          [--block N] [--halo] [--graph FILE] [--out FILE]\n"
       "          [--trace-out FILE] [--metrics-out FILE] [--stats-out FILE]\n"
       "          [--heartbeat SECONDS] [--exec-mode inproc|fork]\n"
+      "          [--transport pipe|tcp[:host:port]]\n"
       "          [--max-worker-restarts N]\n");
   return 2;
 }
@@ -304,6 +308,27 @@ int CmdCluster(const Args& args) {
     return 2;
   }
   options.mr.max_worker_restarts = args.GetSize("max-worker-restarts", 8);
+  const std::string transport = args.Get("transport");
+  if (transport == "tcp" || transport.rfind("tcp:", 0) == 0) {
+    options.mr.transport = mr::Transport::kTcp;
+    if (transport.size() > 4) {
+      const std::string endpoint = transport.substr(4);  // "host:port"
+      const size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= endpoint.size()) {
+        std::fprintf(stderr, "bad --transport endpoint '%s' (want host:port)\n",
+                     endpoint.c_str());
+        return 2;
+      }
+      options.mr.tcp_host = endpoint.substr(0, colon);
+      options.mr.tcp_port =
+          static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+    }
+  } else if (!transport.empty() && transport != "pipe") {
+    std::fprintf(stderr, "unknown --transport '%s' (pipe|tcp[:host:port])\n",
+                 transport.c_str());
+    return 2;
+  }
   if (args.Has("k")) {
     options.selector = PeakSelector::TopK(args.GetSize("k", 8));
   } else if (args.Has("rho") || args.Has("delta")) {

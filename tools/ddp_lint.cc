@@ -15,8 +15,9 @@
 //                              outside src/common/random.* and src/obs/
 //   name-hygiene           R5  span/metric name literals match [a-z0-9_.]+
 //   header-hygiene         R6  headers use #pragma once, no using namespace
-//   process-control        R7  fork/exec/kill/waitpid calls confined to
-//                              src/mapreduce/ (the worker supervisor)
+//   process-control        R7  fork/exec/kill/waitpid and raw socket calls
+//                              (socket/bind/listen/connect/accept) confined
+//                              to src/mapreduce/ (supervisor + CommChannel)
 //
 // Suppression syntax, trailing the violating line or opening a comment block
 // directly above it:
@@ -755,19 +756,23 @@ void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
-// R7: raw process-control primitives are confined to src/mapreduce/, where
-// the worker supervisor owns the process lifecycle (spawn, heartbeat, kill,
-// reap). A fork/kill/waitpid anywhere else escapes the crash-fault model:
-// it creates children the supervisor will never reap, or signals pids whose
-// ownership it cannot see. Use the CommChannel/WorkerSupervisor API (or
-// mr::CrashSelf in chaos tests) instead.
+// R7: raw process-control and socket primitives are confined to
+// src/mapreduce/, where the worker supervisor owns the process lifecycle
+// (spawn, heartbeat, kill, reap) and CommChannel owns the transport. A
+// fork/kill/waitpid anywhere else escapes the crash-fault model: it creates
+// children the supervisor will never reap, or signals pids whose ownership
+// it cannot see. A raw socket/bind/connect bypasses the framed, CRC-trailed
+// channel protocol and its reconnect semantics. Use the CommChannel/
+// WorkerSupervisor API (or mr::CrashSelf in chaos tests) instead.
 void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
   if (PathContains(f.path, "src/mapreduce/")) return;
   static const std::vector<std::string> kCalls = {
       "fork",   "vfork",  "execl",       "execlp",       "execle",
       "execv",  "execvp", "execve",      "execvpe",      "kill",
       "killpg", "wait",   "waitpid",     "wait3",        "wait4",
-      "waitid", "system", "posix_spawn", "posix_spawnp",
+      "waitid", "system", "posix_spawn", "posix_spawnp", "socket",
+      "socketpair", "bind", "listen",    "connect",      "accept",
+      "accept4",
   };
   for (const std::string& fn : kCalls) {
     for (size_t pos : FindWord(f.code, fn)) {
@@ -779,6 +784,35 @@ void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
                     (pos >= 2 && f.code[pos - 2] == '-' &&
                      f.code[pos - 1] == '>');
       if (member) continue;
+      // Declarations, not calls: `void listen(int)` / `Status bind(...)`.
+      // A call cannot be directly preceded by a type or identifier token —
+      // unless that token is a statement keyword (`return connect(...)`).
+      size_t before = pos;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(f.code[before - 1]))) {
+        --before;
+      }
+      if (before > 0) {
+        const char prev = f.code[before - 1];
+        if (prev == '*' || prev == '&') continue;  // `int* accept(`
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          size_t start = before;
+          while (start > 0 &&
+                 (std::isalnum(static_cast<unsigned char>(f.code[start - 1])) ||
+                  f.code[start - 1] == '_')) {
+            --start;
+          }
+          const std::string_view word(f.code.data() + start, before - start);
+          static constexpr std::string_view kStmtKeywords[] = {
+              "return", "throw", "case", "else", "do",
+              "co_return", "co_await", "co_yield",
+          };
+          const bool keyword =
+              std::find(std::begin(kStmtKeywords), std::end(kStmtKeywords),
+                        word) != std::end(kStmtKeywords);
+          if (!keyword) continue;
+        }
+      }
       AddFinding(out, f, pos, kRuleProcess,
                  fn +
                      "() outside src/mapreduce/; process lifecycle belongs to "
@@ -806,7 +840,7 @@ constexpr RuleDoc kRuleDocs[] = {
     {kRuleNames, "R5: span/metric name literals match [a-z0-9_.]+"},
     {kRuleHeader, "R6: headers use #pragma once, no using namespace"},
     {kRuleProcess,
-     "R7: fork/exec/kill/waitpid calls confined to src/mapreduce/"},
+     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/"},
     {kRuleNoReason, "allow() without '-- <reason>' does not suppress"},
     {kRuleUnused, "allow() that suppresses nothing must be removed"},
 };
