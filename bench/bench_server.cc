@@ -1,0 +1,266 @@
+// Serving-layer benchmark: sustained job throughput of one DdpServer under
+// 1, 4, and 8 concurrent clients, plus what the result cache buys.
+//
+// Each round starts a fresh server on an ephemeral port, then drives it the
+// way a real deployment does — every client is its own DdpClient on its own
+// TCP connection, submitting jobs serially and blocking on WaitForResult.
+// The cold phase uses a distinct seed per job so every submission misses
+// the result cache and runs the full LSH-DDP pipeline; the warm phase
+// resubmits the identical jobs, so every one must be answered from the
+// result cache at submit time. The round's cache-hit ratio is read back
+// from the server's own `server.result_cache_*` counters rather than
+// inferred, and job latency quantiles come from the `server.job_seconds`
+// histogram (cold runs only: cache hits never reach the scheduler, which
+// is exactly the point).
+//
+// Emits BENCH_server.json so serving throughput is machine-trackable per
+// PR, alongside BENCH_mp.json from bench_multiprocess.
+//
+// Run: ./build/bench/bench_server   (DDP_BENCH_SCALE to enlarge)
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dataset/csv.h"
+#include "dataset/generators.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace ddp {
+namespace {
+
+constexpr size_t kJobsPerClient = 4;
+
+struct RoundReport {
+  size_t clients = 0;
+  size_t cold_jobs = 0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double cache_hit_ratio = 0.0;
+  double p50_job_ms = 0.0;
+  double p95_job_ms = 0.0;
+  uint64_t distance_evals = 0;
+  bool all_done = true;
+  bool warm_all_cached = true;
+
+  double ColdJobsPerSec() const {
+    return cold_seconds > 0.0
+               ? static_cast<double>(cold_jobs) / cold_seconds
+               : 0.0;
+  }
+  double WarmJobsPerSec() const {
+    return warm_seconds > 0.0
+               ? static_cast<double>(cold_jobs) / warm_seconds
+               : 0.0;
+  }
+};
+
+server::JobParams ParamsForJob(size_t round, size_t client, size_t job) {
+  server::JobParams params;
+  params.algo = "lsh";
+  params.k = 8;
+  params.seed = 1000 * (round + 1) + 100 * client + job;
+  return params;
+}
+
+/// One client's serial submit/wait loop; `phase_ok` records whether every
+/// job reached kDone, `phase_cached` whether every reply was a cache hit.
+void ClientLoop(uint16_t port, size_t round, size_t client, bool* phase_ok,
+                bool* phase_cached, const std::string& dataset_path) {
+  *phase_ok = true;
+  *phase_cached = true;
+  auto conn = server::DdpClient::Connect("127.0.0.1", port);
+  if (!conn.ok()) {
+    *phase_ok = false;
+    return;
+  }
+  for (size_t job = 0; job < kJobsPerClient; ++job) {
+    server::JobSubmitMsg msg;
+    msg.params = ParamsForJob(round, client, job);
+    msg.dataset_path = dataset_path;
+    auto submitted = (*conn)->Submit(msg);
+    if (!submitted.ok()) {
+      *phase_ok = false;
+      return;
+    }
+    server::JobStatusMsg status = *submitted;
+    if (status.state == static_cast<uint8_t>(server::JobState::kQueued) ||
+        status.state == static_cast<uint8_t>(server::JobState::kRunning)) {
+      auto done = (*conn)->WaitForResult(status.job_id, /*timeout=*/600.0);
+      if (!done.ok()) {
+        *phase_ok = false;
+        return;
+      }
+      status = *done;
+    }
+    if (status.state != static_cast<uint8_t>(server::JobState::kDone)) {
+      *phase_ok = false;
+    }
+    if (status.from_result_cache == 0) *phase_cached = false;
+  }
+}
+
+double RunPhase(uint16_t port, size_t round, size_t clients,
+                const std::string& dataset_path, bool* ok, bool* cached) {
+  std::vector<std::thread> threads;
+  std::vector<unsigned char> thread_ok(clients, 1);
+  std::vector<unsigned char> thread_cached(clients, 1);
+  Stopwatch timer;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      bool one_ok = false;
+      bool one_cached = false;
+      ClientLoop(port, round, c, &one_ok, &one_cached, dataset_path);
+      thread_ok[c] = one_ok ? 1 : 0;
+      thread_cached[c] = one_cached ? 1 : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = timer.ElapsedSeconds();
+  *ok = true;
+  *cached = true;
+  for (size_t c = 0; c < clients; ++c) {
+    if (thread_ok[c] == 0) *ok = false;
+    if (thread_cached[c] == 0) *cached = false;
+  }
+  return seconds;
+}
+
+RoundReport RunRound(size_t round, size_t clients,
+                     const std::string& dataset_path,
+                     const std::string& work_root) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+
+  server::ServerConfig config;
+  config.scheduler_threads = clients;
+  config.work_dir = work_root + "/round-" + std::to_string(clients);
+  auto srv = server::DdpServer::Start(config);
+  srv.status().Abort("starting ddp server");
+
+  RoundReport report;
+  report.clients = clients;
+  report.cold_jobs = clients * kJobsPerClient;
+
+  bool cold_ok = false;
+  bool cold_cached = false;
+  report.cold_seconds = RunPhase((*srv)->port(), round, clients,
+                                 dataset_path, &cold_ok, &cold_cached);
+
+  bool warm_ok = false;
+  bool warm_cached = false;
+  report.warm_seconds = RunPhase((*srv)->port(), round, clients,
+                                 dataset_path, &warm_ok, &warm_cached);
+  report.all_done = cold_ok && warm_ok;
+  report.warm_all_cached = warm_cached;
+
+  const uint64_t hits =
+      registry.GetCounter("server.result_cache_hits")->value();
+  const uint64_t misses =
+      registry.GetCounter("server.result_cache_misses")->value();
+  report.cache_hit_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  report.distance_evals =
+      registry.GetCounter("local_dp.distance_evals")->value();
+  const auto lat = registry.GetHistogram("server.job_seconds")->Snap();
+  report.p50_job_ms = lat.p50 / 1000.0;  // histogram records microseconds
+  report.p95_job_ms = lat.p95 / 1000.0;
+
+  (*srv)->RequestShutdown();
+  (*srv)->WaitShutdown();
+  return report;
+}
+
+int Run() {
+  bench::QuietLogs quiet;
+  bench::ObsFromEnv obs_session;
+  bench::Banner("Serving-layer throughput: DdpServer under concurrent load",
+                "ours; jobs/sec, cache-hit ratio, job-latency quantiles");
+
+  namespace fs = std::filesystem;
+  const std::string work_root =
+      (fs::temp_directory_path() / "ddp-bench-server").string();
+  fs::remove_all(work_root);
+  fs::create_directories(work_root);
+
+  auto data = gen::S2Like(/*seed=*/7, bench::Scaled(2000));
+  data.status().Abort("generating data set");
+  const std::string dataset_path = work_root + "/points.csv";
+  WriteCsvFile(dataset_path, *data).Abort("writing data set");
+  std::printf("data set: %zu points, %zu dims; %zu jobs per client, "
+              "cold (all-miss) then warm (all-hit) phase\n\n",
+              data->size(), data->dim(), kJobsPerClient);
+
+  const size_t kClientCounts[] = {1, 4, 8};
+  std::vector<RoundReport> rounds;
+  std::printf("%8s %10s %14s %14s %12s %12s %12s\n", "clients", "jobs",
+              "cold jobs/s", "warm jobs/s", "hit ratio", "p50 job",
+              "p95 job");
+  for (size_t i = 0; i < 3; ++i) {
+    RoundReport r = RunRound(i, kClientCounts[i], dataset_path, work_root);
+    std::printf("%8zu %10zu %14.2f %14.2f %11.0f%% %9.1f ms %9.1f ms%s%s\n",
+                r.clients, 2 * r.cold_jobs, r.ColdJobsPerSec(),
+                r.WarmJobsPerSec(), 100.0 * r.cache_hit_ratio, r.p50_job_ms,
+                r.p95_job_ms, r.all_done ? "" : "  [JOBS FAILED]",
+                r.warm_all_cached ? "" : "  [WARM MISSED CACHE]");
+    rounds.push_back(r);
+  }
+
+  std::FILE* json = std::fopen("BENCH_server.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"ddp_server_throughput\",\n"
+                 "  \"points\": %zu,\n"
+                 "  \"dims\": %zu,\n"
+                 "  \"jobs_per_client\": %zu,\n"
+                 "  \"rounds\": [\n",
+                 data->size(), data->dim(), kJobsPerClient);
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      const RoundReport& r = rounds[i];
+      std::fprintf(
+          json,
+          "    {\"clients\": %zu, \"jobs\": %zu,\n"
+          "     \"cold_seconds\": %.6f, \"cold_jobs_per_sec\": %.4f,\n"
+          "     \"warm_seconds\": %.6f, \"warm_jobs_per_sec\": %.4f,\n"
+          "     \"cache_hit_ratio\": %.4f, \"p50_job_ms\": %.3f,\n"
+          "     \"p95_job_ms\": %.3f, \"distance_evals\": %llu,\n"
+          "     \"all_done\": %s, \"warm_all_cached\": %s}%s\n",
+          r.clients, 2 * r.cold_jobs, r.cold_seconds, r.ColdJobsPerSec(),
+          r.warm_seconds, r.WarmJobsPerSec(), r.cache_hit_ratio,
+          r.p50_job_ms, r.p95_job_ms,
+          static_cast<unsigned long long>(r.distance_evals),
+          r.all_done ? "true" : "false",
+          r.warm_all_cached ? "true" : "false",
+          i + 1 < rounds.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_server.json\n");
+  }
+
+  fs::remove_all(work_root);
+  bool ok = true;
+  for (const RoundReport& r : rounds) {
+    ok = ok && r.all_done && r.warm_all_cached;
+  }
+  if (!ok) {
+    std::printf("SERVING CONTRACT VIOLATION: a job failed or a warm "
+                "resubmission missed the result cache\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main() { return ddp::Run(); }

@@ -1,0 +1,48 @@
+#include "common/host_port.h"
+
+#include <cstddef>
+
+namespace ddp {
+
+namespace {
+
+// Parses a decimal run of `s` starting at `*pos` into `*value`, rejecting
+// empty runs and values above `max`. Advances `*pos` past the digits.
+bool ParseDecimal(const std::string& s, size_t* pos, uint64_t max,
+                  uint64_t* value) {
+  size_t start = *pos;
+  uint64_t v = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(s[*pos] - '0');
+    if (v > max) return false;
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+Result<HostPort> ParseHostPort(const std::string& spec) {
+  const Status bad = Status::InvalidArgument(
+      "bad endpoint '" + spec + "' (want numeric IPv4 host:port)");
+  size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    uint64_t v = 0;
+    if (!ParseDecimal(spec, &pos, 255, &v)) return bad;
+    const char sep = octet < 3 ? '.' : ':';
+    if (pos >= spec.size() || spec[pos] != sep) return bad;
+    ++pos;
+  }
+  const size_t host_len = pos - 1;  // up to, not including, the ':'
+  uint64_t port = 0;
+  if (!ParseDecimal(spec, &pos, 65535, &port)) return bad;
+  if (pos != spec.size()) return bad;
+  HostPort hp;
+  hp.host = spec.substr(0, host_len);
+  hp.port = static_cast<uint16_t>(port);
+  return hp;
+}
+
+}  // namespace ddp

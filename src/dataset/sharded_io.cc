@@ -5,9 +5,41 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/serde.h"
+
 namespace ddp {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Chains `*crc` over the raw bytes of `path`, counting them into `*bytes`.
+Status ChainFileCrc32(const std::string& path, uint32_t* crc,
+                      uint64_t* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for digest");
+  }
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    *crc = Crc32(buf, n, *crc);
+    *bytes += n;
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read failed digesting " + path);
+  return Status::OK();
+}
+
+std::string FormatDigest(uint32_t crc, uint64_t bytes) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "crc32:%08x.%llu", crc,
+                static_cast<unsigned long long>(bytes));
+  return out;
+}
+
+}  // namespace
 
 Result<ShardedDatasetReader> ShardedDatasetReader::Open(
     const std::vector<std::string>& paths) {
@@ -137,6 +169,27 @@ Result<std::vector<std::string>> ShardedDatasetWriter::Finish() {
     DDP_RETURN_NOT_OK(FlushShard());
   }
   return std::move(paths_);
+}
+
+Result<std::string> ShardedDatasetReader::ContentDigest() const {
+  uint32_t crc = 0;
+  uint64_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    DDP_RETURN_NOT_OK(ChainFileCrc32(shard.path, &crc, &bytes));
+  }
+  return FormatDigest(crc, bytes);
+}
+
+Result<std::string> DatasetContentDigest(const std::string& path) {
+  if (fs::is_directory(path)) {
+    DDP_ASSIGN_OR_RETURN(ShardedDatasetReader reader,
+                         ShardedDatasetReader::OpenDirectory(path));
+    return reader.ContentDigest();
+  }
+  uint32_t crc = 0;
+  uint64_t bytes = 0;
+  DDP_RETURN_NOT_OK(ChainFileCrc32(path, &crc, &bytes));
+  return FormatDigest(crc, bytes);
 }
 
 Result<std::vector<std::string>> WriteShardedDataset(

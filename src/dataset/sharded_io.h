@@ -59,6 +59,16 @@ class ShardedDatasetReader {
   /// one.
   Result<Dataset> ReadAll() const;
 
+  /// Content digest of the dataset: one CRC32 chained over the raw file
+  /// bytes of every shard in shard order, rendered as
+  /// "crc32:<8 hex digits>.<total bytes>". Because DDPB files already end
+  /// in a CRC32 trailer, the digest covers both header and point payload;
+  /// two datasets share a digest iff their shard byte streams are
+  /// identical. This is the cache key material of the serving layer
+  /// (src/server/cache.h). Streams each shard in fixed-size chunks, so the
+  /// cost is one read pass and O(1) memory.
+  Result<std::string> ContentDigest() const;
+
  private:
   ShardedDatasetReader() = default;
 
@@ -100,6 +110,11 @@ class ShardedDatasetWriter {
 Result<std::vector<std::string>> WriteShardedDataset(
     const std::string& prefix, const Dataset& dataset,
     uint64_t points_per_shard);
+
+/// ContentDigest for any dataset path the tools accept: a directory is
+/// digested as its sharded reader would order it; a single file (DDPB or
+/// CSV) is digested as a one-shard stream.
+Result<std::string> DatasetContentDigest(const std::string& path);
 
 }  // namespace ddp
 

@@ -61,6 +61,16 @@ enum class MessageType : uint8_t {
   kRunData = 7,   // worker -> supervisor: raw segment bytes of the open run
   kRunEnd = 8,    // worker -> supervisor: run complete, commit it
   kRunAck = 9,    // supervisor -> worker: runs/bytes committed so far
+  // Serving layer (see src/server/protocol.h): clustering jobs submitted to
+  // a long-lived ddp_server daemon over the same framed transport. Client
+  // requests carry the job id; the server replies on the same type, and
+  // pushes kJobProgress unsolicited for jobs that asked for streamed
+  // progress.
+  kJobSubmit = 10,    // client -> server: JobSubmitMsg; reply kJobStatus
+  kJobStatus = 11,    // client -> server: JobPollMsg; server -> client: JobStatusMsg
+  kJobProgress = 12,  // server -> client: JobStatusMsg, pushed while running
+  kJobResult = 13,    // client -> server: JobPollMsg; server -> client: JobResultMsg
+  kJobCancel = 14,    // client -> server: JobCancelMsg; reply kJobStatus
 };
 
 struct Frame {

@@ -260,6 +260,21 @@ struct Options {
   std::string tcp_host = "127.0.0.1";
   uint16_t tcp_port = 0;
 
+  /// Cooperative cancellation shared across a pipeline: when set, RunJob
+  /// checks the flag before doing any work and again at the map->reduce
+  /// boundary, returning Cancelled instead of launching further tasks.
+  /// The serving layer (src/server/) points every job of one submission at
+  /// the same flag, so a kJobCancel takes effect at the next phase
+  /// boundary. Checkpoints saved before the cancel stay valid: a
+  /// cancelled-and-resubmitted pipeline resumes from the last completed
+  /// job.
+  std::shared_ptr<std::atomic<bool>> cancel_flag;
+  /// When non-empty, RunJob bumps the registry counter
+  /// "<metrics_prefix>.mr_jobs" as each MapReduce job finishes — the
+  /// per-submission progress feed of the serving layer, which namespaces it
+  /// "server.job.<n>". Must match the [a-z0-9_.]+ metric-name hygiene rule.
+  std::string metrics_prefix;
+
   size_t ResolvedWorkers() const {
     return num_workers == 0 ? DefaultParallelism() : num_workers;
   }
@@ -914,6 +929,16 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   if (!spec.map) return Status::InvalidArgument("JobSpec.map is not set");
   if (!spec.reduce) return Status::InvalidArgument("JobSpec.reduce is not set");
 
+  // Cooperative cancellation checks run at job boundaries: here (before any
+  // work, including checkpoint replay) and again between map and reduce.
+  auto cancelled = [&options]() {
+    return options.cancel_flag != nullptr &&
+           options.cancel_flag->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    return Status::Cancelled("job " + spec.name + " cancelled before start");
+  }
+
   const size_t workers = options.ResolvedWorkers();
   const size_t num_partitions = options.ResolvedPartitions();
 
@@ -1264,6 +1289,12 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   }
   shuffle_span.End();
 
+  if (cancelled()) {
+    job_span.MarkCancelled();
+    return Status::Cancelled("job " + spec.name +
+                             " cancelled at the map/reduce boundary");
+  }
+
   // ---- Reduce phase: per partition, deserialize, sort-group, reduce.
   // Deserialization lives inside the attempt (a lost Hadoop reduce task
   // re-fetches its shuffle input too), so retries and speculative attempts
@@ -1555,6 +1586,14 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
                          << ": " << saved.ToString();
       }
     }
+  }
+
+  // Per-submission progress feed: dynamic names cannot use the
+  // static-caching DDP_METRIC_COUNTER_ADD macro, so look the counter up.
+  if (!options.metrics_prefix.empty()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(options.metrics_prefix + ".mr_jobs")
+        ->Add(1);
   }
 
   if (counters_out != nullptr) *counters_out = counters;

@@ -1,0 +1,117 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "common/backoff.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace ddp {
+namespace server {
+
+Result<std::unique_ptr<DdpClient>> DdpClient::Connect(
+    const std::string& host, uint16_t port, double deadline_seconds,
+    uint64_t seed) {
+  DDP_ASSIGN_OR_RETURN(
+      std::unique_ptr<mr::TcpChannel> channel,
+      mr::TcpChannel::Connect(host, port, ExponentialBackoff::Params{}, seed,
+                              deadline_seconds));
+  return std::unique_ptr<DdpClient>(new DdpClient(std::move(channel)));
+}
+
+Result<std::string> DdpClient::Call(const mr::Frame& request,
+                                    mr::MessageType reply_type) {
+  DDP_RETURN_NOT_OK(channel_->Send(request));
+  for (;;) {
+    mr::Frame reply;
+    DDP_RETURN_NOT_OK(channel_->Recv(&reply, /*timeout_seconds=*/0.0));
+    if (reply.type == mr::MessageType::kJobProgress) {
+      if (progress_) {
+        JobStatusMsg push;
+        DDP_RETURN_NOT_OK(JobStatusMsg::Decode(reply.payload, &push));
+        progress_(push);
+      }
+      continue;
+    }
+    if (reply.type != reply_type) {
+      return Status::IoError("unexpected reply frame type from server");
+    }
+    return std::move(reply.payload);
+  }
+}
+
+Result<JobStatusMsg> DdpClient::Submit(const JobSubmitMsg& msg) {
+  DDP_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call({mr::MessageType::kJobSubmit, msg.Encode()},
+           mr::MessageType::kJobStatus));
+  JobStatusMsg reply;
+  DDP_RETURN_NOT_OK(JobStatusMsg::Decode(payload, &reply));
+  return reply;
+}
+
+Result<JobStatusMsg> DdpClient::Poll(uint64_t job_id) {
+  JobPollMsg msg;
+  msg.job_id = job_id;
+  DDP_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call({mr::MessageType::kJobStatus, msg.Encode()},
+           mr::MessageType::kJobStatus));
+  JobStatusMsg reply;
+  DDP_RETURN_NOT_OK(JobStatusMsg::Decode(payload, &reply));
+  return reply;
+}
+
+Result<JobResultMsg> DdpClient::FetchResult(uint64_t job_id) {
+  JobPollMsg msg;
+  msg.job_id = job_id;
+  DDP_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call({mr::MessageType::kJobResult, msg.Encode()},
+           mr::MessageType::kJobResult));
+  JobResultMsg reply;
+  DDP_RETURN_NOT_OK(JobResultMsg::Decode(payload, &reply));
+  return reply;
+}
+
+Result<JobStatusMsg> DdpClient::Cancel(uint64_t job_id) {
+  JobCancelMsg msg;
+  msg.job_id = job_id;
+  DDP_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call({mr::MessageType::kJobCancel, msg.Encode()},
+           mr::MessageType::kJobStatus));
+  JobStatusMsg reply;
+  DDP_RETURN_NOT_OK(JobStatusMsg::Decode(payload, &reply));
+  return reply;
+}
+
+Result<JobStatusMsg> DdpClient::RequestServerShutdown() {
+  return Cancel(kShutdownJobId);
+}
+
+Result<JobStatusMsg> DdpClient::WaitForResult(uint64_t job_id,
+                                              double timeout_seconds,
+                                              double poll_seconds) {
+  Stopwatch timer;
+  for (;;) {
+    DDP_ASSIGN_OR_RETURN(JobStatusMsg status, Poll(job_id));
+    if (status.state != static_cast<uint8_t>(JobState::kQueued) &&
+        status.state != static_cast<uint8_t>(JobState::kRunning)) {
+      return status;
+    }
+    if (timer.ElapsedSeconds() > timeout_seconds) {
+      return Status::DeadlineExceeded("job " + std::to_string(job_id) +
+                                      " still " +
+                                      std::string(JobStateName(static_cast<JobState>(
+                                          status.state))) +
+                                      " after " +
+                                      std::to_string(timeout_seconds) + "s");
+    }
+    CancelToken sleeper;  // plain interruptible sleep, never cancelled here
+    sleeper.WaitFor(poll_seconds);
+  }
+}
+
+}  // namespace server
+}  // namespace ddp

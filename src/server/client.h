@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "mapreduce/channel.h"
+#include "server/protocol.h"
+
+/// \file client.h
+/// DdpClient — the synchronous request/reply half of the serving protocol.
+/// One client owns one TCP connection; every call sends a request frame and
+/// blocks for the matching reply type. kJobProgress frames the server
+/// interleaves are forwarded to the progress callback (when set) and never
+/// consumed as replies, per the protocol.h framing rules.
+///
+/// The client is deliberately single-threaded: callers that want concurrent
+/// jobs open one DdpClient per thread (connections are cheap; the server
+/// multiplexes).
+
+namespace ddp {
+namespace server {
+
+class DdpClient {
+ public:
+  using ProgressFn = std::function<void(const JobStatusMsg&)>;
+
+  /// Connects to a running ddp_server at numeric-IPv4 `host`:`port`,
+  /// retrying with seeded backoff until `deadline_seconds` elapses.
+  static Result<std::unique_ptr<DdpClient>> Connect(
+      const std::string& host, uint16_t port, double deadline_seconds = 10.0,
+      uint64_t seed = 1);
+
+  /// Invoked for every kJobProgress push received while a call waits for
+  /// its reply.
+  void set_progress_handler(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Submits a job; the returned status is the admission verdict (kQueued,
+  /// kDone on a result-cache hit, or kRejected with the reason in detail).
+  Result<JobStatusMsg> Submit(const JobSubmitMsg& msg);
+
+  Result<JobStatusMsg> Poll(uint64_t job_id);
+
+  /// Fetches the result record; `payload` is decodable iff state == kDone.
+  Result<JobResultMsg> FetchResult(uint64_t job_id);
+
+  Result<JobStatusMsg> Cancel(uint64_t job_id);
+
+  /// Asks the server to drain and exit (kJobCancel with kShutdownJobId).
+  Result<JobStatusMsg> RequestServerShutdown();
+
+  /// Polls every `poll_seconds` until the job leaves kQueued/kRunning or
+  /// `timeout_seconds` elapses; returns the terminal status.
+  Result<JobStatusMsg> WaitForResult(uint64_t job_id, double timeout_seconds,
+                                     double poll_seconds = 0.1);
+
+ private:
+  explicit DdpClient(std::unique_ptr<mr::CommChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  /// Sends `request` and blocks for a frame of `reply_type`, dispatching
+  /// interleaved kJobProgress frames to the handler.
+  Result<std::string> Call(const mr::Frame& request,
+                           mr::MessageType reply_type);
+
+  std::unique_ptr<mr::CommChannel> channel_;
+  ProgressFn progress_;
+};
+
+}  // namespace server
+}  // namespace ddp

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/host_port.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -425,6 +426,51 @@ TEST(LoggingTest, CheckPassesOnTrueCondition) {
 
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH({ DDP_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(HostPortTest, ParsesNumericEndpoints) {
+  auto hp = ParseHostPort("127.0.0.1:8080");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->host, "127.0.0.1");
+  EXPECT_EQ(hp->port, 8080);
+  EXPECT_EQ(hp->ToString(), "127.0.0.1:8080");
+
+  // Port 0 is valid: listeners use it to request an ephemeral port.
+  hp = ParseHostPort("0.0.0.0:0");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->host, "0.0.0.0");
+  EXPECT_EQ(hp->port, 0);
+
+  hp = ParseHostPort("255.255.255.255:65535");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->port, 65535);
+}
+
+TEST(HostPortTest, RejectsMalformedEndpoints) {
+  const char* bad[] = {
+      "",                       // empty
+      "127.0.0.1",              // no port
+      "127.0.0.1:",             // empty port
+      ":8080",                  // empty host
+      "localhost:8080",         // names are not numeric IPv4
+      "127.0.0:8080",           // three octets
+      "127.0.0.1.5:8080",       // five octets
+      "127.0.0.256:8080",       // octet > 255
+      "127.0.0.1:65536",        // port > 65535
+      "127.0.0.1:99999999999",  // port overflow
+      "127.0.0.1:8080x",        // trailing garbage
+      "127.0..1:8080",          // empty octet
+      "127.0.0.1:80:80",        // two colons
+      " 127.0.0.1:8080",        // leading space
+      "127.0.0.1:-1",           // negative port
+  };
+  for (const char* spec : bad) {
+    auto hp = ParseHostPort(spec);
+    EXPECT_FALSE(hp.ok()) << "accepted '" << spec << "'";
+    if (!hp.ok()) {
+      EXPECT_EQ(hp.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+  }
 }
 
 }  // namespace

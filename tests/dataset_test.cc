@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -335,6 +336,46 @@ TEST_F(ShardedIoTest, WriteReadRoundTripPreservesGlobalOrder) {
       });
   EXPECT_TRUE(st.ok());
   EXPECT_EQ(expect_base, ds->size());
+}
+
+TEST_F(ShardedIoTest, ContentDigestIsStableAndByteSensitive) {
+  auto ds = gen::KddLike(11, 120);
+  ASSERT_TRUE(ds.ok());
+  auto paths = WriteShardedDataset(dir_ + "/kdd", *ds, 50);
+  ASSERT_TRUE(paths.ok());
+
+  auto reader = ShardedDatasetReader::OpenDirectory(dir_);
+  ASSERT_TRUE(reader.ok());
+  auto digest = reader->ContentDigest();
+  ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+  // "crc32:<8 hex>.<total bytes>" — rendered, greppable, fixed-width crc.
+  EXPECT_EQ(digest->rfind("crc32:", 0), 0u);
+  EXPECT_EQ(digest->find('.'), 14u);
+
+  // The free function over the directory agrees with the open reader, and
+  // a second pass is stable.
+  auto again = DatasetContentDigest(dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *digest);
+
+  // A single-byte flip in any shard changes the digest.
+  {
+    std::fstream f((*paths)[1],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(32);
+    char b = 0;
+    f.seekg(32);
+    f.get(b);
+    f.seekp(32);
+    f.put(static_cast<char>(b ^ 1));
+  }
+  auto flipped = DatasetContentDigest(dir_);
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_NE(*flipped, *digest);
+
+  // Unreadable path errors instead of digesting nothing.
+  EXPECT_FALSE(DatasetContentDigest(dir_ + "/missing.ddpb").ok());
 }
 
 TEST_F(ShardedIoTest, RefusesDimensionMismatch) {

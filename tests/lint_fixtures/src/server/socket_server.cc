@@ -1,0 +1,9 @@
+// R7 fixture: raw socket primitives are allowed under src/server/, where
+// the serving daemon owns its listener and connection lifecycle.
+#include <sys/socket.h>
+
+int OpenListener() {
+  int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  if (fd >= 0 && listen(fd, 16) != 0) return -1;
+  return fd;
+}

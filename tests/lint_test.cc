@@ -163,13 +163,13 @@ TEST(LintTest, ProcessControlConfinedToMapreduce) {
   // line 8 is not a POSIX primitive.
   EXPECT_EQ(r.out,
             f +
-                ":5: [process-control] fork() outside src/mapreduce/; process "
-                "lifecycle belongs to the worker supervisor (use the "
-                "CommChannel/WorkerSupervisor API)\n" +
+                ":5: [process-control] fork() outside src/mapreduce/ or "
+                "src/server/; process lifecycle belongs to the worker "
+                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":7: [process-control] kill() outside src/mapreduce/; process "
-                "lifecycle belongs to the worker supervisor (use the "
-                "CommChannel/WorkerSupervisor API)\n");
+                ":7: [process-control] kill() outside src/mapreduce/ or "
+                "src/server/; process lifecycle belongs to the worker "
+                "supervisor (use the CommChannel/WorkerSupervisor API)\n");
 }
 
 TEST(LintTest, SocketPrimitivesConfinedToMapreduce) {
@@ -181,17 +181,25 @@ TEST(LintTest, SocketPrimitivesConfinedToMapreduce) {
   // server.listen (line 13) are not POSIX primitives.
   EXPECT_EQ(r.out,
             f +
-                ":6: [process-control] socket() outside src/mapreduce/; "
-                "process lifecycle belongs to the worker supervisor (use the "
-                "CommChannel/WorkerSupervisor API)\n" +
+                ":6: [process-control] socket() outside src/mapreduce/ or "
+                "src/server/; process lifecycle belongs to the worker "
+                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":7: [process-control] listen() outside src/mapreduce/; "
-                "process lifecycle belongs to the worker supervisor (use the "
-                "CommChannel/WorkerSupervisor API)\n" +
+                ":7: [process-control] listen() outside src/mapreduce/ or "
+                "src/server/; process lifecycle belongs to the worker "
+                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":8: [process-control] connect() outside src/mapreduce/; "
-                "process lifecycle belongs to the worker supervisor (use the "
-                "CommChannel/WorkerSupervisor API)\n");
+                ":8: [process-control] connect() outside src/mapreduce/ or "
+                "src/server/; process lifecycle belongs to the worker "
+                "supervisor (use the CommChannel/WorkerSupervisor API)\n");
+}
+
+TEST(LintTest, ServerDirMayUseSockets) {
+  // src/server/ shares the R7 exemption with src/mapreduce/: the serving
+  // daemon is built on the same raw socket primitives.
+  RunResult r = RunLint(Fixture("src/server/socket_server.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "");
 }
 
 TEST(LintTest, MissingFileExitsTwo) {

@@ -493,6 +493,59 @@ TEST(SupervisorTest, StreamsTailRunsOverTcp) {
   RunTailStreamingPhase(Transport::kTcp);
 }
 
+// Credit-window edge: one run whose bytes alone exceed stream_window_bytes
+// many times over. The worker cannot hold a full window of credit for it up
+// front, so progress depends on the ack flow refilling the window
+// mid-run — a deadlock here would hang the phase, not fail it. The run must
+// land complete and intact on both transports.
+void RunOversizedSingleRunPhase(Transport transport) {
+  SupervisorConfig config;
+  config.job_name = "stream_oversized";
+  config.num_workers = 2;
+  config.num_tasks = 4;
+  config.transport = transport;
+  config.stream_window_bytes = 256;  // run below is 32x the window
+  const size_t run_bytes = 8192;
+  WorkerTaskFn fn = [run_bytes](size_t task, size_t, bool,
+                                TaskResult* result) {
+    OutboundRun run;
+    run.partition = 0;
+    run.spill_index = kTailRunIndex;
+    run.bytes = std::string(run_bytes, static_cast<char>('a' + task));
+    result->runs.push_back(std::move(run));
+    result->payload = std::to_string(task);
+    return Status::OK();
+  };
+  std::vector<std::vector<CommittedRun>> got(config.num_tasks);
+  CommitFn commit = [&](size_t task, bool, double, std::string,
+                        std::vector<CommittedRun> runs) {
+    got[task] = std::move(runs);
+    return Status::OK();
+  };
+  SupervisorStats stats;
+  ASSERT_TRUE(WorkerSupervisor::RunPhase(config, fn, commit, &stats).ok());
+  for (size_t t = 0; t < got.size(); ++t) {
+    ASSERT_EQ(got[t].size(), 1u) << "task " << t;
+    EXPECT_EQ(got[t][0].bytes,
+              std::string(run_bytes, static_cast<char>('a' + t)));
+  }
+  EXPECT_GT(stats.shuffle_streamed_bytes, config.num_tasks * run_bytes);
+}
+
+TEST(SupervisorTest, SingleRunExceedingWindowStreamsOverPipe) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  RunOversizedSingleRunPhase(Transport::kPipe);
+}
+
+TEST(SupervisorTest, SingleRunExceedingWindowStreamsOverTcp) {
+  if (!ForkExecutionSupported()) {
+    GTEST_SKIP() << "forked workers unsupported in this build";
+  }
+  RunOversizedSingleRunPhase(Transport::kTcp);
+}
+
 // ----------------------------------------------- fork-mode bit identity
 
 JobSpec<std::string, std::string, uint32_t, std::pair<std::string, uint32_t>>

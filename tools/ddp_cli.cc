@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "common/host_port.h"
 #include "core/halo.h"
 #include "core/sequential_dp.h"
 #include "dataset/binary_io.h"
@@ -312,17 +313,14 @@ int CmdCluster(const Args& args) {
   if (transport == "tcp" || transport.rfind("tcp:", 0) == 0) {
     options.mr.transport = mr::Transport::kTcp;
     if (transport.size() > 4) {
-      const std::string endpoint = transport.substr(4);  // "host:port"
-      const size_t colon = endpoint.rfind(':');
-      if (colon == std::string::npos || colon == 0 ||
-          colon + 1 >= endpoint.size()) {
-        std::fprintf(stderr, "bad --transport endpoint '%s' (want host:port)\n",
-                     endpoint.c_str());
+      Result<HostPort> endpoint = ParseHostPort(transport.substr(4));
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "bad --transport endpoint: %s\n",
+                     endpoint.status().ToString().c_str());
         return 2;
       }
-      options.mr.tcp_host = endpoint.substr(0, colon);
-      options.mr.tcp_port =
-          static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1));
+      options.mr.tcp_host = endpoint->host;
+      options.mr.tcp_port = endpoint->port;
     }
   } else if (!transport.empty() && transport != "pipe") {
     std::fprintf(stderr, "unknown --transport '%s' (pipe|tcp[:host:port])\n",

@@ -1,0 +1,288 @@
+// ddp_client — command-line client for a running ddp_server.
+//
+//   ddp_client submit <dataset> --connect HOST:PORT [options]
+//   ddp_client status <job-id>  --connect HOST:PORT
+//   ddp_client result <job-id>  --connect HOST:PORT [--out FILE]
+//   ddp_client cancel <job-id>  --connect HOST:PORT
+//   ddp_client shutdown         --connect HOST:PORT
+//
+// `submit` options mirror the ddp_cli cluster flags the serving layer
+// supports:
+//   --algo lsh|basic|eddpc   algorithm (default lsh)
+//   --k N | --rho X --delta Y   peak selection (default gamma-gap)
+//   --dc D --percentile P    cutoff
+//   --accuracy A --m M --pi P   LSH-DDP parameters
+//   --block N                Basic-DDP block size
+//   --workers N              MapReduce workers (0 = server default)
+//   --memory-budget B        per-job spill budget; admission weight
+//   --exec-mode inproc|fork  worker execution mode
+//   --seed S                 chaos/backoff seed (default 1)
+//   --map-failure-rate R --reduce-failure-rate R --worker-crash-rate R
+//                            seeded chaos (tests and drills)
+//   --wait [--timeout S]     block until the job finishes, then fetch the
+//                            result (exit 0 only if the job is done)
+//   --progress S             subscribe to kJobProgress pushes every S sec
+//   --out FILE               write the assignment as CSV (one id per line)
+//
+// Machine-readable output: `submit` prints `job_id: N`, terminal states
+// print `state: <name>` and `from_result_cache: yes|no`, so shell tests can
+// grep the cache behaviour.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/host_port.h"
+#include "server/client.h"
+
+namespace ddp {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ddp_client submit <dataset> --connect HOST:PORT "
+               "[options]\n"
+               "       ddp_client status|result|cancel <job-id> --connect "
+               "HOST:PORT\n"
+               "       ddp_client shutdown --connect HOST:PORT\n");
+  return 2;
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        std::string key = a.substr(2);
+        if (key == "wait") {  // boolean flag
+          flags_[key] = "1";
+        } else if (i + 1 < argc) {
+          flags_[key] = argv[++i];
+        } else {
+          bad_ = true;
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  bool bad() const { return bad_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : it->second;
+  }
+  uint64_t GetUint(const std::string& key, uint64_t def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end()
+               ? def
+               : static_cast<uint64_t>(std::atoll(it->second.c_str()));
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  bool bad_ = false;
+};
+
+void PrintStatus(const server::JobStatusMsg& status) {
+  std::printf("job_id: %llu\n",
+              static_cast<unsigned long long>(status.job_id));
+  std::printf("state: %s\n",
+              std::string(server::JobStateName(
+                              static_cast<server::JobState>(status.state)))
+                  .c_str());
+  if (!status.detail.empty()) {
+    std::printf("detail: %s\n", status.detail.c_str());
+  }
+  std::printf("from_result_cache: %s\n",
+              status.from_result_cache != 0 ? "yes" : "no");
+}
+
+int FetchAndPrintResult(server::DdpClient& client, uint64_t job_id,
+                        const Args& args) {
+  Result<server::JobResultMsg> result = client.FetchResult(job_id);
+  if (!result.ok()) {
+    std::fprintf(stderr, "result fetch failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("job_id: %llu\n", static_cast<unsigned long long>(job_id));
+  std::printf("state: %s\n",
+              std::string(server::JobStateName(
+                              static_cast<server::JobState>(result->state)))
+                  .c_str());
+  std::printf("from_result_cache: %s\n",
+              result->from_result_cache != 0 ? "yes" : "no");
+  if (result->state != static_cast<uint8_t>(server::JobState::kDone)) {
+    std::printf("error: %s\n", result->error.c_str());
+    return 1;
+  }
+  server::JobResultPayload payload;
+  Status st = server::JobResultPayload::Decode(result->payload, &payload);
+  if (!st.ok()) {
+    std::fprintf(stderr, "result decode failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("d_c: %.6g\nclusters: %llu\npoints: %zu\n"
+              "distance_evals: %llu\nmr_jobs: %llu\ntotal_seconds: %.3f\n",
+              payload.dc, static_cast<unsigned long long>(payload.num_clusters),
+              payload.assignment.size(),
+              static_cast<unsigned long long>(payload.distance_evaluations),
+              static_cast<unsigned long long>(payload.mr_jobs),
+              payload.total_seconds);
+  if (args.Has("out")) {
+    std::ofstream out(args.Get("out"));
+    for (int32_t id : payload.assignment) out << id << '\n';
+    if (!out) {
+      std::fprintf(stderr, "write failed: %s\n", args.Get("out").c_str());
+      return 1;
+    }
+    std::printf("assignment -> %s\n", args.Get("out").c_str());
+  }
+  return 0;
+}
+
+int CmdSubmit(server::DdpClient& client, const Args& args) {
+  if (args.positional().size() != 2) return Usage();
+  server::JobSubmitMsg msg;
+  msg.dataset_path = args.positional()[1];
+  msg.params.algo = args.Get("algo", "lsh");
+  msg.params.dc = args.GetDouble("dc", 0.0);
+  msg.params.percentile = args.GetDouble("percentile", 0.02);
+  msg.params.k = args.GetUint("k", 0);
+  msg.params.rho_min = args.GetDouble("rho", 0.0);
+  msg.params.delta_min = args.GetDouble("delta", 0.0);
+  msg.params.accuracy = args.GetDouble("accuracy", 0.99);
+  msg.params.num_layouts = args.GetUint("m", 10);
+  msg.params.pi = args.GetUint("pi", 3);
+  msg.params.block_size = args.GetUint("block", 500);
+  msg.params.num_workers = args.GetUint("workers", 0);
+  msg.params.memory_budget_bytes = args.GetUint("memory-budget", 0);
+  const std::string exec_mode = args.Get("exec-mode", "inproc");
+  if (exec_mode == "fork") {
+    msg.params.exec_mode = 1;
+  } else if (exec_mode != "inproc") {
+    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork)\n",
+                 exec_mode.c_str());
+    return 2;
+  }
+  msg.params.seed = args.GetUint("seed", 1);
+  msg.params.map_failure_rate = args.GetDouble("map-failure-rate", 0.0);
+  msg.params.reduce_failure_rate = args.GetDouble("reduce-failure-rate", 0.0);
+  msg.params.worker_crash_rate = args.GetDouble("worker-crash-rate", 0.0);
+  msg.progress_seconds = args.GetDouble("progress", 0.0);
+
+  if (msg.progress_seconds > 0.0) {
+    client.set_progress_handler([](const server::JobStatusMsg& push) {
+      std::printf("progress: job %llu %s, %llu MapReduce jobs, %.1fs\n",
+                  static_cast<unsigned long long>(push.job_id),
+                  std::string(server::JobStateName(
+                                  static_cast<server::JobState>(push.state)))
+                      .c_str(),
+                  static_cast<unsigned long long>(push.mr_jobs_done),
+                  push.running_seconds);
+      std::fflush(stdout);
+    });
+  }
+
+  Result<server::JobStatusMsg> submitted = client.Submit(msg);
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 submitted.status().ToString().c_str());
+    return 1;
+  }
+  if (submitted->state == static_cast<uint8_t>(server::JobState::kRejected)) {
+    PrintStatus(*submitted);
+    return 3;  // distinct exit for admission rejection
+  }
+  if (!args.Has("wait")) {
+    PrintStatus(*submitted);
+    return 0;
+  }
+  const double timeout = args.GetDouble("timeout", 600.0);
+  Result<server::JobStatusMsg> done =
+      client.WaitForResult(submitted->job_id, timeout);
+  if (!done.ok()) {
+    std::fprintf(stderr, "wait failed: %s\n",
+                 done.status().ToString().c_str());
+    return 1;
+  }
+  return FetchAndPrintResult(client, done->job_id, args);
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 1);
+  if (args.bad()) return Usage();
+
+  Result<HostPort> endpoint = ParseHostPort(args.Get("connect", ""));
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "bad --connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::unique_ptr<server::DdpClient>> connected =
+      server::DdpClient::Connect(endpoint->host, endpoint->port,
+                                 args.GetDouble("connect-timeout", 10.0));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  server::DdpClient& client = **connected;
+
+  if (cmd == "submit") return CmdSubmit(client, args);
+  if (cmd == "shutdown") {
+    Result<server::JobStatusMsg> reply = client.RequestServerShutdown();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("server drain: %s\n", reply->detail.c_str());
+    return 0;
+  }
+
+  if (args.positional().size() != 2) return Usage();
+  const uint64_t job_id =
+      static_cast<uint64_t>(std::atoll(args.positional()[1].c_str()));
+  if (cmd == "status") {
+    Result<server::JobStatusMsg> status = client.Poll(job_id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "status failed: %s\n",
+                   status.status().ToString().c_str());
+      return 1;
+    }
+    PrintStatus(*status);
+    return 0;
+  }
+  if (cmd == "result") return FetchAndPrintResult(client, job_id, args);
+  if (cmd == "cancel") {
+    Result<server::JobStatusMsg> reply = client.Cancel(job_id);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "cancel failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    PrintStatus(*reply);
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ddp
+
+int main(int argc, char** argv) { return ddp::Main(argc, argv); }

@@ -18,6 +18,7 @@
 //   process-control        R7  fork/exec/kill/waitpid and raw socket calls
 //                              (socket/bind/listen/connect/accept) confined
 //                              to src/mapreduce/ (supervisor + CommChannel)
+//                              and src/server/ (the serving daemon)
 //
 // Suppression syntax, trailing the violating line or opening a comment block
 // directly above it:
@@ -757,15 +758,21 @@ void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
 }
 
 // R7: raw process-control and socket primitives are confined to
-// src/mapreduce/, where the worker supervisor owns the process lifecycle
+// src/mapreduce/ and src/server/. In src/mapreduce/ the worker supervisor
+// owns the process lifecycle
 // (spawn, heartbeat, kill, reap) and CommChannel owns the transport. A
 // fork/kill/waitpid anywhere else escapes the crash-fault model: it creates
 // children the supervisor will never reap, or signals pids whose ownership
 // it cannot see. A raw socket/bind/connect bypasses the framed, CRC-trailed
-// channel protocol and its reconnect semantics. Use the CommChannel/
-// WorkerSupervisor API (or mr::CrashSelf in chaos tests) instead.
+// channel protocol and its reconnect semantics. src/server/ builds the
+// serving daemon on those primitives and shares the exemption. Use the
+// CommChannel/WorkerSupervisor API (or mr::CrashSelf in chaos tests)
+// elsewhere.
 void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
-  if (PathContains(f.path, "src/mapreduce/")) return;
+  if (PathContains(f.path, "src/mapreduce/") ||
+      PathContains(f.path, "src/server/")) {
+    return;
+  }
   static const std::vector<std::string> kCalls = {
       "fork",   "vfork",  "execl",       "execlp",       "execle",
       "execv",  "execvp", "execve",      "execvpe",      "kill",
@@ -815,9 +822,9 @@ void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
       }
       AddFinding(out, f, pos, kRuleProcess,
                  fn +
-                     "() outside src/mapreduce/; process lifecycle belongs to "
-                     "the worker supervisor (use the CommChannel/"
-                     "WorkerSupervisor API)");
+                     "() outside src/mapreduce/ or src/server/; process "
+                     "lifecycle belongs to the worker supervisor (use the "
+                     "CommChannel/WorkerSupervisor API)");
     }
   }
 }
@@ -840,7 +847,8 @@ constexpr RuleDoc kRuleDocs[] = {
     {kRuleNames, "R5: span/metric name literals match [a-z0-9_.]+"},
     {kRuleHeader, "R6: headers use #pragma once, no using namespace"},
     {kRuleProcess,
-     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/"},
+     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/ "
+     "and src/server/"},
     {kRuleNoReason, "allow() without '-- <reason>' does not suppress"},
     {kRuleUnused, "allow() that suppresses nothing must be removed"},
 };
