@@ -2,13 +2,16 @@
 // crash-fault tolerance costs on top of it, and what the streamed shuffle
 // buys the supervisor in memory.
 //
-// Runs the same LSH-DDP scoring pipeline four ways — forked workers
+// Runs the same LSH-DDP scoring pipeline five ways — forked workers
 // streaming spill runs under a 4 KiB memory budget, forked workers at an
 // unlimited budget (runs arrive as in-memory tails), in-process threads,
-// and forked workers under a SIGKILL chaos schedule — and reports wall
-// time, the supervision counter totals, and whether all four score sets
-// are bit-identical (they must be: that is the contract the
-// channel/supervisor layer is built around).
+// forked workers under a SIGKILL chaos schedule, and two separately
+// exec'd ddp_worker processes serving registered jobs over TCP (one of
+// them crashed mid-shuffle, so the number covers an eviction +
+// reassignment cycle) — and reports wall time, jobs/sec, the supervision
+// counter totals, and whether all five score sets are bit-identical
+// (they must be: that is the contract the channel/supervisor layer is
+// built around).
 //
 // The streamed configuration runs FIRST and snapshots ru_maxrss before and
 // after: because peak RSS is monotonic within a process, a later, larger
@@ -25,6 +28,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #ifndef _WIN32
 #include <sys/resource.h>
@@ -34,7 +40,12 @@
 #include "core/cutoff.h"
 #include "dataset/generators.h"
 #include "ddp/lsh_ddp.h"
+#include "mapreduce/remote_worker.h"
 #include "mapreduce/supervisor.h"
+
+#ifndef DDP_WORKER_BIN
+#define DDP_WORKER_BIN ""
+#endif
 
 namespace ddp {
 namespace {
@@ -88,7 +99,7 @@ int Run() {
               ds.size(), ds.dim(), dc,
               fork_supported ? "supported" : "UNSUPPORTED (in-proc fallback)");
 
-  LshDdp stream_algo, fork_algo, inproc_algo, chaos_algo;
+  LshDdp stream_algo, fork_algo, inproc_algo, chaos_algo, remote_algo;
 
   // 1. Streamed shuffle at a 4 KiB budget, first so its RSS checkpoint is
   // untainted: every map output spills, every run ships over the channel,
@@ -141,6 +152,56 @@ int Run() {
       static_cast<unsigned long long>(crash.stats.TotalWorkerRestarts()),
       static_cast<unsigned long long>(crash.stats.TotalSpillFilesReaped()));
 
+  // 5. Remote workers: two separately exec'd ddp_worker processes dial an
+  // ephemeral loopback listener and run every job by JobRegistry id; the
+  // first is told to crash mid-shuffle on its second assignment, so this
+  // configuration also prices a worker eviction + task reassignment. The
+  // exec'd-process jobs/sec is the serving-relevant throughput number.
+  MpRun remote;
+  double remote_jobs_per_sec = 0.0;
+  bool remote_ran = false;
+  if (fork_supported && DDP_WORKER_BIN[0] != '\0') {
+    std::unique_ptr<mr::RemoteWorkerPool> pool =
+        std::move(mr::RemoteWorkerPool::Listen("127.0.0.1", 0)).ValueOrDie();
+    const std::string endpoint =
+        pool->host() + ":" + std::to_string(pool->port());
+    std::vector<int64_t> worker_pids;
+    for (int i = 0; i < 2; ++i) {
+      std::vector<std::string> worker_args = {"--connect", endpoint};
+      if (i == 0) {
+        worker_args.push_back("--chaos-crash-task");
+        worker_args.push_back("1");
+      }
+      worker_pids.push_back(
+          std::move(mr::SpawnWorkerProcess(DDP_WORKER_BIN, worker_args))
+              .ValueOrDie());
+    }
+    mr::Options remoted;
+    remoted.exec_mode = mr::ExecMode::kRemote;
+    remoted.remote_pool = pool.get();
+    remote = Measure(&remote_algo, ds, dc, remoted);
+    pool->Shutdown();
+    for (int64_t pid : worker_pids) mr::WaitWorkerProcess(pid);
+    remote_ran = true;
+    remote_jobs_per_sec = remote.seconds > 0.0
+                              ? static_cast<double>(remote.stats.jobs.size()) /
+                                    remote.seconds
+                              : 0.0;
+    std::printf(
+        "2 exec'd ddp_workers:    %7.3f s (%.2fx; %.2f jobs/s, "
+        "%llu registered, %llu evicted, %llu tasks reassigned)\n",
+        remote.seconds,
+        base.seconds > 0.0 ? remote.seconds / base.seconds : 0.0,
+        remote_jobs_per_sec,
+        static_cast<unsigned long long>(remote.stats.TotalWorkersRegistered()),
+        static_cast<unsigned long long>(remote.stats.TotalWorkersEvicted()),
+        static_cast<unsigned long long>(remote.stats.TotalTasksReassigned()));
+  } else {
+    std::printf("2 exec'd ddp_workers:    skipped (%s)\n",
+                fork_supported ? "worker binary path not compiled in"
+                               : "fork unsupported");
+  }
+
   // The supervisor must actually stream in fork mode: a zero here means the
   // data path regressed to relaying map outputs through result payloads.
   const bool streamed_ok =
@@ -156,8 +217,10 @@ int Run() {
 
   const bool identical = SameScores(base.scores, fork.scores) &&
                          SameScores(base.scores, stream.scores) &&
-                         SameScores(base.scores, crash.scores);
-  std::printf("bit-identical across all four substrates: %s\n",
+                         SameScores(base.scores, crash.scores) &&
+                         (!remote_ran || SameScores(base.scores, remote.scores));
+  std::printf("bit-identical across all %s substrates: %s\n",
+              remote_ran ? "five" : "four",
               identical ? "yes" : "NO — CONTRACT VIOLATION");
   if (!streamed_ok) {
     std::printf("streamed shuffle bytes: 0 — RELAY REGRESSION\n");
@@ -189,6 +252,12 @@ int Run() {
         "  \"spill_files_reaped\": %llu,\n"
         "  \"channel_reconnects\": %llu,\n"
         "  \"exec_fallbacks\": %llu,\n"
+        "  \"remote_ran\": %s,\n"
+        "  \"remote_seconds\": %.6f,\n"
+        "  \"remote_jobs_per_sec\": %.4f,\n"
+        "  \"remote_workers_registered\": %llu,\n"
+        "  \"remote_workers_evicted\": %llu,\n"
+        "  \"remote_tasks_reassigned\": %llu,\n"
         "  \"bit_identical\": %s\n"
         "}\n",
         ds.size(), ds.dim(), fork_supported ? "true" : "false", base.seconds,
@@ -209,6 +278,10 @@ int Run() {
             crash.stats.TotalChannelReconnects()),
         static_cast<unsigned long long>(fork.stats.TotalExecFallbacks() +
                                         crash.stats.TotalExecFallbacks()),
+        remote_ran ? "true" : "false", remote.seconds, remote_jobs_per_sec,
+        static_cast<unsigned long long>(remote.stats.TotalWorkersRegistered()),
+        static_cast<unsigned long long>(remote.stats.TotalWorkersEvicted()),
+        static_cast<unsigned long long>(remote.stats.TotalTasksReassigned()),
         identical ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_mp.json\n");

@@ -1,83 +1,16 @@
 #include "ddp/basic_ddp.h"
 
-#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
-#include <unordered_map>
 #include <vector>
 
-#include "core/dp_types.h"
-#include "core/local_dp.h"
-#include "ddp/records.h"
+#include "ddp/basic_ddp_jobs.h"
 
 namespace ddp {
 
-namespace {
-
-// A point in flight tagged with its source block.
-struct BlockedPoint {
-  uint32_t block = 0;
-  ddprec::ScoredPointRecord point;  // rho unused (0) in the rho job
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutVarint32(block);
-    point.SerializeTo(w);
-  }
-  static Status DeserializeFrom(BufferReader* r, BlockedPoint* out) {
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->block));
-    return ddprec::ScoredPointRecord::DeserializeFrom(r, &out->point);
-  }
-  bool operator==(const BlockedPoint&) const = default;
-};
-
-uint32_t BlockOf(PointId id, uint32_t num_blocks) { return id % num_blocks; }
-
-// Reducers this block must be shuffled to under the circular scheme.
-void TargetsOf(uint32_t block, uint32_t num_blocks, std::vector<uint32_t>* out) {
-  out->clear();
-  uint32_t h = num_blocks / 2;
-  for (uint32_t t = 0; t <= h; ++t) {
-    out->push_back((block + t) % num_blocks);
-  }
-}
-
-// Reducer input grouped by source block. Members preserve arrival order;
-// `present` lists the block ids in sorted order so every loop that feeds
-// reducer output walks blocks in a derivable order, never hash order.
-struct BlockGroups {
-  std::unordered_map<uint32_t, std::vector<const BlockedPoint*>> members;
-  std::vector<uint32_t> present;
-};
-
-BlockGroups GroupByBlock(std::span<const BlockedPoint> values) {
-  BlockGroups groups;
-  for (const BlockedPoint& v : values) groups.members[v.block].push_back(&v);
-  groups.present.reserve(groups.members.size());
-  // Hash-order iteration is confined to this collect step; the sort below
-  // is what makes downstream emission order derivable (R2).
-  for (const auto& [b, pts] : groups.members) groups.present.push_back(b);
-  std::sort(groups.present.begin(), groups.present.end());
-  return groups;
-}
-
-// Borrows one block's coordinate rows into an engine view, in arrival order.
-LocalPointView BlockView(const std::vector<const BlockedPoint*>& members,
-                         size_t dim) {
-  LocalPointView view(dim);
-  view.Reserve(members.size());
-  for (const BlockedPoint* p : members) view.Add(p->point.id, p->point.coords);
-  return view;
-}
-
-}  // namespace
-
 uint32_t BasicDdp::MeetingReducer(uint32_t a, uint32_t b, uint32_t n) {
-  if (a == b) return a;
-  uint32_t diff = (b + n - a) % n;
-  uint32_t rdiff = n - diff;
-  if (diff < rdiff) return b;
-  if (rdiff < diff) return a;
-  return std::max(a, b);  // even n, antipodal blocks: pick one deterministically
+  return basicjobs::MeetingReducerOf(a, b, n);
 }
 
 Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
@@ -93,201 +26,65 @@ Result<DpScores> BasicDdp::ComputeScores(const Dataset& dataset, double dc,
   const uint32_t num_blocks = static_cast<uint32_t>(
       (n_points + params_.block_size - 1) / params_.block_size);
 
+  // Job closures (local and, via JobSetupMsg ctx blobs, remote) read
+  // everything through this ctx; see ddp/basic_ddp_jobs.h.
+  auto make_ctx = [&] {
+    auto ctx = std::make_shared<basicjobs::BasicJobsCtx>();
+    ctx->dc = dc;
+    ctx->num_blocks = num_blocks;
+    ctx->backend = params_.local_backend;
+    ctx->dataset = &dataset;
+    ctx->metric = &metric;
+    return ctx;
+  };
+
   std::vector<PointId> input(n_points);
   std::iota(input.begin(), input.end(), 0);
 
-  // ---- Job 1: rho partials. Map routes each point to its block's meeting
-  // reducers; each reducer computes the distances of the block pairs it owns
-  // and accumulates per-point neighbor counts.
-  using RhoPartial = std::pair<PointId, uint32_t>;
-  mr::JobSpec<PointId, uint32_t, BlockedPoint, RhoPartial> rho_job;
-  rho_job.name = "basic-rho-local";
-  rho_job.map = [&dataset, num_blocks](const PointId& id,
-                                       mr::Emitter<uint32_t, BlockedPoint>* out) {
-    std::span<const double> p = dataset.point(id);
-    BlockedPoint rec;
-    rec.block = BlockOf(id, num_blocks);
-    rec.point = {id, 0, {p.begin(), p.end()}};
-    std::vector<uint32_t> targets;
-    TargetsOf(rec.block, num_blocks, &targets);
-    for (uint32_t r : targets) out->Emit(r, rec);
-  };
-  const size_t dim = dataset.dim();
-  LocalDpEngineOptions engine_options;
-  engine_options.backend = params_.local_backend;
-  const LocalDpEngine engine(engine_options);
-  rho_job.reduce = [dc, dim, num_blocks, engine, &metric](
-                       const uint32_t& reducer,
-                       std::span<const BlockedPoint> values,
-                       std::vector<RhoPartial>* out) {
-    BlockGroups blocks = GroupByBlock(values);
-    // All blocks present at this reducer (sorted), with engine views and
-    // position-aligned partial counts.
-    const std::vector<uint32_t>& present = blocks.present;
-    std::unordered_map<uint32_t, LocalPointView> views;
-    std::unordered_map<uint32_t, std::vector<uint32_t>> counts;
-    for (uint32_t b : present) {
-      views.emplace(b, BlockView(blocks.members[b], dim));
-      counts[b].assign(blocks.members[b].size(), 0);
-    }
-    for (size_t x = 0; x < present.size(); ++x) {
-      for (size_t y = x; y < present.size(); ++y) {
-        uint32_t a = present[x], b = present[y];
-        if (MeetingReducer(a, b, num_blocks) != reducer) continue;
-        if (a == b) {
-          std::vector<uint32_t> self = engine.Rho(
-              views.at(a), dc, DensityKernel::kCutoff, metric);
-          std::vector<uint32_t>& acc = counts.at(a);
-          for (size_t k = 0; k < self.size(); ++k) acc[k] += self[k];
-        } else {
-          engine.RhoCross(views.at(a), views.at(b), dc, metric, counts.at(a),
-                          counts.at(b));
-        }
-      }
-    }
-    // Every received point gets a partial so that rho=0 points still appear.
-    for (uint32_t b : present) {
-      const LocalPointView& view = views.at(b);
-      const std::vector<uint32_t>& acc = counts.at(b);
-      for (size_t k = 0; k < view.size(); ++k) {
-        out->push_back({view.id(k), acc[k]});
-      }
-    }
-  };
+  // ---- Job 1: rho partials over circular block meetings.
+  auto rho_job = basicjobs::MakeBasicRhoLocalJob(make_ctx());
   mr::JobCounters counters;
-  DDP_ASSIGN_OR_RETURN(std::vector<RhoPartial> partials,
+  DDP_ASSIGN_OR_RETURN(std::vector<basicjobs::BasicRhoPartial> partials,
                        mr::RunJob(rho_job, std::span<const PointId>(input),
                                   mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 2: rho = sum of partials (with a sum combiner).
-  mr::JobSpec<RhoPartial, PointId, uint32_t, RhoPartial> rho_agg;
-  rho_agg.name = "basic-rho-aggregate";
-  rho_agg.map = [](const RhoPartial& in, mr::Emitter<PointId, uint32_t>* out) {
-    out->Emit(in.first, in.second);
-  };
-  rho_agg.combiner = [](const PointId&, std::vector<uint32_t> values) {
-    uint32_t sum = 0;
-    for (uint32_t v : values) sum += v;
-    return std::vector<uint32_t>{sum};
-  };
-  rho_agg.reduce = [](const PointId& id, std::span<const uint32_t> values,
-                      std::vector<RhoPartial>* out) {
-    uint32_t sum = 0;
-    for (uint32_t v : values) sum += v;
-    out->push_back({id, sum});
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<RhoPartial> rho_final,
-                       mr::RunJob(rho_agg, std::span<const RhoPartial>(partials),
-                                  mr_options, &counters));
+  auto rho_agg = basicjobs::MakeBasicRhoAggregateJob();
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<basicjobs::BasicRhoPartial> rho_final,
+      mr::RunJob(rho_agg,
+                 std::span<const basicjobs::BasicRhoPartial>(partials),
+                 mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
   partials.clear();
   partials.shrink_to_fit();
 
   std::vector<uint32_t> rho(n_points, 0);
-  for (const RhoPartial& p : rho_final) rho[p.first] = p.second;
+  for (const basicjobs::BasicRhoPartial& p : rho_final) rho[p.first] = p.second;
 
   // ---- Job 3: delta candidates. Same routing; values carry rho.
-  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
-  mr::JobSpec<PointId, uint32_t, BlockedPoint, DeltaOut> delta_job;
-  delta_job.name = "basic-delta-local";
-  delta_job.map = [&dataset, &rho, num_blocks](
-                      const PointId& id,
-                      mr::Emitter<uint32_t, BlockedPoint>* out) {
-    std::span<const double> p = dataset.point(id);
-    BlockedPoint rec;
-    rec.block = BlockOf(id, num_blocks);
-    rec.point = {id, rho[id], {p.begin(), p.end()}};
-    std::vector<uint32_t> targets;
-    TargetsOf(rec.block, num_blocks, &targets);
-    for (uint32_t r : targets) out->Emit(r, rec);
-  };
-  delta_job.reduce = [dim, num_blocks, engine, &metric](
-                         const uint32_t& reducer,
-                         std::span<const BlockedPoint> values,
-                         std::vector<DeltaOut>* out) {
-    BlockGroups blocks = GroupByBlock(values);
-    const std::vector<uint32_t>& present = blocks.present;
-    std::unordered_map<uint32_t, LocalPointView> views;
-    std::unordered_map<uint32_t, std::vector<uint32_t>> rhos;
-    std::unordered_map<uint32_t, std::vector<LocalDeltaBest>> best;
-    for (uint32_t b : present) {
-      views.emplace(b, BlockView(blocks.members[b], dim));
-      std::vector<uint32_t>& r = rhos[b];
-      r.reserve(blocks.members[b].size());
-      for (const BlockedPoint* p : blocks.members[b]) r.push_back(p->point.rho);
-      best[b].resize(blocks.members[b].size());
-    }
-    for (size_t x = 0; x < present.size(); ++x) {
-      for (size_t y = x; y < present.size(); ++y) {
-        uint32_t a = present[x], b = present[y];
-        if (MeetingReducer(a, b, num_blocks) != reducer) continue;
-        if (a == b) {
-          LocalDeltaScores self = engine.Delta(views.at(a), rhos.at(a), metric);
-          std::vector<LocalDeltaBest>& acc = best.at(a);
-          for (size_t k = 0; k < acc.size(); ++k) {
-            if (self.upslope[k] != kInvalidPointId) {
-              acc[k].Improve(self.delta_sq[k], self.upslope[k]);
-            }
-          }
-        } else {
-          engine.DeltaCrossSymmetric(views.at(a), rhos.at(a), views.at(b),
-                                     rhos.at(b), metric, best.at(a),
-                                     best.at(b));
-        }
-      }
-    }
-    // Emit only points that found a denser neighbor here; the absolute peak
-    // keeps no candidate anywhere.
-    for (uint32_t b : present) {
-      const LocalPointView& view = views.at(b);
-      const std::vector<LocalDeltaBest>& acc = best.at(b);
-      for (size_t k = 0; k < view.size(); ++k) {
-        if (acc[k].upslope == kInvalidPointId) continue;
-        out->push_back(
-            {view.id(k), ddprec::DeltaCandidate{acc[k].d_sq, acc[k].upslope}});
-      }
-    }
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> delta_partials,
+  auto delta_ctx = make_ctx();
+  delta_ctx->rho = rho;
+  auto delta_job = basicjobs::MakeBasicDeltaLocalJob(std::move(delta_ctx));
+  DDP_ASSIGN_OR_RETURN(std::vector<basicjobs::BasicDeltaOut> delta_partials,
                        mr::RunJob(delta_job, std::span<const PointId>(input),
                                   mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 4: delta = min of candidates (with a min combiner).
-  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> delta_agg;
-  delta_agg.name = "basic-delta-aggregate";
-  delta_agg.map = [](const DeltaOut& in,
-                     mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
-    out->Emit(in.first, in.second);
-  };
-  delta_agg.combiner = [](const PointId&,
-                          std::vector<ddprec::DeltaCandidate> values) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    return std::vector<ddprec::DeltaCandidate>{best};
-  };
-  delta_agg.reduce = [](const PointId& id,
-                        std::span<const ddprec::DeltaCandidate> values,
-                        std::vector<DeltaOut>* out) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    out->push_back({id, best});
-  };
+  auto delta_agg = basicjobs::MakeBasicDeltaAggregateJob();
   DDP_ASSIGN_OR_RETURN(
-      std::vector<DeltaOut> delta_final,
-      mr::RunJob(delta_agg, std::span<const DeltaOut>(delta_partials),
+      std::vector<basicjobs::BasicDeltaOut> delta_final,
+      mr::RunJob(delta_agg,
+                 std::span<const basicjobs::BasicDeltaOut>(delta_partials),
                  mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   DpScores scores;
   scores.Resize(n_points);
   scores.rho = std::move(rho);
-  for (const DeltaOut& d : delta_final) {
+  for (const basicjobs::BasicDeltaOut& d : delta_final) {
     // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
     // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);

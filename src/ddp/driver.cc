@@ -9,7 +9,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "ddp/mr_assignment.h"
-#include "ddp/records.h"
+#include "ddp/pipeline_jobs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,55 +48,17 @@ Result<double> ChooseCutoffMapReduce(const Dataset& dataset,
 
   // Map: sample each point independently, send to the single reducer (key 0).
   // Reduce: all sampled pairwise distances, pick the percentile position.
+  // The job body lives in ddp/pipeline_jobs.h so exec'd ddp_worker
+  // processes can run it by name.
   std::vector<PointId> input(n);
   std::iota(input.begin(), input.end(), 0);
-  mr::JobSpec<PointId, uint32_t, ddprec::PointRecord, double> spec;
-  spec.name = "choose-dc";
-  spec.map = [&dataset, rate, seed](const PointId& id,
-                                    mr::Emitter<uint32_t, ddprec::PointRecord>*
-                                        out) {
-    // Deterministic per-point coin flip.
-    uint64_t s = SplitSeed(seed, id);
-    double coin =
-        static_cast<double>(SplitMix64(&s) >> 11) * 0x1.0p-53;  // [0,1)
-    if (coin < rate) {
-      std::span<const double> p = dataset.point(id);
-      out->Emit(0, ddprec::PointRecord{id, {p.begin(), p.end()}});
-    }
-  };
-  double percentile = options.percentile;
-  spec.reduce = [&metric, percentile](
-                    const uint32_t&,
-                    std::span<const ddprec::PointRecord> points,
-                    std::vector<double>* out) {
-    std::vector<double> distances;
-    distances.reserve(points.size() * (points.size() - 1) / 2);
-    for (size_t i = 0; i < points.size(); ++i) {
-      for (size_t j = i + 1; j < points.size(); ++j) {
-        distances.push_back(
-            metric.Distance(points[i].coords, points[j].coords));
-      }
-    }
-    if (distances.empty()) return;
-    size_t pos = static_cast<size_t>(percentile *
-                                     static_cast<double>(distances.size()));
-    pos = std::min(pos, distances.size() - 1);
-    std::nth_element(distances.begin(),
-                     distances.begin() + static_cast<std::ptrdiff_t>(pos),
-                     distances.end());
-    if (distances[pos] > 0.0) {
-      out->push_back(distances[pos]);
-      return;
-    }
-    // Degenerate sample: fall back to the smallest positive distance.
-    std::sort(distances.begin(), distances.end());
-    for (double d : distances) {
-      if (d > 0.0) {
-        out->push_back(d);
-        return;
-      }
-    }
-  };
+  auto ctx = std::make_shared<pipejobs::ChooseDcCtx>();
+  ctx->rate = rate;
+  ctx->seed = seed;
+  ctx->percentile = options.percentile;
+  ctx->dataset = &dataset;
+  ctx->metric = &metric;
+  auto spec = pipejobs::MakeChooseDcJob(std::move(ctx));
 
   mr::JobCounters counters;
   DDP_ASSIGN_OR_RETURN(

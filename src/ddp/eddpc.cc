@@ -2,147 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include "common/random.h"
-#include "core/dp_types.h"
-#include "core/local_dp.h"
-#include "ddp/records.h"
+#include "ddp/eddpc_jobs.h"
 
 namespace ddp {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Job 1 intermediate: a point routed to a Voronoi cell, either as one of the
-// cell's own ("home") points or as a replicated neighbor-support point.
-struct CellPoint {
-  uint8_t is_support = 0;
-  ddprec::PointRecord point;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutByte(is_support);
-    point.SerializeTo(w);
-  }
-  static Status DeserializeFrom(BufferReader* r, CellPoint* out) {
-    DDP_RETURN_NOT_OK(r->GetByte(&out->is_support));
-    return ddprec::PointRecord::DeserializeFrom(r, &out->point);
-  }
-  bool operator==(const CellPoint&) const = default;
-};
-
-// Job 3 intermediate: a cell member (comparison target) or a delta query.
-// Queries carry their squared within-cell bound — the engine's canonical
-// comparison space — as the refinement seed.
-struct MemberOrQuery {
-  uint8_t is_query = 0;
-  PointId id = 0;
-  uint32_t rho = 0;
-  double delta_ub_sq = 0.0;  // queries only
-  std::vector<double> coords;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutByte(is_query);
-    w->PutVarint32(id);
-    w->PutVarint32(rho);
-    if (is_query != 0) w->PutDouble(delta_ub_sq);
-    w->PutVarint64(coords.size());
-    for (double c : coords) w->PutDouble(c);
-  }
-  static Status DeserializeFrom(BufferReader* r, MemberOrQuery* out) {
-    DDP_RETURN_NOT_OK(r->GetByte(&out->is_query));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
-    out->delta_ub_sq = 0.0;
-    if (out->is_query != 0) DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub_sq));
-    uint64_t n;
-    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
-    out->coords.resize(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      DDP_RETURN_NOT_OK(r->GetDouble(&out->coords[i]));
-    }
-    return Status::OK();
-  }
-  bool operator==(const MemberOrQuery&) const = default;
-};
-
-// Per-point state threaded between jobs. Never shuffled, but it is a reduce
-// output type, so it carries member serde: that is what lets the jobs
-// producing it run their reduce phase in forked workers (and be
-// checkpoint-replayable).
-struct HomeInfo {
-  PointId id = 0;
-  uint32_t rho = 0;
-  uint32_t cell = 0;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutVarint32(id);
-    w->PutVarint32(rho);
-    w->PutVarint32(cell);
-  }
-  static Status DeserializeFrom(BufferReader* r, HomeInfo* out) {
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
-    return r->GetVarint32(&out->cell);
-  }
-};
-
-struct BoundInfo {
-  PointId id = 0;
-  uint32_t rho = 0;
-  uint32_t cell = 0;
-  double delta_ub = kInf;     // distance space, for the cell-radius filter
-  double delta_ub_sq = kInf;  // squared space, the refinement seed
-  PointId upslope = kInvalidPointId;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutVarint32(id);
-    w->PutVarint32(rho);
-    w->PutVarint32(cell);
-    w->PutDouble(delta_ub);
-    w->PutDouble(delta_ub_sq);
-    w->PutVarint32(upslope);
-  }
-  static Status DeserializeFrom(BufferReader* r, BoundInfo* out) {
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->id));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->rho));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->cell));
-    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub));
-    DDP_RETURN_NOT_OK(r->GetDouble(&out->delta_ub_sq));
-    return r->GetVarint32(&out->upslope);
-  }
-};
-
-// Job 2 output: either a per-point bound or per-cell statistics.
-struct BoundOrStats {
-  bool is_stats = false;
-  BoundInfo bound;          // when !is_stats
-  uint32_t cell = 0;        // when is_stats
-  double radius = 0.0;      // max distance member -> pivot
-  uint32_t max_rho = 0;     // densest member
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutByte(is_stats ? 1 : 0);
-    bound.SerializeTo(w);
-    w->PutVarint32(cell);
-    w->PutDouble(radius);
-    w->PutVarint32(max_rho);
-  }
-  static Status DeserializeFrom(BufferReader* r, BoundOrStats* out) {
-    uint8_t s = 0;
-    DDP_RETURN_NOT_OK(r->GetByte(&s));
-    out->is_stats = s != 0;
-    DDP_RETURN_NOT_OK(BoundInfo::DeserializeFrom(r, &out->bound));
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->cell));
-    DDP_RETURN_NOT_OK(r->GetDouble(&out->radius));
-    return r->GetVarint32(&out->max_rho);
-  }
-};
-
-}  // namespace
 
 Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
                                       const CountingMetric& metric,
@@ -172,125 +39,52 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
         dataset.point(static_cast<PointId>(pivot_ids[k]));
     pivots[k].assign(p.begin(), p.end());
   }
-  const uint32_t p_count = static_cast<uint32_t>(num_pivots);
 
-  // Distances from a point to every pivot; returns the home cell.
-  auto pivot_distances = [&](std::span<const double> p,
-                             std::vector<double>* dist) {
-    dist->resize(p_count);
-    uint32_t home = 0;
-    for (uint32_t k = 0; k < p_count; ++k) {
-      (*dist)[k] = metric.Distance(p, pivots[k]);
-      if ((*dist)[k] < (*dist)[home]) home = k;
-    }
-    return home;
+  // Job closures (local and, via JobSetupMsg ctx blobs, remote) read
+  // everything through this ctx; see ddp/eddpc_jobs.h. The sampled pivots
+  // ship verbatim so workers never re-sample.
+  auto make_ctx = [&] {
+    auto ctx = std::make_shared<eddpcjobs::EddpcJobsCtx>();
+    ctx->dc = dc;
+    ctx->backend = params_.local_backend;
+    ctx->use_max_rho_filter = params_.use_max_rho_filter;
+    ctx->pivots = pivots;
+    ctx->dataset = &dataset;
+    ctx->metric = &metric;
+    return ctx;
   };
 
   std::vector<PointId> input(n_points);
   std::iota(input.begin(), input.end(), 0);
 
   // ---- Job 1: exact rho via home + 2*d_c support replication.
-  mr::JobSpec<PointId, uint32_t, CellPoint, HomeInfo> rho_job;
-  rho_job.name = "eddpc-rho";
-  rho_job.map = [&dataset, &pivot_distances, dc, p_count](
-                    const PointId& id, mr::Emitter<uint32_t, CellPoint>* out) {
-    std::span<const double> p = dataset.point(id);
-    std::vector<double> dist;
-    uint32_t home = pivot_distances(p, &dist);
-    CellPoint rec;
-    rec.point = {id, {p.begin(), p.end()}};
-    rec.is_support = 0;
-    out->Emit(home, rec);
-    rec.is_support = 1;
-    for (uint32_t k = 0; k < p_count; ++k) {
-      if (k != home && dist[k] <= dist[home] + 2.0 * dc) {
-        out->Emit(k, rec);
-      }
-    }
-  };
-  const size_t dim = dataset.dim();
-  LocalDpEngineOptions engine_options;
-  engine_options.backend = params_.local_backend;
-  const LocalDpEngine engine(engine_options);
-  rho_job.reduce = [dc, dim, engine, &metric](const uint32_t& cell,
-                                              std::span<const CellPoint> values,
-                                              std::vector<HomeInfo>* out) {
-    LocalPointView home_view(dim), support_view(dim);
-    for (const CellPoint& v : values) {
-      (v.is_support != 0 ? support_view : home_view)
-          .Add(v.point.id, v.point.coords);
-    }
-    // Exact rho = within-cell neighbors + one-sided support neighbors (each
-    // support point is counted as a home point of its own cell).
-    std::vector<uint32_t> rho =
-        engine.Rho(home_view, dc, DensityKernel::kCutoff, metric);
-    engine.RhoCross(home_view, support_view, dc, metric, rho, {});
-    for (size_t i = 0; i < home_view.size(); ++i) {
-      out->push_back({home_view.id(i), rho[i], cell});
-    }
-  };
+  auto rho_job = eddpcjobs::MakeEddpcRhoJob(make_ctx());
   mr::JobCounters counters;
-  DDP_ASSIGN_OR_RETURN(std::vector<HomeInfo> homes,
+  DDP_ASSIGN_OR_RETURN(std::vector<eddpcjobs::HomeInfo> homes,
                        mr::RunJob(rho_job, std::span<const PointId>(input),
                                   mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 2: exact-within-cell delta upper bound + cell statistics.
-  mr::JobSpec<HomeInfo, uint32_t, ddprec::ScoredPointRecord, BoundOrStats>
-      bound_job;
-  bound_job.name = "eddpc-delta-bound";
-  bound_job.map = [&dataset](const HomeInfo& in,
-                             mr::Emitter<uint32_t, ddprec::ScoredPointRecord>*
-                                 out) {
-    std::span<const double> p = dataset.point(in.id);
-    out->Emit(in.cell, {in.id, in.rho, {p.begin(), p.end()}});
-  };
-  bound_job.reduce = [dim, engine, &pivots, &metric](
-                         const uint32_t& cell,
-                         std::span<const ddprec::ScoredPointRecord> members,
-                         std::vector<BoundOrStats>* out) {
-    LocalPointView view(dim);
-    view.Reserve(members.size());
-    std::vector<uint32_t> rho;
-    rho.reserve(members.size());
-    BoundOrStats cell_stats;
-    cell_stats.is_stats = true;
-    cell_stats.cell = cell;
-    for (const ddprec::ScoredPointRecord& m : members) {
-      view.Add(m.id, m.coords);
-      rho.push_back(m.rho);
-      cell_stats.radius =
-          std::max(cell_stats.radius, metric.Distance(m.coords, pivots[cell]));
-      cell_stats.max_rho = std::max(cell_stats.max_rho, m.rho);
-    }
-    // Exact within-cell delta over the density total order; the cell's
-    // densest member keeps delta_ub = +inf and no upslope.
-    LocalDeltaScores local = engine.Delta(view, rho, metric);
-    for (size_t k = 0; k < members.size(); ++k) {
-      BoundOrStats rec;
-      rec.bound = {members[k].id, members[k].rho,  cell,
-                   local.delta[k], local.delta_sq[k], local.upslope[k]};
-      out->push_back(rec);
-    }
-    out->push_back(cell_stats);
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<BoundOrStats> bounds_and_stats,
-                       mr::RunJob(bound_job, std::span<const HomeInfo>(homes),
-                                  mr_options, &counters));
+  auto bound_job = eddpcjobs::MakeEddpcDeltaBoundJob(make_ctx());
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<eddpcjobs::BoundOrStats> bounds_and_stats,
+      mr::RunJob(bound_job, std::span<const eddpcjobs::HomeInfo>(homes),
+                 mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
   homes.clear();
   homes.shrink_to_fit();
 
   std::vector<double> cell_radius(num_pivots, 0.0);
   std::vector<uint32_t> cell_max_rho(num_pivots, 0);
-  std::vector<bool> cell_nonempty(num_pivots, false);
-  std::vector<BoundInfo> bounds;
+  std::vector<uint8_t> cell_nonempty(num_pivots, 0);
+  std::vector<eddpcjobs::BoundInfo> bounds;
   bounds.reserve(n_points);
-  for (const BoundOrStats& b : bounds_and_stats) {
+  for (const eddpcjobs::BoundOrStats& b : bounds_and_stats) {
     if (b.is_stats) {
       cell_radius[b.cell] = b.radius;
       cell_max_rho[b.cell] = b.max_rho;
-      cell_nonempty[b.cell] = true;
+      cell_nonempty[b.cell] = 1;
     } else {
       bounds.push_back(b.bound);
     }
@@ -299,111 +93,39 @@ Result<DpScores> Eddpc::ComputeScores(const Dataset& dataset, double dc,
   bounds_and_stats.shrink_to_fit();
 
   // ---- Job 3: cross-cell delta refinement with radius/max-rho filtering.
-  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
-  mr::JobSpec<BoundInfo, uint32_t, MemberOrQuery, DeltaOut> refine_job;
-  refine_job.name = "eddpc-delta-refine";
-  const bool use_max_rho_filter = params_.use_max_rho_filter;
-  refine_job.map = [&dataset, &pivot_distances, &cell_radius, &cell_max_rho,
-                    &cell_nonempty, p_count, use_max_rho_filter](
-                       const BoundInfo& in,
-                       mr::Emitter<uint32_t, MemberOrQuery>* out) {
-    std::span<const double> p = dataset.point(in.id);
-    MemberOrQuery rec;
-    rec.id = in.id;
-    rec.rho = in.rho;
-    rec.coords.assign(p.begin(), p.end());
-    rec.is_query = 0;
-    out->Emit(in.cell, rec);
-    rec.is_query = 1;
-    rec.delta_ub_sq = in.delta_ub_sq;
-    std::vector<double> dist;
-    (void)pivot_distances(p, &dist);
-    for (uint32_t k = 0; k < p_count; ++k) {
-      if (k == in.cell || !cell_nonempty[k]) continue;
-      // A denser point can exist in cell k only if its densest member
-      // reaches rho_i (ties resolved by id in the reducer). This filter is
-      // our extension over the published EDDPC; see Params.
-      if (use_max_rho_filter && cell_max_rho[k] < in.rho) continue;
-      // Lower bound on the distance from i to any member of cell k.
-      if (dist[k] - cell_radius[k] >= in.delta_ub) continue;
-      out->Emit(k, rec);
-    }
-  };
-  refine_job.reduce = [dim, engine, &metric](const uint32_t&,
-                                             std::span<const MemberOrQuery> values,
-                                             std::vector<DeltaOut>* out) {
-    LocalPointView member_view(dim), query_view(dim);
-    std::vector<uint32_t> member_rho, query_rho;
-    std::vector<LocalDeltaBest> best;
-    for (const MemberOrQuery& v : values) {
-      if (v.is_query != 0) {
-        query_view.Add(v.id, v.coords);
-        query_rho.push_back(v.rho);
-        // Seed with the within-cell bound; only a strict improvement (or an
-        // equal distance, which wins the id tie-break against the invalid
-        // seed) produces a refinement candidate.
-        best.push_back({v.delta_ub_sq, kInvalidPointId});
-      } else {
-        member_view.Add(v.id, v.coords);
-        member_rho.push_back(v.rho);
-      }
-    }
-    engine.DeltaCross(query_view, query_rho, member_view, member_rho, metric,
-                      best);
-    for (size_t k = 0; k < best.size(); ++k) {
-      if (best[k].upslope == kInvalidPointId) continue;
-      out->push_back({query_view.id(k),
-                      ddprec::DeltaCandidate{best[k].d_sq, best[k].upslope}});
-    }
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> refinements,
-                       mr::RunJob(refine_job, std::span<const BoundInfo>(bounds),
-                                  mr_options, &counters));
+  auto refine_ctx = make_ctx();
+  refine_ctx->cell_radius = cell_radius;
+  refine_ctx->cell_max_rho = cell_max_rho;
+  refine_ctx->cell_nonempty = cell_nonempty;
+  auto refine_job = eddpcjobs::MakeEddpcDeltaRefineJob(std::move(refine_ctx));
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<eddpcjobs::EddpcDeltaOut> refinements,
+      mr::RunJob(refine_job, std::span<const eddpcjobs::BoundInfo>(bounds),
+                 mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 4: min-aggregate home bounds and refinement candidates.
-  std::vector<DeltaOut> candidates;
+  std::vector<eddpcjobs::EddpcDeltaOut> candidates;
   candidates.reserve(bounds.size() + refinements.size());
-  for (const BoundInfo& b : bounds) {
+  for (const eddpcjobs::BoundInfo& b : bounds) {
     candidates.push_back(
         {b.id, ddprec::DeltaCandidate{b.delta_ub_sq, b.upslope}});
   }
   std::move(refinements.begin(), refinements.end(),
             std::back_inserter(candidates));
 
-  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> agg_job;
-  agg_job.name = "eddpc-delta-aggregate";
-  agg_job.map = [](const DeltaOut& in,
-                   mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
-    out->Emit(in.first, in.second);
-  };
-  agg_job.combiner = [](const PointId&,
-                        std::vector<ddprec::DeltaCandidate> values) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    return std::vector<ddprec::DeltaCandidate>{best};
-  };
-  agg_job.reduce = [](const PointId& id,
-                      std::span<const ddprec::DeltaCandidate> values,
-                      std::vector<DeltaOut>* out) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    out->push_back({id, best});
-  };
+  auto agg_job = eddpcjobs::MakeEddpcDeltaAggregateJob();
   DDP_ASSIGN_OR_RETURN(
-      std::vector<DeltaOut> delta_final,
-      mr::RunJob(agg_job, std::span<const DeltaOut>(candidates), mr_options,
-                 &counters));
+      std::vector<eddpcjobs::EddpcDeltaOut> delta_final,
+      mr::RunJob(agg_job,
+                 std::span<const eddpcjobs::EddpcDeltaOut>(candidates),
+                 mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   DpScores scores;
   scores.Resize(n_points);
-  for (const BoundInfo& b : bounds) scores.rho[b.id] = b.rho;
-  for (const DeltaOut& d : delta_final) {
+  for (const eddpcjobs::BoundInfo& b : bounds) scores.rho[b.id] = b.rho;
+  for (const eddpcjobs::EddpcDeltaOut& d : delta_final) {
     // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
     // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);

@@ -1,53 +1,15 @@
 #include "ddp/lsh_ddp.h"
 
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <utility>
 #include <vector>
 
-#include "core/local_dp.h"
-#include "ddp/records.h"
+#include "ddp/lsh_ddp_jobs.h"
 #include "lsh/partitioner.h"
 
 namespace ddp {
-
-namespace {
-
-/// MapReduce key of one LSH bucket: (layout index m, bucket signature).
-using BucketMapKey = std::pair<uint32_t, lsh::BucketKey>;
-
-// Borrows the coordinate rows of a (sub-)bucket straight out of the shuffled
-// records — no copies. `Records` is PointRecord or ScoredPointRecord.
-template <typename Records>
-LocalPointView BucketView(std::span<const Records> members,
-                          std::span<const size_t> group, size_t dim) {
-  LocalPointView view(dim);
-  view.Reserve(group.size());
-  for (size_t k : group) view.Add(members[k].id, members[k].coords);
-  return view;
-}
-
-// Deterministically splits indices [0, n) into ceil(n/max) balanced
-// sub-groups keyed by member point id, for the skew-mitigation option.
-std::vector<std::vector<size_t>> SplitOversized(size_t n, size_t max_size,
-                                                auto id_of) {
-  std::vector<std::vector<size_t>> groups;
-  if (max_size == 0 || n <= max_size) {
-    groups.emplace_back(n);
-    std::iota(groups[0].begin(), groups[0].end(), 0);
-    return groups;
-  }
-  size_t num_groups = (n + max_size - 1) / max_size;
-  groups.resize(num_groups);
-  for (size_t k = 0; k < n; ++k) {
-    uint64_t h = id_of(k) * 0x9e3779b97f4a7c15ULL;
-    h ^= h >> 29;
-    groups[h % num_groups].push_back(k);
-  }
-  return groups;
-}
-
-}  // namespace
 
 Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
                                        const CountingMetric& metric,
@@ -69,160 +31,73 @@ Result<DpScores> LshDdp::ComputeScores(const Dataset& dataset, double dc,
       lsh::MultiLshPartitioner::Create(dataset.dim(), lsh_params.num_layouts,
                                        lsh_params.pi, lsh_params.width,
                                        params_.seed));
-  const uint32_t num_layouts = static_cast<uint32_t>(lsh_params.num_layouts);
   const size_t n_points = dataset.size();
-  const size_t dim = dataset.dim();
+
+  // Job closures (local and, via JobSetupMsg ctx blobs, remote) read
+  // everything through this ctx; see ddp/lsh_ddp_jobs.h.
+  auto make_ctx = [&] {
+    auto ctx = std::make_shared<lshjobs::LshJobsCtx>();
+    ctx->dc = dc;
+    ctx->num_layouts = static_cast<uint32_t>(lsh_params.num_layouts);
+    ctx->pi = lsh_params.pi;
+    ctx->width = lsh_params.width;
+    ctx->lsh_seed = params_.seed;
+    ctx->kernel = params_.kernel;
+    ctx->probes = params_.probes;
+    ctx->max_bucket = params_.max_bucket_size;
+    ctx->backend = params_.local_backend;
+    ctx->dataset = &dataset;
+    ctx->partitioner = &partitioner;
+    ctx->metric = &metric;
+    return ctx;
+  };
 
   std::vector<PointId> input(n_points);
   std::iota(input.begin(), input.end(), 0);
 
   // ---- Job 1 (Map1 + Reduce1): LSH partition + local rho_hat^m.
-  using RhoOut = std::pair<PointId, uint32_t>;
-  mr::JobSpec<PointId, BucketMapKey, ddprec::PointRecord, RhoOut> rho_job;
-  rho_job.name = "lsh-rho-local";
-  const size_t probes = params_.probes;
-  rho_job.map = [&dataset, &partitioner, num_layouts, probes](
-                    const PointId& id,
-                    mr::Emitter<BucketMapKey, ddprec::PointRecord>* out) {
-    std::span<const double> p = dataset.point(id);
-    ddprec::PointRecord rec{id, {p.begin(), p.end()}};
-    for (uint32_t m = 0; m < num_layouts; ++m) {
-      for (lsh::BucketKey& key :
-           partitioner.group(m).KeysWithProbes(p, probes)) {
-        out->Emit({m, std::move(key)}, rec);
-      }
-    }
-  };
-  const DensityKernel kernel = params_.kernel;
-  const size_t max_bucket = params_.max_bucket_size;
-  LocalDpEngineOptions engine_options;
-  engine_options.backend = params_.local_backend;
-  const LocalDpEngine engine(engine_options);
-  rho_job.reduce = [dc, dim, kernel, max_bucket, engine, &metric](
-                       const BucketMapKey&,
-                       std::span<const ddprec::PointRecord> members,
-                       std::vector<RhoOut>* out) {
-    auto groups = SplitOversized(members.size(), max_bucket,
-                                 [&](size_t k) { return members[k].id; });
-    for (const std::vector<size_t>& group : groups) {
-      LocalPointView view = BucketView(members, group, dim);
-      std::vector<uint32_t> rho = engine.Rho(view, dc, kernel, metric);
-      for (size_t g = 0; g < group.size(); ++g) {
-        out->push_back({view.id(g), rho[g]});
-      }
-    }
-  };
+  auto rho_job = lshjobs::MakeLshRhoLocalJob(make_ctx());
   mr::JobCounters counters;
-  DDP_ASSIGN_OR_RETURN(std::vector<RhoOut> rho_locals,
+  DDP_ASSIGN_OR_RETURN(std::vector<lshjobs::LshRhoOut> rho_locals,
                        mr::RunJob(rho_job, std::span<const PointId>(input),
                                   mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 2 (Reduce2): rho_hat = max_m rho_hat^m.
-  mr::JobSpec<RhoOut, PointId, uint32_t, RhoOut> rho_agg;
-  rho_agg.name = "lsh-rho-aggregate";
-  rho_agg.map = [](const RhoOut& in, mr::Emitter<PointId, uint32_t>* out) {
-    out->Emit(in.first, in.second);
-  };
-  rho_agg.combiner = [](const PointId&, std::vector<uint32_t> values) {
-    uint32_t best = 0;
-    for (uint32_t v : values) best = std::max(best, v);
-    return std::vector<uint32_t>{best};
-  };
-  rho_agg.reduce = [](const PointId& id, std::span<const uint32_t> values,
-                      std::vector<RhoOut>* out) {
-    uint32_t best = 0;
-    for (uint32_t v : values) best = std::max(best, v);
-    out->push_back({id, best});
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<RhoOut> rho_final,
-                       mr::RunJob(rho_agg, std::span<const RhoOut>(rho_locals),
-                                  mr_options, &counters));
+  auto rho_agg = lshjobs::MakeLshRhoAggregateJob();
+  DDP_ASSIGN_OR_RETURN(
+      std::vector<lshjobs::LshRhoOut> rho_final,
+      mr::RunJob(rho_agg, std::span<const lshjobs::LshRhoOut>(rho_locals),
+                 mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
   rho_locals.clear();
   rho_locals.shrink_to_fit();
 
   std::vector<uint32_t> rho_hat(n_points, 0);
-  for (const RhoOut& r : rho_final) rho_hat[r.first] = r.second;
+  for (const lshjobs::LshRhoOut& r : rho_final) rho_hat[r.first] = r.second;
 
   // ---- Job 3 (Map3 + Reduce3): LSH partition + local delta_hat^m.
-  using DeltaOut = std::pair<PointId, ddprec::DeltaCandidate>;
-  mr::JobSpec<PointId, BucketMapKey, ddprec::ScoredPointRecord, DeltaOut>
-      delta_job;
-  delta_job.name = "lsh-delta-local";
-  delta_job.map = [&dataset, &partitioner, &rho_hat, num_layouts, probes](
-                      const PointId& id,
-                      mr::Emitter<BucketMapKey, ddprec::ScoredPointRecord>*
-                          out) {
-    std::span<const double> p = dataset.point(id);
-    ddprec::ScoredPointRecord rec{id, rho_hat[id], {p.begin(), p.end()}};
-    for (uint32_t m = 0; m < num_layouts; ++m) {
-      for (lsh::BucketKey& key :
-           partitioner.group(m).KeysWithProbes(p, probes)) {
-        out->Emit({m, std::move(key)}, rec);
-      }
-    }
-  };
-  delta_job.reduce = [dim, max_bucket, engine, &metric](
-                         const BucketMapKey&,
-                         std::span<const ddprec::ScoredPointRecord> members,
-                         std::vector<DeltaOut>* out) {
-    // The engine's delta kernel ranks the (sub-)bucket by the global
-    // (rho_hat, id) total order, so aggregation across layouts is
-    // consistent, and gives the sub-bucket's densest point
-    // delta_hat^m = +infinity (Sec. IV-C).
-    auto groups = SplitOversized(members.size(), max_bucket,
-                                 [&](size_t k) { return members[k].id; });
-    for (const std::vector<size_t>& group : groups) {
-      LocalPointView view = BucketView(members, group, dim);
-      std::vector<uint32_t> rho(group.size());
-      for (size_t g = 0; g < group.size(); ++g) rho[g] = members[group[g]].rho;
-      LocalDeltaScores local = engine.Delta(view, rho, metric);
-      for (size_t g = 0; g < group.size(); ++g) {
-        out->push_back({view.id(g), ddprec::DeltaCandidate{local.delta_sq[g],
-                                                           local.upslope[g]}});
-      }
-    }
-  };
-  DDP_ASSIGN_OR_RETURN(std::vector<DeltaOut> delta_locals,
+  auto delta_ctx = make_ctx();
+  delta_ctx->rho_hat = rho_hat;
+  auto delta_job = lshjobs::MakeLshDeltaLocalJob(std::move(delta_ctx));
+  DDP_ASSIGN_OR_RETURN(std::vector<lshjobs::LshDeltaOut> delta_locals,
                        mr::RunJob(delta_job, std::span<const PointId>(input),
                                   mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   // ---- Job 4 (Reduce4): delta_hat = min_m delta_hat^m.
-  mr::JobSpec<DeltaOut, PointId, ddprec::DeltaCandidate, DeltaOut> delta_agg;
-  delta_agg.name = "lsh-delta-aggregate";
-  delta_agg.map = [](const DeltaOut& in,
-                     mr::Emitter<PointId, ddprec::DeltaCandidate>* out) {
-    out->Emit(in.first, in.second);
-  };
-  delta_agg.combiner = [](const PointId&,
-                          std::vector<ddprec::DeltaCandidate> values) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    return std::vector<ddprec::DeltaCandidate>{best};
-  };
-  delta_agg.reduce = [](const PointId& id,
-                        std::span<const ddprec::DeltaCandidate> values,
-                        std::vector<DeltaOut>* out) {
-    ddprec::DeltaCandidate best = values[0];
-    for (const auto& v : values) {
-      if (v.BetterThan(best)) best = v;
-    }
-    out->push_back({id, best});
-  };
+  auto delta_agg = lshjobs::MakeLshDeltaAggregateJob();
   DDP_ASSIGN_OR_RETURN(
-      std::vector<DeltaOut> delta_final,
-      mr::RunJob(delta_agg, std::span<const DeltaOut>(delta_locals),
+      std::vector<lshjobs::LshDeltaOut> delta_final,
+      mr::RunJob(delta_agg,
+                 std::span<const lshjobs::LshDeltaOut>(delta_locals),
                  mr_options, &counters));
   if (stats != nullptr) stats->Add(counters);
 
   DpScores scores;
   scores.Resize(n_points);
   scores.rho = std::move(rho_hat);
-  for (const DeltaOut& d : delta_final) {
+  for (const lshjobs::LshDeltaOut& d : delta_final) {
     // ddp-lint: allow(no-raw-sqrt) -- final assembly: one sqrt per point
     // when delta_sq leaves the shuffled squared-space representation.
     scores.delta[d.first] = std::sqrt(d.second.delta_sq);

@@ -1,64 +1,13 @@
 #include "ddp/mr_assignment.h"
 
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <unordered_set>
 
-#include "common/serde.h"
+#include "ddp/pipeline_jobs.h"
 
 namespace ddp {
-
-namespace {
-
-// One message of the pointer-jumping protocol, keyed by point id.
-//  kState: point `key` publishes its (cluster, parent) to its own reducer.
-//  kAsk:   unresolved point `asker` asks `key` (its current parent).
-struct JumpMessage {
-  uint8_t kind = 0;  // 0 = state, 1 = ask
-  int32_t cluster = -1;
-  PointId parent = kInvalidPointId;
-  PointId asker = kInvalidPointId;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutByte(kind);
-    w->PutSignedVarint64(cluster);
-    w->PutVarint32(parent);
-    w->PutVarint32(asker);
-  }
-  static Status DeserializeFrom(BufferReader* r, JumpMessage* out) {
-    DDP_RETURN_NOT_OK(r->GetByte(&out->kind));
-    int64_t c;
-    DDP_RETURN_NOT_OK(r->GetSignedVarint64(&c));
-    out->cluster = static_cast<int32_t>(c);
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->parent));
-    return r->GetVarint32(&out->asker);
-  }
-  bool operator==(const JumpMessage&) const = default;
-};
-
-// Reducer verdict for one asker.
-struct JumpUpdate {
-  PointId point = kInvalidPointId;
-  int32_t cluster = -1;                  // >= 0: resolved
-  PointId new_parent = kInvalidPointId;  // otherwise: jump target (or orphan)
-
-  // Member serde so the assignment rounds can fork their reduce phase (and
-  // checkpoint-replay).
-  void SerializeTo(BufferWriter* w) const {
-    w->PutVarint32(point);
-    w->PutSignedVarint64(cluster);
-    w->PutVarint32(new_parent);
-  }
-  static Status DeserializeFrom(BufferReader* r, JumpUpdate* out) {
-    DDP_RETURN_NOT_OK(r->GetVarint32(&out->point));
-    int64_t cluster = 0;
-    DDP_RETURN_NOT_OK(r->GetSignedVarint64(&cluster));
-    out->cluster = static_cast<int32_t>(cluster);
-    return r->GetVarint32(&out->new_parent);
-  }
-};
-
-}  // namespace
 
 Result<MrAssignmentResult> AssignClustersMapReduce(
     const DpScores& scores, std::span<const PointId> peaks,
@@ -97,50 +46,19 @@ Result<MrAssignmentResult> AssignClustersMapReduce(
     }
     if (!pending) break;
 
-    mr::JobSpec<PointId, PointId, JumpMessage, JumpUpdate> job;
-    job.name = "assign-jump-" + std::to_string(result.rounds);
-    const std::vector<int>& assignment = result.assignment;
-    job.map = [&assignment, &parent](const PointId& i,
-                                     mr::Emitter<PointId, JumpMessage>* out) {
-      JumpMessage state;
-      state.kind = 0;
-      state.cluster = assignment[i];
-      state.parent = parent[i];
-      out->Emit(i, state);
-      if (assignment[i] < 0 && parent[i] != kInvalidPointId) {
-        JumpMessage ask;
-        ask.kind = 1;
-        ask.asker = i;
-        out->Emit(parent[i], ask);
-      }
-    };
-    job.reduce = [](const PointId&, std::span<const JumpMessage> messages,
-                    std::vector<JumpUpdate>* out) {
-      // Exactly one state message per key; any number of asks.
-      JumpMessage state;
-      for (const JumpMessage& m : messages) {
-        if (m.kind == 0) state = m;
-      }
-      for (const JumpMessage& m : messages) {
-        if (m.kind != 1) continue;
-        JumpUpdate update;
-        update.point = m.asker;
-        if (state.cluster >= 0) {
-          update.cluster = state.cluster;
-        } else {
-          // Jump over the parent (possibly to "no parent": the asker
-          // becomes an orphan rooted at an unselected local peak).
-          update.new_parent = state.parent;
-        }
-        out->push_back(update);
-      }
-    };
+    // The round's job body lives in ddp/pipeline_jobs.h so exec'd
+    // ddp_worker processes can run it by name; the ctx snapshots this
+    // round's (cluster, parent) state.
+    auto ctx = std::make_shared<pipejobs::AssignJumpCtx>();
+    ctx->assignment = &result.assignment;
+    ctx->parent = &parent;
+    auto job = pipejobs::MakeAssignJumpJob(std::move(ctx), result.rounds);
     mr::JobCounters counters;
-    DDP_ASSIGN_OR_RETURN(std::vector<JumpUpdate> updates,
+    DDP_ASSIGN_OR_RETURN(std::vector<pipejobs::JumpUpdate> updates,
                          mr::RunJob(job, std::span<const PointId>(all),
                                     mr_options, &counters));
     result.stats.Add(counters);
-    for (const JumpUpdate& u : updates) {
+    for (const pipejobs::JumpUpdate& u : updates) {
       if (u.cluster >= 0) {
         result.assignment[u.point] = u.cluster;
         parent[u.point] = kInvalidPointId;

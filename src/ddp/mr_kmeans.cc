@@ -1,61 +1,13 @@
 #include "ddp/mr_kmeans.h"
 
-#include <limits>
+#include <memory>
 #include <numeric>
 
 #include "common/random.h"
-#include "common/serde.h"
 #include "common/stopwatch.h"
+#include "ddp/pipeline_jobs.h"
 
 namespace ddp {
-
-namespace {
-
-// (sum of member coordinates, member count) — the combinable partial.
-struct CentroidPartial {
-  std::vector<double> sum;
-  uint64_t count = 0;
-
-  void SerializeTo(BufferWriter* w) const {
-    w->PutVarint64(count);
-    w->PutVarint64(sum.size());
-    for (double s : sum) w->PutDouble(s);
-  }
-  static Status DeserializeFrom(BufferReader* r, CentroidPartial* out) {
-    DDP_RETURN_NOT_OK(r->GetVarint64(&out->count));
-    uint64_t n;
-    DDP_RETURN_NOT_OK(r->GetVarint64(&n));
-    out->sum.resize(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      DDP_RETURN_NOT_OK(r->GetDouble(&out->sum[i]));
-    }
-    return Status::OK();
-  }
-  bool operator==(const CentroidPartial&) const = default;
-
-  void Merge(const CentroidPartial& other) {
-    if (sum.empty()) sum.assign(other.sum.size(), 0.0);
-    for (size_t d = 0; d < sum.size(); ++d) sum[d] += other.sum[d];
-    count += other.count;
-  }
-};
-
-uint32_t NearestCentroid(std::span<const double> p,
-                         const std::vector<std::vector<double>>& centroids,
-                         const CountingMetric& metric) {
-  uint32_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (uint32_t c = 0; c < centroids.size(); ++c) {
-    double d = metric.SquaredDistance(p, centroids[c]);
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
                                    const MrKmeansOptions& options,
@@ -83,43 +35,26 @@ Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
   std::vector<PointId> input(dataset.size());
   std::iota(input.begin(), input.end(), 0);
 
-  using IterOut = std::pair<uint32_t, CentroidPartial>;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     Stopwatch iter_timer;
-    const std::vector<std::vector<double>>& centroids = result.centroids;
 
-    mr::JobSpec<PointId, uint32_t, CentroidPartial, IterOut> job;
-    job.name = "kmeans-iter-" + std::to_string(iter);
-    job.map = [&dataset, &centroids, &metric](
-                  const PointId& id,
-                  mr::Emitter<uint32_t, CentroidPartial>* out) {
-      std::span<const double> p = dataset.point(id);
-      uint32_t c = NearestCentroid(p, centroids, metric);
-      CentroidPartial partial;
-      partial.sum.assign(p.begin(), p.end());
-      partial.count = 1;
-      out->Emit(c, partial);
-    };
-    job.combiner = [](const uint32_t&, std::vector<CentroidPartial> values) {
-      CentroidPartial merged;
-      for (const CentroidPartial& v : values) merged.Merge(v);
-      return std::vector<CentroidPartial>{merged};
-    };
-    job.reduce = [](const uint32_t& c, std::span<const CentroidPartial> values,
-                    std::vector<IterOut>* out) {
-      CentroidPartial merged;
-      for (const CentroidPartial& v : values) merged.Merge(v);
-      out->push_back({c, merged});
-    };
+    // The iteration's job body lives in ddp/pipeline_jobs.h so exec'd
+    // ddp_worker processes can run it by name; the ctx snapshots this
+    // iteration's centroids.
+    auto ctx = std::make_shared<pipejobs::KmeansIterCtx>();
+    ctx->centroids = result.centroids;
+    ctx->dataset = &dataset;
+    ctx->metric = &metric;
+    auto job = pipejobs::MakeKmeansIterJob(std::move(ctx), iter);
 
     mr::JobCounters counters;
-    DDP_ASSIGN_OR_RETURN(std::vector<IterOut> partials,
+    DDP_ASSIGN_OR_RETURN(std::vector<pipejobs::KmeansIterOut> partials,
                          mr::RunJob(job, std::span<const PointId>(input),
                                     options.mr, &counters));
     result.stats.Add(counters);
 
     double max_move_sq = 0.0;
-    for (const IterOut& p : partials) {
+    for (const pipejobs::KmeansIterOut& p : partials) {
       if (p.second.count == 0) continue;
       std::vector<double>& c = result.centroids[p.first];
       double move_sq = 0.0;
@@ -142,7 +77,7 @@ Result<MrKmeansResult> RunMrKmeans(const Dataset& dataset,
   // Final assignment pass (centralized; not timed as an iteration).
   result.assignment.resize(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
-    result.assignment[i] = static_cast<int>(NearestCentroid(
+    result.assignment[i] = static_cast<int>(pipejobs::NearestCentroid(
         dataset.point(static_cast<PointId>(i)), result.centroids, metric));
   }
   return result;

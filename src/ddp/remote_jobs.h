@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file remote_jobs.h
+/// One-call registration of every DDP driver job in the process-global
+/// mr::JobRegistry, so a ddp_worker binary (tools/ddp_worker.cc) can serve
+/// any task an ExecMode::kRemote pipeline assigns: the four LSH-DDP jobs,
+/// the four Basic-DDP jobs, the four EDDPC jobs, and the shared pipeline
+/// jobs (choose-dc, assign-jump, kmeans-iter). Idempotent — re-registering
+/// replaces the factories in place.
+
+namespace ddp {
+
+void RegisterAllRemoteJobs();
+
+}  // namespace ddp

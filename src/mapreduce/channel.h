@@ -71,6 +71,14 @@ enum class MessageType : uint8_t {
   kJobProgress = 12,  // server -> client: JobStatusMsg, pushed while running
   kJobResult = 13,    // client -> server: JobPollMsg; server -> client: JobResultMsg
   kJobCancel = 14,    // client -> server: JobCancelMsg; reply kJobStatus
+  // Remote workers (see remote_worker.h): exec'd ddp_worker processes dial
+  // the supervisor's listener and announce themselves with a kHello whose
+  // flags mark them remote. Task bodies cannot cross by fork, so the
+  // supervisor first installs the phase's registered job (kJobSetup), then
+  // assigns tasks by value: each kTaskAssign carries the task's serialized
+  // input and the worker looks the body up by name in its JobRegistry.
+  kJobSetup = 15,    // supervisor -> worker: install a registered job (JobSetupMsg)
+  kTaskAssign = 16,  // supervisor -> worker: run one named-task attempt (TaskAssignMsg)
 };
 
 struct Frame {

@@ -48,6 +48,9 @@ void WriteJobObject(obs::JsonWriter* w, const JobCounters& j) {
   w->Field("shuffle_streamed_bytes", j.shuffle_streamed_bytes);
   w->Field("shuffle_resent_runs", j.shuffle_resent_runs);
   w->Field("channel_reconnects", j.channel_reconnects);
+  w->Field("workers_registered", j.workers_registered);
+  w->Field("workers_evicted", j.workers_evicted);
+  w->Field("tasks_reassigned", j.tasks_reassigned);
   w->Field("median_attempt_seconds", j.median_attempt_seconds);
   w->Field("p99_attempt_seconds", j.p99_attempt_seconds);
   w->Field("max_attempt_seconds", j.max_attempt_seconds);
@@ -128,6 +131,14 @@ std::string JobCounters::ToString() const {
                   static_cast<unsigned long long>(shuffle_streamed_bytes),
                   static_cast<unsigned long long>(shuffle_resent_runs),
                   static_cast<unsigned long long>(channel_reconnects));
+    out += buf;
+  }
+  if (workers_registered + workers_evicted + tasks_reassigned > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | remote: registered=%llu evicted=%llu reassigned=%llu",
+                  static_cast<unsigned long long>(workers_registered),
+                  static_cast<unsigned long long>(workers_evicted),
+                  static_cast<unsigned long long>(tasks_reassigned));
     out += buf;
   }
   if (straggler_ratio > 0.0) {
@@ -298,6 +309,24 @@ uint64_t RunStats::TotalChannelReconnects() const {
   return total;
 }
 
+uint64_t RunStats::TotalWorkersRegistered() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.workers_registered;
+  return total;
+}
+
+uint64_t RunStats::TotalWorkersEvicted() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.workers_evicted;
+  return total;
+}
+
+uint64_t RunStats::TotalTasksReassigned() const {
+  uint64_t total = 0;
+  for (const JobCounters& j : jobs) total += j.tasks_reassigned;
+  return total;
+}
+
 std::string JobCounters::ToJson() const {
   obs::JsonWriter w;
   WriteJobObject(&w, *this);
@@ -338,6 +367,9 @@ std::string RunStats::ToJson() const {
   w.Field("shuffle_streamed_bytes", TotalShuffleStreamedBytes());
   w.Field("shuffle_resent_runs", TotalShuffleResentRuns());
   w.Field("channel_reconnects", TotalChannelReconnects());
+  w.Field("workers_registered", TotalWorkersRegistered());
+  w.Field("workers_evicted", TotalWorkersEvicted());
+  w.Field("tasks_reassigned", TotalTasksReassigned());
   w.EndObject();
   w.EndObject();
   return w.Take();

@@ -78,6 +78,14 @@ struct JobCounters {
   uint64_t shuffle_streamed_bytes = 0;
   uint64_t shuffle_resent_runs = 0;
   uint64_t channel_reconnects = 0;
+  /// Remote execution (Options::exec_mode == ExecMode::kRemote): exec'd
+  /// ddp_worker processes admitted to a phase, remote workers dropped for
+  /// disconnect/deadline/protocol violations, and in-flight tasks moved off
+  /// evicted workers onto surviving ones. All zero in fork and in-process
+  /// modes.
+  uint64_t workers_registered = 0;
+  uint64_t workers_evicted = 0;
+  uint64_t tasks_reassigned = 0;
   /// True when the job's output was replayed from a CheckpointStore instead
   /// of being executed; all other counters are zero in that case.
   bool loaded_from_checkpoint = false;
@@ -139,6 +147,9 @@ struct RunStats {
   uint64_t TotalShuffleStreamedBytes() const;
   uint64_t TotalShuffleResentRuns() const;
   uint64_t TotalChannelReconnects() const;
+  uint64_t TotalWorkersRegistered() const;
+  uint64_t TotalWorkersEvicted() const;
+  uint64_t TotalTasksReassigned() const;
 
   std::string ToString() const;
   /// {"jobs": [JobCounters::ToJson()...], "totals": {...}}.

@@ -177,6 +177,15 @@ enum class ExecMode {
   /// reduce phases whose output type has no Serde (the results could not
   /// cross the process boundary). Output is bit-identical to kInProc.
   kFork = 1,
+  /// Tasks run in separately exec'd ddp_worker processes (possibly on other
+  /// hosts) that dialed `Options::remote_pool`'s listener, plus
+  /// `Options::remote_local_workers` forked locals. Tasks ship by *name*
+  /// (JobSpec::remote_task_id against the worker's JobRegistry) with their
+  /// input serialized by value, so nothing is fork-captured. Jobs whose
+  /// input type has no Serde or whose spec carries no remote_task_id
+  /// degrade to kFork semantics (counted in exec_fallbacks). Output is
+  /// bit-identical to kInProc.
+  kRemote = 2,
 };
 
 struct Options {
@@ -260,6 +269,17 @@ struct Options {
   std::string tcp_host = "127.0.0.1";
   uint16_t tcp_port = 0;
 
+  /// ExecMode::kRemote: the pool of exec'd ddp_worker processes
+  /// (remote_worker.h) whose listener remote workers dial. Borrowed, not
+  /// owned; one job may use a pool at a time. Required for kRemote — a null
+  /// pool degrades the job to kFork semantics.
+  RemoteWorkerPool* remote_pool = nullptr;
+  /// Local fork workers to run alongside the remote crew (kRemote only;
+  /// 0 means the job runs on remote workers exclusively). The mixed crew
+  /// shares one scheduler, so a lost remote worker's tasks can land on a
+  /// local fork worker and vice versa.
+  size_t remote_local_workers = 0;
+
   /// Cooperative cancellation shared across a pipeline: when set, RunJob
   /// checks the flag before doing any work and again at the map->reduce
   /// boundary, returning Cancelled instead of launching further tasks.
@@ -296,6 +316,14 @@ struct JobSpec {
   std::function<void(const MidK&, std::span<const MidV>, std::vector<Out>*)>
       reduce;
   std::function<std::vector<MidV>(const MidK&, std::vector<MidV>)> combiner;
+
+  /// Remote execution identity (ExecMode::kRemote): the JobRegistry id this
+  /// spec's tasks run under in a ddp_worker binary. The registered factory
+  /// on the worker side must rebuild an equivalent spec from the context
+  /// blob `remote_ctx` writes (typically a driver Ctx struct's Encode).
+  /// Empty keeps the job local: kRemote degrades to kFork semantics.
+  std::string remote_task_id;
+  std::function<void(BufferWriter*)> remote_ctx;
 };
 
 namespace internal {
@@ -440,6 +468,365 @@ struct PhaseStats {
   uint64_t deadline_kills = 0;
   uint64_t exceptions = 0;
   std::vector<double> durations;  // committed attempts only
+};
+
+/// One map task's output: per-partition sorted in-memory tails plus the
+/// sorted runs spilled to disk, with the byte/record accounting RunJob
+/// merges into JobCounters. Hoisted out of RunJob so a remote ddp_worker's
+/// registered job (remote_job.h) produces the exact same shape.
+struct MapTaskOutput {
+  std::vector<std::string> buffers;
+  std::vector<uint64_t> payload_bytes;
+  std::vector<SpillRun> runs;
+  uint64_t records = 0;
+  uint64_t combine_in = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  double spill_seconds = 0.0;
+};
+
+/// One reduce task's output (shared with remote_job.h like MapTaskOutput).
+/// `group_size_log2` is the log2-bucketed group-size histogram
+/// (bucket = floor(log2(size))) — the per-key population skew picture.
+template <typename Out>
+struct ReduceTaskOutput {
+  std::vector<Out> out;
+  uint64_t groups = 0;
+  uint64_t skipped = 0;
+  uint64_t merge_passes = 0;
+  std::vector<uint64_t> group_size_log2;
+};
+
+/// ReduceTaskOutput wire codec (multi-process reduce phases; requires
+/// Serde<Out>). Reduce outputs are final results, not shuffle data, so the
+/// whole output rides the result payload and no runs stream ahead of it.
+template <typename Out>
+void SerializeReduceOutput(BufferWriter* w, ReduceTaskOutput<Out>& ro) {
+  Serde<std::vector<Out>>::Write(w, ro.out);
+  w->PutVarint64(ro.groups);
+  w->PutVarint64(ro.skipped);
+  w->PutVarint64(ro.merge_passes);
+  Serde<std::vector<uint64_t>>::Write(w, ro.group_size_log2);
+}
+
+template <typename Out>
+Status DeserializeReduceOutput(BufferReader* r, ReduceTaskOutput<Out>* ro) {
+  DDP_RETURN_NOT_OK(Serde<std::vector<Out>>::Read(r, &ro->out));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&ro->groups));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&ro->skipped));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&ro->merge_passes));
+  return Serde<std::vector<uint64_t>>::Read(r, &ro->group_size_log2);
+}
+
+/// MapTaskOutput wire codec: counters and byte accounting only. The data —
+/// sorted runs and tails — does not ride the result payload; it streams
+/// ahead of it as spill segments (ExtractMapRuns / InjectMapRuns), so the
+/// supervising parent never materializes a whole map output.
+inline void SerializeMapCounters(BufferWriter* w, MapTaskOutput& mo) {
+  Serde<std::vector<uint64_t>>::Write(w, mo.payload_bytes);
+  w->PutVarint64(mo.records);
+  w->PutVarint64(mo.combine_in);
+  w->PutVarint64(mo.spilled_bytes);
+  w->PutVarint64(mo.spill_files);
+  w->PutDouble(mo.spill_seconds);
+}
+
+inline Status DeserializeMapCounters(BufferReader* r, MapTaskOutput* mo) {
+  DDP_RETURN_NOT_OK(Serde<std::vector<uint64_t>>::Read(r, &mo->payload_bytes));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&mo->records));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&mo->combine_in));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spilled_bytes));
+  DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spill_files));
+  DDP_RETURN_NOT_OK(r->GetDouble(&mo->spill_seconds));
+  return Status::OK();
+}
+
+/// Worker side: lists the attempt's runs in merge-ordinal order — disk runs
+/// in spill order, then each non-empty tail (tails sort after every disk
+/// run of their task; see kTailRunIndex). The OutboundRuns keep the
+/// spill-file handles alive until the supervisor confirms the commit.
+inline std::vector<OutboundRun> ExtractMapRuns(MapTaskOutput& mo) {
+  std::vector<OutboundRun> runs;
+  runs.reserve(mo.runs.size() + mo.buffers.size());
+  for (SpillRun& run : mo.runs) {
+    OutboundRun r;
+    r.partition = run.partition;
+    r.spill_index = run.spill_index;
+    r.file = std::move(run.file);
+    r.offset = run.offset;
+    r.length = run.length;
+    runs.push_back(std::move(r));
+  }
+  mo.runs.clear();
+  for (size_t p = 0; p < mo.buffers.size(); ++p) {
+    if (mo.buffers[p].empty()) continue;
+    OutboundRun r;
+    r.partition = static_cast<uint32_t>(p);
+    r.spill_index = kTailRunIndex;
+    r.bytes = std::move(mo.buffers[p]);
+    runs.push_back(std::move(r));
+  }
+  mo.buffers.clear();
+  return runs;
+}
+
+/// Parent side: grafts the committed runs back into a MapTaskOutput shaped
+/// exactly like an in-process map task's — tails per partition, disk runs
+/// (now extents of a supervisor-owned spill file) in stream order — so the
+/// reduce phase cannot tell how the bytes arrived.
+inline Status InjectMapRuns(size_t num_partitions,
+                            std::vector<CommittedRun> runs,
+                            MapTaskOutput* mo) {
+  mo->buffers.assign(num_partitions, std::string());
+  mo->runs.clear();
+  for (CommittedRun& cr : runs) {
+    if (cr.partition >= num_partitions) {
+      return Status::IoError("streamed run names partition " +
+                             std::to_string(cr.partition) + " of " +
+                             std::to_string(num_partitions));
+    }
+    if (cr.spill_index == kTailRunIndex) {
+      mo->buffers[cr.partition] = std::move(cr.bytes);
+    } else {
+      SpillRun run;
+      run.file = std::move(cr.file);
+      run.partition = cr.partition;
+      run.spill_index = cr.spill_index;
+      run.offset = cr.offset;
+      run.length = cr.length;
+      mo->runs.push_back(std::move(run));
+    }
+  }
+  return Status::OK();
+}
+
+/// The chaos knobs one worker-side attempt rolls — a value type so fork
+/// closures and remote registered jobs (which rebuild it from a JobSetupMsg
+/// on another host) inject from identical hashes.
+struct WorkerChaosParams {
+  FaultInjection faults;
+  double failure_rate = 0.0;  // this phase's injected-failure probability
+  std::string job_name;
+  int phase = 0;
+  /// channel_drop_rate applies (reconnecting transports only: TCP fork
+  /// workers and remote workers; a socketpair drop is a worker loss).
+  bool drop_chaos = false;
+};
+
+/// Runs one worker-side task attempt with the full fork-mode chaos order:
+/// poison-task and mid-map crashes before the body, injected failure and
+/// straggler dawdle after it, mid-shuffle crash / mid-run channel drop
+/// markers on the extracted runs, then the serialized counter payload.
+/// `body(task, cancel, &out)` is the phase body; `extract_runs(out)` lists
+/// the attempt's outbound runs; `serialize(writer, out)` encodes the slim
+/// result payload. Shared verbatim by RunForkedPhase's fork closure and the
+/// remote worker's registered jobs so retries re-roll the same
+/// deterministic hashes on any substrate.
+template <typename Output, typename Body, typename ExtractFn, typename SerFn>
+Status RunWorkerAttempt(const WorkerChaosParams& chaos, size_t t,
+                        size_t attempt, bool quarantined, const Body& body,
+                        const ExtractFn& extract_runs, const SerFn& serialize,
+                        TaskResult* result) {
+  const FaultInjection& faults = chaos.faults;
+  // A poisonous task SIGKILLs its worker on every attempt
+  // (attempt-independent hash) until quarantine suppresses it; a crash
+  // event kills this one attempt's worker, before the body ("mid-map") or
+  // while streaming its runs, result unsent ("mid-shuffle"), by a second
+  // hash bit. Quarantine suppresses both so the committed bytes match the
+  // in-process run.
+  bool crash_mid_shuffle = false;
+  if (!quarantined) {
+    if (ShouldInjectFailure(faults, faults.poison_task_rate, chaos.job_name,
+                            chaos.phase + 8, t, /*attempt=*/0)) {
+      CrashSelf();
+    }
+    if (ShouldInjectFailure(faults, faults.worker_crash_rate, chaos.job_name,
+                            chaos.phase + 6, t, attempt)) {
+      if (ShouldInjectFailure(faults, 0.5, chaos.job_name, chaos.phase + 10,
+                              t, attempt)) {
+        CrashSelf();  // mid-map: the body never ran
+      }
+      crash_mid_shuffle = true;  // die at a run boundary mid-stream
+    }
+  }
+  Output out{};
+  CancelToken cancel;  // hung workers are killed, not cancelled
+  Stopwatch watch;
+  Status st = body(t, &cancel, &out);
+  // In-process chaos parity (worker-side, so retries re-roll the same
+  // deterministic hashes the thread scheduler would).
+  if (st.ok() && ShouldInjectFailure(faults, chaos.failure_rate,
+                                     chaos.job_name, chaos.phase, t,
+                                     attempt)) {
+    st = Status::Internal("injected task failure");
+  }
+  if (st.ok() && ShouldInjectFailure(faults, faults.straggler_rate,
+                                     chaos.job_name, chaos.phase + 4, t,
+                                     attempt)) {
+    const double dawdle =
+        std::max(faults.straggler_min_seconds,
+                 watch.ElapsedSeconds() *
+                     std::max(0.0, faults.straggler_slowdown - 1.0));
+    cancel.WaitFor(dawdle);  // dawdles until the supervisor's hang kill
+  }
+  if (!st.ok()) {
+    if (crash_mid_shuffle) CrashSelf();  // parity: the worker still dies
+    return st;
+  }
+  result->runs = extract_runs(out);
+  if (crash_mid_shuffle) {
+    result->crash_after_runs = static_cast<int64_t>(result->runs.size() / 2);
+  }
+  if (chaos.drop_chaos &&
+      ShouldInjectFailure(faults, faults.channel_drop_rate, chaos.job_name,
+                          chaos.phase + 12, t, attempt)) {
+    result->drop_after_runs = static_cast<int64_t>(result->runs.size() / 2);
+  }
+  BufferWriter w(&result->payload);
+  serialize(&w, out);
+  return Status::OK();
+}
+
+/// Executes one map task over its input slice — the body RunJob schedules
+/// and a remote ddp_worker replays from a kTaskAssign frame. `task` is the
+/// job-wide task id (poison placement hashes it, so a remote slice
+/// reproduces the exact corruption an in-process run injects); the
+/// cancel-poll cadence is slice-relative either way. With `sorted_shuffle`,
+/// output is sorted runs + tails via a SpillingBuffer (never touching disk
+/// under a 0 budget); otherwise unsorted per-partition buffers.
+template <typename In, typename MidK, typename MidV, typename Out>
+Status ExecuteMapTask(const JobSpec<In, MidK, MidV, Out>& spec,
+                      std::span<const In> slice, size_t task,
+                      size_t num_partitions, const FaultInjection& faults,
+                      bool sorted_shuffle, uint64_t memory_budget_bytes,
+                      const std::string& spill_dir, CancelToken* cancel,
+                      MapTaskOutput* out) {
+  // A failed attempt's partial output is discarded, exactly like a lost
+  // Hadoop task: the emitter is attempt-local and only committed by the
+  // scheduler on success. Spill files are attempt-local too — names carry a
+  // process-unique id, and a failed or abandoned attempt's RAII handles
+  // unlink its files on the way out.
+  PartitionedEmitter<MidK, MidV> emitter(num_partitions);
+  std::unique_ptr<SpillingEmitter<MidK, MidV>> spiller;
+  Emitter<MidK, MidV>* sink = &emitter;
+  if (sorted_shuffle) {
+    spiller = std::make_unique<SpillingEmitter<MidK, MidV>>(
+        num_partitions, memory_budget_bytes, spill_dir,
+        spec.name + "-m" + std::to_string(task));
+    sink = spiller.get();
+  }
+  if (spec.combiner) {
+    CombiningEmitter<MidK, MidV> combining;
+    for (size_t i = 0; i < slice.size(); ++i) {
+      if ((i & 1023u) == 0 && cancel->cancelled()) {
+        return Status::Cancelled("map attempt abandoned");
+      }
+      spec.map(slice[i], &combining);
+    }
+    out->combine_in = combining.records();
+    combining.Flush(spec.combiner, sink);
+  } else {
+    for (size_t i = 0; i < slice.size(); ++i) {
+      if ((i & 1023u) == 0 && cancel->cancelled()) {
+        return Status::Cancelled("map attempt abandoned");
+      }
+      spec.map(slice[i], sink);
+    }
+  }
+  if (faults.corruption_rate > 0.0) {
+    // Poison placement is a function of (task, partition), never the
+    // attempt: recovery paths rebuild bit-identical buffers.
+    for (size_t p = 0; p < num_partitions; ++p) {
+      if (ShouldInjectFailure(faults, faults.corruption_rate, spec.name,
+                              /*phase=*/2, task, p)) {
+        if (spiller != nullptr) {
+          spiller->AppendPoisonFrame(p);
+        } else {
+          emitter.AppendPoisonFrame(p);
+        }
+      }
+    }
+  }
+  if (spiller != nullptr) {
+    auto& buffer = spiller->buffer();
+    DDP_RETURN_NOT_OK(buffer.Finish());
+    out->records = buffer.records();
+    out->payload_bytes = buffer.payload_bytes();
+    out->buffers = std::move(buffer.tails());
+    out->runs = std::move(buffer.runs());
+    out->spilled_bytes = buffer.spilled_bytes();
+    out->spill_files = buffer.spill_files();
+    out->spill_seconds = buffer.spill_seconds();
+  } else {
+    out->records = emitter.records();
+    out->payload_bytes = emitter.payload_bytes();
+    out->buffers = std::move(emitter.buffers());
+  }
+  return Status::OK();
+}
+
+/// Executes one sorted-shuffle reduce task: a k-way merge over `sources`
+/// (this partition's runs and tails, in (map task id, spill index, tail)
+/// source order so key ties reproduce the stable-sorted order of the
+/// in-memory path), grouping and reducing each key. `any_run` counts one
+/// merge pass when a spilled run actually fed the merge — remote callers
+/// pass the flag computed supervisor-side, keeping merge_passes identical
+/// to a local run even though shipped runs arrive as in-memory bytes.
+template <typename In, typename MidK, typename MidV, typename Out>
+Status ExecuteSortedReduceTask(const JobSpec<In, MidK, MidV, Out>& spec,
+                               size_t p,
+                               std::vector<std::unique_ptr<FrameStream>>
+                                   sources,
+                               bool any_run, bool skip_bad,
+                               CancelToken* cancel,
+                               ReduceTaskOutput<Out>* out) {
+  DDP_TRACE_SPAN(merge_span, "mr", "merge_stream");
+  if (merge_span.active()) {
+    merge_span.AddArg("partition", static_cast<uint64_t>(p));
+    merge_span.AddArg("sources", static_cast<uint64_t>(sources.size()));
+  }
+  MergingGroupReader<MidK, MidV, KeyTraits<MidK>> merger(std::move(sources),
+                                                         skip_bad, cancel);
+  Status st = merger.Init();
+  MidK key;
+  std::vector<MidV> values;
+  while (st.ok()) {
+    bool has = false;
+    st = merger.NextGroup(&key, &values, &has);
+    if (!st.ok() || !has) break;
+    spec.reduce(key, values, &out->out);
+    ++out->groups;
+    const size_t bucket =
+        static_cast<size_t>(std::bit_width(values.size())) - 1;
+    if (out->group_size_log2.size() <= bucket) {
+      out->group_size_log2.resize(bucket + 1, 0);
+    }
+    ++out->group_size_log2[bucket];
+  }
+  if (!st.ok()) {
+    merge_span.MarkCancelled();
+    if (st.IsCancelled()) return st;
+    return Status::IoError("reduce partition " + std::to_string(p) + ": " +
+                           st.message());
+  }
+  out->skipped = merger.skipped();
+  // One streaming pass merges every run of this partition; counted only
+  // when a spilled run actually fed the merge.
+  out->merge_passes = any_run ? 1 : 0;
+  return Status::OK();
+}
+
+/// Everything RunForkedPhase needs to run a phase on a remote crew: the
+/// borrowed pool, the encoded JobSetupMsg installed on each admitted
+/// worker, the per-task input codec (dispatched lazily, only for tasks that
+/// actually land on a remote worker), and how many local fork workers to
+/// run alongside. Local forks under a remote phase always use the pipe
+/// transport — the pool owns the job's TCP listener.
+struct RemotePhaseSpec {
+  RemoteWorkerPool* pool = nullptr;
+  std::string setup;  // JobSetupMsg::Encode()
+  std::function<Result<std::string>(size_t task)> task_input;
+  size_t local_workers = 0;
 };
 
 /// The per-phase task scheduler — the "job tracker" of this runtime. Runs
@@ -772,6 +1159,13 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
 /// crashes land mid-stream, at a run boundary) and channel_drop_rate via a
 /// deliberate mid-run disconnect. Returns NotImplemented when fork execution
 /// is unavailable — no task has run, fall back to RunRobustPhase.
+///
+/// With `remote` set (ExecMode::kRemote), the supervisor additionally admits
+/// exec'd ddp_worker processes from the pool's listener: they receive the
+/// phase's JobSetupMsg once and then per-task kTaskAssign frames whose input
+/// `remote->task_input` serializes, while `remote->local_workers` forked
+/// locals (0 for a pure-remote crew) run `body` as usual. NotImplemented
+/// then means no worker — forked or remote — ever joined.
 template <typename Output, typename Body, typename SerFn, typename DeFn,
           typename ExtractFn, typename InjectFn>
 Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
@@ -780,7 +1174,8 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
                       JobCounters* counters, std::vector<Output>* outputs,
                       const Body& body, const SerFn& serialize,
                       const DeFn& deserialize, const ExtractFn& extract_runs,
-                      const InjectFn& inject_runs) {
+                      const InjectFn& inject_runs,
+                      const RemotePhaseSpec* remote = nullptr) {
   outputs->clear();
   outputs->resize(num_tasks);
   if (num_tasks == 0) return Status::OK();
@@ -811,66 +1206,29 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
       options.memory_budget_bytes > 0
           ? std::max<uint64_t>(options.memory_budget_bytes, 4096)
           : 0;
+  if (remote != nullptr) {
+    cfg.remote_pool = remote->pool;
+    cfg.remote_setup_payload = remote->setup;
+    cfg.remote_task_input = remote->task_input;
+    // Local forks ride socketpairs; the pool owns the job's TCP listener.
+    cfg.num_workers = remote->local_workers;
+    cfg.transport = Transport::kPipe;
+  }
 
-  // Runs in the worker process.
+  // Runs in the worker process: the shared chaos-order attempt wrapper
+  // around `body`. Remote workers run the same wrapper rebuilt from the
+  // JobSetupMsg (remote_job.h), so every substrate rolls identical hashes.
+  WorkerChaosParams chaos;
+  chaos.faults = faults;
+  chaos.failure_rate = failure_rate;
+  chaos.job_name = job_name;
+  chaos.phase = phase;
+  chaos.drop_chaos =
+      remote == nullptr && options.transport == Transport::kTcp;
   WorkerTaskFn fn = [&](size_t t, size_t attempt, bool quarantined,
                         TaskResult* result) -> Status {
-    // Fork-only chaos. A poisonous task SIGKILLs its worker on every
-    // attempt (attempt-independent hash) until quarantine suppresses it; a
-    // crash event kills this one attempt's worker, before the body
-    // ("mid-map") or while streaming its runs, result unsent
-    // ("mid-shuffle"), by a second hash bit. Quarantine suppresses both so
-    // the committed bytes match the in-process run.
-    bool crash_mid_shuffle = false;
-    if (!quarantined) {
-      if (ShouldInjectFailure(faults, faults.poison_task_rate, job_name,
-                              phase + 8, t, /*attempt=*/0)) {
-        CrashSelf();
-      }
-      if (ShouldInjectFailure(faults, faults.worker_crash_rate, job_name,
-                              phase + 6, t, attempt)) {
-        if (ShouldInjectFailure(faults, 0.5, job_name, phase + 10, t,
-                                attempt)) {
-          CrashSelf();  // mid-map: the body never ran
-        }
-        crash_mid_shuffle = true;  // die at a run boundary mid-stream
-      }
-    }
-    Output out{};
-    CancelToken cancel;  // hung workers are killed, not cancelled
-    Stopwatch watch;
-    Status st = body(t, &cancel, &out);
-    // In-process chaos parity (worker-side, so retries re-roll the same
-    // deterministic hashes the thread scheduler would).
-    if (st.ok() && ShouldInjectFailure(faults, failure_rate, job_name, phase,
-                                       t, attempt)) {
-      st = Status::Internal("injected task failure");
-    }
-    if (st.ok() && ShouldInjectFailure(faults, faults.straggler_rate, job_name,
-                                       phase + 4, t, attempt)) {
-      const double dawdle =
-          std::max(faults.straggler_min_seconds,
-                   watch.ElapsedSeconds() *
-                       std::max(0.0, faults.straggler_slowdown - 1.0));
-      cancel.WaitFor(dawdle);  // dawdles until the supervisor's hang kill
-    }
-    if (!st.ok()) {
-      if (crash_mid_shuffle) CrashSelf();  // parity: the worker still dies
-      return st;
-    }
-    result->runs = extract_runs(out);
-    if (crash_mid_shuffle) {
-      result->crash_after_runs =
-          static_cast<int64_t>(result->runs.size() / 2);
-    }
-    if (options.transport == Transport::kTcp &&
-        ShouldInjectFailure(faults, faults.channel_drop_rate, job_name,
-                            phase + 12, t, attempt)) {
-      result->drop_after_runs = static_cast<int64_t>(result->runs.size() / 2);
-    }
-    BufferWriter w(&result->payload);
-    serialize(&w, out);
-    return Status::OK();
+    return RunWorkerAttempt<Output>(chaos, t, attempt, quarantined, body,
+                                    extract_runs, serialize, result);
   };
 
   obs::Histogram* attempt_hist = obs::MetricsRegistry::Global().GetHistogram(
@@ -914,6 +1272,9 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
   counters->shuffle_streamed_bytes += sstats.shuffle_streamed_bytes;
   counters->shuffle_resent_runs += sstats.shuffle_resent_runs;
   counters->channel_reconnects += sstats.channel_reconnects;
+  counters->workers_registered += sstats.workers_registered;
+  counters->workers_evicted += sstats.workers_evicted;
+  counters->tasks_reassigned += sstats.tasks_reassigned;
   return st;
 }
 
@@ -991,30 +1352,37 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     return pool.get();
   };
 
-  // Fork-mode resolution. `fork_phases` flips off permanently once a
-  // supervisor reports NotImplemented (unsupported platform or no worker
-  // could be spawned) — each degradation is counted in exec_fallbacks.
-  const bool want_fork = options.exec_mode == ExecMode::kFork;
-  bool fork_phases = want_fork && ForkExecutionSupported();
+  // Multi-process resolution. `remote_phases` requires a pool, a registered
+  // task id, and a Serde-crossable input type; anything less degrades to
+  // fork semantics. `fork_phases`/`remote_phases` flip off permanently once
+  // a supervisor reports NotImplemented (unsupported platform, no worker
+  // spawned, no remote worker joined) — each degradation is counted in
+  // exec_fallbacks.
+  bool remote_phases = false;
+  if constexpr (has_serde_v<In>) {
+    remote_phases = options.exec_mode == ExecMode::kRemote &&
+                    options.remote_pool != nullptr &&
+                    !spec.remote_task_id.empty();
+  }
+  const bool want_fork =
+      options.exec_mode == ExecMode::kFork ||
+      (options.exec_mode == ExecMode::kRemote && !remote_phases);
+  if (options.exec_mode == ExecMode::kRemote && !remote_phases) {
+    ++counters.exec_fallbacks;  // remote requested, job cannot go remote
+  }
+  bool fork_phases = (want_fork && ForkExecutionSupported()) || remote_phases;
   if (want_fork && !fork_phases) ++counters.exec_fallbacks;
-  if (job_span.active() && want_fork) {
-    job_span.AddArg("exec_mode", fork_phases ? "fork" : "fork->inproc");
+  if (job_span.active() && (want_fork || remote_phases)) {
+    job_span.AddArg("exec_mode", remote_phases  ? "remote"
+                                 : fork_phases ? "fork"
+                                               : "fork->inproc");
   }
 
   // ---- Map phase: split input into tasks, emit into per-partition buffers.
   // With a memory budget, `buffers` holds only the sorted in-memory tails
   // and `runs` references the sorted runs spilled to disk; the RAII file
   // handles inside the runs unlink the spill files when map_outputs dies.
-  struct MapOutput {
-    std::vector<std::string> buffers;
-    std::vector<uint64_t> payload_bytes;
-    std::vector<SpillRun> runs;
-    uint64_t records = 0;
-    uint64_t combine_in = 0;
-    uint64_t spilled_bytes = 0;
-    uint64_t spill_files = 0;
-    double spill_seconds = 0.0;
-  };
+  using MapOutput = internal::MapTaskOutput;
   const bool spilling = options.memory_budget_bytes > 0;
   // Fork-mode map output is always sorted runs and tails, budget or not:
   // the spill segment is the unit of shuffle transfer, so workers emit
@@ -1048,149 +1416,64 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
       [&](size_t t, CancelToken* cancel, MapOutput* out) -> Status {
         const size_t begin = t * chunk;
         const size_t end = std::min(input.size(), begin + chunk);
-        // A failed attempt's partial output is discarded, exactly like a
-        // lost Hadoop task: the emitter is attempt-local and only committed
-        // by the scheduler on success. Spill files are attempt-local too —
-        // names carry a process-unique id, and a failed or abandoned
-        // attempt's RAII handles unlink its files on the way out.
-        internal::PartitionedEmitter<MidK, MidV> emitter(num_partitions);
-        std::unique_ptr<internal::SpillingEmitter<MidK, MidV>> spiller;
-        Emitter<MidK, MidV>* sink = &emitter;
-        if (sorted_shuffle) {
-          spiller = std::make_unique<internal::SpillingEmitter<MidK, MidV>>(
-              num_partitions, options.memory_budget_bytes, spill_dir,
-              spec.name + "-m" + std::to_string(t));
-          sink = spiller.get();
-        }
-        if (spec.combiner) {
-          internal::CombiningEmitter<MidK, MidV> combining;
-          for (size_t i = begin; i < end; ++i) {
-            if (((i - begin) & 1023u) == 0 && cancel->cancelled()) {
-              return Status::Cancelled("map attempt abandoned");
-            }
-            spec.map(input[i], &combining);
-          }
-          out->combine_in = combining.records();
-          combining.Flush(spec.combiner, sink);
-        } else {
-          for (size_t i = begin; i < end; ++i) {
-            if (((i - begin) & 1023u) == 0 && cancel->cancelled()) {
-              return Status::Cancelled("map attempt abandoned");
-            }
-            spec.map(input[i], sink);
-          }
-        }
-        if (options.faults.corruption_rate > 0.0) {
-          // Poison placement is a function of (task, partition), never the
-          // attempt: recovery paths rebuild bit-identical buffers.
-          for (size_t p = 0; p < num_partitions; ++p) {
-            if (internal::ShouldInjectFailure(
-                    options.faults, options.faults.corruption_rate, spec.name,
-                    /*phase=*/2, t, p)) {
-              if (spiller != nullptr) {
-                spiller->AppendPoisonFrame(p);
-              } else {
-                emitter.AppendPoisonFrame(p);
-              }
-            }
-          }
-        }
-        if (spiller != nullptr) {
-          auto& buffer = spiller->buffer();
-          DDP_RETURN_NOT_OK(buffer.Finish());
-          out->records = buffer.records();
-          out->payload_bytes = buffer.payload_bytes();
-          out->buffers = std::move(buffer.tails());
-          out->runs = std::move(buffer.runs());
-          out->spilled_bytes = buffer.spilled_bytes();
-          out->spill_files = buffer.spill_files();
-          out->spill_seconds = buffer.spill_seconds();
-        } else {
-          out->records = emitter.records();
-          out->payload_bytes = emitter.payload_bytes();
-          out->buffers = std::move(emitter.buffers());
-        }
-        return Status::OK();
+        return internal::ExecuteMapTask(
+            spec, input.subspan(begin, end - begin), t, num_partitions,
+            options.faults, sorted_shuffle, options.memory_budget_bytes,
+            spill_dir, cancel, out);
       };
 
-  // MapOutput wire codec for fork mode: counters and byte accounting only.
-  // The data — sorted runs and tails — does not ride the result payload; it
-  // streams ahead of it as spill segments (extract/inject below), so the
-  // supervising parent never materializes a whole map output.
-  auto serialize_map = [](BufferWriter* w, MapOutput& mo) {
-    Serde<std::vector<uint64_t>>::Write(w, mo.payload_bytes);
-    w->PutVarint64(mo.records);
-    w->PutVarint64(mo.combine_in);
-    w->PutVarint64(mo.spilled_bytes);
-    w->PutVarint64(mo.spill_files);
-    w->PutDouble(mo.spill_seconds);
-  };
-  auto deserialize_map = [](BufferReader* r, MapOutput* mo) -> Status {
-    DDP_RETURN_NOT_OK(
-        Serde<std::vector<uint64_t>>::Read(r, &mo->payload_bytes));
-    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->records));
-    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->combine_in));
-    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spilled_bytes));
-    DDP_RETURN_NOT_OK(r->GetVarint64(&mo->spill_files));
-    DDP_RETURN_NOT_OK(r->GetDouble(&mo->spill_seconds));
-    return Status::OK();
-  };
-  // Worker side: lists the attempt's runs in merge-ordinal order — disk
-  // runs in spill order, then each non-empty tail (tails sort after every
-  // disk run of their task; see kTailRunIndex). The OutboundRuns keep the
-  // spill-file handles alive until the supervisor confirms the commit.
-  auto extract_map_runs = [](MapOutput& mo) {
-    std::vector<OutboundRun> runs;
-    runs.reserve(mo.runs.size() + mo.buffers.size());
-    for (SpillRun& run : mo.runs) {
-      OutboundRun r;
-      r.partition = run.partition;
-      r.spill_index = run.spill_index;
-      r.file = std::move(run.file);
-      r.offset = run.offset;
-      r.length = run.length;
-      runs.push_back(std::move(r));
-    }
-    mo.runs.clear();
-    for (size_t p = 0; p < mo.buffers.size(); ++p) {
-      if (mo.buffers[p].empty()) continue;
-      OutboundRun r;
-      r.partition = static_cast<uint32_t>(p);
-      r.spill_index = kTailRunIndex;
-      r.bytes = std::move(mo.buffers[p]);
-      runs.push_back(std::move(r));
-    }
-    mo.buffers.clear();
-    return runs;
-  };
-  // Parent side: grafts the committed runs back into a MapOutput shaped
-  // exactly like an in-process map task's — tails per partition, disk runs
-  // (now extents of a supervisor-owned spill file) in stream order — so the
-  // reduce phase cannot tell how the bytes arrived.
   auto inject_map_runs = [num_partitions](std::vector<CommittedRun> runs,
                                           MapOutput* mo) -> Status {
-    mo->buffers.assign(num_partitions, std::string());
-    mo->runs.clear();
-    for (CommittedRun& cr : runs) {
-      if (cr.partition >= num_partitions) {
-        return Status::IoError("streamed run names partition " +
-                               std::to_string(cr.partition) + " of " +
-                               std::to_string(num_partitions));
-      }
-      if (cr.spill_index == kTailRunIndex) {
-        mo->buffers[cr.partition] = std::move(cr.bytes);
-      } else {
-        SpillRun run;
-        run.file = std::move(cr.file);
-        run.partition = cr.partition;
-        run.spill_index = cr.spill_index;
-        run.offset = cr.offset;
-        run.length = cr.length;
-        mo->runs.push_back(std::move(run));
-      }
-    }
-    return Status::OK();
+    return internal::InjectMapRuns(num_partitions, std::move(runs), mo);
   };
+
+  // Remote phase setup (kRemote): the JobSetupMsg every admitted ddp_worker
+  // installs — naming the registered job and carrying everything a closure
+  // would have captured — plus the per-task input codec. Map task input is
+  // the task's input slice by value. Guarded by the same Serde<In>
+  // constexpr that gates remote_phases, so non-Serde jobs still compile.
+  internal::RemotePhaseSpec map_remote;
+  if constexpr (has_serde_v<In>) {
+    if (remote_phases) {
+      JobSetupMsg setup;
+      setup.job_id = spec.remote_task_id;
+      setup.job_name = spec.name;
+      setup.phase = 0;
+      if (spec.remote_ctx) {
+        BufferWriter cw(&setup.ctx);
+        spec.remote_ctx(&cw);
+      }
+      setup.num_partitions = num_partitions;
+      setup.memory_budget_bytes = options.memory_budget_bytes;
+      setup.spill_dir = options.spill_dir;  // resolved on the worker's host
+      setup.skip_bad_records = options.skip_bad_records;
+      setup.fault_seed = options.faults.seed;
+      setup.map_failure_rate = options.faults.map_failure_rate;
+      setup.reduce_failure_rate = options.faults.reduce_failure_rate;
+      setup.straggler_rate = options.faults.straggler_rate;
+      setup.straggler_slowdown = options.faults.straggler_slowdown;
+      setup.straggler_min_seconds = options.faults.straggler_min_seconds;
+      setup.corruption_rate = options.faults.corruption_rate;
+      setup.worker_crash_rate = options.faults.worker_crash_rate;
+      setup.poison_task_rate = options.faults.poison_task_rate;
+      setup.channel_drop_rate = options.faults.channel_drop_rate;
+      map_remote.pool = options.remote_pool;
+      map_remote.setup = setup.Encode();
+      map_remote.local_workers = options.remote_local_workers;
+      map_remote.task_input = [&input, chunk](size_t t)
+          -> Result<std::string> {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(input.size(), begin + chunk);
+        std::string bytes;
+        BufferWriter w(&bytes);
+        w.PutVarint64(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          Serde<In>::Write(&w, input[i]);
+        }
+        return bytes;
+      };
+    }
+  }
 
   Status map_status;
   bool map_forked = false;
@@ -1198,11 +1481,13 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
     map_status = internal::RunForkedPhase<MapOutput>(
         num_map_tasks, /*phase=*/0, spec.name, options,
         options.faults.map_failure_rate, spill_dir, &map_stats, &counters,
-        &map_outputs, map_body, serialize_map, deserialize_map,
-        extract_map_runs, inject_map_runs);
+        &map_outputs, map_body, internal::SerializeMapCounters,
+        internal::DeserializeMapCounters, internal::ExtractMapRuns,
+        inject_map_runs, remote_phases ? &map_remote : nullptr);
     if (map_status.IsNotImplemented()) {
       ++counters.exec_fallbacks;
       fork_phases = false;
+      remote_phases = false;
       sorted_shuffle = spilling;  // no task ran; back to the in-proc shape
     } else {
       map_forked = true;
@@ -1299,15 +1584,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   // Deserialization lives inside the attempt (a lost Hadoop reduce task
   // re-fetches its shuffle input too), so retries and speculative attempts
   // are self-contained.
-  struct ReduceOutput {
-    std::vector<Out> out;
-    uint64_t groups = 0;
-    uint64_t skipped = 0;
-    uint64_t merge_passes = 0;
-    // log2-bucketed group-size histogram (bucket = floor(log2(size))); the
-    // per-key population skew picture, merged into the job counters.
-    std::vector<uint64_t> group_size_log2;
-  };
+  using ReduceOutput = internal::ReduceTaskOutput<Out>;
   Stopwatch reduce_timer;
   DDP_TRACE_SPAN(reduce_span, "mr", "reduce_phase");
   if (reduce_span.active()) {
@@ -1342,41 +1619,8 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
                   std::make_unique<MemoryFrameReader>(mo.buffers[p]));
             }
           }
-          DDP_TRACE_SPAN(merge_span, "mr", "merge_stream");
-          if (merge_span.active()) {
-            merge_span.AddArg("partition", static_cast<uint64_t>(p));
-            merge_span.AddArg("sources",
-                              static_cast<uint64_t>(sources.size()));
-          }
-          internal::MergingGroupReader<MidK, MidV, KeyTraits<MidK>> merger(
-              std::move(sources), skip_bad, cancel);
-          Status st = merger.Init();
-          MidK key;
-          std::vector<MidV> values;
-          while (st.ok()) {
-            bool has = false;
-            st = merger.NextGroup(&key, &values, &has);
-            if (!st.ok() || !has) break;
-            spec.reduce(key, values, &out->out);
-            ++out->groups;
-            const size_t bucket =
-                static_cast<size_t>(std::bit_width(values.size())) - 1;
-            if (out->group_size_log2.size() <= bucket) {
-              out->group_size_log2.resize(bucket + 1, 0);
-            }
-            ++out->group_size_log2[bucket];
-          }
-          if (!st.ok()) {
-            merge_span.MarkCancelled();
-            if (st.IsCancelled()) return st;
-            return Status::IoError("reduce partition " + std::to_string(p) +
-                                   ": " + st.message());
-          }
-          out->skipped = merger.skipped();
-          // One streaming pass merges every run of this partition; counted
-          // only when a spilled run actually fed the merge.
-          out->merge_passes = any_run ? 1 : 0;
-          return Status::OK();
+          return internal::ExecuteSortedReduceTask(
+              spec, p, std::move(sources), any_run, skip_bad, cancel, out);
         }
         BufferReader reader(partitions[p]);
         std::vector<std::pair<MidK, MidV>> pairs;
@@ -1444,21 +1688,6 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   bool reduce_forked = false;
   if (fork_phases) {
     if constexpr (has_serde_v<Out>) {
-      auto serialize_reduce = [](BufferWriter* w, ReduceOutput& ro) {
-        Serde<std::vector<Out>>::Write(w, ro.out);
-        w->PutVarint64(ro.groups);
-        w->PutVarint64(ro.skipped);
-        w->PutVarint64(ro.merge_passes);
-        Serde<std::vector<uint64_t>>::Write(w, ro.group_size_log2);
-      };
-      auto deserialize_reduce = [](BufferReader* r,
-                                   ReduceOutput* ro) -> Status {
-        DDP_RETURN_NOT_OK(Serde<std::vector<Out>>::Read(r, &ro->out));
-        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->groups));
-        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->skipped));
-        DDP_RETURN_NOT_OK(r->GetVarint64(&ro->merge_passes));
-        return Serde<std::vector<uint64_t>>::Read(r, &ro->group_size_log2);
-      };
       // Reduce outputs are final results, not shuffle data: nothing to
       // stream as runs, so the extract/inject hooks are no-ops.
       auto extract_none = [](ReduceOutput&) {
@@ -1471,11 +1700,83 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
         }
         return Status::OK();
       };
+      // Remote reduce input: this partition's sources by value, in the
+      // exact (map task id, spill index, tail) order the local merge uses —
+      // each as (is_run, frame bytes), runs read back off the supervisor's
+      // spill files and CRC-stripped. The worker merges MemoryFrameReaders
+      // over the shipped bytes; source order and the any_run flag riding
+      // along keep tie-breaks and merge_passes bit-identical to a local
+      // reduce.
+      internal::RemotePhaseSpec reduce_remote;
+      if (remote_phases) {
+        JobSetupMsg setup;
+        setup.job_id = spec.remote_task_id;
+        setup.job_name = spec.name;
+        setup.phase = 1;
+        if (spec.remote_ctx) {
+          BufferWriter cw(&setup.ctx);
+          spec.remote_ctx(&cw);
+        }
+        setup.num_partitions = num_partitions;
+        setup.memory_budget_bytes = options.memory_budget_bytes;
+        setup.spill_dir = options.spill_dir;
+        setup.skip_bad_records = options.skip_bad_records;
+        setup.fault_seed = options.faults.seed;
+        setup.map_failure_rate = options.faults.map_failure_rate;
+        setup.reduce_failure_rate = options.faults.reduce_failure_rate;
+        setup.straggler_rate = options.faults.straggler_rate;
+        setup.straggler_slowdown = options.faults.straggler_slowdown;
+        setup.straggler_min_seconds = options.faults.straggler_min_seconds;
+        setup.corruption_rate = options.faults.corruption_rate;
+        setup.worker_crash_rate = options.faults.worker_crash_rate;
+        setup.poison_task_rate = options.faults.poison_task_rate;
+        setup.channel_drop_rate = options.faults.channel_drop_rate;
+        reduce_remote.pool = options.remote_pool;
+        reduce_remote.setup = setup.Encode();
+        reduce_remote.local_workers = options.remote_local_workers;
+        reduce_remote.task_input = [&map_outputs](size_t p)
+            -> Result<std::string> {
+          std::string bytes;
+          BufferWriter w(&bytes);
+          uint64_t count = 0;
+          for (const MapOutput& mo : map_outputs) {
+            for (const SpillRun& run : mo.runs) {
+              if (run.partition == p) ++count;
+            }
+            if (!mo.buffers[p].empty()) ++count;
+          }
+          w.PutVarint64(count);
+          for (const MapOutput& mo : map_outputs) {
+            for (const SpillRun& run : mo.runs) {
+              if (run.partition != p) continue;
+              DDP_ASSIGN_OR_RETURN(
+                  std::string seg,
+                  ReadFileExtent(run.file->path(), run.offset, run.length));
+              DDP_RETURN_NOT_OK(VerifyAndStripRunTrailer(&seg));
+              w.PutByte(1);
+              w.PutString(seg);
+            }
+            if (!mo.buffers[p].empty()) {
+              w.PutByte(0);
+              w.PutString(mo.buffers[p]);
+            }
+          }
+          return bytes;
+        };
+      }
+      auto serialize_reduce = [](BufferWriter* w, ReduceOutput& ro) {
+        internal::SerializeReduceOutput<Out>(w, ro);
+      };
+      auto deserialize_reduce = [](BufferReader* r,
+                                   ReduceOutput* ro) -> Status {
+        return internal::DeserializeReduceOutput<Out>(r, ro);
+      };
       reduce_status = internal::RunForkedPhase<ReduceOutput>(
           num_partitions, /*phase=*/1, spec.name, options,
           options.faults.reduce_failure_rate, spill_dir, &reduce_stats,
           &counters, &reduce_outputs, reduce_body, serialize_reduce,
-          deserialize_reduce, extract_none, inject_none);
+          deserialize_reduce, extract_none, inject_none,
+          remote_phases ? &reduce_remote : nullptr);
       if (reduce_status.IsNotImplemented()) {
         ++counters.exec_fallbacks;
         fork_phases = false;

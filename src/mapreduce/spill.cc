@@ -137,6 +137,20 @@ Status VerifyAndStripRunTrailer(std::string* segment) {
   return Status::OK();
 }
 
+Result<std::string> ReadFileExtent(const std::string& path, uint64_t offset,
+                                   uint64_t length) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open spill file " + path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string out;
+  out.resize(static_cast<size_t>(length));
+  in.read(out.data(), static_cast<std::streamsize>(length));
+  if (static_cast<uint64_t>(in.gcount()) != length) {
+    return Status::IoError("short read from spill file " + path);
+  }
+  return out;
+}
+
 Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
     const std::string& dir, const std::string& basename) {
   std::error_code ec;

@@ -124,6 +124,12 @@ void AppendRunTrailer(std::string* segment);
 /// a mismatch — the receiving side's integrity gate for a shipped run.
 Status VerifyAndStripRunTrailer(std::string* segment);
 
+/// Reads `length` bytes at `offset` from `path` — the byte-faithful lift of
+/// one run extent out of a spill file, used when a committed run must be
+/// re-serialized into a remote task's input instead of being read in place.
+Result<std::string> ReadFileExtent(const std::string& path, uint64_t offset,
+                                   uint64_t length);
+
 /// Sequential writer for one spill file: any number of CRC-trailed runs.
 /// Create -> (BeginRun, Append*, EndRun)* -> Close. Write errors surface as
 /// retryable Internal statuses (a retried attempt writes fresh files).

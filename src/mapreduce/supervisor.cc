@@ -22,6 +22,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/serde.h"
+#include "mapreduce/remote_worker.h"
 #include "mapreduce/spill.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
@@ -99,6 +100,9 @@ std::string HelloMsg::Encode() const {
   BufferWriter w(&bytes);
   w.PutVarint64(worker_id);
   w.PutVarint64(generation);
+  // Optional trailing field: forked workers (flags == 0) keep the original
+  // two-field wire bytes, so old and new hellos interoperate.
+  if (flags != 0) w.PutVarint64(flags);
   return bytes;
 }
 
@@ -106,7 +110,87 @@ Status HelloMsg::Decode(const std::string& bytes, HelloMsg* out) {
   BufferReader r(bytes);
   DDP_RETURN_NOT_OK(r.GetVarint64(&out->worker_id));
   DDP_RETURN_NOT_OK(r.GetVarint64(&out->generation));
+  out->flags = 0;
+  if (!r.exhausted()) {
+    uint64_t flags64 = 0;
+    DDP_RETURN_NOT_OK(r.GetVarint64(&flags64));
+    out->flags = static_cast<uint32_t>(flags64);
+  }
   if (!r.exhausted()) return Status::IoError("trailing bytes in HelloMsg");
+  return Status::OK();
+}
+
+std::string JobSetupMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutString(job_id);
+  w.PutString(job_name);
+  w.PutVarint64(phase);
+  w.PutString(ctx);
+  w.PutVarint64(num_partitions);
+  w.PutVarint64(memory_budget_bytes);
+  w.PutString(spill_dir);
+  w.PutByte(skip_bad_records ? 1 : 0);
+  w.PutVarint64(fault_seed);
+  w.PutDouble(map_failure_rate);
+  w.PutDouble(reduce_failure_rate);
+  w.PutDouble(straggler_rate);
+  w.PutDouble(straggler_slowdown);
+  w.PutDouble(straggler_min_seconds);
+  w.PutDouble(corruption_rate);
+  w.PutDouble(worker_crash_rate);
+  w.PutDouble(poison_task_rate);
+  w.PutDouble(channel_drop_rate);
+  return bytes;
+}
+
+Status JobSetupMsg::Decode(const std::string& bytes, JobSetupMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetString(&out->job_id));
+  DDP_RETURN_NOT_OK(r.GetString(&out->job_name));
+  uint64_t phase64 = 0;
+  DDP_RETURN_NOT_OK(r.GetVarint64(&phase64));
+  out->phase = static_cast<uint32_t>(phase64);
+  DDP_RETURN_NOT_OK(r.GetString(&out->ctx));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->num_partitions));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->memory_budget_bytes));
+  DDP_RETURN_NOT_OK(r.GetString(&out->spill_dir));
+  uint8_t skip = 0;
+  DDP_RETURN_NOT_OK(r.GetByte(&skip));
+  out->skip_bad_records = skip != 0;
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->fault_seed));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->map_failure_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->reduce_failure_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->straggler_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->straggler_slowdown));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->straggler_min_seconds));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->corruption_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->worker_crash_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->poison_task_rate));
+  DDP_RETURN_NOT_OK(r.GetDouble(&out->channel_drop_rate));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in JobSetupMsg");
+  return Status::OK();
+}
+
+std::string TaskAssignMsg::Encode() const {
+  std::string bytes;
+  BufferWriter w(&bytes);
+  w.PutVarint64(task);
+  w.PutVarint64(attempt);
+  w.PutByte(quarantined ? 1 : 0);
+  w.PutString(input);
+  return bytes;
+}
+
+Status TaskAssignMsg::Decode(const std::string& bytes, TaskAssignMsg* out) {
+  BufferReader r(bytes);
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->task));
+  DDP_RETURN_NOT_OK(r.GetVarint64(&out->attempt));
+  uint8_t q = 0;
+  DDP_RETURN_NOT_OK(r.GetByte(&q));
+  out->quarantined = q != 0;
+  DDP_RETURN_NOT_OK(r.GetString(&out->input));
+  if (!r.exhausted()) return Status::IoError("trailing bytes in TaskAssignMsg");
   return Status::OK();
 }
 
@@ -242,8 +326,12 @@ struct AttemptStream {
 };
 
 struct Worker {
-  pid_t pid = -1;
+  pid_t pid = -1;  // -1 for remote workers: their process is not our child
   uint64_t id = 0;
+  /// Remote workers run a registered job in an exec'd ddp_worker process;
+  /// they are fed kTaskAssign frames and evicted (never killed or reaped)
+  /// when they disappear.
+  bool remote = false;
   /// Null while a TCP worker is connecting (or reconnecting after a drop).
   std::unique_ptr<CommChannel> ch;
   bool busy = false;
@@ -276,7 +364,7 @@ void ReapPid(pid_t pid) {
 Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
                                   const WorkerTaskFn& fn, const CommitFn& commit,
                                   SupervisorStats* stats) {
-  if (!ForkExecutionSupported()) {
+  if (!ForkExecutionSupported() && cfg.remote_pool == nullptr) {
     return Status::NotImplemented("fork execution unsupported in this build");
   }
   if (cfg.num_tasks == 0) return Status::OK();
@@ -297,14 +385,20 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
 
   // TCP: listen before the first fork so children know where to connect.
   // A bind failure is a fallback signal, not a job error — nothing ran yet.
-  std::unique_ptr<TcpListener> listener;
-  if (cfg.transport == Transport::kTcp) {
+  // With a remote pool the pool's own (phase-outliving) listener is used
+  // instead, so remote workers keep one stable endpoint across phases.
+  std::unique_ptr<TcpListener> own_listener;
+  TcpListener* listener = nullptr;
+  if (cfg.remote_pool != nullptr) {
+    listener = cfg.remote_pool->listener();
+  } else if (cfg.transport == Transport::kTcp) {
     auto listening = TcpListener::Listen(cfg.tcp_host, cfg.tcp_port);
     if (!listening.ok()) {
       return Status::NotImplemented("cannot listen for workers: " +
                                     listening.status().ToString());
     }
-    listener = std::move(listening).value();
+    own_listener = std::move(listening).value();
+    listener = own_listener.get();
   }
 
   const uint64_t window = cfg.stream_window_bytes > 0
@@ -322,8 +416,14 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   uint64_t next_worker_id = 1;
   Status job_error;
 
-  const size_t target_workers =
-      std::max<size_t>(1, std::min(cfg.num_workers, cfg.num_tasks));
+  // With a remote pool the forked crew may be empty (num_workers == 0 means
+  // pure-remote execution); without one at least one fork worker is needed.
+  const size_t fork_target =
+      cfg.remote_pool != nullptr
+          ? (ForkExecutionSupported()
+                 ? std::min(cfg.num_workers, cfg.num_tasks)
+                 : 0)
+          : std::max<size_t>(1, std::min(cfg.num_workers, cfg.num_tasks));
   const ExponentialBackoff respawn_backoff(
       cfg.respawn_backoff, SplitSeed(cfg.backoff_seed, 0x5e5u));
   auto task_backoff = [&cfg](size_t t) {
@@ -392,9 +492,10 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
     if (pid == 0) {
       // Worker process. Drop every supervisor-side descriptor we inherited
-      // (ours, and those of workers forked before us) so a sibling's EOF is
-      // seen the moment that sibling dies.
+      // (ours, those of workers forked before us, and any remote-pool
+      // listener) so a sibling's EOF is seen the moment that sibling dies.
       ends.first->Close();
+      if (listener != nullptr) listener->Close();
       for (Worker& w : workers) {
         if (w.ch != nullptr) w.ch->Close();
       }
@@ -500,7 +601,40 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
   };
 
+  // Drops remote worker `wi` from the phase. Its process is not our child —
+  // no SIGKILL, no waitpid, no local spill orphans — so "death" is an
+  // eviction: the worker is forgotten and its in-flight task (if any) is
+  // reassigned to a surviving worker through the normal retry path.
+  auto evict_remote = [&](size_t wi, bool deadline_hit) {
+    Worker w = std::move(workers[wi]);
+    workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
+    if (w.ch != nullptr) w.ch->Close();
+    ++stats->workers_evicted;
+    DDP_METRIC_COUNTER_ADD("mr.workers_evicted", 1);
+    if (deadline_hit) ++stats->deadline_kills;
+    if (w.span != nullptr) {
+      if (w.span->active()) {
+        w.span->AddArg("exit", "evicted");
+        w.span->MarkCancelled();
+      }
+      w.span.reset();
+    }
+    if (w.busy) {
+      crash_hist->RecordSeconds(SecondsSince(w.dispatched, Clock::now()));
+      ++stats->tasks_reassigned;
+      DDP_METRIC_COUNTER_ADD("mr.tasks_reassigned", 1);
+      charge_failure(w.task, /*crashed=*/true,
+                     deadline_hit
+                         ? Status::DeadlineExceeded("remote worker deadline")
+                         : Status::Internal("remote worker lost"));
+    }
+  };
+
   auto kill_worker = [&](size_t wi, bool hang, bool deadline_hit) {
+    if (workers[wi].remote) {
+      evict_remote(wi, deadline_hit);
+      return;
+    }
     ::kill(workers[wi].pid, SIGKILL);
     ++stats->worker_kills;
     DDP_METRIC_COUNTER_ADD("mr.worker_kills", 1);
@@ -514,6 +648,45 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     w.stream.open.reset();
     ++stats->shuffle_resent_runs;
     DDP_METRIC_COUNTER_ADD("mr.shuffle_resent_runs", 1);
+  };
+
+  // Admits a remote worker: install the phase's registered job over
+  // kJobSetup, then schedule it like any other crew member. A worker whose
+  // prior registration was evicted redials with generation > 0 and gets a
+  // kNoTask resume ack first, telling it to drop any pending attempt.
+  auto admit_remote = [&](uint64_t id, std::unique_ptr<CommChannel> ch,
+                          bool resumed) {
+    if (cfg.remote_setup_payload.empty()) {
+      ch->Close();  // phase has no registered job; remote workers unusable
+      return;
+    }
+    if (resumed) {
+      RunAckMsg ack;
+      ack.task = RunAckMsg::kNoTask;
+      if (!ch->Send(Frame{MessageType::kRunAck, ack.Encode()}).ok()) {
+        ch->Close();
+        return;
+      }
+    }
+    if (!ch->Send(Frame{MessageType::kJobSetup, cfg.remote_setup_payload})
+             .ok()) {
+      ch->Close();
+      return;
+    }
+    Worker w;
+    w.remote = true;
+    w.id = id;
+    w.ch = std::move(ch);
+    w.last_beat = Clock::now();
+    w.span = std::make_unique<obs::Span>("mr", "remote_worker");
+    if (w.span->active()) {
+      w.span->AddArg("job", cfg.job_name);
+      w.span->AddArg("phase", std::string_view(phase_name));
+      w.span->AddArg("worker_id", id);
+    }
+    workers.push_back(std::move(w));
+    ++stats->workers_registered;
+    DDP_METRIC_COUNTER_ADD("mr.workers_registered", 1);
   };
 
   // Accepts one pending TCP connection and attaches it to its worker by
@@ -538,7 +711,12 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       }
     }
     if (w == nullptr) {
-      ch->Close();  // a worker we already declared dead
+      if ((hello.flags & kWorkerHelloRemote) != 0 &&
+          cfg.remote_pool != nullptr) {
+        admit_remote(hello.worker_id, std::move(ch), hello.generation > 0);
+      } else {
+        ch->Close();  // a worker we already declared dead
+      }
       return;
     }
     if (w->ch != nullptr) w->ch->Close();
@@ -657,19 +835,26 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     return true;
   };
 
-  // ---- Initial crew. Total spawn failure aborts before any task ran, so
-  // RunJob can fall back to the in-process executor.
-  for (size_t i = 0; i < target_workers; ++i) {
+  // ---- Initial crew: remote workers parked by an earlier phase first,
+  // then the forked complement. Total spawn failure (with no remote pool to
+  // wait on) aborts before any task ran, so RunJob can fall back to the
+  // in-process executor.
+  if (cfg.remote_pool != nullptr) {
+    for (RemoteWorkerPool::Parked& parked : cfg.remote_pool->TakeParked()) {
+      admit_remote(parked.id, std::move(parked.channel), /*resumed=*/false);
+    }
+  }
+  for (size_t i = 0; i < fork_target; ++i) {
     Status st = spawn_worker();
     if (!st.ok()) {
-      if (workers.empty()) {
+      if (workers.empty() && cfg.remote_pool == nullptr) {
         // NotImplemented is the caller's single "fork execution is not
         // available here" signal — same as the unsupported-platform path.
         return Status::NotImplemented("cannot spawn workers: " +
                                       st.ToString());
       }
       DDP_LOG(Warning) << cfg.job_name << ": spawned only " << workers.size()
-                       << "/" << target_workers
+                       << "/" << fork_target
                        << " workers: " << st.ToString();
       break;
     }
@@ -686,31 +871,56 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   }
 
   Clock::time_point next_respawn = Clock::now();
+  Clock::time_point last_crew = Clock::now();
 
   // ---- Event loop: dispatch, poll, classify, repeat.
   while (completed.load(std::memory_order_relaxed) < cfg.num_tasks &&
          job_error.ok()) {
     const Clock::time_point now = Clock::now();
 
-    // Respawn toward the target crew while the restart budget lasts.
-    if (workers.size() < target_workers && now >= next_respawn) {
+    // Respawn toward the forked target crew while the restart budget lasts.
+    size_t fork_alive = 0;
+    for (const Worker& w : workers) {
+      if (!w.remote) ++fork_alive;
+    }
+    if (fork_alive < fork_target && now >= next_respawn) {
       if (restarts_used < cfg.max_worker_restarts) {
         Status st = spawn_worker();
         if (st.ok()) {
           ++restarts_used;
           ++stats->worker_restarts;
           DDP_METRIC_COUNTER_ADD("mr.worker_restarts", 1);
-        } else if (workers.empty()) {
+        } else if (workers.empty() && cfg.remote_pool == nullptr) {
           job_error = Status::Internal("cannot respawn any worker: " +
                                        st.ToString());
           break;
         }
         next_respawn =
             now + FromSeconds(respawn_backoff.DelaySeconds(restarts_used));
-      } else if (workers.empty()) {
+      } else if (workers.empty() && cfg.remote_pool == nullptr) {
         job_error = Status::Internal(
             "all workers dead and the restart budget (" +
             std::to_string(cfg.max_worker_restarts) + ") is exhausted");
+        break;
+      }
+    }
+    // Remote-crew watchdog: with a pool, an empty crew is legitimate while
+    // remote workers are still dialing in — but only for the connect grace.
+    // An empty crew that never committed anything degrades like a failed
+    // fork (the caller falls back in-process); mid-job it is a hard error.
+    if (cfg.remote_pool != nullptr) {
+      if (!workers.empty()) {
+        last_crew = now;
+      } else if (SecondsSince(last_crew, now) > connect_grace) {
+        job_error =
+            completed.load(std::memory_order_relaxed) == 0
+                ? Status::NotImplemented(
+                      "no workers joined within the connect grace (remote "
+                      "pool on port " +
+                      std::to_string(listener->port()) + ")")
+                : Status::Internal(
+                      "all workers lost mid-job and none rejoined within "
+                      "the connect grace");
         break;
       }
     }
@@ -719,16 +929,33 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     // first, so runs are easy to reason about; commit order is by task id
     // regardless).
     for (Worker& w : workers) {
+      if (!job_error.ok()) break;
       if (w.busy || w.ch == nullptr) continue;
       for (size_t t = 0; t < cfg.num_tasks; ++t) {
         TaskState& ts = tasks[t];
         if (ts.done || ts.in_flight || now < ts.not_before) continue;
-        TaskMsg msg{t, ts.next_attempt++, ts.quarantined};
-        Status sent = w.ch->Send(Frame{MessageType::kTask, msg.Encode()});
+        Frame out;
+        if (w.remote) {
+          // Remote workers get the task's serialized input by value: they
+          // share no address space, so nothing can ride copy-on-write.
+          auto input = cfg.remote_task_input(t);
+          if (!input.ok()) {
+            job_error = input.status();
+            break;
+          }
+          TaskAssignMsg msg{t, ts.next_attempt, ts.quarantined,
+                            std::move(input).value()};
+          out = Frame{MessageType::kTaskAssign, msg.Encode()};
+        } else {
+          TaskMsg msg{t, ts.next_attempt, ts.quarantined};
+          out = Frame{MessageType::kTask, msg.Encode()};
+        }
+        const size_t attempt = ts.next_attempt++;
+        Status sent = w.ch->Send(std::move(out));
         if (sent.ok()) {
           w.busy = true;
           w.task = t;
-          w.attempt = msg.attempt;
+          w.attempt = attempt;
           w.dispatched = now;
           w.last_beat = now;
           w.stream = AttemptStream{};
@@ -745,17 +972,17 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     // Wait for worker traffic; the 10ms cap bounds backoff-gate, respawn,
     // and hang-scan latency. The TCP listener polls alongside the workers.
     std::vector<struct pollfd> pfds;
-    std::vector<pid_t> pfd_pids;
+    std::vector<uint64_t> pfd_ids;  // worker ids; remote workers have no pid
     pfds.reserve(workers.size() + 1);
     for (const Worker& w : workers) {
       if (w.ch == nullptr) continue;
       pfds.push_back({w.ch->fd(), POLLIN, 0});
-      pfd_pids.push_back(w.pid);
+      pfd_ids.push_back(w.id);
     }
     size_t listener_slot = pfds.size();
     if (listener != nullptr) {
       pfds.push_back({listener->fd(), POLLIN, 0});
-      pfd_pids.push_back(-1);
+      pfd_ids.push_back(0);  // worker ids start at 1; 0 is the listener
     }
     if (!pfds.empty()) {
       const int rc = ::poll(pfds.data(),
@@ -780,7 +1007,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       // Re-find the worker: earlier death handling may have reshuffled.
       size_t wi = workers.size();
       for (size_t j = 0; j < workers.size(); ++j) {
-        if (workers[j].pid == pfd_pids[i]) {
+        if (workers[j].id == pfd_ids[i]) {
           wi = j;
           break;
         }
@@ -793,6 +1020,16 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       Frame frame;
       Status received = w.ch->Recv(&frame, /*timeout_seconds=*/30.0);
       if (!received.ok()) {
+        if (w.remote) {
+          // No waitpid can tell a remote crash from a network drop: hold
+          // the attempt and committed runs for the reconnect grace; the
+          // hang scan evicts (and reassigns) if no redial arrives.
+          w.ch->Close();
+          w.ch.reset();
+          w.last_beat = Clock::now();
+          discard_open_run(w);
+          continue;
+        }
         if (cfg.transport == Transport::kTcp) {
           int wstatus = 0;
           const pid_t got = ::waitpid(w.pid, &wstatus, WNOHANG);
@@ -826,9 +1063,13 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
           protocol_ok = handle_run_end(w, frame.payload);
         }
         if (!protocol_ok) {
-          ::kill(w.pid, SIGKILL);
-          ++stats->worker_kills;
-          handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+          if (w.remote) {
+            evict_remote(wi, /*deadline_hit=*/false);
+          } else {
+            ::kill(w.pid, SIGKILL);
+            ++stats->worker_kills;
+            handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+          }
         }
         continue;
       }
@@ -837,9 +1078,13 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
         Status decoded = ResultMsg::Decode(frame.payload, &msg);
         if (!decoded.ok() || msg.task >= cfg.num_tasks ||
             w.stream.open.has_value()) {
-          ::kill(w.pid, SIGKILL);
-          ++stats->worker_kills;
-          handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+          if (w.remote) {
+            evict_remote(wi, /*deadline_hit=*/false);
+          } else {
+            ::kill(w.pid, SIGKILL);
+            ++stats->worker_kills;
+            handle_worker_death(wi, /*hang=*/false, /*deadline_hit=*/false);
+          }
           continue;
         }
         w.busy = false;
@@ -906,8 +1151,25 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
   }
 
-  // ---- Teardown: polite shutdown, bounded wait, then force.
-  if (listener != nullptr) listener->Close();
+  // ---- Teardown: polite shutdown, bounded wait, then force. The pool's
+  // listener is left open — it outlives the phase.
+  if (own_listener != nullptr) own_listener->Close();
+  // Remote workers outlive the phase: park healthy idle ones back into the
+  // pool for the next phase; anything mid-attempt or disconnected is told
+  // to shut down instead (its process is not our child — nothing to reap).
+  for (Worker& w : workers) {
+    if (!w.remote) continue;
+    if (w.ch != nullptr && !w.busy) {
+      cfg.remote_pool->Park(w.id, std::move(w.ch));
+    } else if (w.ch != nullptr) {
+      (void)w.ch->Send(Frame{MessageType::kShutdown, ""});
+      w.ch->Close();
+    }
+    if (w.span != nullptr) w.span.reset();
+  }
+  workers.erase(std::remove_if(workers.begin(), workers.end(),
+                               [](const Worker& w) { return w.remote; }),
+                workers.end());
   for (Worker& w : workers) {
     if (w.ch != nullptr) (void)w.ch->Send(Frame{MessageType::kShutdown, ""});
   }
@@ -943,6 +1205,8 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     phase_span.AddArg("worker_restarts", stats->worker_restarts);
     phase_span.AddArg("streamed_bytes", stats->shuffle_streamed_bytes);
     phase_span.AddArg("reconnects", stats->channel_reconnects);
+    phase_span.AddArg("workers_registered", stats->workers_registered);
+    phase_span.AddArg("tasks_reassigned", stats->tasks_reassigned);
   }
   return job_error;
 }

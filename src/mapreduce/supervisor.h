@@ -81,8 +81,13 @@ struct SupervisorStats {
   uint64_t shuffle_streamed_bytes = 0;  // run bytes committed off the wire
   uint64_t shuffle_resent_runs = 0;     // runs re-shipped after a reconnect
   uint64_t channel_reconnects = 0;      // TCP connections re-established
+  uint64_t workers_registered = 0;  // remote workers admitted to the phase
+  uint64_t workers_evicted = 0;     // remote workers dropped (death/silence)
+  uint64_t tasks_reassigned = 0;    // in-flight tasks moved off evicted workers
   std::vector<double> durations;  // committed attempt seconds
 };
+
+class RemoteWorkerPool;
 
 struct SupervisorConfig {
   std::string job_name;
@@ -125,6 +130,18 @@ struct SupervisorConfig {
   /// TCP only: how long a live worker may stay disconnected before the
   /// supervisor gives up and SIGKILLs it like a hang.
   double reconnect_grace_seconds = 5.0;
+  /// Non-null: schedule on exec'd remote workers (remote_worker.h) alongside
+  /// any forked crew. Remote workers are admitted off the pool's listener
+  /// (parked channels first), installed with `remote_setup_payload` over a
+  /// kJobSetup frame, and fed kTaskAssign frames whose input bytes come from
+  /// `remote_task_input`. An evicted remote worker's in-flight task is
+  /// reassigned to a surviving worker (counted in `tasks_reassigned`). The
+  /// pool outlives the phase: healthy idle workers are parked back into it.
+  RemoteWorkerPool* remote_pool = nullptr;
+  /// Encoded JobSetupMsg installing this phase's registered job.
+  std::string remote_setup_payload;
+  /// Serialized input for one task, shipped inside its kTaskAssign frame.
+  std::function<Result<std::string>(size_t task)> remote_task_input;
 };
 
 /// A run spill index reserved for in-memory tail segments: tails sort after
@@ -221,14 +238,71 @@ struct ResultMsg {
   static Status Decode(const std::string& bytes, ResultMsg* out);
 };
 
+/// Capability bits carried in HelloMsg::flags.
+/// kWorkerHelloRemote: the worker is an exec'd ddp_worker process executing
+/// registered jobs by name (kJobSetup / kTaskAssign) rather than a forked
+/// child sharing the supervisor's closures.
+constexpr uint32_t kWorkerHelloRemote = 1u << 0;
+
 struct HelloMsg {
   uint64_t worker_id = 0;
   /// 0 on first connect; incremented per reconnect. A generation > 0 hello
   /// triggers the resume protocol.
   uint64_t generation = 0;
+  /// Capability flags (kWorkerHello*). Encoded only when nonzero so the
+  /// fork-worker hello bytes are unchanged from earlier protocol revisions;
+  /// Decode treats a missing field as 0.
+  uint32_t flags = 0;
 
   std::string Encode() const;
   static Status Decode(const std::string& bytes, HelloMsg* out);
+};
+
+/// Installs one phase of a registered job on a remote worker (rides
+/// kJobSetup, answered implicitly by the worker accepting kTaskAssign
+/// frames). Everything a fork-worker would have captured by closure travels
+/// here by value: the registry id naming the task body, the driver context
+/// blob the registered factory decodes, and the knobs RunForkedPhase would
+/// have baked into the body (partition count, spill budget, deterministic
+/// chaos rates).
+struct JobSetupMsg {
+  std::string job_id;    // JobRegistry id naming the task body
+  std::string job_name;  // spec.name verbatim (chaos hashing, spill prefixes)
+  uint32_t phase = 0;    // 0 = map, 1 = reduce
+  std::string ctx;       // driver context blob for the registered factory
+  uint64_t num_partitions = 0;
+  uint64_t memory_budget_bytes = 0;
+  std::string spill_dir;
+  bool skip_bad_records = false;
+  /// FaultInjection, flattened (seed + rates) so remote chaos hashes
+  /// identically to fork-mode chaos.
+  uint64_t fault_seed = 0;
+  double map_failure_rate = 0.0;
+  double reduce_failure_rate = 0.0;
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 1.0;
+  double straggler_min_seconds = 0.0;
+  double corruption_rate = 0.0;
+  double worker_crash_rate = 0.0;
+  double poison_task_rate = 0.0;
+  double channel_drop_rate = 0.0;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, JobSetupMsg* out);
+};
+
+/// One named-task attempt for a remote worker (rides kTaskAssign). The
+/// counterpart of TaskMsg with the task's serialized input carried by value
+/// — remote workers share no address space, so input cannot ride
+/// copy-on-write.
+struct TaskAssignMsg {
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  bool quarantined = false;
+  std::string input;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& bytes, TaskAssignMsg* out);
 };
 
 struct RunBeginMsg {
@@ -270,16 +344,18 @@ struct RunAckMsg {
 
 class WorkerSupervisor {
  public:
-  /// Runs tasks [0, num_tasks) on forked workers, committing each task's
-  /// result (and streamed runs) through `commit`. Returns NotImplemented
-  /// when fork execution is unsupported or no worker could be spawned at
-  /// all — both before any task ran, so the caller can fall back to the
-  /// in-process executor.
+  /// Runs tasks [0, num_tasks) on forked workers and/or remote workers from
+  /// `config.remote_pool`, committing each task's result (and streamed
+  /// runs) through `commit`. Returns NotImplemented when fork execution is
+  /// unsupported (and no remote pool is configured), when no worker could
+  /// be spawned at all, or when a configured remote pool never produced a
+  /// live worker — all before any task committed, so the caller can fall
+  /// back to the in-process executor.
   static Status RunPhase(const SupervisorConfig& config, const WorkerTaskFn& fn,
                          const CommitFn& commit, SupervisorStats* stats);
 };
 
-/// Child-side knobs for WorkerMain.
+/// Child-side knobs for WorkerMain / WorkerLoop.
 struct WorkerMainConfig {
   double heartbeat_seconds = 0.25;
   uint64_t worker_id = 0;
@@ -288,13 +364,30 @@ struct WorkerMainConfig {
   /// Re-establishes the channel after a drop (TCP). Null: a channel error
   /// is fatal to the worker, as on a socketpair.
   std::function<Result<std::unique_ptr<CommChannel>>()> reconnect;
+  /// Forked children watch getppid() to detect supervisor death; an exec'd
+  /// remote worker has no parent relationship to watch, so it sets false.
+  bool check_parent = true;
+  /// Capability flags for the hello (kWorkerHello*), re-sent on reconnect.
+  uint32_t hello_flags = 0;
+  /// Remote-worker hooks. on_job_setup installs a registered job when a
+  /// kJobSetup frame arrives; on_task_assign runs one named-task attempt
+  /// (kTaskAssign). Null hooks reject those frames, as a fork worker would.
+  std::function<Status(const JobSetupMsg& setup)> on_job_setup;
+  std::function<Status(uint64_t task, uint64_t attempt, bool quarantined,
+                       const std::string& input, TaskResult* result)>
+      on_task_assign;
 };
 
-/// Child-side protocol loop (worker_main.cc): identify with kHello, answer
-/// kTask frames by streaming the attempt's runs then a kResult frame, until
-/// kShutdown, an unrecoverable channel error, or orphaning (the supervisor
-/// process died). Never returns to the caller's stack — exits the process
-/// via _exit so a forked child cannot run parent destructors.
+/// The worker protocol loop shared by forked children and exec'd remote
+/// workers: identify with kHello, answer kTask / kTaskAssign frames by
+/// streaming the attempt's runs then a kResult frame, until kShutdown, an
+/// unrecoverable channel error, or orphaning. Returns the process exit code
+/// (remote workers return to main; forked children must _exit instead).
+int WorkerLoop(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
+               const WorkerMainConfig& config);
+
+/// Forked-child entry: WorkerLoop, then _exit so a forked child cannot run
+/// parent destructors.
 [[noreturn]] void WorkerMain(std::unique_ptr<CommChannel> channel,
                              const WorkerTaskFn& fn,
                              const WorkerMainConfig& config);

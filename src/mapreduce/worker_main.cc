@@ -112,12 +112,15 @@ Status ReadExtent(const std::string& path, uint64_t offset, uint64_t length,
 
 }  // namespace
 
-void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
-                const WorkerMainConfig& cfg) {
+int WorkerLoop(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
+               const WorkerMainConfig& cfg) {
   // Workers inherit the parent's stderr; only warnings and errors are worth
   // duplicating num_workers times.
   SetLogLevel(LogLevel::kWarning);
-  const pid_t supervisor_pid = ::getppid();
+  // Forked children watch getppid() to notice supervisor death; an exec'd
+  // remote worker (check_parent == false) has no parent to watch and relies
+  // on channel errors instead.
+  const pid_t supervisor_pid = cfg.check_parent ? ::getppid() : -1;
   const uint64_t window =
       cfg.stream_window_bytes > 0 ? cfg.stream_window_bytes : (4u << 20);
 
@@ -239,7 +242,9 @@ void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
   // Re-establishes the channel and re-identifies. False: unrecoverable.
   auto reconnect = [&]() -> bool {
     if (cfg.reconnect == nullptr) return false;
-    if (::getppid() != supervisor_pid) return false;  // orphaned
+    if (cfg.check_parent && ::getppid() != supervisor_pid) {
+      return false;  // orphaned
+    }
     auto next = cfg.reconnect();
     if (!next.ok()) return false;
     holder.Replace(std::move(next).value());
@@ -247,14 +252,62 @@ void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
     HelloMsg hello;
     hello.worker_id = cfg.worker_id;
     hello.generation = generation;
+    hello.flags = cfg.hello_flags;
     return holder.Send(Frame{MessageType::kHello, hello.Encode()}).ok();
   };
 
   {
     HelloMsg hello;
     hello.worker_id = cfg.worker_id;
+    hello.flags = cfg.hello_flags;
     (void)holder.Send(Frame{MessageType::kHello, hello.Encode()});
   }
+
+  // Runs one attempt (kTask or kTaskAssign), ships its runs and result, and
+  // leaves the successful attempt pending until the next task commits it.
+  // False: the loop should exit (shutdown mid-stream).
+  auto run_attempt = [&](uint64_t task_id, uint64_t attempt, bool quarantined,
+                         auto&& body) -> bool {
+    // A new task means the previous result was committed: its runs (and
+    // their spill files) can finally go.
+    pending.reset();
+    current_task.store(task_id, std::memory_order_relaxed);
+    PendingAttempt p;
+    p.task = task_id;
+    p.attempt = attempt;
+    ResultMsg result;
+    result.task = task_id;
+    result.attempt = attempt;
+    Stopwatch watch;
+    Status st;
+    try {
+      st = body(quarantined, &p.result);
+    } catch (const std::exception& e) {
+      st = Status::Internal(std::string("worker task threw: ") + e.what());
+    } catch (...) {
+      st = Status::Internal("worker task threw a non-std exception");
+    }
+    result.seconds = watch.ElapsedSeconds();
+    result.status_code = static_cast<int32_t>(st.code());
+    result.status_message = st.message();
+    if (st.ok()) {
+      result.payload = p.result.payload;
+    } else {
+      // A failed attempt ships nothing; drop its runs (and files) now.
+      p.result = TaskResult{};
+    }
+    p.result_frame = result.Encode();
+
+    Status shipped = ship(p, 0, 0);
+    current_task.store(UINT64_MAX, std::memory_order_relaxed);
+    if (shipped.IsCancelled()) return false;
+    if (st.ok()) {
+      pending.emplace(std::move(p));
+    }
+    // When the ship failed (dropped mid-stream) the next loop iteration's
+    // Recv fails fast and runs the reconnect/resume path.
+    return true;
+  };
 
   for (;;) {
     Frame frame;
@@ -262,7 +315,7 @@ void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
     if (received.IsDeadlineExceeded()) {
       // Idle tick: if the supervisor died we are an orphan — exit rather
       // than wait forever on a socket nobody will write to again.
-      if (::getppid() != supervisor_pid) {
+      if (cfg.check_parent && ::getppid() != supervisor_pid) {
         exit_code = 1;
         break;
       }
@@ -296,61 +349,74 @@ void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
       continue;
     }
     if (frame.type == MessageType::kShutdown) break;
+    if (frame.type == MessageType::kJobSetup) {
+      // Remote workers: install the phase's registered job. A worker that
+      // cannot serve the job (unknown registry id, bad context blob) is
+      // useless to this supervisor — exit so it gets evicted cleanly.
+      JobSetupMsg setup;
+      if (cfg.on_job_setup == nullptr ||
+          !JobSetupMsg::Decode(frame.payload, &setup).ok()) {
+        exit_code = 1;
+        break;
+      }
+      Status installed = cfg.on_job_setup(setup);
+      if (!installed.ok()) {
+        DDP_LOG(Warning) << "worker " << cfg.worker_id
+                         << " cannot install job '" << setup.job_id
+                         << "': " << installed.ToString();
+        exit_code = 1;
+        break;
+      }
+      continue;
+    }
+    if (frame.type == MessageType::kTaskAssign) {
+      TaskAssignMsg assign;
+      if (cfg.on_task_assign == nullptr ||
+          !TaskAssignMsg::Decode(frame.payload, &assign).ok()) {
+        exit_code = 1;
+        break;
+      }
+      if (!run_attempt(assign.task, assign.attempt, assign.quarantined,
+                       [&](bool quarantined, TaskResult* result) {
+                         return cfg.on_task_assign(assign.task, assign.attempt,
+                                                   quarantined, assign.input,
+                                                   result);
+                       })) {
+        break;
+      }
+      continue;
+    }
     if (frame.type != MessageType::kTask) continue;  // stray acks etc.
     TaskMsg task;
     if (!TaskMsg::Decode(frame.payload, &task).ok()) break;
-
-    // A new task means the previous result was committed: its runs (and
-    // their spill files) can finally go.
-    pending.reset();
-
-    current_task.store(task.task, std::memory_order_relaxed);
-    PendingAttempt p;
-    p.task = task.task;
-    p.attempt = task.attempt;
-    ResultMsg result;
-    result.task = task.task;
-    result.attempt = task.attempt;
-    Stopwatch watch;
-    Status st;
-    try {
-      st = fn(static_cast<size_t>(task.task),
-              static_cast<size_t>(task.attempt), task.quarantined, &p.result);
-    } catch (const std::exception& e) {
-      st = Status::Internal(std::string("worker task threw: ") + e.what());
-    } catch (...) {
-      st = Status::Internal("worker task threw a non-std exception");
-    }
-    result.seconds = watch.ElapsedSeconds();
-    result.status_code = static_cast<int32_t>(st.code());
-    result.status_message = st.message();
-    if (st.ok()) {
-      result.payload = p.result.payload;
-    } else {
-      // A failed attempt ships nothing; drop its runs (and files) now.
-      p.result = TaskResult{};
-    }
-    p.result_frame = result.Encode();
-
-    Status shipped = ship(p, 0, 0);
-    current_task.store(UINT64_MAX, std::memory_order_relaxed);
-    if (shipped.IsCancelled()) break;
-    if (st.ok()) {
-      pending.emplace(std::move(p));
-    }
-    if (!shipped.ok()) {
-      // Dropped mid-stream; the next loop iteration's Recv fails fast and
-      // runs the reconnect/resume path (with `pending` set when the
-      // attempt succeeded).
-      continue;
+    if (!run_attempt(task.task, task.attempt, task.quarantined,
+                     [&](bool quarantined, TaskResult* result) {
+                       return fn(static_cast<size_t>(task.task),
+                                 static_cast<size_t>(task.attempt),
+                                 quarantined, result);
+                     })) {
+      break;
     }
   }
-  pending.reset();  // unlink this worker's spill files before _exit
+  pending.reset();  // unlink this worker's spill files before exiting
   beat.reset();     // join the beat thread before tearing the process down
-  ::_exit(exit_code);
+  return exit_code;
+}
+
+void WorkerMain(std::unique_ptr<CommChannel> channel, const WorkerTaskFn& fn,
+                const WorkerMainConfig& cfg) {
+  // Exit discipline: a forked child leaves ONLY through _exit — running the
+  // parent's static destructors in a forked image would touch state whose
+  // owning threads do not exist here.
+  ::_exit(WorkerLoop(std::move(channel), fn, cfg));
 }
 
 #else
+
+int WorkerLoop(std::unique_ptr<CommChannel>, const WorkerTaskFn&,
+               const WorkerMainConfig&) {
+  return 1;
+}
 
 void WorkerMain(std::unique_ptr<CommChannel>, const WorkerTaskFn&,
                 const WorkerMainConfig&) {

@@ -61,7 +61,7 @@ struct JobParams {
   uint64_t block_size = 500;  // Basic-DDP
   uint64_t num_workers = 0;   // 0 => DefaultParallelism()
   uint64_t memory_budget_bytes = 0;  // per-job budget; also admission weight
-  uint8_t exec_mode = 0;             // 0 inproc, 1 fork
+  uint8_t exec_mode = 0;             // 0 inproc, 1 fork, 2 remote workers
   uint64_t seed = 1;                 // chaos + backoff seed
   // Seeded chaos applied to the job's MapReduce runtime (tests and drills).
   double map_failure_rate = 0.0;

@@ -12,6 +12,7 @@
 #include "ddp/driver.h"
 #include "ddp/eddpc.h"
 #include "ddp/lsh_ddp.h"
+#include "mapreduce/remote_worker.h"
 #include "obs/trace.h"
 
 namespace ddp {
@@ -40,6 +41,12 @@ Result<std::unique_ptr<DdpServer>> DdpServer::Start(
   std::unique_ptr<DdpServer> server(new DdpServer(config));
   DDP_ASSIGN_OR_RETURN(server->listener_,
                        mr::TcpListener::Listen(config.host, config.port));
+  if (config.enable_remote_workers) {
+    DDP_ASSIGN_OR_RETURN(server->remote_pool_,
+                         mr::RemoteWorkerPool::Listen(
+                             config.remote_listen_host,
+                             config.remote_listen_port));
+  }
   if (config.work_dir.empty()) {
     server->work_dir_ =
         (fs::temp_directory_path() /
@@ -67,6 +74,10 @@ Result<std::unique_ptr<DdpServer>> DdpServer::Start(
 DdpServer::~DdpServer() {
   RequestShutdown();
   WaitShutdown();
+}
+
+uint16_t DdpServer::remote_port() const {
+  return remote_pool_ == nullptr ? 0 : remote_pool_->port();
 }
 
 bool DdpServer::draining() const {
@@ -545,8 +556,16 @@ Result<std::string> DdpServer::RunJobPipeline(
                            ckpt_dir.string() + ": " + ec.message());
   }
   options.checkpoint_dir = ckpt_dir.string();
-  options.mr.exec_mode =
-      params.exec_mode == 1 ? mr::ExecMode::kFork : mr::ExecMode::kInProc;
+  if (params.exec_mode == 2) {
+    // Remote execution: the job's phases run on ddp_worker processes that
+    // dialed the server's remote listener. A null pool (remote workers not
+    // enabled) degrades to fork semantics, counted in exec_fallbacks.
+    options.mr.exec_mode = mr::ExecMode::kRemote;
+    options.mr.remote_pool = remote_pool_.get();
+  } else {
+    options.mr.exec_mode =
+        params.exec_mode == 1 ? mr::ExecMode::kFork : mr::ExecMode::kInProc;
+  }
   options.mr.faults.seed = params.seed;
   options.mr.faults.map_failure_rate = params.map_failure_rate;
   options.mr.faults.reduce_failure_rate = params.reduce_failure_rate;
@@ -572,6 +591,11 @@ Result<std::string> DdpServer::RunJobPipeline(
   if (algorithm == nullptr) {
     return Status::InvalidArgument("unknown algo " + params.algo);
   }
+
+  // One RunPhase may borrow the remote pool at a time; with several
+  // scheduler threads, concurrent exec_mode 2 jobs take turns here.
+  std::unique_lock<std::mutex> remote_lock(remote_pool_mu_, std::defer_lock);
+  if (options.mr.remote_pool != nullptr) remote_lock.lock();
 
   DDP_ASSIGN_OR_RETURN(DdpRunResult run,
                        RunDistributedDp(algorithm, *dataset, options));

@@ -46,6 +46,9 @@
 /// through MetricsRegistry under `server.*` (docs/observability.md).
 
 namespace ddp {
+namespace mr {
+class RemoteWorkerPool;  // mapreduce/remote_worker.h
+}  // namespace mr
 namespace server {
 
 struct ServerConfig {
@@ -79,6 +82,15 @@ struct ServerConfig {
   /// Recv/accept poll granularity of the connection and accept loops; also
   /// bounds how stale a kJobProgress push can be.
   double poll_interval_seconds = 0.05;
+
+  /// Remote worker pool (exec_mode 2 jobs): when enabled the server binds a
+  /// second listener for exec'd ddp_worker processes to dial, and jobs
+  /// submitted with exec_mode 2 run their MapReduce phases on whichever
+  /// workers have registered. Disabled by default; exec_mode 2 without a
+  /// pool degrades to fork semantics (counted in exec_fallbacks).
+  bool enable_remote_workers = false;
+  std::string remote_listen_host = "127.0.0.1";
+  uint16_t remote_listen_port = 0;  // 0 picks an ephemeral port
 };
 
 class DdpServer {
@@ -93,6 +105,10 @@ class DdpServer {
 
   uint16_t port() const { return listener_->port(); }
   const std::string& work_dir() const { return work_dir_; }
+
+  /// Bound port of the remote-worker listener, or 0 when
+  /// ServerConfig::enable_remote_workers is off.
+  uint16_t remote_port() const;
 
   /// Stops admission and begins the drain. Non-blocking; safe from
   /// connection handler threads and signal-driven main loops.
@@ -164,6 +180,10 @@ class DdpServer {
   std::string work_dir_;
   Stopwatch clock_;
   std::unique_ptr<mr::TcpListener> listener_;
+  /// Set when config_.enable_remote_workers; exec_mode 2 jobs borrow it one
+  /// at a time under remote_pool_mu_ (a RunPhase owns the pool exclusively).
+  std::unique_ptr<mr::RemoteWorkerPool> remote_pool_;
+  std::mutex remote_pool_mu_;
   DatasetCache dataset_cache_;
   ResultCache result_cache_;
 

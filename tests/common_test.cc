@@ -444,6 +444,13 @@ TEST(HostPortTest, ParsesNumericEndpoints) {
   hp = ParseHostPort("255.255.255.255:65535");
   ASSERT_TRUE(hp.ok());
   EXPECT_EQ(hp->port, 65535);
+
+  // host:0 with a non-wildcard host is equally valid — ddp_cli's
+  // --remote-listen and ddp_server's --remote-listen both default to it.
+  hp = ParseHostPort("127.0.0.1:0");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->host, "127.0.0.1");
+  EXPECT_EQ(hp->port, 0);
 }
 
 TEST(HostPortTest, RejectsMalformedEndpoints) {
@@ -459,10 +466,16 @@ TEST(HostPortTest, RejectsMalformedEndpoints) {
       "127.0.0.1:65536",        // port > 65535
       "127.0.0.1:99999999999",  // port overflow
       "127.0.0.1:8080x",        // trailing garbage
+      "127.0.0.1:0x",           // trailing garbage after port 0
+      "127.0.0.1:8080 ",        // trailing space
+      "127.0.0.1:8080/path",    // trailing path
+      "127.0.0.1:8080\n",       // trailing newline
       "127.0..1:8080",          // empty octet
       "127.0.0.1:80:80",        // two colons
       " 127.0.0.1:8080",        // leading space
       "127.0.0.1:-1",           // negative port
+      "127.0.0.1:+80",          // explicit sign
+      "127.0.0.1.:80",          // trailing dot in host
   };
   for (const char* spec : bad) {
     auto hp = ParseHostPort(spec);

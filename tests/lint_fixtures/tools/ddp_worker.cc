@@ -1,0 +1,14 @@
+// R7 fixture: tools/ddp_worker.cc shares the process-control exemption
+// with src/mapreduce/ and src/server/ — the worker binary is the
+// subsystem's process entry point and owns the lifecycle of the sibling
+// workers it spawns for --workers N.
+#include <sys/socket.h>
+
+int ServeAsWorker(int supervisor_pid) {
+  int child = fork();
+  if (child == 0) return 0;
+  int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  if (fd >= 0 && connect(fd, nullptr, 0) != 0) return -1;
+  kill(supervisor_pid, 0);
+  return waitpid(child, nullptr, 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: the R7 exemption is pinned to the ddp_worker.cc file name, not
+// to the tools/ directory — any other tool keeps the ban (violation on
+// line 5).
+int Escape() {
+  int child = fork();
+  return child;
+}

@@ -1,8 +1,8 @@
 // End-to-end tests for tools/ddp_lint against the checked-in fixture tree in
-// tests/lint_fixtures/. The fixtures mirror src/ paths (src/core, src/common,
-// src/mapreduce) so the path-scoped rules fire exactly as they do over the
-// real tree; the tree scan itself skips anything under a lint_fixtures
-// directory. Each test pins the exact diagnostic lines and the exit code, so
+// tests/lint_fixtures/. The fixtures mirror real tree paths (src/core,
+// src/common, src/mapreduce, tools/) so the path-scoped rules fire exactly
+// as they do over the real tree; the tree scan itself skips anything under a
+// lint_fixtures directory. Each test pins the exact diagnostic lines and the exit code, so
 // a behavior change in the linter fails here before it confuses CI.
 
 #include <sys/wait.h>
@@ -163,13 +163,15 @@ TEST(LintTest, ProcessControlConfinedToMapreduce) {
   // line 8 is not a POSIX primitive.
   EXPECT_EQ(r.out,
             f +
-                ":5: [process-control] fork() outside src/mapreduce/ or "
-                "src/server/; process lifecycle belongs to the worker "
-                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
+                ":5: [process-control] fork() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":7: [process-control] kill() outside src/mapreduce/ or "
-                "src/server/; process lifecycle belongs to the worker "
-                "supervisor (use the CommChannel/WorkerSupervisor API)\n");
+                ":7: [process-control] kill() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n");
 }
 
 TEST(LintTest, SocketPrimitivesConfinedToMapreduce) {
@@ -181,17 +183,20 @@ TEST(LintTest, SocketPrimitivesConfinedToMapreduce) {
   // server.listen (line 13) are not POSIX primitives.
   EXPECT_EQ(r.out,
             f +
-                ":6: [process-control] socket() outside src/mapreduce/ or "
-                "src/server/; process lifecycle belongs to the worker "
-                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
+                ":6: [process-control] socket() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":7: [process-control] listen() outside src/mapreduce/ or "
-                "src/server/; process lifecycle belongs to the worker "
-                "supervisor (use the CommChannel/WorkerSupervisor API)\n" +
+                ":7: [process-control] listen() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n" +
                 f +
-                ":8: [process-control] connect() outside src/mapreduce/ or "
-                "src/server/; process lifecycle belongs to the worker "
-                "supervisor (use the CommChannel/WorkerSupervisor API)\n");
+                ":8: [process-control] connect() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n");
 }
 
 TEST(LintTest, ServerDirMayUseSockets) {
@@ -200,6 +205,28 @@ TEST(LintTest, ServerDirMayUseSockets) {
   RunResult r = RunLint(Fixture("src/server/socket_server.cc"));
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, WorkerBinaryMayUseProcessControl) {
+  // tools/ddp_worker.cc shares the R7 exemption: the worker binary is the
+  // subsystem's process entry point (it spawns and reaps its own sibling
+  // workers for --workers N).
+  RunResult r = RunLint(Fixture("tools/ddp_worker.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, OtherToolsKeepProcessControlBan) {
+  // The exemption is pinned to the ddp_worker.cc file name, not to tools/.
+  std::string f = Fixture("tools/other_tool.cc");
+  RunResult r = RunLint(f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.out,
+            f +
+                ":5: [process-control] fork() outside src/mapreduce/, "
+                "src/server/, or tools/ddp_worker.cc; process lifecycle "
+                "belongs to the worker supervisor (use the "
+                "CommChannel/WorkerSupervisor API)\n");
 }
 
 TEST(LintTest, MissingFileExitsTwo) {

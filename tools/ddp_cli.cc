@@ -40,12 +40,28 @@
 //   --exec-mode MODE             inproc (default) runs MapReduce tasks on a
 //                                thread pool; fork runs them in supervised
 //                                worker processes (crash isolation,
-//                                bit-identical output)
+//                                bit-identical output); remote runs them on
+//                                exec'd ddp_worker processes over TCP
+//                                (bit-identical output, any host)
 //   --transport T                fork mode: pipe (default) talks to workers
 //                                over socketpairs; tcp[:host:port] over TCP
 //                                (port 0 or omitted picks an ephemeral port)
 //   --max-worker-restarts N      fork mode: replacement workers each phase
 //                                may spawn after crashes (default 8)
+//   --remote-listen H:P          remote mode: the worker pool's listen
+//                                endpoint (default 127.0.0.1:0 = ephemeral)
+//   --remote-port-file FILE      remote mode: write the bound port, so
+//                                externally launched ddp_worker processes
+//                                can find an ephemeral listener
+//   --remote-workers N           remote mode: ddp_worker processes to spawn
+//                                on this host (default 2; 0 = none, workers
+//                                join from elsewhere via --remote-listen)
+//   --remote-worker-bin PATH     remote mode: the worker binary to spawn
+//                                (default: ddp_worker next to this binary)
+//   --remote-local-workers N     remote mode: forked local workers to run
+//                                alongside the remote crew (default 0)
+//   --remote-crash-task K        remote mode: pass --chaos-crash-task K to
+//                                the first spawned worker (fault drills)
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,11 +69,13 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/host_port.h"
 #include "core/halo.h"
+#include "mapreduce/remote_worker.h"
 #include "core/sequential_dp.h"
 #include "dataset/binary_io.h"
 #include "dataset/csv.h"
@@ -92,9 +110,12 @@ int Usage() {
       "          [--memory-budget BYTES] [--spill-dir DIR]\n"
       "          [--block N] [--halo] [--graph FILE] [--out FILE]\n"
       "          [--trace-out FILE] [--metrics-out FILE] [--stats-out FILE]\n"
-      "          [--heartbeat SECONDS] [--exec-mode inproc|fork]\n"
+      "          [--heartbeat SECONDS] [--exec-mode inproc|fork|remote]\n"
       "          [--transport pipe|tcp[:host:port]]\n"
-      "          [--max-worker-restarts N]\n");
+      "          [--max-worker-restarts N]\n"
+      "          [--remote-listen H:P] [--remote-port-file FILE]\n"
+      "          [--remote-workers N] [--remote-worker-bin PATH]\n"
+      "          [--remote-local-workers N] [--remote-crash-task K]\n");
   return 2;
 }
 
@@ -275,7 +296,7 @@ int CmdTune(const Args& args) {
   return 0;
 }
 
-int CmdCluster(const Args& args) {
+int CmdCluster(const Args& args, const std::string& self_path) {
   if (args.positional().size() != 1) return Usage();
   const std::string& in_path = args.positional()[0];
   auto ds = LoadDataset(in_path);
@@ -303,8 +324,10 @@ int CmdCluster(const Args& args) {
   const std::string exec_mode = args.Get("exec-mode");
   if (exec_mode == "fork") {
     options.mr.exec_mode = mr::ExecMode::kFork;
+  } else if (exec_mode == "remote") {
+    options.mr.exec_mode = mr::ExecMode::kRemote;
   } else if (!exec_mode.empty() && exec_mode != "inproc") {
-    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork)\n",
+    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork|remote)\n",
                  exec_mode.c_str());
     return 2;
   }
@@ -327,6 +350,72 @@ int CmdCluster(const Args& args) {
                  transport.c_str());
     return 2;
   }
+
+  // Remote mode: bind the worker pool's listener, then spawn ddp_worker
+  // processes that dial it. Workers spawned elsewhere (other hosts, other
+  // shells) can join the same run via --remote-listen/--remote-port-file.
+  std::unique_ptr<mr::RemoteWorkerPool> remote_pool;
+  std::vector<int64_t> remote_pids;
+  if (options.mr.exec_mode == mr::ExecMode::kRemote) {
+    Result<HostPort> listen =
+        ParseHostPort(args.Get("remote-listen", "127.0.0.1:0"));
+    if (!listen.ok()) {
+      std::fprintf(stderr, "bad --remote-listen: %s\n",
+                   listen.status().ToString().c_str());
+      return 2;
+    }
+    auto pool = mr::RemoteWorkerPool::Listen(listen->host, listen->port);
+    if (!pool.ok()) {
+      std::fprintf(stderr, "remote pool listen failed: %s\n",
+                   pool.status().ToString().c_str());
+      return 1;
+    }
+    remote_pool = std::move(*pool);
+    options.mr.remote_pool = remote_pool.get();
+    options.mr.remote_local_workers = args.GetSize("remote-local-workers", 0);
+    if (args.Has("remote-port-file")) {
+      std::ofstream port_file(args.Get("remote-port-file"));
+      port_file << remote_pool->port() << '\n';
+      if (!port_file) {
+        std::fprintf(stderr, "cannot write --remote-port-file %s\n",
+                     args.Get("remote-port-file").c_str());
+        return 1;
+      }
+    }
+    const std::string endpoint =
+        remote_pool->host() + ":" + std::to_string(remote_pool->port());
+    std::string worker_bin = args.Get("remote-worker-bin");
+    if (worker_bin.empty()) {
+      worker_bin = (std::filesystem::path(self_path).parent_path() /
+                    "ddp_worker")
+                       .string();
+    }
+    const size_t num_workers = args.GetSize("remote-workers", 2);
+    for (size_t i = 0; i < num_workers; ++i) {
+      std::vector<std::string> worker_args = {"--connect", endpoint};
+      if (i == 0 && args.Has("remote-crash-task")) {
+        worker_args.push_back("--chaos-crash-task");
+        worker_args.push_back(args.Get("remote-crash-task"));
+      }
+      Result<int64_t> pid = mr::SpawnWorkerProcess(worker_bin, worker_args);
+      if (!pid.ok()) {
+        std::fprintf(stderr, "spawn %s failed: %s\n", worker_bin.c_str(),
+                     pid.status().ToString().c_str());
+        for (int64_t p : remote_pids) mr::KillWorkerProcess(p);
+        for (int64_t p : remote_pids) mr::WaitWorkerProcess(p);
+        return 1;
+      }
+      remote_pids.push_back(*pid);
+    }
+  }
+  // kShutdown the parked workers and reap spawned ones; safe on every exit
+  // path once spawning succeeded (a chaos-crashed worker is reaped with its
+  // non-zero code ignored — the run itself decides success).
+  auto stop_remote_workers = [&remote_pool, &remote_pids] {
+    if (remote_pool != nullptr) remote_pool->Shutdown();
+    for (int64_t p : remote_pids) mr::WaitWorkerProcess(p);
+    remote_pids.clear();
+  };
   if (args.Has("k")) {
     options.selector = PeakSelector::TopK(args.GetSize("k", 8));
   } else if (args.Has("rho") || args.Has("delta")) {
@@ -404,6 +493,7 @@ int CmdCluster(const Args& args) {
     r.clusters = std::move(clusters).value();
     run = std::move(r);
   }
+  stop_remote_workers();
   if (!run.ok()) {
     std::fprintf(stderr, "clustering failed: %s\n",
                  run.status().ToString().c_str());
@@ -499,7 +589,7 @@ int Main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "tune") return CmdTune(args);
-  if (cmd == "cluster") return CmdCluster(args);
+  if (cmd == "cluster") return CmdCluster(args, argv[0]);
   return Usage();
 }
 

@@ -15,7 +15,9 @@
 //   --block N                Basic-DDP block size
 //   --workers N              MapReduce workers (0 = server default)
 //   --memory-budget B        per-job spill budget; admission weight
-//   --exec-mode inproc|fork  worker execution mode
+//   --exec-mode inproc|fork|remote
+//                            worker execution mode (remote requires the
+//                            server to run with --remote-listen)
 //   --seed S                 chaos/backoff seed (default 1)
 //   --map-failure-rate R --reduce-failure-rate R --worker-crash-rate R
 //                            seeded chaos (tests and drills)
@@ -172,8 +174,10 @@ int CmdSubmit(server::DdpClient& client, const Args& args) {
   const std::string exec_mode = args.Get("exec-mode", "inproc");
   if (exec_mode == "fork") {
     msg.params.exec_mode = 1;
+  } else if (exec_mode == "remote") {
+    msg.params.exec_mode = 2;
   } else if (exec_mode != "inproc") {
-    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork)\n",
+    std::fprintf(stderr, "unknown --exec-mode '%s' (inproc|fork|remote)\n",
                  exec_mode.c_str());
     return 2;
   }

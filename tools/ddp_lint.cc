@@ -17,8 +17,9 @@
 //   header-hygiene         R6  headers use #pragma once, no using namespace
 //   process-control        R7  fork/exec/kill/waitpid and raw socket calls
 //                              (socket/bind/listen/connect/accept) confined
-//                              to src/mapreduce/ (supervisor + CommChannel)
-//                              and src/server/ (the serving daemon)
+//                              to src/mapreduce/ (supervisor + CommChannel),
+//                              src/server/ (the serving daemon), and
+//                              tools/ddp_worker.cc (the worker binary)
 //
 // Suppression syntax, trailing the violating line or opening a comment block
 // directly above it:
@@ -758,19 +759,22 @@ void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
 }
 
 // R7: raw process-control and socket primitives are confined to
-// src/mapreduce/ and src/server/. In src/mapreduce/ the worker supervisor
-// owns the process lifecycle
+// src/mapreduce/, src/server/, and tools/ddp_worker.cc. In src/mapreduce/
+// the worker supervisor owns the process lifecycle
 // (spawn, heartbeat, kill, reap) and CommChannel owns the transport. A
 // fork/kill/waitpid anywhere else escapes the crash-fault model: it creates
 // children the supervisor will never reap, or signals pids whose ownership
 // it cannot see. A raw socket/bind/connect bypasses the framed, CRC-trailed
 // channel protocol and its reconnect semantics. src/server/ builds the
-// serving daemon on those primitives and shares the exemption. Use the
-// CommChannel/WorkerSupervisor API (or mr::CrashSelf in chaos tests)
+// serving daemon on those primitives and shares the exemption, as does
+// tools/ddp_worker.cc — the worker subsystem's process entry point, which
+// owns the lifecycle of the sibling workers it spawns for --workers N. Use
+// the CommChannel/WorkerSupervisor API (or mr::CrashSelf in chaos tests)
 // elsewhere.
 void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
   if (PathContains(f.path, "src/mapreduce/") ||
-      PathContains(f.path, "src/server/")) {
+      PathContains(f.path, "src/server/") ||
+      PathContains(f.path, "tools/ddp_worker.cc")) {
     return;
   }
   static const std::vector<std::string> kCalls = {
@@ -822,9 +826,10 @@ void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
       }
       AddFinding(out, f, pos, kRuleProcess,
                  fn +
-                     "() outside src/mapreduce/ or src/server/; process "
-                     "lifecycle belongs to the worker supervisor (use the "
-                     "CommChannel/WorkerSupervisor API)");
+                     "() outside src/mapreduce/, src/server/, or "
+                     "tools/ddp_worker.cc; process lifecycle belongs to the "
+                     "worker supervisor (use the CommChannel/WorkerSupervisor "
+                     "API)");
     }
   }
 }
@@ -847,8 +852,8 @@ constexpr RuleDoc kRuleDocs[] = {
     {kRuleNames, "R5: span/metric name literals match [a-z0-9_.]+"},
     {kRuleHeader, "R6: headers use #pragma once, no using namespace"},
     {kRuleProcess,
-     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/ "
-     "and src/server/"},
+     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/, "
+     "src/server/, and tools/ddp_worker.cc"},
     {kRuleNoReason, "allow() without '-- <reason>' does not suppress"},
     {kRuleUnused, "allow() that suppresses nothing must be removed"},
 };

@@ -15,6 +15,11 @@
 //   --result-cache-entries N result cache bound (0 disables)
 //   --scheduler-threads N    concurrent running jobs (default 2)
 //   --drain-timeout S        grace period before shutdown cancels jobs
+//   --remote-listen H:P      enable the remote worker pool: bind a second
+//                            listener for exec'd ddp_worker processes
+//                            (port 0 picks an ephemeral port); jobs
+//                            submitted with exec_mode 2 run on it
+//   --remote-port-file FILE  write the remote listener's bound port
 //   --stats-out FILE         write the metrics registry JSON at exit
 //
 // The daemon serves until it receives SIGINT/SIGTERM or a client drain
@@ -109,6 +114,17 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(args.GetUint("scheduler-threads", 2));
   config.work_dir = args.Get("work-dir");
   config.drain_timeout_seconds = args.GetDouble("drain-timeout", 60.0);
+  if (args.Has("remote-listen")) {
+    Result<HostPort> remote = ParseHostPort(args.Get("remote-listen"));
+    if (!remote.ok()) {
+      std::fprintf(stderr, "bad --remote-listen: %s\n",
+                   remote.status().ToString().c_str());
+      return 2;
+    }
+    config.enable_remote_workers = true;
+    config.remote_listen_host = remote->host;
+    config.remote_listen_port = remote->port;
+  }
 
   Result<std::unique_ptr<server::DdpServer>> started =
       server::DdpServer::Start(config);
@@ -121,6 +137,11 @@ int Main(int argc, char** argv) {
   std::printf("ddp_server listening on %s:%u (work dir %s)\n",
               config.host.c_str(), static_cast<unsigned>(srv.port()),
               srv.work_dir().c_str());
+  if (srv.remote_port() != 0) {
+    std::printf("remote workers: dial %s:%u (ddp_worker --connect)\n",
+                config.remote_listen_host.c_str(),
+                static_cast<unsigned>(srv.remote_port()));
+  }
   std::fflush(stdout);
 
   if (args.Has("port-file")) {
@@ -131,6 +152,17 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "%u\n", static_cast<unsigned>(srv.port()));
+    std::fclose(f);
+  }
+  if (args.Has("remote-port-file")) {
+    const std::string port_file = args.Get("remote-port-file");
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --remote-port-file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(srv.remote_port()));
     std::fclose(f);
   }
 
