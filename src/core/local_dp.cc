@@ -13,6 +13,7 @@
 
 #include "common/thread_pool.h"
 #include "dataset/kdtree.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -34,12 +35,12 @@ class KernelScope {
   KernelScope(const char* name, size_t group_size, LocalDpBackend backend,
               const CountingMetric& metric)
       : outer_(metric.counter()), local_metric_(&local_counter_) {
-    DDP_METRIC_COUNTER_ADD("local_dp.groups", 1);
-    DDP_METRIC_HISTOGRAM_RECORD("local_dp.group_size", group_size);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricLocalDpGroups, 1);
+    DDP_METRIC_HISTOGRAM_RECORD(obs::kMetricLocalDpGroupSize, group_size);
 #ifndef DDP_OBS_NO_TRACING
     if (group_size >= kKernelSpanMinGroup &&
         obs::TraceRecorder::Global().enabled()) {
-      span_.emplace("local_dp", name);
+      span_.emplace(obs::kCatLocalDp, name);
       span_->AddArg("group_size", static_cast<uint64_t>(group_size));
       span_->AddArg("backend", LocalDpBackendName(backend));
     }
@@ -48,7 +49,7 @@ class KernelScope {
 
   ~KernelScope() {
     const uint64_t evals = local_counter_.value();
-    DDP_METRIC_COUNTER_ADD("local_dp.distance_evals", evals);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricLocalDpDistanceEvals, evals);
     if (outer_ != nullptr) outer_->Add(evals);
 #ifndef DDP_OBS_NO_TRACING
     if (span_.has_value()) span_->AddArg("distance_evals", evals);
@@ -199,7 +200,7 @@ std::vector<uint32_t> LocalDpEngine::Rho(const LocalPointView& view, double dc,
   std::vector<uint32_t> rho(n, 0);
   if (n == 0) return rho;
   const LocalDpBackend backend = Resolve(n, view.dim());
-  KernelScope scope("rho", n, backend, outer_metric);
+  KernelScope scope(obs::kSpanRho, n, backend, outer_metric);
   const CountingMetric& metric = scope.metric();
   const bool gaussian = kernel == DensityKernel::kGaussian;
   const double dc_sq = dc * dc;
@@ -345,7 +346,7 @@ LocalDeltaScores LocalDpEngine::Delta(const LocalPointView& view,
   out.upslope.assign(n, kInvalidPointId);
   if (n <= 1) return out;
   const LocalDpBackend backend = Resolve(n, view.dim());
-  KernelScope scope("delta", n, backend, outer_metric);
+  KernelScope scope(obs::kSpanDelta, n, backend, outer_metric);
   const CountingMetric& metric = scope.metric();
 
   // Rank positions by the density total order: the candidates denser than
@@ -435,7 +436,8 @@ void LocalDpEngine::RhoCross(const LocalPointView& left,
   const size_t nl = left.size();
   const size_t nr = right.size();
   if (nl == 0 || nr == 0) return;
-  KernelScope scope("rho-cross", nl + nr, options_.backend, outer_metric);
+  KernelScope scope(obs::kSpanRhoCross, nl + nr, options_.backend,
+                    outer_metric);
   const CountingMetric& metric = scope.metric();
   const double dc_sq = dc * dc;
   const bool both = !counts_right.empty();
@@ -506,7 +508,8 @@ void LocalDpEngine::DeltaCross(const LocalPointView& queries,
   const size_t nq = queries.size();
   const size_t nc = candidates.size();
   if (nq == 0 || nc == 0) return;
-  KernelScope scope("delta-cross", nq + nc, options_.backend, outer_metric);
+  KernelScope scope(obs::kSpanDeltaCross, nq + nc, options_.backend,
+                    outer_metric);
   const CountingMetric& metric = scope.metric();
   const bool kd = [&] {
     switch (options_.backend) {
@@ -590,7 +593,7 @@ void LocalDpEngine::DeltaCrossSymmetric(
     DeltaCross(right, rho_right, left, rho_left, outer_metric, best_right);
     return;
   }
-  KernelScope scope("delta-cross-sym", nl + nr, options_.backend,
+  KernelScope scope(obs::kSpanDeltaCrossSym, nl + nr, options_.backend,
                     outer_metric);
   const CountingMetric& metric = scope.metric();
   // Brute: each cross pair's distance is evaluated exactly once and feeds

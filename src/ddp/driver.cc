@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "ddp/mr_assignment.h"
 #include "ddp/pipeline_jobs.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -82,7 +83,7 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
     return Status::InvalidArgument("need at least 2 points");
   }
   Stopwatch total_timer;
-  DDP_TRACE_SPAN(pipeline_span, "pipeline", algorithm->name());
+  DDP_TRACE_SPAN(pipeline_span, obs::kCatPipeline, algorithm->name());
   if (pipeline_span.active()) {
     pipeline_span.AddArg("points", static_cast<uint64_t>(dataset.size()));
     pipeline_span.AddArg("dim", static_cast<uint64_t>(dataset.dim()));
@@ -108,14 +109,14 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
   if (options.dc > 0.0) {
     result.dc = options.dc;
   } else {
-    DDP_TRACE_SPAN(dc_span, "pipeline", "choose_dc");
+    DDP_TRACE_SPAN(dc_span, obs::kCatPipeline, obs::kSpanChooseDc);
     DDP_ASSIGN_OR_RETURN(
         result.dc, ChooseCutoffMapReduce(dataset, metric, options.cutoff,
                                          mr_options, &result.stats));
   }
 
   {
-    DDP_TRACE_SPAN(scores_span, "pipeline", "compute_scores");
+    DDP_TRACE_SPAN(scores_span, obs::kCatPipeline, obs::kSpanComputeScores);
     DDP_ASSIGN_OR_RETURN(result.scores,
                          algorithm->ComputeScores(dataset, result.dc, metric,
                                                   mr_options, &result.stats));
@@ -123,7 +124,7 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
 
   // Final step (Sec. III Step 3): decision graph, peaks, assignment —
   // centralized by default, distributed pointer jumping on request.
-  DDP_TRACE_SPAN(peaks_span, "pipeline", "peak_selection");
+  DDP_TRACE_SPAN(peaks_span, obs::kCatPipeline, obs::kSpanPeakSelection);
   DecisionGraph graph = DecisionGraph::FromScores(result.scores);
   std::vector<PointId> peaks = options.selector.Select(graph);
   if (peaks.empty()) {
@@ -135,9 +136,9 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
     peaks_span.AddArg("peaks", static_cast<uint64_t>(peaks.size()));
   }
   peaks_span.End();
-  DDP_METRIC_COUNTER_ADD("ddp.peaks_selected", peaks.size());
+  DDP_METRIC_COUNTER_ADD(obs::kMetricDdpPeaksSelected, peaks.size());
   {
-    DDP_TRACE_SPAN(assign_span, "pipeline", "assignment");
+    DDP_TRACE_SPAN(assign_span, obs::kCatPipeline, obs::kSpanAssignment);
     if (assign_span.active() && options.use_mr_assignment) {
       assign_span.AddArg("mode", "mapreduce");
     }
@@ -161,8 +162,8 @@ Result<DdpRunResult> RunDistributedDp(DistributedDpAlgorithm* algorithm,
 
   result.distance_evaluations = counter.value();
   result.total_seconds = total_timer.ElapsedSeconds();
-  DDP_METRIC_HISTOGRAM_SECONDS("ddp.pipeline_seconds", result.total_seconds);
-  DDP_METRIC_COUNTER_ADD("ddp.pipelines", 1);
+  DDP_METRIC_HISTOGRAM_SECONDS(obs::kMetricDdpPipelineSeconds, result.total_seconds);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricDdpPipelines, 1);
   return result;
 }
 

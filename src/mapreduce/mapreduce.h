@@ -29,6 +29,7 @@
 #include "mapreduce/spill.h"
 #include "mapreduce/supervisor.h"
 #include "obs/heartbeat.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -780,7 +781,7 @@ Status ExecuteSortedReduceTask(const JobSpec<In, MidK, MidV, Out>& spec,
                                bool any_run, bool skip_bad,
                                CancelToken* cancel,
                                ReduceTaskOutput<Out>* out) {
-  DDP_TRACE_SPAN(merge_span, "mr", "merge_stream");
+  DDP_TRACE_SPAN(merge_span, obs::kCatMr, obs::kSpanMergeStream);
   if (merge_span.active()) {
     merge_span.AddArg("partition", static_cast<uint64_t>(p));
     merge_span.AddArg("sources", static_cast<uint64_t>(sources.size()));
@@ -890,7 +891,7 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
   // created inside the worker closure (so it lands on the executing
   // thread), and an optional progress heartbeat.
   obs::Histogram* attempt_hist = obs::MetricsRegistry::Global().GetHistogram(
-      phase == 0 ? "mr.map_attempt_seconds" : "mr.reduce_attempt_seconds");
+      phase == 0 ? obs::kMetricMrMapAttemptSeconds : obs::kMetricMrReduceAttemptSeconds);
   std::atomic<size_t> completed_for_heartbeat{0};
   Stopwatch phase_timer;
   std::optional<obs::ProgressHeartbeat> heartbeat;
@@ -939,7 +940,7 @@ Status RunRobustPhase(ThreadPool* pool, size_t num_tasks, int phase,
       // Spans from attempts that never commit — cancelled speculative
       // losers, deadline kills, abandoned retries — are still flushed,
       // marked cancelled below.
-      DDP_TRACE_SPAN(span, "mr", phase == 0 ? "map_attempt"
+      DDP_TRACE_SPAN(span, obs::kCatMr, phase == 0 ? obs::kSpanMapAttempt
                                             : "reduce_attempt");
       if (span.active()) {
         span.AddArg("job", job_name);
@@ -1232,7 +1233,7 @@ Status RunForkedPhase(size_t num_tasks, int phase, const std::string& job_name,
   };
 
   obs::Histogram* attempt_hist = obs::MetricsRegistry::Global().GetHistogram(
-      phase == 0 ? "mr.map_attempt_seconds" : "mr.reduce_attempt_seconds");
+      phase == 0 ? obs::kMetricMrMapAttemptSeconds : obs::kMetricMrReduceAttemptSeconds);
 
   // Runs in the supervising parent, in result-frame order.
   CommitFn commit = [&](size_t t, bool quarantined, double seconds,
@@ -1309,11 +1310,11 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
 
   // One span per MR job, named after it; phase spans and worker-side
   // attempt spans nest inside (the latter by thread, not containment).
-  DDP_TRACE_SPAN(job_span, "job", spec.name);
+  DDP_TRACE_SPAN(job_span, obs::kCatJob, spec.name);
   if (job_span.active()) {
     job_span.AddArg("input_records", static_cast<uint64_t>(input.size()));
   }
-  DDP_METRIC_COUNTER_ADD("mr.jobs", 1);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricMrJobs, 1);
 
   // ---- Checkpoint replay: a completed job's output is served from the
   // store, bit-identical, without re-running anything. The key sequence
@@ -1404,7 +1405,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   const size_t num_map_tasks =
       std::max<size_t>(1, std::min(input.size(), workers * 4));
   const size_t chunk = (input.size() + num_map_tasks - 1) / num_map_tasks;
-  DDP_TRACE_SPAN(map_span, "mr", "map_phase");
+  DDP_TRACE_SPAN(map_span, obs::kCatMr, obs::kSpanMapPhase);
   if (map_span.active()) {
     map_span.AddArg("job", spec.name);
     map_span.AddArg("tasks", static_cast<uint64_t>(num_map_tasks));
@@ -1522,7 +1523,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   // nothing to concatenate: reduce merge-streams straight out of the map
   // outputs' runs and tails.
   Stopwatch shuffle_timer;
-  DDP_TRACE_SPAN(shuffle_span, "mr", "shuffle_phase");
+  DDP_TRACE_SPAN(shuffle_span, obs::kCatMr, obs::kSpanShufflePhase);
   if (shuffle_span.active()) shuffle_span.AddArg("job", spec.name);
   std::vector<std::string> partitions(sorted_shuffle ? 0 : num_partitions);
   {
@@ -1586,7 +1587,7 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   // are self-contained.
   using ReduceOutput = internal::ReduceTaskOutput<Out>;
   Stopwatch reduce_timer;
-  DDP_TRACE_SPAN(reduce_span, "mr", "reduce_phase");
+  DDP_TRACE_SPAN(reduce_span, obs::kCatMr, obs::kSpanReducePhase);
   if (reduce_span.active()) {
     reduce_span.AddArg("job", spec.name);
     reduce_span.AddArg("partitions", static_cast<uint64_t>(num_partitions));
@@ -1859,10 +1860,10 @@ Result<std::vector<Out>> RunJob(const JobSpec<In, MidK, MidV, Out>& spec,
   }
   counters.reduce_output_records = output.size();
   counters.total_seconds = job_timer.ElapsedSeconds();
-  DDP_METRIC_HISTOGRAM_SECONDS("mr.job_seconds", counters.total_seconds);
-  DDP_METRIC_COUNTER_ADD("mr.shuffle_bytes", counters.shuffle_bytes);
-  DDP_METRIC_COUNTER_ADD("mr.shuffle_records", counters.shuffle_records);
-  DDP_METRIC_COUNTER_ADD("mr.spilled_bytes", counters.spilled_bytes);
+  DDP_METRIC_HISTOGRAM_SECONDS(obs::kMetricMrJobSeconds, counters.total_seconds);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricMrShuffleBytes, counters.shuffle_bytes);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricMrShuffleRecords, counters.shuffle_records);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricMrSpilledBytes, counters.spilled_bytes);
   if (job_span.active()) {
     job_span.AddArg("shuffle_bytes", counters.shuffle_bytes);
     job_span.AddArg("output_records", counters.reduce_output_records);

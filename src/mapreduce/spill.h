@@ -13,6 +13,7 @@
 #include "common/serde.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -333,7 +334,7 @@ class SpillingBuffer {
     }
     if (!any) return Status::OK();
     Stopwatch watch;
-    DDP_TRACE_SPAN(spill_span, "spill", "spill_write");
+    DDP_TRACE_SPAN(spill_span, obs::kCatSpill, obs::kSpanSpillWrite);
     DDP_ASSIGN_OR_RETURN(
         std::unique_ptr<SpillFileWriter> writer,
         SpillFileWriter::Create(
@@ -375,8 +376,8 @@ class SpillingBuffer {
       spill_span.AddArg("bytes", written);
       spill_span.AddArg("runs", static_cast<uint64_t>(runs_.size()));
     }
-    DDP_METRIC_HISTOGRAM_SECONDS("mr.spill_write_seconds", seconds);
-    DDP_METRIC_COUNTER_ADD("mr.spill_write_bytes", written);
+    DDP_METRIC_HISTOGRAM_SECONDS(obs::kMetricMrSpillWriteSeconds, seconds);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrSpillWriteBytes, written);
     return Status::OK();
   }
 

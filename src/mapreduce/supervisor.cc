@@ -25,6 +25,7 @@
 #include "mapreduce/remote_worker.h"
 #include "mapreduce/spill.h"
 #include "obs/heartbeat.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -370,7 +371,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
   if (cfg.num_tasks == 0) return Status::OK();
   const char* phase_name = cfg.phase == 0 ? "map" : "reduce";
 
-  DDP_TRACE_SPAN(phase_span, "mr", "supervised_phase");
+  DDP_TRACE_SPAN(phase_span, obs::kCatMr, obs::kSpanSupervisedPhase);
   if (phase_span.active()) {
     phase_span.AddArg("job", cfg.job_name);
     phase_span.AddArg("phase", std::string_view(phase_name));
@@ -379,9 +380,9 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
         cfg.transport == Transport::kTcp ? "tcp" : "pipe"));
   }
   obs::Histogram* crash_hist = obs::MetricsRegistry::Global().GetHistogram(
-      "mr.worker_crash_latency_seconds");
+      obs::kMetricMrWorkerCrashLatencySeconds);
   obs::Histogram* ship_hist =
-      obs::MetricsRegistry::Global().GetHistogram("mr.run_ship_seconds");
+      obs::MetricsRegistry::Global().GetHistogram(obs::kMetricMrRunShipSeconds);
 
   // TCP: listen before the first fork so children know where to connect.
   // A bind failure is a fallback signal, not a job error — nothing ran yet.
@@ -474,7 +475,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       w.pid = pid;
       w.id = id;
       w.last_beat = Clock::now();  // connect-grace timer until hello
-      w.span = std::make_unique<obs::Span>("mr", "worker");
+      w.span = std::make_unique<obs::Span>(obs::kCatMr, obs::kSpanWorker);
       if (w.span->active()) {
         w.span->AddArg("job", cfg.job_name);
         w.span->AddArg("phase", std::string_view(phase_name));
@@ -507,7 +508,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     w.id = id;
     w.ch = std::move(ends.first);
     w.last_beat = Clock::now();
-    w.span = std::make_unique<obs::Span>("mr", "worker");
+    w.span = std::make_unique<obs::Span>(obs::kCatMr, obs::kSpanWorker);
     if (w.span->active()) {
       w.span->AddArg("job", cfg.job_name);
       w.span->AddArg("phase", std::string_view(phase_name));
@@ -538,7 +539,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
         ts.failed_attempts = 0;
         ts.consecutive_crashes = 0;
         ++stats->quarantined_tasks;
-        DDP_METRIC_COUNTER_ADD("mr.quarantined_tasks", 1);
+        DDP_METRIC_COUNTER_ADD(obs::kMetricMrQuarantinedTasks, 1);
         DDP_LOG(Warning) << cfg.job_name << " " << phase_name << " task " << t
                          << " crashed " << cfg.quarantine_after_crashes
                          << " consecutive workers; quarantining";
@@ -577,7 +578,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
       if (deadline_hit) ++stats->deadline_kills;
     } else {
       ++stats->worker_crashes;
-      DDP_METRIC_COUNTER_ADD("mr.worker_crashes", 1);
+      DDP_METRIC_COUNTER_ADD(obs::kMetricMrWorkerCrashes, 1);
     }
     if (w.span != nullptr) {
       if (w.span->active()) {
@@ -610,7 +611,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
     if (w.ch != nullptr) w.ch->Close();
     ++stats->workers_evicted;
-    DDP_METRIC_COUNTER_ADD("mr.workers_evicted", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrWorkersEvicted, 1);
     if (deadline_hit) ++stats->deadline_kills;
     if (w.span != nullptr) {
       if (w.span->active()) {
@@ -622,7 +623,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     if (w.busy) {
       crash_hist->RecordSeconds(SecondsSince(w.dispatched, Clock::now()));
       ++stats->tasks_reassigned;
-      DDP_METRIC_COUNTER_ADD("mr.tasks_reassigned", 1);
+      DDP_METRIC_COUNTER_ADD(obs::kMetricMrTasksReassigned, 1);
       charge_failure(w.task, /*crashed=*/true,
                      deadline_hit
                          ? Status::DeadlineExceeded("remote worker deadline")
@@ -637,7 +638,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
     ::kill(workers[wi].pid, SIGKILL);
     ++stats->worker_kills;
-    DDP_METRIC_COUNTER_ADD("mr.worker_kills", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrWorkerKills, 1);
     handle_worker_death(wi, hang, deadline_hit);
   };
 
@@ -647,7 +648,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     if (!w.stream.open.has_value()) return;
     w.stream.open.reset();
     ++stats->shuffle_resent_runs;
-    DDP_METRIC_COUNTER_ADD("mr.shuffle_resent_runs", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrShuffleResentRuns, 1);
   };
 
   // Admits a remote worker: install the phase's registered job over
@@ -678,7 +679,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     w.id = id;
     w.ch = std::move(ch);
     w.last_beat = Clock::now();
-    w.span = std::make_unique<obs::Span>("mr", "remote_worker");
+    w.span = std::make_unique<obs::Span>(obs::kCatMr, obs::kSpanRemoteWorker);
     if (w.span->active()) {
       w.span->AddArg("job", cfg.job_name);
       w.span->AddArg("phase", std::string_view(phase_name));
@@ -686,7 +687,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     }
     workers.push_back(std::move(w));
     ++stats->workers_registered;
-    DDP_METRIC_COUNTER_ADD("mr.workers_registered", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrWorkersRegistered, 1);
   };
 
   // Accepts one pending TCP connection and attaches it to its worker by
@@ -724,7 +725,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     w->last_beat = Clock::now();
     if (hello.generation > 0) {
       ++stats->channel_reconnects;
-      DDP_METRIC_COUNTER_ADD("mr.channel_reconnects", 1);
+      DDP_METRIC_COUNTER_ADD(obs::kMetricMrChannelReconnects, 1);
       discard_open_run(*w);
       RunAckMsg ack;
       if (w->busy) {
@@ -818,7 +819,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
     w.stream.committed.push_back(std::move(cr));
     w.stream.committed_bytes += open.begin.length;
     stats->shuffle_streamed_bytes += open.begin.length;
-    DDP_METRIC_COUNTER_ADD("mr.shuffle_streamed_bytes", open.begin.length);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricMrShuffleStreamedBytes, open.begin.length);
     ship_hist->RecordSeconds(SecondsSince(open.started, Clock::now()));
     // Credit-based backpressure: ack at least every half window so a
     // blocked worker always has a credit frame coming.
@@ -889,7 +890,7 @@ Status WorkerSupervisor::RunPhase(const SupervisorConfig& cfg,
         if (st.ok()) {
           ++restarts_used;
           ++stats->worker_restarts;
-          DDP_METRIC_COUNTER_ADD("mr.worker_restarts", 1);
+          DDP_METRIC_COUNTER_ADD(obs::kMetricMrWorkerRestarts, 1);
         } else if (workers.empty() && cfg.remote_pool == nullptr) {
           job_error = Status::Internal("cannot respawn any worker: " +
                                        st.ToString());

@@ -54,6 +54,9 @@ struct ChannelHolder {
   Status Send(const Frame& frame) {
     std::lock_guard<std::mutex> lock(mu);
     if (ch == nullptr) return Status::IoError("channel detached");
+    // ddp-lint: allow(lock-across-blocking) -- holding mu across the Send is
+    // the whole point of this wrapper: frames from the task loop and the
+    // heartbeat thread must not interleave mid-frame on the shared channel.
     return ch->Send(frame);
   }
 

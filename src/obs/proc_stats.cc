@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace ddp {
@@ -36,9 +37,9 @@ uint64_t CurrentRssBytes() { return StatusLineBytes("VmRSS"); }
 
 void SampleProcessGauges() {
   MetricsRegistry& registry = MetricsRegistry::Global();
-  registry.GetGauge("process.peak_rss_bytes")
+  registry.GetGauge(kMetricProcessPeakRssBytes)
       ->Set(static_cast<double>(PeakRssBytes()));
-  registry.GetGauge("process.rss_bytes")
+  registry.GetGauge(kMetricProcessRssBytes)
       ->Set(static_cast<double>(CurrentRssBytes()));
 }
 

@@ -5,6 +5,7 @@
 #include "dataset/binary_io.h"
 #include "dataset/csv.h"
 #include "dataset/sharded_io.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace ddp {
@@ -21,7 +22,7 @@ uint64_t EstimateBytes(const Dataset& ds) {
 
 void SetDatasetCacheGauge(uint64_t bytes) {
   obs::MetricsRegistry::Global()
-      .GetGauge("server.dataset_cache_bytes")
+      .GetGauge(obs::kMetricServerDatasetCacheBytes)
       ->Set(static_cast<double>(bytes));
 }
 
@@ -45,10 +46,10 @@ Result<std::shared_ptr<const Dataset>> DatasetCache::Acquire(
   auto it = entries_.find(digest);
   if (it != entries_.end()) {
     it->second.last_use = ++tick_;
-    DDP_METRIC_COUNTER_ADD("server.dataset_cache_hits", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerDatasetCacheHits, 1);
     return it->second.dataset;
   }
-  DDP_METRIC_COUNTER_ADD("server.dataset_cache_misses", 1);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricServerDatasetCacheMisses, 1);
   // Load under the lock: concurrent jobs over the same dataset serialize
   // here instead of loading twice, and hit/miss accounting stays exact.
   DDP_ASSIGN_OR_RETURN(Dataset loaded, LoadDatasetForServing(path));
@@ -84,12 +85,12 @@ bool ResultCache::Get(const std::string& key, std::string* payload) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    DDP_METRIC_COUNTER_ADD("server.result_cache_misses", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerResultCacheMisses, 1);
     return false;
   }
   it->second.last_use = ++tick_;
   *payload = it->second.payload;
-  DDP_METRIC_COUNTER_ADD("server.result_cache_hits", 1);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricServerResultCacheHits, 1);
   return true;
 }
 
@@ -107,7 +108,7 @@ void ResultCache::Put(const std::string& key, std::string payload) {
     entries_.erase(victim);
   }
   obs::MetricsRegistry::Global()
-      .GetGauge("server.result_cache_entries")
+      .GetGauge(obs::kMetricServerResultCacheEntries)
       ->Set(static_cast<double>(entries_.size()));
 }
 

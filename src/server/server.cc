@@ -13,6 +13,7 @@
 #include "ddp/eddpc.h"
 #include "ddp/lsh_ddp.h"
 #include "mapreduce/remote_worker.h"
+#include "obs/metric_names.h"
 #include "obs/trace.h"
 
 namespace ddp {
@@ -117,7 +118,7 @@ void DdpServer::WaitShutdown() {
         job->detail = "cancelled by server shutdown";
         admitted_bytes_ -= job->admission_bytes;
         inflight_by_key_.erase(job->cache_key);
-        DDP_METRIC_COUNTER_ADD("server.jobs_cancelled", 1);
+        DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCancelled, 1);
       }
       queue_.clear();
       for (const auto& [id, job] : jobs_) {
@@ -224,6 +225,9 @@ Status DdpServer::HandleFrame(Connection* conn, const mr::Frame& frame,
       return conn->channel->Send(
           {mr::MessageType::kJobStatus, HandleCancel(msg.job_id).Encode()});
     }
+    // ddp-lint: allow(frame-exhaustive) -- worker-protocol frames (kTask,
+    // kRunData, ...) are invalid on a client connection by design; the
+    // default rejects them all with one IoError instead of twelve cases.
     default:
       return Status::IoError("unexpected frame type on a server connection");
   }
@@ -280,12 +284,12 @@ JobStatusMsg DdpServer::RejectLocked(const std::shared_ptr<Job>& job,
   job->state = JobState::kRejected;
   job->detail = std::move(reason);
   job->finished_at = Now();
-  DDP_METRIC_COUNTER_ADD("server.jobs_rejected", 1);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsRejected, 1);
   return SnapshotLocked(*job);
 }
 
 JobStatusMsg DdpServer::HandleSubmit(const JobSubmitMsg& msg) {
-  DDP_METRIC_COUNTER_ADD("server.jobs_submitted", 1);
+  DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsSubmitted, 1);
   auto job = std::make_shared<Job>();
   job->params = msg.params;
   job->dataset_path = msg.dataset_path;
@@ -325,7 +329,7 @@ JobStatusMsg DdpServer::HandleSubmit(const JobSubmitMsg& msg) {
     job->from_result_cache = true;
     job->result_payload = std::move(cached);
     job->finished_at = Now();
-    DDP_METRIC_COUNTER_ADD("server.jobs_completed", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCompleted, 1);
     return SnapshotLocked(*job);
   }
 
@@ -336,7 +340,7 @@ JobStatusMsg DdpServer::HandleSubmit(const JobSubmitMsg& msg) {
     auto original = jobs_.find(inflight->second);
     if (original != jobs_.end()) {
       jobs_.erase(job->id);  // drop the placeholder record
-      DDP_METRIC_COUNTER_ADD("server.jobs_coalesced", 1);
+      DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCoalesced, 1);
       return SnapshotLocked(*original->second);
     }
   }
@@ -387,7 +391,7 @@ JobStatusMsg DdpServer::HandleCancel(uint64_t job_id) {
     job->finished_at = Now();
     admitted_bytes_ -= job->admission_bytes;
     inflight_by_key_.erase(job->cache_key);
-    DDP_METRIC_COUNTER_ADD("server.jobs_cancelled", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCancelled, 1);
     UpdateGaugesLocked();
     drain_cv_.notify_all();
   } else if (job->state == JobState::kRunning) {
@@ -439,11 +443,11 @@ JobResultMsg DdpServer::ResultSnapshot(uint64_t job_id) {
 
 void DdpServer::UpdateGaugesLocked() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  registry.GetGauge("server.queue_depth")
+  registry.GetGauge(obs::kMetricServerQueueDepth)
       ->Set(static_cast<double>(queue_.size()));
-  registry.GetGauge("server.running_jobs")
+  registry.GetGauge(obs::kMetricServerRunningJobs)
       ->Set(static_cast<double>(running_));
-  registry.GetGauge("server.admitted_budget_bytes")
+  registry.GetGauge(obs::kMetricServerAdmittedBudgetBytes)
       ->Set(static_cast<double>(admitted_bytes_));
 }
 
@@ -465,7 +469,7 @@ void DdpServer::SchedulerLoop() {
       job->started_at = Now();
       ++running_;
       UpdateGaugesLocked();
-      DDP_METRIC_HISTOGRAM_SECONDS("server.queue_wait_seconds",
+      DDP_METRIC_HISTOGRAM_SECONDS(obs::kMetricServerQueueWaitSeconds,
                                    job->started_at - job->queued_at);
     }
     ExecuteJob(job);
@@ -481,7 +485,7 @@ void DdpServer::SchedulerLoop() {
 }
 
 void DdpServer::ExecuteJob(const std::shared_ptr<Job>& job) {
-  DDP_TRACE_SPAN(span, "server", "server.execute_job");
+  DDP_TRACE_SPAN(span, obs::kCatServer, obs::kSpanServerExecuteJob);
   if (span.active()) {
     span.AddArg("job_id", job->id);
     span.AddArg("algo", job->params.algo);
@@ -503,17 +507,17 @@ void DdpServer::ExecuteJob(const std::shared_ptr<Job>& job) {
     job->state = JobState::kDone;
     job->result_payload = std::move(payload).value();
     result_cache_.Put(job->cache_key, job->result_payload);
-    DDP_METRIC_COUNTER_ADD("server.jobs_completed", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCompleted, 1);
   } else if (payload.status().code() == StatusCode::kCancelled) {
     job->state = JobState::kCancelled;
     job->detail = payload.status().message();
-    DDP_METRIC_COUNTER_ADD("server.jobs_cancelled", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsCancelled, 1);
   } else {
     job->state = JobState::kFailed;
     job->detail = payload.status().ToString();
-    DDP_METRIC_COUNTER_ADD("server.jobs_failed", 1);
+    DDP_METRIC_COUNTER_ADD(obs::kMetricServerJobsFailed, 1);
   }
-  DDP_METRIC_HISTOGRAM_SECONDS("server.job_seconds", elapsed);
+  DDP_METRIC_HISTOGRAM_SECONDS(obs::kMetricServerJobSeconds, elapsed);
 }
 
 Result<std::string> DdpServer::RunJobPipeline(

@@ -1,0 +1,44 @@
+// Regression fixture exercising R1-R5 and R7 in one file. lint_test.cc pins
+// the diagnostics byte-for-byte against the output of the pre-rewrite
+// (line-regex) ddp_lint, so the token-stream rewrite cannot silently change
+// any R1-R7 behavior. R6 lives in regress_rules.h next door.
+#include <unordered_map>
+#include <vector>
+
+namespace regress {
+
+std::atomic<int> hits;
+
+double Norm(double dx, double dy) {
+  return sqrt(dx * dx + dy * dy);
+}
+
+void EmitAll(const std::unordered_map<int, int>& groups,
+             std::vector<int>* out) {
+  for (const auto& kv : groups) {
+    out->push_back(kv.second);
+  }
+}
+
+void Bump() {
+  hits++;
+  (void)hits.load();
+}
+
+int SeedBadly() {
+  return rand();
+}
+
+void TraceBadName() {
+  DDP_TRACE_SPAN(span, "core", "Bad-Name");
+}
+
+void SpawnChild() {
+  fork();
+}
+
+double AllowedSqrt(double d2) {
+  return sqrt(d2);  // ddp-lint: allow(no-raw-sqrt) -- final assembly distance
+}
+
+}  // namespace regress

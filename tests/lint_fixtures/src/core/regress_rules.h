@@ -1,0 +1,4 @@
+// Regression fixture for R6: no #pragma once, and a using namespace.
+namespace regress_h {
+using namespace std;
+}  // namespace regress_h

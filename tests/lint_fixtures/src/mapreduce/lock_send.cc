@@ -1,0 +1,21 @@
+// R10 fixture: Broadcast holds `lock` across a channel Send and Flush holds
+// it across a spill write; Drain releases before sending, so its unique_lock
+// is clean.
+
+#include <mutex>
+
+Status Broadcast(CommChannel* ch, const Frame& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ch->Send(f);
+}
+
+void Flush(SpillFileWriter& spill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spill.Append(rec_);
+}
+
+void Drain(CommChannel* ch, const Frame& f) {
+  std::unique_lock<std::mutex> lk(mu_);
+  lk.unlock();
+  ch->Send(f);
+}

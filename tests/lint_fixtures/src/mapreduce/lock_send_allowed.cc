@@ -1,0 +1,11 @@
+// R10 fixture: the wrapper's whole purpose is serializing frames on the
+// shared channel, so the held Send is annotated.
+
+#include <mutex>
+
+Status Broadcast(CommChannel* ch, const Frame& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // ddp-lint: allow(lock-across-blocking) -- frames from concurrent callers
+  // must not interleave mid-frame; holding across the Send is the contract.
+  return ch->Send(f);
+}

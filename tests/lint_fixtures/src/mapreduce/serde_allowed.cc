@@ -1,0 +1,14 @@
+// R8 fixture: the v1 wire order swap is acknowledged inline, so the
+// suppressed finding must not surface (and the suppression counts as used).
+
+void LegacyMsg::Encode(BufferWriter& w) const {
+  w.PutVarint64(id);
+  w.PutString(name);
+}
+
+// ddp-lint: allow(serde-symmetry) -- v1 readers take string-then-id by
+// historical accident; both sides follow the v1 framing note in the header.
+void LegacyMsg::Decode(BufferReader& r) {
+  r.GetString(&name);
+  r.GetVarint64(&id);
+}

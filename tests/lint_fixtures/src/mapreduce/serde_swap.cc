@@ -1,0 +1,23 @@
+// R8 fixture: TaskMsg swaps two same-kind fields between Encode and Decode
+// (field-order mismatch); AckMsg drops a field entirely (kind mismatch).
+
+void TaskMsg::Encode(BufferWriter& w) const {
+  w.PutVarint64(job_id);
+  w.PutVarint64(attempt);
+  w.PutString(name);
+}
+
+void TaskMsg::Decode(BufferReader& r) {
+  r.GetVarint64(&attempt);
+  r.GetVarint64(&job_id);
+  r.GetString(&name);
+}
+
+void AckMsg::Encode(BufferWriter& w) const {
+  w.PutVarint32(code);
+  w.PutString(detail);
+}
+
+void AckMsg::Decode(BufferReader& r) {
+  r.GetVarint32(&code);
+}

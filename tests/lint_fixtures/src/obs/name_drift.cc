@@ -1,0 +1,8 @@
+// R11 fixture: one unregistered metric literal, one reference to a constant
+// the registry does not define, and one unregistered span name.
+
+void Touch() {
+  DDP_METRIC_COUNTER_ADD("mr.unregistered_total", 1);
+  DDP_METRIC_HISTOGRAM_SECONDS(kMetricGhostSeconds, 0.5);
+  DDP_TRACE_SCOPE("mr", "unregistered_phase");
+}

@@ -1,0 +1,7 @@
+// R11 fixture: every site references a registered constant, so the
+// name-registry rule stays quiet.
+
+void Touch() {
+  DDP_METRIC_COUNTER_ADD(obs::kMetricMrJobs, 1);
+  DDP_TRACE_SCOPE(obs::kCatMr, obs::kSpanMapPhase);
+}

@@ -1,0 +1,13 @@
+// R11 fixture registry: kSpanOrphanPhase has no row in
+// observability_drift.md, and that doc's mr.ghost_total row has no
+// constant here — drift in both directions.
+#pragma once
+
+namespace ddp::obs {
+
+inline constexpr const char* kCatMr = "mr";
+inline constexpr const char* kSpanMapPhase = "map_phase";
+inline constexpr const char* kSpanOrphanPhase = "orphan_phase";
+inline constexpr const char* kMetricMrJobs = "mr.jobs";
+
+}  // namespace ddp::obs

@@ -1,0 +1,10 @@
+// R11 fixture registry: consistent with observability_ok.md.
+#pragma once
+
+namespace ddp::obs {
+
+inline constexpr const char* kCatMr = "mr";
+inline constexpr const char* kSpanMapPhase = "map_phase";
+inline constexpr const char* kMetricMrJobs = "mr.jobs";
+
+}  // namespace ddp::obs

@@ -1,0 +1,19 @@
+// R9 fixture: same shape as frame_missing.cc, but the default carries an
+// annotated allow — rejecting the worker frames wholesale is deliberate.
+
+enum class MessageType : unsigned char {
+  kHello = 0,
+  kTask = 1,
+  kResult = 2,
+};
+
+int Dispatch(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return 1;
+    // ddp-lint: allow(frame-exhaustive) -- kTask and kResult are
+    // worker-protocol frames; this client-side dispatcher rejects them all.
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,29 @@
+// R9 fixture: Dispatch handles two of four frame types with no default
+// (flagged at the switch); Reject hides the rest behind an unannotated
+// default (flagged at the default).
+
+enum class MessageType : unsigned char {
+  kHello = 0,
+  kTask = 1,
+  kResult = 2,
+  kShutdown = 3,
+};
+
+int Dispatch(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return 1;
+    case MessageType::kTask:
+      return 2;
+  }
+  return 0;
+}
+
+int Reject(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return 1;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# No-new-suppressions ratchet: fail if the tree-wide `ddp-lint: allow` count
+# grew in HEAD relative to its parent while docs/static-analysis.md was left
+# untouched. Adding a justified suppression is allowed — the rule catalogue
+# must acknowledge the new exception class in the same commit.
+#
+# Usage: tools/check_suppressions.sh   (run from anywhere inside the repo)
+#
+# Exit codes: 0 ok, 1 ratchet violated. A missing parent commit (shallow
+# clone of depth 1, or the root commit) passes: there is nothing to compare
+# against.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT" || exit 1
+
+count_at() {
+  # Suppressions in the real tree at revision $1: src/ tools/ tests/ bench/,
+  # minus the lint fixtures (which hold suppressions as test *inputs*).
+  git grep -c 'ddp-lint: allow(' "$1" -- \
+      'src' 'tools' 'tests' 'bench' ':(exclude)tests/lint_fixtures' \
+      2>/dev/null | awk -F: '{n += $NF} END {print n + 0}'
+}
+
+if ! git rev-parse --verify --quiet HEAD^ >/dev/null; then
+  echo "check_suppressions: no parent commit to compare against; skipping"
+  exit 0
+fi
+
+BEFORE=$(count_at HEAD^)
+AFTER=$(count_at HEAD)
+echo "check_suppressions: ddp-lint allow() count: HEAD^=$BEFORE HEAD=$AFTER"
+
+if [ "$AFTER" -le "$BEFORE" ]; then
+  echo "check_suppressions: OK (count did not grow)"
+  exit 0
+fi
+
+if git diff --name-only HEAD^ HEAD | grep -qx 'docs/static-analysis.md'; then
+  echo "check_suppressions: OK (count grew, but docs/static-analysis.md was" \
+       "updated in the same commit)"
+  exit 0
+fi
+
+echo "check_suppressions: FAILED — HEAD adds $((AFTER - BEFORE)) ddp-lint" \
+     "suppression(s) without touching docs/static-analysis.md."
+echo "Document the new exception class in the rule catalogue (or drop the" \
+     "suppression) in the same commit."
+exit 1

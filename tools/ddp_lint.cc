@@ -6,6 +6,12 @@
 // rules with file/line diagnostics. See docs/static-analysis.md for the rule
 // catalogue and the rationale behind each rule.
 //
+// The implementation lives in tools/lint/: a comment/string-aware source
+// loader (source.cc), a small C++ tokenizer (lexer.cc), per-file and
+// cross-file symbol indexes (index.cc), and the rules themselves (rules.cc).
+// This file is the driver: argument parsing, the two-phase lint (load and
+// index everything, then run rules with cross-file context), and output.
+//
 // Rules:
 //   no-raw-sqrt            R1  sqrt/hypot banned in src/core, src/ddp, src/lsh
 //   ordered-emission       R2  unordered-container iteration feeding emission
@@ -16,10 +22,18 @@
 //   name-hygiene           R5  span/metric name literals match [a-z0-9_.]+
 //   header-hygiene         R6  headers use #pragma once, no using namespace
 //   process-control        R7  fork/exec/kill/waitpid and raw socket calls
-//                              (socket/bind/listen/connect/accept) confined
-//                              to src/mapreduce/ (supervisor + CommChannel),
-//                              src/server/ (the serving daemon), and
-//                              tools/ddp_worker.cc (the worker binary)
+//                              confined to src/mapreduce/, src/server/, and
+//                              tools/ddp_worker.cc
+//   serde-symmetry         R8  Encode/Decode codec pairs write and read the
+//                              same wire-kind and field sequence
+//   frame-exhaustive       R9  switches over frame-type enums handle every
+//                              enumerator or carry an annotated default
+//   lock-across-blocking   R10 no lock_guard/unique_lock held across
+//                              CommChannel Send/Recv, spill writes, or raw
+//                              ::connect/::accept
+//   name-registry          R11 metric/span names at call sites resolve
+//                              against src/obs/metric_names.h, which in turn
+//                              agrees with docs/observability.md
 //
 // Suppression syntax, trailing the violating line or opening a comment block
 // directly above it:
@@ -31,879 +45,20 @@
 // Exit codes: 0 = clean, 1 = findings reported, 2 = usage or I/O error.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "lint/index.h"
+#include "lint/rules.h"
+#include "lint/source.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;
-  size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct Suppression {
-  size_t line = 0;         // line the comment is on
-  size_t target_line = 0;  // first line the suppression applies to
-  size_t target_end = 0;   // last line (statement continuation) covered
-  std::string rule;        // rule id inside allow(...)
-  bool has_reason = false;
-  bool used = false;
-};
-
-// One loaded source file: the raw text, a "code" view with comments and
-// string/char literals blanked to spaces (newlines kept, so offsets and line
-// numbers agree between the two), and the parsed suppression comments.
-struct SourceFile {
-  std::string path;      // path as reported in diagnostics
-  std::string raw;
-  std::string code;
-  std::vector<size_t> line_starts;  // offset of each line start
-  std::vector<Suppression> suppressions;
-};
-
-size_t LineOfOffset(const SourceFile& f, size_t offset) {
-  auto it = std::upper_bound(f.line_starts.begin(), f.line_starts.end(), offset);
-  return static_cast<size_t>(it - f.line_starts.begin());  // 1-based
-}
-
-// Parses "ddp-lint: allow(rule) -- reason" out of one comment's text. The
-// directive must open the comment (only whitespace between the comment
-// marker and "ddp-lint:"), so prose that merely mentions the syntax — like
-// this very comment — is not a suppression.
-void ParseSuppressions(std::string_view comment, size_t line,
-                       std::vector<Suppression>* out) {
-  size_t i = 0;
-  while (i < comment.size() && (comment[i] == '/' || comment[i] == '*')) ++i;
-  while (i < comment.size() && (comment[i] == ' ' || comment[i] == '\t')) ++i;
-  if (comment.compare(i, 9, "ddp-lint:") != 0) return;
-  size_t a = comment.find("allow(", i);
-  if (a == std::string_view::npos) return;
-  size_t close = comment.find(')', a);
-  if (close == std::string_view::npos) return;
-  Suppression s;
-  s.line = line;
-  s.rule = std::string(comment.substr(a + 6, close - (a + 6)));
-  size_t dashes = comment.find("--", close);
-  if (dashes != std::string_view::npos) {
-    std::string_view reason = comment.substr(dashes + 2);
-    size_t ws = reason.find_first_not_of(" \t");
-    s.has_reason = ws != std::string_view::npos;
-  }
-  out->push_back(s);
-}
-
-// Blanks comments and string/char literals (handling escapes and raw string
-// literals) so rule regexes never match prose or literal contents, while
-// collecting ddp-lint suppression comments.
-bool LoadSource(const std::string& fs_path, const std::string& report_path,
-                SourceFile* out) {
-  std::ifstream in(fs_path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out->path = report_path;
-  out->raw = ss.str();
-  out->code = out->raw;
-  std::string& code = out->code;
-
-  out->line_starts.push_back(0);
-  for (size_t i = 0; i < out->raw.size(); ++i) {
-    if (out->raw[i] == '\n') out->line_starts.push_back(i + 1);
-  }
-
-  enum class St { kCode, kLine, kBlock, kString, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;       // raw string closing delimiter: )delim"
-  size_t comment_start = 0;    // start offset of the current comment body
-  auto flush_comment = [&](size_t end) {
-    std::string_view text(out->raw.data() + comment_start, end - comment_start);
-    ParseSuppressions(text, LineOfOffset(*out, comment_start),
-                      &out->suppressions);
-  };
-  for (size_t i = 0; i < code.size(); ++i) {
-    char c = code[i];
-    char next = i + 1 < code.size() ? code[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLine;
-          comment_start = i;
-          code[i] = code[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlock;
-          comment_start = i;
-          code[i] = code[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!isalnum(static_cast<unsigned char>(code[i - 1])) &&
-                               code[i - 1] != '_'))) {
-          size_t open = code.find('(', i + 2);
-          if (open == std::string::npos) break;
-          raw_delim = ")" + code.substr(i + 2, open - (i + 2)) + "\"";
-          for (size_t k = i; k <= open; ++k) {
-            if (code[k] != '\n') code[k] = ' ';
-          }
-          i = open;
-          st = St::kRaw;
-        } else if (c == '"') {
-          st = St::kString;
-        } else if (c == '\'') {
-          st = St::kChar;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          flush_comment(i);
-          st = St::kCode;
-        } else {
-          code[i] = ' ';
-        }
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') {
-          flush_comment(i);
-          code[i] = code[i + 1] = ' ';
-          ++i;
-          st = St::kCode;
-        } else if (c != '\n') {
-          code[i] = ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          code[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < code.size()) code[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          code[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          code[i] = ' ';
-          if (i + 1 < code.size() && next != '\n') {
-            code[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          code[i] = ' ';
-        }
-        break;
-      case St::kRaw:
-        if (code.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t k = 0; k < raw_delim.size(); ++k) code[i + k] = ' ';
-          i += raw_delim.size() - 1;
-          st = St::kCode;
-        } else if (c != '\n') {
-          code[i] = ' ';
-        }
-        break;
-    }
-  }
-  if (st == St::kLine || st == St::kBlock) flush_comment(code.size());
-
-  // A suppression trailing code applies to its own line; one on a comment
-  // line applies to the next line that holds code, so multi-line reasons
-  // (and comment blocks continuing below the directive) still anchor to the
-  // statement they justify.
-  auto line_has_code = [&](size_t line) {
-    size_t start = out->line_starts[line - 1];
-    size_t end = line < out->line_starts.size() ? out->line_starts[line]
-                                                : code.size();
-    for (size_t k = start; k < end; ++k) {
-      if (!isspace(static_cast<unsigned char>(code[k]))) return true;
-    }
-    return false;
-  };
-  // Statements wrap; a suppression covers its target line plus continuation
-  // lines until the statement closes (a line ending in ';', '{' or '}').
-  auto line_closes_statement = [&](size_t line) {
-    size_t start = out->line_starts[line - 1];
-    size_t end = line < out->line_starts.size() ? out->line_starts[line]
-                                                : code.size();
-    for (size_t k = end; k > start; --k) {
-      char c = code[k - 1];
-      if (isspace(static_cast<unsigned char>(c))) continue;
-      return c == ';' || c == '{' || c == '}';
-    }
-    return false;
-  };
-  size_t num_lines = out->line_starts.size();
-  for (Suppression& s : out->suppressions) {
-    if (line_has_code(s.line)) {
-      s.target_line = s.line;
-    } else {
-      s.target_line = s.line;  // fallback: nothing but comments below
-      for (size_t line = s.line + 1; line <= num_lines; ++line) {
-        if (line_has_code(line)) {
-          s.target_line = line;
-          break;
-        }
-      }
-    }
-    s.target_end = s.target_line;
-    while (s.target_end < num_lines && s.target_end < s.target_line + 8 &&
-           !line_closes_statement(s.target_end)) {
-      ++s.target_end;
-    }
-  }
-  return true;
-}
-
-bool IsIdentChar(char c) {
-  return isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool HasWordBoundaryBefore(const std::string& s, size_t pos) {
-  return pos == 0 || !IsIdentChar(s[pos - 1]);
-}
-
-// Finds every occurrence of `word` in `text` that starts at a word boundary
-// and ends before a non-identifier character.
-std::vector<size_t> FindWord(const std::string& text, const std::string& word,
-                             size_t from = 0, size_t to = std::string::npos) {
-  std::vector<size_t> hits;
-  size_t limit = to == std::string::npos ? text.size() : to;
-  size_t pos = text.find(word, from);
-  while (pos != std::string::npos && pos < limit) {
-    bool left = HasWordBoundaryBefore(text, pos);
-    size_t end = pos + word.size();
-    bool right = end >= text.size() || !IsIdentChar(text[end]);
-    if (left && right) hits.push_back(pos);
-    pos = text.find(word, pos + 1);
-  }
-  return hits;
-}
-
-// Returns the offset one past the matching ')' for the '(' at `open`, or
-// npos if unbalanced. Operates on scrubbed code, so parens inside literals
-// and comments cannot confuse the count.
-size_t MatchParen(const std::string& code, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < code.size(); ++i) {
-    if (code[i] == '(') ++depth;
-    if (code[i] == ')' && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-size_t SkipSpace(const std::string& s, size_t i) {
-  while (i < s.size() && isspace(static_cast<unsigned char>(s[i]))) ++i;
-  return i;
-}
-
-std::string ReadIdent(const std::string& s, size_t i) {
-  size_t start = i;
-  while (i < s.size() && IsIdentChar(s[i])) ++i;
-  return s.substr(start, i - start);
-}
-
-// Skips a balanced <...> template argument list starting at `i` (which must
-// point at '<'); returns the offset just past the closing '>'.
-size_t SkipAngles(const std::string& s, size_t i) {
-  int depth = 0;
-  for (; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>' && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-std::pair<size_t, size_t> EnclosingBlock(const std::string& code,
-                                         size_t offset);
-
-bool PathContains(const std::string& path, std::string_view needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-bool IsHeader(const std::string& path) {
-  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-}
-
-// ---------------------------------------------------------------------------
-// Rule implementations. Each appends findings; suppression filtering happens
-// afterwards so unused suppressions can be detected.
-// ---------------------------------------------------------------------------
-
-constexpr std::string_view kRuleSqrt = "no-raw-sqrt";
-constexpr std::string_view kRuleOrdered = "ordered-emission";
-constexpr std::string_view kRuleMemOrder = "explicit-memory-order";
-constexpr std::string_view kRuleNondet = "banned-nondeterminism";
-constexpr std::string_view kRuleNames = "name-hygiene";
-constexpr std::string_view kRuleHeader = "header-hygiene";
-constexpr std::string_view kRuleProcess = "process-control";
-constexpr std::string_view kRuleNoReason = "suppression-missing-reason";
-constexpr std::string_view kRuleUnused = "unused-suppression";
-
-void AddFinding(std::vector<Finding>* out, const SourceFile& f, size_t offset,
-                std::string_view rule, std::string message) {
-  out->push_back(
-      {f.path, LineOfOffset(f, offset), std::string(rule), std::move(message)});
-}
-
-// R1: raw sqrt/hypot in squared-space kernel directories.
-void CheckNoRawSqrt(const SourceFile& f, std::vector<Finding>* out) {
-  if (!PathContains(f.path, "src/core") && !PathContains(f.path, "src/ddp") &&
-      !PathContains(f.path, "src/lsh")) {
-    return;
-  }
-  for (const char* fn : {"sqrt", "sqrtf", "sqrtl", "hypot", "hypotf", "hypotl"}) {
-    for (size_t pos : FindWord(f.code, fn)) {
-      size_t after = SkipSpace(f.code, pos + std::strlen(fn));
-      if (after >= f.code.size() || f.code[after] != '(') continue;
-      AddFinding(out, f, pos, kRuleSqrt,
-                 std::string(fn) +
-                     "() in squared-space kernel code; keep distances in d^2 "
-                     "and take one sqrt at final assembly (annotate that site)");
-    }
-  }
-}
-
-// Per-file symbol tracking for R2 and R3.
-struct SymbolInfo {
-  std::set<std::string> unordered_vars;     // variables of unordered type
-  std::set<std::string> unordered_aliases;  // using X = unordered_...
-  std::set<std::string> unordered_funcs;    // functions returning unordered
-  std::set<std::string> unordered_elem_vars;  // containers of unordered values
-  // Variables of std::atomic type, with the scope of their declaration so a
-  // same-named plain variable elsewhere in the file is not confused for one.
-  std::map<std::string, std::vector<std::pair<size_t, size_t>>> atomic_vars;
-};
-
-void CollectSymbols(const SourceFile& f, SymbolInfo* info) {
-  const std::string& code = f.code;
-  for (const char* kw : {"unordered_map", "unordered_set"}) {
-    for (size_t pos : FindWord(code, kw)) {
-      // Skip "#include <unordered_map>" lines.
-      size_t ls = f.line_starts[LineOfOffset(f, pos) - 1];
-      size_t first = SkipSpace(code, ls);
-      if (first < code.size() && code[first] == '#') continue;
-      // "using Alias = [std::]unordered_map<...>" registers an alias.
-      std::string_view before(code.data(), pos);
-      size_t tail_start = before.size() > 64 ? before.size() - 64 : 0;
-      std::string tail(before.substr(tail_start));
-      size_t u = tail.rfind("using ");
-      if (u != std::string::npos && tail.find('=', u) != std::string::npos &&
-          tail.find(';', u) == std::string::npos) {
-        size_t name_at = SkipSpace(tail, u + 6);
-        std::string alias = ReadIdent(tail, name_at);
-        if (!alias.empty()) info->unordered_aliases.insert(alias);
-        continue;
-      }
-      size_t i = SkipSpace(code, pos + std::strlen(kw));
-      if (i >= code.size() || code[i] != '<') continue;
-      i = SkipAngles(code, i);
-      if (i == std::string::npos) continue;
-      i = SkipSpace(code, i);
-      while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
-        i = SkipSpace(code, i + 1);
-      }
-      std::string name = ReadIdent(code, i);
-      if (name.empty()) continue;
-      size_t j = SkipSpace(code, i + name.size());
-      char c = j < code.size() ? code[j] : '\0';
-      if (c == '(') {
-        // Could be a function returning an unordered container or a variable
-        // with constructor arguments; track it as both.
-        info->unordered_funcs.insert(name);
-        info->unordered_vars.insert(name);
-      } else if (c == ';' || c == '=' || c == '{' || c == ',' || c == ')') {
-        info->unordered_vars.insert(name);
-      }
-    }
-  }
-  // Variables declared with an unordered alias, directly or as the value
-  // type of another container ("std::vector<Layout> layouts").
-  for (const std::string& alias : info->unordered_aliases) {
-    for (size_t pos : FindWord(code, alias)) {
-      size_t i = SkipSpace(code, pos + alias.size());
-      if (i < code.size() && code[i] == '>') {
-        // "...<Alias>" — the enclosing container holds unordered values.
-        i = SkipSpace(code, i + 1);
-        while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
-          i = SkipSpace(code, i + 1);
-        }
-        std::string name = ReadIdent(code, i);
-        if (!name.empty()) info->unordered_elem_vars.insert(name);
-      } else {
-        std::string name = ReadIdent(code, i);
-        if (name.empty()) continue;
-        size_t j = SkipSpace(code, i + name.size());
-        char c = j < code.size() ? code[j] : '\0';
-        if (c == ';' || c == '=' || c == '{' || c == '(' || c == ',') {
-          info->unordered_vars.insert(name);
-        }
-      }
-    }
-  }
-  // "auto v = Func(...)" where Func returns an unordered container.
-  for (size_t pos : FindWord(code, "auto")) {
-    size_t i = SkipSpace(code, pos + 4);
-    while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
-      i = SkipSpace(code, i + 1);
-    }
-    std::string name = ReadIdent(code, i);
-    if (name.empty()) continue;
-    i = SkipSpace(code, i + name.size());
-    if (i >= code.size() || code[i] != '=') continue;
-    i = SkipSpace(code, i + 1);
-    // Callee is the last identifier before '(' in the initializer.
-    size_t call = code.find('(', i);
-    size_t semi = code.find(';', i);
-    if (call == std::string::npos || (semi != std::string::npos && semi < call)) {
-      continue;
-    }
-    size_t id_end = call;
-    while (id_end > i && !IsIdentChar(code[id_end - 1])) --id_end;
-    size_t id_start = id_end;
-    while (id_start > i && IsIdentChar(code[id_start - 1])) --id_start;
-    std::string callee = code.substr(id_start, id_end - id_start);
-    if (info->unordered_funcs.count(callee) > 0) {
-      info->unordered_vars.insert(name);
-    }
-  }
-  // std::atomic<...> declarations (for the implicit seq_cst ++/-- check).
-  for (size_t pos : FindWord(code, "atomic")) {
-    size_t i = SkipSpace(code, pos + 6);
-    if (i >= code.size() || code[i] != '<') continue;
-    i = SkipAngles(code, i);
-    if (i == std::string::npos) continue;
-    i = SkipSpace(code, i);
-    while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
-      i = SkipSpace(code, i + 1);
-    }
-    std::string name = ReadIdent(code, i);
-    if (!name.empty()) info->atomic_vars[name].push_back(EnclosingBlock(code, pos));
-  }
-}
-
-// Innermost '{'..'}' block containing `offset`, as [open, close) offsets into
-// the scrubbed code; the whole file if the offset is at namespace scope.
-std::pair<size_t, size_t> EnclosingBlock(const std::string& code,
-                                         size_t offset) {
-  std::vector<size_t> stack;
-  for (size_t i = 0; i < code.size(); ++i) {
-    if (code[i] == '{') {
-      stack.push_back(i);
-    } else if (code[i] == '}') {
-      if (!stack.empty()) {
-        size_t open = stack.back();
-        stack.pop_back();
-        if (open <= offset && offset < i) return {open, i};
-      }
-    }
-  }
-  return {0, code.size()};
-}
-
-bool ScopeHas(const std::string& code, std::pair<size_t, size_t> scope,
-              const std::vector<std::string>& words, bool call_only) {
-  for (const std::string& w : words) {
-    for (size_t pos : FindWord(code, w, scope.first, scope.second)) {
-      if (!call_only) return true;
-      size_t after = SkipSpace(code, pos + w.size());
-      if (after < code.size() && code[after] == '(') return true;
-    }
-  }
-  return false;
-}
-
-// R2: range-for over an unordered container in a scope that emits records.
-void CheckOrderedEmission(const SourceFile& f, const SymbolInfo& info,
-                          std::vector<Finding>* out) {
-  if (!PathContains(f.path, "src/")) return;
-  if (PathContains(f.path, "src/obs/")) return;  // no pipeline records
-  static const std::vector<std::string> kEmitters = {
-      "Emit",       "SerializeTo", "push_back", "emplace_back",
-      "PutVarint32", "PutVarint64", "PutByte",  "PutRaw",
-      "PutDouble",  "PutFloat",    "WriteRecord", "Write", "Append"};
-  static const std::vector<std::string> kSorters = {"sort", "stable_sort",
-                                                    "partial_sort"};
-  const std::string& code = f.code;
-  for (size_t pos : FindWord(code, "for")) {
-    size_t open = SkipSpace(code, pos + 3);
-    if (open >= code.size() || code[open] != '(') continue;
-    size_t close = MatchParen(code, open);
-    if (close == std::string::npos) continue;
-    std::string head = code.substr(open + 1, close - open - 2);
-    // Find the range-for ':' at paren/angle depth 0, not part of '::'.
-    size_t colon = std::string::npos;
-    int depth = 0;
-    for (size_t i = 0; i < head.size(); ++i) {
-      char c = head[i];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') --depth;
-      if (c == ':' && depth == 0) {
-        if ((i + 1 < head.size() && head[i + 1] == ':') ||
-            (i > 0 && head[i - 1] == ':')) {
-          continue;
-        }
-        colon = i;
-        break;
-      }
-    }
-    if (colon == std::string::npos) continue;
-    std::string range = head.substr(colon + 1);
-    bool tainted = false;
-    for (size_t i = 0; i < range.size();) {
-      if (IsIdentChar(range[i])) {
-        std::string id = ReadIdent(range, i);
-        size_t j = SkipSpace(range, i + id.size());
-        char after = j < range.size() ? range[j] : '\0';
-        // Bare iteration over the container is hash-order; subscripting or
-        // member access (m[k], m.at(k)) yields a value whose own order is
-        // the value type's, not the hash table's.
-        if (info.unordered_vars.count(id) > 0 && after != '[' && after != '.' &&
-            after != '(' && !(after == '-' && j + 1 < range.size() &&
-                              range[j + 1] == '>')) {
-          tainted = true;
-        }
-        // ...except when the *element* type is unordered: v[m] is a table.
-        if (info.unordered_elem_vars.count(id) > 0 && after == '[') {
-          tainted = true;
-        }
-        i += id.size();
-      } else {
-        ++i;
-      }
-    }
-    if (!tainted) continue;
-    auto scope = EnclosingBlock(code, pos);
-    if (!ScopeHas(code, scope, kEmitters, /*call_only=*/true)) continue;
-    if (ScopeHas(code, scope, kSorters, /*call_only=*/true)) continue;
-    AddFinding(out, f, pos, kRuleOrdered,
-               "iteration over an unordered container in a scope that emits "
-               "records, with no sort in scope; emission order must be "
-               "derivable, not hash-order");
-  }
-}
-
-// R3: atomic operations must name an explicit std::memory_order_*.
-void CheckExplicitMemoryOrder(const SourceFile& f, const SymbolInfo& info,
-                              std::vector<Finding>* out) {
-  static const std::vector<std::string> kOps = {
-      "load",      "store",      "exchange",
-      "fetch_add", "fetch_sub",  "fetch_and",
-      "fetch_or",  "fetch_xor",  "compare_exchange_weak",
-      "compare_exchange_strong"};
-  const std::string& code = f.code;
-  for (const std::string& op : kOps) {
-    for (size_t pos : FindWord(code, op)) {
-      // Member call only: preceded by '.' or '->'.
-      bool member = (pos >= 1 && code[pos - 1] == '.') ||
-                    (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
-      if (!member) continue;
-      size_t open = SkipSpace(code, pos + op.size());
-      if (open >= code.size() || code[open] != '(') continue;
-      size_t close = MatchParen(code, open);
-      if (close == std::string::npos) continue;
-      std::string args = code.substr(open, close - open);
-      if (args.find("memory_order") != std::string::npos) continue;
-      AddFinding(out, f, pos, kRuleMemOrder,
-                 "atomic " + op +
-                     "() without an explicit std::memory_order_* argument "
-                     "(implicit seq_cst hides the intended ordering)");
-    }
-  }
-  // ++/--/+=/-= on a variable declared std::atomic in this file, within the
-  // scope of that declaration.
-  for (const auto& [var, scopes] : info.atomic_vars) {
-    for (size_t pos : FindWord(code, var)) {
-      bool in_scope = false;
-      for (const auto& [open, close] : scopes) {
-        if (pos >= open && pos < close) in_scope = true;
-      }
-      if (!in_scope) continue;
-      size_t after = SkipSpace(code, pos + var.size());
-      bool hit = false;
-      if (after + 1 < code.size()) {
-        std::string_view two(code.data() + after, 2);
-        if (two == "++" || two == "--" || two == "+=" || two == "-=") {
-          hit = true;
-        }
-      }
-      if (!hit && pos >= 2) {
-        std::string_view two(code.data() + pos - 2, 2);
-        if (two == "++" || two == "--") hit = true;
-      }
-      if (hit) {
-        AddFinding(out, f, pos, kRuleMemOrder,
-                   "implicit seq_cst increment/decrement of atomic '" + var +
-                       "'; use fetch_add/fetch_sub with an explicit "
-                       "std::memory_order_*");
-      }
-    }
-  }
-}
-
-// R4: unseeded / wall-clock nondeterminism outside the sanctioned modules.
-void CheckBannedNondeterminism(const SourceFile& f, std::vector<Finding>* out) {
-  if (PathContains(f.path, "src/common/random.") ||
-      PathContains(f.path, "src/obs/")) {
-    return;
-  }
-  struct Banned {
-    const char* word;
-    bool call_only;
-    const char* why;
-  };
-  static const Banned kBanned[] = {
-      {"rand", true, "use ddp::Rng seeded from Options"},
-      {"srand", true, "use ddp::Rng seeded from Options"},
-      {"random_device", false, "use ddp::Rng seeded from Options"},
-      {"time", true, "wall-clock input makes runs unreproducible"},
-      {"system_clock", false, "wall-clock input makes runs unreproducible"},
-  };
-  for (const Banned& b : kBanned) {
-    for (size_t pos : FindWord(f.code, b.word)) {
-      if (b.call_only) {
-        size_t after = SkipSpace(f.code, pos + std::strlen(b.word));
-        if (after >= f.code.size() || f.code[after] != '(') continue;
-      }
-      AddFinding(out, f, pos, kRuleNondet,
-                 std::string(b.word) + " is a banned nondeterminism source: " +
-                     b.why);
-    }
-  }
-}
-
-// R5: span/metric names are literal, lowercase, dot/underscore-separated.
-void CheckNameHygiene(const SourceFile& f, std::vector<Finding>* out) {
-  static const std::vector<std::string> kApis = {
-      "DDP_TRACE_SPAN",        "DDP_TRACE_SCOPE",
-      "DDP_METRIC_COUNTER_ADD", "DDP_METRIC_HISTOGRAM_SECONDS",
-      "DDP_METRIC_HISTOGRAM_RECORD", "GetCounter", "GetGauge", "GetHistogram"};
-  const std::string& code = f.code;
-  auto check_args = [&](size_t open, size_t close) {
-    // Offsets agree between raw and code, so read literals from raw where the
-    // scrubbed view is blank.
-    for (size_t i = open; i < close; ++i) {
-      if (f.raw[i] != '"') continue;
-      size_t end = i + 1;
-      while (end < close && f.raw[end] != '"') {
-        if (f.raw[end] == '\\') ++end;
-        ++end;
-      }
-      std::string lit = f.raw.substr(i + 1, end - i - 1);
-      bool ok = !lit.empty();
-      for (char c : lit) {
-        if (!(islower(static_cast<unsigned char>(c)) ||
-              isdigit(static_cast<unsigned char>(c)) || c == '_' || c == '.')) {
-          ok = false;
-        }
-      }
-      if (!ok) {
-        AddFinding(out, f, i, kRuleNames,
-                   "span/metric name \"" + lit +
-                       "\" must match [a-z0-9_.]+ so exported traces and "
-                       "metric keys stay greppable and collator-safe");
-      }
-      i = end;
-    }
-  };
-  for (const std::string& api : kApis) {
-    for (size_t pos : FindWord(code, api)) {
-      size_t open = SkipSpace(code, pos + api.size());
-      if (open >= code.size() || code[open] != '(') continue;
-      size_t close = MatchParen(code, open);
-      if (close == std::string::npos) continue;
-      check_args(open, close);
-    }
-  }
-  // Direct obs::Span construction: "Span name(...)" with literal args.
-  for (size_t pos : FindWord(code, "Span")) {
-    size_t i = SkipSpace(code, pos + 4);
-    std::string name = ReadIdent(code, i);
-    if (!name.empty()) i = SkipSpace(code, i + name.size());
-    if (i >= code.size() || code[i] != '(') continue;
-    size_t close = MatchParen(code, i);
-    if (close == std::string::npos) continue;
-    check_args(i, close);
-  }
-}
-
-// R6: headers must use #pragma once and must not open namespaces wholesale.
-void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
-  if (!IsHeader(f.path)) return;
-  if (f.code.find("#pragma once") == std::string::npos) {
-    out->push_back({f.path, 1, std::string(kRuleHeader),
-                    "header is missing #pragma once"});
-  }
-  for (size_t pos : FindWord(f.code, "using")) {
-    size_t i = SkipSpace(f.code, pos + 5);
-    if (f.code.compare(i, 9, "namespace") == 0) {
-      AddFinding(out, f, pos, kRuleHeader,
-                 "using namespace in a header leaks into every includer");
-    }
-  }
-}
-
-// R7: raw process-control and socket primitives are confined to
-// src/mapreduce/, src/server/, and tools/ddp_worker.cc. In src/mapreduce/
-// the worker supervisor owns the process lifecycle
-// (spawn, heartbeat, kill, reap) and CommChannel owns the transport. A
-// fork/kill/waitpid anywhere else escapes the crash-fault model: it creates
-// children the supervisor will never reap, or signals pids whose ownership
-// it cannot see. A raw socket/bind/connect bypasses the framed, CRC-trailed
-// channel protocol and its reconnect semantics. src/server/ builds the
-// serving daemon on those primitives and shares the exemption, as does
-// tools/ddp_worker.cc — the worker subsystem's process entry point, which
-// owns the lifecycle of the sibling workers it spawns for --workers N. Use
-// the CommChannel/WorkerSupervisor API (or mr::CrashSelf in chaos tests)
-// elsewhere.
-void CheckProcessControl(const SourceFile& f, std::vector<Finding>* out) {
-  if (PathContains(f.path, "src/mapreduce/") ||
-      PathContains(f.path, "src/server/") ||
-      PathContains(f.path, "tools/ddp_worker.cc")) {
-    return;
-  }
-  static const std::vector<std::string> kCalls = {
-      "fork",   "vfork",  "execl",       "execlp",       "execle",
-      "execv",  "execvp", "execve",      "execvpe",      "kill",
-      "killpg", "wait",   "waitpid",     "wait3",        "wait4",
-      "waitid", "system", "posix_spawn", "posix_spawnp", "socket",
-      "socketpair", "bind", "listen",    "connect",      "accept",
-      "accept4",
-  };
-  for (const std::string& fn : kCalls) {
-    for (size_t pos : FindWord(f.code, fn)) {
-      size_t after = SkipSpace(f.code, pos + fn.size());
-      if (after >= f.code.size() || f.code[after] != '(') continue;
-      // Free calls only: cv.wait(lock) or queue->kill(id) are member
-      // functions of unrelated types, not the POSIX primitives.
-      bool member = (pos >= 1 && f.code[pos - 1] == '.') ||
-                    (pos >= 2 && f.code[pos - 2] == '-' &&
-                     f.code[pos - 1] == '>');
-      if (member) continue;
-      // Declarations, not calls: `void listen(int)` / `Status bind(...)`.
-      // A call cannot be directly preceded by a type or identifier token —
-      // unless that token is a statement keyword (`return connect(...)`).
-      size_t before = pos;
-      while (before > 0 &&
-             std::isspace(static_cast<unsigned char>(f.code[before - 1]))) {
-        --before;
-      }
-      if (before > 0) {
-        const char prev = f.code[before - 1];
-        if (prev == '*' || prev == '&') continue;  // `int* accept(`
-        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
-          size_t start = before;
-          while (start > 0 &&
-                 (std::isalnum(static_cast<unsigned char>(f.code[start - 1])) ||
-                  f.code[start - 1] == '_')) {
-            --start;
-          }
-          const std::string_view word(f.code.data() + start, before - start);
-          static constexpr std::string_view kStmtKeywords[] = {
-              "return", "throw", "case", "else", "do",
-              "co_return", "co_await", "co_yield",
-          };
-          const bool keyword =
-              std::find(std::begin(kStmtKeywords), std::end(kStmtKeywords),
-                        word) != std::end(kStmtKeywords);
-          if (!keyword) continue;
-        }
-      }
-      AddFinding(out, f, pos, kRuleProcess,
-                 fn +
-                     "() outside src/mapreduce/, src/server/, or "
-                     "tools/ddp_worker.cc; process lifecycle belongs to the "
-                     "worker supervisor (use the CommChannel/WorkerSupervisor "
-                     "API)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-// ---------------------------------------------------------------------------
-
-struct RuleDoc {
-  std::string_view id;
-  std::string_view summary;
-};
-
-constexpr RuleDoc kRuleDocs[] = {
-    {kRuleSqrt, "R1: sqrt/hypot banned in src/core, src/ddp, src/lsh"},
-    {kRuleOrdered, "R2: unordered iteration feeding emission needs a sort"},
-    {kRuleMemOrder, "R3: atomic ops must name a std::memory_order_*"},
-    {kRuleNondet,
-     "R4: rand/random_device/time/system_clock outside random.*, obs/"},
-    {kRuleNames, "R5: span/metric name literals match [a-z0-9_.]+"},
-    {kRuleHeader, "R6: headers use #pragma once, no using namespace"},
-    {kRuleProcess,
-     "R7: fork/exec/kill/waitpid/socket calls confined to src/mapreduce/, "
-     "src/server/, and tools/ddp_worker.cc"},
-    {kRuleNoReason, "allow() without '-- <reason>' does not suppress"},
-    {kRuleUnused, "allow() that suppresses nothing must be removed"},
-};
-
-void LintFile(const std::string& fs_path, const std::string& report_path,
-              std::vector<Finding>* findings, bool* io_error) {
-  SourceFile f;
-  if (!LoadSource(fs_path, report_path, &f)) {
-    std::fprintf(stderr, "ddp_lint: cannot read %s\n", fs_path.c_str());
-    *io_error = true;
-    return;
-  }
-  std::vector<Finding> raw;
-  SymbolInfo info;
-  CollectSymbols(f, &info);
-  CheckNoRawSqrt(f, &raw);
-  CheckOrderedEmission(f, info, &raw);
-  CheckExplicitMemoryOrder(f, info, &raw);
-  CheckBannedNondeterminism(f, &raw);
-  CheckNameHygiene(f, &raw);
-  CheckHeaderHygiene(f, &raw);
-  CheckProcessControl(f, &raw);
-
-  // Apply suppressions: same line or the line above, matching rule id, with
-  // a written reason.
-  for (Finding& fd : raw) {
-    bool suppressed = false;
-    for (Suppression& s : f.suppressions) {
-      if (s.rule != fd.rule) continue;
-      if (fd.line < s.target_line || fd.line > s.target_end) continue;
-      if (!s.has_reason) continue;
-      s.used = true;
-      suppressed = true;
-    }
-    if (!suppressed) findings->push_back(std::move(fd));
-  }
-  for (const Suppression& s : f.suppressions) {
-    if (!s.has_reason) {
-      findings->push_back(
-          {f.path, s.line, std::string(kRuleNoReason),
-           "allow(" + s.rule +
-               ") has no '-- <reason>'; suppressions must say why"});
-    } else if (!s.used) {
-      findings->push_back({f.path, s.line, std::string(kRuleUnused),
-                           "allow(" + s.rule +
-                               ") suppresses nothing on its target line; "
-                               "remove it"});
-    }
-  }
-}
+using namespace ddp_lint;
 
 bool IsSourceFile(const fs::path& p) {
   std::string ext = p.extension().string();
@@ -913,24 +68,101 @@ bool IsSourceFile(const fs::path& p) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ddp_lint [--root DIR] [--list-rules] [file...]\n"
+      "usage: ddp_lint [--root DIR] [--format human|json] [--list-rules]\n"
+      "                [--metric-registry FILE] [--metric-doc FILE] [file...]\n"
       "\n"
       "With --root, scans DIR/src DIR/tools DIR/tests DIR/bench (skipping\n"
       "lint fixtures). Explicit file arguments are scanned as given.\n"
+      "The name-registry rule reads DIR/src/obs/metric_names.h and\n"
+      "DIR/docs/observability.md by default; --metric-registry and\n"
+      "--metric-doc override those paths (the rule is skipped when the\n"
+      "registry does not exist).\n"
       "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n");
   return 2;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintHuman(const std::vector<Finding>& findings) {
+  for (const Finding& fd : findings) {
+    std::printf("%s:%zu: [%s] %s\n", fd.file.c_str(), fd.line, fd.rule.c_str(),
+                fd.message.c_str());
+  }
+}
+
+// Machine-readable diagnostics for CI artifacts. The `suppression` field is
+// the exact comment that would suppress the finding, so a reviewer can copy
+// it out of the CI log (filling in the reason).
+void PrintJson(size_t num_files, const std::vector<Finding>& findings) {
+  std::printf("{\n  \"files\": %zu,\n  \"findings\": [", num_files);
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& fd = findings[i];
+    std::string suppression =
+        "// ddp-lint: allow(" + fd.rule + ") -- <reason>";
+    std::printf("%s\n    {\"path\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                "\"message\": \"%s\", \"suppression\": \"%s\"}",
+                i == 0 ? "" : ",", JsonEscape(fd.file).c_str(), fd.line,
+                JsonEscape(fd.rule).c_str(), JsonEscape(fd.message).c_str(),
+                JsonEscape(suppression).c_str());
+  }
+  std::printf("%s]\n}\n", findings.empty() ? "" : "\n  ");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root;
+  std::string format = "human";
+  std::string registry_path;  // --metric-registry override
+  std::string doc_path;       // --metric-doc override
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return Usage();
       root = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return Usage();
+      format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--metric-registry") {
+      if (i + 1 >= argc) return Usage();
+      registry_path = argv[++i];
+    } else if (arg == "--metric-doc") {
+      if (i + 1 >= argc) return Usage();
+      doc_path = argv[++i];
     } else if (arg == "--list-rules") {
       for (const RuleDoc& r : kRuleDocs) {
         std::printf("%-26s %s\n", std::string(r.id).c_str(),
@@ -947,6 +179,7 @@ int main(int argc, char** argv) {
     }
   }
   if (root.empty() && files.empty()) return Usage();
+  if (format != "human" && format != "json") return Usage();
 
   // (fs_path, report_path) pairs; report paths are root-relative when
   // scanning a root so rule scoping and output stay stable across machines.
@@ -970,19 +203,77 @@ int main(int argc, char** argv) {
   std::sort(inputs.begin(), inputs.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
 
-  std::vector<Finding> findings;
+  // Phase 1: load and index every input, then assemble the cross-file
+  // context (enum definitions, the metric-name registry, the doc tables).
   bool io_error = false;
-  for (const auto& [fs_path, report_path] : inputs) {
-    LintFile(fs_path, report_path, &findings, &io_error);
+  std::vector<SourceFile> sources(inputs.size());
+  std::vector<FileIndex> indexes(inputs.size());
+  std::vector<bool> loaded(inputs.size(), false);
+  LintContext ctx;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!LoadSource(inputs[i].first, inputs[i].second, &sources[i])) {
+      std::fprintf(stderr, "ddp_lint: cannot read %s\n",
+                   inputs[i].first.c_str());
+      io_error = true;
+      continue;
+    }
+    loaded[i] = true;
+    indexes[i] = BuildFileIndex(sources[i]);
+    for (const EnumDef& e : indexes[i].enums) {
+      ctx.enums.emplace(e.name, e.enumerators);  // first definition wins
+    }
   }
+  {
+    bool explicit_registry = !registry_path.empty();
+    std::string reg_fs = registry_path;
+    std::string reg_report = registry_path;
+    if (reg_fs.empty() && !root.empty()) {
+      reg_fs = (fs::path(root) / "src/obs/metric_names.h").string();
+      reg_report = "src/obs/metric_names.h";
+    }
+    if (!reg_fs.empty()) {
+      SourceFile reg_src;
+      if (LoadSource(reg_fs, reg_report, &reg_src)) {
+        ctx.registry = ParseRegistry(reg_src);
+      } else if (explicit_registry) {
+        std::fprintf(stderr, "ddp_lint: cannot read %s\n", reg_fs.c_str());
+        io_error = true;
+      }
+    }
+    bool explicit_doc = !doc_path.empty();
+    std::string doc_fs = doc_path;
+    std::string doc_report = doc_path;
+    if (doc_fs.empty() && !root.empty()) {
+      doc_fs = (fs::path(root) / "docs/observability.md").string();
+      doc_report = "docs/observability.md";
+    }
+    if (!doc_fs.empty()) {
+      if (!ParseDocNames(doc_fs, doc_report, &ctx.doc) && explicit_doc) {
+        std::fprintf(stderr, "ddp_lint: cannot read %s\n", doc_fs.c_str());
+        io_error = true;
+      }
+    }
+  }
+
+  // Phase 2: per-file rules plus the cross-file registry/doc consistency
+  // pass (whose findings anchor in the registry header and the doc, and are
+  // not suppressible from source comments).
+  std::vector<Finding> findings;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!loaded[i]) continue;
+    LintFile(sources[i], indexes[i], ctx, &findings);
+  }
+  CheckRegistryDocDrift(ctx, &findings);
+
   std::sort(findings.begin(), findings.end(), [](const auto& a, const auto& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
-  for (const Finding& fd : findings) {
-    std::printf("%s:%zu: [%s] %s\n", fd.file.c_str(), fd.line, fd.rule.c_str(),
-                fd.message.c_str());
+  if (format == "json") {
+    PrintJson(inputs.size(), findings);
+  } else {
+    PrintHuman(findings);
   }
   std::fprintf(stderr, "ddp_lint: %zu file(s), %zu finding(s)\n", inputs.size(),
                findings.size());

@@ -1,0 +1,147 @@
+// Per-file symbol index for ddp_lint.
+//
+// Two layers live here. CollectSymbols is the original string-scan index the
+// R2/R3 rules were built on (unordered containers, atomics) — moved verbatim
+// so those rules stay bit-compatible with the pre-rewrite linter. FileIndex
+// is the token-stream index the cross-file rules (R8-R11) need: enum
+// definitions, switch statements with their case labels, Encode/Decode codec
+// function pairs with their serde op sequences, and metric/span name sites.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/source.h"
+
+namespace ddp_lint {
+
+// --------------------------------------------------------------------------
+// Original string-scan index (R2, R3).
+// --------------------------------------------------------------------------
+
+// Per-file symbol tracking for R2 and R3.
+struct SymbolInfo {
+  std::set<std::string> unordered_vars;     // variables of unordered type
+  std::set<std::string> unordered_aliases;  // using X = unordered_...
+  std::set<std::string> unordered_funcs;    // functions returning unordered
+  std::set<std::string> unordered_elem_vars;  // containers of unordered values
+  // Variables of std::atomic type, with the scope of their declaration so a
+  // same-named plain variable elsewhere in the file is not confused for one.
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> atomic_vars;
+};
+
+void CollectSymbols(const SourceFile& f, SymbolInfo* info);
+
+// --------------------------------------------------------------------------
+// Token-stream index (R8-R11).
+// --------------------------------------------------------------------------
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  size_t offset = 0;
+};
+
+struct SwitchStmt {
+  size_t offset = 0;          // offset of the `switch` keyword
+  size_t default_offset = 0;  // offset of `default`, when present
+  bool has_default = false;
+  std::string enum_name;            // unqualified enum from the case labels
+  std::vector<std::string> cases;   // enumerators named by case labels
+};
+
+// One write or read in a codec body, in source order. `kind` is the wire
+// primitive ("byte", "varint64", "serde<T>", "nested", "dataset", ...);
+// `name` is the field identifier the op touches, "" when none is statically
+// recoverable (loop temporaries, return-value decodes).
+struct SerdeOp {
+  std::string kind;
+  std::string name;
+  size_t offset = 0;
+};
+
+struct CodecFn {
+  std::string owner;  // struct name or out-of-line qualifier
+  std::string fn;     // Encode / Decode / SerializeTo / ...
+  bool is_encode = false;
+  size_t offset = 0;  // offset of the function name token
+  std::vector<SerdeOp> ops;
+};
+
+// An Encode-side and Decode-side codec defined for the same struct in the
+// same file.
+struct CodecPair {
+  CodecFn encode;
+  CodecFn decode;
+};
+
+// A call site that names a metric or span: literal string arguments plus any
+// registry-constant identifiers (kMetric* / kSpan* / kCat*) in the argument
+// list.
+struct NameSite {
+  enum class Kind { kMetric, kSpan };
+  Kind kind = Kind::kMetric;
+  std::vector<std::pair<std::string, size_t>> literals;  // (text, offset)
+  std::vector<std::pair<std::string, size_t>> idents;    // (name, offset)
+};
+
+struct FileIndex {
+  std::vector<Token> tokens;
+  std::vector<EnumDef> enums;
+  std::vector<SwitchStmt> switches;
+  std::vector<CodecPair> codec_pairs;
+  std::vector<NameSite> name_sites;
+};
+
+FileIndex BuildFileIndex(const SourceFile& f);
+
+// --------------------------------------------------------------------------
+// Cross-file inputs: the metric-name registry and the observability doc.
+// --------------------------------------------------------------------------
+
+struct RegistryEntry {
+  std::string constant;  // kMetricMrJobs
+  std::string literal;   // "mr.jobs"
+  size_t line = 0;
+};
+
+// Parsed src/obs/metric_names.h: every `constexpr const char* kXxx = "...";`
+// whose constant name starts with kMetric / kSpan / kCat.
+struct NameRegistry {
+  bool present = false;
+  std::string path;
+  std::vector<RegistryEntry> metrics;
+  std::vector<RegistryEntry> spans;
+  std::vector<RegistryEntry> categories;
+
+  bool HasMetric(const std::string& literal) const;
+  bool HasSpanOrCategory(const std::string& literal) const;
+  bool HasConstant(const std::string& constant) const;
+};
+
+NameRegistry ParseRegistry(const SourceFile& f);
+
+// Parsed docs/observability.md: the backticked names in the span-taxonomy
+// and metric-name tables, with their line numbers. Names containing '<' are
+// templates (`server.job.<id>.mr_jobs`) and are skipped.
+struct DocNames {
+  bool present = false;
+  std::string path;
+  std::vector<std::pair<std::string, size_t>> metrics;     // (name, line)
+  std::vector<std::pair<std::string, size_t>> span_names;  // (name, line)
+  std::vector<std::pair<std::string, size_t>> categories;  // (name, line)
+
+  bool HasMetric(const std::string& name) const;
+  bool HasSpan(const std::string& name) const;
+  bool HasCategory(const std::string& name) const;
+};
+
+bool ParseDocNames(const std::string& fs_path, const std::string& report_path,
+                   DocNames* out);
+
+}  // namespace ddp_lint

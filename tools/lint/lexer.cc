@@ -1,0 +1,148 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace ddp_lint {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Two-character operators the structural rules care about. Everything else
+// is emitted one character at a time; rules never need to distinguish, say,
+// "<<" from two "<" tokens except where these appear.
+bool IsTwoCharOp(char a, char b) {
+  if (a == ':' && b == ':') return true;
+  if (a == '-' && b == '>') return true;
+  if (a == '+' && b == '+') return true;
+  if (a == '-' && b == '-') return true;
+  if (a == '=' && b == '=') return true;
+  if (a == '!' && b == '=') return true;
+  if (a == '<' && b == '=') return true;
+  if (a == '>' && b == '=') return true;
+  if (a == '&' && b == '&') return true;
+  if (a == '|' && b == '|') return true;
+  if (a == '+' && b == '=') return true;
+  if (a == '-' && b == '=') return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const SourceFile& f) {
+  const std::string& code = f.code;
+  std::vector<Token> out;
+  for (size_t i = 0; i < code.size();) {
+    char c = code[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c) && !IsDigit(c)) {
+      size_t start = i;
+      while (i < code.size() && IsIdentChar(code[i])) ++i;
+      Token t;
+      t.kind = Token::Kind::kIdent;
+      t.text = code.substr(start, i - start);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t start = i;
+      // Good enough for C++ numeric tokens in this codebase: digits, hex,
+      // exponents, suffixes, and digit separators all read as one blob.
+      while (i < code.size() &&
+             (IsIdentChar(code[i]) || code[i] == '.' || code[i] == '\'' ||
+              ((code[i] == '+' || code[i] == '-') && i > start &&
+               (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                code[i - 1] == 'p' || code[i - 1] == 'P')))) {
+        ++i;
+      }
+      Token t;
+      t.kind = Token::Kind::kNumber;
+      t.text = code.substr(start, i - start);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      // The scrubber kept the quotes and blanked the contents; the literal
+      // text lives at the same offsets in `raw`. Escapes were blanked too,
+      // so the closing quote in `code` is the real terminator.
+      size_t end = i + 1;
+      while (end < code.size() && code[end] != '"') ++end;
+      Token t;
+      t.kind = Token::Kind::kString;
+      if (end < f.raw.size()) t.value = f.raw.substr(i + 1, end - i - 1);
+      t.offset = i;
+      out.push_back(std::move(t));
+      i = end < code.size() ? end + 1 : end;
+      continue;
+    }
+    if (c == '\'') {
+      size_t end = i + 1;
+      while (end < code.size() && code[end] != '\'') ++end;
+      Token t;
+      t.kind = Token::Kind::kChar;
+      t.offset = i;
+      out.push_back(std::move(t));
+      i = end < code.size() ? end + 1 : end;
+      continue;
+    }
+    Token t;
+    t.kind = Token::Kind::kPunct;
+    t.offset = i;
+    if (i + 1 < code.size() && IsTwoCharOp(c, code[i + 1])) {
+      t.text = code.substr(i, 2);
+      i += 2;
+    } else {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+size_t TokenAtOrAfter(const std::vector<Token>& tokens, size_t offset) {
+  size_t lo = 0, hi = tokens.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (tokens[mid].offset < offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+size_t MatchTok(const std::vector<Token>& tokens, size_t i, const char* open,
+                const char* close) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kPunct) continue;
+    if (tokens[i].text == open) ++depth;
+    if (tokens[i].text == close && --depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+size_t MatchParenTok(const std::vector<Token>& tokens, size_t i) {
+  return MatchTok(tokens, i, "(", ")");
+}
+
+size_t MatchBraceTok(const std::vector<Token>& tokens, size_t i) {
+  return MatchTok(tokens, i, "{", "}");
+}
+
+size_t MatchAngleTok(const std::vector<Token>& tokens, size_t i) {
+  return MatchTok(tokens, i, "<", ">");
+}
+
+}  // namespace ddp_lint

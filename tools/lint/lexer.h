@@ -1,0 +1,48 @@
+// A small C++ tokenizer over the scrubbed `code` view of a SourceFile. The
+// scrubber has already removed comments and literal *contents*, so the lexer
+// only has to classify what is left: identifiers, numbers, string literals
+// (whose quotes survive scrubbing; the value is read back from `raw` at the
+// same offsets), and punctuation. This is deliberately not a full C++ lexer —
+// it is exactly enough structure for the cross-file rules (R8-R11) to parse
+// enum definitions, switch statements, codec function bodies, and call
+// argument lists without ever being fooled by comments or string prose.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace ddp_lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;   // identifier/number/punct spelling; "" for literals
+  std::string value;  // string literal contents, read from raw
+  size_t offset = 0;  // offset into SourceFile::code / raw
+};
+
+// Tokenizes the scrubbed code. Raw string literals were fully blanked by the
+// scrubber and produce no token; plain string literals become kString tokens
+// carrying their raw contents. Multi-character operators that matter for
+// structure ("::", "->") are single tokens.
+std::vector<Token> Lex(const SourceFile& f);
+
+// Index of the token at or after `offset`, or tokens.size().
+size_t TokenAtOrAfter(const std::vector<Token>& tokens, size_t offset);
+
+// Given tokens[i] == "(", returns the index one past the matching ")", or
+// tokens.size() if unbalanced.
+size_t MatchParenTok(const std::vector<Token>& tokens, size_t i);
+
+// Given tokens[i] == "{", returns the index one past the matching "}", or
+// tokens.size() if unbalanced.
+size_t MatchBraceTok(const std::vector<Token>& tokens, size_t i);
+
+// Given tokens[i] == "<", returns the index one past the balanced ">", or
+// tokens.size() if unbalanced.
+size_t MatchAngleTok(const std::vector<Token>& tokens, size_t i);
+
+}  // namespace ddp_lint

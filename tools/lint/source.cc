@@ -1,0 +1,299 @@
+#include "lint/source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ddp_lint {
+
+namespace {
+
+// Parses "ddp-lint: allow(rule) -- reason" out of one comment's text. The
+// directive must open the comment (only whitespace between the comment
+// marker and "ddp-lint:"), so prose that merely mentions the syntax — like
+// this very comment — is not a suppression.
+void ParseSuppressions(std::string_view comment, size_t line,
+                       std::vector<Suppression>* out) {
+  size_t i = 0;
+  while (i < comment.size() && (comment[i] == '/' || comment[i] == '*')) ++i;
+  while (i < comment.size() && (comment[i] == ' ' || comment[i] == '\t')) ++i;
+  if (comment.compare(i, 9, "ddp-lint:") != 0) return;
+  size_t a = comment.find("allow(", i);
+  if (a == std::string_view::npos) return;
+  size_t close = comment.find(')', a);
+  if (close == std::string_view::npos) return;
+  Suppression s;
+  s.line = line;
+  s.rule = std::string(comment.substr(a + 6, close - (a + 6)));
+  size_t dashes = comment.find("--", close);
+  if (dashes != std::string_view::npos) {
+    std::string_view reason = comment.substr(dashes + 2);
+    size_t ws = reason.find_first_not_of(" \t");
+    s.has_reason = ws != std::string_view::npos;
+  }
+  out->push_back(s);
+}
+
+}  // namespace
+
+size_t LineOfOffset(const SourceFile& f, size_t offset) {
+  auto it =
+      std::upper_bound(f.line_starts.begin(), f.line_starts.end(), offset);
+  return static_cast<size_t>(it - f.line_starts.begin());  // 1-based
+}
+
+bool LoadSource(const std::string& fs_path, const std::string& report_path,
+                SourceFile* out) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out->path = report_path;
+  out->raw = ss.str();
+  out->code = out->raw;
+  std::string& code = out->code;
+
+  out->line_starts.push_back(0);
+  for (size_t i = 0; i < out->raw.size(); ++i) {
+    if (out->raw[i] == '\n') out->line_starts.push_back(i + 1);
+  }
+
+  enum class St { kCode, kLine, kBlock, kString, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;     // raw string closing delimiter: )delim"
+  size_t comment_start = 0;  // start offset of the current comment body
+  auto flush_comment = [&](size_t end) {
+    std::string_view text(out->raw.data() + comment_start,
+                          end - comment_start);
+    ParseSuppressions(text, LineOfOffset(*out, comment_start),
+                      &out->suppressions);
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    char c = code[i];
+    char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          comment_start = i;
+          code[i] = code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          comment_start = i;
+          code[i] = code[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 ||
+                    (!isalnum(static_cast<unsigned char>(code[i - 1])) &&
+                     code[i - 1] != '_'))) {
+          size_t open = code.find('(', i + 2);
+          if (open == std::string::npos) break;
+          raw_delim = ")" + code.substr(i + 2, open - (i + 2)) + "\"";
+          for (size_t k = i; k <= open; ++k) {
+            if (code[k] != '\n') code[k] = ' ';
+          }
+          i = open;
+          st = St::kRaw;
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          flush_comment(i);
+          st = St::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          flush_comment(i);
+          code[i] = code[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < code.size()) code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (i + 1 < code.size() && next != '\n') {
+            code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case St::kRaw:
+        if (code.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) code[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+    }
+  }
+  if (st == St::kLine || st == St::kBlock) flush_comment(code.size());
+
+  // A suppression trailing code applies to its own line; one on a comment
+  // line applies to the next line that holds code, so multi-line reasons
+  // (and comment blocks continuing below the directive) still anchor to the
+  // statement they justify.
+  auto line_has_code = [&](size_t line) {
+    size_t start = out->line_starts[line - 1];
+    size_t end =
+        line < out->line_starts.size() ? out->line_starts[line] : code.size();
+    for (size_t k = start; k < end; ++k) {
+      if (!isspace(static_cast<unsigned char>(code[k]))) return true;
+    }
+    return false;
+  };
+  // Statements wrap; a suppression covers its target line plus continuation
+  // lines until the statement closes (a line ending in ';', '{' or '}').
+  auto line_closes_statement = [&](size_t line) {
+    size_t start = out->line_starts[line - 1];
+    size_t end =
+        line < out->line_starts.size() ? out->line_starts[line] : code.size();
+    for (size_t k = end; k > start; --k) {
+      char c = code[k - 1];
+      if (isspace(static_cast<unsigned char>(c))) continue;
+      return c == ';' || c == '{' || c == '}';
+    }
+    return false;
+  };
+  size_t num_lines = out->line_starts.size();
+  for (Suppression& s : out->suppressions) {
+    if (line_has_code(s.line)) {
+      s.target_line = s.line;
+    } else {
+      s.target_line = s.line;  // fallback: nothing but comments below
+      for (size_t line = s.line + 1; line <= num_lines; ++line) {
+        if (line_has_code(line)) {
+          s.target_line = line;
+          break;
+        }
+      }
+    }
+    s.target_end = s.target_line;
+    while (s.target_end < num_lines && s.target_end < s.target_line + 8 &&
+           !line_closes_statement(s.target_end)) {
+      ++s.target_end;
+    }
+  }
+  return true;
+}
+
+bool IsIdentChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool HasWordBoundaryBefore(const std::string& s, size_t pos) {
+  return pos == 0 || !IsIdentChar(s[pos - 1]);
+}
+
+std::vector<size_t> FindWord(const std::string& text, const std::string& word,
+                             size_t from, size_t to) {
+  std::vector<size_t> hits;
+  size_t limit = to == std::string::npos ? text.size() : to;
+  size_t pos = text.find(word, from);
+  while (pos != std::string::npos && pos < limit) {
+    bool left = HasWordBoundaryBefore(text, pos);
+    size_t end = pos + word.size();
+    bool right = end >= text.size() || !IsIdentChar(text[end]);
+    if (left && right) hits.push_back(pos);
+    pos = text.find(word, pos + 1);
+  }
+  return hits;
+}
+
+size_t MatchParen(const std::string& code, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpace(const std::string& s, size_t i) {
+  while (i < s.size() && isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+std::string ReadIdent(const std::string& s, size_t i) {
+  size_t start = i;
+  while (i < s.size() && IsIdentChar(s[i])) ++i;
+  return s.substr(start, i - start);
+}
+
+size_t SkipAngles(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::pair<size_t, size_t> EnclosingBlock(const std::string& code,
+                                         size_t offset) {
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      stack.push_back(i);
+    } else if (code[i] == '}') {
+      if (!stack.empty()) {
+        size_t open = stack.back();
+        stack.pop_back();
+        if (open <= offset && offset < i) return {open, i};
+      }
+    }
+  }
+  return {0, code.size()};
+}
+
+bool ScopeHas(const std::string& code, std::pair<size_t, size_t> scope,
+              const std::vector<std::string>& words, bool call_only) {
+  for (const std::string& w : words) {
+    for (size_t pos : FindWord(code, w, scope.first, scope.second)) {
+      if (!call_only) return true;
+      size_t after = SkipSpace(code, pos + w.size());
+      if (after < code.size() && code[after] == '(') return true;
+    }
+  }
+  return false;
+}
+
+bool PathContains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+}  // namespace ddp_lint

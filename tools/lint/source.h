@@ -1,0 +1,85 @@
+// Text layer of ddp_lint: file loading with comment/string/raw-string
+// scrubbing, suppression-comment parsing, and the offset-based text helpers
+// every rule builds on. The scrubbed `code` view keeps newlines (so offsets
+// and line numbers agree with `raw`) and blanks everything a rule must never
+// match: comment prose, string/char literal contents, raw string bodies.
+//
+// This layer is behavior-identical to the original single-file ddp_lint; the
+// R1-R7 fixtures in tests/lint_fixtures pin that byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddp_lint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Suppression {
+  size_t line = 0;         // line the comment is on
+  size_t target_line = 0;  // first line the suppression applies to
+  size_t target_end = 0;   // last line (statement continuation) covered
+  std::string rule;        // rule id inside allow(...)
+  bool has_reason = false;
+  bool used = false;
+};
+
+// One loaded source file: the raw text, a "code" view with comments and
+// string/char literals blanked to spaces (newlines kept, so offsets and line
+// numbers agree between the two), and the parsed suppression comments.
+struct SourceFile {
+  std::string path;  // path as reported in diagnostics
+  std::string raw;
+  std::string code;
+  std::vector<size_t> line_starts;  // offset of each line start
+  std::vector<Suppression> suppressions;
+};
+
+size_t LineOfOffset(const SourceFile& f, size_t offset);
+
+// Blanks comments and string/char literals (handling escapes and raw string
+// literals) so rule regexes never match prose or literal contents, while
+// collecting ddp-lint suppression comments.
+bool LoadSource(const std::string& fs_path, const std::string& report_path,
+                SourceFile* out);
+
+bool IsIdentChar(char c);
+bool HasWordBoundaryBefore(const std::string& s, size_t pos);
+
+// Finds every occurrence of `word` in `text` that starts at a word boundary
+// and ends before a non-identifier character.
+std::vector<size_t> FindWord(const std::string& text, const std::string& word,
+                             size_t from = 0, size_t to = std::string::npos);
+
+// Returns the offset one past the matching ')' for the '(' at `open`, or
+// npos if unbalanced. Operates on scrubbed code, so parens inside literals
+// and comments cannot confuse the count.
+size_t MatchParen(const std::string& code, size_t open);
+
+size_t SkipSpace(const std::string& s, size_t i);
+std::string ReadIdent(const std::string& s, size_t i);
+
+// Skips a balanced <...> template argument list starting at `i` (which must
+// point at '<'); returns the offset just past the closing '>'.
+size_t SkipAngles(const std::string& s, size_t i);
+
+// Innermost '{'..'}' block containing `offset`, as [open, close) offsets into
+// the scrubbed code; the whole file if the offset is at namespace scope.
+std::pair<size_t, size_t> EnclosingBlock(const std::string& code,
+                                         size_t offset);
+
+bool ScopeHas(const std::string& code, std::pair<size_t, size_t> scope,
+              const std::vector<std::string>& words, bool call_only);
+
+bool PathContains(const std::string& path, std::string_view needle);
+bool IsHeader(const std::string& path);
+
+}  // namespace ddp_lint

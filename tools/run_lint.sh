@@ -27,6 +27,10 @@ if [ ! -x "$BUILD_DIR/tools/ddp_lint" ]; then
 fi
 echo "run_lint: ddp_lint --root $ROOT"
 "$BUILD_DIR/tools/ddp_lint" --root "$ROOT" || FAILED=1
+# Machine-readable copy of the same findings for CI artifacts / tooling.
+"$BUILD_DIR/tools/ddp_lint" --root "$ROOT" --format=json \
+    > "$BUILD_DIR/ddp_lint.json" 2>/dev/null
+echo "run_lint: wrote $BUILD_DIR/ddp_lint.json"
 
 # --- 2. clang-tidy ---------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
